@@ -1,0 +1,73 @@
+"""Shared helpers for the per-table and per-figure benches."""
+
+from __future__ import annotations
+
+from typing import Dict, Set, Tuple
+
+from repro.apps import get_app
+from repro.core.model import InstType
+from repro.core.pipeline import analyze_snapshots
+from repro.eval.experiments import ExperimentResult
+from repro.eval.figures import heartbeat_figure
+from repro.eval.tables import app_sites_table, comparison_table, paper_sites_table
+from repro.incprof.session import Session, SessionConfig
+
+SiteSet = Set[Tuple[str, InstType]]
+
+
+def collect_samples(app_name: str, scale: float = 1.0):
+    """One paper-scale collection run (rank 0 snapshots)."""
+    session = Session(get_app(app_name), SessionConfig(ranks=1, scale=scale))
+    return session.run().samples(0)
+
+
+def sites_of(result: ExperimentResult) -> SiteSet:
+    return {(s.function, s.inst_type) for s in result.analysis.sites()}
+
+
+def run_table_bench(
+    benchmark,
+    experiments: Dict[str, ExperimentResult],
+    save_artifact,
+    app_name: str,
+    required_sites: SiteSet,
+    artifact: str,
+) -> ExperimentResult:
+    """Regenerate a Table II-VI, assert the required sites, time analysis."""
+    result = experiments[app_name]
+    text = "\n\n".join(
+        [
+            app_sites_table(result).render(),
+            paper_sites_table(app_name).render(),
+            comparison_table(result).render(),
+        ]
+    )
+    save_artifact(artifact, text)
+    print()
+    print(text)
+
+    found = sites_of(result)
+    missing = required_sites - found
+    assert not missing, f"paper sites missing from reproduction: {missing}"
+
+    samples = collect_samples(app_name)
+    benchmark(analyze_snapshots, samples)
+    return result
+
+
+def run_figure_bench(
+    benchmark,
+    experiments: Dict[str, ExperimentResult],
+    save_artifact,
+    app_name: str,
+    artifact: str,
+):
+    """Regenerate a Figure 2-6 and time the series extraction."""
+    result = experiments[app_name]
+    figure = heartbeat_figure(result)
+    text = figure.render()
+    save_artifact(artifact, text)
+    print()
+    print(text)
+    benchmark(lambda: heartbeat_figure(result).discovered.summary())
+    return figure

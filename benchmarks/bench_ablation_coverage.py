@@ -1,0 +1,52 @@
+"""Ablation: Algorithm 1's coverage threshold.
+
+The paper uses 95% ("to skip outliers").  This bench sweeps the
+threshold and reports how many sites get selected: a threshold of 1.0
+chases outlier intervals with extra sites, lower thresholds prune them.
+"""
+
+import pytest
+
+from benchmarks._common import collect_samples
+from repro.core.instrumentation import select_sites
+from repro.core.pipeline import AnalysisConfig, analyze_snapshots
+from repro.util.tables import Table
+
+THRESHOLDS = (0.8, 0.9, 0.95, 1.0)
+APPS = ("graph500", "minife", "miniamr")
+
+
+def test_coverage_threshold_ablation(benchmark, save_artifact):
+    table = Table(headers=["App"] + [f"{t:.0%}" for t in THRESHOLDS],
+                  title="Ablation: total sites selected vs coverage threshold")
+    per_app = {}
+    bench_args = None
+    for name in APPS:
+        samples = collect_samples(name)
+        counts = []
+        for threshold in THRESHOLDS:
+            analysis = analyze_snapshots(
+                samples, AnalysisConfig(coverage_threshold=threshold)
+            )
+            counts.append(len(analysis.sites()))
+            if name == "miniamr" and threshold == 0.95:
+                bench_args = (analysis.interval_data, analysis.phase_model,
+                              analysis.features)
+        per_app[name] = dict(zip(THRESHOLDS, counts))
+        table.add_row(name, *counts)
+
+    text = table.render()
+    save_artifact("ablation_coverage", text)
+    print()
+    print(text)
+
+    for name in APPS:
+        counts = per_app[name]
+        # Site count is monotone in the threshold, and chasing 100%
+        # coverage costs extra outlier sites somewhere.
+        ordered = [counts[t] for t in THRESHOLDS]
+        assert ordered == sorted(ordered)
+    assert any(per_app[n][1.0] > per_app[n][0.95] for n in APPS)
+
+    data, model, features = bench_args
+    benchmark(select_sites, data, model, features, 0.95)

@@ -1,0 +1,65 @@
+"""Ablation: clustering features.
+
+The paper: "We have experimented with including or using other profiling
+data (number of calls, execution time of children, etc.) but have not
+found these to improve the results, and sometimes to worsen them."
+This bench compares feature sources by how well the resulting site sets
+agree with the self-time baseline (and the paper's sites).
+"""
+
+import pytest
+
+from benchmarks._common import collect_samples
+from repro.apps import paper_app_names
+from repro.core.features import FeatureConfig, build_features
+from repro.core.pipeline import AnalysisConfig, analyze_snapshots
+from repro.eval.paperdata import paper_site_set
+from repro.util.tables import Table
+
+SOURCES = ("self_time", "self_plus_calls", "calls", "self_plus_children")
+PAPER_K = {"graph500": 4, "minife": 5, "miniamr": 2, "lammps": 4, "gadget2": 3}
+
+
+def jaccard(a, b):
+    if not a and not b:
+        return 1.0
+    return len(a & b) / len(a | b)
+
+
+def test_feature_ablation(benchmark, save_artifact):
+    table = Table(
+        headers=["App"] + [f"{s} (k / site-agreement)" for s in SOURCES],
+        title="Ablation: clustering features (agreement vs paper site set)",
+        float_fmt=".2f",
+    )
+    agreement = {source: [] for source in SOURCES}
+    sample_data = None
+    for name in paper_app_names():
+        samples = collect_samples(name)
+        paper_sites = {(f, t.value) for f, t in paper_site_set(name)}
+        cells = []
+        for source in SOURCES:
+            analysis = analyze_snapshots(
+                samples, AnalysisConfig(feature=FeatureConfig(source=source))
+            )
+            found = {(s.function, s.inst_type.value) for s in analysis.sites()}
+            score = jaccard(found, paper_sites)
+            agreement[source].append(score)
+            cells.append(f"{analysis.n_phases} / {score:.2f}")
+            if source == "self_time" and name == "minife":
+                sample_data = analysis.interval_data
+        table.add_row(name, *cells)
+
+    means = {s: sum(v) / len(v) for s, v in agreement.items()}
+    text = table.render() + "\n\nmean agreement: " + ", ".join(
+        f"{s}={m:.3f}" for s, m in means.items()
+    )
+    save_artifact("ablation_features", text)
+    print()
+    print(text)
+
+    # The paper's conclusion: plain self-time is at least as good as any
+    # alternative feature set.
+    assert means["self_time"] >= max(means[s] for s in SOURCES if s != "self_time")
+
+    benchmark(build_features, sample_data, FeatureConfig(source="self_plus_children"))

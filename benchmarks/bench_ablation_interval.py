@@ -1,0 +1,48 @@
+"""Ablation: collection-interval length.
+
+The paper uses 1-second intervals and notes (Gadget2, Section VI-E) that
+fast phases are invisible at that granularity.  This bench sweeps the
+IncProf interval and reports how phase counts respond — including the
+Gadget2 sensitivity the paper calls out.
+"""
+
+import pytest
+
+from repro.apps import get_app
+from repro.core.pipeline import analyze_snapshots
+from repro.incprof.session import Session, SessionConfig
+from repro.util.tables import Table
+
+INTERVALS = (0.5, 1.0, 2.0, 4.0)
+APPS = ("graph500", "miniamr", "gadget2")
+
+
+def phases_at(app_name: str, interval: float) -> int:
+    session = Session(get_app(app_name),
+                      SessionConfig(ranks=1, interval=interval))
+    samples = session.run().samples(0)
+    return analyze_snapshots(samples).n_phases
+
+
+def test_interval_ablation(benchmark, save_artifact):
+    table = Table(headers=["App"] + [f"{i}s" for i in INTERVALS],
+                  title="Ablation: phases detected vs collection interval")
+    counts = {}
+    for name in APPS:
+        row = [phases_at(name, interval) for interval in INTERVALS]
+        counts[name] = dict(zip(INTERVALS, row))
+        table.add_row(name, *row)
+
+    text = table.render()
+    save_artifact("ablation_interval", text)
+    print()
+    print(text)
+
+    # 1 s reproduces the paper; very coarse intervals blur phase structure
+    # for at least one app (fewer intervals, more mixing per interval).
+    assert counts["graph500"][1.0] == 4
+    assert counts["miniamr"][1.0] == 2
+    assert counts["gadget2"][1.0] == 3
+    assert any(counts[name][4.0] != counts[name][1.0] for name in APPS)
+
+    benchmark(phases_at, "miniamr", 1.0)

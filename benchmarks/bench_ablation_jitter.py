@@ -1,0 +1,55 @@
+"""Ablation: sampling-timer jitter.
+
+DESIGN.md calls out the modeled SIGPROF jitter as a design choice: real
+profilers never produce the exact interval-boundary ties an idealized
+sampler does.  This bench sweeps the jitter magnitude and reports how
+phase counts and site sets respond — detection should be *stable* across
+realistic jitter levels (robustness of the paper's method to sampling
+noise) and only degrade at absurd magnitudes.
+"""
+
+import pytest
+
+from repro.apps import get_app
+from repro.core.pipeline import analyze_snapshots
+from repro.incprof.session import Session, SessionConfig
+from repro.util.tables import Table
+
+JITTERS = (0.0, 0.06, 0.12, 0.25, 1.0)
+PAPER_K = {"graph500": 4, "miniamr": 2}
+
+
+def analyze_with_jitter(app_name: str, jitter: float):
+    session = Session(get_app(app_name),
+                      SessionConfig(ranks=1, sampling_jitter=jitter))
+    return analyze_snapshots(session.run().samples(0))
+
+
+def test_jitter_ablation(benchmark, save_artifact):
+    table = Table(
+        headers=["App"] + [f"sigma={j}" for j in JITTERS],
+        title="Ablation: phases detected vs sampling-timer jitter",
+    )
+    counts = {}
+    for name in PAPER_K:
+        row = []
+        for jitter in JITTERS:
+            analysis = analyze_with_jitter(name, jitter)
+            row.append(analysis.n_phases)
+        counts[name] = dict(zip(JITTERS, row))
+        table.add_row(name, *row)
+
+    text = table.render()
+    save_artifact("ablation_jitter", text)
+    print()
+    print(text)
+
+    # Detection is stable across realistic SIGPROF jitter (up to ~0.12);
+    # extreme noise (sigma=1.0: +/-10 ticks per 100) eventually splinters
+    # the weakest-margin clusters (MiniAMR's deviation phase).
+    for name, paper_k in PAPER_K.items():
+        for jitter in (0.0, 0.06, 0.12):
+            assert counts[name][jitter] == paper_k, (name, jitter)
+    assert counts["miniamr"][1.0] != PAPER_K["miniamr"]
+
+    benchmark(analyze_with_jitter, "miniamr", 0.12)

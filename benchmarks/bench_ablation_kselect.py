@@ -1,0 +1,54 @@
+"""Ablation: k-selection method (elbow vs chord vs silhouette).
+
+The paper: "Both the elbow and silhouette methods ... are established
+quantitative methods for selecting k."  This bench runs all three
+selectors over every app's interval data and reports the chosen k next
+to the paper's phase count.
+"""
+
+import pytest
+
+from benchmarks._common import collect_samples
+from repro.apps import paper_app_names
+from repro.core.kselect import choose_k
+from repro.core.pipeline import AnalysisConfig, analyze_snapshots
+from repro.util.tables import Table
+
+PAPER_K = {"graph500": 4, "minife": 5, "miniamr": 2, "lammps": 4, "gadget2": 3}
+
+
+def test_kselect_ablation(benchmark, save_artifact):
+    table = Table(headers=["App", "paper k", "elbow", "chord", "silhouette"],
+                  title="Ablation: k-selection method")
+    chosen = {}
+    features_by_app = {}
+    for name in paper_app_names():
+        samples = collect_samples(name)
+        row = {"paper": PAPER_K[name]}
+        for method in ("elbow", "chord", "silhouette"):
+            analysis = analyze_snapshots(
+                samples, AnalysisConfig(kselect_method=method)
+            )
+            row[method] = analysis.n_phases
+            if method == "elbow":
+                features_by_app[name] = analysis.features
+        chosen[name] = row
+        table.add_row(name, row["paper"], row["elbow"], row["chord"],
+                      row["silhouette"])
+
+    text = table.render()
+    save_artifact("ablation_kselect", text)
+    print()
+    print(text)
+
+    # The shipped elbow reproduces every paper phase count; the
+    # alternatives don't (which is why calibration matters).
+    for name in paper_app_names():
+        assert chosen[name]["elbow"] == PAPER_K[name]
+    disagreements = sum(
+        chosen[n]["chord"] != PAPER_K[n] or chosen[n]["silhouette"] != PAPER_K[n]
+        for n in paper_app_names()
+    )
+    assert disagreements >= 1
+
+    benchmark(choose_k, features_by_app["miniamr"], 8, "elbow", 0)

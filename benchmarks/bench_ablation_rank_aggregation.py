@@ -1,0 +1,57 @@
+"""Ablation: representative-rank vs aggregated-profile analysis.
+
+The paper analyzes rank 0 and keeps the other ranks for descriptive
+statistics.  The natural alternative is gprof's own aggregation
+(``gprof -s`` / gmon.sum): merge the per-rank snapshot series and
+analyze the cluster-wide profile.  This bench compares the two routes.
+"""
+
+import pytest
+
+from repro.apps import get_app
+from repro.core.pipeline import analyze_snapshots
+from repro.gprof.merge import merge_sample_series
+from repro.incprof.session import Session, SessionConfig
+from repro.util.tables import Table
+
+APPS = ("graph500", "lammps", "gadget2")
+
+
+def test_rank_aggregation_ablation(benchmark, save_artifact):
+    table = Table(
+        headers=["App", "rank0 k", "merged k", "rank0 top site", "merged top site"],
+        title="Ablation: representative rank vs gmon.sum aggregation",
+    )
+    agreements = []
+    bench_series = None
+    for name in APPS:
+        result = Session(get_app(name), SessionConfig(ranks=3)).run()
+        rank0 = analyze_snapshots(result.samples(0))
+        merged_series = merge_sample_series([r.samples for r in result.per_rank])
+        merged = analyze_snapshots(merged_series)
+        if name == "lammps":
+            bench_series = [r.samples for r in result.per_rank]
+        def dominant(analysis):
+            shares = {}
+            for site in analysis.sites():
+                shares[site.function] = shares.get(site.function, 0.0) + site.app_pct
+            return max(shares, key=shares.get)
+
+        top0 = dominant(rank0)
+        topm = dominant(merged)
+        table.add_row(name, rank0.n_phases, merged.n_phases, top0, topm)
+        agreements.append((abs(rank0.n_phases - merged.n_phases), top0 == topm))
+
+    text = table.render()
+    save_artifact("ablation_rank_aggregation", text)
+    print()
+    print(text)
+
+    # The two routes agree on the dominant structure for symmetric apps
+    # (phase count within one, same dominant site) — supporting the
+    # paper's representative-rank shortcut.
+    for k_delta, same_top in agreements:
+        assert k_delta <= 1
+        assert same_top
+
+    benchmark(merge_sample_series, bench_series)

@@ -1,0 +1,21 @@
+"""Figure 2: Graph500 phase heartbeats (discovered + manual)."""
+
+from benchmarks._common import run_figure_bench
+
+
+def test_fig2_graph500(benchmark, experiments, save_artifact):
+    figure = run_figure_bench(benchmark, experiments, save_artifact,
+                              "graph500", "fig2_graph500_heartbeats")
+    assert figure.manual is not None
+    # Paper narration: manual heartbeats (longer than the interval) show
+    # gaps and never count more than one per interval; the discovered
+    # low-level init site fills its span without gaps.
+    result = experiments["graph500"]
+    manual_labels = {b.hb_id: b.function for b in result.manual_bindings}
+    for hb_id, function in manual_labels.items():
+        if function in ("validate_bfs_result", "run_bfs"):
+            assert figure.manual.counts[hb_id].max() <= 1.0 + 1e-9
+
+    disc_labels = {b.hb_id: b.function for b in result.discovered_bindings}
+    moe = next(i for i, f in disc_labels.items() if f == "make_one_edge")
+    assert not figure.discovered.gaps(moe)

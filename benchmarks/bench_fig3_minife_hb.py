@@ -1,0 +1,21 @@
+"""Figure 3: MiniFE phase heartbeats (discovered sites only)."""
+
+from benchmarks._common import run_figure_bench
+
+
+def test_fig3_minife(benchmark, experiments, save_artifact):
+    figure = run_figure_bench(benchmark, experiments, save_artifact,
+                              "minife", "fig3_minife_heartbeats")
+    assert figure.manual is None  # the paper shows only discovered sites
+    result = experiments["minife"]
+    series = figure.discovered
+    labels = {b.hb_id: b.function for b in result.discovered_bindings}
+
+    # cg_solve dominates the tail of the run; the preparation sites
+    # (init/assembly/dirichlet) are active before it, in sequence.
+    cg = next(i for i, f in labels.items() if f == "cg_solve")
+    init = next(i for i, f in labels.items() if f == "init_matrix")
+    assembly = next(i for i, f in labels.items() if f == "sum_in_symm_elem_matrix")
+    assert series.activity_span(init)[0] < series.activity_span(assembly)[0]
+    assert series.activity_span(assembly)[1] < series.activity_span(cg)[1]
+    assert series.activity_span(cg)[1] >= series.n_intervals - 2

@@ -1,0 +1,23 @@
+"""Figure 5: LAMMPS phase heartbeats (discovered sites)."""
+
+from benchmarks._common import run_figure_bench
+
+
+def test_fig5_lammps(benchmark, experiments, save_artifact):
+    figure = run_figure_bench(benchmark, experiments, save_artifact,
+                              "lammps", "fig5_lammps_heartbeats")
+    result = experiments["lammps"]
+    series = figure.discovered
+    labels = {b.hb_id: b.function for b in result.discovered_bindings}
+
+    # Velocity::create only at the beginning (initialization).
+    vel = next(i for i, f in labels.items() if f == "Velocity::create")
+    assert series.activity_span(vel)[1] < series.n_intervals * 0.1
+
+    # The run is dominated by compute with short rebuild interludes.
+    compute_ids = [i for i, f in labels.items() if f == "PairLJCut::compute"]
+    build_ids = [i for i, f in labels.items()
+                 if f == "NPairHalfBinNewtonTri::build"]
+    compute_active = sum(len(series.active_intervals(i)) for i in compute_ids)
+    build_active = sum(len(series.active_intervals(i)) for i in build_ids)
+    assert compute_active > 4 * build_active

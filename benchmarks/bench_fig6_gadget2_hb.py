@@ -1,0 +1,30 @@
+"""Figure 6: Gadget2 phase heartbeats (discovered + manual)."""
+
+from benchmarks._common import run_figure_bench
+
+
+def test_fig6_gadget2(benchmark, experiments, save_artifact):
+    figure = run_figure_bench(benchmark, experiments, save_artifact,
+                              "gadget2", "fig6_gadget2_heartbeats")
+    result = experiments["gadget2"]
+
+    # Manual sites: the four main-loop functions essentially overlap —
+    # each is called once per timestep, so their rates agree.
+    assert figure.manual is not None
+    ids = figure.manual.hb_ids()
+    assert len(ids) == 4
+    rates = [figure.manual.mean_rate(i) for i in ids]
+    assert max(rates) <= 2.0 * min(rates)
+
+    # Discovered: the tree walk fires throughout; PM epochs are periodic
+    # bursts covering a minority of intervals.
+    labels = {b.hb_id: b.function for b in result.discovered_bindings}
+    tree = next(i for i, f in labels.items()
+                if f == "force_treeevaluate_shortrange")
+    pm = next(i for i, f in labels.items()
+              if f == "pm_setup_nonperiodic_kernel")
+    series = figure.discovered
+    n = series.n_intervals
+    assert len(series.active_intervals(tree)) > 0.6 * n
+    pm_frac = len(series.active_intervals(pm)) / n
+    assert 0.15 < pm_frac < 0.45

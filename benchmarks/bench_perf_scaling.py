@@ -1,0 +1,76 @@
+"""Performance benches: how the tooling itself scales.
+
+The paper's pitch is *efficiency* — collection at ≤10 % overhead and an
+analysis cheap enough to run casually.  These benches time the pipeline
+stages at paper scale and check the analysis cost grows roughly linearly
+in run length (interval count).
+"""
+
+import time
+
+import pytest
+
+from benchmarks._common import collect_samples
+from repro.core.intervals import intervals_from_snapshots
+from repro.core.kmeans import kmeans
+from repro.core.pipeline import analyze_snapshots
+from repro.gprof.gmon import dumps_gmon, loads_gmon
+from repro.util.tables import Table
+
+
+def test_interval_differencing_speed(benchmark):
+    samples = collect_samples("minife")  # ~600 snapshots
+    data = benchmark(intervals_from_snapshots, samples)
+    assert data.n_intervals > 500
+
+
+def test_gmon_serialization_speed(benchmark):
+    samples = collect_samples("graph500")
+    final = samples[-1]
+    blob = dumps_gmon(final)
+
+    def roundtrip():
+        return loads_gmon(dumps_gmon(final))
+
+    loaded = benchmark(roundtrip)
+    assert loaded.hist == final.hist
+    assert len(blob) < 64 * 1024  # one dump stays small (paper: low I/O)
+
+
+def test_kmeans_speed_paper_scale(benchmark):
+    samples = collect_samples("minife")
+    data = intervals_from_snapshots(samples).drop_inactive_functions()
+    result = benchmark(kmeans, data.self_time, 5, 0)
+    assert result.k == 5
+
+
+def test_analysis_scales_linearly(benchmark, save_artifact):
+    """End-to-end analysis time vs run length (interval count)."""
+    rows = []
+    timings = {}
+    for scale in (0.25, 0.5, 1.0):
+        samples = collect_samples("minife", scale=scale)
+        start = time.perf_counter()
+        analysis = analyze_snapshots(samples)
+        elapsed = time.perf_counter() - start
+        timings[scale] = (analysis.interval_data.n_intervals, elapsed)
+        rows.append((scale, analysis.interval_data.n_intervals,
+                     f"{elapsed * 1e3:.1f} ms"))
+
+    table = Table(headers=["scale", "intervals", "analysis time"],
+                  title="Analysis cost vs run length (MiniFE)")
+    for row in rows:
+        table.add_row(*row)
+    text = table.render()
+    save_artifact("perf_scaling", text)
+    print()
+    print(text)
+
+    # Roughly linear: 4x the intervals should cost well under 16x time.
+    n_small, t_small = timings[0.25]
+    n_big, t_big = timings[1.0]
+    assert n_big > 3 * n_small
+    assert t_big < 16 * max(t_small, 1e-3)
+
+    samples = collect_samples("minife", scale=0.5)
+    benchmark(analyze_snapshots, samples)

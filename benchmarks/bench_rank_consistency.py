@@ -1,0 +1,47 @@
+"""Multi-rank consistency bench.
+
+The paper analyzes only rank 0 because the applications are symmetric;
+this bench quantifies that premise by analyzing *every* rank of
+multi-rank runs and measuring agreement of phase counts and site sets.
+"""
+
+import pytest
+
+from repro.apps import get_app
+from repro.eval.rank_consistency import analyze_all_ranks
+from repro.util.tables import Table
+
+APPS = ("graph500", "miniamr", "gadget2")
+
+
+def test_rank_consistency(benchmark, save_artifact):
+    table = Table(
+        headers=["App", "ranks", "modal k", "k agreement", "site Jaccard",
+                 "runtime imbalance"],
+        title="Multi-rank analysis consistency (the symmetric-parallel premise)",
+        float_fmt=".2f",
+    )
+    results = {}
+    for name in APPS:
+        consistency = analyze_all_ranks(get_app(name), ranks=4)
+        results[name] = consistency
+        table.add_row(
+            name,
+            consistency.n_ranks,
+            consistency.modal_phase_count,
+            consistency.phase_count_agreement,
+            consistency.mean_site_jaccard(),
+            consistency.runtime_imbalance,
+        )
+
+    text = table.render()
+    save_artifact("rank_consistency", text)
+    print()
+    print(text)
+
+    for name, consistency in results.items():
+        assert consistency.phase_count_agreement >= 0.75
+        assert consistency.mean_site_jaccard() >= 0.5
+        assert consistency.runtime_imbalance < 0.15
+
+    benchmark(analyze_all_ranks, get_app("miniamr"), 2, 0.5)

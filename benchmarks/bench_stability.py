@@ -1,0 +1,59 @@
+"""Seed-stability bench: error bars around the fixed-seed tables.
+
+EXPERIMENTS.md reports one run per app (as the paper does); this bench
+sweeps seeds and reports how often the paper's phase count and core
+sites are recovered — the reproduction's honest stability statement.
+"""
+
+import pytest
+
+from repro.eval.stability import stability_sweep
+from repro.util.tables import Table
+
+PAPER_K = {"graph500": 4, "minife": 5, "miniamr": 2, "lammps": 4, "gadget2": 3}
+SEEDS = tuple(range(101, 109))
+
+#: Sites that must be discovered in the vast majority of runs.
+CORE_FUNCTIONS = {
+    "graph500": {"validate_bfs_result", "make_one_edge"},
+    "minife": {"cg_solve", "sum_in_symm_elem_matrix", "init_matrix",
+               "impose_dirichlet"},
+    "miniamr": {"check_sum"},
+    "lammps": {"PairLJCut::compute", "NPairHalfBinNewtonTri::build"},
+    "gadget2": {"force_treeevaluate_shortrange", "pm_setup_nonperiodic_kernel"},
+}
+
+
+def test_stability_sweep(benchmark, save_artifact):
+    table = Table(
+        headers=["App", "paper k", "k histogram", "k stability", "core sites found"],
+        title=f"Detection stability over {len(SEEDS)} seeds",
+        float_fmt=".2f",
+    )
+    sweeps = {}
+    for name, paper_k in PAPER_K.items():
+        sweep = stability_sweep(name, seeds=SEEDS)
+        sweeps[name] = sweep
+        found_functions = {f for f, _t in sweep.core_sites(min_frequency=0.8)}
+        core_found = CORE_FUNCTIONS[name] <= found_functions
+        table.add_row(
+            name,
+            paper_k,
+            str(sweep.phase_count_histogram()),
+            sweep.phase_count_stability(),
+            "yes" if core_found else f"missing {CORE_FUNCTIONS[name] - found_functions}",
+        )
+
+    text = table.render()
+    save_artifact("stability_sweep", text)
+    print()
+    print(text)
+
+    for name, paper_k in PAPER_K.items():
+        sweep = sweeps[name]
+        assert sweep.modal_phase_count() == paper_k
+        assert sweep.phase_count_stability() >= 0.6
+        found = {f for f, _t in sweep.core_sites(min_frequency=0.8)}
+        assert CORE_FUNCTIONS[name] <= found, (name, found)
+
+    benchmark(stability_sweep, "synthetic", (1, 2), 0.3)

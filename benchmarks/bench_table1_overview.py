@@ -1,0 +1,28 @@
+"""Table I: experimental overview — setup, overheads, phase counts.
+
+Regenerates the paper's Table I for all five applications and times the
+overhead-measurement methodology (three instrumented builds of one app).
+"""
+
+from repro.apps import get_app
+from repro.eval.overhead import measure_overheads
+from repro.eval.tables import table1, table1_comparison
+
+
+def test_table1(benchmark, experiments, save_artifact):
+    regenerated = table1(experiments).render()
+    comparison = table1_comparison(experiments).render()
+    save_artifact("table1_overview", regenerated + "\n\n" + comparison)
+    print()
+    print(regenerated)
+    print()
+    print(comparison)
+
+    # Phase counts are the table's headline claim.
+    expected = {"graph500": 4, "minife": 5, "miniamr": 2, "lammps": 4, "gadget2": 3}
+    for name, k in expected.items():
+        assert experiments[name].n_phases == k
+
+    # Time the measurement methodology itself (three builds of MiniAMR).
+    app = get_app("miniamr")
+    benchmark(measure_overheads, app, 0.25)

@@ -1,0 +1,25 @@
+"""Table II: Graph500 instrumented functions."""
+
+import pytest
+
+from benchmarks._common import run_table_bench
+from repro.core.model import InstType
+
+
+def test_table2_graph500(benchmark, experiments, save_artifact):
+    result = run_table_bench(
+        benchmark, experiments, save_artifact, "graph500",
+        required_sites={
+            ("validate_bfs_result", InstType.LOOP),
+            ("run_bfs", InstType.BODY),
+            ("run_bfs", InstType.LOOP),
+            ("make_one_edge", InstType.BODY),
+        },
+        artifact="table2_graph500",
+    )
+    # Shape: validate dominates; edge generation ~11% of the app.
+    shares = {}
+    for s in result.analysis.sites():
+        shares[s.function] = shares.get(s.function, 0.0) + s.app_pct
+    assert max(shares, key=shares.get) == "validate_bfs_result"
+    assert shares["make_one_edge"] == pytest.approx(10.8, abs=3.0)

@@ -1,0 +1,29 @@
+"""Table III: MiniFE instrumented functions."""
+
+import pytest
+
+from benchmarks._common import run_table_bench
+from repro.core.model import InstType
+
+
+def test_table3_minife(benchmark, experiments, save_artifact):
+    result = run_table_bench(
+        benchmark, experiments, save_artifact, "minife",
+        required_sites={
+            ("cg_solve", InstType.LOOP),
+            ("sum_in_symm_elem_matrix", InstType.BODY),
+            ("init_matrix", InstType.LOOP),
+            ("generate_matrix_structure", InstType.LOOP),
+            ("impose_dirichlet", InstType.LOOP),
+            ("make_local_matrix", InstType.LOOP),
+        },
+        artifact="table3_minife",
+    )
+    # cg_solve split across two phases (paper phases 1 and 4), with
+    # make_local_matrix and generate_matrix_structure as minor co-sites.
+    cg_rows = [s for s in result.analysis.sites() if s.function == "cg_solve"]
+    assert len(cg_rows) == 2
+    shares = {}
+    for s in result.analysis.sites():
+        shares[s.function] = shares.get(s.function, 0.0) + s.app_pct
+    assert shares["cg_solve"] == pytest.approx(64.2, abs=6.0)

@@ -1,0 +1,25 @@
+"""Table IV: MiniAMR instrumented functions."""
+
+import pytest
+
+from benchmarks._common import run_table_bench
+from repro.core.model import InstType
+
+
+def test_table4_miniamr(benchmark, experiments, save_artifact):
+    result = run_table_bench(
+        benchmark, experiments, save_artifact, "miniamr",
+        required_sites={
+            ("check_sum", InstType.BODY),
+            ("allocate", InstType.LOOP),
+            ("pack_block", InstType.BODY),
+            ("unpack_block", InstType.BODY),
+        },
+        artifact="table4_miniamr",
+    )
+    # check_sum alone covers almost 90% of the run (paper: 89.1%).
+    top = max(result.analysis.sites(), key=lambda s: s.app_pct)
+    assert top.function == "check_sum"
+    assert top.app_pct == pytest.approx(89.1, abs=7.0)
+    # Only two phases: the normal computation and the deviations.
+    assert result.n_phases == 2

@@ -1,0 +1,26 @@
+"""Table V: LAMMPS instrumented functions."""
+
+import pytest
+
+from benchmarks._common import run_table_bench
+
+
+def test_table5_lammps(benchmark, experiments, save_artifact):
+    result = run_table_bench(
+        benchmark, experiments, save_artifact, "lammps",
+        required_sites=set(),  # designations vary; asserted by shape below
+        artifact="table5_lammps",
+    )
+    sites = result.analysis.sites()
+    functions = {s.function for s in sites}
+    assert functions >= {"PairLJCut::compute", "NPairHalfBinNewtonTri::build",
+                         "Velocity::create"}
+    # Compute fully covers two phases ("should really be a single phase").
+    full_compute = [s for s in sites
+                    if s.function == "PairLJCut::compute" and s.phase_pct > 99.0]
+    assert len(full_compute) == 2
+    shares = {}
+    for s in sites:
+        shares[s.function] = shares.get(s.function, 0.0) + s.app_pct
+    assert shares["PairLJCut::compute"] == pytest.approx(89.8, abs=7.0)
+    assert shares["NPairHalfBinNewtonTri::build"] == pytest.approx(9.0, abs=4.0)

@@ -1,0 +1,33 @@
+"""Table VI: Gadget2 instrumented functions."""
+
+import pytest
+
+from benchmarks._common import run_table_bench
+from repro.core.model import InstType
+
+
+def test_table6_gadget2(benchmark, experiments, save_artifact):
+    result = run_table_bench(
+        benchmark, experiments, save_artifact, "gadget2",
+        required_sites={
+            ("force_treeevaluate_shortrange", InstType.BODY),
+            ("pm_setup_nonperiodic_kernel", InstType.BODY),
+            ("force_update_node_recursive", InstType.BODY),
+        },
+        artifact="table6_gadget2",
+    )
+    sites = result.analysis.sites()
+    # All discovered sites are body-instrumented (Table VI).
+    assert all(s.inst_type is InstType.BODY for s in sites)
+    # The tree walk splits across two phases (paper phases 0 and 2) and
+    # none of the four manual main-loop sites is discoverable.
+    tree_phases = {s.phase_id for s in sites
+                   if s.function == "force_treeevaluate_shortrange"}
+    assert len(tree_phases) == 2
+    discovered = {s.function for s in sites}
+    assert "compute_accelerations" not in discovered
+    shares = {}
+    for s in sites:
+        shares[s.function] = shares.get(s.function, 0.0) + s.app_pct
+    assert shares["force_treeevaluate_shortrange"] == pytest.approx(69.6, abs=7.0)
+    assert shares["pm_setup_nonperiodic_kernel"] == pytest.approx(28.6, abs=6.0)

@@ -1,0 +1,43 @@
+"""Shared benchmark fixtures.
+
+Every bench regenerates its table/figure from the same memoized
+paper-scale experiments, times the interesting computation with
+pytest-benchmark, and writes the rendered artifact (regenerated next to
+the paper's published version) into ``benchmarks/_output/`` so the
+reproduction can be inspected after a run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.apps import paper_app_names
+from repro.eval.experiments import run_experiment
+
+OUTPUT_DIR = Path(__file__).parent / "_output"
+
+
+@pytest.fixture(scope="session")
+def experiments():
+    """Paper-scale experiment results for all five applications."""
+    return {name: run_experiment(name) for name in paper_app_names()}
+
+
+@pytest.fixture(scope="session")
+def artifact_dir() -> Path:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+@pytest.fixture(scope="session")
+def save_artifact(artifact_dir):
+    """Write a rendered table/figure to benchmarks/_output/<name>.txt."""
+
+    def _save(name: str, text: str) -> Path:
+        path = artifact_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        return path
+
+    return _save

@@ -1,0 +1,87 @@
+"""Using the workload DSL to model and analyze your own application.
+
+Defines a small three-phase pipeline application (ingest -> transform ->
+write-back with a periodic compaction), runs it under IncProf, and lets
+phase discovery find the structure — demonstrating what a user would do
+to evaluate instrumentation sites for an app of their own before touching
+its source.
+
+Run:  python examples/custom_app.py
+"""
+
+from repro import analyze_snapshots
+from repro.apps.base import AppModel, chunked_work, leaf
+from repro.core.model import InstType, Site
+from repro.core.report import render_full_report
+from repro.incprof.session import Session, SessionConfig
+from repro.simulate.engine import SimFunction
+
+parse_record = leaf("parse_record")
+hash_join = leaf("hash_join")
+
+
+def _ingest(ctx) -> None:
+    # 40 seconds of high-rate record parsing.
+    for _ in range(40):
+        ctx.call_batch(parse_record, 2_000_000, ctx.rng.uniform(0.9, 1.05))
+
+
+def _transform(ctx) -> None:
+    # One long call: joins proceed in waves (loop-instrumentable).
+    for _ in range(70):
+        ctx.call_batch(hash_join, 400_000, ctx.rng.uniform(0.55, 0.7))
+        ctx.work(ctx.rng.uniform(0.25, 0.35))
+        ctx.loop_tick()
+
+
+def _writeback(ctx) -> None:
+    chunked_work(ctx, total=30.0, chunk=0.4)
+    ctx.idle(0.5)
+
+
+def _compact(ctx) -> None:
+    chunked_work(ctx, total=3.0, chunk=0.2)
+
+
+ingest = SimFunction("ingest", _ingest)
+transform = SimFunction("transform", _transform)
+writeback = SimFunction("write_back", _writeback)
+compact = SimFunction("compact_segments", _compact)
+
+
+class PipelineApp(AppModel):
+    """A synthetic ETL-style pipeline with a periodic compaction."""
+
+    name = "pipeline"
+    default_ranks = 1
+    default_nodes = 1
+
+    def build_main(self, scale: float = 1.0):
+        def _main(ctx):
+            ctx.call(ingest)
+            ctx.call(transform)
+            ctx.call(compact)
+            ctx.call(writeback)
+        return SimFunction("main", _main)
+
+    @property
+    def manual_sites(self):
+        return (Site("ingest", InstType.BODY), Site("transform", InstType.LOOP))
+
+
+def main() -> None:
+    app = PipelineApp()
+    result = Session(app, SessionConfig(ranks=1)).run()
+    analysis = analyze_snapshots(result.samples(0))
+    print(render_full_report(analysis, app_name="pipeline",
+                             manual_sites=app.manual_sites))
+
+    print("\nInterpretation:")
+    for selected in analysis.sites():
+        kind = ("wrap the function body" if selected.inst_type is InstType.BODY
+                else "instrument a loop inside the function")
+        print(f"  phase {selected.phase_id}: {kind} of {selected.function!r}")
+
+
+if __name__ == "__main__":
+    main()

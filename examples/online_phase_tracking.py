@@ -1,0 +1,59 @@
+"""Deployment-style online phase tracking.
+
+The paper's production scenario end to end: discovery runs *once*
+offline; afterwards, deployed runs stream their incremental profile
+dumps and are classified live against the trained phase model — with
+novel behaviour (here: a run whose input triggers an unseen computation)
+flagged the moment it appears.
+
+Run:  python examples/online_phase_tracking.py
+"""
+
+from repro import analyze_snapshots, Session, SessionConfig
+from repro.apps.synthetic import PhaseSpec, Synthetic
+from repro.core.online import OnlinePhaseTracker
+from repro.core.timeline import phase_strip, render_timeline
+
+
+def main() -> None:
+    app = Synthetic()
+
+    # ---- offline: one profiled run, phases discovered ----
+    train = Session(app, SessionConfig(ranks=1, seed=111)).run()
+    analysis = analyze_snapshots(train.samples(0))
+    print(render_timeline(analysis, width=90))
+    tracker = OnlinePhaseTracker.from_analysis(analysis)
+
+    # ---- deployment run 1: same workload, new seed ----
+    deploy = Session(app, SessionConfig(ranks=1, seed=2024)).run()
+    for snapshot in deploy.samples(0):
+        tracker.observe_snapshot(snapshot)
+    print("\ndeployment run (same workload):")
+    print("  " + phase_strip(tracker.phase_sequence(), width=90))
+    print(f"  novel intervals: {tracker.novel_fraction():.1%}, "
+          f"{len(tracker.transitions())} phase transitions")
+
+    # ---- deployment run 2: a misbehaving run with an unseen stage ----
+    anomalous_script = list(app.ground_truth_phases())
+    anomalous_script.insert(
+        2, PhaseSpec("rogue", 15.0, (("garbage_collect", 0.7, 3.0),))
+    )
+    rogue_app = Synthetic(tuple(anomalous_script))
+    tracker2 = OnlinePhaseTracker.from_analysis(analysis)
+    rogue = Session(rogue_app, SessionConfig(ranks=1, seed=7)).run()
+    for snapshot in rogue.samples(0):
+        tracker2.observe_snapshot(snapshot)
+    sequence = tracker2.phase_sequence()
+    print("\ndeployment run with an unseen mid-run stage:")
+    print("  " + phase_strip(sequence, width=90))
+    print(f"  novel intervals: {tracker2.novel_fraction():.1%} "
+          "(the '!' stretch is the rogue stage)")
+
+    first_novel = next((t.index for t in tracker2.history if t.is_novel), None)
+    if first_novel is not None:
+        print(f"  first alert at interval {first_novel} "
+              f"(~{first_novel}s into the run)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""Regenerate the paper's evaluation tables.
+
+Runs the full methodology (collect -> analyze -> instrument -> measure
+overheads) for all five applications and prints Table I plus each app's
+instrumented-functions table next to the paper's published numbers.
+
+Run:  python examples/paper_tables.py            (full paper-scale runs)
+      python examples/paper_tables.py --scale .3 (faster)
+"""
+
+import argparse
+
+from repro.apps import app_names
+from repro.eval.experiments import run_experiment
+from repro.eval.tables import (
+    app_sites_table,
+    comparison_table,
+    paper_sites_table,
+    table1,
+    table1_comparison,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--app", choices=app_names(), default=None,
+                        help="restrict to one application")
+    args = parser.parse_args()
+
+    names = [args.app] if args.app else app_names()
+    results = {name: run_experiment(name, scale=args.scale) for name in names}
+
+    print(table1(results).render())
+    print()
+    print(table1_comparison(results).render())
+    for name, result in results.items():
+        print()
+        print(app_sites_table(result).render())
+        print()
+        print(paper_sites_table(name).render())
+        print()
+        print(comparison_table(result).render())
+
+
+if __name__ == "__main__":
+    main()

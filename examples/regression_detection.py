@@ -1,0 +1,67 @@
+"""Detecting a performance regression from heartbeat history.
+
+The paper's production vision (Section III): "as a history of an
+application is built up this data can be used to identify when the
+application is running poorly and when it is running well."  This
+example builds that loop end to end:
+
+1. discover LAMMPS's phases and instrument the discovered sites;
+2. record a *baseline* heartbeat run;
+3. record a *degraded* run — the same workload on a "slow node"
+   (modeled as a 25 % stretch of all attributed work, e.g. thermal
+   throttling or a noisy neighbour);
+4. compare the two histories and flag the regression.
+
+Run:  python examples/regression_detection.py
+"""
+
+from repro import analyze_snapshots, Session, SessionConfig
+from repro.apps import get_app
+from repro.heartbeat.analysis import series_from_records
+from repro.heartbeat.compare import compare_series
+from repro.heartbeat.instrument import bindings_from_sites
+from repro.simulate.overhead import CostModel
+
+
+def heartbeat_run(app, bindings, scale, seed, slow_factor=0.0):
+    """One production run; slow_factor stretches every unit of work."""
+    cost = CostModel(per_call=0.0, sampling_fraction=slow_factor,
+                     per_dump=0.0, per_heartbeat_event=0.0)
+    config = SessionConfig(ranks=1, scale=scale, seed=seed,
+                           collect_profiles=False, heartbeat_sites=bindings,
+                           charge_costs=slow_factor > 0.0, cost_model=cost)
+    result = Session(app, config).run()
+    labels = {b.hb_id: f"{b.function} ({b.inst_type.value})" for b in bindings}
+    return series_from_records(result.heartbeat_records(0), interval=1.0,
+                               labels=labels)
+
+
+def main() -> None:
+    app = get_app("lammps")
+    scale = 0.4
+
+    # Phase discovery once, instrumentation reused across all runs.
+    collect = Session(app, SessionConfig(ranks=1, scale=scale)).run()
+    analysis = analyze_snapshots(collect.samples(0))
+    bindings = bindings_from_sites([s.site for s in analysis.sites()])
+    print(f"instrumenting {len(bindings)} discovered sites\n")
+
+    baseline = heartbeat_run(app, bindings, scale, seed=1)
+    healthy = heartbeat_run(app, bindings, scale, seed=2)
+    degraded = heartbeat_run(app, bindings, scale, seed=3, slow_factor=0.25)
+
+    print("healthy run vs baseline:")
+    report = compare_series(baseline, healthy)
+    print(report.to_table().render())
+    print(f"verdict: {'healthy' if report.is_healthy() else 'REGRESSED'}\n")
+
+    print("degraded run (25% slow node) vs baseline:")
+    report = compare_series(baseline, degraded)
+    print(report.to_table().render())
+    regressions = report.regressions()
+    print(f"verdict: {len(regressions)} regressed heartbeat(s): "
+          + ", ".join(d.label for d in regressions))
+
+
+if __name__ == "__main__":
+    main()

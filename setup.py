@@ -1,0 +1,11 @@
+"""Legacy shim so editable installs work without the ``wheel`` package.
+
+The offline environment ships setuptools 65 without ``wheel``; PEP-517
+editable installs need ``bdist_wheel``, so ``pip install -e .`` falls back
+to this file via ``--no-use-pep517``.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

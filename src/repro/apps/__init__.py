@@ -1,0 +1,22 @@
+"""Workload models of the paper's five evaluation applications.
+
+Each app provides:
+
+- a **simulated program** — a call-tree workload model with the real
+  application's function names, nesting, call-count regimes and phase
+  sequencing, with per-function costs calibrated so a full-scale run
+  matches the paper's runtime and per-function time shares (Tables I-VI);
+- the paper's **manual instrumentation sites** for that app;
+- a **live main** — genuine NumPy kernels with the same function names,
+  runnable under the real tracing profiler (live mode).
+
+Use :func:`get_app` / :func:`app_names` to access the registry.
+"""
+
+from repro.apps.base import AppModel, LiveRun
+from repro.apps.registry import get_app, app_names, paper_app_names, register_app
+
+# Importing the app modules registers them.
+from repro.apps import graph500, minife, miniamr, lammps, gadget2, synthetic  # noqa: F401
+
+__all__ = ["AppModel", "LiveRun", "get_app", "app_names", "paper_app_names", "register_app"]

@@ -1,0 +1,113 @@
+"""Base class for workload applications."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.model import Site
+from repro.simulate.engine import SimFunction
+from repro.simulate.noise import NoiseModel
+from repro.util.errors import AppError
+
+
+@dataclass
+class LiveRun:
+    """Description of an app's live (real-computation) entry point.
+
+    ``main(scale)`` runs genuine Python/NumPy kernels; ``function_names``
+    are the qualnames the tracing profiler should keep.
+    """
+
+    main: Callable[[float], object]
+    function_names: Tuple[str, ...]
+
+
+class AppModel(abc.ABC):
+    """A modeled HPC application.
+
+    Subclasses define the simulated program (:meth:`build_main`), the
+    paper's manual instrumentation sites, and optionally a live entry
+    point.  ``scale`` linearly shrinks/extends the run (iteration counts),
+    with ``scale=1.0`` reproducing the paper's run length.
+    """
+
+    #: Registry key and display name.
+    name: str = ""
+    #: Paper run configuration (Table I).
+    default_ranks: int = 16
+    default_nodes: int = 2
+    #: Run-to-run measurement noise; ``systematic_bias`` on the NoiseModel
+    #: is *not* used here — per-build biases live below.
+    noise = NoiseModel(sigma=0.008)
+    #: Systematic runtime factor of the ``-pg`` build relative to the plain
+    #: build (MiniFE's consistently *negative* overhead at -O3).
+    incprof_build_bias: float = 0.0
+    #: Systematic runtime factor of the heartbeat build (LAMMPS's AppEKG
+    #: prototype artifact).
+    heartbeat_build_bias: float = 0.0
+
+    def __init__(self) -> None:
+        if not self.name:
+            raise AppError(f"{type(self).__name__} must define a name")
+
+    # ------------------------------------------------------------------
+    # simulated program
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def build_main(self, scale: float = 1.0) -> SimFunction:
+        """Build the root :class:`SimFunction` of the simulated program."""
+
+    @property
+    @abc.abstractmethod
+    def manual_sites(self) -> Sequence[Site]:
+        """The paper's hand-chosen instrumentation sites for this app."""
+
+    # ------------------------------------------------------------------
+    # live program (optional)
+    # ------------------------------------------------------------------
+    def live_run(self) -> Optional[LiveRun]:
+        """Real-computation entry point, or None if not provided."""
+        return None
+
+    # ------------------------------------------------------------------
+    # helpers for subclasses
+    # ------------------------------------------------------------------
+    @staticmethod
+    def jitter(rng: np.random.Generator, base: float, sigma: float = 0.04) -> float:
+        """A jittered duration: ``base * N(1, sigma)``, floored near zero."""
+        return max(1e-6, base * float(rng.normal(1.0, sigma)))
+
+    def describe(self) -> Dict[str, object]:
+        """Metadata summary used by the CLI and docs."""
+        return {
+            "name": self.name,
+            "default_ranks": self.default_ranks,
+            "default_nodes": self.default_nodes,
+            "manual_sites": [str(s) for s in self.manual_sites],
+            "has_live_mode": self.live_run() is not None,
+        }
+
+
+def chunked_work(ctx, total: float, chunk: float, tick: bool = True) -> None:
+    """Execute ``total`` seconds of self-time in loop-iteration chunks.
+
+    Long-running functions (the *loop*-type instrumentation targets) are
+    modeled as iterations of roughly ``chunk`` seconds, each ending with a
+    loop-tick so loop heartbeats can attach.
+    """
+    remaining = float(total)
+    while remaining > 0:
+        step = min(chunk, remaining)
+        ctx.work(step)
+        if tick:
+            ctx.loop_tick()
+        remaining -= step
+
+
+def leaf(name: str) -> SimFunction:
+    """A bodyless leaf function (useful with ``ctx.call_batch``)."""
+    return SimFunction(name=name)

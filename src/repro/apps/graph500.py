@@ -1,0 +1,240 @@
+"""Graph500 (mpi_simple, v2.1.4) workload model.
+
+The benchmark builds a large Kronecker graph, then alternates
+breadth-first searches with validation of each search result.  The
+paper's run: 1 rank, 188 s uninstrumented, 4 discovered phases
+(Table II): ``validate_bfs_result`` (loop), ``run_bfs`` (body and loop —
+the clustering separates intervals where a search *begins* from intervals
+where one is still running), and ``make_one_edge`` (body) for the
+edge-generation phase.
+
+Calibration notes (full scale):
+
+- edge generation ~20 s of ``make_one_edge`` self-time across ~3.7e8
+  batched calls — the mcount cost of that call volume is what drives the
+  app's ~10 % IncProf overhead;
+- ``generate_kronecker_range`` and ``make_graph_data_structure`` keep
+  (nearly) no self-time of their own, which is why discovery surfaces the
+  lower-level ``make_one_edge`` instead of the two manual init sites;
+- searches are bimodal (short ~0.4 s / long ~1.6 s) so that intervals
+  fully inside a long search (self-time, zero calls) form the *loop*
+  cluster the paper reports.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.apps.base import AppModel, LiveRun, chunked_work, leaf
+from repro.apps.registry import register_app
+from repro.core.model import InstType, Site
+from repro.simulate.engine import SimFunction
+from repro.simulate.noise import NoiseModel
+
+# ----------------------------------------------------------------------
+# simulated program
+# ----------------------------------------------------------------------
+make_one_edge = leaf("make_one_edge")
+bitmap_set = leaf("bitmap_set")  # BFS utility: calls only, no sampled time
+
+EDGE_GEN_BLOCKS = 20
+EDGES_PER_BLOCK = 18_500_000
+BFS_UTILITY_CALLS = 500_000
+
+
+def _generate_kronecker_range(ctx, scale: float) -> None:
+    blocks = max(1, round(EDGE_GEN_BLOCKS * scale))
+    for _ in range(blocks):
+        ctx.call_batch(make_one_edge, EDGES_PER_BLOCK, ctx.rng.uniform(0.92, 1.08))
+
+
+def _make_graph_data_structure(ctx, scale: float) -> None:
+    chunked_work(ctx, total=AppModel.jitter(ctx.rng, 1.05), chunk=0.1)
+
+
+def _run_bfs(ctx, scale: float) -> None:
+    # Bimodal search durations: some roots reach far into the graph.
+    if ctx.rng.random() < 0.5:
+        duration = AppModel.jitter(ctx.rng, 1.75, 0.08)
+    else:
+        duration = AppModel.jitter(ctx.rng, 0.4, 0.10)
+    ctx.call_batch(bitmap_set, BFS_UTILITY_CALLS, 0.0)
+    chunked_work(ctx, total=duration, chunk=0.05)  # level-synchronous steps
+
+
+def _validate_bfs_result(ctx, scale: float) -> None:
+    chunked_work(ctx, total=AppModel.jitter(ctx.rng, 1.8, 0.05), chunk=0.09)
+
+
+generate_kronecker_range = SimFunction("generate_kronecker_range", _generate_kronecker_range)
+make_graph_data_structure = SimFunction("make_graph_data_structure", _make_graph_data_structure)
+run_bfs = SimFunction("run_bfs", _run_bfs)
+validate_bfs_result = SimFunction("validate_bfs_result", _validate_bfs_result)
+
+N_SEARCHES = 58
+
+
+def _main(ctx, scale: float = 1.0) -> None:
+    ctx.call(generate_kronecker_range, scale)
+    ctx.call(make_graph_data_structure, scale)
+    for _ in range(max(1, round(N_SEARCHES * scale))):
+        ctx.call(run_bfs, scale)
+        ctx.call(validate_bfs_result, scale)
+
+
+# ----------------------------------------------------------------------
+# live kernels (real computation, same function names)
+# ----------------------------------------------------------------------
+def live_make_one_edge(rng: np.random.Generator, scale_exp: int,
+                       a: float, b: float, c: float) -> Tuple[int, int]:
+    """One R-MAT edge by recursive quadrant descent."""
+    u = v = 0
+    for _ in range(scale_exp):
+        r = rng.random()
+        u <<= 1
+        v <<= 1
+        if r < a:
+            pass
+        elif r < a + b:
+            v |= 1
+        elif r < a + b + c:
+            u |= 1
+        else:
+            u |= 1
+            v |= 1
+    return u, v
+
+
+def live_generate_kronecker_range(scale_exp: int, edgefactor: int,
+                                  seed: int = 1) -> np.ndarray:
+    """Generate the R-MAT edge list (Graph500's Kronecker generator)."""
+    rng = np.random.default_rng(seed)
+    n_edges = edgefactor * (1 << scale_exp)
+    edges = np.empty((n_edges, 2), dtype=np.int64)
+    for i in range(n_edges):
+        edges[i] = live_make_one_edge(rng, scale_exp, 0.57, 0.19, 0.19)
+    return edges
+
+
+def live_make_graph_data_structure(edges: np.ndarray, n_vertices: int):
+    """Build a CSR adjacency structure (both directions)."""
+    src = np.concatenate([edges[:, 0], edges[:, 1]])
+    dst = np.concatenate([edges[:, 1], edges[:, 0]])
+    keep = src != dst
+    src, dst = src[keep], dst[keep]
+    order = np.argsort(src, kind="stable")
+    src, dst = src[order], dst[order]
+    indptr = np.zeros(n_vertices + 1, dtype=np.int64)
+    np.add.at(indptr, src + 1, 1)
+    np.cumsum(indptr, out=indptr)
+    return indptr, dst
+
+
+def live_run_bfs(indptr: np.ndarray, adjacency: np.ndarray, root: int) -> np.ndarray:
+    """Level-synchronous BFS; returns the parent array (-1 = unreached)."""
+    n = indptr.shape[0] - 1
+    parent = np.full(n, -1, dtype=np.int64)
+    parent[root] = root
+    frontier = np.array([root], dtype=np.int64)
+    while frontier.size:
+        nexts = []
+        for u in frontier:
+            neigh = adjacency[indptr[u] : indptr[u + 1]]
+            fresh = neigh[parent[neigh] == -1]
+            if fresh.size:
+                parent[fresh] = u
+                nexts.append(np.unique(fresh))
+        frontier = np.concatenate(nexts) if nexts else np.empty(0, dtype=np.int64)
+    return parent
+
+
+def live_validate_bfs_result(indptr: np.ndarray, adjacency: np.ndarray,
+                             parent: np.ndarray, root: int) -> bool:
+    """Graph500-style validation: tree consistency and level sanity."""
+    n = parent.shape[0]
+    if parent[root] != root:
+        return False
+    # Compute levels by chasing parents (bounded by n hops).
+    level = np.full(n, -1, dtype=np.int64)
+    level[root] = 0
+    changed = True
+    hops = 0
+    while changed and hops <= n:
+        changed = False
+        hops += 1
+        reached = (level == -1) & (parent >= 0)
+        idx = np.nonzero(reached)[0]
+        ready = idx[level[parent[idx]] >= 0]
+        if ready.size:
+            level[ready] = level[parent[ready]] + 1
+            changed = True
+    reached = parent >= 0
+    if np.any(reached & (level < 0)):
+        return False  # a cycle in the claimed tree
+    # Every tree edge (v, parent[v]) must exist and span exactly one level.
+    verts = np.nonzero(reached)[0]
+    for v in verts:
+        if v == root:
+            continue
+        p = parent[v]
+        if level[v] != level[p] + 1:
+            return False
+        neigh = adjacency[indptr[v] : indptr[v + 1]]
+        if not np.any(neigh == p):
+            return False
+    return True
+
+
+def live_main(scale: float = 1.0):
+    """Real Graph500-shaped run: generate, build, then search+validate."""
+    scale_exp = max(8, int(8 + 3 * scale))
+    edgefactor = 8
+    n_searches = max(2, int(8 * scale))
+    edges = live_generate_kronecker_range(scale_exp, edgefactor)
+    n = 1 << scale_exp
+    indptr, adjacency = live_make_graph_data_structure(edges, n)
+    rng = np.random.default_rng(7)
+    degrees = np.diff(indptr)
+    roots = rng.choice(np.nonzero(degrees > 0)[0], size=n_searches)
+    ok = True
+    for root in roots:
+        parent = live_run_bfs(indptr, adjacency, int(root))
+        ok = live_validate_bfs_result(indptr, adjacency, parent, int(root)) and ok
+    return ok
+
+
+# ----------------------------------------------------------------------
+@register_app
+class Graph500(AppModel):
+    """The Graph500 search benchmark (paper Section VI-A)."""
+
+    name = "graph500"
+    default_ranks = 1
+    default_nodes = 1
+    noise = NoiseModel(sigma=0.008)
+
+    def build_main(self, scale: float = 1.0) -> SimFunction:
+        return SimFunction("main", lambda ctx: _main(ctx, scale))
+
+    @property
+    def manual_sites(self) -> Sequence[Site]:
+        return (
+            Site("make_graph_data_structure", InstType.BODY),
+            Site("generate_kronecker_range", InstType.BODY),
+            Site("run_bfs", InstType.BODY),
+            Site("validate_bfs_result", InstType.BODY),
+        )
+
+    def live_run(self) -> Optional[LiveRun]:
+        return LiveRun(
+            main=live_main,
+            function_names=(
+                "live_generate_kronecker_range",
+                "live_make_one_edge",
+                "live_make_graph_data_structure",
+                "live_run_bfs",
+                "live_validate_bfs_result",
+            ),
+        )

@@ -1,0 +1,280 @@
+"""MiniAMR (adaptive mesh refinement proxy) workload model.
+
+MiniAMR applies a stencil over a block-structured mesh that refines and
+coarsens as objects move through it.  The paper's run: 16 ranks / 2
+nodes, 459 s, and only **2** discovered phases (Table IV): the dominant
+"normal computation" phase covered entirely by ``check_sum`` (body), and
+a deviation phase covering the mid-run mesh adaptation (``allocate``,
+loop) and the periodic large communication steps (``pack_block`` /
+``unpack_block``, body).
+
+Structure (full scale):
+
+- ~385 normal steps (~1 s each): ``stencil_calc`` (many calls) +
+  ``check_sum`` (one call per step — the low call count is why discovery
+  prefers it over the manual ``stencil_calc`` site) + light per-face
+  communication below the sampling floor;
+- every ~32 steps, a large communication epoch: a pack stage, a barrier
+  wait, and an unpack stage (idle-padded so boundary intervals cluster
+  with the normal phase, as the paper's plots show);
+- one mid-run mesh adaptation: a single long ``allocate`` call with
+  deliberately varied per-interval intensity ("the large and varied
+  deviation in the middle is a mesh adaptation").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.apps.base import AppModel, LiveRun, chunked_work, leaf
+from repro.apps.registry import register_app
+from repro.core.model import InstType, Site
+from repro.simulate.engine import SimFunction
+from repro.simulate.noise import NoiseModel
+
+# ----------------------------------------------------------------------
+# simulated program
+# ----------------------------------------------------------------------
+stencil_calc = leaf("stencil_calc")
+pack_block = leaf("pack_block")
+unpack_block = leaf("unpack_block")
+
+NORMAL_STEPS = 385
+COMM_EVERY = 75
+FACE_COPIES_PER_STEP = 80_000
+COMM_EPOCH_COPIES = 140_000
+
+
+def _check_sum(ctx) -> None:
+    # "not a simple mathematical checksum but more involved matrix
+    # computations" — a real reduction over the mesh each step.
+    ctx.work(AppModel.jitter(ctx.rng, 0.36, 0.025))
+
+
+check_sum = SimFunction("check_sum", lambda ctx: _check_sum(ctx))
+
+
+def _comm(ctx, heavy: bool) -> None:
+    if heavy:
+        # A large communication epoch: with 16 ranks the exchange is
+        # dominated by network/barrier wait the sampler cannot attribute;
+        # pack/unpack CPU bursts are short.  Unpacking continues after
+        # packing has finished (messages drain), giving unpack-only
+        # intervals at the tail — the paper's third phase-1 site.
+        ctx.idle(AppModel.jitter(ctx.rng, 1.4, 0.1))
+        for _ in range(5):
+            ctx.call_batch(pack_block, COMM_EPOCH_COPIES, AppModel.jitter(ctx.rng, 0.21, 0.04))
+            ctx.idle(AppModel.jitter(ctx.rng, 0.55, 0.12))
+        for _ in range(5):
+            ctx.call_batch(unpack_block, COMM_EPOCH_COPIES, AppModel.jitter(ctx.rng, 0.2, 0.04))
+            ctx.idle(AppModel.jitter(ctx.rng, 0.55, 0.12))
+        ctx.idle(AppModel.jitter(ctx.rng, 1.3, 0.1))
+    else:
+        ctx.call_batch(pack_block, FACE_COPIES_PER_STEP, 0.004)
+        ctx.idle(0.02)
+        ctx.call_batch(unpack_block, FACE_COPIES_PER_STEP, 0.004)
+
+
+comm = SimFunction("comm", _comm)
+
+
+def _allocate(ctx, total: float) -> None:
+    # The mesh adaptation: one long-lived call, mostly waiting on block
+    # redistribution, with short splitting bursts of varying intensity
+    # ("the large and varied deviation in the middle").
+    remaining = total
+    while remaining > 0:
+        burst = min(remaining, float(ctx.rng.uniform(0.18, 0.24)))
+        ctx.work(burst)
+        ctx.loop_tick()
+        ctx.idle(float(ctx.rng.uniform(0.5, 0.9)))
+        remaining -= burst
+
+
+allocate = SimFunction("allocate", _allocate)
+
+
+def _step(ctx) -> None:
+    # Steps run just under the 1 s collection interval, so every interval
+    # of the normal phase contains at least one check_sum call (making it
+    # a body site, as the paper found).
+    ctx.call_batch(stencil_calc, 48, AppModel.jitter(ctx.rng, 0.585, 0.025))
+    ctx.call(check_sum)
+    ctx.call(comm, False)
+    ctx.idle(0.004)
+
+
+def _main(ctx, scale: float = 1.0) -> None:
+    steps = max(4, round(NORMAL_STEPS * scale))
+    refine_at = steps // 2
+    for step in range(steps):
+        _step(ctx)
+        if step == refine_at:
+            ctx.call(allocate, 5.0 * max(scale, 0.25))
+        elif step % COMM_EVERY == COMM_EVERY - 1:
+            ctx.call(comm, True)
+
+
+# ----------------------------------------------------------------------
+# live kernels: a real block-structured AMR mini-app
+# ----------------------------------------------------------------------
+Block = Tuple[int, int, int, int]  # (level, i, j, k)
+
+
+def live_stencil_calc(array: np.ndarray) -> np.ndarray:
+    """7-point stencil sweep over one block's interior."""
+    out = array.copy()
+    out[1:-1, 1:-1, 1:-1] = (
+        array[1:-1, 1:-1, 1:-1]
+        + array[:-2, 1:-1, 1:-1]
+        + array[2:, 1:-1, 1:-1]
+        + array[1:-1, :-2, 1:-1]
+        + array[1:-1, 2:, 1:-1]
+        + array[1:-1, 1:-1, :-2]
+        + array[1:-1, 1:-1, 2:]
+    ) / 7.0
+    return out
+
+
+def live_check_sum(blocks: Dict[Block, np.ndarray]) -> float:
+    return float(sum(b.sum() for b in blocks.values()))
+
+
+def live_pack_block(array: np.ndarray) -> np.ndarray:
+    """Serialize the six boundary faces into one message buffer."""
+    faces = [array[0], array[-1], array[:, 0], array[:, -1], array[:, :, 0], array[:, :, -1]]
+    return np.concatenate([f.ravel() for f in faces])
+
+
+def live_unpack_block(array: np.ndarray, buffer: np.ndarray) -> None:
+    """Scatter a packed buffer back onto the faces (self-exchange)."""
+    shapes = [array[0], array[-1], array[:, 0], array[:, -1], array[:, :, 0], array[:, :, -1]]
+    offset = 0
+    views = [
+        (slice(0, 1), slice(None), slice(None)),
+        (slice(-1, None), slice(None), slice(None)),
+        (slice(None), slice(0, 1), slice(None)),
+        (slice(None), slice(-1, None), slice(None)),
+        (slice(None), slice(None), slice(0, 1)),
+        (slice(None), slice(None), slice(-1, None)),
+    ]
+    for face, view in zip(shapes, views):
+        n = face.size
+        array[view] = buffer[offset : offset + n].reshape(array[view].shape)
+        offset += n
+
+
+def live_allocate(blocks: Dict[Block, np.ndarray], to_refine: Block) -> None:
+    """Refine one block into eight children at the next level."""
+    parent = blocks.pop(to_refine)
+    level, i, j, k = to_refine
+    n = parent.shape[0]
+    for di in (0, 1):
+        for dj in (0, 1):
+            for dk in (0, 1):
+                child = np.repeat(
+                    np.repeat(
+                        np.repeat(
+                            parent[
+                                di * n // 2 : (di + 1) * n // 2,
+                                dj * n // 2 : (dj + 1) * n // 2,
+                                dk * n // 2 : (dk + 1) * n // 2,
+                            ],
+                            2, axis=0,
+                        ),
+                        2, axis=1,
+                    ),
+                    2, axis=2,
+                )
+                blocks[(level + 1, 2 * i + di, 2 * j + dj, 2 * k + dk)] = child
+
+
+def live_coarsen(blocks: Dict[Block, np.ndarray], parent_key: Block) -> None:
+    """Coarsen eight sibling blocks back into their parent (2:1 average).
+
+    The inverse of :func:`live_allocate`: each child is block-averaged
+    down by a factor of two per axis and the eight octants reassemble the
+    parent block.  Raises ``KeyError`` if a sibling is missing.
+    """
+    level, i, j, k = parent_key
+    children = {}
+    for di in (0, 1):
+        for dj in (0, 1):
+            for dk in (0, 1):
+                key = (level + 1, 2 * i + di, 2 * j + dj, 2 * k + dk)
+                children[(di, dj, dk)] = blocks.pop(key)
+    n = next(iter(children.values())).shape[0]
+    parent = np.empty((n, n, n))
+    for (di, dj, dk), child in children.items():
+        # A 2x2x2 block average halves the child's resolution.
+        down = child.reshape(n // 2, 2, n // 2, 2, n // 2, 2).mean(axis=(1, 3, 5))
+        parent[
+            di * n // 2 : (di + 1) * n // 2,
+            dj * n // 2 : (dj + 1) * n // 2,
+            dk * n // 2 : (dk + 1) * n // 2,
+        ] = down
+    blocks[parent_key] = parent
+
+
+def live_main(scale: float = 1.0):
+    """Real AMR run: stencil + checksum + comm, with a refinement
+    mid-run and the coarsening that undoes it near the end (the mesh
+    "adaptively refines and coarsens as objects move through it")."""
+    n = 16
+    blocks: Dict[Block, np.ndarray] = {
+        (0, i, j, k): np.full((n, n, n), float(i + j + k + 1))
+        for i in range(2) for j in range(2) for k in range(2)
+    }
+    steps = max(6, int(24 * scale))
+    refined: Optional[Block] = None
+    sums = []
+    for step in range(steps):
+        for key in list(blocks):
+            blocks[key] = live_stencil_calc(blocks[key])
+        sums.append(live_check_sum(blocks))
+        for key in list(blocks):
+            buf = live_pack_block(blocks[key])
+            live_unpack_block(blocks[key], buf)
+        if step == steps // 3:
+            refined = max(blocks, key=lambda key: float(blocks[key].max()))
+            live_allocate(blocks, refined)
+        elif step == (2 * steps) // 3 and refined is not None:
+            live_coarsen(blocks, refined)
+            refined = None
+    return sums
+
+
+# ----------------------------------------------------------------------
+@register_app
+class MiniAMR(AppModel):
+    """The MiniAMR adaptive-mesh-refinement proxy (paper Section VI-C)."""
+
+    name = "miniamr"
+    default_ranks = 16
+    default_nodes = 2
+    noise = NoiseModel(sigma=0.006)
+
+    def build_main(self, scale: float = 1.0) -> SimFunction:
+        return SimFunction("main", lambda ctx: _main(ctx, scale))
+
+    @property
+    def manual_sites(self) -> Sequence[Site]:
+        return (
+            Site("check_sum", InstType.BODY),
+            Site("stencil_calc", InstType.BODY),
+            Site("comm", InstType.BODY),
+        )
+
+    def live_run(self) -> Optional[LiveRun]:
+        return LiveRun(
+            main=live_main,
+            function_names=(
+                "live_stencil_calc",
+                "live_check_sum",
+                "live_pack_block",
+                "live_unpack_block",
+                "live_allocate",
+            ),
+        )

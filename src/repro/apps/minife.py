@@ -1,0 +1,321 @@
+"""MiniFE (Mantevo implicit finite-element proxy) workload model.
+
+MiniFE's documented kernels: (1) generate the matrix/vector mesh
+structure, (2) assemble the mesh into sparse matrices (an element loop
+summing symmetric element matrices), (3) a conjugate-gradient solve, and
+(4) vector operations.  The paper's run: 16 ranks / 2 nodes, 617 s,
+5 discovered phases (Table III) and — at ``-O3`` — a consistently
+*negative* IncProf overhead (-6.2 %), which the authors attribute to
+compiler/instrumentation interaction; we model it as a systematic build
+bias.
+
+Calibration (full scale, seconds of per-function self-time):
+
+====================  ======  ==========================================
+generate_matrix_structure  4.5   one call, start of run (loop site)
+init_matrix              62.0   one long call (loop site)
+sum_in_symm_elem_matrix 120.0   batched from perform_element_loop (body)
+impose_dirichlet         27.0   one call (loop)
+make_local_matrix         4.0   one call (loop)
+cg_solve                400.0   one call; two operating regimes so the
+                                clustering splits it (paper phases 1 & 4):
+                                compute-dominated iterations, then
+                                vector-op/communication-heavy iterations
+                                where ``waxpby`` self-time appears
+====================  ======  ==========================================
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.apps.base import AppModel, LiveRun, chunked_work, leaf
+from repro.apps.registry import register_app
+from repro.core.model import InstType, Site
+from repro.simulate.engine import SimFunction
+from repro.simulate.noise import NoiseModel
+
+# ----------------------------------------------------------------------
+# simulated program
+# ----------------------------------------------------------------------
+sum_in_symm_elem_matrix = leaf("sum_in_symm_elem_matrix")
+waxpby = leaf("waxpby")
+dot_product = leaf("dot")
+
+ELEMENTS_PER_CHUNK = 400_000
+
+
+def _generate_matrix_structure(ctx) -> None:
+    # Structure generation is allocation-heavy: page faults and kernel
+    # time are invisible to the sampler (unattributed), diluting self-time
+    # the same way init_matrix's is — which is why the two cluster
+    # together in the paper's phase 2.
+    for _ in range(5):
+        ctx.work(AppModel.jitter(ctx.rng, 0.78, 0.04))
+        ctx.loop_tick()
+        ctx.idle(AppModel.jitter(ctx.rng, 0.22, 0.10))
+
+
+def _init_matrix(ctx, scale: float) -> None:
+    # Memory-bound initialization: ~38% of wall time is page-fault /
+    # first-touch kernel time the PC sampler cannot attribute.
+    chunks = max(1, round(62 * scale))
+    for _ in range(chunks):
+        ctx.work(AppModel.jitter(ctx.rng, 0.62, 0.04))
+        ctx.loop_tick()
+        ctx.idle(AppModel.jitter(ctx.rng, 0.38, 0.08))
+
+
+def _perform_element_loop(ctx, scale: float) -> None:
+    # Assembly: many tiny element-matrix summations; the outer loop itself
+    # has no sampled self-time, which is why discovery selects the callee.
+    chunks = max(1, round(120 * scale))
+    for _ in range(chunks):
+        ctx.call_batch(sum_in_symm_elem_matrix, ELEMENTS_PER_CHUNK,
+                       ctx.rng.uniform(0.94, 1.06))
+        ctx.loop_tick()
+
+
+def _impose_dirichlet(ctx, scale: float) -> None:
+    chunked_work(ctx, total=AppModel.jitter(ctx.rng, 27.0 * scale, 0.03), chunk=0.3)
+
+
+def _make_local_matrix(ctx) -> None:
+    # Local-operator setup interleaves vector preparation (waxpby shows
+    # some self-time here), so these intervals sit nearer the solver's
+    # vector-op regime — the paper's phase 4 pairs make_local_matrix with
+    # the second cg_solve cluster.
+    for _ in range(9):
+        ctx.work(AppModel.jitter(ctx.rng, 0.55, 0.05))
+        ctx.loop_tick()
+        ctx.call_batch(waxpby, 40, 0.3)
+        ctx.idle(0.12)
+
+
+def _cg_solve(ctx, scale: float) -> None:
+    # Regime A: compute-dominated CG iterations (paper phase 1).
+    for _ in range(max(1, round(1080 * scale))):
+        ctx.work(AppModel.jitter(ctx.rng, 0.2325, 0.05))
+        ctx.call_batch(waxpby, 4, 0.0025)
+        ctx.call_batch(dot_product, 200, 0.0)
+        ctx.loop_tick()
+    # Regime B: vector-op and halo-exchange heavy iterations (phase 4):
+    # waxpby self-time becomes visible, dot reductions block on MPI.
+    for _ in range(max(1, round(500 * scale))):
+        ctx.work(AppModel.jitter(ctx.rng, 0.13, 0.05))
+        ctx.call_batch(waxpby, 4, 0.09)
+        ctx.call_batch(dot_product, 200, 0.0075)
+        ctx.idle(0.0225)
+        ctx.loop_tick()
+
+
+generate_matrix_structure = SimFunction("generate_matrix_structure", lambda ctx: _generate_matrix_structure(ctx))
+init_matrix = SimFunction("init_matrix", _init_matrix)
+perform_element_loop = SimFunction("perform_element_loop", _perform_element_loop)
+impose_dirichlet = SimFunction("impose_dirichlet", _impose_dirichlet)
+make_local_matrix = SimFunction("make_local_matrix", lambda ctx: _make_local_matrix(ctx))
+cg_solve = SimFunction("cg_solve", _cg_solve)
+
+
+def _main(ctx, scale: float = 1.0) -> None:
+    ctx.call(generate_matrix_structure)
+    ctx.call(init_matrix, scale)
+    ctx.call(perform_element_loop, scale)
+    ctx.call(impose_dirichlet, scale)
+    ctx.call(make_local_matrix)
+    ctx.call(cg_solve, scale)
+
+
+# ----------------------------------------------------------------------
+# live kernels: a real finite-element-flavoured CG solve
+# ----------------------------------------------------------------------
+def live_generate_matrix_structure(nx: int, ny: int, nz: int) -> Tuple[np.ndarray, np.ndarray]:
+    """7-point stencil sparsity structure on an nx*ny*nz brick."""
+    n = nx * ny * nz
+    idx = np.arange(n)
+    x = idx % nx
+    y = (idx // nx) % ny
+    z = idx // (nx * ny)
+    rows, cols = [idx], [idx]
+    for dx, dy, dz in ((1, 0, 0), (-1, 0, 0), (0, 1, 0), (0, -1, 0), (0, 0, 1), (0, 0, -1)):
+        nx_, ny_, nz_ = x + dx, y + dy, z + dz
+        ok = (0 <= nx_) & (nx_ < nx) & (0 <= ny_) & (ny_ < ny) & (0 <= nz_) & (nz_ < nz)
+        rows.append(idx[ok])
+        cols.append((nx_ + ny_ * nx + nz_ * nx * ny)[ok])
+    return np.concatenate(rows), np.concatenate(cols)
+
+
+def live_init_matrix(rows: np.ndarray, cols: np.ndarray, n: int):
+    """CSR arrays with zero values, plus the row pointer."""
+    order = np.lexsort((cols, rows))
+    rows, cols = rows[order], cols[order]
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.add.at(indptr, rows + 1, 1)
+    np.cumsum(indptr, out=indptr)
+    return indptr, cols, np.zeros(rows.shape[0])
+
+
+def live_sum_in_symm_elem_matrix(values: np.ndarray, indptr: np.ndarray,
+                                 cols: np.ndarray, row: int) -> None:
+    """Assemble one row: -1 off-diagonal, degree on the diagonal."""
+    lo, hi = indptr[row], indptr[row + 1]
+    span = cols[lo:hi]
+    contrib = np.where(span == row, float(hi - lo - 1), -1.0)
+    values[lo:hi] += contrib
+
+
+def live_perform_element_loop(indptr: np.ndarray, cols: np.ndarray,
+                              values: np.ndarray, n: int) -> None:
+    for row in range(n):
+        live_sum_in_symm_elem_matrix(values, indptr, cols, row)
+
+
+def live_impose_dirichlet(indptr: np.ndarray, cols: np.ndarray, values: np.ndarray,
+                          b: np.ndarray, boundary: np.ndarray) -> None:
+    """Pin boundary rows to identity and zero the RHS there."""
+    for row in boundary:
+        lo, hi = indptr[row], indptr[row + 1]
+        span = cols[lo:hi]
+        values[lo:hi] = np.where(span == row, 1.0, 0.0)
+        b[row] = 0.0
+
+
+def live_make_local_matrix(indptr, cols, values):
+    """Finalize the operator as a closure performing CSR matvec."""
+    def matvec(x: np.ndarray) -> np.ndarray:
+        products = values * x[cols]
+        out = np.add.reduceat(products, indptr[:-1])
+        out[indptr[:-1] == indptr[1:]] = 0.0
+        return out
+
+    return matvec
+
+
+def live_waxpby(alpha: float, x: np.ndarray, beta: float, y: np.ndarray) -> np.ndarray:
+    return alpha * x + beta * y
+
+
+def live_dot(x: np.ndarray, y: np.ndarray) -> float:
+    return float(x @ y)
+
+
+def live_cg_solve(matvec, b: np.ndarray, max_iter: int = 200, tol: float = 1e-8):
+    """Plain conjugate gradients using the waxpby/dot kernels."""
+    x = np.zeros_like(b)
+    r = b.copy()
+    p = r.copy()
+    rr = live_dot(r, r)
+    for iteration in range(max_iter):
+        if rr <= tol * tol:
+            break
+        ap = matvec(p)
+        alpha = rr / max(live_dot(p, ap), 1e-300)
+        x = live_waxpby(1.0, x, alpha, p)
+        r = live_waxpby(1.0, r, -alpha, ap)
+        rr_new = live_dot(r, r)
+        p = live_waxpby(1.0, r, rr_new / max(rr, 1e-300), p)
+        rr = rr_new
+    return x, iteration, np.sqrt(rr)
+
+
+def live_pcg_solve(matvec, b: np.ndarray, diag: np.ndarray,
+                   max_iter: int = 200, tol: float = 1e-8):
+    """Jacobi-preconditioned conjugate gradients.
+
+    MiniFE ships matrix-free Jacobi preconditioning as an option; the
+    preconditioner is a pointwise divide by the diagonal, and for the
+    assembled Laplacian it cuts the iteration count noticeably.
+    """
+    inv_diag = np.where(np.abs(diag) > 0, 1.0 / diag, 1.0)
+    x = np.zeros_like(b)
+    r = b.copy()
+    z = inv_diag * r
+    p = z.copy()
+    rz = live_dot(r, z)
+    residual_sq = live_dot(r, r)
+    for iteration in range(max_iter):
+        if residual_sq <= tol * tol:
+            break
+        ap = matvec(p)
+        alpha = rz / max(live_dot(p, ap), 1e-300)
+        x = live_waxpby(1.0, x, alpha, p)
+        r = live_waxpby(1.0, r, -alpha, ap)
+        z = inv_diag * r
+        rz_new = live_dot(r, z)
+        p = live_waxpby(1.0, z, rz_new / max(rz, 1e-300), p)
+        rz = rz_new
+        residual_sq = live_dot(r, r)
+    return x, iteration, np.sqrt(residual_sq)
+
+
+def extract_diagonal(indptr: np.ndarray, cols: np.ndarray,
+                     values: np.ndarray, n: int) -> np.ndarray:
+    """The operator's diagonal, for Jacobi preconditioning."""
+    diag = np.zeros(n)
+    rows = np.repeat(np.arange(n), np.diff(indptr))
+    mask = cols == rows
+    np.add.at(diag, rows[mask], values[mask])
+    return diag
+
+
+def live_main(scale: float = 1.0):
+    """Real mini finite-element run: structure, assemble, pin, solve."""
+    side = max(6, int(10 * scale))
+    nx = ny = nz = side
+    n = nx * ny * nz
+    rows, cols_raw = live_generate_matrix_structure(nx, ny, nz)
+    indptr, cols, values = live_init_matrix(rows, cols_raw, n)
+    live_perform_element_loop(indptr, cols, values, n)
+    b = np.ones(n)
+    boundary = np.nonzero((np.arange(n) % nx == 0))[0]
+    live_impose_dirichlet(indptr, cols, values, b, boundary)
+    # Shift to make the pinned operator positive definite.
+    diag_mask = cols == np.repeat(np.arange(n), np.diff(indptr))
+    values[diag_mask] += 1.0
+    matvec = live_make_local_matrix(indptr, cols, values)
+    x, iters, residual = live_cg_solve(matvec, b, max_iter=50 * side)
+    return x, iters, residual
+
+
+# ----------------------------------------------------------------------
+@register_app
+class MiniFE(AppModel):
+    """The MiniFE implicit finite-element proxy (paper Section VI-B)."""
+
+    name = "minife"
+    default_ranks = 16
+    default_nodes = 2
+    noise = NoiseModel(sigma=0.008)
+    # The consistently negative -pg/-O3 overhead the paper reports.
+    incprof_build_bias = -0.076
+
+    def build_main(self, scale: float = 1.0) -> SimFunction:
+        return SimFunction("main", lambda ctx: _main(ctx, scale))
+
+    @property
+    def manual_sites(self) -> Sequence[Site]:
+        return (
+            Site("cg_solve", InstType.LOOP),
+            Site("perform_element_loop", InstType.LOOP),
+            Site("init_matrix", InstType.LOOP),
+            Site("impose_dirichlet", InstType.LOOP),
+            Site("make_local_matrix", InstType.LOOP),
+        )
+
+    def live_run(self) -> Optional[LiveRun]:
+        return LiveRun(
+            main=live_main,
+            function_names=(
+                "live_generate_matrix_structure",
+                "live_init_matrix",
+                "live_perform_element_loop",
+                "live_sum_in_symm_elem_matrix",
+                "live_impose_dirichlet",
+                "live_make_local_matrix",
+                "live_cg_solve",
+                "live_waxpby",
+                "live_dot",
+            ),
+        )

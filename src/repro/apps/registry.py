@@ -1,0 +1,43 @@
+"""The application registry."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from repro.apps.base import AppModel
+from repro.util.errors import AppError
+
+_REGISTRY: Dict[str, Type[AppModel]] = {}
+
+
+def register_app(cls: Type[AppModel]) -> Type[AppModel]:
+    """Class decorator registering an :class:`AppModel` by its name."""
+    if not cls.name:
+        raise AppError(f"{cls.__name__} has no name")
+    if cls.name in _REGISTRY:
+        raise AppError(f"duplicate app name {cls.name!r}")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def get_app(name: str) -> AppModel:
+    """Instantiate the registered app called ``name``."""
+    try:
+        return _REGISTRY[name]()
+    except KeyError:
+        raise AppError(f"unknown app {name!r}; known: {sorted(_REGISTRY)}") from None
+
+
+PAPER_APPS = ["graph500", "minife", "miniamr", "lammps", "gadget2"]
+
+
+def app_names() -> List[str]:
+    """Registered app names, the paper's five first."""
+    ordered = [n for n in PAPER_APPS if n in _REGISTRY]
+    ordered.extend(sorted(set(_REGISTRY) - set(ordered)))
+    return ordered
+
+
+def paper_app_names() -> List[str]:
+    """Only the paper's five evaluation applications, in table order."""
+    return [n for n in PAPER_APPS if n in _REGISTRY]

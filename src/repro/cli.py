@@ -1,0 +1,289 @@
+"""Command-line interface: ``incprof`` (or ``python -m repro``).
+
+Subcommands mirror the tool's workflow:
+
+- ``incprof run --app graph500 --out samples/`` — run a workload under
+  the collector and write per-interval gmon sample files;
+- ``incprof analyze samples/`` — detect phases and select sites from a
+  sample directory;
+- ``incprof report --app minife`` — run the full experiment in memory and
+  print the paper-style table;
+- ``incprof figure --app miniamr`` — print the heartbeat figure;
+- ``incprof table1`` — regenerate Table I across all apps;
+- ``incprof apps`` — list workloads.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.apps import get_app, paper_app_names
+from repro.core.pipeline import AnalysisConfig, analyze_snapshots
+from repro.core.report import render_full_report
+from repro.eval.experiments import run_experiment
+from repro.eval.figures import heartbeat_figure
+from repro.eval.tables import app_sites_table, comparison_table, table1, table1_comparison
+from repro.incprof.session import DEFAULT_SEED, Session, SessionConfig
+from repro.incprof.storage import SampleStore
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="workload scale (1.0 = paper-sized run)")
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED, help="experiment seed")
+    parser.add_argument("--interval", type=float, default=1.0,
+                        help="IncProf collection interval in seconds")
+
+
+def _cmd_apps(_args: argparse.Namespace) -> int:
+    for name in paper_app_names():
+        app = get_app(name)
+        info = app.describe()
+        live = "yes" if info["has_live_mode"] else "no"
+        print(f"{name:10s} ranks={info['default_ranks']:<3} live-mode={live} "
+              f"manual-sites={len(app.manual_sites)}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    app = get_app(args.app)
+    config = SessionConfig(
+        interval=args.interval,
+        ranks=args.ranks,
+        seed=args.seed,
+        scale=args.scale,
+        store_dir=args.out,
+    )
+    result = Session(app, config).run()
+    print(f"{args.app}: {len(result.per_rank)} rank(s), "
+          f"runtime {result.runtime:.1f}s, "
+          f"{len(result.samples(0))} samples/rank -> {args.out}")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    store = SampleStore(args.samples, create=False)
+    if args.merge_ranks:
+        from repro.gprof.merge import merge_sample_series
+
+        per_rank = [store.load_rank(rank) for rank in store.ranks()]
+        snapshots = merge_sample_series(per_rank)
+        label = f"{args.samples} (merged {len(per_rank)} ranks)"
+    else:
+        snapshots = store.load_rank(args.rank)
+        label = args.samples
+    config = AnalysisConfig(kselect_method=args.kselect,
+                            coverage_threshold=args.coverage)
+    analysis = analyze_snapshots(snapshots, config)
+    print(render_full_report(analysis, app_name=label))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    result = run_experiment(args.app, scale=args.scale, seed=args.seed,
+                            interval=args.interval)
+    print(app_sites_table(result).render())
+    print()
+    from repro.core.timeline import render_timeline
+
+    print(render_timeline(result.analysis, width=90))
+    print()
+    print(comparison_table(result).render())
+    if args.lift:
+        from repro.core.callgraph_lift import suggest_lifts
+
+        suggestions = suggest_lifts(result.analysis)
+        print()
+        if suggestions:
+            print("call-graph lift suggestions:")
+            for suggestion in suggestions:
+                print(f"  {suggestion}")
+        else:
+            print("call-graph lift suggestions: none")
+    if args.merge:
+        from repro.core.postprocess import merge_equivalent_phases
+
+        merged = merge_equivalent_phases(result.analysis)
+        print()
+        print(f"site-equivalence merging: {merged.n_original} phases -> "
+              f"{merged.n_phases}")
+        for group in merged.merged:
+            mark = " (merged)" if group.was_merged else ""
+            print(f"  merged phase {group.merged_id}{mark}: "
+                  f"phases {list(group.phase_ids)}, "
+                  f"{group.app_pct:.1f}% of run, "
+                  f"sites {sorted(group.functions)}")
+    return 0
+
+
+def _cmd_live(args: argparse.Namespace) -> int:
+    """Profile an app's *real* NumPy kernels with the live tracer."""
+    from repro.gprof.flatprofile import FlatProfile
+    from repro.incprof.collector import LiveCollector
+    from repro.profiler.tracing import TracingProfiler, names_filter
+
+    app = get_app(args.app)
+    live = app.live_run()
+    if live is None:
+        print(f"{args.app} has no live mode")
+        return 1
+    profiler = TracingProfiler(sample_period=0.005,
+                               name_filter=names_filter(live.function_names))
+    collector = LiveCollector(profiler, interval=args.interval)
+    collector.start()
+    with profiler:
+        live.main(args.scale)
+    samples = collector.stop()
+    print(f"{len(samples)} live snapshots over {profiler.elapsed:.2f}s")
+    print()
+    print(FlatProfile.from_gmon(samples[-1]).render())
+    if len(samples) >= 4:
+        analysis = analyze_snapshots(
+            samples, AnalysisConfig(kmax=4, drop_short_final=False)
+        )
+        print(render_full_report(analysis, app_name=f"{args.app} (live)"))
+    return 0
+
+
+def _cmd_live_script(args: argparse.Namespace) -> int:
+    """Profile an arbitrary Python script (the preload-library analogue)."""
+    from repro.gprof.flatprofile import FlatProfile
+    from repro.incprof.script_runner import profile_script
+
+    profile = profile_script(
+        args.script,
+        argv=args.args,
+        interval=args.interval,
+        store_dir=args.out,
+    )
+    print(f"{len(profile.samples)} snapshots over {profile.elapsed:.2f}s"
+          + (f" -> {args.out}" if args.out else ""))
+    print()
+    print(FlatProfile.from_gmon(profile.final).render())
+    if len(profile.samples) >= 4:
+        analysis = analyze_snapshots(
+            profile.samples, AnalysisConfig(kmax=4, drop_short_final=False)
+        )
+        print(render_full_report(analysis, app_name=args.script))
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    result = run_experiment(args.app, scale=args.scale, seed=args.seed,
+                            interval=args.interval)
+    print(heartbeat_figure(result).render())
+    return 0
+
+
+def _cmd_merge(args: argparse.Namespace) -> int:
+    """Sum gmon sample files (gprof -s / gmon.sum semantics)."""
+    from repro.gprof.gmon import read_gmon, write_gmon
+    from repro.gprof.merge import merge_gmons
+
+    snapshots = [read_gmon(path) for path in args.inputs]
+    merged = merge_gmons(snapshots)
+    write_gmon(merged, args.out)
+    print(f"merged {len(snapshots)} profiles "
+          f"({merged.total_seconds():.2f}s sampled, "
+          f"{len(merged.functions())} functions) -> {args.out}")
+    return 0
+
+
+def _cmd_report_all(args: argparse.Namespace) -> int:
+    from repro.eval.report_md import write_markdown_report
+
+    path = write_markdown_report(args.out)
+    print(f"wrote {path}")
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    results = {name: run_experiment(name, scale=args.scale, seed=args.seed)
+               for name in paper_app_names()}
+    print(table1(results).render())
+    print()
+    print(table1_comparison(results).render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="incprof",
+        description="IncProf reproduction: phase identification for HPC workloads",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("apps", help="list available workloads").set_defaults(func=_cmd_apps)
+
+    p_run = sub.add_parser("run", help="collect incremental profiles for a workload")
+    p_run.add_argument("--app", required=True, choices=paper_app_names())
+    p_run.add_argument("--out", required=True, help="sample output directory")
+    p_run.add_argument("--ranks", type=int, default=1)
+    _add_common(p_run)
+    p_run.set_defaults(func=_cmd_run)
+
+    p_an = sub.add_parser("analyze", help="analyze a directory of gmon samples")
+    p_an.add_argument("samples", help="sample directory written by 'run'")
+    p_an.add_argument("--rank", type=int, default=0)
+    p_an.add_argument("--merge-ranks", action="store_true",
+                      help="analyze the gmon.sum of all ranks instead of one rank")
+    p_an.add_argument("--kselect", default="elbow",
+                      choices=["elbow", "chord", "silhouette"])
+    p_an.add_argument("--coverage", type=float, default=0.95)
+    p_an.set_defaults(func=_cmd_analyze)
+
+    p_rep = sub.add_parser("report", help="full experiment + paper-style table")
+    p_rep.add_argument("--app", required=True, choices=paper_app_names())
+    p_rep.add_argument("--lift", action="store_true",
+                       help="suggest call-graph lifts for discovered sites")
+    p_rep.add_argument("--merge", action="store_true",
+                       help="post-process: merge phases sharing site functions")
+    _add_common(p_rep)
+    p_rep.set_defaults(func=_cmd_report)
+
+    p_live = sub.add_parser("live", help="profile the app's real kernels live")
+    p_live.add_argument("--app", required=True, choices=paper_app_names())
+    p_live.add_argument("--scale", type=float, default=1.0)
+    p_live.add_argument("--interval", type=float, default=0.25)
+    p_live.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    p_live.set_defaults(func=_cmd_live)
+
+    p_fig = sub.add_parser("figure", help="regenerate an app's heartbeat figure")
+    p_fig.add_argument("--app", required=True, choices=paper_app_names())
+    _add_common(p_fig)
+    p_fig.set_defaults(func=_cmd_figure)
+
+    p_t1 = sub.add_parser("table1", help="regenerate Table I across all apps")
+    _add_common(p_t1)
+    p_t1.set_defaults(func=_cmd_table1)
+
+    p_all = sub.add_parser("report-all",
+                           help="write the full markdown reproduction report")
+    p_all.add_argument("--out", default="REPORT.md")
+    p_all.set_defaults(func=_cmd_report_all)
+
+    p_script = sub.add_parser("live-script",
+                              help="profile any Python script under IncProf")
+    p_script.add_argument("script", help="path to a Python script")
+    p_script.add_argument("args", nargs="*", help="arguments passed to the script")
+    p_script.add_argument("--interval", type=float, default=0.5)
+    p_script.add_argument("--out", default=None, help="sample directory")
+    p_script.set_defaults(func=_cmd_live_script)
+
+    p_merge = sub.add_parser("merge", help="sum gmon files (gprof -s)")
+    p_merge.add_argument("inputs", nargs="+", help="gmon sample files")
+    p_merge.add_argument("--out", required=True, help="merged output file")
+    p_merge.set_defaults(func=_cmd_merge)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

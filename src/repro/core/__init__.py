@@ -1,0 +1,67 @@
+"""The paper's primary contribution: phase detection and site selection.
+
+Pipeline (Section V of the paper):
+
+1. :mod:`repro.core.intervals` — subtract successive cumulative gmon
+   snapshots into *interval profiles* (per-function self-time and call
+   counts per interval);
+2. :mod:`repro.core.features` — build the clustering feature matrix
+   (default: the gprof 'self' time tuple);
+3. :mod:`repro.core.kmeans` / :mod:`repro.core.kselect` — from-scratch
+   k-means for k = 1..8 with elbow (and silhouette) selection;
+4. :mod:`repro.core.phases` — interpret clusters as phases;
+5. :mod:`repro.core.instrumentation` — Algorithm 1: greedy selection of
+   body/loop instrumentation sites per phase with a coverage threshold;
+6. :mod:`repro.core.pipeline` — the one-call driver tying it together.
+"""
+
+from repro.core.model import InstType, Site, SelectedSite, Phase
+from repro.core.intervals import IntervalData, intervals_from_snapshots
+from repro.core.features import FeatureConfig, build_features
+from repro.core.kmeans import KMeansResult, kmeans
+from repro.core.kselect import KSelection, choose_k, wcss_curve, silhouette_score
+from repro.core.phases import PhaseModel, detect_phases
+from repro.core.instrumentation import SiteSelection, select_sites, function_ranks
+from repro.core.pipeline import AnalysisConfig, AnalysisResult, analyze_snapshots
+from repro.core.postprocess import MergedPhase, MergedPhaseModel, merge_equivalent_phases
+from repro.core.callgraph_lift import LiftSuggestion, suggest_lifts
+from repro.core.outliers import OutlierReport, analyze_outliers
+from repro.core.online import NOVEL, OnlinePhaseTracker, TrackedInterval
+from repro.core.timeline import phase_strip, render_timeline
+
+__all__ = [
+    "InstType",
+    "Site",
+    "SelectedSite",
+    "Phase",
+    "IntervalData",
+    "intervals_from_snapshots",
+    "FeatureConfig",
+    "build_features",
+    "KMeansResult",
+    "kmeans",
+    "KSelection",
+    "choose_k",
+    "wcss_curve",
+    "silhouette_score",
+    "PhaseModel",
+    "detect_phases",
+    "SiteSelection",
+    "select_sites",
+    "function_ranks",
+    "AnalysisConfig",
+    "AnalysisResult",
+    "analyze_snapshots",
+    "MergedPhase",
+    "MergedPhaseModel",
+    "merge_equivalent_phases",
+    "LiftSuggestion",
+    "suggest_lifts",
+    "OutlierReport",
+    "analyze_outliers",
+    "NOVEL",
+    "OnlinePhaseTracker",
+    "TrackedInterval",
+    "phase_strip",
+    "render_timeline",
+]

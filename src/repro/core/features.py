@@ -1,0 +1,110 @@
+"""Feature matrices for interval clustering.
+
+The paper clusters intervals on the tuple of per-function gprof 'self'
+times, and reports that adding other profile data (call counts, children
+time) did not improve — and sometimes worsened — the results.  All the
+variants are implemented here so that finding can be reproduced as an
+ablation (``benchmarks/bench_ablation_features.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.core.intervals import IntervalData
+from repro.gprof.callgraph import CallGraphProfile
+from repro.util.errors import ValidationError
+
+SOURCES = ("self_time", "self_plus_calls", "calls", "self_plus_children")
+NORMALIZATIONS = (None, "l2", "minmax", "zscore")
+
+
+@dataclass(frozen=True)
+class FeatureConfig:
+    """Which profile attributes feed the clustering.
+
+    ``source``:
+      - ``self_time`` — the paper's choice: per-function self seconds;
+      - ``self_plus_calls`` — self time with call-count columns appended
+        (calls scaled to comparable magnitude);
+      - ``calls`` — call counts only;
+      - ``self_plus_children`` — self time plus per-interval propagated
+        children time (requires interval gmon deltas).
+
+    ``normalize``: optional per-column scaling applied after assembly.
+    """
+
+    source: str = "self_time"
+    normalize: str = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.source not in SOURCES:
+            raise ValidationError(f"unknown feature source {self.source!r}")
+        if self.normalize not in NORMALIZATIONS:
+            raise ValidationError(f"unknown normalization {self.normalize!r}")
+
+
+def _children_matrix(data: IntervalData) -> np.ndarray:
+    if data.interval_gmons is None:
+        raise ValidationError("self_plus_children requires interval gmon deltas")
+    out = np.zeros_like(data.self_time)
+    index = {name: j for j, name in enumerate(data.functions)}
+    for i, gmon in enumerate(data.interval_gmons):
+        profile = CallGraphProfile.from_gmon(gmon)
+        for name, entry in profile.entries.items():
+            j = index.get(name)
+            if j is not None:
+                out[i, j] = entry.children_seconds
+    return out
+
+
+def _normalize(matrix: np.ndarray, how: str) -> np.ndarray:
+    if how is None:
+        return matrix
+    if how == "l2":
+        norms = np.linalg.norm(matrix, axis=0)
+        norms[norms == 0] = 1.0
+        return matrix / norms
+    if how == "minmax":
+        lo = matrix.min(axis=0)
+        span = matrix.max(axis=0) - lo
+        span[span == 0] = 1.0
+        return (matrix - lo) / span
+    if how == "zscore":
+        mean = matrix.mean(axis=0)
+        std = matrix.std(axis=0)
+        std[std == 0] = 1.0
+        return (matrix - mean) / std
+    raise ValidationError(f"unknown normalization {how!r}")
+
+
+def build_features(data: IntervalData, config: FeatureConfig = FeatureConfig()) -> np.ndarray:
+    """Assemble the ``(n_intervals, n_attributes)`` clustering matrix."""
+    if config.source == "self_time":
+        matrix = data.self_time.copy()
+    elif config.source == "calls":
+        matrix = data.calls.astype(float)
+    elif config.source == "self_plus_calls":
+        # Scale call counts so their magnitude is comparable to seconds;
+        # otherwise huge call counts (batched leaf calls) dominate distance.
+        calls = data.calls.astype(float)
+        peak = calls.max()
+        scale = (data.self_time.max() / peak) if peak > 0 else 1.0
+        matrix = np.hstack([data.self_time, calls * scale])
+    elif config.source == "self_plus_children":
+        matrix = np.hstack([data.self_time, _children_matrix(data)])
+    else:  # pragma: no cover - guarded by FeatureConfig
+        raise ValidationError(config.source)
+    return _normalize(matrix, config.normalize)
+
+
+def feature_names(data: IntervalData, config: FeatureConfig = FeatureConfig()) -> List[str]:
+    """Column labels matching :func:`build_features` output."""
+    if config.source in ("self_time", "calls"):
+        suffix = "" if config.source == "self_time" else ":calls"
+        return [f + suffix for f in data.functions]
+    extra = ":calls" if config.source == "self_plus_calls" else ":children"
+    return list(data.functions) + [f + extra for f in data.functions]

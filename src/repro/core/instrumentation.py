@@ -1,0 +1,218 @@
+"""Algorithm 1: instrumentation-site identification.
+
+Given the clustered intervals, per-interval function call counts, and
+per-phase function *ranks* (fraction of the phase's intervals a function
+is active in), select for each phase a small set of functions whose
+instrumentation covers the phase:
+
+- intervals are processed closest-to-centroid first, so the most
+  representative intervals pick sites first;
+- an interval already containing any selected function is covered;
+- otherwise the interval's active functions are sorted by call count
+  ascending (prefer long-running work over chatty utilities) then rank
+  descending, and the head is selected;
+- the site is tagged *body* if the function had calls in that interval,
+  *loop* if it had self-time with zero calls (still running from an
+  earlier invocation);
+- selection stops once the selected sites cover the phase's intervals up
+  to the coverage threshold (95 % in the paper — outlier intervals are
+  skipped rather than chased).
+
+Coverage shares (the tables' Phase % / App % columns) attribute each
+covered interval to the earliest-selected site active in it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.intervals import IntervalData
+from repro.core.model import InstType, Phase, SelectedSite, Site
+from repro.core.phases import PhaseModel
+from repro.util.errors import ValidationError
+
+
+def function_ranks(data: IntervalData, phases: Sequence[Phase]) -> np.ndarray:
+    """Per-phase function rank matrix, shape ``(n_phases, n_functions)``.
+
+    ``rank[p, f]`` = fraction of phase ``p``'s intervals in which function
+    ``f`` has non-zero self-time.
+    """
+    active = data.active()
+    ranks = np.zeros((len(phases), data.n_functions))
+    for i, phase in enumerate(phases):
+        members = np.asarray(phase.interval_indices, dtype=int)
+        if members.size:
+            ranks[i] = active[members].mean(axis=0)
+    return ranks
+
+
+@dataclass(frozen=True)
+class SiteSelection:
+    """The output of Algorithm 1 across all phases."""
+
+    per_phase: Tuple[Tuple[SelectedSite, ...], ...]
+    coverage_threshold: float
+
+    def all_sites(self) -> List[SelectedSite]:
+        """Every selection row in (phase, selection-order) order."""
+        return [s for phase_sites in self.per_phase for s in phase_sites]
+
+    def unique_sites(self) -> List[Site]:
+        """Distinct (function, type) sites in first-seen order."""
+        seen: Dict[Site, None] = {}
+        for selected in self.all_sites():
+            seen.setdefault(selected.site, None)
+        return list(seen)
+
+    def site_functions_by_phase(self) -> Dict[int, frozenset]:
+        """Phase id -> frozenset of selected function names."""
+        return {
+            pid: frozenset(s.function for s in sites)
+            for pid, sites in enumerate(self.per_phase)
+        }
+
+    def hb_id_of(self, site: Site) -> int:
+        for selected in self.all_sites():
+            if selected.site == site:
+                return selected.hb_id
+        raise ValidationError(f"site {site} was not selected")
+
+
+def _order_by_centroid_distance(
+    features: np.ndarray, phase: Phase
+) -> np.ndarray:
+    members = np.asarray(phase.interval_indices, dtype=int)
+    if phase.centroid is None:
+        return members
+    deltas = features[members] - phase.centroid[None, :]
+    dists = np.einsum("ij,ij->i", deltas, deltas)
+    return members[np.argsort(dists, kind="stable")]
+
+
+def _select_for_phase(
+    data: IntervalData,
+    features: np.ndarray,
+    phase: Phase,
+    ranks_row: np.ndarray,
+    threshold: float,
+) -> List[Tuple[Site, int]]:
+    """Run Algorithm 1's inner loop; returns sites with covering interval."""
+    members = np.asarray(phase.interval_indices, dtype=int)
+    n_phase = members.size
+    target = math.ceil(threshold * n_phase)
+    active = data.active()
+
+    order = _order_by_centroid_distance(features, phase)
+    selected: List[Tuple[Site, int]] = []
+    selected_funcs: List[int] = []  # function column indices
+
+    def covered_count() -> int:
+        if not selected_funcs:
+            return 0
+        return int(active[np.ix_(members, selected_funcs)].any(axis=1).sum())
+
+    for interval in order:
+        if covered_count() >= target:
+            break
+        if selected_funcs and active[interval, selected_funcs].any():
+            continue  # already covered by an existing site
+        candidates = np.nonzero(active[interval])[0]
+        if candidates.size == 0:
+            continue  # an idle interval cannot nominate a site
+        # Sort by (calls ascending, rank descending, name) — the paper's
+        # line 10: prefer few-call (long-running) and high-rank functions.
+        keys = sorted(
+            candidates,
+            key=lambda f: (int(data.calls[interval, f]), -ranks_row[f], data.functions[f]),
+        )
+        func = keys[0]
+        inst = InstType.BODY if data.calls[interval, func] > 0 else InstType.LOOP
+        site = Site(function=data.functions[func], inst_type=inst)
+        if all(site != s for s, _ in selected):
+            selected.append((site, int(interval)))
+            selected_funcs.append(func)
+    return selected
+
+
+def _attribute_coverage(
+    data: IntervalData,
+    phase: Phase,
+    sites: List[Tuple[Site, int]],
+) -> List[Tuple[Site, Tuple[int, ...]]]:
+    """Attribute each phase interval to the earliest-selected active site."""
+    members = list(phase.interval_indices)
+    active = data.active()
+    func_index = {name: j for j, name in enumerate(data.functions)}
+    assigned: Dict[int, int] = {}  # interval -> site position
+    for pos, (site, _cover) in enumerate(sites):
+        col = func_index[site.function]
+        for interval in members:
+            if interval not in assigned and active[interval, col]:
+                assigned[interval] = pos
+    out: List[Tuple[Site, Tuple[int, ...]]] = []
+    for pos, (site, _cover) in enumerate(sites):
+        covered = tuple(i for i in members if assigned.get(i) == pos)
+        out.append((site, covered))
+    return out
+
+
+def select_sites(
+    data: IntervalData,
+    phase_model: PhaseModel,
+    features: Optional[np.ndarray] = None,
+    coverage_threshold: float = 0.95,
+) -> SiteSelection:
+    """Run Algorithm 1 over every phase and compute coverage shares.
+
+    ``features`` must be the matrix the phases were clustered on (used for
+    centroid distances); it defaults to the raw self-time matrix.
+    """
+    if not 0.0 < coverage_threshold <= 1.0:
+        raise ValidationError("coverage threshold must be in (0, 1]")
+    if features is None:
+        features = data.self_time
+    features = np.asarray(features, dtype=float)
+    if features.shape[0] != data.n_intervals:
+        raise ValidationError("features row count must match interval count")
+
+    ranks = function_ranks(data, phase_model.phases)
+    total_intervals = data.n_intervals
+
+    # First pass: run the greedy selection per phase.
+    raw: List[List[Tuple[Site, int]]] = []
+    for phase in phase_model.phases:
+        raw.append(
+            _select_for_phase(data, features, phase, ranks[phase.phase_id], coverage_threshold)
+        )
+
+    # Assign heartbeat IDs to unique (function, type) sites in discovery
+    # order — repeated sites keep their ID across phases (paper numbering).
+    hb_ids: Dict[Site, int] = {}
+    for phase_sites in raw:
+        for site, _ in phase_sites:
+            if site not in hb_ids:
+                hb_ids[site] = len(hb_ids) + 1
+
+    per_phase: List[Tuple[SelectedSite, ...]] = []
+    for phase, phase_sites in zip(phase_model.phases, raw):
+        n_phase = max(1, len(phase.interval_indices))
+        rows: List[SelectedSite] = []
+        for site, covered in _attribute_coverage(data, phase, phase_sites):
+            rows.append(
+                SelectedSite(
+                    site=site,
+                    phase_id=phase.phase_id,
+                    hb_id=hb_ids[site],
+                    phase_pct=100.0 * len(covered) / n_phase,
+                    app_pct=100.0 * len(covered) / max(1, total_intervals),
+                    covered_intervals=covered,
+                )
+            )
+        per_phase.append(tuple(rows))
+
+    return SiteSelection(per_phase=tuple(per_phase), coverage_threshold=coverage_threshold)

@@ -1,0 +1,217 @@
+"""Interval profiles from cumulative snapshots.
+
+The data IncProf writes is cumulative-since-start (gprof semantics), so
+the first analysis step subtracts each snapshot from its successor to get
+*interval profiles*: per-interval tuples of function self-time — the
+clustering attributes — plus per-interval call counts, which Algorithm 1
+needs for site ordering and body/loop designation.
+
+Only functions that appear in the profile data become attribute
+dimensions (the paper's footnote 3: not every program function shows up).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.gprof.flatprofile import FlatProfile
+from repro.gprof.gmon import GmonData
+from repro.simulate.engine import SPONTANEOUS
+from repro.util.errors import ProfileDataError
+
+
+@dataclass
+class IntervalData:
+    """Per-interval profile matrices.
+
+    Attributes
+    ----------
+    functions:
+        Attribute dimensions (function names), sorted.
+    self_time:
+        ``(n_intervals, n_functions)`` seconds of gprof 'self' time.
+    calls:
+        ``(n_intervals, n_functions)`` calls begun in each interval.
+    timestamps:
+        Interval end times.
+    interval:
+        Nominal interval length in seconds.
+    interval_gmons:
+        Optional per-interval gmon deltas (kept for call-graph features).
+    """
+
+    functions: List[str]
+    self_time: np.ndarray
+    calls: np.ndarray
+    timestamps: np.ndarray
+    interval: float
+    interval_gmons: Optional[List[GmonData]] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        n_i, n_f = self.self_time.shape
+        if self.calls.shape != (n_i, n_f):
+            raise ProfileDataError("self_time and calls shapes disagree")
+        if len(self.functions) != n_f:
+            raise ProfileDataError("function list does not match matrix width")
+        if self.timestamps.shape != (n_i,):
+            raise ProfileDataError("timestamps length does not match interval count")
+
+    @property
+    def n_intervals(self) -> int:
+        return self.self_time.shape[0]
+
+    @property
+    def n_functions(self) -> int:
+        return self.self_time.shape[1]
+
+    def index_of(self, function: str) -> int:
+        return self.functions.index(function)
+
+    def active(self) -> np.ndarray:
+        """Boolean ``(n_intervals, n_functions)``: non-zero self-time."""
+        return self.self_time > 0.0
+
+    def function_total_seconds(self) -> np.ndarray:
+        """Total self-time per function across all intervals."""
+        return self.self_time.sum(axis=0)
+
+    def drop_inactive_functions(self) -> "IntervalData":
+        """Remove functions with zero self-time everywhere.
+
+        Call-only entries (arcs but never sampled) carry no clustering
+        signal and would otherwise inflate the attribute space.
+        """
+        keep = self.self_time.sum(axis=0) > 0.0
+        names = [f for f, k in zip(self.functions, keep) if k]
+        return IntervalData(
+            functions=names,
+            self_time=self.self_time[:, keep],
+            calls=self.calls[:, keep],
+            timestamps=self.timestamps,
+            interval=self.interval,
+            interval_gmons=self.interval_gmons,
+        )
+
+
+def _snapshot_pairs(snapshots: Sequence[GmonData]) -> List[GmonData]:
+    """Difference consecutive cumulative snapshots (first vs empty)."""
+    deltas: List[GmonData] = []
+    previous: Optional[GmonData] = None
+    for snap in snapshots:
+        if previous is None:
+            empty = GmonData(sample_period=snap.sample_period, rank=snap.rank)
+            deltas.append(snap.subtract(empty))
+        else:
+            if snap.timestamp < previous.timestamp:
+                raise ProfileDataError("snapshots are not in time order")
+            deltas.append(snap.subtract(previous))
+        previous = snap
+    return deltas
+
+
+def intervals_from_snapshots(
+    snapshots: Sequence[GmonData],
+    drop_short_final: bool = True,
+    min_final_fraction: float = 0.5,
+    keep_gmons: bool = True,
+) -> IntervalData:
+    """Build :class:`IntervalData` from an ordered cumulative snapshot series.
+
+    ``drop_short_final`` discards a trailing partial interval shorter than
+    ``min_final_fraction`` of the nominal interval (the program-exit dump
+    right after a periodic one would otherwise add a near-empty point that
+    k-means would have to absorb).
+    """
+    if len(snapshots) < 2:
+        raise ProfileDataError("need at least two snapshots to form an interval")
+
+    interval = snapshots[0].timestamp if snapshots[0].timestamp > 0 else (
+        snapshots[1].timestamp - snapshots[0].timestamp
+    )
+    if interval <= 0:
+        raise ProfileDataError("could not infer a positive interval length")
+
+    deltas = _snapshot_pairs(snapshots)
+    timestamps = [s.timestamp for s in snapshots]
+
+    if drop_short_final and len(deltas) >= 2:
+        final_len = timestamps[-1] - timestamps[-2]
+        if final_len < min_final_fraction * interval:
+            deltas = deltas[:-1]
+            timestamps = timestamps[:-1]
+
+    # Attribute dimensions: every function sampled anywhere in the run.
+    # (The *last* snapshot is cumulative, but we derive from deltas so the
+    # same code handles pre-differenced inputs.)
+    names = sorted(
+        {f for d in deltas for f in d.hist} | {c for d in deltas for (_p, c) in d.arcs}
+        - {SPONTANEOUS}
+    )
+    name_index = {name: i for i, name in enumerate(names)}
+
+    self_time = np.zeros((len(deltas), len(names)))
+    calls = np.zeros((len(deltas), len(names)), dtype=np.int64)
+    for i, delta in enumerate(deltas):
+        for func, ticks in delta.hist.items():
+            if func in name_index:
+                self_time[i, name_index[func]] = ticks * delta.sample_period
+        for (_caller, callee), count in delta.arcs.items():
+            if callee in name_index:
+                calls[i, name_index[callee]] += count
+
+    return IntervalData(
+        functions=names,
+        self_time=self_time,
+        calls=calls,
+        timestamps=np.asarray(timestamps, dtype=float),
+        interval=float(interval),
+        interval_gmons=deltas if keep_gmons else None,
+    )
+
+
+def intervals_from_flat_profiles(
+    profiles: Sequence[FlatProfile],
+    interval: float = 1.0,
+) -> IntervalData:
+    """Build :class:`IntervalData` from *cumulative* parsed flat profiles.
+
+    This is the text-report path the original tool takes (it shells out to
+    ``gprof`` per sample file and parses the tables); values carry the
+    report's two-decimal precision.
+    """
+    if len(profiles) < 2:
+        raise ProfileDataError("need at least two flat profiles to form an interval")
+
+    names = sorted({e.name for p in profiles for e in p} - {SPONTANEOUS})
+    name_index = {name: i for i, name in enumerate(names)}
+    n = len(profiles)
+
+    cum_time = np.zeros((n, len(names)))
+    cum_calls = np.zeros((n, len(names)), dtype=np.int64)
+    for i, profile in enumerate(profiles):
+        for entry in profile:
+            j = name_index.get(entry.name)
+            if j is None:
+                continue
+            cum_time[i, j] = entry.self_seconds
+            cum_calls[i, j] = entry.calls or 0
+
+    self_time = np.diff(cum_time, axis=0, prepend=np.zeros((1, len(names))))
+    calls = np.diff(cum_calls, axis=0, prepend=np.zeros((1, len(names)), dtype=np.int64))
+    np.clip(self_time, 0.0, None, out=self_time)
+    np.clip(calls, 0, None, out=calls)
+
+    timestamps = np.array(
+        [p.timestamp if p.timestamp else (i + 1) * interval for i, p in enumerate(profiles)]
+    )
+    return IntervalData(
+        functions=names,
+        self_time=self_time,
+        calls=calls,
+        timestamps=timestamps,
+        interval=interval,
+        interval_gmons=None,
+    )

@@ -1,0 +1,162 @@
+"""From-scratch k-means (k-means++ initialization, Lloyd iterations).
+
+Implemented directly on NumPy — vectorized distance computation, no
+scikit-learn dependency — because the clustering itself is part of the
+reproduced system.  Deterministic under a fixed seed; multiple restarts
+keep the best inertia.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.util.errors import ClusteringError, ValidationError
+
+
+@dataclass(frozen=True)
+class KMeansResult:
+    """Outcome of one k-means fit."""
+
+    k: int
+    centroids: np.ndarray  # (k, n_attributes)
+    labels: np.ndarray  # (n_points,) int
+    inertia: float  # within-cluster sum of squared distances (WCSS)
+    n_iter: int
+
+    def cluster_sizes(self) -> np.ndarray:
+        return np.bincount(self.labels, minlength=self.k)
+
+
+def _pairwise_sq_dists(points: np.ndarray, centers: np.ndarray) -> np.ndarray:
+    """Squared Euclidean distances, ``(n_points, n_centers)``.
+
+    Uses the expansion ||x - c||^2 = ||x||^2 - 2 x.c + ||c||^2 with a
+    clamp at zero for float round-off.
+    """
+    x_sq = np.einsum("ij,ij->i", points, points)[:, None]
+    c_sq = np.einsum("ij,ij->i", centers, centers)[None, :]
+    d = x_sq - 2.0 * points @ centers.T + c_sq
+    np.maximum(d, 0.0, out=d)
+    return d
+
+
+def _kmeanspp_init(points: np.ndarray, k: int, rng: np.random.Generator) -> np.ndarray:
+    """k-means++ seeding: spread initial centers by D^2 sampling."""
+    n = points.shape[0]
+    centers = np.empty((k, points.shape[1]))
+    first = int(rng.integers(n))
+    centers[0] = points[first]
+    closest = _pairwise_sq_dists(points, centers[:1])[:, 0]
+    for i in range(1, k):
+        total = closest.sum()
+        if total <= 0.0:
+            # All remaining points coincide with chosen centers; any pick works.
+            idx = int(rng.integers(n))
+        else:
+            idx = int(rng.choice(n, p=closest / total))
+        centers[i] = points[idx]
+        np.minimum(closest, _pairwise_sq_dists(points, centers[i : i + 1])[:, 0], out=closest)
+    return centers
+
+
+def _lloyd(
+    points: np.ndarray,
+    centers: np.ndarray,
+    max_iter: int,
+    tol: float,
+) -> KMeansResult:
+    k = centers.shape[0]
+    labels = np.zeros(points.shape[0], dtype=int)
+    prev_inertia = np.inf
+    n_iter = 0
+    for n_iter in range(1, max_iter + 1):
+        dists = _pairwise_sq_dists(points, centers)
+        labels = dists.argmin(axis=1)
+        inertia = float(dists[np.arange(points.shape[0]), labels].sum())
+
+        new_centers = centers.copy()
+        for j in range(k):
+            members = points[labels == j]
+            if members.shape[0] == 0:
+                # Empty cluster: reseed at the point farthest from its center.
+                farthest = int(dists.min(axis=1).argmax())
+                new_centers[j] = points[farthest]
+            else:
+                new_centers[j] = members.mean(axis=0)
+
+        shift = float(np.linalg.norm(new_centers - centers))
+        centers = new_centers
+        if shift <= tol or abs(prev_inertia - inertia) <= tol:
+            break
+        prev_inertia = inertia
+
+    # Final assignment; repair any empty cluster by reassigning to it the
+    # point farthest from its current center (taken from a cluster with
+    # more than one member), so callers can rely on non-empty clusters
+    # whenever n >= k.
+    dists = _pairwise_sq_dists(points, centers)
+    labels = dists.argmin(axis=1)
+    n = points.shape[0]
+    for j in range(k):
+        sizes = np.bincount(labels, minlength=k)
+        if sizes[j] > 0:
+            continue
+        movable = sizes[labels] > 1
+        if not movable.any():
+            break  # unreachable when n >= k, defensive otherwise
+        point_dists = dists[np.arange(n), labels]
+        donor = int(np.where(movable, point_dists, -1.0).argmax())
+        labels[donor] = j
+        centers[j] = points[donor]
+    deltas = points - centers[labels]
+    inertia = float(np.einsum("ij,ij->", deltas, deltas))
+    return KMeansResult(k=k, centroids=centers, labels=labels, inertia=inertia, n_iter=n_iter)
+
+
+def kmeans(
+    points: np.ndarray,
+    k: int,
+    seed: Union[int, np.random.Generator] = 0,
+    n_init: int = 8,
+    max_iter: int = 200,
+    tol: float = 1e-9,
+) -> KMeansResult:
+    """Fit k-means with ``n_init`` restarts, keeping the lowest inertia.
+
+    Raises :class:`ClusteringError` if there are fewer points than
+    clusters; duplicate points are fine.
+    """
+    points = np.asarray(points, dtype=float)
+    if points.ndim != 2:
+        raise ValidationError("points must be a 2-D array")
+    if k < 1:
+        raise ValidationError("k must be >= 1")
+    if points.shape[0] < k:
+        raise ClusteringError(f"{points.shape[0]} points cannot form {k} clusters")
+    if n_init < 1:
+        raise ValidationError("n_init must be >= 1")
+
+    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+
+    if k == 1:
+        center = points.mean(axis=0, keepdims=True)
+        inertia = float(((points - center) ** 2).sum())
+        return KMeansResult(
+            k=1,
+            centroids=center,
+            labels=np.zeros(points.shape[0], dtype=int),
+            inertia=inertia,
+            n_iter=1,
+        )
+
+    best: Optional[KMeansResult] = None
+    for _ in range(n_init):
+        centers = _kmeanspp_init(points, k, rng)
+        result = _lloyd(points, centers, max_iter=max_iter, tol=tol)
+        if best is None or result.inertia < best.inertia:
+            best = result
+    assert best is not None
+    return best

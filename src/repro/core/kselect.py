@@ -1,0 +1,227 @@
+"""Choosing the number of clusters (phases).
+
+k-means needs k up front; the paper runs k = 1..8 and applies the *elbow*
+method, with *silhouette* evaluated as an alternative (both implemented
+here; the ablation bench compares them).  Eight was enough because no
+studied application showed more than five phases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Union
+
+import numpy as np
+
+from repro.core.kmeans import KMeansResult, kmeans
+from repro.util.errors import ClusteringError, ValidationError
+
+DEFAULT_KMAX = 8
+
+#: Variance-explained knee for the default elbow criterion, calibrated so
+#: the method reproduces the paper's phase counts on all five workloads.
+DEFAULT_ELBOW_THRESHOLD = 0.88
+
+#: If the best multi-cluster fit only shaves this relative amount off the
+#: k=1 WCSS, the data has no cluster structure and one phase is reported.
+_FLAT_CURVE_FRACTION = 0.05
+
+
+@dataclass(frozen=True)
+class KSelection:
+    """The fitted k sweep plus the chosen k."""
+
+    method: str
+    chosen_k: int
+    results: Dict[int, KMeansResult]
+    scores: Dict[int, float]  # per-k score used by the method
+
+    @property
+    def best(self) -> KMeansResult:
+        return self.results[self.chosen_k]
+
+
+def wcss_curve(
+    points: np.ndarray,
+    kmax: int = DEFAULT_KMAX,
+    seed: Union[int, np.random.Generator] = 0,
+    n_init: int = 8,
+) -> Dict[int, KMeansResult]:
+    """Fit k-means for k = 1..min(kmax, n_points)."""
+    points = np.asarray(points, dtype=float)
+    if points.shape[0] < 1:
+        raise ClusteringError("no points to cluster")
+    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+    top = min(kmax, points.shape[0])
+    return {k: kmeans(points, k, seed=rng, n_init=n_init) for k in range(1, top + 1)}
+
+
+def elbow_k(results: Dict[int, KMeansResult]) -> int:
+    """Pick k at the elbow of the WCSS curve (max distance to chord).
+
+    The curve ``(k, WCSS_k)`` is normalized to the unit square and the k
+    farthest from the straight line between its endpoints is the elbow —
+    a quantitative form of the classic visual rule.  Degenerate cases
+    (flat curve, or immediate zero WCSS) fall back to the smallest k that
+    already explains the data.
+    """
+    ks = np.array(sorted(results))
+    wcss = np.array([results[k].inertia for k in ks])
+
+    if ks.size == 1:
+        return int(ks[0])
+    if wcss[0] <= 0.0:
+        return 1  # all points identical
+    # Zero (or near-zero) WCSS reached early: the first k achieving it is exact.
+    near_zero = wcss <= 1e-12 * wcss[0]
+    if near_zero.any():
+        first = int(ks[np.argmax(near_zero)])
+        ks = ks[ks <= first]
+        wcss = wcss[: ks.size]
+        if ks.size <= 2:
+            return first
+    if (wcss[0] - wcss[-1]) / wcss[0] < _FLAT_CURVE_FRACTION:
+        return 1  # no structure: k=1 is as good as kmax
+
+    x = (ks - ks[0]) / (ks[-1] - ks[0])
+    y = (wcss - wcss[-1]) / (wcss[0] - wcss[-1])
+    # Distance from each point to the chord through (0,1) and (1,0):
+    # |x + y - 1| / sqrt(2); the sqrt(2) is constant so skip it.
+    dist = np.abs(x + y - 1.0)
+    return int(ks[int(dist.argmax())])
+
+
+#: Greedy-refinement parameters of the variance elbow: after the knee,
+#: keep adding clusters while one more cluster still removes at least
+#: ``ADVANCE_RATIO`` of the remaining WCSS — but never once the fit
+#: already explains ``EXPLAINED_CAP`` of the variance.
+ADVANCE_RATIO = 0.75
+EXPLAINED_CAP = 0.97
+
+
+def variance_elbow_k(
+    results: Dict[int, KMeansResult],
+    threshold: float = DEFAULT_ELBOW_THRESHOLD,
+    advance_ratio: float = ADVANCE_RATIO,
+    explained_cap: float = EXPLAINED_CAP,
+) -> int:
+    """Percentage-of-variance-explained form of the elbow criterion.
+
+    Picks the smallest k whose clustering explains at least ``threshold``
+    of the k=1 WCSS (the knee), then greedily refines: while the *next*
+    cluster would still remove at least ``advance_ratio`` of the remaining
+    WCSS — a sign the knee sat on top of real unresolved structure — and
+    the current fit has not already explained ``explained_cap`` of the
+    variance, advance k by one.
+
+    The refinement matters when clusters are very unequal in mass: a huge
+    dominant cluster can push the cumulative curve over the knee while a
+    small genuine cluster (e.g. Graph500's bfs-loop intervals) is still
+    merged; the remaining-WCSS ratio exposes it.  Robust likewise when
+    interval mixtures put probability mass *between* phase centroids
+    (boundary intervals), which flattens the geometric chord criterion.
+    """
+    ks = sorted(results)
+    total = results[ks[0]].inertia
+    # A (near-)zero k=1 WCSS means every interval is identical up to float
+    # noise: one phase, no matter what the noise-scale curve looks like.
+    if total <= 1e-12:
+        return ks[0]
+
+    chosen = ks[-1]
+    for k in ks:
+        if (total - results[k].inertia) / total >= threshold:
+            chosen = k
+            break
+
+    while chosen + 1 in results:
+        current = results[chosen].inertia
+        explained = (total - current) / total
+        if current <= 0.0 or explained >= explained_cap:
+            break
+        nxt = results[chosen + 1].inertia
+        if (current - nxt) / current < advance_ratio:
+            break
+        chosen += 1
+    return chosen
+
+
+def silhouette_score(points: np.ndarray, labels: np.ndarray) -> float:
+    """Mean silhouette coefficient over all points (from scratch).
+
+    For each point: a = mean distance to its own cluster's other members,
+    b = smallest mean distance to another cluster, s = (b - a)/max(a, b).
+    Singleton clusters contribute s = 0 (standard convention).
+    """
+    points = np.asarray(points, dtype=float)
+    labels = np.asarray(labels)
+    n = points.shape[0]
+    unique = np.unique(labels)
+    if unique.size < 2:
+        raise ValidationError("silhouette requires at least two clusters")
+    if unique.size > n - 1:
+        raise ValidationError("silhouette requires k <= n - 1")
+
+    diffs = points[:, None, :] - points[None, :, :]
+    dists = np.sqrt(np.einsum("ijk,ijk->ij", diffs, diffs))
+
+    scores = np.zeros(n)
+    for i in range(n):
+        own = labels == labels[i]
+        own_count = own.sum() - 1
+        if own_count == 0:
+            scores[i] = 0.0
+            continue
+        a = dists[i, own].sum() / own_count
+        b = np.inf
+        for cluster in unique:
+            if cluster == labels[i]:
+                continue
+            members = labels == cluster
+            b = min(b, dists[i, members].mean())
+        denom = max(a, b)
+        scores[i] = 0.0 if denom == 0 else (b - a) / denom
+    return float(scores.mean())
+
+
+def silhouette_k(points: np.ndarray, results: Dict[int, KMeansResult]) -> int:
+    """Pick the k (>= 2) maximizing mean silhouette."""
+    best_k, best_score = None, -np.inf
+    n = np.asarray(points).shape[0]
+    for k, result in sorted(results.items()):
+        if k < 2 or k > n - 1:
+            continue
+        score = silhouette_score(points, result.labels)
+        if score > best_score:
+            best_k, best_score = k, score
+    if best_k is None:
+        return 1
+    return best_k
+
+
+def choose_k(
+    points: np.ndarray,
+    kmax: int = DEFAULT_KMAX,
+    method: str = "elbow",
+    seed: Union[int, np.random.Generator] = 0,
+    n_init: int = 8,
+    threshold: float = DEFAULT_ELBOW_THRESHOLD,
+) -> KSelection:
+    """Run the k sweep and select k with the requested method."""
+    if method not in ("elbow", "chord", "silhouette"):
+        raise ValidationError(f"unknown k-selection method {method!r}")
+    results = wcss_curve(points, kmax=kmax, seed=seed, n_init=n_init)
+    if method == "elbow":
+        chosen = variance_elbow_k(results, threshold=threshold)
+        scores = {k: r.inertia for k, r in results.items()}
+    elif method == "chord":
+        chosen = elbow_k(results)
+        scores = {k: r.inertia for k, r in results.items()}
+    else:
+        chosen = silhouette_k(points, results)
+        scores = {}
+        n = np.asarray(points).shape[0]
+        for k, r in results.items():
+            if 2 <= k <= n - 1:
+                scores[k] = silhouette_score(points, r.labels)
+    return KSelection(method=method, chosen_k=chosen, results=results, scores=scores)

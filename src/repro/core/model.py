@@ -1,0 +1,82 @@
+"""Fundamental result types shared across the analysis pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+class InstType(str, Enum):
+    """How a discovered site should be instrumented.
+
+    *body*: heartbeat begin/end wrap the function body (the covering
+    interval saw calls to the function).
+
+    *loop*: the function had self-time but zero calls in the covering
+    interval — it kept running from an earlier invocation, so a loop
+    inside its body must carry the heartbeat.
+    """
+
+    BODY = "body"
+    LOOP = "loop"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class Site:
+    """An instrumentation site: a function plus how to instrument it."""
+
+    function: str
+    inst_type: InstType
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.function} [{self.inst_type.value}]"
+
+
+@dataclass(frozen=True)
+class SelectedSite:
+    """A site selected for a phase, with its coverage shares.
+
+    ``phase_pct``/``app_pct`` follow the paper's tables: intervals are
+    attributed to the earliest-selected site active in them; the shares
+    are attributed intervals over the phase's and the whole run's interval
+    counts respectively.
+    """
+
+    site: Site
+    phase_id: int
+    hb_id: int
+    phase_pct: float
+    app_pct: float
+    covered_intervals: Tuple[int, ...]
+
+    @property
+    def function(self) -> str:
+        return self.site.function
+
+    @property
+    def inst_type(self) -> InstType:
+        return self.site.inst_type
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One detected phase: a cluster of profile intervals."""
+
+    phase_id: int
+    interval_indices: Tuple[int, ...]
+    centroid: Optional[np.ndarray] = None
+
+    def __len__(self) -> int:
+        return len(self.interval_indices)
+
+    def fraction_of(self, total_intervals: int) -> float:
+        """This phase's share of the whole run, by interval count."""
+        if total_intervals <= 0:
+            return 0.0
+        return len(self.interval_indices) / total_intervals

@@ -1,0 +1,164 @@
+"""Online phase tracking for deployed runs.
+
+The paper's end goal is *in-production* phase visibility: discovery runs
+offline once, instrumentation ships, and deployment monitoring tracks
+the phases thereafter.  This module closes the loop on the profile side:
+a :class:`OnlinePhaseTracker` is trained on an offline analysis and then
+classifies *new* interval profiles as they stream in — nearest phase
+centroid, with a distance gate that flags intervals unlike anything seen
+during training (novel behaviour: new inputs, degraded nodes, bugs).
+
+The gate is calibrated from the training data itself: an interval is
+*novel* when its distance to the nearest centroid exceeds that phase's
+``quantile`` training distance by ``slack``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.pipeline import AnalysisResult
+from repro.gprof.gmon import GmonData
+from repro.util.errors import ValidationError
+
+#: Phase label reported for intervals unlike any training phase.
+NOVEL = -1
+
+
+@dataclass(frozen=True)
+class TrackedInterval:
+    """One classified deployment interval."""
+
+    index: int
+    phase_id: int  # NOVEL (-1) when outside every phase's gate
+    distance: float
+    nearest_phase: int
+
+    @property
+    def is_novel(self) -> bool:
+        return self.phase_id == NOVEL
+
+
+class OnlinePhaseTracker:
+    """Classify streaming interval profiles against trained phases."""
+
+    def __init__(
+        self,
+        functions: Sequence[str],
+        centroids: np.ndarray,
+        gates: np.ndarray,
+        interval: float = 1.0,
+    ) -> None:
+        if centroids.ndim != 2 or centroids.shape[0] != gates.shape[0]:
+            raise ValidationError("centroids and gates disagree")
+        if centroids.shape[1] != len(functions):
+            raise ValidationError("centroid width must match function count")
+        self.functions = list(functions)
+        self._index = {name: j for j, name in enumerate(self.functions)}
+        self.centroids = centroids.astype(float)
+        self.gates = gates.astype(float)
+        self.interval = interval
+        self.history: List[TrackedInterval] = []
+        self._previous: Optional[GmonData] = None
+
+    # ------------------------------------------------------------------
+    # training
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_analysis(
+        cls,
+        analysis: AnalysisResult,
+        quantile: float = 0.95,
+        slack: float = 1.5,
+    ) -> "OnlinePhaseTracker":
+        """Train a tracker from an offline phase-detection result.
+
+        ``quantile``/``slack``: a phase's gate is ``slack`` times the
+        ``quantile`` of its training members' centroid distances (plus a
+        small absolute floor so zero-variance phases keep a gate).
+        """
+        if not 0 < quantile <= 1 or slack <= 0:
+            raise ValidationError("quantile in (0,1], slack > 0 required")
+        data = analysis.interval_data
+        features = data.self_time
+        phases = analysis.phase_model.phases
+        centroids = np.vstack([
+            features[list(phase.interval_indices)].mean(axis=0)
+            for phase in phases
+        ])
+        gates = np.empty(len(phases))
+        for phase_id, phase in enumerate(phases):
+            members = features[list(phase.interval_indices)]
+            dists = np.linalg.norm(members - centroids[phase_id], axis=1)
+            gates[phase_id] = max(float(np.quantile(dists, quantile)) * slack, 0.05)
+        return cls(
+            functions=data.functions,
+            centroids=centroids,
+            gates=gates,
+            interval=data.interval,
+        )
+
+    # ------------------------------------------------------------------
+    # streaming classification
+    # ------------------------------------------------------------------
+    def _vectorize(self, profile: Dict[str, float]) -> np.ndarray:
+        vec = np.zeros(len(self.functions))
+        for func, seconds in profile.items():
+            j = self._index.get(func)
+            if j is not None:
+                vec[j] = seconds
+        return vec
+
+    def classify(self, profile: Dict[str, float]) -> TrackedInterval:
+        """Classify one interval profile (function -> self seconds)."""
+        vec = self._vectorize(profile)
+        dists = np.linalg.norm(self.centroids - vec[None, :], axis=1)
+        nearest = int(dists.argmin())
+        distance = float(dists[nearest])
+        phase_id = nearest if distance <= self.gates[nearest] else NOVEL
+        tracked = TrackedInterval(
+            index=len(self.history),
+            phase_id=phase_id,
+            distance=distance,
+            nearest_phase=nearest,
+        )
+        self.history.append(tracked)
+        return tracked
+
+    def observe_snapshot(self, snapshot: GmonData) -> Optional[TrackedInterval]:
+        """Feed a *cumulative* gmon snapshot (deployment dump stream).
+
+        The first snapshot primes the differencer and returns None; each
+        later one is differenced against its predecessor and classified.
+        """
+        if self._previous is None:
+            self._previous = snapshot
+            return None
+        delta = snapshot.subtract(self._previous)
+        self._previous = snapshot
+        profile = {func: ticks * delta.sample_period
+                   for func, ticks in delta.hist.items()}
+        return self.classify(profile)
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def phase_sequence(self) -> List[int]:
+        return [t.phase_id for t in self.history]
+
+    def novel_fraction(self) -> float:
+        if not self.history:
+            return 0.0
+        return sum(t.is_novel for t in self.history) / len(self.history)
+
+    def transitions(self) -> List[Tuple[int, int, int]]:
+        """(interval, from_phase, to_phase) for every phase change."""
+        out: List[Tuple[int, int, int]] = []
+        seq = self.phase_sequence()
+        for i in range(1, len(seq)):
+            if seq[i] != seq[i - 1]:
+                out.append((i, seq[i - 1], seq[i]))
+        return out

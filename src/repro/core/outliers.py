@@ -1,0 +1,91 @@
+"""Outlier-interval analysis.
+
+Algorithm 1 stops at a coverage threshold "to skip outliers", and the
+paper flags "the issue of alternatives for dealing with outlier
+intervals" as open.  This module characterizes what the threshold
+skipped: for each phase, the uncovered intervals are classified as
+
+- **idle** — no sampled activity at all (barriers, I/O waits);
+- **foreign** — dominated by a function selected for a *different*
+  phase (cluster-boundary mixing);
+- **unique** — activity in functions selected nowhere (genuinely
+  unusual behaviour worth a human look).
+
+The classification turns the silent 5 % into an actionable report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.core.pipeline import AnalysisResult
+
+
+@dataclass(frozen=True)
+class OutlierInterval:
+    """One uncovered interval and why it was left out."""
+
+    interval: int
+    phase_id: int
+    kind: str  # "idle" | "foreign" | "unique"
+    dominant_function: str  # "" for idle
+    self_seconds: float
+
+
+@dataclass(frozen=True)
+class OutlierReport:
+    """All uncovered intervals across phases."""
+
+    outliers: Tuple[OutlierInterval, ...]
+    total_intervals: int
+
+    @property
+    def uncovered_pct(self) -> float:
+        return 100.0 * len(self.outliers) / max(1, self.total_intervals)
+
+    def by_kind(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {"idle": 0, "foreign": 0, "unique": 0}
+        for outlier in self.outliers:
+            counts[outlier.kind] += 1
+        return counts
+
+    def unique_functions(self) -> List[str]:
+        """Functions behind 'unique' outliers — candidate extra sites."""
+        return sorted({o.dominant_function for o in self.outliers
+                       if o.kind == "unique"})
+
+
+def analyze_outliers(result: AnalysisResult) -> OutlierReport:
+    """Classify every interval Algorithm 1 left uncovered."""
+    data = result.interval_data
+    selected_per_phase = [
+        {s.function for s in sites} for sites in result.selection.per_phase
+    ]
+    all_selected = set().union(*selected_per_phase) if selected_per_phase else set()
+    func_index = {name: j for j, name in enumerate(data.functions)}
+
+    covered: set = set()
+    for selected in result.selection.all_sites():
+        covered.update(selected.covered_intervals)
+
+    outliers: List[OutlierInterval] = []
+    for phase in result.phase_model.phases:
+        for interval in phase.interval_indices:
+            if interval in covered:
+                continue
+            row = data.self_time[interval]
+            total = float(row.sum())
+            if total <= 0.0:
+                outliers.append(OutlierInterval(interval, phase.phase_id,
+                                                "idle", "", 0.0))
+                continue
+            dominant = data.functions[int(np.argmax(row))]
+            kind = "foreign" if dominant in all_selected else "unique"
+            outliers.append(OutlierInterval(interval, phase.phase_id, kind,
+                                            dominant, total))
+    outliers.sort(key=lambda o: o.interval)
+    return OutlierReport(outliers=tuple(outliers),
+                         total_intervals=data.n_intervals)

@@ -1,0 +1,127 @@
+"""The end-to-end analysis driver (Section V of the paper).
+
+``analyze_snapshots`` takes the ordered cumulative gmon snapshots IncProf
+collected for one rank and returns everything the evaluation consumes:
+interval data, the k sweep, the phase model, and the selected
+instrumentation sites with coverage shares.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.features import FeatureConfig, build_features
+from repro.core.instrumentation import SiteSelection, select_sites
+from repro.core.intervals import (
+    IntervalData,
+    intervals_from_flat_profiles,
+    intervals_from_snapshots,
+)
+from repro.core.kselect import DEFAULT_ELBOW_THRESHOLD, DEFAULT_KMAX
+from repro.core.model import SelectedSite, Site
+from repro.core.phases import PhaseModel, detect_phases
+from repro.gprof.flatprofile import FlatProfile
+from repro.gprof.gmon import GmonData
+from repro.gprof.reports import parse_flat_profile, render_gprof_report
+
+
+@dataclass(frozen=True)
+class AnalysisConfig:
+    """Knobs of the phase-detection pipeline (paper defaults)."""
+
+    kmax: int = DEFAULT_KMAX
+    kselect_method: str = "elbow"
+    kselect_threshold: float = DEFAULT_ELBOW_THRESHOLD
+    coverage_threshold: float = 0.95
+    feature: FeatureConfig = field(default_factory=FeatureConfig)
+    seed: int = 0
+    n_init: int = 8
+    drop_short_final: bool = True
+    min_final_fraction: float = 0.5
+    drop_inactive_functions: bool = True
+    via_text_reports: bool = False
+    """Round-trip snapshots through gprof text reports before analysis —
+    the original tool's parse path (costs the reports' 2-decimal precision)."""
+
+
+@dataclass(frozen=True)
+class AnalysisResult:
+    """Everything the phase-detection pipeline produces."""
+
+    interval_data: IntervalData
+    features: np.ndarray
+    phase_model: PhaseModel
+    selection: SiteSelection
+    config: AnalysisConfig
+
+    @property
+    def n_phases(self) -> int:
+        return self.phase_model.n_phases
+
+    def sites(self) -> List[SelectedSite]:
+        return self.selection.all_sites()
+
+    def unique_sites(self) -> List[Site]:
+        return self.selection.unique_sites()
+
+    def site_labels(self) -> Dict[int, str]:
+        """Heartbeat id -> function name, for plotting legends."""
+        return {s.hb_id: s.function for s in self.sites()}
+
+    def phase_fraction(self, phase_id: int) -> float:
+        return self.phase_model.phase(phase_id).fraction_of(self.interval_data.n_intervals)
+
+
+def analyze_intervals(data: IntervalData, config: AnalysisConfig = AnalysisConfig()) -> AnalysisResult:
+    """Run clustering + Algorithm 1 on pre-built interval data."""
+    if config.drop_inactive_functions:
+        data = data.drop_inactive_functions()
+    features = build_features(data, config.feature)
+    phase_model = detect_phases(
+        features,
+        kmax=config.kmax,
+        method=config.kselect_method,
+        seed=config.seed,
+        n_init=config.n_init,
+        threshold=config.kselect_threshold,
+    )
+    selection = select_sites(
+        data, phase_model, features=features, coverage_threshold=config.coverage_threshold
+    )
+    return AnalysisResult(
+        interval_data=data,
+        features=features,
+        phase_model=phase_model,
+        selection=selection,
+        config=config,
+    )
+
+
+def analyze_snapshots(
+    snapshots: Sequence[GmonData],
+    config: AnalysisConfig = AnalysisConfig(),
+) -> AnalysisResult:
+    """Full pipeline from IncProf's cumulative snapshots.
+
+    With ``config.via_text_reports`` the snapshots are first rendered to
+    gprof-style text and re-parsed, exercising the exact data path of the
+    original tool.
+    """
+    if config.via_text_reports:
+        profiles: List[FlatProfile] = []
+        for snap in snapshots:
+            profile = parse_flat_profile(render_gprof_report(snap, include_callgraph=False))
+            profile.timestamp = snap.timestamp
+            profiles.append(profile)
+        interval = snapshots[0].timestamp if snapshots[0].timestamp > 0 else 1.0
+        data = intervals_from_flat_profiles(profiles, interval=interval)
+    else:
+        data = intervals_from_snapshots(
+            snapshots,
+            drop_short_final=config.drop_short_final,
+            min_final_fraction=config.min_final_fraction,
+        )
+    return analyze_intervals(data, config)

@@ -1,0 +1,96 @@
+"""Phase post-processing: merging equivalent phases.
+
+The paper (Section VI-A, VI-D) observes that distinct k-means clusters
+can share instrumentation sites — Graph500's two ``run_bfs`` phases,
+LAMMPS's two ``PairLJCut::compute`` phases — and suggests that "phase
+discovery might need some postprocessing to combine phases which have
+the same instrumentation sites."  This module implements that
+post-processing.
+
+Two phases merge when their selected site *functions* are equal (the
+body/loop designation may differ between them — that is precisely the
+Graph500 case, where the same function is instrumented two ways).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Tuple
+
+from repro.core.model import Site
+from repro.core.pipeline import AnalysisResult
+
+
+@dataclass(frozen=True)
+class MergedPhase:
+    """A group of equivalent phases treated as one application phase."""
+
+    merged_id: int
+    phase_ids: Tuple[int, ...]
+    functions: FrozenSet[str]
+    sites: Tuple[Site, ...]
+    interval_indices: Tuple[int, ...]
+    app_pct: float
+
+    @property
+    def was_merged(self) -> bool:
+        return len(self.phase_ids) > 1
+
+
+@dataclass(frozen=True)
+class MergedPhaseModel:
+    """The phase model after site-equivalence merging."""
+
+    merged: Tuple[MergedPhase, ...]
+    n_original: int
+
+    @property
+    def n_phases(self) -> int:
+        return len(self.merged)
+
+    def merges_applied(self) -> int:
+        """How many original phases were absorbed by merging."""
+        return self.n_original - self.n_phases
+
+
+def merge_equivalent_phases(result: AnalysisResult) -> MergedPhaseModel:
+    """Group phases whose selected site-function sets are identical.
+
+    Returns merged phases ordered by combined interval count descending
+    (ties by lowest original phase id), with coverage re-expressed over
+    the union of member intervals.
+    """
+    groups: Dict[FrozenSet[str], List[int]] = {}
+    for phase_id, sites in enumerate(result.selection.per_phase):
+        key = frozenset(s.function for s in sites)
+        groups.setdefault(key, []).append(phase_id)
+
+    total = max(1, result.interval_data.n_intervals)
+    raw: List[Tuple[FrozenSet[str], List[int]]] = sorted(
+        groups.items(),
+        key=lambda item: (
+            -sum(len(result.phase_model.phase(p).interval_indices) for p in item[1]),
+            min(item[1]),
+        ),
+    )
+
+    merged: List[MergedPhase] = []
+    for merged_id, (functions, phase_ids) in enumerate(raw):
+        intervals: List[int] = []
+        sites: List[Site] = []
+        for phase_id in sorted(phase_ids):
+            intervals.extend(result.phase_model.phase(phase_id).interval_indices)
+            for selected in result.selection.per_phase[phase_id]:
+                if selected.site not in sites:
+                    sites.append(selected.site)
+        merged.append(
+            MergedPhase(
+                merged_id=merged_id,
+                phase_ids=tuple(sorted(phase_ids)),
+                functions=functions,
+                sites=tuple(sites),
+                interval_indices=tuple(sorted(intervals)),
+                app_pct=100.0 * len(intervals) / total,
+            )
+        )
+    return MergedPhaseModel(merged=tuple(merged), n_original=result.n_phases)

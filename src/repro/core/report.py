@@ -1,0 +1,89 @@
+"""Rendering analysis results in the paper's table layout.
+
+Tables II-VI list, per phase, the discovered site function with its
+heartbeat ID, Phase %, App %, and instrumentation type, followed by the
+manual instrumentation sites chosen by inspection.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.core.model import Site
+from repro.core.pipeline import AnalysisResult
+from repro.util.tables import Table
+
+
+def sites_table(
+    result: AnalysisResult,
+    title: str = "Instrumented Functions",
+    manual_sites: Optional[Sequence[Site]] = None,
+) -> Table:
+    """Build the paper-style per-app instrumentation table."""
+    table = Table(
+        headers=["Phase ID", "HB ID", "Discovered Site Function", "Phase %", "App %", "Inst. Type"],
+        title=title,
+    )
+    for phase_sites in result.selection.per_phase:
+        for selected in phase_sites:
+            table.add_row(
+                selected.phase_id,
+                selected.hb_id,
+                selected.function,
+                selected.phase_pct,
+                selected.app_pct,
+                selected.inst_type.value,
+            )
+    if manual_sites:
+        table.add_separator("Manual Instrumentation Sites")
+        for site in manual_sites:
+            table.add_row("", "", site.function, None, None, site.inst_type.value)
+    return table
+
+
+def phases_summary_table(result: AnalysisResult, title: str = "Phases") -> Table:
+    """Per-phase summary: size, share of run, and site count."""
+    table = Table(headers=["Phase ID", "Intervals", "Run %", "Sites"], title=title)
+    n = result.interval_data.n_intervals
+    for phase, sites in zip(result.phase_model.phases, result.selection.per_phase):
+        table.add_row(
+            phase.phase_id,
+            len(phase.interval_indices),
+            100.0 * len(phase.interval_indices) / max(1, n),
+            len(sites),
+        )
+    return table
+
+
+def kcurve_table(result: AnalysisResult, title: str = "k selection") -> Table:
+    """The WCSS (or silhouette) sweep behind the chosen k."""
+    selection = result.phase_model.kselection
+    table = Table(headers=["k", "WCSS", "score", "chosen"], title=title, float_fmt=".4g")
+    for k in sorted(selection.results):
+        table.add_row(
+            k,
+            selection.results[k].inertia,
+            selection.scores.get(k),
+            "<--" if k == selection.chosen_k else "",
+        )
+    return table
+
+
+def render_full_report(
+    result: AnalysisResult,
+    app_name: str,
+    manual_sites: Optional[Iterable[Site]] = None,
+) -> str:
+    """Render a complete textual analysis report for one application."""
+    parts = [
+        sites_table(
+            result,
+            title=f"{app_name.upper()} INSTRUMENTED FUNCTIONS",
+            manual_sites=list(manual_sites) if manual_sites else None,
+        ).render(),
+        "",
+        phases_summary_table(result, title=f"{app_name}: phases").render(),
+        "",
+        kcurve_table(result, title=f"{app_name}: k-means sweep").render(),
+    ]
+    return "\n".join(parts)

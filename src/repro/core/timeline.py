@@ -1,0 +1,83 @@
+"""Phase timeline rendering.
+
+A one-line-per-run visual of *when* each phase is active — the temporal
+view the paper's heartbeat figures convey, derived directly from the
+interval labels.  Each phase gets a symbol; the strip shows the run's
+interval sequence (optionally compressed to a display width).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.pipeline import AnalysisResult
+from repro.util.errors import ValidationError
+
+_SYMBOLS = "0123456789ABCDEFGHJK"
+_NOVEL_SYMBOL = "!"
+_IDLE_SYMBOL = "."
+
+
+def phase_strip(
+    labels: Sequence[int],
+    width: Optional[int] = None,
+) -> str:
+    """Render a label sequence as a symbol strip.
+
+    Labels < 0 render as ``!`` (novel/unassigned).  With ``width``, the
+    sequence is compressed by majority vote per bucket.
+    """
+    labels = list(labels)
+    if not labels:
+        return ""
+    if width is not None and width > 0 and len(labels) > width:
+        edges = np.linspace(0, len(labels), width + 1).astype(int)
+        compressed = []
+        for a, b in zip(edges[:-1], edges[1:]):
+            bucket = labels[a:b] or [labels[min(a, len(labels) - 1)]]
+            counts: Dict[int, int] = {}
+            for label in bucket:
+                counts[label] = counts.get(label, 0) + 1
+            compressed.append(max(counts, key=counts.get))
+        labels = compressed
+
+    out = []
+    for label in labels:
+        if label < 0:
+            out.append(_NOVEL_SYMBOL)
+        elif label < len(_SYMBOLS):
+            out.append(_SYMBOLS[label])
+        else:
+            out.append("?")
+    return "".join(out)
+
+
+def render_timeline(result: AnalysisResult, width: int = 100) -> str:
+    """Phase timeline of an analyzed run, with a per-phase legend."""
+    strip = phase_strip(result.phase_model.labels.tolist(), width=width)
+    lines: List[str] = [
+        f"phase timeline ({result.interval_data.n_intervals} intervals of "
+        f"{result.interval_data.interval:g}s):",
+        "  " + strip,
+    ]
+    for phase, sites in zip(result.phase_model.phases, result.selection.per_phase):
+        symbol = _SYMBOLS[phase.phase_id] if phase.phase_id < len(_SYMBOLS) else "?"
+        functions = ", ".join(s.function for s in sites) or "(no site)"
+        share = 100.0 * len(phase.interval_indices) / max(
+            1, result.interval_data.n_intervals
+        )
+        lines.append(f"  {symbol} = phase {phase.phase_id} ({share:.1f}%): {functions}")
+    return "\n".join(lines)
+
+
+def run_lengths(labels: Sequence[int]) -> List[tuple]:
+    """Compress labels to (phase, length) runs — phase dwell times."""
+    out: List[tuple] = []
+    for label in labels:
+        if out and out[-1][0] == label:
+            out[-1] = (label, out[-1][1] + 1)
+        else:
+            out.append((label, 1))
+    return out

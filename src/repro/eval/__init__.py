@@ -1,0 +1,43 @@
+"""Evaluation harness: regenerates every table and figure in the paper.
+
+- :mod:`repro.eval.paperdata` — the published numbers (Tables I-VI) as
+  constants, for side-by-side comparison;
+- :mod:`repro.eval.overhead` — the Table I overhead measurements
+  (uninstrumented vs IncProf vs heartbeat builds, with measurement noise
+  and per-app build biases);
+- :mod:`repro.eval.experiments` — the per-app experiment driver (collect,
+  analyze, instrument, re-run with heartbeats), with memoized results;
+- :mod:`repro.eval.tables` — Table I and Tables II-VI generators;
+- :mod:`repro.eval.figures` — Figures 2-6 heartbeat series and plots.
+"""
+
+from repro.eval.experiments import ExperimentResult, run_experiment, clear_cache
+from repro.eval.overhead import OverheadResult, measure_overheads
+from repro.eval.tables import table1, app_sites_table, comparison_table
+from repro.eval.figures import heartbeat_figure, FigureResult
+from repro.eval.rank_consistency import RankConsistency, analyze_all_ranks
+from repro.eval.report_md import render_markdown_report, write_markdown_report
+from repro.eval.stability import StabilityResult, stability_sweep
+from repro.eval.site_quality import SiteQuality, compare_site_sets, quality_table
+
+__all__ = [
+    "ExperimentResult",
+    "run_experiment",
+    "clear_cache",
+    "OverheadResult",
+    "measure_overheads",
+    "table1",
+    "app_sites_table",
+    "comparison_table",
+    "heartbeat_figure",
+    "FigureResult",
+    "RankConsistency",
+    "analyze_all_ranks",
+    "render_markdown_report",
+    "write_markdown_report",
+    "StabilityResult",
+    "stability_sweep",
+    "SiteQuality",
+    "compare_site_sets",
+    "quality_table",
+]

@@ -1,0 +1,71 @@
+"""Figure generators (paper Figures 2-6: per-app heartbeat plots).
+
+Each figure shows the average heartbeat duration per interval for the
+discovered instrumentation sites — and, where the paper plots them
+(Graph500, MiniAMR, Gadget2), the manual sites as well.  The raw dense
+series are returned alongside ASCII renderings so tests and benches can
+assert on the *shape*: activity spans, gaps, and which sites dominate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.eval.experiments import ExperimentResult
+from repro.heartbeat.analysis import HeartbeatSeries
+
+#: Figure numbers per app, and whether the paper also plots manual sites.
+FIGURES: Dict[str, Dict] = {
+    "graph500": {"number": 2, "manual": True},
+    "minife": {"number": 3, "manual": False},
+    "miniamr": {"number": 4, "manual": True},
+    "lammps": {"number": 5, "manual": False},
+    "gadget2": {"number": 6, "manual": True},
+}
+
+
+@dataclass
+class FigureResult:
+    """One regenerated figure: series plus text renderings."""
+
+    app_name: str
+    number: int
+    discovered: HeartbeatSeries
+    manual: Optional[HeartbeatSeries]
+
+    def render(self, width: int = 100, height: int = 14) -> str:
+        parts: List[str] = [
+            self.discovered.duration_plot(
+                f"Fig. {self.number} — {self.app_name}: discovered-site heartbeats "
+                "(avg duration per interval)",
+                width=width, height=height,
+            ).render()
+        ]
+        if self.manual is not None:
+            parts.append("")
+            parts.append(
+                self.manual.duration_plot(
+                    f"Fig. {self.number} — {self.app_name}: manual-site heartbeats",
+                    width=width, height=height,
+                ).render()
+            )
+        return "\n".join(parts)
+
+    def summary_rows(self) -> List[Dict[str, object]]:
+        rows = [dict(kind="discovered", **row) for row in self.discovered.summary()]
+        if self.manual is not None:
+            rows.extend(dict(kind="manual", **row) for row in self.manual.summary())
+        return rows
+
+
+def heartbeat_figure(result: ExperimentResult) -> FigureResult:
+    """Regenerate the heartbeat figure for one experiment."""
+    spec = FIGURES.get(result.app_name, {"number": 0, "manual": True})
+    manual = result.manual_series() if spec["manual"] else None
+    return FigureResult(
+        app_name=result.app_name,
+        number=spec["number"],
+        discovered=result.discovered_series(),
+        manual=manual,
+    )

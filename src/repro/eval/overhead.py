@@ -1,0 +1,101 @@
+"""Overhead measurement (paper Table I, columns 4-5).
+
+The paper measures overhead the only way one can: run each build and
+compare wall clocks.  Three builds per app:
+
+- **plain**: no instrumentation (the baseline runtime);
+- **IncProf**: ``-pg`` build under the snapshot collector — overhead
+  emerges from mcount cost per call, SIGPROF handling, and per-dump cost,
+  plus any systematic ``-pg``-build bias (MiniFE's negative anomaly);
+- **heartbeat**: AppEKG build with the *manual* sites instrumented (as the
+  paper's Table I states), overhead from per-event cost plus the app's
+  heartbeat-build bias (LAMMPS's prototype artifact).
+
+Each measured runtime includes seeded run-to-run noise, so small
+overheads can legitimately come out negative — exactly as in real
+measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.base import AppModel
+from repro.heartbeat.instrument import bindings_from_sites
+from repro.incprof.session import DEFAULT_SEED, Session, SessionConfig
+from repro.util.rng import rng_stream
+
+
+@dataclass(frozen=True)
+class OverheadResult:
+    """Measured runtimes and derived overhead percentages for one app."""
+
+    app_name: str
+    uninstrumented_s: float
+    incprof_s: float
+    heartbeat_s: float
+    #: Model-side statistics (before noise), useful for analysis.
+    incprof_overhead_model_s: float
+    heartbeat_overhead_model_s: float
+    total_calls: int
+
+    @property
+    def incprof_overhead_pct(self) -> float:
+        return 100.0 * (self.incprof_s - self.uninstrumented_s) / self.uninstrumented_s
+
+    @property
+    def heartbeat_overhead_pct(self) -> float:
+        return 100.0 * (self.heartbeat_s - self.uninstrumented_s) / self.uninstrumented_s
+
+
+def measure_overheads(
+    app: AppModel,
+    scale: float = 1.0,
+    seed: int = DEFAULT_SEED,
+    interval: float = 1.0,
+) -> OverheadResult:
+    """Run the three builds of ``app`` and measure Table I's overheads.
+
+    Runs are single-rank (the job runtime of a symmetric application is
+    its representative rank's); multi-rank collection is exercised by
+    :class:`~repro.incprof.session.Session` directly.
+    """
+    base_cfg = dict(interval=interval, ranks=1, seed=seed, scale=scale)
+
+    plain = Session(
+        app, SessionConfig(collect_profiles=False, charge_costs=False, **base_cfg)
+    ).run()
+    incprof = Session(
+        app, SessionConfig(collect_profiles=True, charge_costs=True, **base_cfg)
+    ).run()
+    manual_bindings = bindings_from_sites(app.manual_sites)
+    heartbeat = Session(
+        app,
+        SessionConfig(
+            collect_profiles=False,
+            charge_costs=True,
+            heartbeat_sites=manual_bindings,
+            **base_cfg,
+        ),
+    ).run()
+
+    # Measurement: apply per-build systematic bias and run-to-run noise.
+    noise = app.noise
+    plain_s = noise.apply(plain.runtime, rng_stream(seed, app.name, "measure", "plain"),
+                          instrumented=False)
+    incprof_raw = incprof.runtime * (1.0 + app.incprof_build_bias)
+    incprof_s = noise.apply(incprof_raw, rng_stream(seed, app.name, "measure", "incprof"),
+                            instrumented=False)
+    heartbeat_raw = heartbeat.runtime * (1.0 + app.heartbeat_build_bias)
+    heartbeat_s = noise.apply(heartbeat_raw, rng_stream(seed, app.name, "measure", "hb"),
+                              instrumented=False)
+
+    return OverheadResult(
+        app_name=app.name,
+        uninstrumented_s=plain_s,
+        incprof_s=incprof_s,
+        heartbeat_s=heartbeat_s,
+        incprof_overhead_model_s=incprof.rank0.total_overhead,
+        heartbeat_overhead_model_s=heartbeat.rank0.total_overhead,
+        total_calls=incprof.rank0.total_calls,
+    )

@@ -1,0 +1,96 @@
+"""The paper's published evaluation numbers (for comparison only).
+
+These constants transcribe Tables I-VI of the paper.  The benchmark
+harness prints them next to the regenerated values so EXPERIMENTS.md can
+record paper-vs-measured for every table and figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.core.model import InstType
+
+
+@dataclass(frozen=True)
+class PaperTable1Row:
+    """One row of Table I (experimental overview)."""
+
+    app: str
+    procs: int
+    nodes: int
+    uninstrumented_runtime_s: float
+    incprof_overhead_pct: float
+    heartbeat_overhead_pct: float
+    n_phases: int
+
+
+TABLE1: Dict[str, PaperTable1Row] = {
+    "graph500": PaperTable1Row("graph500", 1, 1, 188, 10.1, 1.6, 4),
+    "minife": PaperTable1Row("minife", 16, 2, 617, -6.2, 1.1, 5),
+    "miniamr": PaperTable1Row("miniamr", 16, 2, 459, 1.5, 0.2, 2),
+    "lammps": PaperTable1Row("lammps", 16, 2, 307, 7.5, 8.1, 4),
+    "gadget2": PaperTable1Row("gadget2", 16, 2, 421, 6.4, 1.0, 3),
+}
+
+
+@dataclass(frozen=True)
+class PaperSiteRow:
+    """One discovered-site row of Tables II-VI."""
+
+    phase_id: int
+    hb_id: int
+    function: str
+    phase_pct: float
+    app_pct: Optional[float]
+    inst_type: InstType
+
+
+#: Discovered instrumentation sites, Tables II-VI.
+SITES: Dict[str, Tuple[PaperSiteRow, ...]] = {
+    "graph500": (
+        PaperSiteRow(0, 1, "validate_bfs_result", 98.1, 62.2, InstType.LOOP),
+        PaperSiteRow(1, 2, "run_bfs", 100.0, 13.2, InstType.BODY),
+        PaperSiteRow(2, 3, "run_bfs", 100.0, 12.3, InstType.LOOP),
+        PaperSiteRow(3, 4, "make_one_edge", 97.2, 10.8, InstType.BODY),
+    ),
+    "minife": (
+        PaperSiteRow(0, 1, "sum_in_symm_elem_matrix", 100.0, 19.5, InstType.BODY),
+        PaperSiteRow(1, 2, "cg_solve", 100.0, 43.7, InstType.LOOP),
+        PaperSiteRow(2, 3, "init_matrix", 93.2, 10.1, InstType.LOOP),
+        PaperSiteRow(2, 4, "generate_matrix_structure", 6.8, 0.7, InstType.LOOP),
+        PaperSiteRow(3, 5, "impose_dirichlet", 100.0, 4.4, InstType.LOOP),
+        PaperSiteRow(4, 2, "cg_solve", 94.7, 20.5, InstType.LOOP),
+        PaperSiteRow(4, 6, "make_local_matrix", 2.7, 0.6, InstType.LOOP),
+    ),
+    "miniamr": (
+        PaperSiteRow(0, 1, "check_sum", 100.0, 89.1, InstType.BODY),
+        PaperSiteRow(1, 2, "allocate", 33.8, 3.7, InstType.LOOP),
+        PaperSiteRow(1, 3, "pack_block", 32.4, 3.5, InstType.BODY),
+        PaperSiteRow(1, 4, "unpack_block", 26.5, 2.9, InstType.BODY),
+    ),
+    "lammps": (
+        PaperSiteRow(0, 1, "PairLJCut::compute", 100.0, 55.7, InstType.LOOP),
+        PaperSiteRow(1, 2, "NPairHalfBinNewtonTri::build", 100.0, 7.7, InstType.LOOP),
+        PaperSiteRow(2, 1, "PairLJCut::compute", 100.0, 34.1, InstType.LOOP),
+        PaperSiteRow(3, 2, "NPairHalfBinNewtonTri::build", 50.0, 1.3, InstType.BODY),
+        PaperSiteRow(3, 4, "Velocity::create", 42.9, 1.1, InstType.LOOP),
+    ),
+    "gadget2": (
+        PaperSiteRow(0, 1, "force_treeevaluate_shortrange", 100.0, 44.9, InstType.BODY),
+        PaperSiteRow(1, 2, "pm_setup_nonperiodic_kernel", 93.8, 28.6, InstType.BODY),
+        PaperSiteRow(1, 3, "force_update_node_recursive", 5.9, 1.8, InstType.BODY),
+        PaperSiteRow(2, 1, "force_treeevaluate_shortrange", 100.0, 24.7, InstType.BODY),
+    ),
+}
+
+
+def paper_function_share(app: str, function: str) -> float:
+    """Total App % the paper attributes to ``function`` across phases."""
+    return sum(r.app_pct or 0.0 for r in SITES.get(app, ()) if r.function == function)
+
+
+def paper_site_set(app: str) -> set:
+    """The paper's set of (function, inst_type) discovered sites."""
+    return {(r.function, r.inst_type) for r in SITES.get(app, ())}

@@ -1,0 +1,114 @@
+"""Cross-rank analysis consistency.
+
+The paper analyzes one representative MPI rank and argues this suffices
+because "all of the applications being used are symmetrically parallel
+and thus all processes behave similarly", keeping the other ranks' data
+for "aggregate descriptive statistics".  This module checks that premise
+quantitatively: run the analysis on *every* rank's profile stream and
+measure how consistently phase counts and discovered site sets agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+from repro.apps.base import AppModel
+from repro.core.model import InstType
+from repro.core.pipeline import AnalysisConfig, AnalysisResult, analyze_snapshots
+from repro.incprof.session import DEFAULT_SEED, Session, SessionConfig
+from repro.simulate.mpi import SimComm
+from repro.util.errors import ValidationError
+from repro.util.tables import Table
+
+SiteKey = Tuple[str, InstType]
+
+
+@dataclass(frozen=True)
+class RankConsistency:
+    """Agreement of per-rank analyses for one application."""
+
+    app_name: str
+    n_ranks: int
+    phase_counts: Tuple[int, ...]
+    site_sets: Tuple[frozenset, ...]
+    runtime_imbalance: float
+
+    @property
+    def phase_count_agreement(self) -> float:
+        """Fraction of ranks whose phase count matches the modal count."""
+        counts: Dict[int, int] = {}
+        for k in self.phase_counts:
+            counts[k] = counts.get(k, 0) + 1
+        return max(counts.values()) / self.n_ranks
+
+    @property
+    def modal_phase_count(self) -> int:
+        counts: Dict[int, int] = {}
+        for k in self.phase_counts:
+            counts[k] = counts.get(k, 0) + 1
+        return max(counts, key=counts.get)
+
+    def mean_site_jaccard(self) -> float:
+        """Mean pairwise Jaccard similarity of per-rank site sets."""
+        if self.n_ranks < 2:
+            return 1.0
+        total, pairs = 0.0, 0
+        for i in range(self.n_ranks):
+            for j in range(i + 1, self.n_ranks):
+                a, b = self.site_sets[i], self.site_sets[j]
+                union = a | b
+                total += (len(a & b) / len(union)) if union else 1.0
+                pairs += 1
+        return total / pairs
+
+    def common_sites(self) -> Set[SiteKey]:
+        """Sites discovered on every rank."""
+        common = set(self.site_sets[0])
+        for sites in self.site_sets[1:]:
+            common &= sites
+        return common
+
+    def to_table(self) -> Table:
+        table = Table(
+            headers=["rank", "phases", "sites"],
+            title=f"{self.app_name}: per-rank analysis agreement",
+        )
+        for rank, (k, sites) in enumerate(zip(self.phase_counts, self.site_sets)):
+            table.add_row(
+                rank, k,
+                ", ".join(sorted(f"{f}[{t.value}]" for f, t in sites)),
+            )
+        return table
+
+
+def analyze_all_ranks(
+    app: AppModel,
+    ranks: int = 4,
+    scale: float = 1.0,
+    seed: int = DEFAULT_SEED,
+    config: AnalysisConfig = AnalysisConfig(),
+) -> RankConsistency:
+    """Collect and analyze every rank of a symmetric run."""
+    if ranks < 1:
+        raise ValidationError("need at least one rank")
+    session = Session(app, SessionConfig(ranks=ranks, scale=scale, seed=seed))
+    result = session.run()
+
+    phase_counts: List[int] = []
+    site_sets: List[frozenset] = []
+    for rank_result in result.per_rank:
+        analysis: AnalysisResult = analyze_snapshots(rank_result.samples, config)
+        phase_counts.append(analysis.n_phases)
+        site_sets.append(
+            frozenset((s.function, s.inst_type) for s in analysis.sites())
+        )
+
+    stats = SimComm.runtime_stats(result.per_rank)
+    return RankConsistency(
+        app_name=app.name,
+        n_ranks=ranks,
+        phase_counts=tuple(phase_counts),
+        site_sets=tuple(site_sets),
+        runtime_imbalance=stats["imbalance"],
+    )

@@ -1,0 +1,95 @@
+"""Full markdown reproduction report.
+
+Renders everything the benchmark harness produces — Table I, the five
+per-app tables with paper values, site agreement, figures as summaries,
+outlier reports, and the extension results — into one self-contained
+markdown document (what `incprof report-all` writes).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.apps import get_app, paper_app_names
+from repro.core.callgraph_lift import suggest_lifts
+from repro.core.outliers import analyze_outliers
+from repro.core.postprocess import merge_equivalent_phases
+from repro.eval.experiments import ExperimentResult, run_experiment
+from repro.eval.figures import heartbeat_figure
+from repro.eval.site_quality import quality_table
+from repro.eval.tables import (
+    app_sites_table,
+    comparison_table,
+    paper_sites_table,
+    table1,
+    table1_comparison,
+)
+from repro.util.tables import Table
+
+
+def _figure_summary_table(result: ExperimentResult) -> Table:
+    figure = heartbeat_figure(result)
+    table = Table(
+        headers=["kind", "HB", "site", "beats", "rate /s", "avg dur (s)",
+                 "active intervals", "gaps"],
+        title=f"Figure {figure.number} summary — {result.app_name}",
+        float_fmt=".3g",
+    )
+    for row in figure.summary_rows():
+        table.add_row(row["kind"], row["hb_id"], row["label"],
+                      row["total_count"], row["mean_rate_per_s"],
+                      row["mean_duration_s"], row["active_intervals"],
+                      row["n_gaps"])
+    return table
+
+
+def render_markdown_report(
+    results: Optional[Dict[str, ExperimentResult]] = None,
+    title: str = "IncProf reproduction report",
+) -> str:
+    """Render the full reproduction as a markdown document."""
+    if results is None:
+        results = {name: run_experiment(name) for name in paper_app_names()}
+
+    parts: List[str] = [f"# {title}", ""]
+    parts += ["## Table I — overview", "",
+              table1(results).render_markdown(), "",
+              table1_comparison(results).render_markdown(), ""]
+    parts += ["## Site quality (discovered vs manual)", "",
+              quality_table(results).render_markdown(), ""]
+
+    for name, result in results.items():
+        app = get_app(name)
+        parts += [f"## {name}", ""]
+        parts += [app_sites_table(result).render_markdown(), ""]
+        parts += [paper_sites_table(name).render_markdown(), ""]
+        parts += [comparison_table(result).render_markdown(), ""]
+        parts += [_figure_summary_table(result).render_markdown(), ""]
+
+        outliers = analyze_outliers(result.analysis)
+        parts += [f"**Outliers**: {outliers.uncovered_pct:.1f}% of intervals "
+                  f"uncovered ({outliers.by_kind()})", ""]
+
+        lifts = suggest_lifts(result.analysis)
+        if lifts:
+            parts += ["**Call-graph lifts**: " +
+                      "; ".join(str(s) for s in lifts), ""]
+
+        merged = merge_equivalent_phases(result.analysis)
+        if merged.merges_applied():
+            groups = [list(g.phase_ids) for g in merged.merged if g.was_merged]
+            parts += [f"**Phase merging**: {merged.n_original} -> "
+                      f"{merged.n_phases} phases (groups {groups})", ""]
+
+    return "\n".join(parts)
+
+
+def write_markdown_report(
+    path: Union[str, Path],
+    results: Optional[Dict[str, ExperimentResult]] = None,
+) -> Path:
+    """Write the report to ``path`` and return it."""
+    path = Path(path)
+    path.write_text(render_markdown_report(results) + "\n")
+    return path

@@ -1,0 +1,97 @@
+"""Seed-stability sweeps.
+
+The paper reports one measured run per application.  This driver
+quantifies how stable the reproduction's detection is across repeated
+runs (seeds): phase-count histogram, per-site discovery frequency, and
+an overall stability score — the honest error bars around the fixed-seed
+tables in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.apps import get_app
+from repro.core.model import InstType
+from repro.core.pipeline import AnalysisConfig, analyze_snapshots
+from repro.incprof.session import Session, SessionConfig
+from repro.util.errors import ValidationError
+from repro.util.tables import Table
+
+SiteKey = Tuple[str, InstType]
+
+
+@dataclass(frozen=True)
+class StabilityResult:
+    """Detection outcomes over a seed sweep for one application."""
+
+    app_name: str
+    seeds: Tuple[int, ...]
+    phase_counts: Tuple[int, ...]
+    site_frequency: Dict[SiteKey, int]
+
+    @property
+    def n_runs(self) -> int:
+        return len(self.seeds)
+
+    def phase_count_histogram(self) -> Dict[int, int]:
+        hist: Dict[int, int] = {}
+        for k in self.phase_counts:
+            hist[k] = hist.get(k, 0) + 1
+        return dict(sorted(hist.items()))
+
+    def modal_phase_count(self) -> int:
+        hist = self.phase_count_histogram()
+        return max(hist, key=hist.get)
+
+    def phase_count_stability(self) -> float:
+        """Fraction of runs hitting the modal phase count."""
+        return self.phase_count_histogram()[self.modal_phase_count()] / self.n_runs
+
+    def core_sites(self, min_frequency: float = 0.8) -> List[SiteKey]:
+        """Sites discovered in at least ``min_frequency`` of runs."""
+        threshold = min_frequency * self.n_runs
+        return sorted(
+            (site for site, count in self.site_frequency.items()
+             if count >= threshold),
+            key=lambda s: (-self.site_frequency[s], s[0]),
+        )
+
+    def to_table(self) -> Table:
+        table = Table(
+            headers=["site", "type", "discovered in"],
+            title=(f"{self.app_name}: site discovery over {self.n_runs} seeds "
+                   f"(phase counts {self.phase_count_histogram()})"),
+        )
+        for (function, inst_type), count in sorted(
+            self.site_frequency.items(), key=lambda kv: -kv[1]
+        ):
+            table.add_row(function, inst_type.value, f"{count}/{self.n_runs}")
+        return table
+
+
+def stability_sweep(
+    app_name: str,
+    seeds: Tuple[int, ...] = tuple(range(101, 111)),
+    scale: float = 1.0,
+    config: AnalysisConfig = AnalysisConfig(),
+) -> StabilityResult:
+    """Run the detection pipeline over a seed sweep."""
+    if not seeds:
+        raise ValidationError("need at least one seed")
+    app = get_app(app_name)
+    phase_counts: List[int] = []
+    site_frequency: Dict[SiteKey, int] = {}
+    for seed in seeds:
+        session = Session(app, SessionConfig(ranks=1, scale=scale, seed=seed))
+        analysis = analyze_snapshots(session.run().samples(0), config)
+        phase_counts.append(analysis.n_phases)
+        for site in {(s.function, s.inst_type) for s in analysis.sites()}:
+            site_frequency[site] = site_frequency.get(site, 0) + 1
+    return StabilityResult(
+        app_name=app_name,
+        seeds=tuple(seeds),
+        phase_counts=tuple(phase_counts),
+        site_frequency=site_frequency,
+    )

@@ -1,0 +1,127 @@
+"""Table generators (paper Tables I-VI).
+
+Each generator returns a :class:`~repro.util.tables.Table`; the benchmark
+harness renders them so the regenerated rows can be compared directly to
+the paper's published values (also available side by side through
+:func:`comparison_table`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from repro.apps import get_app
+from repro.core.report import sites_table
+from repro.eval import paperdata
+from repro.eval.experiments import ExperimentResult
+from repro.util.tables import Table
+
+
+def table1(results: Dict[str, ExperimentResult]) -> Table:
+    """Regenerate Table I (setup, overheads, phase counts)."""
+    table = Table(
+        headers=["App", "Procs/Nodes", "Uninstr Runtime (sec)", "IncProf Ovhd (%)",
+                 "Heartbeat Ovhd (%)", "# Phases Discov."],
+        title="TABLE I — EXPERIMENTAL OVERVIEW: SETUP & OVERHEAD",
+    )
+    for name, result in results.items():
+        app = get_app(name)
+        table.add_row(
+            name,
+            f"{app.default_ranks} / {app.default_nodes}",
+            round(result.overheads.uninstrumented_s),
+            result.overheads.incprof_overhead_pct,
+            result.overheads.heartbeat_overhead_pct,
+            result.n_phases,
+        )
+    return table
+
+
+def table1_comparison(results: Dict[str, ExperimentResult]) -> Table:
+    """Table I with the paper's published values interleaved."""
+    table = Table(
+        headers=["App", "Runtime (paper/ours)", "IncProf % (paper/ours)",
+                 "Heartbeat % (paper/ours)", "# Phases (paper/ours)"],
+        title="TABLE I — paper vs reproduced",
+    )
+    for name, result in results.items():
+        paper = paperdata.TABLE1.get(name)
+        if paper is None:
+            continue
+        o = result.overheads
+        table.add_row(
+            name,
+            f"{paper.uninstrumented_runtime_s:.0f} / {o.uninstrumented_s:.0f}",
+            f"{paper.incprof_overhead_pct:+.1f} / {o.incprof_overhead_pct:+.1f}",
+            f"{paper.heartbeat_overhead_pct:+.1f} / {o.heartbeat_overhead_pct:+.1f}",
+            f"{paper.n_phases} / {result.n_phases}",
+        )
+    return table
+
+
+_TABLE_NUMBER = {"graph500": "II", "minife": "III", "miniamr": "IV",
+                 "lammps": "V", "gadget2": "VI"}
+
+
+def app_sites_table(result: ExperimentResult) -> Table:
+    """Regenerate the per-app instrumented-functions table (II-VI)."""
+    app = get_app(result.app_name)
+    number = _TABLE_NUMBER.get(result.app_name, "?")
+    return sites_table(
+        result.analysis,
+        title=f"TABLE {number} — {result.app_name.upper()} INSTRUMENTED FUNCTIONS",
+        manual_sites=app.manual_sites,
+    )
+
+
+def paper_sites_table(app_name: str) -> Table:
+    """The paper's published version of the per-app table."""
+    number = _TABLE_NUMBER.get(app_name, "?")
+    table = Table(
+        headers=["Phase ID", "HB ID", "Discovered Site Function", "Phase %", "App %", "Inst. Type"],
+        title=f"TABLE {number} (paper) — {app_name.upper()}",
+    )
+    for row in paperdata.SITES.get(app_name, ()):
+        table.add_row(row.phase_id, row.hb_id, row.function, row.phase_pct,
+                      row.app_pct, row.inst_type.value)
+    return table
+
+
+def comparison_table(result: ExperimentResult) -> Table:
+    """Per-function App % share: paper vs reproduced, plus site agreement."""
+    app_name = result.app_name
+    ours: Dict[str, float] = {}
+    our_types: Dict[str, set] = {}
+    for selected in result.analysis.sites():
+        ours[selected.function] = ours.get(selected.function, 0.0) + selected.app_pct
+        our_types.setdefault(selected.function, set()).add(selected.inst_type)
+
+    paper_rows = paperdata.SITES.get(app_name, ())
+    paper_share: Dict[str, float] = {}
+    paper_types: Dict[str, set] = {}
+    for row in paper_rows:
+        paper_share[row.function] = paper_share.get(row.function, 0.0) + (row.app_pct or 0.0)
+        paper_types.setdefault(row.function, set()).add(row.inst_type)
+
+    table = Table(
+        headers=["Function", "App % (paper)", "App % (ours)", "Types (paper)", "Types (ours)"],
+        title=f"{app_name}: discovered-site agreement",
+    )
+    for function in sorted(set(paper_share) | set(ours)):
+        table.add_row(
+            function,
+            paper_share.get(function),
+            ours.get(function),
+            "/".join(sorted(t.value for t in paper_types.get(function, set()))) or "-",
+            "/".join(sorted(t.value for t in our_types.get(function, set()))) or "-",
+        )
+    return table
+
+
+def render_all(results: Dict[str, ExperimentResult]) -> str:
+    """Render Table I plus every per-app table and comparison."""
+    parts = [table1(results).render(), "", table1_comparison(results).render()]
+    for name, result in results.items():
+        parts.extend(["", app_sites_table(result).render(),
+                      "", comparison_table(result).render()])
+    return "\n".join(parts)

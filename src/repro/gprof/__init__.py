@@ -1,0 +1,42 @@
+"""A from-scratch gprof substrate.
+
+The original IncProf leans on gprof's runtime (mcount call arcs + 100 Hz
+PC-sampling histogram) and on the ``gprof`` command-line tool to turn
+binary ``gmon.out`` dumps into flat-profile text.  This package provides
+the equivalent pieces:
+
+- :mod:`repro.gprof.gmon` — the in-memory profile snapshot
+  (:class:`GmonData`) and a versioned binary file format for it;
+- :mod:`repro.gprof.flatprofile` — the flat per-function profile, with
+  gprof-style text rendering *and* parsing (the paper's pipeline parses
+  gprof text reports);
+- :mod:`repro.gprof.callgraph` — the parent/child call-graph profile with
+  gprof's time-propagation semantics;
+- :mod:`repro.gprof.reports` — whole-report rendering and parsing.
+"""
+
+from repro.gprof.gmon import GmonData, read_gmon, write_gmon, dumps_gmon, loads_gmon
+from repro.gprof.flatprofile import FlatProfile, FlatProfileEntry
+from repro.gprof.callgraph import CallGraphProfile, CallGraphEntry
+from repro.gprof.reports import render_gprof_report, parse_flat_profile
+from repro.gprof.gcov import CoverageData, CoverageProfiler, intervals_from_coverage
+from repro.gprof.merge import merge_gmons, merge_sample_series
+
+__all__ = [
+    "GmonData",
+    "read_gmon",
+    "write_gmon",
+    "dumps_gmon",
+    "loads_gmon",
+    "FlatProfile",
+    "FlatProfileEntry",
+    "CallGraphProfile",
+    "CallGraphEntry",
+    "render_gprof_report",
+    "parse_flat_profile",
+    "CoverageData",
+    "CoverageProfiler",
+    "intervals_from_coverage",
+    "merge_gmons",
+    "merge_sample_series",
+]

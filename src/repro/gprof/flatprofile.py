@@ -1,0 +1,204 @@
+"""The gprof flat profile.
+
+The flat profile is the table the paper's analysis actually consumes: one
+row per function with *% time*, *cumulative seconds*, *self seconds*,
+*calls*, and per-call times.  This module builds it from a
+:class:`~repro.gprof.gmon.GmonData` snapshot, renders it in gprof's text
+layout, and parses that layout back (the original pipeline shells out to
+``gprof`` and parses its stdout).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional
+
+from repro.gprof.gmon import GmonData
+from repro.util.errors import FormatError
+
+_HEADER_LINES = (
+    "Flat profile:",
+    "",
+    "Each sample counts as {period} seconds.",
+    "  %   cumulative   self              self     total",
+    " time   seconds   seconds    calls  ms/call  ms/call  name",
+)
+
+_ROW_RE = re.compile(
+    r"^\s*(?P<pct>\d+\.\d+)\s+(?P<cum>\d+\.\d+)\s+(?P<self>\d+\.\d+)"
+    r"(?:\s+(?P<calls>\d+)\s+(?P<selfms>[\d.]+)\s+(?P<totms>[\d.]+))?"
+    r"\s+(?P<name>\S.*?)\s*$"
+)
+
+
+@dataclass(frozen=True)
+class FlatProfileEntry:
+    """One row of the flat profile."""
+
+    name: str
+    pct_time: float
+    cum_seconds: float
+    self_seconds: float
+    calls: Optional[int]  # None when gprof prints blanks (no arcs seen)
+    self_ms_per_call: Optional[float]
+    total_ms_per_call: Optional[float]
+
+
+class FlatProfile:
+    """An ordered flat profile (descending self-time, gprof's order)."""
+
+    def __init__(self, entries: List[FlatProfileEntry], sample_period: float = 0.01,
+                 timestamp: float = 0.0, rank: int = 0) -> None:
+        self.entries = list(entries)
+        self.sample_period = sample_period
+        self.timestamp = timestamp
+        self.rank = rank
+        self._by_name: Dict[str, FlatProfileEntry] = {e.name: e for e in self.entries}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_gmon(cls, data: GmonData) -> "FlatProfile":
+        """Build the flat profile exactly as gprof does from gmon state.
+
+        Functions appear if they have histogram ticks *or* call arcs into
+        them; self-time is ``ticks * sample_period``; calls are summed over
+        incoming arcs (``None`` if the function was only ever sampled,
+        which gprof renders as blank columns).
+        """
+        total = data.total_seconds()
+        calls_in: Dict[str, int] = {}
+        for (_caller, callee), count in data.arcs.items():
+            calls_in[callee] = calls_in.get(callee, 0) + count
+
+        names = set(data.hist) | set(calls_in)
+        rows: List[FlatProfileEntry] = []
+        for name in names:
+            self_s = data.self_seconds(name)
+            calls = calls_in.get(name)
+            self_ms = (self_s / calls * 1000.0) if calls else None
+            rows.append(
+                FlatProfileEntry(
+                    name=name,
+                    pct_time=(100.0 * self_s / total) if total > 0 else 0.0,
+                    cum_seconds=0.0,  # filled below after sorting
+                    self_seconds=self_s,
+                    calls=calls,
+                    self_ms_per_call=self_ms,
+                    total_ms_per_call=self_ms,  # flat profile: total == self here
+                )
+            )
+        rows.sort(key=lambda e: (-e.self_seconds, e.name))
+        cum = 0.0
+        finalized = []
+        for entry in rows:
+            cum += entry.self_seconds
+            finalized.append(
+                FlatProfileEntry(
+                    name=entry.name,
+                    pct_time=entry.pct_time,
+                    cum_seconds=cum,
+                    self_seconds=entry.self_seconds,
+                    calls=entry.calls,
+                    self_ms_per_call=entry.self_ms_per_call,
+                    total_ms_per_call=entry.total_ms_per_call,
+                )
+            )
+        return cls(finalized, sample_period=data.sample_period,
+                   timestamp=data.timestamp, rank=data.rank)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[FlatProfileEntry]:
+        return iter(self.entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def get(self, name: str) -> Optional[FlatProfileEntry]:
+        """Entry for ``name``, or None if the function never appeared."""
+        return self._by_name.get(name)
+
+    def self_seconds(self, name: str) -> float:
+        entry = self._by_name.get(name)
+        return entry.self_seconds if entry else 0.0
+
+    def calls(self, name: str) -> int:
+        entry = self._by_name.get(name)
+        return entry.calls if entry and entry.calls is not None else 0
+
+    def function_names(self) -> List[str]:
+        return [e.name for e in self.entries]
+
+    def total_seconds(self) -> float:
+        return sum(e.self_seconds for e in self.entries)
+
+    # ------------------------------------------------------------------
+    # text round-trip
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        """Render in gprof's flat-profile text layout."""
+        lines = [
+            _HEADER_LINES[0],
+            _HEADER_LINES[1],
+            _HEADER_LINES[2].format(period=f"{self.sample_period:.2f}"),
+            _HEADER_LINES[3],
+            _HEADER_LINES[4],
+        ]
+        for e in self.entries:
+            if e.calls is not None:
+                lines.append(
+                    f"{e.pct_time:6.2f} {e.cum_seconds:10.2f} {e.self_seconds:9.2f} "
+                    f"{e.calls:8d} {e.self_ms_per_call or 0.0:8.2f} "
+                    f"{e.total_ms_per_call or 0.0:8.2f}  {e.name}"
+                )
+            else:
+                lines.append(
+                    f"{e.pct_time:6.2f} {e.cum_seconds:10.2f} {e.self_seconds:9.2f} "
+                    f"{'':8s} {'':8s} {'':8s}  {e.name}"
+                )
+        return "\n".join(lines) + "\n"
+
+    @classmethod
+    def parse(cls, text: str) -> "FlatProfile":
+        """Parse a gprof flat-profile text report.
+
+        Accepts the layout produced by :meth:`render` (which mirrors GNU
+        gprof).  Raises :class:`FormatError` if no header is found.
+        """
+        lines = text.splitlines()
+        period = 0.01
+        start = None
+        for i, line in enumerate(lines):
+            m = re.search(r"Each sample counts as ([\d.]+) seconds", line)
+            if m:
+                period = float(m.group(1))
+            if line.strip().startswith("time") and "name" in line:
+                start = i + 1
+                break
+        if start is None:
+            raise FormatError("no flat profile header found")
+
+        entries: List[FlatProfileEntry] = []
+        for line in lines[start:]:
+            if not line.strip():
+                break
+            m = _ROW_RE.match(line)
+            if not m:
+                break
+            calls = int(m.group("calls")) if m.group("calls") else None
+            entries.append(
+                FlatProfileEntry(
+                    name=m.group("name"),
+                    pct_time=float(m.group("pct")),
+                    cum_seconds=float(m.group("cum")),
+                    self_seconds=float(m.group("self")),
+                    calls=calls,
+                    self_ms_per_call=float(m.group("selfms")) if m.group("selfms") else None,
+                    total_ms_per_call=float(m.group("totms")) if m.group("totms") else None,
+                )
+            )
+        return cls(entries, sample_period=period)

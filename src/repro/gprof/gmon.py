@@ -1,0 +1,218 @@
+"""The gmon profile snapshot and its binary serialization.
+
+:class:`GmonData` is the cumulative state a gprof runtime holds for one
+process: a sampling histogram (sample-tick counts per function) and call
+arcs (``(caller, callee) -> count``).  IncProf periodically serializes this
+state to per-interval files; we define a compact versioned binary format
+(magic ``IGMON``) with a string table, histogram records, and arc records.
+
+The format is self-contained and round-trips exactly; corrupt or truncated
+files raise :class:`~repro.util.errors.FormatError`.
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import BinaryIO, Dict, List, Tuple, Union
+
+from repro.util.errors import FormatError, ValidationError
+
+MAGIC = b"IGMON"
+VERSION = 1
+
+_HEADER = struct.Struct("<5sHddi")  # magic, version, sample_period, timestamp, rank
+_U32 = struct.Struct("<I")
+_HIST_REC = struct.Struct("<IQ")  # name index, tick count
+_ARC_REC = struct.Struct("<IIQ")  # caller index, callee index, count
+
+
+@dataclass
+class GmonData:
+    """Cumulative gprof-style profile state for one process.
+
+    Attributes
+    ----------
+    sample_period:
+        Seconds represented by one histogram tick (gprof uses 0.01 s).
+    hist:
+        Function name -> cumulative sample-tick count.
+    arcs:
+        ``(caller, callee)`` -> cumulative call count.
+    timestamp:
+        Time (virtual or wall) at which this snapshot was taken.
+    rank:
+        Originating MPI rank.
+    """
+
+    sample_period: float = 0.01
+    hist: Dict[str, int] = field(default_factory=dict)
+    arcs: Dict[Tuple[str, str], int] = field(default_factory=dict)
+    timestamp: float = 0.0
+    rank: int = 0
+
+    def __post_init__(self) -> None:
+        if self.sample_period <= 0:
+            raise ValidationError("sample_period must be positive")
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    def add_ticks(self, func: str, ticks: int) -> None:
+        """Add histogram ticks for ``func``."""
+        if ticks < 0:
+            raise ValidationError("tick count must be non-negative")
+        if ticks:
+            self.hist[func] = self.hist.get(func, 0) + ticks
+
+    def add_arc(self, caller: str, callee: str, count: int = 1) -> None:
+        """Record ``count`` calls along the arc ``caller -> callee``."""
+        if count < 0:
+            raise ValidationError("arc count must be non-negative")
+        if count:
+            key = (caller, callee)
+            self.arcs[key] = self.arcs.get(key, 0) + count
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def self_seconds(self, func: str) -> float:
+        """Cumulative sampled self-time of ``func`` in seconds."""
+        return self.hist.get(func, 0) * self.sample_period
+
+    def total_seconds(self) -> float:
+        """Total sampled time across all functions."""
+        return sum(self.hist.values()) * self.sample_period
+
+    def calls_into(self, func: str) -> int:
+        """Total call count into ``func`` summed over all callers."""
+        return sum(c for (_caller, callee), c in self.arcs.items() if callee == func)
+
+    def functions(self) -> List[str]:
+        """All function names present in the histogram or arcs."""
+        names = set(self.hist)
+        for caller, callee in self.arcs:
+            names.add(caller)
+            names.add(callee)
+        return sorted(names)
+
+    def copy(self) -> "GmonData":
+        """Deep copy (snapshots must be independent of live state)."""
+        return GmonData(
+            sample_period=self.sample_period,
+            hist=dict(self.hist),
+            arcs=dict(self.arcs),
+            timestamp=self.timestamp,
+            rank=self.rank,
+        )
+
+    def subtract(self, earlier: "GmonData") -> "GmonData":
+        """Return this snapshot minus an ``earlier`` one (interval profile).
+
+        Counts are clamped at zero: gprof histograms are monotone in
+        principle, but defensive clamping matches what the paper's
+        differencing step must do with any sampling artifacts.
+        """
+        if abs(earlier.sample_period - self.sample_period) > 1e-12:
+            raise ValidationError("cannot subtract snapshots with different sample periods")
+        out = GmonData(sample_period=self.sample_period, timestamp=self.timestamp, rank=self.rank)
+        for func, ticks in self.hist.items():
+            delta = ticks - earlier.hist.get(func, 0)
+            if delta > 0:
+                out.hist[func] = delta
+        for key, count in self.arcs.items():
+            delta = count - earlier.arcs.get(key, 0)
+            if delta > 0:
+                out.arcs[key] = delta
+        return out
+
+
+# ----------------------------------------------------------------------
+# binary serialization
+# ----------------------------------------------------------------------
+def _write_u32(stream: BinaryIO, value: int) -> None:
+    stream.write(_U32.pack(value))
+
+
+def _read_exact(stream: BinaryIO, n: int) -> bytes:
+    data = stream.read(n)
+    if len(data) != n:
+        raise FormatError(f"truncated gmon data: wanted {n} bytes, got {len(data)}")
+    return data
+
+
+def write_gmon(data: GmonData, target: Union[str, Path, BinaryIO]) -> None:
+    """Serialize ``data`` to a path or binary stream."""
+    if isinstance(target, (str, Path)):
+        with open(target, "wb") as fh:
+            write_gmon(data, fh)
+        return
+    stream = target
+    stream.write(_HEADER.pack(MAGIC, VERSION, data.sample_period, data.timestamp, data.rank))
+
+    names = sorted(set(data.hist) | {n for arc in data.arcs for n in arc})
+    index = {name: i for i, name in enumerate(names)}
+    _write_u32(stream, len(names))
+    for name in names:
+        encoded = name.encode("utf-8")
+        _write_u32(stream, len(encoded))
+        stream.write(encoded)
+
+    _write_u32(stream, len(data.hist))
+    for name in sorted(data.hist):
+        stream.write(_HIST_REC.pack(index[name], data.hist[name]))
+
+    _write_u32(stream, len(data.arcs))
+    for caller, callee in sorted(data.arcs):
+        stream.write(_ARC_REC.pack(index[caller], index[callee], data.arcs[(caller, callee)]))
+
+
+def read_gmon(source: Union[str, Path, BinaryIO]) -> GmonData:
+    """Deserialize a gmon snapshot from a path or binary stream."""
+    if isinstance(source, (str, Path)):
+        with open(source, "rb") as fh:
+            return read_gmon(fh)
+    stream = source
+    magic, version, period, timestamp, rank = _HEADER.unpack(_read_exact(stream, _HEADER.size))
+    if magic != MAGIC:
+        raise FormatError(f"bad gmon magic {magic!r}")
+    if version != VERSION:
+        raise FormatError(f"unsupported gmon version {version}")
+
+    (n_names,) = _U32.unpack(_read_exact(stream, 4))
+    names: List[str] = []
+    for _ in range(n_names):
+        (length,) = _U32.unpack(_read_exact(stream, 4))
+        names.append(_read_exact(stream, length).decode("utf-8"))
+
+    data = GmonData(sample_period=period, timestamp=timestamp, rank=rank)
+
+    (n_hist,) = _U32.unpack(_read_exact(stream, 4))
+    for _ in range(n_hist):
+        idx, ticks = _HIST_REC.unpack(_read_exact(stream, _HIST_REC.size))
+        if idx >= len(names):
+            raise FormatError(f"histogram name index {idx} out of range")
+        data.hist[names[idx]] = ticks
+
+    (n_arcs,) = _U32.unpack(_read_exact(stream, 4))
+    for _ in range(n_arcs):
+        src, dst, count = _ARC_REC.unpack(_read_exact(stream, _ARC_REC.size))
+        if src >= len(names) or dst >= len(names):
+            raise FormatError("arc name index out of range")
+        data.arcs[(names[src], names[dst])] = count
+
+    return data
+
+
+def dumps_gmon(data: GmonData) -> bytes:
+    """Serialize to bytes."""
+    buf = io.BytesIO()
+    write_gmon(data, buf)
+    return buf.getvalue()
+
+
+def loads_gmon(blob: bytes) -> GmonData:
+    """Deserialize from bytes."""
+    return read_gmon(io.BytesIO(blob))

@@ -1,0 +1,57 @@
+"""Merging gmon profiles (``gprof -s`` / gmon.sum semantics).
+
+Real gprof can sum multiple profile dumps into one (``gmon.sum``) — used
+to aggregate repeated runs or, in MPI settings, per-rank profiles.  The
+IncProf paper analyzes a single representative rank; merging enables the
+natural alternative (aggregate-then-analyze), which the rank-aggregation
+ablation bench compares against.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.gprof.gmon import GmonData
+from repro.util.errors import ValidationError
+
+
+def merge_gmons(snapshots: Sequence[GmonData], rank: int = -1) -> GmonData:
+    """Sum histograms and arcs across profiles (same sample period).
+
+    The merged snapshot carries the latest timestamp of its inputs and a
+    caller-chosen rank id (default -1: "aggregate").
+    """
+    if not snapshots:
+        raise ValidationError("nothing to merge")
+    period = snapshots[0].sample_period
+    merged = GmonData(sample_period=period, rank=rank)
+    for snap in snapshots:
+        if abs(snap.sample_period - period) > 1e-12:
+            raise ValidationError("cannot merge profiles with different sample periods")
+        for func, ticks in snap.hist.items():
+            merged.add_ticks(func, ticks)
+        for (caller, callee), count in snap.arcs.items():
+            merged.add_arc(caller, callee, count)
+        merged.timestamp = max(merged.timestamp, snap.timestamp)
+    return merged
+
+
+def merge_sample_series(per_rank: Sequence[Sequence[GmonData]]) -> List[GmonData]:
+    """Merge per-rank *snapshot series* index-by-index.
+
+    Ranks of a symmetric run dump at the same interval boundaries; the
+    merged series is the cluster-wide cumulative profile per interval.
+    Series of unequal length are merged up to the shortest (trailing
+    dumps of laggard ranks have no counterpart to sum with).
+    """
+    if not per_rank:
+        raise ValidationError("nothing to merge")
+    length = min(len(series) for series in per_rank)
+    if length == 0:
+        raise ValidationError("a rank has no samples")
+    merged: List[GmonData] = []
+    for index in range(length):
+        snap = merge_gmons([series[index] for series in per_rank])
+        snap.timestamp = max(series[index].timestamp for series in per_rank)
+        merged.append(snap)
+    return merged

@@ -1,0 +1,27 @@
+"""Whole gprof report rendering and parsing.
+
+``render_gprof_report`` produces the two-section text report (flat profile
+followed by call graph) that the real ``gprof`` CLI emits and that the
+paper's tooling parses.  ``parse_flat_profile`` extracts the flat section
+from such a report — the only section the published analysis consumes.
+"""
+
+from __future__ import annotations
+
+from repro.gprof.callgraph import CallGraphProfile
+from repro.gprof.flatprofile import FlatProfile
+from repro.gprof.gmon import GmonData
+
+
+def render_gprof_report(data: GmonData, include_callgraph: bool = True) -> str:
+    """Render a gprof-style text report for one gmon snapshot."""
+    parts = [FlatProfile.from_gmon(data).render()]
+    if include_callgraph:
+        parts.append("\n")
+        parts.append(CallGraphProfile.from_gmon(data).render())
+    return "".join(parts)
+
+
+def parse_flat_profile(text: str) -> FlatProfile:
+    """Parse the flat-profile section out of a gprof text report."""
+    return FlatProfile.parse(text)

@@ -1,0 +1,44 @@
+"""AppEKG: the heartbeat instrumentation framework.
+
+The paper's production-side companion to IncProf: a two-step
+``beginHeartbeat(ID)`` / ``endHeartbeat(ID)`` API whose runtime does *not*
+record individual heartbeats but accumulates count and mean duration per
+collection interval, writing one row per interval — the property that
+keeps production overhead negligible.
+
+- :mod:`repro.heartbeat.api` — the public instrumentation API;
+- :mod:`repro.heartbeat.accumulator` — per-interval aggregation;
+- :mod:`repro.heartbeat.output` — sinks (memory, CSV, LDMS transport);
+- :mod:`repro.heartbeat.instrument` — applies instrumentation sites
+  (discovered or manual) to a simulated engine run;
+- :mod:`repro.heartbeat.analysis` — heartbeat time-series extraction and
+  the statistics behind the paper's Figures 2-6.
+"""
+
+from repro.heartbeat.api import AppEKG
+from repro.heartbeat.accumulator import HeartbeatAccumulator, HeartbeatRecord
+from repro.heartbeat.output import MemorySink, CSVSink, NullSink
+from repro.heartbeat.ldms import LDMSTransport
+from repro.heartbeat.instrument import HeartbeatInstrumentation, SiteBinding
+from repro.heartbeat.analysis import HeartbeatSeries, series_from_records
+from repro.heartbeat.compare import ComparisonReport, HeartbeatDelta, compare_series
+from repro.heartbeat.history import HeartbeatHistory, RunInfo
+
+__all__ = [
+    "AppEKG",
+    "HeartbeatAccumulator",
+    "HeartbeatRecord",
+    "MemorySink",
+    "CSVSink",
+    "NullSink",
+    "LDMSTransport",
+    "HeartbeatInstrumentation",
+    "SiteBinding",
+    "HeartbeatSeries",
+    "series_from_records",
+    "ComparisonReport",
+    "HeartbeatDelta",
+    "compare_series",
+    "HeartbeatHistory",
+    "RunInfo",
+]

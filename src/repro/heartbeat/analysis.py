@@ -1,0 +1,175 @@
+"""Heartbeat time-series extraction and statistics.
+
+Turns AppEKG records into dense per-ID series over the run's intervals —
+the data behind the paper's Figures 2-6 (average heartbeat duration per
+interval, and heartbeat counts per interval) — plus the descriptive
+statistics used to discuss them (gaps, activity spans, rates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.heartbeat.accumulator import HeartbeatRecord
+from repro.util.asciiplot import AsciiPlot
+from repro.util.errors import ValidationError
+
+
+@dataclass
+class HeartbeatSeries:
+    """Dense per-interval series for a set of heartbeat IDs.
+
+    ``counts[hb_id]`` and ``durations[hb_id]`` are arrays of length
+    ``n_intervals`` (zero where the ID was inactive); ``labels`` maps IDs
+    to display names (e.g. the instrumented function).
+    """
+
+    n_intervals: int
+    interval: float
+    counts: Dict[int, np.ndarray] = field(default_factory=dict)
+    durations: Dict[int, np.ndarray] = field(default_factory=dict)
+    labels: Dict[int, str] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+    def hb_ids(self) -> List[int]:
+        return sorted(self.counts)
+
+    def label(self, hb_id: int) -> str:
+        return self.labels.get(hb_id, f"HB{hb_id}")
+
+    def active_intervals(self, hb_id: int) -> np.ndarray:
+        """Indices of intervals where the heartbeat fired."""
+        return np.nonzero(self.counts[hb_id] > 0)[0]
+
+    def activity_span(self, hb_id: int) -> Optional[Tuple[int, int]]:
+        """First and last active interval (inclusive), or None if silent."""
+        active = self.active_intervals(hb_id)
+        if active.size == 0:
+            return None
+        return int(active[0]), int(active[-1])
+
+    def gaps(self, hb_id: int) -> List[Tuple[int, int]]:
+        """Inactive stretches inside the activity span (paper Fig. 2).
+
+        Returns (start, end) inclusive interval ranges with zero count that
+        lie strictly between active intervals.
+        """
+        span = self.activity_span(hb_id)
+        if span is None:
+            return []
+        start, end = span
+        inside = self.counts[hb_id][start : end + 1] == 0
+        gaps: List[Tuple[int, int]] = []
+        i = 0
+        while i < inside.size:
+            if inside[i]:
+                j = i
+                while j + 1 < inside.size and inside[j + 1]:
+                    j += 1
+                gaps.append((start + i, start + j))
+                i = j + 1
+            else:
+                i += 1
+        return gaps
+
+    def total_count(self, hb_id: int) -> float:
+        return float(self.counts[hb_id].sum())
+
+    def mean_rate(self, hb_id: int) -> float:
+        """Mean heartbeats per second over the whole run."""
+        if self.n_intervals == 0:
+            return 0.0
+        return self.total_count(hb_id) / (self.n_intervals * self.interval)
+
+    def mean_duration(self, hb_id: int) -> float:
+        """Count-weighted mean heartbeat duration."""
+        counts = self.counts[hb_id]
+        total = counts.sum()
+        if total <= 0:
+            return 0.0
+        return float((self.durations[hb_id] * counts).sum() / total)
+
+    def summary(self) -> List[Dict[str, object]]:
+        """One summary row per heartbeat ID."""
+        rows = []
+        for hb_id in self.hb_ids():
+            span = self.activity_span(hb_id)
+            rows.append(
+                {
+                    "hb_id": hb_id,
+                    "label": self.label(hb_id),
+                    "total_count": self.total_count(hb_id),
+                    "mean_rate_per_s": self.mean_rate(hb_id),
+                    "mean_duration_s": self.mean_duration(hb_id),
+                    "active_intervals": int((self.counts[hb_id] > 0).sum()),
+                    "first_active": span[0] if span else None,
+                    "last_active": span[1] if span else None,
+                    "n_gaps": len(self.gaps(hb_id)),
+                }
+            )
+        return rows
+
+    # ------------------------------------------------------------------
+    # rendering (the paper's figures)
+    # ------------------------------------------------------------------
+    def duration_plot(self, title: str, width: int = 100, height: int = 16) -> AsciiPlot:
+        """Average heartbeat duration per interval — the Fig. 2-6 style."""
+        plot = AsciiPlot(title=title, width=width, height=height,
+                         xlabel="interval (s)", ylabel="avg duration (s)")
+        for hb_id in self.hb_ids():
+            active = self.active_intervals(hb_id)
+            plot.add_series(
+                self.label(hb_id),
+                active.astype(float) * self.interval,
+                self.durations[hb_id][active],
+            )
+        return plot
+
+    def count_plot(self, title: str, width: int = 100, height: int = 16) -> AsciiPlot:
+        """Heartbeat count per interval."""
+        plot = AsciiPlot(title=title, width=width, height=height,
+                         xlabel="interval (s)", ylabel="count")
+        for hb_id in self.hb_ids():
+            active = self.active_intervals(hb_id)
+            plot.add_series(
+                self.label(hb_id),
+                active.astype(float) * self.interval,
+                self.counts[hb_id][active],
+            )
+        return plot
+
+
+def series_from_records(
+    records: Iterable[HeartbeatRecord],
+    n_intervals: Optional[int] = None,
+    interval: float = 1.0,
+    labels: Optional[Dict[int, str]] = None,
+    rank: Optional[int] = None,
+) -> HeartbeatSeries:
+    """Build dense series from flushed records.
+
+    ``rank`` filters to one process (the paper plots one representative
+    rank); ``n_intervals`` defaults to one past the last seen index.
+    """
+    rows = [r for r in records if rank is None or r.rank == rank]
+    if n_intervals is None:
+        n_intervals = (max((r.interval_index for r in rows), default=-1)) + 1
+    if n_intervals < 0:
+        raise ValidationError("n_intervals must be non-negative")
+
+    series = HeartbeatSeries(n_intervals=n_intervals, interval=interval,
+                             labels=dict(labels or {}))
+    for record in rows:
+        if record.interval_index >= n_intervals:
+            continue
+        if record.hb_id not in series.counts:
+            series.counts[record.hb_id] = np.zeros(n_intervals)
+            series.durations[record.hb_id] = np.zeros(n_intervals)
+        series.counts[record.hb_id][record.interval_index] += record.count
+        series.durations[record.hb_id][record.interval_index] = record.avg_duration
+    return series

@@ -1,0 +1,103 @@
+"""The AppEKG instrumentation API.
+
+This mirrors the two-step API the paper converged on: an initialization
+call, then ``beginHeartbeat(ID)`` / ``endHeartbeat(ID)`` pairs — each
+unique ID representing one application phase.  Durations and counts are
+accumulated per collection interval by
+:class:`~repro.heartbeat.accumulator.HeartbeatAccumulator`; nothing is
+written per heartbeat.
+
+The time source is pluggable: live code uses ``time.perf_counter``,
+simulated runs pass the virtual clock.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional
+
+from repro.heartbeat.accumulator import HeartbeatAccumulator, HeartbeatRecord, Sink
+from repro.util.errors import ValidationError
+
+
+class AppEKG:
+    """Heartbeat runtime for one process (one MPI rank)."""
+
+    def __init__(
+        self,
+        num_heartbeats: int,
+        rank: int = 0,
+        interval: float = 1.0,
+        sink: Optional[Sink] = None,
+        time_source: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        if num_heartbeats < 1:
+            raise ValidationError("at least one heartbeat ID is required")
+        self.num_heartbeats = num_heartbeats
+        self.rank = rank
+        self.time_source = time_source
+        self._origin: Optional[float] = None
+        self._accumulator = HeartbeatAccumulator(interval=interval, rank=rank, sink=sink)
+        self._open: Dict[int, float] = {}
+        self._finalized = False
+
+    # ------------------------------------------------------------------
+    # paper-style API
+    # ------------------------------------------------------------------
+    def _now(self) -> float:
+        t = self.time_source()
+        if self._origin is None:
+            self._origin = t
+        return t - self._origin
+
+    def _check_id(self, hb_id: int) -> None:
+        if not 1 <= hb_id <= self.num_heartbeats:
+            raise ValidationError(
+                f"heartbeat id {hb_id} outside configured range 1..{self.num_heartbeats}"
+            )
+
+    def begin_heartbeat(self, hb_id: int, at: Optional[float] = None) -> None:
+        """Mark the start of heartbeat ``hb_id``.
+
+        A begin while the same ID is already open restarts it (the paper's
+        runtime keeps a single begin-timestamp slot per ID).
+        """
+        self._check_id(hb_id)
+        self._open[hb_id] = self._now() if at is None else at
+
+    def end_heartbeat(self, hb_id: int, at: Optional[float] = None) -> None:
+        """Mark the end of heartbeat ``hb_id``; unmatched ends are dropped."""
+        self._check_id(hb_id)
+        begin = self._open.pop(hb_id, None)
+        if begin is None:
+            return
+        end = self._now() if at is None else at
+        self._accumulator.record(hb_id, begin, end)
+
+    def record_span(self, hb_id: int, n: float, t0: float, t1: float) -> None:
+        """Record ``n`` rapid heartbeats over ``[t0, t1)`` (batch-modeled calls)."""
+        self._check_id(hb_id)
+        self._accumulator.record_span(hb_id, n, t0, t1)
+
+    # camelCase aliases matching the paper's C API.
+    beginHeartbeat = begin_heartbeat
+    endHeartbeat = end_heartbeat
+
+    # ------------------------------------------------------------------
+    def finalize(self, now: Optional[float] = None) -> List[HeartbeatRecord]:
+        """Flush trailing data; open (never-ended) heartbeats are dropped."""
+        if not self._finalized:
+            if now is None and self._origin is not None:
+                now = self._now()
+            self._accumulator.finalize(now)
+            self._finalized = True
+        return self._accumulator.records
+
+    @property
+    def records(self) -> List[HeartbeatRecord]:
+        """Records flushed so far."""
+        return self._accumulator.records
+
+    @property
+    def total_events(self) -> int:
+        return self._accumulator.total_events

@@ -1,0 +1,140 @@
+"""Run-to-run heartbeat comparison.
+
+The paper's motivation for heartbeats is production observability: "as a
+history of an application is built up this data can be used to identify
+when the application is running poorly and when it is running well."
+This module implements that analysis for a pair of runs: per heartbeat
+ID, compare rates and durations between a *baseline* and a *candidate*
+series, score the change against the baseline's own per-interval
+variability (a z-score), and flag regressions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.heartbeat.analysis import HeartbeatSeries
+from repro.util.errors import ValidationError
+from repro.util.tables import Table
+
+
+@dataclass(frozen=True)
+class HeartbeatDelta:
+    """The change in one heartbeat's behaviour between two runs."""
+
+    hb_id: int
+    label: str
+    baseline_rate: float
+    candidate_rate: float
+    baseline_duration: float
+    candidate_duration: float
+    duration_zscore: float
+
+    @property
+    def rate_ratio(self) -> float:
+        if self.baseline_rate == 0:
+            return float("inf") if self.candidate_rate > 0 else 1.0
+        return self.candidate_rate / self.baseline_rate
+
+    @property
+    def duration_ratio(self) -> float:
+        if self.baseline_duration == 0:
+            return float("inf") if self.candidate_duration > 0 else 1.0
+        return self.candidate_duration / self.baseline_duration
+
+
+@dataclass(frozen=True)
+class ComparisonReport:
+    """All per-heartbeat deltas plus regression verdicts."""
+
+    deltas: List[HeartbeatDelta]
+    duration_tolerance: float
+    zscore_threshold: float
+
+    def regressions(self) -> List[HeartbeatDelta]:
+        """Heartbeats that got meaningfully slower.
+
+        A regression needs both a practically relevant slowdown (duration
+        ratio beyond the tolerance) and statistical support (the shift
+        exceeds the z-score threshold against baseline variability).
+        """
+        return [
+            d for d in self.deltas
+            if d.duration_ratio > 1.0 + self.duration_tolerance
+            and d.duration_zscore > self.zscore_threshold
+        ]
+
+    def is_healthy(self) -> bool:
+        return not self.regressions()
+
+    def to_table(self) -> Table:
+        table = Table(
+            headers=["HB", "site", "rate (base→cand /s)", "avg dur (base→cand s)",
+                     "dur ratio", "z", "verdict"],
+            title="Heartbeat run comparison",
+            float_fmt=".3g",
+        )
+        flagged = {d.hb_id for d in self.regressions()}
+        for d in self.deltas:
+            table.add_row(
+                d.hb_id,
+                d.label,
+                f"{d.baseline_rate:.2f} → {d.candidate_rate:.2f}",
+                f"{d.baseline_duration:.4f} → {d.candidate_duration:.4f}",
+                d.duration_ratio,
+                d.duration_zscore,
+                "REGRESSION" if d.hb_id in flagged else "ok",
+            )
+        return table
+
+
+def _duration_stats(series: HeartbeatSeries, hb_id: int):
+    counts = series.counts[hb_id]
+    durations = series.durations[hb_id]
+    active = counts > 0
+    if not active.any():
+        return 0.0, 0.0
+    values = durations[active]
+    return float(values.mean()), float(values.std())
+
+
+def compare_series(
+    baseline: HeartbeatSeries,
+    candidate: HeartbeatSeries,
+    duration_tolerance: float = 0.10,
+    zscore_threshold: float = 3.0,
+) -> ComparisonReport:
+    """Compare two runs' heartbeat series (matched by heartbeat ID).
+
+    IDs present in only one run are ignored — instrumentation must match
+    for a meaningful comparison; raise if there is no overlap at all.
+    """
+    common = sorted(set(baseline.counts) & set(candidate.counts))
+    if not common:
+        raise ValidationError("the two series share no heartbeat IDs")
+
+    deltas: List[HeartbeatDelta] = []
+    for hb_id in common:
+        base_mean, base_std = _duration_stats(baseline, hb_id)
+        cand_mean, _cand_std = _duration_stats(candidate, hb_id)
+        spread = max(base_std, 1e-12)
+        z = (cand_mean - base_mean) / spread
+        deltas.append(
+            HeartbeatDelta(
+                hb_id=hb_id,
+                label=baseline.label(hb_id),
+                baseline_rate=baseline.mean_rate(hb_id),
+                candidate_rate=candidate.mean_rate(hb_id),
+                baseline_duration=base_mean,
+                candidate_duration=cand_mean,
+                duration_zscore=float(z),
+            )
+        )
+    return ComparisonReport(
+        deltas=deltas,
+        duration_tolerance=duration_tolerance,
+        zscore_threshold=zscore_threshold,
+    )

@@ -1,0 +1,140 @@
+"""Persistent heartbeat run history.
+
+The paper's deployment story: heartbeat data accumulates over "the
+repeated use of the application by users" and the resulting history
+reveals when the application runs well or poorly.  This module is that
+store: one directory per application, one CSV per run (via the existing
+:class:`~repro.heartbeat.output.CSVSink` format plus a small metadata
+sidecar), with loading, trend extraction, and baseline selection for
+:func:`~repro.heartbeat.compare.compare_series`.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.heartbeat.accumulator import HeartbeatRecord
+from repro.heartbeat.analysis import HeartbeatSeries, series_from_records
+from repro.heartbeat.compare import ComparisonReport, compare_series
+from repro.heartbeat.output import CSV_FIELDS, read_csv_records
+from repro.util.errors import ValidationError
+
+_RUN_RE = re.compile(r"^run-(?P<index>\d{5})\.csv$")
+
+
+@dataclass(frozen=True)
+class RunInfo:
+    """Metadata of one recorded run."""
+
+    index: int
+    path: Path
+    timestamp: float
+    labels: Dict[int, str] = field(default_factory=dict)
+    tags: Dict[str, str] = field(default_factory=dict)
+
+
+class HeartbeatHistory:
+    """Directory-backed history of heartbeat runs for one application."""
+
+    def __init__(self, directory: Union[str, Path], create: bool = True) -> None:
+        self.directory = Path(directory)
+        if create:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        elif not self.directory.is_dir():
+            raise ValidationError(f"history directory {self.directory} missing")
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def record_run(
+        self,
+        records: Sequence[HeartbeatRecord],
+        labels: Optional[Dict[int, str]] = None,
+        tags: Optional[Dict[str, str]] = None,
+        timestamp: Optional[float] = None,
+    ) -> RunInfo:
+        """Append one run to the history."""
+        if not records:
+            raise ValidationError("refusing to record an empty run")
+        index = (self.run_indices()[-1] + 1) if self.run_indices() else 0
+        path = self.directory / f"run-{index:05d}.csv"
+        with open(path, "w") as fh:
+            fh.write(",".join(CSV_FIELDS) + "\n")
+            for r in records:
+                fh.write(f"{r.rank},{r.hb_id},{r.interval_index},"
+                         f"{r.time:.6f},{r.count:.4f},{r.avg_duration:.6f},"
+                         f"{r.min_duration:.6f},{r.max_duration:.6f}\n")
+        meta = {
+            "timestamp": time.time() if timestamp is None else timestamp,
+            "labels": {str(k): v for k, v in (labels or {}).items()},
+            "tags": tags or {},
+        }
+        path.with_suffix(".json").write_text(json.dumps(meta, indent=2))
+        return self._info(index, path)
+
+    # ------------------------------------------------------------------
+    # loading
+    # ------------------------------------------------------------------
+    def run_indices(self) -> List[int]:
+        indices = []
+        for path in self.directory.glob("run-*.csv"):
+            match = _RUN_RE.match(path.name)
+            if match:
+                indices.append(int(match.group("index")))
+        return sorted(indices)
+
+    def _info(self, index: int, path: Path) -> RunInfo:
+        meta_path = path.with_suffix(".json")
+        timestamp, labels, tags = 0.0, {}, {}
+        if meta_path.exists():
+            meta = json.loads(meta_path.read_text())
+            timestamp = float(meta.get("timestamp", 0.0))
+            labels = {int(k): v for k, v in meta.get("labels", {}).items()}
+            tags = dict(meta.get("tags", {}))
+        return RunInfo(index=index, path=path, timestamp=timestamp,
+                       labels=labels, tags=tags)
+
+    def runs(self) -> List[RunInfo]:
+        return [self._info(i, self.directory / f"run-{i:05d}.csv")
+                for i in self.run_indices()]
+
+    def load_series(self, index: int, interval: float = 1.0,
+                    rank: Optional[int] = 0) -> HeartbeatSeries:
+        info = self._info(index, self.directory / f"run-{index:05d}.csv")
+        if not info.path.exists():
+            raise ValidationError(f"no run {index} in {self.directory}")
+        records = read_csv_records(info.path)
+        return series_from_records(records, interval=interval,
+                                   labels=info.labels, rank=rank)
+
+    # ------------------------------------------------------------------
+    # analysis over the history
+    # ------------------------------------------------------------------
+    def duration_trend(self, hb_id: int, interval: float = 1.0) -> List[float]:
+        """Mean heartbeat duration of ``hb_id`` across runs, in run order."""
+        trend = []
+        for index in self.run_indices():
+            series = self.load_series(index, interval=interval)
+            if hb_id in series.counts:
+                trend.append(series.mean_duration(hb_id))
+        return trend
+
+    def compare_latest_to_baseline(
+        self,
+        baseline_index: Optional[int] = None,
+        interval: float = 1.0,
+        **compare_kwargs,
+    ) -> ComparisonReport:
+        """Compare the newest run against a baseline (default: run 0)."""
+        indices = self.run_indices()
+        if len(indices) < 2:
+            raise ValidationError("need at least two recorded runs to compare")
+        base_idx = indices[0] if baseline_index is None else baseline_index
+        baseline = self.load_series(base_idx, interval=interval)
+        candidate = self.load_series(indices[-1], interval=interval)
+        return compare_series(baseline, candidate, **compare_kwargs)

@@ -1,0 +1,116 @@
+"""Applying instrumentation sites to a simulated run.
+
+Bridges discovered (or manual) sites onto the virtual engine: *body* sites
+emit heartbeat begin/end at function entry/exit; *loop* sites emit one
+heartbeat per loop-iteration mark inside the function; batch-modeled calls
+are recorded as spans.  Each emitted event charges the engine the
+configured per-event AppEKG cost, so heartbeat overhead in Table I
+emerges from the workload's event rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from repro.core.model import InstType, Site
+from repro.heartbeat.api import AppEKG
+from repro.simulate.engine import Engine, EngineObserver
+
+
+@dataclass(frozen=True)
+class SiteBinding:
+    """A site bound to a heartbeat ID."""
+
+    site: Site
+    hb_id: int
+
+    @property
+    def function(self) -> str:
+        return self.site.function
+
+    @property
+    def inst_type(self) -> InstType:
+        return self.site.inst_type
+
+
+def bindings_from_sites(sites: Iterable[Site]) -> List[SiteBinding]:
+    """Assign heartbeat IDs to unique (function, type) sites in order.
+
+    Matches the paper's numbering: a site repeated across phases keeps its
+    ID; the same function with a different instrumentation type gets a
+    fresh one (e.g. Graph500's ``run_bfs`` body=2 / loop=3).
+    """
+    bindings: List[SiteBinding] = []
+    seen: Dict[Site, int] = {}
+    for site in sites:
+        if site not in seen:
+            seen[site] = len(seen) + 1
+            bindings.append(SiteBinding(site=site, hb_id=seen[site]))
+    return bindings
+
+
+class HeartbeatInstrumentation(EngineObserver):
+    """Engine observer that drives an :class:`AppEKG` instance."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        appekg: AppEKG,
+        bindings: Iterable[SiteBinding],
+        charge_overhead: bool = True,
+    ) -> None:
+        self.engine = engine
+        self.appekg = appekg
+        self.charge_overhead = charge_overhead
+        self._body: Dict[str, List[SiteBinding]] = {}
+        self._loop: Dict[str, List[SiteBinding]] = {}
+        for binding in bindings:
+            table = self._body if binding.inst_type is InstType.BODY else self._loop
+            table.setdefault(binding.function, []).append(binding)
+        # Per-function last loop-tick time for the current activation.
+        self._last_tick: Dict[str, Optional[float]] = {}
+
+    # ------------------------------------------------------------------
+    def _charge(self, events: float) -> None:
+        if self.charge_overhead:
+            self.engine.overhead(events * self.engine.cost_model.per_heartbeat_event)
+
+    # ------------------------------------------------------------------
+    # EngineObserver protocol
+    # ------------------------------------------------------------------
+    def on_enter(self, func: str, t: float) -> None:
+        for binding in self._body.get(func, ()):
+            self.appekg.begin_heartbeat(binding.hb_id, at=t)
+            self._charge(1)
+        if func in self._loop:
+            self._last_tick[func] = t
+
+    def on_exit(self, func: str, t: float) -> None:
+        for binding in self._body.get(func, ()):
+            self.appekg.end_heartbeat(binding.hb_id, at=t)
+            self._charge(1)
+        if func in self._loop:
+            self._last_tick[func] = None
+
+    def on_loop_tick(self, func: str, t: float) -> None:
+        loop_bindings = self._loop.get(func)
+        if not loop_bindings:
+            return
+        prev = self._last_tick.get(func)
+        if prev is not None and t > prev:
+            for binding in loop_bindings:
+                self.appekg.begin_heartbeat(binding.hb_id, at=prev)
+                self.appekg.end_heartbeat(binding.hb_id, at=t)
+                self._charge(2)
+        self._last_tick[func] = t
+
+    def on_batch_calls(self, caller: str, callee: str, n: int, t0: float, t1: float) -> None:
+        for binding in self._body.get(callee, ()):
+            self.appekg.record_span(binding.hb_id, n, t0, t1)
+            self._charge(2 * n)
+        # A loop site on a batch-modeled function behaves like per-call
+        # iterations: treat the span as n loop heartbeats as well.
+        for binding in self._loop.get(callee, ()):
+            self.appekg.record_span(binding.hb_id, n, t0, t1)
+            self._charge(2 * n)

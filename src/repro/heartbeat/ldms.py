@@ -1,0 +1,62 @@
+"""A lightweight LDMS-style transport.
+
+The paper integrates AppEKG with LDMS, whose model is: applications update
+an in-memory *metric set*; a system-side sampler pulls the set on its own
+schedule and forwards it to storage.  This module reproduces that pull
+model in-process so the examples and overhead experiments exercise the
+same decoupled path (app-side updates are O(1); delivery happens on the
+sampler's clock, not the app's).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from repro.heartbeat.accumulator import HeartbeatRecord
+
+Subscriber = Callable[[List[HeartbeatRecord]], None]
+
+
+class LDMSTransport:
+    """In-process metric-set transport with explicit sampler pulls.
+
+    Use the transport itself as the AppEKG sink; call :meth:`sample` from
+    the "system side" (e.g. once per collection interval) to drain the
+    metric set to subscribers.
+    """
+
+    def __init__(self) -> None:
+        self._pending: List[HeartbeatRecord] = []
+        self._subscribers: List[Subscriber] = []
+        self.updates = 0
+        self.samples_taken = 0
+        self.delivered = 0
+
+    # ------------------------------------------------------------------
+    # app side (sink protocol)
+    # ------------------------------------------------------------------
+    def __call__(self, record: HeartbeatRecord) -> None:
+        self._pending.append(record)
+        self.updates += 1
+
+    # ------------------------------------------------------------------
+    # system side
+    # ------------------------------------------------------------------
+    def subscribe(self, subscriber: Subscriber) -> None:
+        self._subscribers.append(subscriber)
+
+    def sample(self) -> List[HeartbeatRecord]:
+        """Pull and clear the metric set, forwarding to subscribers."""
+        batch, self._pending = self._pending, []
+        self.samples_taken += 1
+        self.delivered += len(batch)
+        for subscriber in self._subscribers:
+            subscriber(batch)
+        return batch
+
+    def pending_metrics(self) -> Dict[Tuple[int, int], float]:
+        """Current metric-set view: (rank, hb_id) -> latest count."""
+        view: Dict[Tuple[int, int], float] = {}
+        for record in self._pending:
+            view[(record.rank, record.hb_id)] = record.count
+        return view

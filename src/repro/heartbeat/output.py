@@ -1,0 +1,92 @@
+"""Heartbeat record sinks.
+
+A sink is any callable taking a
+:class:`~repro.heartbeat.accumulator.HeartbeatRecord`.  AppEKG calls the
+sink once per (interval, heartbeat-id) — the interval-accumulated output
+rate that keeps the framework production-safe.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import List, Union
+
+from repro.heartbeat.accumulator import HeartbeatRecord
+
+CSV_FIELDS = ["rank", "hb_id", "interval_index", "time", "count",
+              "avg_duration", "min_duration", "max_duration"]
+
+
+class MemorySink:
+    """Collects records in a list (tests, in-process analysis)."""
+
+    def __init__(self) -> None:
+        self.records: List[HeartbeatRecord] = []
+
+    def __call__(self, record: HeartbeatRecord) -> None:
+        self.records.append(record)
+
+
+class NullSink:
+    """Discards records but counts them (overhead experiments)."""
+
+    def __init__(self) -> None:
+        self.count = 0
+
+    def __call__(self, record: HeartbeatRecord) -> None:
+        self.count += 1
+
+
+class CSVSink:
+    """Appends one CSV row per record, AppEKG's stand-alone output mode."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._fh = open(self.path, "w", newline="")
+        self._writer = csv.writer(self._fh)
+        self._writer.writerow(CSV_FIELDS)
+
+    def __call__(self, record: HeartbeatRecord) -> None:
+        self._writer.writerow(
+            [
+                record.rank,
+                record.hb_id,
+                record.interval_index,
+                f"{record.time:.6f}",
+                f"{record.count:.4f}",
+                f"{record.avg_duration:.6f}",
+                f"{record.min_duration:.6f}",
+                f"{record.max_duration:.6f}",
+            ]
+        )
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "CSVSink":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def read_csv_records(path: Union[str, Path]) -> List[HeartbeatRecord]:
+    """Load records written by :class:`CSVSink`."""
+    records: List[HeartbeatRecord] = []
+    with open(path, newline="") as fh:
+        for row in csv.DictReader(fh):
+            records.append(
+                HeartbeatRecord(
+                    rank=int(row["rank"]),
+                    hb_id=int(row["hb_id"]),
+                    interval_index=int(row["interval_index"]),
+                    time=float(row["time"]),
+                    count=float(row["count"]),
+                    avg_duration=float(row["avg_duration"]),
+                    min_duration=float(row.get("min_duration") or 0.0),
+                    max_duration=float(row.get("max_duration") or 0.0),
+                )
+            )
+    return records

@@ -1,0 +1,133 @@
+"""Snapshot collectors (the IncProf wake/dump/rename loop).
+
+Both collectors produce the same artifact — an ordered list of cumulative
+:class:`~repro.gprof.gmon.GmonData` snapshots, one per elapsed interval —
+and can optionally persist each snapshot through a
+:class:`~repro.incprof.storage.SampleStore`.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import List, Optional
+
+from repro.gprof.gmon import GmonData
+from repro.incprof.storage import SampleStore
+from repro.profiler.sampling import SamplingProfiler
+from repro.profiler.tracing import TracingProfiler
+from repro.simulate.clock import TIME_EPS
+from repro.simulate.engine import Engine
+from repro.util.errors import CollectorError, ValidationError
+
+
+class VirtualSnapshotCollector:
+    """Interval snapshots of a simulated run.
+
+    Registers a periodic trigger on the engine's clock; each wake-up copies
+    the profiler's cumulative state (stamped with the trigger time) and
+    charges the configured dump cost to the run's timeline — exactly the
+    overhead structure of the real tool's write+rename step.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        profiler: SamplingProfiler,
+        interval: float = 1.0,
+        store: Optional[SampleStore] = None,
+    ) -> None:
+        if interval <= 0:
+            raise ValidationError("collection interval must be positive")
+        self.engine = engine
+        self.profiler = profiler
+        self.interval = interval
+        self.store = store
+        self.samples: List[GmonData] = []
+        self._finalized = False
+        engine.clock.schedule_every(interval, self._wake)
+
+    def _wake(self, t: float) -> None:
+        if self._finalized:
+            return
+        snap = self.profiler.snapshot(t)
+        self._record(snap)
+        self.engine.overhead(self.engine.cost_model.per_dump)
+
+    def _record(self, snap: GmonData) -> None:
+        if self.store is not None:
+            self.store.save(snap, len(self.samples))
+        self.samples.append(snap)
+
+    def finalize(self) -> List[GmonData]:
+        """Stop collecting and take the program-exit dump if it adds data.
+
+        The real runtime writes a final gmon.out at ``exit()``; we append a
+        final snapshot unless the run ended exactly on an interval boundary.
+        """
+        if self._finalized:
+            return self.samples
+        self._finalized = True
+        now = self.engine.clock.now
+        if not self.samples or now > self.samples[-1].timestamp + TIME_EPS:
+            self._record(self.profiler.snapshot(now))
+        self.engine.clock.cancel_all()
+        return self.samples
+
+
+class LiveCollector:
+    """Background-thread collector for real Python executions.
+
+    Mirrors the preloaded IncProf library: a daemon thread sleeps for one
+    interval, snapshots the tracing profiler, and repeats until stopped.
+    """
+
+    def __init__(
+        self,
+        profiler: TracingProfiler,
+        interval: float = 1.0,
+        store: Optional[SampleStore] = None,
+    ) -> None:
+        if interval <= 0:
+            raise ValidationError("collection interval must be positive")
+        self.profiler = profiler
+        self.interval = interval
+        self.store = store
+        self.samples: List[GmonData] = []
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._lock = threading.Lock()
+
+    def _record(self, snap: GmonData) -> None:
+        with self._lock:
+            if self.store is not None:
+                self.store.save(snap, len(self.samples))
+            self.samples.append(snap)
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval):
+            self._record(self.profiler.snapshot())
+
+    def start(self) -> None:
+        if self._thread is not None:
+            raise CollectorError("collector already started")
+        self._stop.clear()
+        self._thread = threading.Thread(target=self._loop, name="incprof-collector", daemon=True)
+        self._thread.start()
+
+    def stop(self) -> List[GmonData]:
+        """Stop the wake-up thread and take the final program-exit dump."""
+        if self._thread is None:
+            raise CollectorError("collector was never started")
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+        self._thread = None
+        self._record(self.profiler.snapshot())
+        return self.samples
+
+    def __enter__(self) -> "LiveCollector":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self._thread is not None:
+            self.stop()

@@ -1,0 +1,164 @@
+"""Collection sessions: run a workload under IncProf and/or AppEKG.
+
+A :class:`Session` builds, per simulated rank, the full stack the paper
+deploys on a real node — execution engine, gprof-style sampling profiler,
+IncProf snapshot collector, optional heartbeat instrumentation — runs the
+workload, and returns per-rank sample series and heartbeat records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
+
+from repro.apps.base import AppModel
+from repro.heartbeat.api import AppEKG
+from repro.heartbeat.instrument import HeartbeatInstrumentation, SiteBinding
+from repro.incprof.collector import VirtualSnapshotCollector
+from repro.incprof.storage import SampleStore
+from repro.profiler.sampling import DEFAULT_SAMPLE_PERIOD, SamplingProfiler
+from repro.simulate.engine import Engine
+from repro.simulate.mpi import RankResult, SimComm
+from repro.simulate.overhead import CostModel
+from repro.util.errors import ValidationError
+from repro.util.rng import rng_stream
+
+#: Default experiment seed.  The paper reports one measured run per
+#: application; this seed is our "measured run" and is fixed so the
+#: regenerated tables and figures are reproducible.
+DEFAULT_SEED = 111
+
+
+@dataclass(frozen=True)
+class SessionConfig:
+    """How to run a collection session.
+
+    ``collect_profiles`` attaches IncProf (gprof runtime + 1 s snapshot
+    thread); ``heartbeat_sites`` attaches AppEKG instrumentation;
+    ``charge_costs`` enables the overhead cost model (disable it for
+    analysis-only runs where the timeline should be the plain build's).
+    """
+
+    interval: float = 1.0
+    sample_period: float = DEFAULT_SAMPLE_PERIOD
+    ranks: Optional[int] = None  # None: the app's paper configuration
+    seed: int = DEFAULT_SEED
+    scale: float = 1.0
+    collect_profiles: bool = True
+    heartbeat_sites: Optional[Sequence[SiteBinding]] = None
+    charge_costs: bool = False
+    cost_model: Optional[CostModel] = None
+    store_dir: Optional[Union[str, Path]] = None
+    #: SIGPROF timer-jitter model for the sampling profiler (see
+    #: :class:`~repro.profiler.sampling.SamplingProfiler`).
+    sampling_jitter: float = 0.12
+
+    def __post_init__(self) -> None:
+        if self.interval <= 0 or self.sample_period <= 0:
+            raise ValidationError("interval and sample period must be positive")
+        if self.scale <= 0:
+            raise ValidationError("scale must be positive")
+
+
+@dataclass
+class SessionResult:
+    """Per-rank outcomes of one session."""
+
+    app_name: str
+    config: SessionConfig
+    per_rank: List[RankResult] = field(default_factory=list)
+
+    @property
+    def rank0(self) -> RankResult:
+        return self.per_rank[0]
+
+    def samples(self, rank: int = 0):
+        return self.per_rank[rank].samples
+
+    def heartbeat_records(self, rank: int = 0):
+        return self.per_rank[rank].heartbeat_records
+
+    @property
+    def runtime(self) -> float:
+        """Representative (rank 0) virtual runtime."""
+        return self.rank0.runtime
+
+
+class Session:
+    """Runs one app under the configured instrumentation."""
+
+    def __init__(self, app: AppModel, config: SessionConfig = SessionConfig()) -> None:
+        self.app = app
+        self.config = config
+
+    # ------------------------------------------------------------------
+    def _cost_model(self) -> CostModel:
+        if self.config.cost_model is not None:
+            return self.config.cost_model
+        if not self.config.charge_costs:
+            return CostModel.disabled()
+        if self.config.collect_profiles:
+            return CostModel.gprof_defaults()
+        if self.config.heartbeat_sites:
+            return CostModel.heartbeat_only()
+        return CostModel.disabled()
+
+    def run_rank(self, rank: int) -> RankResult:
+        """Execute one rank's full collection run."""
+        config = self.config
+        rng = rng_stream(config.seed, self.app.name, "rank", rank)
+        engine = Engine(
+            cost_model=self._cost_model(),
+            rank=rank,
+            rng=rng,
+            params={"scale": config.scale},
+        )
+
+        collector: Optional[VirtualSnapshotCollector] = None
+        if config.collect_profiles:
+            profiler = SamplingProfiler(
+                sample_period=config.sample_period,
+                rank=rank,
+                jitter_sigma=config.sampling_jitter,
+                rng=rng_stream(config.seed, self.app.name, "sampler", rank),
+            )
+            engine.add_observer(profiler)
+            store = None
+            if config.store_dir is not None:
+                store = SampleStore(Path(config.store_dir))
+            collector = VirtualSnapshotCollector(
+                engine, profiler, interval=config.interval, store=store
+            )
+
+        appekg: Optional[AppEKG] = None
+        if config.heartbeat_sites:
+            bindings = list(config.heartbeat_sites)
+            appekg = AppEKG(
+                num_heartbeats=max(b.hb_id for b in bindings),
+                rank=rank,
+                interval=config.interval,
+                time_source=lambda: engine.clock.now,
+            )
+            engine.add_observer(HeartbeatInstrumentation(engine, appekg, bindings))
+
+        engine.run(self.app.build_main(config.scale))
+
+        samples = collector.finalize() if collector else []
+        records = appekg.finalize(now=engine.clock.now) if appekg else []
+        return RankResult(
+            rank=rank,
+            runtime=engine.clock.now,
+            samples=samples,
+            heartbeat_records=list(records),
+            total_calls=engine.total_calls,
+            total_attributed=engine.total_attributed,
+            total_overhead=engine.total_overhead,
+        )
+
+    def run(self) -> SessionResult:
+        """Run every rank; rank 0 is the paper's representative process."""
+        n_ranks = self.config.ranks if self.config.ranks is not None else self.app.default_ranks
+        comm = SimComm(n_ranks)
+        results = comm.run(self.run_rank)
+        return SessionResult(app_name=self.app.name, config=self.config, per_rank=results)

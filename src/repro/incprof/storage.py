@@ -1,0 +1,65 @@
+"""Per-interval sample files.
+
+IncProf renames each gmon dump to a unique sample name; analysis later
+loads the ordered sequence per rank.  File layout::
+
+    <dir>/gmon-r<rank:03d>-i<index:05d>.gmon
+
+Indices are the collection order (interval number), which the loader uses
+to return samples sorted by interval.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.gprof.gmon import GmonData, read_gmon, write_gmon
+from repro.util.errors import CollectorError
+
+_NAME_RE = re.compile(r"^gmon-r(?P<rank>\d{3})-i(?P<index>\d{5})\.gmon$")
+
+
+class SampleStore:
+    """Directory-backed store of per-interval gmon samples."""
+
+    def __init__(self, directory: Union[str, Path], create: bool = True) -> None:
+        self.directory = Path(directory)
+        if create:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        elif not self.directory.is_dir():
+            raise CollectorError(f"sample directory {self.directory} does not exist")
+
+    def path_for(self, rank: int, index: int) -> Path:
+        if rank < 0 or index < 0:
+            raise CollectorError("rank and index must be non-negative")
+        return self.directory / f"gmon-r{rank:03d}-i{index:05d}.gmon"
+
+    def save(self, sample: GmonData, index: int) -> Path:
+        """Persist one snapshot under its (rank, interval-index) name."""
+        path = self.path_for(sample.rank, index)
+        write_gmon(sample, path)
+        return path
+
+    def ranks(self) -> List[int]:
+        """Ranks that have at least one sample file, sorted."""
+        ranks = set()
+        for path in self.directory.glob("gmon-r*-i*.gmon"):
+            m = _NAME_RE.match(path.name)
+            if m:
+                ranks.add(int(m.group("rank")))
+        return sorted(ranks)
+
+    def load_rank(self, rank: int) -> List[GmonData]:
+        """All samples of ``rank`` in interval order."""
+        indexed: Dict[int, Path] = {}
+        for path in self.directory.glob(f"gmon-r{rank:03d}-i*.gmon"):
+            m = _NAME_RE.match(path.name)
+            if m:
+                indexed[int(m.group("index"))] = path
+        return [read_gmon(indexed[i]) for i in sorted(indexed)]
+
+    def load_all(self) -> Dict[int, List[GmonData]]:
+        """Samples for every rank present in the store."""
+        return {rank: self.load_rank(rank) for rank in self.ranks()}

@@ -1,0 +1,20 @@
+"""Profilers that populate gmon state.
+
+Two implementations of the same contract (cumulative
+:class:`~repro.gprof.gmon.GmonData` with a ``snapshot()`` method):
+
+- :class:`~repro.profiler.sampling.SamplingProfiler` observes a simulated
+  :class:`~repro.simulate.engine.Engine` and reproduces gprof's mechanism
+  exactly — a 100 Hz PC-sampling histogram plus mcount call arcs — in
+  virtual time.
+- :class:`~repro.profiler.tracing.TracingProfiler` profiles *real* Python
+  code via ``sys.setprofile``, measuring per-function self-time with a
+  wall clock and quantizing it into histogram ticks, so the identical
+  downstream pipeline runs on live executions.
+"""
+
+from repro.profiler.sampling import SamplingProfiler
+from repro.profiler.tracing import TracingProfiler
+from repro.profiler.sigprof import SigprofSampler
+
+__all__ = ["SamplingProfiler", "TracingProfiler", "SigprofSampler"]

@@ -1,0 +1,110 @@
+"""A real SIGPROF statistical sampler for live Python code.
+
+The tracing profiler measures live runs deterministically; this one does
+what gprof actually does: arm an interval timer (``ITIMER_PROF``) and,
+on every signal, attribute one histogram tick to the function currently
+executing — genuine statistical PC sampling, with all its properties
+(sampling error, blindness to blocked time) faithfully included.
+
+Constraints inherited from the mechanism:
+
+- signals are delivered to the main thread only, so the profiled code
+  must run there (the IncProf collector thread is unaffected);
+- like gprof, time spent blocked (sleeping, waiting on I/O) receives no
+  samples — ``ITIMER_PROF`` counts CPU time.
+
+Call arcs are not collected (a pure sampler has no mcount); combine with
+the tracing profiler when arcs are needed.
+"""
+
+from __future__ import annotations
+
+import signal
+import sys
+import threading
+from typing import Callable, Dict, Optional
+
+from repro.gprof.gmon import GmonData
+from repro.profiler.sampling import DEFAULT_SAMPLE_PERIOD
+from repro.util.errors import CollectorError, ValidationError
+
+NameFilter = Callable[[str], bool]
+
+
+class SigprofSampler:
+    """Interval-timer-driven statistical profiler (main thread only)."""
+
+    def __init__(
+        self,
+        sample_period: float = DEFAULT_SAMPLE_PERIOD,
+        name_filter: Optional[NameFilter] = None,
+        rank: int = 0,
+    ) -> None:
+        if sample_period <= 0:
+            raise ValidationError("sample_period must be positive")
+        self.sample_period = sample_period
+        self.name_filter = name_filter
+        self.rank = rank
+        self._hist: Dict[str, int] = {}
+        self._lock = threading.Lock()
+        self._active = False
+        self._previous_handler = None
+        self.total_samples = 0
+
+    # ------------------------------------------------------------------
+    def _on_signal(self, _signum, frame) -> None:
+        # Walk up to the nearest frame passing the filter — the same
+        # attribution a PC sampler achieves for inlined/library code.
+        name = None
+        current = frame
+        while current is not None:
+            qualname = getattr(current.f_code, "co_qualname", current.f_code.co_name)
+            if self.name_filter is None or self.name_filter(qualname):
+                name = qualname
+                break
+            current = current.f_back
+        if name is not None:
+            with self._lock:
+                self._hist[name] = self._hist.get(name, 0) + 1
+                self.total_samples += 1
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Arm the profiling timer (must run on the main thread)."""
+        if self._active:
+            raise CollectorError("sampler already active")
+        if threading.current_thread() is not threading.main_thread():
+            raise CollectorError("SIGPROF sampling must start on the main thread")
+        self._previous_handler = signal.signal(signal.SIGPROF, self._on_signal)
+        signal.setitimer(signal.ITIMER_PROF, self.sample_period, self.sample_period)
+        self._active = True
+
+    def stop(self) -> None:
+        """Disarm the timer and restore the previous handler."""
+        if not self._active:
+            return
+        signal.setitimer(signal.ITIMER_PROF, 0.0)
+        if self._previous_handler is not None:
+            signal.signal(signal.SIGPROF, self._previous_handler)
+        self._active = False
+
+    def __enter__(self) -> "SigprofSampler":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    def snapshot(self, timestamp: float = 0.0) -> GmonData:
+        """Cumulative histogram as gmon state (no arcs — pure sampler)."""
+        data = GmonData(sample_period=self.sample_period, rank=self.rank,
+                        timestamp=timestamp)
+        with self._lock:
+            data.hist = dict(self._hist)
+        return data
+
+    def reset(self) -> None:
+        with self._lock:
+            self._hist.clear()
+            self.total_samples = 0

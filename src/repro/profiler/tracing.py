@@ -1,0 +1,204 @@
+"""Live profiler for real Python code (``sys.setprofile``-based).
+
+This is the "live mode" counterpart of the simulated sampling profiler:
+it measures per-function self-time and call arcs for genuine Python
+executions (the apps' real NumPy kernels), then quantizes self-time into
+gprof histogram ticks so downstream analysis is byte-for-byte the same
+pipeline the simulated runs use.
+
+Design notes
+------------
+- ``sys.setprofile`` is per-thread; the profiler instruments the thread
+  that calls :meth:`start`.  A live IncProf collector thread calls
+  :meth:`snapshot` concurrently, so all mutation happens under a lock.
+- Self-time accounting is the classic tracing scheme: at every profile
+  event the elapsed time since the previous event is attributed to the
+  function currently on top of the shadow stack.
+- C-function events are attributed to the *calling* Python function
+  (matching gprof's view of statically linked leaf work, and keeping
+  NumPy kernels charged to the app function that invoked them).
+- A ``name_filter`` limits which functions appear in snapshots (e.g. only
+  the app's module) without disturbing time accounting for the rest of
+  the stack; filtered frames have their self-time folded into the nearest
+  unfiltered ancestor so total time is preserved.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.gprof.gmon import GmonData
+from repro.profiler.sampling import DEFAULT_SAMPLE_PERIOD
+from repro.simulate.engine import SPONTANEOUS
+from repro.util.errors import CollectorError, ValidationError
+
+NameFilter = Callable[[str], bool]
+
+
+def _qualname(frame) -> str:
+    code = frame.f_code
+    return getattr(code, "co_qualname", code.co_name)
+
+
+class TracingProfiler:
+    """Measure real Python execution into cumulative gmon state."""
+
+    def __init__(
+        self,
+        sample_period: float = DEFAULT_SAMPLE_PERIOD,
+        rank: int = 0,
+        name_filter: Optional[NameFilter] = None,
+        file_filter: Optional[NameFilter] = None,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        if sample_period <= 0:
+            raise ValidationError("sample_period must be positive")
+        self.sample_period = sample_period
+        self.rank = rank
+        self.name_filter = name_filter
+        #: Optional predicate on the defining file (``co_filename``) — the
+        #: analogue of gprof only seeing the instrumented binary's own
+        #: symbols: frames from filtered files fold into their callers.
+        self.file_filter = file_filter
+        self._clock = clock
+        # Re-entrant: snapshot() may be called from the *profiled* thread
+        # (its own function-call events fire mid-snapshot and must be able
+        # to re-acquire the lock), as well as from a collector thread.
+        self._lock = threading.RLock()
+        self._self_time: Dict[str, float] = {}
+        self._arcs: Dict[Tuple[str, str], int] = {}
+        # Shadow stack of (name, passes_filter); filtered frames redirect
+        # their self-time to the nearest unfiltered ancestor.
+        self._stack: List[Tuple[str, bool]] = [(SPONTANEOUS, False)]
+        self._last_event_time: Optional[float] = None
+        self._active = False
+        self._start_time: Optional[float] = None
+        self.elapsed: float = 0.0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin profiling the current thread."""
+        if self._active:
+            raise CollectorError("profiler already active")
+        self._active = True
+        self._start_time = self._clock()
+        self._last_event_time = self._start_time
+        sys.setprofile(self._profile_event)
+
+    def stop(self) -> None:
+        """Stop profiling; accumulated state remains queryable."""
+        sys.setprofile(None)
+        if self._active:
+            now = self._clock()
+            with self._lock:
+                self._attribute_elapsed(now)
+            self.elapsed = now - (self._start_time or now)
+        self._active = False
+
+    def __enter__(self) -> "TracingProfiler":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # event handling
+    # ------------------------------------------------------------------
+    def _attribute_elapsed(self, now: float) -> None:
+        """Charge time since the last event to the current stack top."""
+        last = self._last_event_time
+        if last is not None and now > last:
+            name, passes = self._stack[-1]
+            if not passes:
+                name = self._nearest_unfiltered()
+            if name is not None:
+                self._self_time[name] = self._self_time.get(name, 0.0) + (now - last)
+        self._last_event_time = now
+
+    def _nearest_unfiltered(self) -> Optional[str]:
+        for name, passes in reversed(self._stack):
+            if passes:
+                return name
+        return None
+
+    def _passes(self, name: str) -> bool:
+        return self.name_filter(name) if self.name_filter else True
+
+    def _profile_event(self, frame, event: str, arg) -> None:
+        now = self._clock()
+        with self._lock:
+            self._attribute_elapsed(now)
+            if event == "call":
+                name = _qualname(frame)
+                passes = self._passes(name)
+                if passes and self.file_filter is not None:
+                    passes = self.file_filter(frame.f_code.co_filename)
+                if passes:
+                    caller = self._nearest_unfiltered() or SPONTANEOUS
+                    key = (caller, name)
+                    self._arcs[key] = self._arcs.get(key, 0) + 1
+                self._stack.append((name, passes))
+            elif event == "return":
+                if len(self._stack) > 1:
+                    self._stack.pop()
+            # c_call / c_return / c_exception: time already attributed to
+            # the Python caller by _attribute_elapsed; nothing else to do.
+
+    # ------------------------------------------------------------------
+    # snapshotting
+    # ------------------------------------------------------------------
+    def snapshot(self, timestamp: Optional[float] = None) -> GmonData:
+        """Thread-safe copy of the cumulative profile as gmon state.
+
+        Self-time is quantized to histogram ticks (``round(t / period)``),
+        mirroring what a 100 Hz sampler would have recorded in expectation.
+        """
+        now = self._clock()
+        with self._lock:
+            if self._active:
+                self._attribute_elapsed(now)
+            data = GmonData(sample_period=self.sample_period, rank=self.rank)
+            if timestamp is None:
+                timestamp = now - (self._start_time or now)
+            data.timestamp = timestamp
+            for name, seconds in self._self_time.items():
+                ticks = int(round(seconds / self.sample_period))
+                if ticks:
+                    data.hist[name] = ticks
+            data.arcs = dict(self._arcs)
+        return data
+
+    def reset(self) -> None:
+        """Clear accumulated state (keeps filter/period configuration)."""
+        with self._lock:
+            self._self_time.clear()
+            self._arcs.clear()
+
+
+def module_filter(*module_prefixes: str) -> NameFilter:
+    """Build a name filter accepting functions defined in given modules.
+
+    Matches on qualified names: a function passes if any prefix matches the
+    start of its qualname, or it is a plain function defined at module
+    level in code whose ``co_qualname`` equals its name.  Most callers
+    instead pass an explicit set of function names via
+    :func:`names_filter`.
+    """
+    prefixes = tuple(module_prefixes)
+
+    def _filter(name: str) -> bool:
+        return name.startswith(prefixes)
+
+    return _filter
+
+
+def names_filter(names) -> NameFilter:
+    """Build a name filter accepting exactly the given function names."""
+    allowed = frozenset(names)
+    return lambda name: name in allowed

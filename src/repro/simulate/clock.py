@@ -1,0 +1,94 @@
+"""Virtual clock with scheduled triggers.
+
+The clock only moves when the engine advances it (attributed work,
+overhead, or idle time).  Callbacks — e.g. the IncProf snapshot wake-up —
+are scheduled at absolute times and fire *in order* while time advances,
+so a profile dump observes exactly the work completed before its
+trigger time.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from typing import Callable, List, Optional, Tuple
+
+from repro.util.errors import ValidationError
+
+Callback = Callable[[float], None]
+
+#: Tolerance used when comparing virtual times; one nanosecond is far below
+#: any modeled cost, so boundary events fire deterministically.
+TIME_EPS = 1e-9
+
+
+class VirtualClock:
+    """A monotone virtual clock with absolute and periodic triggers."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+        self._heap: List[Tuple[float, int, object]] = []
+        self._counter = itertools.count()
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule_at(self, when: float, callback: Callback) -> None:
+        """Schedule ``callback(when)`` to fire when time reaches ``when``."""
+        if when < self._now - TIME_EPS:
+            raise ValidationError(f"cannot schedule at {when} before now={self._now}")
+        heapq.heappush(self._heap, (float(when), next(self._counter), ("once", callback)))
+
+    def schedule_every(self, period: float, callback: Callback, start: Optional[float] = None) -> None:
+        """Schedule ``callback`` every ``period`` seconds, first at ``start``.
+
+        ``start`` defaults to ``now + period`` — matching the IncProf
+        sampler thread, which sleeps a full interval before its first dump.
+        """
+        if period <= 0:
+            raise ValidationError("period must be positive")
+        first = self._now + period if start is None else float(start)
+        heapq.heappush(self._heap, (first, next(self._counter), ("every", callback, period)))
+
+    def next_trigger_time(self) -> float:
+        """Time of the earliest pending trigger, or ``inf`` if none."""
+        return self._heap[0][0] if self._heap else math.inf
+
+    # ------------------------------------------------------------------
+    # advancing
+    # ------------------------------------------------------------------
+    def set_time(self, when: float) -> None:
+        """Move the clock to ``when`` without firing triggers.
+
+        The engine uses this after it has already accounted the segment up
+        to the next trigger boundary; use :meth:`fire_due` afterwards.
+        """
+        if when < self._now - TIME_EPS:
+            raise ValidationError("virtual time cannot move backwards")
+        self._now = max(self._now, float(when))
+
+    def fire_due(self) -> int:
+        """Fire every trigger scheduled at or before ``now``; return count."""
+        fired = 0
+        while self._heap and self._heap[0][0] <= self._now + TIME_EPS:
+            when, _seq, entry = heapq.heappop(self._heap)
+            if entry[0] == "once":
+                entry[1](when)
+            else:
+                _tag, callback, period = entry
+                callback(when)
+                heapq.heappush(
+                    self._heap, (when + period, next(self._counter), ("every", callback, period))
+                )
+            fired += 1
+        return fired
+
+    def cancel_all(self) -> None:
+        """Drop all pending triggers (used at end of run)."""
+        self._heap.clear()

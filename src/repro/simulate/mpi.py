@@ -1,0 +1,79 @@
+"""Simulated symmetric MPI execution.
+
+The paper's applications are symmetrically parallel: every rank runs the
+same program, so IncProf produces one profile stream per rank and the
+analysis uses a representative rank (rank 0), keeping the rest for
+aggregate descriptive statistics.  ``SimComm`` runs one engine per rank
+(sequentially, each with its own virtual clock and rank-derived noise
+stream) and provides those aggregates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from repro.gprof.gmon import GmonData
+from repro.heartbeat.accumulator import HeartbeatRecord
+from repro.util.errors import ValidationError
+
+
+@dataclass
+class RankResult:
+    """Everything one simulated rank produced."""
+
+    rank: int
+    runtime: float
+    samples: List[GmonData] = field(default_factory=list)
+    heartbeat_records: List[HeartbeatRecord] = field(default_factory=list)
+    total_calls: int = 0
+    total_attributed: float = 0.0
+    total_overhead: float = 0.0
+
+
+class SimComm:
+    """Run a per-rank job across ``n_ranks`` symmetric processes."""
+
+    def __init__(self, n_ranks: int) -> None:
+        if n_ranks < 1:
+            raise ValidationError("need at least one rank")
+        self.n_ranks = n_ranks
+
+    def run(self, rank_job: Callable[[int], RankResult]) -> List[RankResult]:
+        """Execute ``rank_job`` for every rank and return ordered results."""
+        return [rank_job(rank) for rank in range(self.n_ranks)]
+
+    # ------------------------------------------------------------------
+    # aggregate descriptive statistics (the paper's multi-rank use)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def runtime_stats(results: List[RankResult]) -> Dict[str, float]:
+        runtimes = np.array([r.runtime for r in results])
+        return {
+            "mean": float(runtimes.mean()),
+            "std": float(runtimes.std()),
+            "min": float(runtimes.min()),
+            "max": float(runtimes.max()),
+            "imbalance": float((runtimes.max() - runtimes.min()) / runtimes.mean())
+            if runtimes.mean() > 0
+            else 0.0,
+        }
+
+    @staticmethod
+    def overhead_stats(results: List[RankResult]) -> Dict[str, float]:
+        overheads = np.array([r.total_overhead for r in results])
+        runtimes = np.array([r.runtime for r in results])
+        with np.errstate(divide="ignore", invalid="ignore"):
+            fractions = np.where(runtimes > 0, overheads / runtimes, 0.0)
+        return {
+            "mean_seconds": float(overheads.mean()),
+            "mean_fraction": float(fractions.mean()),
+        }
+
+    @staticmethod
+    def is_symmetric(results: List[RankResult], tolerance: float = 0.1) -> bool:
+        """True if all ranks' runtimes agree within ``tolerance`` (relative)."""
+        stats = SimComm.runtime_stats(results)
+        return stats["imbalance"] <= tolerance

@@ -1,0 +1,51 @@
+"""Run-to-run variability models.
+
+Real measurements include node noise, cache/TLB placement effects, and —
+as the paper notes for MiniFE at ``-O3`` — systematic interactions between
+the ``-pg`` instrumentation and the optimizer that can even make the
+instrumented build *faster*.  The noise model separates the two:
+
+- ``jitter(rng)`` draws a multiplicative run factor ~ N(1, sigma);
+- ``systematic_bias`` is a deterministic per-app factor applied to an
+  instrumented build (negative values model the MiniFE effect).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class NoiseModel:
+    """Multiplicative runtime noise: ``runtime * bias_factor * jitter``."""
+
+    sigma: float = 0.01
+    systematic_bias: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.sigma < 0:
+            raise ValidationError("sigma must be non-negative")
+        if self.systematic_bias <= -1.0:
+            raise ValidationError("systematic bias cannot reach -100%")
+
+    def jitter(self, rng: np.random.Generator) -> float:
+        """Draw one run's multiplicative noise factor (>= 0.5 clamped)."""
+        if self.sigma == 0.0:
+            return 1.0
+        return max(0.5, float(rng.normal(1.0, self.sigma)))
+
+    def apply(self, runtime: float, rng: np.random.Generator, instrumented: bool) -> float:
+        """Return the observed wall-clock runtime for one measured run."""
+        factor = self.jitter(rng)
+        if instrumented:
+            factor *= 1.0 + self.systematic_bias
+        return runtime * factor
+
+    @classmethod
+    def quiet(cls) -> "NoiseModel":
+        """A noiseless model for deterministic tests."""
+        return cls(sigma=0.0, systematic_bias=0.0)

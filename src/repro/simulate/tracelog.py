@@ -1,0 +1,92 @@
+"""Execution trace export (Chrome trace-event format).
+
+A development aid the original authors lean on visual tools for: capture
+a simulated run's call tree as a trace and export it in the Chrome
+``chrome://tracing`` / Perfetto JSON format, so a workload model's
+structure can be inspected visually next to its heartbeat plots.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Union
+
+from repro.simulate.engine import EngineObserver
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One begin/end/instant event in the run's timeline."""
+
+    kind: str  # "B", "E", or "i"
+    name: str
+    timestamp: float  # seconds
+
+
+class TraceLogger(EngineObserver):
+    """Engine observer recording entry/exit (and loop ticks) as a trace."""
+
+    def __init__(self, include_ticks: bool = False, max_events: int = 2_000_000) -> None:
+        self.include_ticks = include_ticks
+        self.max_events = max_events
+        self.events: List[TraceEvent] = []
+        self.dropped = 0
+
+    def _push(self, event: TraceEvent) -> None:
+        if len(self.events) >= self.max_events:
+            self.dropped += 1
+            return
+        self.events.append(event)
+
+    # ------------------------------------------------------------------
+    def on_enter(self, func: str, t: float) -> None:
+        self._push(TraceEvent("B", func, t))
+
+    def on_exit(self, func: str, t: float) -> None:
+        self._push(TraceEvent("E", func, t))
+
+    def on_loop_tick(self, func: str, t: float) -> None:
+        if self.include_ticks:
+            self._push(TraceEvent("i", f"{func}:tick", t))
+
+    def on_batch_calls(self, caller: str, callee: str, n: int, t0: float, t1: float) -> None:
+        # A batch renders as one span annotated with its call count.
+        self._push(TraceEvent("B", f"{callee} (x{n})", t0))
+        self._push(TraceEvent("E", f"{callee} (x{n})", t1))
+
+    # ------------------------------------------------------------------
+    def to_chrome_trace(self, pid: int = 1, tid: int = 1) -> List[dict]:
+        """Trace-event dicts (timestamps in microseconds, as the format wants)."""
+        out = []
+        for event in self.events:
+            entry = {
+                "name": event.name,
+                "ph": event.kind,
+                "ts": event.timestamp * 1e6,
+                "pid": pid,
+                "tid": tid,
+            }
+            if event.kind == "i":
+                entry["s"] = "t"
+            out.append(entry)
+        return out
+
+    def write_chrome_trace(self, path: Union[str, Path], **kwargs) -> Path:
+        """Write a JSON file loadable by chrome://tracing or Perfetto."""
+        path = Path(path)
+        path.write_text(json.dumps({"traceEvents": self.to_chrome_trace(**kwargs)}))
+        return path
+
+    def validate_nesting(self) -> bool:
+        """True if B/E events form a properly nested call tree."""
+        stack: List[str] = []
+        for event in self.events:
+            if event.kind == "B":
+                stack.append(event.name)
+            elif event.kind == "E":
+                if not stack or stack[-1] != event.name:
+                    return False
+                stack.pop()
+        return not stack

@@ -1,0 +1,33 @@
+"""Shared utilities: errors, seeded RNG streams, ASCII tables and plots.
+
+These helpers are deliberately dependency-light; everything else in
+:mod:`repro` builds on them.
+"""
+
+from repro.util.errors import (
+    ReproError,
+    ValidationError,
+    FormatError,
+    ProfileDataError,
+    ClusteringError,
+    CollectorError,
+    AppError,
+)
+from repro.util.rng import derive_seed, rng_stream
+from repro.util.tables import Table
+from repro.util.asciiplot import AsciiPlot, sparkline
+
+__all__ = [
+    "ReproError",
+    "ValidationError",
+    "FormatError",
+    "ProfileDataError",
+    "ClusteringError",
+    "CollectorError",
+    "AppError",
+    "derive_seed",
+    "rng_stream",
+    "Table",
+    "AsciiPlot",
+    "sparkline",
+]

@@ -1,0 +1,109 @@
+"""ASCII time-series plots.
+
+The paper's Figures 2-6 are heartbeat time-series plots.  The benchmark
+harness regenerates the underlying series and renders them as text so the
+"figures" can be inspected in a terminal and diffed in CI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.util.errors import ValidationError
+
+_MARKERS = "ox+*#@%&"
+
+
+def sparkline(values: Sequence[float], width: Optional[int] = None) -> str:
+    """Render a one-line sparkline of ``values`` using block characters.
+
+    >>> sparkline([0, 1, 2, 3])
+    '▁▃▆█'
+    """
+    blocks = "▁▂▃▄▅▆▇█"
+    vals = np.asarray(list(values), dtype=float)
+    if vals.size == 0:
+        return ""
+    if width is not None and vals.size > width:
+        # Down-sample by taking bin maxima so spikes stay visible.
+        edges = np.linspace(0, vals.size, width + 1).astype(int)
+        vals = np.array([vals[a:b].max() if b > a else 0.0 for a, b in zip(edges[:-1], edges[1:])])
+    lo, hi = float(vals.min()), float(vals.max())
+    if hi <= lo:
+        return blocks[0] * vals.size
+    scaled = ((vals - lo) / (hi - lo) * (len(blocks) - 1)).round().astype(int)
+    return "".join(blocks[i] for i in scaled)
+
+
+@dataclass
+class AsciiPlot:
+    """Multi-series scatter/line plot rendered with ASCII characters.
+
+    Series share the x axis (interval index / time) and are drawn with
+    distinct marker characters; a legend maps markers to series names.
+    """
+
+    title: str = ""
+    width: int = 100
+    height: int = 18
+    xlabel: str = "interval"
+    ylabel: str = ""
+    series: Dict[str, List[tuple]] = field(default_factory=dict)
+
+    def add_series(self, name: str, x: Sequence[float], y: Sequence[float]) -> None:
+        """Add a named series of (x, y) points; zero-length series allowed."""
+        if len(x) != len(y):
+            raise ValidationError("x and y must have the same length")
+        self.series[name] = list(zip(x, y))
+
+    def render(self) -> str:
+        if not self.series:
+            return f"{self.title}\n(no data)"
+        all_pts = [p for pts in self.series.values() for p in pts]
+        if not all_pts:
+            return f"{self.title}\n(no data)"
+        xs = np.array([p[0] for p in all_pts], dtype=float)
+        ys = np.array([p[1] for p in all_pts], dtype=float)
+        x_lo, x_hi = float(xs.min()), float(xs.max())
+        y_lo, y_hi = float(ys.min()), float(ys.max())
+        if x_hi <= x_lo:
+            x_hi = x_lo + 1.0
+        if y_hi <= y_lo:
+            y_hi = y_lo + 1.0
+
+        grid = [[" "] * self.width for _ in range(self.height)]
+        for idx, (name, pts) in enumerate(self.series.items()):
+            marker = _MARKERS[idx % len(_MARKERS)]
+            for x, y in pts:
+                col = int((x - x_lo) / (x_hi - x_lo) * (self.width - 1))
+                row = int((y - y_lo) / (y_hi - y_lo) * (self.height - 1))
+                grid[self.height - 1 - row][col] = marker
+
+        lines: List[str] = []
+        if self.title:
+            lines.append(self.title)
+        y_labels = [f"{y_hi:10.2f} ", " " * 11, f"{y_lo:10.2f} "]
+        for i, row in enumerate(grid):
+            if i == 0:
+                prefix = y_labels[0]
+            elif i == self.height - 1:
+                prefix = y_labels[2]
+            else:
+                prefix = y_labels[1]
+            lines.append(prefix + "|" + "".join(row))
+        lines.append(" " * 11 + "+" + "-" * self.width)
+        lines.append(
+            " " * 12 + f"{x_lo:<10.1f}" + " " * max(0, self.width - 20) + f"{x_hi:>10.1f}"
+        )
+        lines.append(" " * 12 + self.xlabel)
+        legend = "   ".join(
+            f"{_MARKERS[i % len(_MARKERS)]} = {name}" for i, name in enumerate(self.series)
+        )
+        lines.append("legend: " + legend)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()

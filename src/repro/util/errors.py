@@ -1,0 +1,34 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised deliberately by this package derives from
+:class:`ReproError`, so callers can catch one base class at API
+boundaries while still distinguishing failure families.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument failed validation (wrong range, shape, or type)."""
+
+
+class FormatError(ReproError):
+    """A serialized artifact (gmon file, report text) is malformed."""
+
+
+class ProfileDataError(ReproError):
+    """Profile data is inconsistent (e.g. non-monotone cumulative series)."""
+
+
+class ClusteringError(ReproError):
+    """Clustering could not be performed (e.g. fewer points than clusters)."""
+
+
+class CollectorError(ReproError):
+    """The incremental-profile collector was misused or failed."""
+
+
+class AppError(ReproError):
+    """A workload application was misconfigured."""

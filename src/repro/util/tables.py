@@ -1,0 +1,132 @@
+"""Plain-text table rendering used by the evaluation report generators.
+
+The evaluation code regenerates the paper's tables as text; this module
+provides a small, dependency-free table type with column alignment,
+separator rows (used for the "Manual Instrumentation Sites" sections of
+Tables II-VI), and both grid and markdown output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Union
+
+from repro.util.errors import ValidationError
+
+Cell = Union[str, int, float, None]
+
+#: Sentinel row value that renders as a horizontal separator.
+SEPARATOR = object()
+
+
+def _format_cell(value: Cell, float_fmt: str) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return format(value, float_fmt)
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A simple textual table.
+
+    Parameters
+    ----------
+    headers:
+        Column names.
+    title:
+        Optional caption rendered above the table.
+    float_fmt:
+        ``format()`` spec applied to float cells, default one decimal place
+        (matching the paper's percentage columns).
+    """
+
+    headers: Sequence[str]
+    title: Optional[str] = None
+    float_fmt: str = ".1f"
+    rows: List[object] = field(default_factory=list)
+
+    def add_row(self, *cells: Cell) -> None:
+        """Append a data row; must match the header width."""
+        if len(cells) != len(self.headers):
+            raise ValidationError(
+                f"row has {len(cells)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(tuple(cells))
+
+    def add_separator(self, label: Optional[str] = None) -> None:
+        """Append a separator row, optionally labelled (spanning all columns)."""
+        self.rows.append((SEPARATOR, label))
+
+    def add_rows(self, rows: Iterable[Sequence[Cell]]) -> None:
+        for row in rows:
+            self.add_row(*row)
+
+    # ------------------------------------------------------------------
+    # rendering
+    # ------------------------------------------------------------------
+    def _formatted(self) -> List[object]:
+        out: List[object] = []
+        for row in self.rows:
+            if isinstance(row, tuple) and row and row[0] is SEPARATOR:
+                out.append(row)
+            else:
+                out.append(tuple(_format_cell(c, self.float_fmt) for c in row))
+        return out
+
+    def _widths(self, formatted: List[object]) -> List[int]:
+        widths = [len(h) for h in self.headers]
+        for row in formatted:
+            if row and row[0] is SEPARATOR:
+                continue
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        return widths
+
+    def render(self) -> str:
+        """Render as an ASCII grid table."""
+        formatted = self._formatted()
+        widths = self._widths(formatted)
+        total = sum(widths) + 3 * (len(widths) - 1)
+        lines: List[str] = []
+        if self.title:
+            lines.append(self.title)
+        rule = "-" * total
+        lines.append(rule)
+        lines.append(" | ".join(h.ljust(w) for h, w in zip(self.headers, widths)))
+        lines.append(rule)
+        for row in formatted:
+            if row and row[0] is SEPARATOR:
+                label = row[1]
+                if label:
+                    lines.append(f"-- {label} ".ljust(total, "-"))
+                else:
+                    lines.append(rule)
+            else:
+                lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        lines.append(rule)
+        return "\n".join(lines)
+
+    def render_markdown(self) -> str:
+        """Render as a GitHub-flavoured markdown table."""
+        formatted = self._formatted()
+        lines: List[str] = []
+        if self.title:
+            lines.append(f"**{self.title}**")
+            lines.append("")
+        lines.append("| " + " | ".join(self.headers) + " |")
+        lines.append("|" + "|".join("---" for _ in self.headers) + "|")
+        for row in formatted:
+            if row and row[0] is SEPARATOR:
+                label = row[1] or ""
+                span = [f"*{label}*" if label else ""] + [""] * (len(self.headers) - 1)
+                lines.append("| " + " | ".join(span) + " |")
+            else:
+                lines.append("| " + " | ".join(row) + " |")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()

@@ -1,0 +1,33 @@
+"""Shared fixtures.
+
+Full-scale experiments are session-scoped (they back many eval tests);
+small synthetic workloads are rebuilt per test where mutation matters.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import paper_app_names
+from repro.eval.experiments import ExperimentResult, run_experiment
+from repro.incprof.session import Session, SessionConfig
+from repro.apps import get_app
+
+
+@pytest.fixture(scope="session")
+def experiments():
+    """Full-scale experiment results for all five apps (memoized)."""
+    return {name: run_experiment(name) for name in paper_app_names()}
+
+
+@pytest.fixture(scope="session")
+def graph500_samples():
+    """Cumulative snapshots of a paper-scale Graph500 run (rank 0)."""
+    result = Session(get_app("graph500"), SessionConfig(ranks=1)).run()
+    return result.samples(0)
+
+
+@pytest.fixture(scope="session")
+def small_run():
+    """A quick quarter-scale Graph500 collection run."""
+    return Session(get_app("graph500"), SessionConfig(ranks=1, scale=0.25)).run()

@@ -1,0 +1,314 @@
+"""Workload models: registry, structure, and live-kernel correctness."""
+
+import numpy as np
+import pytest
+
+from repro.apps import app_names, get_app, paper_app_names, register_app
+from repro.apps.base import AppModel
+from repro.apps import graph500, lammps, gadget2, miniamr, minife
+from repro.core.model import InstType
+from repro.incprof.session import Session, SessionConfig
+from repro.util.errors import AppError
+
+
+def test_registry_lists_all_five_in_paper_order():
+    assert paper_app_names() == ["graph500", "minife", "miniamr", "lammps", "gadget2"]
+    # The full registry leads with the paper's five; extras follow.
+    assert app_names()[:5] == paper_app_names()
+    assert "synthetic" in app_names()
+
+
+def test_get_app_unknown():
+    with pytest.raises(AppError):
+        get_app("nope")
+
+
+def test_duplicate_registration_rejected():
+    class Dup(AppModel):
+        name = "graph500"
+
+        def build_main(self, scale=1.0):
+            raise NotImplementedError
+
+        @property
+        def manual_sites(self):
+            return ()
+
+    with pytest.raises(AppError):
+        register_app(Dup)
+
+
+def test_nameless_app_rejected():
+    class NoName(AppModel):
+        def build_main(self, scale=1.0):
+            raise NotImplementedError
+
+        @property
+        def manual_sites(self):
+            return ()
+
+    with pytest.raises(AppError):
+        NoName()
+
+
+@pytest.mark.parametrize("name", ["graph500", "minife", "miniamr", "lammps", "gadget2"])
+def test_every_app_runs_small_scale(name):
+    app = get_app(name)
+    result = Session(app, SessionConfig(ranks=1, scale=0.1)).run()
+    assert result.runtime > 0
+    assert len(result.samples(0)) >= 2
+    # Manual sites name functions, and every body/loop type is valid.
+    for site in app.manual_sites:
+        assert site.inst_type in (InstType.BODY, InstType.LOOP)
+
+
+@pytest.mark.parametrize("name", ["graph500", "minife", "miniamr", "lammps", "gadget2"])
+def test_manual_site_functions_exist_in_profile(name):
+    """Manual sites refer to functions the workload actually exercises."""
+    app = get_app(name)
+    result = Session(app, SessionConfig(ranks=1, scale=0.2)).run()
+    final = result.samples(0)[-1]
+    profiled = set(final.functions())
+    for site in app.manual_sites:
+        assert site.function in profiled
+
+
+def test_describe():
+    info = get_app("lammps").describe()
+    assert info["name"] == "lammps"
+    assert info["default_ranks"] == 16
+    assert info["has_live_mode"]
+
+
+def test_scale_shrinks_runtime():
+    app = get_app("minife")
+    small = Session(app, SessionConfig(ranks=1, scale=0.05)).run().runtime
+    bigger = Session(app, SessionConfig(ranks=1, scale=0.15)).run().runtime
+    assert small < bigger
+
+
+# ----------------------------------------------------------------------
+# live kernels: genuinely correct computations
+# ----------------------------------------------------------------------
+def test_graph500_live_bfs_and_validation():
+    edges = graph500.live_generate_kronecker_range(7, 8, seed=3)
+    n = 1 << 7
+    indptr, adjacency = graph500.live_make_graph_data_structure(edges, n)
+    degrees = np.diff(indptr)
+    root = int(np.argmax(degrees))
+    parent = graph500.live_run_bfs(indptr, adjacency, root)
+    assert parent[root] == root
+    assert (parent >= 0).sum() > 1  # actually reached something
+    assert graph500.live_validate_bfs_result(indptr, adjacency, parent, root)
+
+
+def test_graph500_live_validation_rejects_corruption():
+    edges = graph500.live_generate_kronecker_range(7, 8, seed=3)
+    n = 1 << 7
+    indptr, adjacency = graph500.live_make_graph_data_structure(edges, n)
+    root = int(np.argmax(np.diff(indptr)))
+    parent = graph500.live_run_bfs(indptr, adjacency, root)
+    reached = np.nonzero(parent >= 0)[0]
+    victim = int(reached[reached != root][0])
+    parent[victim] = victim  # claim it is its own parent: invalid tree
+    assert not graph500.live_validate_bfs_result(indptr, adjacency, parent, root)
+
+
+def test_minife_live_cg_solves_system():
+    x, iters, residual = minife.live_main(0.8)
+    assert residual < 1e-6
+    assert np.isfinite(x).all()
+    assert iters > 1
+
+
+def test_minife_live_matvec_symmetric_operator():
+    rows, cols = minife.live_generate_matrix_structure(4, 4, 4)
+    n = 64
+    indptr, cols_s, values = minife.live_init_matrix(rows, cols, n)
+    minife.live_perform_element_loop(indptr, cols_s, values, n)
+    matvec = minife.live_make_local_matrix(indptr, cols_s, values)
+    rng = np.random.default_rng(0)
+    x, y = rng.normal(size=n), rng.normal(size=n)
+    # Symmetry: <Ax, y> == <x, Ay> for the assembled Laplacian.
+    assert x @ matvec(y) == pytest.approx(y @ matvec(x), rel=1e-9)
+
+
+def test_miniamr_live_stencil_preserves_mean():
+    block = np.random.default_rng(0).uniform(1, 2, size=(8, 8, 8))
+    out = miniamr.live_stencil_calc(block)
+    # Averaging stencil: interior values stay within the block's range.
+    assert out[1:-1, 1:-1, 1:-1].min() >= block.min() - 1e-12
+    assert out[1:-1, 1:-1, 1:-1].max() <= block.max() + 1e-12
+
+
+def test_miniamr_live_pack_unpack_roundtrip():
+    block = np.random.default_rng(1).normal(size=(6, 6, 6))
+    buf = miniamr.live_pack_block(block)
+    clone = block.copy()
+    miniamr.live_unpack_block(clone, buf)
+    assert np.allclose(clone, block)  # self-exchange is identity
+
+
+def test_miniamr_live_refinement_creates_children():
+    blocks = {(0, 0, 0, 0): np.ones((8, 8, 8))}
+    miniamr.live_allocate(blocks, (0, 0, 0, 0))
+    assert len(blocks) == 8
+    assert all(key[0] == 1 for key in blocks)
+    assert all(b.shape == (8, 8, 8) for b in blocks.values())
+
+
+def test_lammps_live_forces_newtons_third_law():
+    # A jittered lattice avoids near-overlapping atoms whose huge pair
+    # forces would turn exact cancellation into float round-off noise.
+    rng = np.random.default_rng(2)
+    grid = np.stack(np.meshgrid(*[np.arange(4)] * 3), axis=-1).reshape(-1, 3)
+    box = 4 * 1.8
+    positions = grid * 1.8 + rng.uniform(-0.2, 0.2, size=grid.shape) + 0.9
+    pairs = lammps.live_npair_build(positions, box, cutoff=2.5)
+    forces = lammps.live_pair_lj_cut_compute(positions, pairs, box)
+    scale = np.abs(forces).max() or 1.0
+    assert np.abs(forces.sum(axis=0)).max() / scale < 1e-10
+
+
+def test_lammps_live_neighbor_list_complete():
+    """Cell-list pairs match the brute-force pair set."""
+    rng = np.random.default_rng(4)
+    box = 6.0
+    positions = rng.uniform(0, box, size=(40, 3))
+    cutoff = 2.0
+    i, j = lammps.live_npair_build(positions, box, cutoff)
+    found = set(zip(i.tolist(), j.tolist()))
+    brute = set()
+    for a in range(40):
+        for b in range(a + 1, 40):
+            delta = positions[b] - positions[a]
+            delta -= box * np.round(delta / box)
+            if (delta @ delta) < cutoff * cutoff:
+                brute.add((a, b))
+    assert found == brute
+
+
+def test_lammps_live_velocity_zero_momentum():
+    v = lammps.live_velocity_create(100, temperature=1.0)
+    assert np.allclose(v.mean(axis=0), 0.0, atol=1e-12)
+
+
+def test_gadget2_live_tree_force_matches_direct_sum():
+    rng = np.random.default_rng(5)
+    n = 80
+    positions = rng.uniform(0.1, 0.9, size=(n, 3))
+    masses = np.full(n, 1.0 / n)
+    root = gadget2.live_force_treebuild(positions, masses, 1.0)
+    gadget2.live_force_update_node_recursive(root)
+    target = positions[0]
+    bh = gadget2.live_force_treeevaluate_shortrange(root, target, theta=0.0)
+    eps = 0.05
+    direct = np.zeros(3)
+    for k in range(n):
+        delta = positions[k] - target
+        dist = np.sqrt(delta @ delta) + eps
+        if dist > eps:
+            direct += masses[k] * delta / dist**3
+    # theta=0 opens every node: exact agreement with direct summation.
+    assert np.allclose(bh, direct, rtol=1e-6, atol=1e-9)
+
+
+def test_gadget2_live_node_masses_sum():
+    rng = np.random.default_rng(6)
+    positions = rng.uniform(0.1, 0.9, size=(50, 3))
+    masses = rng.uniform(0.5, 2.0, size=50)
+    root = gadget2.live_force_treebuild(positions, masses, 1.0)
+    total = gadget2.live_force_update_node_recursive(root)
+    assert total == pytest.approx(masses.sum())
+
+
+def test_gadget2_live_pm_potential_zero_mean():
+    rng = np.random.default_rng(7)
+    positions = rng.uniform(0, 1, size=(64, 3))
+    masses = np.full(64, 1.0)
+    phi = gadget2.live_pm_setup_nonperiodic_kernel(positions, masses, 1.0, grid=8)
+    assert phi.shape == (8, 8, 8)
+    assert abs(phi.mean()) < 1e-8  # k=0 mode removed
+    assert np.isfinite(phi).all()
+
+
+@pytest.mark.parametrize("name", ["graph500", "minife", "miniamr", "lammps", "gadget2"])
+def test_live_main_runs(name):
+    live = get_app(name).live_run()
+    assert live is not None
+    live.main(0.3)  # tiny but real execution
+
+
+def test_miniamr_live_coarsen_inverts_refine():
+    """Refine then coarsen returns the original block (it is piecewise
+    constant, so the 2:1 average is exact)."""
+    original = np.arange(8**3, dtype=float).reshape(8, 8, 8)
+    blocks = {(0, 0, 0, 0): original.copy()}
+    miniamr.live_allocate(blocks, (0, 0, 0, 0))
+    assert len(blocks) == 8
+    miniamr.live_coarsen(blocks, (0, 0, 0, 0))
+    assert len(blocks) == 1
+    assert np.allclose(blocks[(0, 0, 0, 0)], original)
+
+
+def test_miniamr_live_coarsen_conserves_mass():
+    rng = np.random.default_rng(8)
+    blocks = {(0, 0, 0, 0): rng.uniform(size=(8, 8, 8))}
+    miniamr.live_allocate(blocks, (0, 0, 0, 0))
+    refined_mean = np.mean([b.mean() for b in blocks.values()])
+    miniamr.live_coarsen(blocks, (0, 0, 0, 0))
+    assert blocks[(0, 0, 0, 0)].mean() == pytest.approx(refined_mean)
+
+
+def test_miniamr_live_main_refines_and_coarsens():
+    sums = miniamr.live_main(0.5)
+    assert len(sums) >= 6
+    assert all(np.isfinite(sums))
+
+
+def test_lammps_live_velocity_verlet_conserves_energy():
+    """NVE total energy drifts by well under a percent per handful of
+    steps on a near-lattice start (symplectic integrator sanity)."""
+    energies = lammps.live_main(0.5)
+    totals = [k + p for k, p in energies]
+    drift = abs(totals[-1] - totals[0]) / max(abs(totals[0]), 1e-9)
+    assert drift < 0.05
+
+
+def test_lammps_live_potential_finite_and_negative_near_equilibrium():
+    rng = np.random.default_rng(2)
+    grid = np.stack(np.meshgrid(*[np.arange(3)] * 3), axis=-1).reshape(-1, 3)
+    box = 3 * 1.7
+    positions = (grid * 1.7 + 0.85) % box
+    pairs = lammps.live_npair_build(positions, box, cutoff=2.5)
+    potential = lammps.live_lj_potential(positions, pairs, box)
+    assert np.isfinite(potential)
+    assert potential < 0  # attractive well near lattice spacing ~2^(1/6)*sigma
+
+
+def test_minife_live_pcg_matches_plain_cg():
+    rows, cols_raw = minife.live_generate_matrix_structure(5, 5, 5)
+    n = 125
+    indptr, cols, values = minife.live_init_matrix(rows, cols_raw, n)
+    minife.live_perform_element_loop(indptr, cols, values, n)
+    diag_mask = cols == np.repeat(np.arange(n), np.diff(indptr))
+    values[diag_mask] += 1.0
+    matvec = minife.live_make_local_matrix(indptr, cols, values)
+    diag = minife.extract_diagonal(indptr, cols, values, n)
+    rng = np.random.default_rng(4)
+    b = rng.normal(size=n)
+    x_cg, _i1, r_cg = minife.live_cg_solve(matvec, b, max_iter=800, tol=1e-10)
+    x_pcg, _i2, r_pcg = minife.live_pcg_solve(matvec, b, diag,
+                                              max_iter=800, tol=1e-10)
+    assert r_cg < 1e-8 and r_pcg < 1e-8
+    assert np.allclose(x_cg, x_pcg, atol=1e-6)
+
+
+def test_minife_extract_diagonal():
+    rows, cols_raw = minife.live_generate_matrix_structure(3, 3, 3)
+    n = 27
+    indptr, cols, values = minife.live_init_matrix(rows, cols_raw, n)
+    minife.live_perform_element_loop(indptr, cols, values, n)
+    diag = minife.extract_diagonal(indptr, cols, values, n)
+    # Corner nodes of the brick have degree 3; the diagonal equals degree.
+    assert diag[0] == pytest.approx(3.0)

@@ -1,0 +1,97 @@
+"""Call-graph profile: propagation, parents/children, cycles."""
+
+import pytest
+
+from repro.gprof.callgraph import CallGraphProfile, ancestors_of
+from repro.gprof.gmon import GmonData
+from repro.simulate.engine import SPONTANEOUS
+
+
+def chain_gmon():
+    """main -> a -> b, with self time on each."""
+    data = GmonData()
+    data.add_ticks("main", 100)
+    data.add_ticks("a", 200)
+    data.add_ticks("b", 300)
+    data.add_arc(SPONTANEOUS, "main", 1)
+    data.add_arc("main", "a", 2)
+    data.add_arc("a", "b", 4)
+    return data
+
+
+def test_total_time_propagates_up():
+    profile = CallGraphProfile.from_gmon(chain_gmon())
+    assert profile.get("b").total_seconds == pytest.approx(3.0)
+    assert profile.get("a").total_seconds == pytest.approx(2.0 + 3.0)
+    assert profile.get("main").total_seconds == pytest.approx(1.0 + 5.0)
+
+
+def test_children_listed_with_shares():
+    profile = CallGraphProfile.from_gmon(chain_gmon())
+    children = profile.get("main").children
+    assert len(children) == 1
+    assert children[0].name == "a"
+    assert children[0].self_seconds == pytest.approx(2.0)
+    assert children[0].children_seconds == pytest.approx(3.0)
+
+
+def test_parents_recorded():
+    profile = CallGraphProfile.from_gmon(chain_gmon())
+    parents = profile.get("b").parents
+    assert [p.name for p in parents] == ["a"]
+    assert parents[0].calls == 4
+
+
+def test_split_attribution_by_call_counts():
+    """A child called from two parents splits its time proportionally."""
+    data = GmonData()
+    data.add_ticks("shared", 100)
+    data.add_arc("p1", "shared", 3)
+    data.add_arc("p2", "shared", 1)
+    profile = CallGraphProfile.from_gmon(data)
+    p1_share = [c for c in profile.get("p1").children if c.name == "shared"][0]
+    p2_share = [c for c in profile.get("p2").children if c.name == "shared"][0]
+    assert p1_share.self_seconds == pytest.approx(0.75)
+    assert p2_share.self_seconds == pytest.approx(0.25)
+
+
+def test_cycle_does_not_crash_and_reports_cycle_total():
+    data = GmonData()
+    data.add_ticks("x", 100)
+    data.add_ticks("y", 100)
+    data.add_arc("x", "y", 1)
+    data.add_arc("y", "x", 1)
+    profile = CallGraphProfile.from_gmon(data)
+    assert profile.get("x").total_seconds == pytest.approx(2.0)
+    assert profile.get("y").total_seconds == pytest.approx(2.0)
+
+
+def test_self_recursion_ignored_in_propagation():
+    data = GmonData()
+    data.add_ticks("rec", 100)
+    data.add_arc("rec", "rec", 50)
+    profile = CallGraphProfile.from_gmon(data)
+    assert profile.get("rec").total_seconds == pytest.approx(1.0)
+
+
+def test_index_ordering_by_total_time():
+    profile = CallGraphProfile.from_gmon(chain_gmon())
+    assert profile.get("main").index == 1  # largest total
+
+
+def test_render_contains_primary_lines():
+    text = CallGraphProfile.from_gmon(chain_gmon()).render()
+    assert "Call graph" in text
+    assert "main [1]" in text
+
+
+def test_spontaneous_not_an_entry():
+    profile = CallGraphProfile.from_gmon(chain_gmon())
+    assert SPONTANEOUS not in profile.entries
+
+
+def test_ancestors_of():
+    data = chain_gmon()
+    assert ancestors_of(data, "b") == ["a", "main"]
+    assert ancestors_of(data, "main") == []
+    assert ancestors_of(data, "not_there") == []

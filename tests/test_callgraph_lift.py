@@ -1,0 +1,93 @@
+"""Call-graph site lifting (the paper's proposed improvement)."""
+
+import numpy as np
+import pytest
+
+from repro.core.callgraph_lift import lifted_site_names, suggest_lifts
+from repro.core.pipeline import AnalysisConfig, analyze_snapshots
+from repro.eval.experiments import run_experiment
+from repro.util.errors import ValidationError
+
+
+@pytest.fixture(scope="module")
+def minife_result():
+    return run_experiment("minife")
+
+
+@pytest.fixture(scope="module")
+def graph500_result():
+    return run_experiment("graph500")
+
+
+def test_minife_lifts_assembly_to_element_loop(minife_result):
+    """The paper's exact case: discovery chose sum_in_symm_elem_matrix;
+    call-graph analysis should recover the manual perform_element_loop."""
+    lifts = lifted_site_names(minife_result.analysis)
+    assert lifts.get("sum_in_symm_elem_matrix") == "perform_element_loop"
+
+
+def test_graph500_lifts_edge_gen(graph500_result):
+    """make_one_edge lifts to the manual generate_kronecker_range site."""
+    lifts = lifted_site_names(graph500_result.analysis)
+    assert lifts.get("make_one_edge") == "generate_kronecker_range"
+
+
+def test_lifted_targets_are_manual_sites(minife_result, graph500_result):
+    """Lifting recovers sites the authors chose by hand — the paper's
+    motivation for the extension."""
+    from repro.apps import get_app
+
+    for name, result in (("minife", minife_result), ("graph500", graph500_result)):
+        manual = {s.function for s in get_app(name).manual_sites}
+        for suggestion in suggest_lifts(result.analysis):
+            assert suggestion.caller in manual
+
+
+def test_no_lift_for_top_level_sites(minife_result):
+    """cg_solve etc. are called once from main: no beneficial lift."""
+    lifts = lifted_site_names(minife_result.analysis)
+    assert "cg_solve" not in lifts
+    assert "impose_dirichlet" not in lifts
+
+
+def test_suggestion_metrics_in_range(minife_result):
+    for suggestion in suggest_lifts(minife_result.analysis):
+        assert 0.0 < suggestion.dominance <= 1.0
+        assert 0.0 < suggestion.coverage <= 1.0
+        assert suggestion.call_ratio < 1.0
+
+
+def test_thresholds_validated(minife_result):
+    with pytest.raises(ValidationError):
+        suggest_lifts(minife_result.analysis, dominance=0.0)
+    with pytest.raises(ValidationError):
+        suggest_lifts(minife_result.analysis, coverage=1.5)
+
+
+def test_requires_interval_gmons(graph500_result):
+    from dataclasses import replace
+
+    data = graph500_result.analysis.interval_data
+    stripped = replace(graph500_result.analysis,
+                       interval_data=_without_gmons(data))
+    with pytest.raises(ValidationError):
+        suggest_lifts(stripped)
+
+
+def _without_gmons(data):
+    from repro.core.intervals import IntervalData
+
+    return IntervalData(
+        functions=data.functions,
+        self_time=data.self_time,
+        calls=data.calls,
+        timestamps=data.timestamps,
+        interval=data.interval,
+        interval_gmons=None,
+    )
+
+
+def test_strict_dominance_prunes(minife_result):
+    loose = suggest_lifts(minife_result.analysis, dominance=0.5, coverage=0.5)
+    strict = suggest_lifts(minife_result.analysis, dominance=1.0, coverage=1.0)
+    assert len(strict) <= len(loose)

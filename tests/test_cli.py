@@ -1,0 +1,92 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_apps_command(capsys):
+    assert main(["apps"]) == 0
+    out = capsys.readouterr().out
+    assert "graph500" in out and "gadget2" in out
+
+
+def test_run_then_analyze(tmp_path, capsys):
+    out_dir = str(tmp_path / "samples")
+    assert main(["run", "--app", "graph500", "--out", out_dir, "--scale", "0.2"]) == 0
+    assert main(["analyze", out_dir]) == 0
+    out = capsys.readouterr().out
+    assert "Phase ID" in out
+    assert "k-means sweep" in out
+
+
+def test_analyze_kselect_option(tmp_path, capsys):
+    out_dir = str(tmp_path / "samples")
+    main(["run", "--app", "miniamr", "--out", out_dir, "--scale", "0.15"])
+    assert main(["analyze", out_dir, "--kselect", "chord"]) == 0
+
+
+def test_report_command(capsys):
+    assert main(["report", "--app", "graph500", "--scale", "0.2"]) == 0
+    out = capsys.readouterr().out
+    assert "INSTRUMENTED FUNCTIONS" in out
+    assert "discovered-site agreement" in out
+
+
+def test_figure_command(capsys):
+    assert main(["figure", "--app", "graph500", "--scale", "0.2"]) == 0
+    out = capsys.readouterr().out
+    assert "Fig." in out
+    assert "legend" in out
+
+
+def test_unknown_app_rejected():
+    with pytest.raises(SystemExit):
+        main(["run", "--app", "doom", "--out", "/tmp/x"])
+
+
+def test_parser_has_all_subcommands():
+    parser = build_parser()
+    text = parser.format_help()
+    for cmd in ("apps", "run", "analyze", "report", "figure", "table1"):
+        assert cmd in text
+
+
+def test_report_with_lift_and_merge(capsys):
+    assert main(["report", "--app", "minife", "--scale", "0.3",
+                 "--lift", "--merge"]) == 0
+    out = capsys.readouterr().out
+    assert "call-graph lift suggestions" in out
+    assert "site-equivalence merging" in out
+
+
+def test_live_command(capsys):
+    assert main(["live", "--app", "miniamr", "--scale", "0.8"]) == 0
+    out = capsys.readouterr().out
+    assert "live snapshots" in out
+    assert "Flat profile:" in out
+
+
+def test_merge_command(tmp_path, capsys):
+    from repro.gprof.gmon import GmonData, read_gmon, write_gmon
+
+    paths = []
+    for i in range(3):
+        data = GmonData()
+        data.add_ticks("f", 10 * (i + 1))
+        path = tmp_path / f"g{i}.gmon"
+        write_gmon(data, path)
+        paths.append(str(path))
+    out = tmp_path / "merged.gmon"
+    assert main(["merge", *paths, "--out", str(out)]) == 0
+    merged = read_gmon(out)
+    assert merged.hist["f"] == 60
+
+
+def test_analyze_merge_ranks(tmp_path, capsys):
+    out_dir = str(tmp_path / "mr")
+    main(["run", "--app", "miniamr", "--out", out_dir,
+          "--scale", "0.2", "--ranks", "2"])
+    assert main(["analyze", out_dir, "--merge-ranks"]) == 0
+    out = capsys.readouterr().out
+    assert "merged 2 ranks" in out

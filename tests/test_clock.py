@@ -1,0 +1,99 @@
+"""Virtual clock semantics: ordering, periodic triggers, monotonicity."""
+
+import math
+
+import pytest
+
+from repro.simulate.clock import VirtualClock
+from repro.util.errors import ValidationError
+
+
+def test_starts_at_zero():
+    assert VirtualClock().now == 0.0
+
+
+def test_set_time_forward_only():
+    clock = VirtualClock()
+    clock.set_time(5.0)
+    with pytest.raises(ValidationError):
+        clock.set_time(4.0)
+
+
+def test_schedule_in_past_rejected():
+    clock = VirtualClock()
+    clock.set_time(10.0)
+    with pytest.raises(ValidationError):
+        clock.schedule_at(9.0, lambda t: None)
+
+
+def test_once_trigger_fires_once():
+    clock = VirtualClock()
+    fired = []
+    clock.schedule_at(1.0, fired.append)
+    clock.set_time(2.0)
+    assert clock.fire_due() == 1
+    clock.set_time(3.0)
+    assert clock.fire_due() == 0
+    assert fired == [1.0]
+
+
+def test_periodic_trigger_reschedules():
+    clock = VirtualClock()
+    fired = []
+    clock.schedule_every(1.0, fired.append)
+    for t in (1.0, 2.0, 3.0):
+        clock.set_time(t)
+        clock.fire_due()
+    assert fired == [1.0, 2.0, 3.0]
+
+
+def test_periodic_first_fire_defaults_to_one_period():
+    clock = VirtualClock()
+    clock.set_time(5.0)
+    clock.schedule_every(2.0, lambda t: None)
+    assert clock.next_trigger_time() == pytest.approx(7.0)
+
+
+def test_periodic_custom_start():
+    clock = VirtualClock()
+    fired = []
+    clock.schedule_every(1.0, fired.append, start=0.5)
+    clock.set_time(2.6)
+    clock.fire_due()
+    assert fired == [0.5, 1.5, 2.5]
+
+
+def test_triggers_fire_in_time_order():
+    clock = VirtualClock()
+    fired = []
+    clock.schedule_at(2.0, lambda t: fired.append(("b", t)))
+    clock.schedule_at(1.0, lambda t: fired.append(("a", t)))
+    clock.set_time(3.0)
+    clock.fire_due()
+    assert fired == [("a", 1.0), ("b", 2.0)]
+
+
+def test_same_time_triggers_fifo():
+    clock = VirtualClock()
+    fired = []
+    clock.schedule_at(1.0, lambda t: fired.append("first"))
+    clock.schedule_at(1.0, lambda t: fired.append("second"))
+    clock.set_time(1.0)
+    clock.fire_due()
+    assert fired == ["first", "second"]
+
+
+def test_next_trigger_time_inf_when_empty():
+    assert math.isinf(VirtualClock().next_trigger_time())
+
+
+def test_cancel_all():
+    clock = VirtualClock()
+    clock.schedule_every(1.0, lambda t: None)
+    clock.cancel_all()
+    assert math.isinf(clock.next_trigger_time())
+
+
+def test_nonpositive_period_rejected():
+    with pytest.raises(ValidationError):
+        VirtualClock().schedule_every(0.0, lambda t: None)

@@ -1,0 +1,128 @@
+"""IncProf collectors: virtual interval snapshots and the live thread."""
+
+import time
+
+import pytest
+
+from repro.incprof.collector import LiveCollector, VirtualSnapshotCollector
+from repro.incprof.storage import SampleStore
+from repro.profiler.sampling import SamplingProfiler
+from repro.profiler.tracing import TracingProfiler
+from repro.simulate.engine import Engine, SimFunction
+from repro.simulate.overhead import CostModel
+from repro.util.errors import CollectorError, ValidationError
+
+
+def run_collected(duration: float, interval: float = 1.0, cost=None):
+    engine = Engine(cost_model=cost or CostModel.disabled())
+    profiler = SamplingProfiler()
+    engine.add_observer(profiler)
+    collector = VirtualSnapshotCollector(engine, profiler, interval=interval)
+    engine.run(SimFunction("main", lambda ctx: ctx.work(duration)))
+    return engine, collector.finalize()
+
+
+def test_snapshot_per_interval():
+    _engine, samples = run_collected(5.0)
+    assert len(samples) == 5
+    assert [s.timestamp for s in samples] == pytest.approx([1, 2, 3, 4, 5])
+
+
+def test_snapshots_cumulative_and_monotone():
+    _engine, samples = run_collected(4.0)
+    ticks = [s.hist.get("main", 0) for s in samples]
+    assert ticks == sorted(ticks)
+    assert ticks[-1] == 400
+
+
+def test_final_partial_snapshot_appended():
+    _engine, samples = run_collected(3.6)
+    assert len(samples) == 4
+    assert samples[-1].timestamp == pytest.approx(3.6)
+
+
+def test_no_duplicate_final_on_boundary():
+    _engine, samples = run_collected(3.0)
+    assert len(samples) == 3
+
+
+def test_finalize_idempotent():
+    engine = Engine()
+    profiler = SamplingProfiler()
+    engine.add_observer(profiler)
+    collector = VirtualSnapshotCollector(engine, profiler)
+    engine.run(SimFunction("main", lambda ctx: ctx.work(2.0)))
+    first = collector.finalize()
+    assert collector.finalize() is first
+
+
+def test_dump_cost_charged():
+    cost = CostModel(per_call=0.0, sampling_fraction=0.0, per_dump=0.1,
+                     per_heartbeat_event=0.0)
+    engine, samples = run_collected(3.0, cost=cost)
+    # 3 work seconds + dumps pushing the timeline out.
+    assert engine.clock.now > 3.0
+    assert engine.total_overhead > 0.0
+
+
+def test_store_persists_samples(tmp_path):
+    engine = Engine()
+    profiler = SamplingProfiler()
+    engine.add_observer(profiler)
+    store = SampleStore(tmp_path)
+    collector = VirtualSnapshotCollector(engine, profiler, store=store)
+    engine.run(SimFunction("main", lambda ctx: ctx.work(2.5)))
+    samples = collector.finalize()
+    loaded = store.load_rank(0)
+    assert len(loaded) == len(samples)
+    assert loaded[-1].hist == samples[-1].hist
+
+
+def test_invalid_interval():
+    engine = Engine()
+    profiler = SamplingProfiler()
+    with pytest.raises(ValidationError):
+        VirtualSnapshotCollector(engine, profiler, interval=0.0)
+
+
+# ----------------------------------------------------------------------
+# live collector
+# ----------------------------------------------------------------------
+def test_live_collector_snapshots_periodically():
+    profiler = TracingProfiler(sample_period=0.001)
+    collector = LiveCollector(profiler, interval=0.05)
+    end = time.perf_counter() + 0.3
+
+    collector.start()
+    with profiler:
+        while time.perf_counter() < end:
+            pass
+    samples = collector.stop()
+    assert len(samples) >= 3
+    # Cumulative growth across snapshots.
+    totals = [s.total_seconds() for s in samples]
+    assert totals == sorted(totals)
+
+
+def test_live_collector_stop_without_start():
+    collector = LiveCollector(TracingProfiler())
+    with pytest.raises(CollectorError):
+        collector.stop()
+
+
+def test_live_collector_double_start():
+    collector = LiveCollector(TracingProfiler(), interval=0.05)
+    collector.start()
+    try:
+        with pytest.raises(CollectorError):
+            collector.start()
+    finally:
+        collector.stop()
+
+
+def test_live_collector_context_manager():
+    profiler = TracingProfiler(sample_period=0.001)
+    with LiveCollector(profiler, interval=0.05) as collector:
+        with profiler:
+            time.sleep(0.12)
+    assert len(collector.samples) >= 1

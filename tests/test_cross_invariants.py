@@ -1,0 +1,115 @@
+"""Cross-cutting property tests over the whole stack."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.kselect import choose_k
+from repro.heartbeat.accumulator import HeartbeatAccumulator
+from repro.profiler.sampling import SamplingProfiler
+from repro.simulate.engine import Engine, SimFunction
+from repro.simulate.overhead import CostModel
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    segments=st.lists(
+        st.tuples(st.sampled_from(["work", "idle"]),
+                  st.floats(0.001, 2.0, allow_nan=False)),
+        min_size=1, max_size=25,
+    )
+)
+def test_engine_time_conservation(segments):
+    """clock.now == sum of all work and idle, regardless of interleaving."""
+    engine = Engine(cost_model=CostModel.disabled())
+
+    def main(ctx):
+        for kind, duration in segments:
+            if kind == "work":
+                ctx.work(duration)
+            else:
+                ctx.idle(duration)
+
+    engine.run(SimFunction("main", main))
+    expected = sum(d for _k, d in segments)
+    assert engine.clock.now == pytest.approx(expected)
+    worked = sum(d for k, d in segments if k == "work")
+    assert engine.total_attributed == pytest.approx(worked)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    segments=st.lists(st.floats(0.01, 1.5, allow_nan=False),
+                      min_size=1, max_size=20),
+    trigger_period=st.floats(0.05, 0.9, allow_nan=False),
+)
+def test_sampler_conserves_ticks_across_triggers(segments, trigger_period):
+    """Trigger-induced segment splitting never loses or invents samples."""
+    engine = Engine()
+    profiler = SamplingProfiler()
+    engine.add_observer(profiler)
+    engine.clock.schedule_every(trigger_period, lambda t: None)
+
+    def main(ctx):
+        for duration in segments:
+            ctx.work(duration)
+
+    engine.run(SimFunction("main", main))
+    total = sum(segments)
+    expected_ticks = int(np.floor(total / 0.01 + 1e-9))
+    assert profiler.snapshot(engine.clock.now).hist.get("main", 0) == expected_ticks
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    points=st.lists(
+        st.tuples(st.floats(-10, 10, allow_nan=False),
+                  st.floats(-10, 10, allow_nan=False)),
+        min_size=3, max_size=40,
+    ),
+    kmax=st.integers(2, 8),
+)
+def test_choose_k_within_bounds(points, kmax):
+    """Every selector returns 1 <= k <= min(kmax, n)."""
+    matrix = np.array(points)
+    for method in ("elbow", "chord"):
+        selection = choose_k(matrix, kmax=kmax, method=method, seed=0, n_init=2)
+        assert 1 <= selection.chosen_k <= min(kmax, matrix.shape[0])
+        assert selection.chosen_k in selection.results
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(1, 500),
+    t0=st.floats(0, 20, allow_nan=False),
+    width=st.floats(0.001, 10, allow_nan=False),
+)
+def test_span_equals_sum_of_individual_records(n, t0, width):
+    """record_span(n, t0, t1) conserves exactly n counts and the span's
+    duration mass, matching n individually-recorded uniform heartbeats."""
+    acc = HeartbeatAccumulator(interval=1.0)
+    acc.record_span(1, n, t0, t0 + width)
+    records = acc.finalize(now=t0 + width + 2)
+    assert sum(r.count for r in records) == pytest.approx(n)
+    assert sum(r.duration_sum for r in records) == pytest.approx(width, rel=1e-6)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 2**31))
+def test_full_pipeline_deterministic_per_seed(seed):
+    """Same seed, same everything: snapshot hashes and site lists agree."""
+    from repro.apps import get_app
+    from repro.core.pipeline import analyze_snapshots
+    from repro.incprof.session import Session, SessionConfig
+
+    def run():
+        session = Session(get_app("synthetic"),
+                          SessionConfig(ranks=1, scale=0.1, seed=seed))
+        samples = session.run().samples(0)
+        analysis = analyze_snapshots(samples)
+        return (
+            tuple(sorted(samples[-1].hist.items())),
+            tuple((s.function, s.inst_type.value) for s in analysis.sites()),
+        )
+
+    assert run() == run()

@@ -1,0 +1,72 @@
+"""DBSCAN (the paper's rejected alternative) sanity checks."""
+
+import numpy as np
+import pytest
+
+from repro.core.dbscan import NOISE, dbscan, suggest_eps
+from repro.util.errors import ValidationError
+
+
+def blobs():
+    rng = np.random.default_rng(0)
+    a = rng.normal((0, 0), 0.1, size=(20, 2))
+    b = rng.normal((10, 10), 0.1, size=(20, 2))
+    return np.vstack([a, b])
+
+
+def test_two_blobs_two_clusters():
+    result = dbscan(blobs(), eps=0.5, min_samples=3)
+    assert result.n_clusters == 2
+    labels_a = set(result.labels[:20].tolist())
+    labels_b = set(result.labels[20:].tolist())
+    assert labels_a.isdisjoint(labels_b)
+
+
+def test_outlier_marked_noise():
+    points = np.vstack([blobs(), [[100.0, 100.0]]])
+    result = dbscan(points, eps=0.5, min_samples=3)
+    assert result.labels[-1] == NOISE
+
+
+def test_eps_too_small_all_noise():
+    result = dbscan(blobs(), eps=1e-9, min_samples=3)
+    assert result.n_clusters == 0
+    assert (result.labels == NOISE).all()
+
+
+def test_eps_huge_single_cluster():
+    result = dbscan(blobs(), eps=1e6, min_samples=3)
+    assert result.n_clusters == 1
+
+
+def test_cluster_indices():
+    result = dbscan(blobs(), eps=0.5, min_samples=3)
+    total = sum(result.cluster_indices(c).size for c in range(result.n_clusters))
+    assert total == 40
+
+
+def test_validation():
+    with pytest.raises(ValidationError):
+        dbscan(blobs(), eps=0.0)
+    with pytest.raises(ValidationError):
+        dbscan(blobs(), eps=1.0, min_samples=0)
+    with pytest.raises(ValidationError):
+        dbscan(np.zeros(5), eps=1.0)
+
+
+def test_suggest_eps_reasonable():
+    eps = suggest_eps(blobs())
+    assert 0.0 < eps < 1.0
+    result = dbscan(blobs(), eps=suggest_eps(blobs(), quantile=0.9) * 3,
+                    min_samples=3)
+    assert result.n_clusters == 2
+
+
+def test_suggest_eps_needs_points():
+    with pytest.raises(ValidationError):
+        suggest_eps(np.zeros((1, 2)))
+
+
+def test_suggest_eps_with_duplicates():
+    points = np.vstack([np.zeros((5, 2)), np.ones((5, 2))])
+    assert suggest_eps(points) > 0.0

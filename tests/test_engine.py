@@ -1,0 +1,262 @@
+"""Execution engine: call tree, work attribution, batches, overhead."""
+
+import pytest
+
+from repro.simulate.clock import VirtualClock
+from repro.simulate.engine import SPONTANEOUS, Engine, EngineObserver, SimFunction
+from repro.simulate.overhead import CostModel
+from repro.util.errors import ValidationError
+
+
+class Recorder(EngineObserver):
+    def __init__(self):
+        self.events = []
+
+    def on_enter(self, func, t):
+        self.events.append(("enter", func, t))
+
+    def on_exit(self, func, t):
+        self.events.append(("exit", func, t))
+
+    def on_call(self, caller, callee, t, count=1):
+        self.events.append(("call", caller, callee, count))
+
+    def on_work(self, func, t0, t1):
+        self.events.append(("work", func, t0, t1))
+
+    def on_batch_calls(self, caller, callee, n, t0, t1):
+        self.events.append(("batch", caller, callee, n))
+
+    def on_loop_tick(self, func, t):
+        self.events.append(("tick", func, t))
+
+
+def run_with_recorder(body):
+    engine = Engine()
+    rec = Recorder()
+    engine.add_observer(rec)
+    engine.run(SimFunction("main", body))
+    return engine, rec
+
+
+def test_simple_call_tree_advances_clock():
+    child = SimFunction("child", lambda ctx: ctx.work(0.5))
+
+    def main(ctx):
+        ctx.work(1.0)
+        ctx.call(child)
+
+    engine, rec = run_with_recorder(main)
+    assert engine.clock.now == pytest.approx(1.5)
+    calls = [e for e in rec.events if e[0] == "call"]
+    assert (("call", SPONTANEOUS, "main", 1)) in calls
+    assert (("call", "main", "child", 1)) in calls
+
+
+def test_work_attributed_to_current_function():
+    child = SimFunction("child", lambda ctx: ctx.work(0.25))
+
+    def main(ctx):
+        ctx.work(0.5)
+        ctx.call(child)
+        ctx.work(0.5)
+
+    _engine, rec = run_with_recorder(main)
+    work = [(e[1], e[3] - e[2]) for e in rec.events if e[0] == "work"]
+    totals = {}
+    for func, dur in work:
+        totals[func] = totals.get(func, 0.0) + dur
+    assert totals["main"] == pytest.approx(1.0)
+    assert totals["child"] == pytest.approx(0.25)
+
+
+def test_work_outside_function_rejected():
+    engine = Engine()
+    with pytest.raises(ValidationError):
+        engine._work(1.0)
+
+
+def test_negative_work_rejected():
+    def main(ctx):
+        ctx.work(-1.0)
+
+    with pytest.raises(ValidationError):
+        Engine().run(SimFunction("main", main))
+
+
+def test_idle_advances_without_attribution():
+    def main(ctx):
+        ctx.idle(2.0)
+
+    engine, rec = run_with_recorder(main)
+    assert engine.clock.now == pytest.approx(2.0)
+    assert not [e for e in rec.events if e[0] == "work"]
+
+
+def test_exception_pops_stack():
+    def main(ctx):
+        raise RuntimeError("boom")
+
+    engine = Engine()
+    with pytest.raises(RuntimeError):
+        engine.run(SimFunction("main", main))
+    assert engine.current_function == SPONTANEOUS
+
+
+def test_batch_counts_calls_and_work():
+    leaf = SimFunction("leaf")
+
+    def main(ctx):
+        ctx.call_batch(leaf, 1000, 0.3)
+
+    engine, rec = run_with_recorder(main)
+    batch = [e for e in rec.events if e[0] == "batch"][0]
+    assert batch == ("batch", "main", "leaf", 1000)
+    total_calls = sum(e[3] for e in rec.events if e[0] == "call" and e[2] == "leaf")
+    assert total_calls == 1000
+    work = sum(e[3] - e[2] for e in rec.events if e[0] == "work" and e[1] == "leaf")
+    assert work == pytest.approx(0.3)
+
+
+def test_batch_arcs_distributed_over_span():
+    """Arc counts must accrue progressively, not all at the span start."""
+    leaf = SimFunction("leaf")
+    engine = Engine()
+    rec = Recorder()
+    engine.add_observer(rec)
+
+    def main(ctx):
+        ctx.call_batch(leaf, 1000, 1.0)
+
+    engine.run(SimFunction("main", main))
+    call_times = [e for e in rec.events if e[0] == "call" and e[2] == "leaf"]
+    assert len(call_times) >= 10  # sliced, not a single event
+
+
+def test_batch_zero_self_time():
+    leaf = SimFunction("leaf")
+
+    def main(ctx):
+        ctx.call_batch(leaf, 5, 0.0)
+
+    engine, rec = run_with_recorder(main)
+    assert engine.clock.now == pytest.approx(0.0)
+    total = sum(e[3] for e in rec.events if e[0] == "call" and e[2] == "leaf")
+    assert total == 5
+
+
+def test_batch_invalid_args():
+    leaf = SimFunction("leaf")
+    with pytest.raises(ValidationError):
+        Engine().run(SimFunction("m", lambda ctx: ctx.call_batch(leaf, 0, 1.0)))
+    with pytest.raises(ValidationError):
+        Engine().run(SimFunction("m", lambda ctx: ctx.call_batch(leaf, 1, -1.0)))
+
+
+def test_loop_tick_carries_function_name():
+    def main(ctx):
+        ctx.work(0.1)
+        ctx.loop_tick()
+
+    _engine, rec = run_with_recorder(main)
+    ticks = [e for e in rec.events if e[0] == "tick"]
+    assert ticks == [("tick", "main", pytest.approx(0.1))]
+
+
+def test_trigger_fires_mid_work():
+    """A trigger inside a long work segment sees a consistent split."""
+    engine = Engine()
+    rec = Recorder()
+    engine.add_observer(rec)
+    seen = []
+    engine.clock.schedule_at(0.6, lambda t: seen.append(engine.clock.now))
+
+    engine.run(SimFunction("main", lambda ctx: ctx.work(1.0)))
+    assert seen == [pytest.approx(0.6)]
+    # Work was split at the boundary.
+    segments = [(e[2], e[3]) for e in rec.events if e[0] == "work"]
+    assert segments == [(pytest.approx(0.0), pytest.approx(0.6)),
+                        (pytest.approx(0.6), pytest.approx(1.0))]
+
+
+def test_overhead_disabled_costmodel_noop():
+    engine = Engine(cost_model=CostModel.disabled())
+    engine.run(SimFunction("main", lambda ctx: ctx.work(1.0)))
+    engine.overhead(5.0)
+    assert engine.clock.now == pytest.approx(1.0)
+    assert engine.total_overhead == 0.0
+
+
+def test_overhead_extends_timeline():
+    engine = Engine(cost_model=CostModel(per_call=0.0, sampling_fraction=0.0,
+                                         per_dump=0.0, per_heartbeat_event=0.0))
+    engine.run(SimFunction("main", lambda ctx: ctx.work(1.0)))
+    engine.overhead(0.5)
+    assert engine.clock.now == pytest.approx(1.5)
+    assert engine.total_overhead == pytest.approx(0.5)
+
+
+def test_per_call_cost_applied():
+    cost = CostModel(per_call=0.01, sampling_fraction=0.0, per_dump=0.0,
+                     per_heartbeat_event=0.0)
+    engine = Engine(cost_model=cost)
+    child = SimFunction("child", lambda ctx: ctx.work(0.1))
+
+    def main(ctx):
+        for _ in range(10):
+            ctx.call(child)
+
+    engine.run(SimFunction("main", main))
+    # 11 calls total (main + 10 children) at 0.01 each, plus 1.0 work.
+    assert engine.clock.now == pytest.approx(1.0 + 11 * 0.01)
+
+
+def test_sampling_fraction_cost():
+    cost = CostModel(per_call=0.0, sampling_fraction=0.1, per_dump=0.0,
+                     per_heartbeat_event=0.0)
+    engine = Engine(cost_model=cost)
+    engine.run(SimFunction("main", lambda ctx: ctx.work(1.0)))
+    assert engine.clock.now == pytest.approx(1.1)
+
+
+def test_total_stats():
+    engine = Engine()
+    child = SimFunction("child", lambda ctx: ctx.work(0.2))
+
+    def main(ctx):
+        ctx.call(child)
+        ctx.call_batch(SimFunction("leaf"), 99, 0.0)
+
+    engine.run(SimFunction("main", main))
+    assert engine.total_calls == 1 + 1 + 99
+    assert engine.total_attributed == pytest.approx(0.2)
+
+
+def test_nested_stack_depth():
+    inner = SimFunction("inner", lambda ctx: ctx.work(0.1))
+    mid = SimFunction("mid", lambda ctx: ctx.call(inner))
+
+    def main(ctx):
+        assert ctx.now == 0.0
+        ctx.call(mid)
+
+    engine = Engine()
+    engine.run(SimFunction("main", main))
+    assert engine.clock.now == pytest.approx(0.1)
+
+
+def test_params_and_rank_exposed():
+    engine = Engine(rank=3, params={"scale": 0.5})
+    captured = {}
+
+    def main(ctx):
+        captured["rank"] = ctx.rank
+        captured["scale"] = ctx.params["scale"]
+
+    engine.run(SimFunction("main", main))
+    assert captured == {"rank": 3, "scale": 0.5}
+
+
+def test_simfunction_requires_name():
+    with pytest.raises(ValidationError):
+        SimFunction("")

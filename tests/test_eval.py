@@ -1,0 +1,112 @@
+"""Evaluation harness: experiments, overheads, tables, figures."""
+
+import pytest
+
+from repro.apps import paper_app_names
+from repro.eval import paperdata
+from repro.eval.experiments import run_experiment
+from repro.eval.figures import FIGURES, heartbeat_figure
+from repro.eval.overhead import measure_overheads
+from repro.eval.tables import (
+    app_sites_table,
+    comparison_table,
+    paper_sites_table,
+    render_all,
+    table1,
+    table1_comparison,
+)
+from repro.apps import get_app
+
+
+def test_experiment_memoized(experiments):
+    again = run_experiment("graph500")
+    assert again is experiments["graph500"]
+
+
+def test_experiment_has_all_artifacts(experiments):
+    result = experiments["minife"]
+    assert result.analysis.n_phases > 0
+    assert result.discovered_records
+    assert result.manual_records
+    assert result.overheads.uninstrumented_s > 0
+
+
+def test_overhead_percentages_finite(experiments):
+    for result in experiments.values():
+        assert -20 < result.overheads.incprof_overhead_pct < 25
+        assert -5 < result.overheads.heartbeat_overhead_pct < 15
+
+
+def test_overhead_model_accounting():
+    overheads = measure_overheads(get_app("graph500"), scale=0.2)
+    assert overheads.incprof_overhead_model_s > 0
+    assert overheads.total_calls > 1_000_000
+
+
+def test_table1_contains_all_apps(experiments):
+    text = table1(experiments).render()
+    for name in paper_app_names():
+        assert name in text
+
+
+def test_table1_comparison_renders(experiments):
+    text = table1_comparison(experiments).render()
+    assert "paper" in text
+
+
+def test_app_sites_tables(experiments):
+    for name, result in experiments.items():
+        text = app_sites_table(result).render()
+        assert "INSTRUMENTED FUNCTIONS" in text
+        assert "Manual Instrumentation Sites" in text
+
+
+def test_comparison_table_lists_paper_functions(experiments):
+    for name, result in experiments.items():
+        text = comparison_table(result).render()
+        for row in paperdata.SITES[name]:
+            assert row.function in text
+
+
+def test_paper_sites_tables_render():
+    for name in paper_app_names():
+        assert name.upper() in paper_sites_table(name).render()
+
+
+def test_render_all(experiments):
+    text = render_all(experiments)
+    assert "TABLE I" in text
+    assert "GADGET2" in text
+
+
+# ----------------------------------------------------------------------
+# figures
+# ----------------------------------------------------------------------
+def test_all_figures_regenerate(experiments):
+    for name, result in experiments.items():
+        figure = heartbeat_figure(result)
+        assert figure.number == FIGURES[name]["number"]
+        text = figure.render()
+        assert f"Fig. {figure.number}" in text
+        assert figure.summary_rows()
+
+
+def test_figure_manual_series_where_paper_shows_them(experiments):
+    assert heartbeat_figure(experiments["graph500"]).manual is not None
+    assert heartbeat_figure(experiments["minife"]).manual is None
+    assert heartbeat_figure(experiments["miniamr"]).manual is not None
+
+
+def test_discovered_series_spans_run(experiments):
+    result = experiments["graph500"]
+    series = result.discovered_series()
+    assert series.n_intervals >= 150
+    # The dominant discovered site is active over most of the run's tail.
+    best = max(series.hb_ids(), key=series.total_count)
+    assert series.total_count(best) > 50
+
+
+def test_paperdata_helpers():
+    assert paperdata.paper_function_share("graph500", "run_bfs") == pytest.approx(25.5)
+    sites = paperdata.paper_site_set("miniamr")
+    assert ("check_sum", paperdata.SITES["miniamr"][0].inst_type) in sites

@@ -1,0 +1,67 @@
+"""Every example script runs to completion as a subprocess.
+
+Examples are user-facing documentation; a broken one is a broken README.
+Each runs with reduced scales where the script supports them.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, *args: str, timeout: int = 240) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "discovered" in out
+    assert "INSTRUMENTED FUNCTIONS" in out.upper() or "phases" in out
+
+
+def test_paper_tables_single_app_small():
+    out = run_example("paper_tables.py", "--scale", "0.2", "--app", "graph500")
+    assert "TABLE I" in out
+    assert "GRAPH500" in out
+
+
+def test_heartbeat_monitoring():
+    out = run_example("heartbeat_monitoring.py")
+    assert "LDMS transport" in out
+    assert "per-heartbeat summary" in out
+
+
+def test_custom_app():
+    out = run_example("custom_app.py")
+    assert "PIPELINE" in out.upper()
+    assert "Interpretation" in out
+
+
+def test_regression_detection():
+    out = run_example("regression_detection.py")
+    assert "verdict: healthy" in out
+    assert "REGRESSION" in out
+
+
+def test_online_phase_tracking():
+    out = run_example("online_phase_tracking.py")
+    assert "novel intervals" in out
+    assert "!" in out  # the rogue stage shows as novelty marks
+
+
+@pytest.mark.slow
+def test_live_python_profiling():
+    out = run_example("live_python_profiling.py")
+    assert "Flat profile:" in out
+    assert "SIGPROF sampler" in out

@@ -1,0 +1,145 @@
+"""Failure injection: the pipeline on damaged or degenerate inputs.
+
+Production profile data gets truncated, reordered, and corrupted; the
+analysis should fail loudly on structural damage and degrade gracefully
+on statistical damage (missing samples, empty intervals, tiny runs).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.intervals import intervals_from_snapshots
+from repro.core.pipeline import AnalysisConfig, analyze_snapshots
+from repro.gprof.gmon import GmonData, dumps_gmon, loads_gmon
+from repro.incprof.storage import SampleStore
+from repro.util.errors import FormatError, ProfileDataError, ReproError
+
+
+def test_missing_middle_sample_still_analyzable(graph500_samples):
+    """A lost dump merges two intervals; analysis proceeds (coarser)."""
+    damaged = graph500_samples[:50] + graph500_samples[51:]
+    analysis = analyze_snapshots(damaged)
+    assert analysis.n_phases >= 2
+
+
+def test_truncated_run_analyzable(graph500_samples):
+    """Only the first quarter of the run collected (killed job)."""
+    analysis = analyze_snapshots(graph500_samples[: len(graph500_samples) // 4])
+    assert analysis.n_phases >= 1
+
+
+def test_duplicate_final_sample_harmless(graph500_samples):
+    """The exit dump can duplicate the last periodic one (same timestamp
+    modulo the partial-interval filter)."""
+    damaged = list(graph500_samples) + [graph500_samples[-1]]
+    analysis = analyze_snapshots(damaged)
+    assert analysis.n_phases >= 2
+
+
+def test_reordered_snapshots_rejected(graph500_samples):
+    damaged = list(graph500_samples)
+    damaged[10], damaged[20] = damaged[20], damaged[10]
+    with pytest.raises(ProfileDataError):
+        analyze_snapshots(damaged)
+
+
+def test_two_snapshot_minimum():
+    with pytest.raises(ProfileDataError):
+        analyze_snapshots(graph_snaps(1))
+    analysis = analyze_snapshots(graph_snaps(3))
+    assert analysis.n_phases >= 1
+
+
+def graph_snaps(n):
+    snaps = []
+    cum = GmonData()
+    for i in range(n):
+        cum.add_ticks("f", 100)
+        snap = cum.copy()
+        snap.timestamp = float(i + 1)
+        snaps.append(snap)
+    return snaps
+
+
+def test_single_function_run_one_phase():
+    analysis = analyze_snapshots(graph_snaps(20))
+    assert analysis.n_phases == 1
+    assert analysis.sites()[0].function == "f"
+
+
+def test_idle_only_intervals_in_middle():
+    """A stall (no samples for several intervals) must not break anything."""
+    snaps = []
+    cum = GmonData()
+    for i in range(30):
+        if not 10 <= i < 15:  # five fully idle intervals
+            cum.add_ticks("f", 100)
+        snap = cum.copy()
+        snap.timestamp = float(i + 1)
+        snaps.append(snap)
+    analysis = analyze_snapshots(snaps)
+    assert analysis.n_phases >= 1
+    # The idle intervals cannot be covered by any site.
+    covered = {i for s in analysis.sites() for i in s.covered_intervals}
+    assert not covered & set(range(10, 15))
+
+
+def test_corrupt_sample_file_raises(tmp_path, graph500_samples):
+    store = SampleStore(tmp_path)
+    for i, snap in enumerate(graph500_samples[:5]):
+        store.save(snap, i)
+    # Corrupt the third file in place.
+    path = store.path_for(0, 2)
+    blob = bytearray(path.read_bytes())
+    blob[3] ^= 0xFF
+    path.write_bytes(bytes(blob))
+    with pytest.raises(ReproError):
+        store.load_rank(0)
+
+
+def test_bitflip_in_counts_detected_or_clamped():
+    """A bit flip in a count either fails parsing or yields clamped,
+    non-negative interval data — never negative self-time."""
+    snaps = graph_snaps(5)
+    blob = bytearray(dumps_gmon(snaps[2]))
+    blob[-3] ^= 0x40
+    try:
+        snaps[2] = loads_gmon(bytes(blob))
+    except FormatError:
+        return  # detected: fine
+    try:
+        data = intervals_from_snapshots(snaps)
+    except ReproError:
+        return  # detected downstream: fine
+    assert (data.self_time >= 0).all()
+
+
+def test_constant_profile_is_single_phase():
+    """Zero variance across intervals: elbow must settle on one phase."""
+    snaps = []
+    cum = GmonData()
+    for i in range(40):
+        cum.add_ticks("steady", 80)
+        cum.add_ticks("helper", 20)
+        snap = cum.copy()
+        snap.timestamp = float(i + 1)
+        snaps.append(snap)
+    analysis = analyze_snapshots(snaps)
+    assert analysis.n_phases == 1
+
+
+def test_extreme_magnitude_functions():
+    """A function a million times hotter than another must not overflow
+    or distort shares beyond [0, 100]."""
+    snaps = []
+    cum = GmonData()
+    for i in range(10):
+        cum.add_ticks("huge", 10**9)
+        cum.add_ticks("tiny", 1)
+        snap = cum.copy()
+        snap.timestamp = float(i + 1)
+        snaps.append(snap)
+    analysis = analyze_snapshots(snaps)
+    for site in analysis.sites():
+        assert 0.0 <= site.phase_pct <= 100.0
+        assert 0.0 <= site.app_pct <= 100.0

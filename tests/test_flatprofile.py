@@ -1,0 +1,114 @@
+"""Flat profile construction, gprof-style rendering and parsing."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.gprof.flatprofile import FlatProfile
+from repro.gprof.gmon import GmonData
+from repro.util.errors import FormatError
+
+
+def sample_gmon():
+    data = GmonData(sample_period=0.01)
+    data.add_ticks("solve", 300)
+    data.add_ticks("assemble", 100)
+    data.add_arc("main", "solve", 1)
+    data.add_arc("main", "assemble", 50)
+    data.add_arc("main", "setup", 2)  # calls but never sampled
+    return data
+
+
+def test_ordered_by_self_time():
+    profile = FlatProfile.from_gmon(sample_gmon())
+    assert profile.function_names()[:2] == ["solve", "assemble"]
+
+
+def test_self_seconds_and_calls():
+    profile = FlatProfile.from_gmon(sample_gmon())
+    assert profile.self_seconds("solve") == pytest.approx(3.0)
+    assert profile.calls("assemble") == 50
+    assert profile.calls("nonexistent") == 0
+
+
+def test_pct_time_sums_to_100():
+    profile = FlatProfile.from_gmon(sample_gmon())
+    assert sum(e.pct_time for e in profile) == pytest.approx(100.0)
+
+
+def test_cumulative_column_monotone():
+    profile = FlatProfile.from_gmon(sample_gmon())
+    cums = [e.cum_seconds for e in profile]
+    assert cums == sorted(cums)
+    assert cums[-1] == pytest.approx(profile.total_seconds())
+
+
+def test_call_only_function_included_with_zero_time():
+    profile = FlatProfile.from_gmon(sample_gmon())
+    setup = profile.get("setup")
+    assert setup is not None
+    assert setup.self_seconds == 0.0
+    assert setup.calls == 2
+
+
+def test_sampled_only_function_has_blank_calls():
+    data = GmonData()
+    data.add_ticks("orphan", 10)
+    entry = FlatProfile.from_gmon(data).get("orphan")
+    assert entry.calls is None
+
+
+def test_render_contains_gprof_header():
+    text = FlatProfile.from_gmon(sample_gmon()).render()
+    assert text.startswith("Flat profile:")
+    assert "Each sample counts as 0.01 seconds." in text
+    assert "name" in text
+
+
+def test_parse_roundtrip():
+    profile = FlatProfile.from_gmon(sample_gmon())
+    parsed = FlatProfile.parse(profile.render())
+    assert parsed.function_names() == profile.function_names()
+    for entry in profile:
+        back = parsed.get(entry.name)
+        assert back.self_seconds == pytest.approx(entry.self_seconds, abs=0.01)
+        assert back.calls == entry.calls
+
+
+def test_parse_rejects_garbage():
+    with pytest.raises(FormatError):
+        FlatProfile.parse("not a profile at all")
+
+
+def test_parse_reads_sample_period():
+    profile = FlatProfile.from_gmon(sample_gmon())
+    assert FlatProfile.parse(profile.render()).sample_period == pytest.approx(0.01)
+
+
+def test_empty_gmon_gives_empty_profile():
+    profile = FlatProfile.from_gmon(GmonData())
+    assert len(profile) == 0
+    # Rendering and re-parsing an empty profile is still well-formed.
+    assert len(FlatProfile.parse(profile.render())) == 0
+
+
+simple_names = st.text(alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd"),
+                                              whitelist_characters="_:"),
+                       min_size=1, max_size=20)
+
+
+@settings(max_examples=50, deadline=None)
+@given(hist=st.dictionaries(simple_names, st.integers(min_value=1, max_value=10**6),
+                            min_size=1, max_size=10))
+def test_text_roundtrip_property(hist):
+    """Render->parse preserves names, ordering, and 2-decimal self time."""
+    data = GmonData()
+    for func, ticks in hist.items():
+        data.add_ticks(func, ticks)
+        data.add_arc("main", func, 1)
+    profile = FlatProfile.from_gmon(data)
+    parsed = FlatProfile.parse(profile.render())
+    assert parsed.function_names() == profile.function_names()
+    for entry in profile:
+        assert parsed.get(entry.name).self_seconds == pytest.approx(
+            entry.self_seconds, abs=0.005
+        )

@@ -1,0 +1,172 @@
+"""GmonData accounting, subtraction, and binary round-trip."""
+
+import io
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.gprof.gmon import GmonData, dumps_gmon, loads_gmon, read_gmon, write_gmon
+from repro.util.errors import FormatError, ValidationError
+
+
+def sample_gmon():
+    data = GmonData(sample_period=0.01, timestamp=3.5, rank=2)
+    data.add_ticks("alpha", 120)
+    data.add_ticks("beta", 30)
+    data.add_arc("main", "alpha", 4)
+    data.add_arc("main", "beta", 1)
+    data.add_arc("alpha", "beta", 7)
+    return data
+
+
+def test_self_seconds():
+    data = sample_gmon()
+    assert data.self_seconds("alpha") == pytest.approx(1.2)
+    assert data.self_seconds("missing") == 0.0
+
+
+def test_total_seconds():
+    assert sample_gmon().total_seconds() == pytest.approx(1.5)
+
+
+def test_calls_into():
+    data = sample_gmon()
+    assert data.calls_into("beta") == 8
+    assert data.calls_into("alpha") == 4
+    assert data.calls_into("main") == 0
+
+
+def test_functions_sorted_union():
+    assert sample_gmon().functions() == ["alpha", "beta", "main"]
+
+
+def test_copy_is_deep():
+    data = sample_gmon()
+    clone = data.copy()
+    clone.add_ticks("alpha", 1)
+    clone.add_arc("main", "alpha", 1)
+    assert data.hist["alpha"] == 120
+    assert data.arcs[("main", "alpha")] == 4
+
+
+def test_negative_counts_rejected():
+    data = GmonData()
+    with pytest.raises(ValidationError):
+        data.add_ticks("f", -1)
+    with pytest.raises(ValidationError):
+        data.add_arc("a", "b", -1)
+
+
+def test_zero_counts_not_stored():
+    data = GmonData()
+    data.add_ticks("f", 0)
+    data.add_arc("a", "b", 0)
+    assert not data.hist and not data.arcs
+
+
+def test_invalid_sample_period():
+    with pytest.raises(ValidationError):
+        GmonData(sample_period=0.0)
+
+
+def test_subtract_interval_semantics():
+    earlier = GmonData()
+    earlier.add_ticks("f", 10)
+    earlier.add_arc("m", "f", 2)
+    later = earlier.copy()
+    later.add_ticks("f", 5)
+    later.add_ticks("g", 3)
+    later.add_arc("m", "f", 1)
+    delta = later.subtract(earlier)
+    assert delta.hist == {"f": 5, "g": 3}
+    assert delta.arcs == {("m", "f"): 1}
+
+
+def test_subtract_clamps_negative():
+    earlier = GmonData()
+    earlier.add_ticks("f", 10)
+    later = GmonData()
+    later.add_ticks("f", 8)  # sampling artifact: fewer ticks than before
+    delta = later.subtract(earlier)
+    assert "f" not in delta.hist
+
+
+def test_subtract_mismatched_period():
+    with pytest.raises(ValidationError):
+        GmonData(sample_period=0.01).subtract(GmonData(sample_period=0.02))
+
+
+def test_roundtrip_file(tmp_path):
+    data = sample_gmon()
+    path = tmp_path / "snap.gmon"
+    write_gmon(data, path)
+    loaded = read_gmon(path)
+    assert loaded.hist == data.hist
+    assert loaded.arcs == data.arcs
+    assert loaded.timestamp == data.timestamp
+    assert loaded.rank == data.rank
+    assert loaded.sample_period == data.sample_period
+
+
+def test_bad_magic():
+    blob = bytearray(dumps_gmon(sample_gmon()))
+    blob[0:5] = b"WRONG"
+    with pytest.raises(FormatError):
+        loads_gmon(bytes(blob))
+
+
+def test_truncated_data():
+    blob = dumps_gmon(sample_gmon())
+    with pytest.raises(FormatError):
+        loads_gmon(blob[: len(blob) // 2])
+
+
+def test_unsupported_version():
+    blob = bytearray(dumps_gmon(sample_gmon()))
+    blob[5:7] = (99).to_bytes(2, "little")
+    with pytest.raises(FormatError):
+        loads_gmon(bytes(blob))
+
+
+names = st.text(alphabet=st.characters(min_codepoint=33, max_codepoint=0x2FF),
+                min_size=1, max_size=24)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    hist=st.dictionaries(names, st.integers(min_value=1, max_value=10**12), max_size=12),
+    arcs=st.dictionaries(st.tuples(names, names),
+                         st.integers(min_value=1, max_value=10**12), max_size=12),
+    timestamp=st.floats(min_value=0, max_value=1e6, allow_nan=False),
+    rank=st.integers(min_value=0, max_value=10_000),
+)
+def test_roundtrip_property(hist, arcs, timestamp, rank):
+    """Any gmon state serializes and deserializes exactly."""
+    data = GmonData(sample_period=0.01, timestamp=timestamp, rank=rank)
+    data.hist = dict(hist)
+    data.arcs = dict(arcs)
+    loaded = loads_gmon(dumps_gmon(data))
+    assert loaded.hist == data.hist
+    assert loaded.arcs == data.arcs
+    assert loaded.rank == data.rank
+    assert loaded.timestamp == pytest.approx(timestamp)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    base=st.dictionaries(names, st.integers(min_value=0, max_value=1000), max_size=8),
+    extra=st.dictionaries(names, st.integers(min_value=0, max_value=1000), max_size=8),
+)
+def test_subtract_property_nonnegative_and_exact(base, extra):
+    """later - earlier recovers exactly the added increments."""
+    earlier = GmonData()
+    for func, ticks in base.items():
+        earlier.add_ticks(func, ticks)
+    later = earlier.copy()
+    for func, ticks in extra.items():
+        later.add_ticks(func, ticks)
+    delta = later.subtract(earlier)
+    assert all(v > 0 for v in delta.hist.values())
+    for func, ticks in extra.items():
+        if ticks > 0:
+            assert delta.hist[func] == ticks

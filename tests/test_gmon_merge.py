@@ -1,0 +1,69 @@
+"""gmon merging (gprof -s semantics) and merged-series analysis."""
+
+import pytest
+
+from repro.apps import get_app
+from repro.core.pipeline import analyze_snapshots
+from repro.gprof.gmon import GmonData
+from repro.gprof.merge import merge_gmons, merge_sample_series
+from repro.incprof.session import Session, SessionConfig
+from repro.util.errors import ValidationError
+
+
+def snap(hist, arcs=None, t=1.0, period=0.01):
+    data = GmonData(sample_period=period, timestamp=t)
+    for func, ticks in hist.items():
+        data.add_ticks(func, ticks)
+    for arc, count in (arcs or {}).items():
+        data.add_arc(*arc, count)
+    return data
+
+
+def test_merge_sums_hist_and_arcs():
+    a = snap({"f": 10, "g": 5}, {("m", "f"): 2})
+    b = snap({"f": 3}, {("m", "f"): 1, ("m", "g"): 4})
+    merged = merge_gmons([a, b])
+    assert merged.hist == {"f": 13, "g": 5}
+    assert merged.arcs == {("m", "f"): 3, ("m", "g"): 4}
+
+
+def test_merge_keeps_latest_timestamp_and_rank():
+    merged = merge_gmons([snap({"f": 1}, t=1.0), snap({"f": 1}, t=7.0)], rank=-1)
+    assert merged.timestamp == 7.0
+    assert merged.rank == -1
+
+
+def test_merge_rejects_mixed_periods():
+    with pytest.raises(ValidationError):
+        merge_gmons([snap({"f": 1}, period=0.01), snap({"f": 1}, period=0.02)])
+
+
+def test_merge_empty_rejected():
+    with pytest.raises(ValidationError):
+        merge_gmons([])
+    with pytest.raises(ValidationError):
+        merge_sample_series([])
+
+
+def test_merge_series_elementwise():
+    rank0 = [snap({"f": 10}, t=1.0), snap({"f": 20}, t=2.0)]
+    rank1 = [snap({"f": 12}, t=1.0), snap({"f": 22}, t=2.0), snap({"f": 30}, t=3.0)]
+    merged = merge_sample_series([rank0, rank1])
+    assert len(merged) == 2  # up to the shortest series
+    assert merged[0].hist == {"f": 22}
+    assert merged[1].hist == {"f": 42}
+
+
+def test_merged_multirank_analysis_matches_rank0_shape():
+    """Aggregate-then-analyze finds the same phase structure as rank 0
+    (the paper's symmetric-parallel premise, by another route)."""
+    result = Session(get_app("miniamr"), SessionConfig(ranks=3, scale=0.6)).run()
+    rank0_analysis = analyze_snapshots(result.samples(0))
+    merged = merge_sample_series([r.samples for r in result.per_rank])
+    merged_analysis = analyze_snapshots(merged)
+    # Aggregation smooths per-rank noise, which can shift the elbow by
+    # one; the phase structure must stay comparable, not identical.
+    assert abs(merged_analysis.n_phases - rank0_analysis.n_phases) <= 1
+    rank0_top = max(rank0_analysis.sites(), key=lambda s: s.app_pct)
+    merged_top = max(merged_analysis.sites(), key=lambda s: s.app_pct)
+    assert rank0_top.function == merged_top.function  # dominant site shared

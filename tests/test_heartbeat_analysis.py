@@ -1,0 +1,85 @@
+"""Heartbeat series extraction and statistics."""
+
+import numpy as np
+import pytest
+
+from repro.heartbeat.accumulator import HeartbeatRecord
+from repro.heartbeat.analysis import HeartbeatSeries, series_from_records
+
+
+def rec(hb_id, idx, count=1.0, dur=0.1, rank=0):
+    return HeartbeatRecord(rank=rank, hb_id=hb_id, interval_index=idx,
+                           time=float(idx + 1), count=count, avg_duration=dur)
+
+
+def sample_series():
+    records = [
+        rec(1, 0, count=2.0), rec(1, 1, count=3.0), rec(1, 4, count=1.0),
+        rec(2, 2, count=5.0, dur=0.4),
+    ]
+    return series_from_records(records, n_intervals=6, interval=1.0,
+                               labels={1: "alpha", 2: "beta"})
+
+
+def test_dense_arrays_with_zero_fill():
+    series = sample_series()
+    assert series.counts[1].tolist() == [2, 3, 0, 0, 1, 0]
+    assert series.counts[2].tolist() == [0, 0, 5, 0, 0, 0]
+
+
+def test_n_intervals_inferred():
+    series = series_from_records([rec(1, 7)], interval=1.0)
+    assert series.n_intervals == 8
+
+
+def test_rank_filter():
+    records = [rec(1, 0, rank=0), rec(1, 1, rank=3)]
+    series = series_from_records(records, rank=0, n_intervals=2)
+    assert series.counts[1].tolist() == [1.0, 0.0]
+
+
+def test_activity_span_and_gaps():
+    series = sample_series()
+    assert series.activity_span(1) == (0, 4)
+    assert series.gaps(1) == [(2, 3)]
+    assert series.gaps(2) == []
+
+
+def test_silent_heartbeat():
+    series = series_from_records([rec(1, 0)], n_intervals=3)
+    series.counts[2] = np.zeros(3)
+    series.durations[2] = np.zeros(3)
+    assert series.activity_span(2) is None
+    assert series.gaps(2) == []
+
+
+def test_rates_and_durations():
+    series = sample_series()
+    assert series.total_count(1) == pytest.approx(6.0)
+    assert series.mean_rate(1) == pytest.approx(1.0)
+    assert series.mean_duration(2) == pytest.approx(0.4)
+    assert series.mean_duration(1) == pytest.approx(0.1)
+
+
+def test_summary_rows():
+    rows = sample_series().summary()
+    assert [r["hb_id"] for r in rows] == [1, 2]
+    alpha = rows[0]
+    assert alpha["label"] == "alpha"
+    assert alpha["active_intervals"] == 3
+    assert alpha["n_gaps"] == 1
+
+
+def test_labels_fallback():
+    series = series_from_records([rec(9, 0)], n_intervals=1)
+    assert series.label(9) == "HB9"
+
+
+def test_duration_plot_renders():
+    text = sample_series().duration_plot("durations").render()
+    assert "alpha" in text and "beta" in text
+
+
+def test_count_plot_renders():
+    text = sample_series().count_plot("counts").render()
+    assert "counts" in text

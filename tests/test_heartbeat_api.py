@@ -1,0 +1,109 @@
+"""AppEKG public API."""
+
+import pytest
+
+from repro.heartbeat.api import AppEKG
+from repro.util.errors import ValidationError
+
+
+def make(num=3, interval=1.0):
+    clock = {"t": 0.0}
+    ekg = AppEKG(num_heartbeats=num, interval=interval,
+                 time_source=lambda: clock["t"])
+    return ekg, clock
+
+
+def test_begin_end_records_duration():
+    ekg, clock = make()
+    ekg.begin_heartbeat(1)
+    clock["t"] = 0.25
+    ekg.end_heartbeat(1)
+    records = ekg.finalize(now=1.0)
+    assert records[0].avg_duration == pytest.approx(0.25)
+
+
+def test_camelcase_aliases():
+    ekg, clock = make()
+    ekg.beginHeartbeat(2)
+    clock["t"] = 0.5
+    ekg.endHeartbeat(2)
+    assert ekg.finalize(now=1.0)[0].hb_id == 2
+
+
+def test_id_range_enforced():
+    ekg, _clock = make(num=2)
+    with pytest.raises(ValidationError):
+        ekg.begin_heartbeat(0)
+    with pytest.raises(ValidationError):
+        ekg.begin_heartbeat(3)
+    with pytest.raises(ValidationError):
+        AppEKG(num_heartbeats=0)
+
+
+def test_unmatched_end_dropped():
+    ekg, _clock = make()
+    ekg.end_heartbeat(1)
+    assert ekg.finalize(now=1.0) == []
+
+
+def test_rebegin_restarts_measurement():
+    ekg, clock = make()
+    ekg.begin_heartbeat(1)
+    clock["t"] = 1.0
+    ekg.begin_heartbeat(1)  # restart: first begin discarded
+    clock["t"] = 1.2
+    ekg.end_heartbeat(1)
+    records = ekg.finalize(now=2.0)
+    assert len(records) == 1
+    assert records[0].avg_duration == pytest.approx(0.2)
+
+
+def test_open_heartbeat_dropped_at_finalize():
+    ekg, clock = make()
+    ekg.begin_heartbeat(1)
+    clock["t"] = 5.0
+    records = ekg.finalize(now=5.0)
+    assert records == []
+
+
+def test_explicit_timestamps():
+    ekg, _clock = make()
+    ekg.begin_heartbeat(1, at=3.0)
+    ekg.end_heartbeat(1, at=3.5)
+    records = ekg.finalize(now=4.0)
+    assert records[0].interval_index == 3
+
+
+def test_record_span_through_api():
+    ekg, _clock = make()
+    ekg.record_span(1, 50, 0.0, 1.0)
+    records = ekg.finalize(now=1.0)
+    assert records[0].count == pytest.approx(50.0)
+
+
+def test_time_origin_is_first_use():
+    clock = {"t": 100.0}
+    ekg = AppEKG(num_heartbeats=1, interval=1.0, time_source=lambda: clock["t"])
+    ekg.begin_heartbeat(1)
+    clock["t"] = 100.4
+    ekg.end_heartbeat(1)
+    records = ekg.finalize()
+    assert records[0].interval_index == 0  # relative to first event
+
+
+def test_finalize_idempotent():
+    ekg, clock = make()
+    ekg.begin_heartbeat(1)
+    clock["t"] = 0.3
+    ekg.end_heartbeat(1)
+    first = ekg.finalize(now=1.0)
+    assert ekg.finalize(now=2.0) == first
+
+
+def test_total_events():
+    ekg, clock = make()
+    for _ in range(5):
+        ekg.begin_heartbeat(1)
+        clock["t"] += 0.01
+        ekg.end_heartbeat(1)
+    assert ekg.total_events == 5

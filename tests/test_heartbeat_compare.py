@@ -1,0 +1,105 @@
+"""Run-to-run heartbeat comparison and regression flagging."""
+
+import numpy as np
+import pytest
+
+from repro.heartbeat.analysis import HeartbeatSeries
+from repro.heartbeat.compare import compare_series
+from repro.util.errors import ValidationError
+
+
+def make_series(durations_by_id, counts_value=1.0, interval=1.0, jitter=0.0, seed=0):
+    """Build a series with constant counts and given per-interval durations."""
+    rng = np.random.default_rng(seed)
+    n = max(len(v) for v in durations_by_id.values())
+    series = HeartbeatSeries(n_intervals=n, interval=interval,
+                             labels={i: f"site{i}" for i in durations_by_id})
+    for hb_id, durations in durations_by_id.items():
+        arr = np.asarray(durations, dtype=float)
+        if jitter:
+            arr = arr * (1.0 + rng.normal(0, jitter, size=arr.shape))
+        series.durations[hb_id] = arr
+        series.counts[hb_id] = np.where(arr > 0, counts_value, 0.0)
+    return series
+
+
+def test_identical_runs_healthy():
+    base = make_series({1: [0.1] * 20}, jitter=0.02, seed=1)
+    cand = make_series({1: [0.1] * 20}, jitter=0.02, seed=2)
+    report = compare_series(base, cand)
+    assert report.is_healthy()
+    assert report.deltas[0].duration_ratio == pytest.approx(1.0, abs=0.05)
+
+
+def test_slowdown_flagged():
+    base = make_series({1: [0.1] * 30}, jitter=0.02, seed=3)
+    cand = make_series({1: [0.15] * 30}, jitter=0.02, seed=4)  # 50% slower
+    report = compare_series(base, cand)
+    regressions = report.regressions()
+    assert [d.hb_id for d in regressions] == [1]
+    assert regressions[0].duration_ratio == pytest.approx(1.5, abs=0.1)
+
+
+def test_small_slowdown_within_tolerance_ok():
+    base = make_series({1: [0.1] * 30}, jitter=0.03, seed=5)
+    cand = make_series({1: [0.104] * 30}, jitter=0.03, seed=6)  # 4%: under 10% tol
+    assert compare_series(base, cand).is_healthy()
+
+
+def test_large_but_noisy_shift_needs_zscore():
+    """A 20% shift inside huge baseline variance is not statistically
+    supported -> not flagged."""
+    base = make_series({1: [0.1] * 40}, jitter=0.5, seed=7)
+    cand = make_series({1: [0.12] * 40}, jitter=0.5, seed=8)
+    report = compare_series(base, cand, zscore_threshold=3.0)
+    assert report.is_healthy()
+
+
+def test_speedup_not_a_regression():
+    base = make_series({1: [0.2] * 20}, jitter=0.02, seed=9)
+    cand = make_series({1: [0.1] * 20}, jitter=0.02, seed=10)
+    assert compare_series(base, cand).is_healthy()
+
+
+def test_multiple_heartbeats_independent():
+    base = make_series({1: [0.1] * 20, 2: [0.5] * 20}, jitter=0.02, seed=11)
+    cand = make_series({1: [0.1] * 20, 2: [0.9] * 20}, jitter=0.02, seed=12)
+    report = compare_series(base, cand)
+    assert [d.hb_id for d in report.regressions()] == [2]
+
+
+def test_disjoint_ids_rejected():
+    base = make_series({1: [0.1] * 5})
+    cand = make_series({2: [0.1] * 5})
+    with pytest.raises(ValidationError):
+        compare_series(base, cand)
+
+
+def test_extra_ids_ignored():
+    base = make_series({1: [0.1] * 10, 3: [0.2] * 10})
+    cand = make_series({1: [0.1] * 10})
+    report = compare_series(base, cand)
+    assert [d.hb_id for d in report.deltas] == [1]
+
+
+def test_rate_ratio():
+    base = make_series({1: [0.1] * 10}, counts_value=2.0)
+    cand = make_series({1: [0.1] * 10}, counts_value=4.0)
+    delta = compare_series(base, cand).deltas[0]
+    assert delta.rate_ratio == pytest.approx(2.0)
+
+
+def test_report_table_renders():
+    base = make_series({1: [0.1] * 30}, jitter=0.02, seed=13)
+    cand = make_series({1: [0.2] * 30}, jitter=0.02, seed=14)
+    text = compare_series(base, cand).to_table().render()
+    assert "REGRESSION" in text
+    assert "site1" in text
+
+
+def test_silent_heartbeat_zero_stats():
+    base = make_series({1: [0.0] * 10})
+    cand = make_series({1: [0.0] * 10})
+    report = compare_series(base, cand)
+    assert report.deltas[0].baseline_duration == 0.0
+    assert report.is_healthy()

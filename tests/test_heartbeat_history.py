@@ -1,0 +1,106 @@
+"""Persistent heartbeat history: recording, trends, baseline comparison."""
+
+import pytest
+
+from repro.heartbeat.accumulator import HeartbeatRecord
+from repro.heartbeat.history import HeartbeatHistory
+from repro.util.errors import ValidationError
+
+
+def run_records(duration, n_intervals=10, hb_id=1):
+    return [
+        HeartbeatRecord(rank=0, hb_id=hb_id, interval_index=i, time=float(i + 1),
+                        count=4.0, avg_duration=duration)
+        for i in range(n_intervals)
+    ]
+
+
+def test_record_and_reload(tmp_path):
+    history = HeartbeatHistory(tmp_path)
+    info = history.record_run(run_records(0.1), labels={1: "kernel"},
+                              tags={"node": "n01"}, timestamp=123.0)
+    assert info.index == 0
+    assert info.tags == {"node": "n01"}
+    series = history.load_series(0)
+    assert series.label(1) == "kernel"
+    assert series.mean_duration(1) == pytest.approx(0.1)
+
+
+def test_indices_monotone(tmp_path):
+    history = HeartbeatHistory(tmp_path)
+    for duration in (0.1, 0.2, 0.3):
+        history.record_run(run_records(duration))
+    assert history.run_indices() == [0, 1, 2]
+    assert [r.index for r in history.runs()] == [0, 1, 2]
+
+
+def test_duration_trend(tmp_path):
+    history = HeartbeatHistory(tmp_path)
+    for duration in (0.1, 0.11, 0.2):
+        history.record_run(run_records(duration))
+    trend = history.duration_trend(1)
+    assert trend == pytest.approx([0.1, 0.11, 0.2])
+
+
+def test_compare_latest_to_baseline_flags_regression(tmp_path):
+    history = HeartbeatHistory(tmp_path)
+    import numpy as np
+
+    rng = np.random.default_rng(0)
+    baseline = [
+        HeartbeatRecord(0, 1, i, float(i + 1), 4.0,
+                        0.1 * (1 + rng.normal(0, 0.02)))
+        for i in range(30)
+    ]
+    slow = [
+        HeartbeatRecord(0, 1, i, float(i + 1), 4.0,
+                        0.15 * (1 + rng.normal(0, 0.02)))
+        for i in range(30)
+    ]
+    history.record_run(baseline)
+    history.record_run(slow)
+    report = history.compare_latest_to_baseline()
+    assert not report.is_healthy()
+
+
+def test_compare_needs_two_runs(tmp_path):
+    history = HeartbeatHistory(tmp_path)
+    history.record_run(run_records(0.1))
+    with pytest.raises(ValidationError):
+        history.compare_latest_to_baseline()
+
+
+def test_empty_run_rejected(tmp_path):
+    with pytest.raises(ValidationError):
+        HeartbeatHistory(tmp_path).record_run([])
+
+
+def test_missing_directory_rejected(tmp_path):
+    with pytest.raises(ValidationError):
+        HeartbeatHistory(tmp_path / "nope", create=False)
+
+
+def test_missing_run_rejected(tmp_path):
+    history = HeartbeatHistory(tmp_path)
+    history.record_run(run_records(0.1))
+    with pytest.raises(ValidationError):
+        history.load_series(7)
+
+
+def test_end_to_end_with_session(tmp_path):
+    """Record real session heartbeats into the history."""
+    from repro.apps import get_app
+    from repro.heartbeat.instrument import bindings_from_sites
+    from repro.incprof.session import Session, SessionConfig
+
+    app = get_app("graph500")
+    bindings = bindings_from_sites(app.manual_sites)
+    history = HeartbeatHistory(tmp_path)
+    for seed in (1, 2):
+        result = Session(app, SessionConfig(
+            ranks=1, scale=0.2, seed=seed, collect_profiles=False,
+            heartbeat_sites=bindings)).run()
+        history.record_run(result.heartbeat_records(0),
+                           labels={b.hb_id: b.function for b in bindings})
+    report = history.compare_latest_to_baseline()
+    assert report.deltas  # same instrumentation on both runs

@@ -1,0 +1,135 @@
+"""Engine-side heartbeat instrumentation: body, loop, batch sites."""
+
+import pytest
+
+from repro.core.model import InstType, Site
+from repro.heartbeat.api import AppEKG
+from repro.heartbeat.instrument import (
+    HeartbeatInstrumentation,
+    SiteBinding,
+    bindings_from_sites,
+)
+from repro.simulate.engine import Engine, SimFunction
+from repro.simulate.overhead import CostModel
+
+
+def run_instrumented(body, sites, cost=None):
+    engine = Engine(cost_model=cost or CostModel.disabled())
+    bindings = bindings_from_sites(sites)
+    ekg = AppEKG(num_heartbeats=max(b.hb_id for b in bindings), interval=1.0,
+                 time_source=lambda: engine.clock.now)
+    engine.add_observer(HeartbeatInstrumentation(engine, ekg, bindings))
+    engine.run(SimFunction("main", body))
+    return engine, ekg.finalize(now=engine.clock.now), bindings
+
+
+def test_bindings_unique_ids_in_order():
+    bindings = bindings_from_sites([
+        Site("a", InstType.LOOP),
+        Site("b", InstType.BODY),
+        Site("a", InstType.LOOP),   # repeat: same id
+        Site("a", InstType.BODY),   # same function, new type: new id
+    ])
+    assert [(b.function, b.inst_type.value, b.hb_id) for b in bindings] == [
+        ("a", "loop", 1), ("b", "body", 2), ("a", "body", 3)
+    ]
+
+
+def test_body_site_heartbeat_per_call():
+    worker = SimFunction("worker", lambda ctx: ctx.work(0.3))
+
+    def main(ctx):
+        for _ in range(4):
+            ctx.call(worker)
+
+    _engine, records, _b = run_instrumented(main, [Site("worker", InstType.BODY)])
+    assert sum(r.count for r in records) == pytest.approx(4)
+    assert all(r.avg_duration == pytest.approx(0.3) for r in records)
+
+
+def test_loop_site_heartbeat_per_iteration():
+    def long_runner(ctx):
+        for _ in range(6):
+            ctx.work(0.5)
+            ctx.loop_tick()
+
+    runner = SimFunction("runner", long_runner)
+    _engine, records, _b = run_instrumented(
+        lambda ctx: ctx.call(runner), [Site("runner", InstType.LOOP)]
+    )
+    # Function entry is the baseline: all 6 iterations are measured.
+    assert sum(r.count for r in records) == pytest.approx(6)
+    assert all(r.avg_duration == pytest.approx(0.5) for r in records)
+
+
+def test_loop_state_reset_between_activations():
+    def runner_body(ctx):
+        ctx.work(0.2)
+        ctx.loop_tick()
+        ctx.work(0.2)
+        ctx.loop_tick()
+
+    runner = SimFunction("runner", runner_body)
+
+    def main(ctx):
+        ctx.call(runner)
+        ctx.idle(1.0)  # gap between activations must not become a beat
+        ctx.call(runner)
+
+    _engine, records, _b = run_instrumented(main, [Site("runner", InstType.LOOP)])
+    assert sum(r.count for r in records) == pytest.approx(4)  # 2 per activation
+    assert all(r.avg_duration == pytest.approx(0.2) for r in records)
+
+
+def test_batch_site_records_span():
+    leaf = SimFunction("leaf")
+
+    def main(ctx):
+        ctx.call_batch(leaf, 1000, 2.0)
+
+    _engine, records, _b = run_instrumented(main, [Site("leaf", InstType.BODY)])
+    assert sum(r.count for r in records) == pytest.approx(1000)
+
+
+def test_uninstrumented_function_silent():
+    other = SimFunction("other", lambda ctx: ctx.work(0.5))
+    _engine, records, _b = run_instrumented(
+        lambda ctx: ctx.call(other), [Site("nothere", InstType.BODY)]
+    )
+    assert records == []
+
+
+def test_heartbeat_overhead_charged():
+    cost = CostModel(per_call=0.0, sampling_fraction=0.0, per_dump=0.0,
+                     per_heartbeat_event=0.01)
+    worker = SimFunction("worker", lambda ctx: ctx.work(0.1))
+
+    def main(ctx):
+        for _ in range(10):
+            ctx.call(worker)
+
+    engine, _records, _b = run_instrumented(
+        main, [Site("worker", InstType.BODY)], cost=cost
+    )
+    # 20 events (begin+end per call) at 0.01s each.
+    assert engine.total_overhead == pytest.approx(0.2)
+    assert engine.clock.now == pytest.approx(1.0 + 0.2)
+
+
+def test_multiple_sites_same_function():
+    def runner_body(ctx):
+        ctx.work(0.5)
+        ctx.loop_tick()
+        ctx.work(0.5)
+        ctx.loop_tick()
+
+    runner = SimFunction("runner", runner_body)
+    sites = [Site("runner", InstType.BODY), Site("runner", InstType.LOOP)]
+    _engine, records, bindings = run_instrumented(
+        lambda ctx: ctx.call(runner), sites
+    )
+    by_id = {}
+    for r in records:
+        by_id[r.hb_id] = by_id.get(r.hb_id, 0) + r.count
+    assert by_id[1] == pytest.approx(1)  # body: one activation
+    assert by_id[2] == pytest.approx(2)  # loop: two iterations

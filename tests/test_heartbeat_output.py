@@ -1,0 +1,104 @@
+"""Sinks: memory, CSV round-trip, null, LDMS transport."""
+
+import pytest
+
+from repro.heartbeat.accumulator import HeartbeatRecord
+from repro.heartbeat.ldms import LDMSTransport
+from repro.heartbeat.output import CSVSink, MemorySink, NullSink, read_csv_records
+
+
+def rec(hb_id=1, idx=0, count=2.0, dur=0.125):
+    return HeartbeatRecord(rank=0, hb_id=hb_id, interval_index=idx,
+                           time=float(idx + 1), count=count, avg_duration=dur)
+
+
+def test_memory_sink_collects():
+    sink = MemorySink()
+    sink(rec())
+    sink(rec(idx=1))
+    assert len(sink.records) == 2
+
+
+def test_null_sink_counts():
+    sink = NullSink()
+    for _ in range(5):
+        sink(rec())
+    assert sink.count == 5
+
+
+def test_csv_roundtrip(tmp_path):
+    path = tmp_path / "hb.csv"
+    with CSVSink(path) as sink:
+        sink(rec(hb_id=1, idx=0))
+        sink(rec(hb_id=2, idx=3, count=7.5, dur=0.5))
+    loaded = read_csv_records(path)
+    assert len(loaded) == 2
+    assert loaded[1].hb_id == 2
+    assert loaded[1].count == pytest.approx(7.5)
+    assert loaded[1].avg_duration == pytest.approx(0.5)
+    assert loaded[1].interval_index == 3
+
+
+def test_csv_has_header(tmp_path):
+    path = tmp_path / "hb.csv"
+    with CSVSink(path) as sink:
+        sink(rec())
+    with open(path) as fh:
+        assert fh.readline().startswith("rank,hb_id,interval_index")
+
+
+# ----------------------------------------------------------------------
+# LDMS transport
+# ----------------------------------------------------------------------
+def test_ldms_pull_model():
+    transport = LDMSTransport()
+    transport(rec(idx=0))
+    transport(rec(idx=1))
+    assert transport.updates == 2
+    assert transport.delivered == 0  # nothing delivered until sampled
+    batch = transport.sample()
+    assert len(batch) == 2
+    assert transport.delivered == 2
+    assert transport.sample() == []  # drained
+
+
+def test_ldms_subscribers_receive_batches():
+    transport = LDMSTransport()
+    seen = []
+    transport.subscribe(seen.extend)
+    transport(rec())
+    transport.sample()
+    assert len(seen) == 1
+
+
+def test_ldms_pending_metrics_view():
+    transport = LDMSTransport()
+    transport(rec(hb_id=1, count=3.0))
+    transport(rec(hb_id=1, idx=1, count=5.0))
+    view = transport.pending_metrics()
+    assert view[(0, 1)] == 5.0  # latest wins
+    transport.sample()
+    assert transport.pending_metrics() == {}
+
+
+def test_csv_roundtrip_min_max(tmp_path):
+    path = tmp_path / "hbmm.csv"
+    with CSVSink(path) as sink:
+        sink(HeartbeatRecord(rank=0, hb_id=1, interval_index=0, time=1.0,
+                             count=3.0, avg_duration=0.2,
+                             min_duration=0.1, max_duration=0.4))
+    loaded = read_csv_records(path)
+    assert loaded[0].min_duration == pytest.approx(0.1)
+    assert loaded[0].max_duration == pytest.approx(0.4)
+
+
+def test_csv_reader_tolerates_legacy_rows(tmp_path):
+    """Files written before min/max existed still load (zeros)."""
+    path = tmp_path / "legacy.csv"
+    path.write_text(
+        "rank,hb_id,interval_index,time,count,avg_duration\n"
+        "0,1,0,1.000000,2.0000,0.125000\n"
+    )
+    loaded = read_csv_records(path)
+    assert loaded[0].avg_duration == pytest.approx(0.125)
+    assert loaded[0].min_duration == 0.0

@@ -1,0 +1,259 @@
+"""Algorithm 1: instrumentation-site identification semantics.
+
+Handcrafted interval datasets pin down each rule of the paper's
+algorithm: centroid-ordered processing, coverage skipping, the
+(calls asc, rank desc) candidate sort, body/loop designation, the 95 %
+threshold, and the Phase %/App % attribution used in Tables II-VI.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.instrumentation import SiteSelection, function_ranks, select_sites
+from repro.core.intervals import IntervalData
+from repro.core.kselect import KSelection
+from repro.core.model import InstType, Phase, Site
+from repro.core.phases import PhaseModel
+from repro.util.errors import ValidationError
+
+
+def make_data(functions, self_time, calls):
+    self_time = np.asarray(self_time, dtype=float)
+    calls = np.asarray(calls, dtype=np.int64)
+    return IntervalData(
+        functions=list(functions),
+        self_time=self_time,
+        calls=calls,
+        timestamps=np.arange(1.0, self_time.shape[0] + 1),
+        interval=1.0,
+    )
+
+
+def one_phase_model(data, indices=None):
+    indices = tuple(range(data.n_intervals)) if indices is None else tuple(indices)
+    members = data.self_time[list(indices)]
+    phase = Phase(phase_id=0, interval_indices=indices, centroid=members.mean(axis=0))
+    labels = np.zeros(data.n_intervals, dtype=int)
+    dummy = KSelection(method="elbow", chosen_k=1, results={}, scores={})
+    return PhaseModel(phases=(phase,), labels=labels, kselection=dummy)
+
+
+def test_ranks_fraction_of_active_intervals():
+    data = make_data(["f", "g"], [[1.0, 0.0], [1.0, 1.0], [0.0, 1.0], [1.0, 0.0]],
+                     np.zeros((4, 2)))
+    model = one_phase_model(data)
+    ranks = function_ranks(data, model.phases)
+    assert ranks[0].tolist() == pytest.approx([0.75, 0.5])
+
+
+def test_single_dominant_function_selected_once():
+    data = make_data(["f"], [[1.0]] * 5, [[1]] * 5)
+    selection = select_sites(data, one_phase_model(data))
+    sites = selection.per_phase[0]
+    assert len(sites) == 1
+    assert sites[0].function == "f"
+    assert sites[0].phase_pct == pytest.approx(100.0)
+
+
+def test_body_when_called_in_covering_interval():
+    data = make_data(["f"], [[1.0]] * 4, [[2]] * 4)
+    selection = select_sites(data, one_phase_model(data))
+    assert selection.per_phase[0][0].inst_type is InstType.BODY
+
+
+def test_loop_when_zero_calls_in_covering_interval():
+    data = make_data(["f"], [[1.0]] * 4, [[0]] * 4)
+    selection = select_sites(data, one_phase_model(data))
+    assert selection.per_phase[0][0].inst_type is InstType.LOOP
+
+
+def test_fewer_calls_preferred():
+    """Line 10: among active functions, the fewest-calls one wins —
+    avoiding chatty utility functions (the paper's getter/setter case)."""
+    data = make_data(
+        ["big_kernel", "tiny_util"],
+        [[0.6, 0.4]] * 6,
+        [[1, 5000]] * 6,
+    )
+    selection = select_sites(data, one_phase_model(data))
+    assert selection.per_phase[0][0].function == "big_kernel"
+
+
+def test_zero_calls_sorts_before_called():
+    """A still-running function (calls 0) outranks a called one."""
+    data = make_data(["running", "called"], [[0.5, 0.5]] * 4,
+                     [[0, 1]] * 4)
+    selection = select_sites(data, one_phase_model(data))
+    top = selection.per_phase[0][0]
+    assert top.function == "running"
+    assert top.inst_type is InstType.LOOP
+
+
+def test_rank_breaks_call_ties():
+    """Equal calls: the function active in more of the phase wins."""
+    self_time = [[0.5, 0.5]] * 4 + [[0.5, 0.0]] * 4  # f active in all 8, g in 4
+    calls = [[1, 1]] * 8
+    data = make_data(["f", "g"], self_time, calls)
+    selection = select_sites(data, one_phase_model(data))
+    assert selection.per_phase[0][0].function == "f"
+
+
+def test_covered_interval_skipped_second_site_for_rest():
+    """Intervals already covered by a selected function are skipped; the
+    remaining intervals nominate their own site (MiniFE's phase 2)."""
+    # Intervals 0-8: init active; 9: only gen active.
+    self_time = [[1.0, 0.0]] * 9 + [[0.0, 1.0]]
+    calls = [[0, 0]] * 10
+    data = make_data(["init", "gen"], self_time, calls)
+    selection = select_sites(data, one_phase_model(data), coverage_threshold=1.0)
+    functions = [s.function for s in selection.per_phase[0]]
+    assert functions == ["init", "gen"]
+    # Attribution: 90% / 10% of the phase.
+    assert selection.per_phase[0][0].phase_pct == pytest.approx(90.0)
+    assert selection.per_phase[0][1].phase_pct == pytest.approx(10.0)
+
+
+def test_coverage_threshold_stops_selection():
+    """With 95% coverage reached, outlier intervals select no extra site."""
+    self_time = [[1.0, 0.0]] * 97 + [[0.0, 1.0]] * 3
+    calls = [[0, 0]] * 100
+    data = make_data(["main_fn", "outlier_fn"], self_time, calls)
+    selection = select_sites(data, one_phase_model(data), coverage_threshold=0.95)
+    functions = [s.function for s in selection.per_phase[0]]
+    assert functions == ["main_fn"]
+
+
+def test_threshold_1_selects_outlier_site_too():
+    self_time = [[1.0, 0.0]] * 97 + [[0.0, 1.0]] * 3
+    calls = [[0, 0]] * 100
+    data = make_data(["main_fn", "outlier_fn"], self_time, calls)
+    selection = select_sites(data, one_phase_model(data), coverage_threshold=1.0)
+    functions = [s.function for s in selection.per_phase[0]]
+    assert functions == ["main_fn", "outlier_fn"]
+
+
+def test_empty_intervals_cannot_nominate():
+    self_time = [[1.0]] * 3 + [[0.0]] * 2  # two idle intervals
+    calls = [[0]] * 5
+    data = make_data(["f"], self_time, calls)
+    selection = select_sites(data, one_phase_model(data), coverage_threshold=1.0)
+    sites = selection.per_phase[0]
+    assert [s.function for s in sites] == ["f"]
+    assert sites[0].phase_pct == pytest.approx(60.0)  # idle intervals uncovered
+
+
+def test_centroid_order_determines_designation():
+    """The covering interval is the one closest to the centroid, so the
+    dominant interval style decides body vs loop (Graph500's run_bfs)."""
+    # 8 'continuing' intervals at 1.0 self / 0 calls, 2 'call' intervals
+    # at 0.55 self / 1 call: centroid near 0.91 -> covering is continuing.
+    self_time = [[1.0]] * 8 + [[0.55]] * 2
+    calls = [[0]] * 8 + [[1]] * 2
+    data = make_data(["f"], self_time, calls)
+    selection = select_sites(data, one_phase_model(data))
+    assert selection.per_phase[0][0].inst_type is InstType.LOOP
+
+
+def test_same_function_two_phases_same_hb_id():
+    data = make_data(["f"], [[1.0]] * 6, [[0]] * 6)
+    phase_a = Phase(0, (0, 1, 2), centroid=np.array([1.0]))
+    phase_b = Phase(1, (3, 4, 5), centroid=np.array([1.0]))
+    dummy = KSelection(method="elbow", chosen_k=2, results={}, scores={})
+    model = PhaseModel(phases=(phase_a, phase_b),
+                       labels=np.array([0, 0, 0, 1, 1, 1]), kselection=dummy)
+    selection = select_sites(data, model)
+    a = selection.per_phase[0][0]
+    b = selection.per_phase[1][0]
+    assert a.site == b.site
+    assert a.hb_id == b.hb_id == 1
+
+
+def test_same_function_different_types_distinct_hb_ids():
+    """Graph500: run_bfs body (HB 2) and run_bfs loop (HB 3)."""
+    data = make_data(["f"], [[1.0]] * 6, [[1]] * 3 + [[0]] * 3)
+    phase_a = Phase(0, (0, 1, 2), centroid=np.array([1.0]))
+    phase_b = Phase(1, (3, 4, 5), centroid=np.array([1.0]))
+    dummy = KSelection(method="elbow", chosen_k=2, results={}, scores={})
+    model = PhaseModel(phases=(phase_a, phase_b),
+                       labels=np.array([0, 0, 0, 1, 1, 1]), kselection=dummy)
+    selection = select_sites(data, model)
+    a, b = selection.per_phase[0][0], selection.per_phase[1][0]
+    assert a.inst_type is InstType.BODY and b.inst_type is InstType.LOOP
+    assert a.hb_id != b.hb_id
+
+
+def test_app_pct_relative_to_whole_run():
+    data = make_data(["f", "g"], [[1.0, 0.0]] * 2 + [[0.0, 1.0]] * 8,
+                     np.zeros((10, 2)))
+    phase = Phase(0, (0, 1), centroid=np.array([1.0, 0.0]))
+    dummy = KSelection(method="elbow", chosen_k=1, results={}, scores={})
+    model = PhaseModel(phases=(phase,), labels=np.zeros(10, dtype=int),
+                       kselection=dummy)
+    selection = select_sites(data, model)
+    site = selection.per_phase[0][0]
+    assert site.phase_pct == pytest.approx(100.0)
+    assert site.app_pct == pytest.approx(20.0)
+
+
+def test_attribution_earliest_selected_site_wins():
+    """An interval active in two selected functions counts for the one
+    selected first (MiniAMR's pack/unpack overlap)."""
+    # 6 intervals: 0-2 pack only, 3 pack+unpack, 4-5 unpack only.
+    self_time = [[0.3, 0.0]] * 3 + [[0.3, 0.3]] + [[0.0, 0.3]] * 2
+    calls = [[10, 0]] * 3 + [[10, 10]] + [[0, 10]] * 2
+    data = make_data(["pack", "unpack"], self_time, calls)
+    selection = select_sites(data, one_phase_model(data), coverage_threshold=1.0)
+    by_name = {s.function: s for s in selection.per_phase[0]}
+    total = by_name["pack"].phase_pct + by_name["unpack"].phase_pct
+    assert total == pytest.approx(100.0)
+    # The overlapping interval went to exactly one site.
+    assert by_name["pack"].phase_pct in (pytest.approx(400 / 6), pytest.approx(300 / 6))
+
+
+def test_selection_validation():
+    data = make_data(["f"], [[1.0]], [[1]])
+    model = one_phase_model(data)
+    with pytest.raises(ValidationError):
+        select_sites(data, model, coverage_threshold=0.0)
+    with pytest.raises(ValidationError):
+        select_sites(data, model, features=np.zeros((5, 1)))
+
+
+def test_site_selection_helpers():
+    data = make_data(["f"], [[1.0]] * 4, [[1]] * 4)
+    selection = select_sites(data, one_phase_model(data))
+    assert selection.unique_sites() == [Site("f", InstType.BODY)]
+    assert selection.site_functions_by_phase() == {0: frozenset({"f"})}
+    assert selection.hb_id_of(Site("f", InstType.BODY)) == 1
+    with pytest.raises(ValidationError):
+        selection.hb_id_of(Site("missing", InstType.BODY))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n_intervals=st.integers(4, 30),
+    n_funcs=st.integers(1, 5),
+    seed=st.integers(0, 10_000),
+)
+def test_algorithm1_invariants(n_intervals, n_funcs, seed):
+    """Selected sites are active where attributed; coverage respects the
+    threshold; attribution never double-counts an interval."""
+    rng = np.random.default_rng(seed)
+    self_time = rng.uniform(0, 1, size=(n_intervals, n_funcs))
+    self_time[rng.uniform(size=self_time.shape) < 0.5] = 0.0
+    calls = rng.integers(0, 5, size=(n_intervals, n_funcs))
+    functions = [f"f{i}" for i in range(n_funcs)]
+    data = make_data(functions, self_time, calls)
+    model = one_phase_model(data)
+    selection = select_sites(data, model, coverage_threshold=0.95)
+
+    seen = set()
+    for selected in selection.per_phase[0]:
+        col = functions.index(selected.function)
+        for interval in selected.covered_intervals:
+            assert data.self_time[interval, col] > 0.0
+            assert interval not in seen
+            seen.add(interval)
+    total_pct = sum(s.phase_pct for s in selection.per_phase[0])
+    assert total_pct <= 100.0 + 1e-9

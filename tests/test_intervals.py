@@ -1,0 +1,163 @@
+"""Interval differencing: cumulative snapshots -> interval profiles."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.intervals import (
+    IntervalData,
+    intervals_from_flat_profiles,
+    intervals_from_snapshots,
+)
+from repro.gprof.flatprofile import FlatProfile
+from repro.gprof.gmon import GmonData
+from repro.util.errors import ProfileDataError
+
+
+def make_snaps(series):
+    """Build cumulative snapshots from per-interval (hist, arcs) specs."""
+    snaps = []
+    cum = GmonData()
+    for i, (hist, arcs) in enumerate(series):
+        for func, ticks in hist.items():
+            cum.add_ticks(func, ticks)
+        for arc, count in arcs.items():
+            cum.add_arc(*arc, count)
+        snap = cum.copy()
+        snap.timestamp = float(i + 1)
+        snaps.append(snap)
+    return snaps
+
+
+BASIC = [
+    ({"a": 100}, {("m", "a"): 1}),
+    ({"a": 50, "b": 50}, {("m", "b"): 2}),
+    ({"b": 100}, {}),
+]
+
+
+def test_differencing_recovers_increments():
+    data = intervals_from_snapshots(make_snaps(BASIC))
+    assert data.functions == ["a", "b"]
+    assert data.self_time[0].tolist() == [1.0, 0.0]
+    assert data.self_time[1].tolist() == pytest.approx([0.5, 0.5])
+    assert data.self_time[2].tolist() == [0.0, 1.0]
+    assert data.calls[1].tolist() == [0, 2]
+
+
+def test_interval_inferred_from_timestamps():
+    data = intervals_from_snapshots(make_snaps(BASIC))
+    assert data.interval == pytest.approx(1.0)
+    assert data.n_intervals == 3
+
+
+def test_needs_two_snapshots():
+    with pytest.raises(ProfileDataError):
+        intervals_from_snapshots(make_snaps(BASIC)[:1])
+
+
+def test_out_of_order_snapshots_rejected():
+    snaps = make_snaps(BASIC)
+    snaps[1].timestamp = 99.0
+    with pytest.raises(ProfileDataError):
+        intervals_from_snapshots(snaps)
+
+
+def test_short_final_interval_dropped():
+    snaps = make_snaps(BASIC)
+    tail = snaps[-1].copy()
+    tail.timestamp = 3.1  # 0.1s partial: below the 50% default
+    snaps.append(tail)
+    data = intervals_from_snapshots(snaps)
+    assert data.n_intervals == 3
+
+
+def test_short_final_interval_kept_when_disabled():
+    snaps = make_snaps(BASIC)
+    tail = snaps[-1].copy()
+    tail.timestamp = 3.1
+    snaps.append(tail)
+    data = intervals_from_snapshots(snaps, drop_short_final=False)
+    assert data.n_intervals == 4
+
+
+def test_active_matrix():
+    data = intervals_from_snapshots(make_snaps(BASIC))
+    assert data.active().tolist() == [[True, False], [True, True], [False, True]]
+
+
+def test_drop_inactive_functions():
+    series = BASIC + [({}, {("m", "ghost"): 5})]  # ghost: calls only
+    data = intervals_from_snapshots(make_snaps(series), drop_short_final=False)
+    assert "ghost" in data.functions
+    trimmed = data.drop_inactive_functions()
+    assert "ghost" not in trimmed.functions
+    assert trimmed.self_time.shape[1] == 2
+
+
+def test_spontaneous_excluded():
+    series = [({"f": 10}, {("<spontaneous>", "f"): 1})]
+    data = intervals_from_snapshots(make_snaps(series + series))
+    assert "<spontaneous>" not in data.functions
+
+
+def test_interval_gmons_kept():
+    data = intervals_from_snapshots(make_snaps(BASIC))
+    assert data.interval_gmons is not None
+    assert len(data.interval_gmons) == 3
+    assert data.interval_gmons[0].hist == {"a": 100}
+
+
+def test_function_total_seconds():
+    data = intervals_from_snapshots(make_snaps(BASIC))
+    assert data.function_total_seconds().tolist() == pytest.approx([1.5, 1.5])
+
+
+def test_shape_validation():
+    with pytest.raises(ProfileDataError):
+        IntervalData(
+            functions=["a"],
+            self_time=np.zeros((2, 1)),
+            calls=np.zeros((3, 1), dtype=np.int64),
+            timestamps=np.array([1.0, 2.0]),
+            interval=1.0,
+        )
+
+
+# ----------------------------------------------------------------------
+# text-report path
+# ----------------------------------------------------------------------
+def test_intervals_from_flat_profiles_matches_binary_path():
+    snaps = make_snaps(BASIC)
+    profiles = []
+    for snap in snaps:
+        profile = FlatProfile.from_gmon(snap)
+        profile.timestamp = snap.timestamp
+        profiles.append(profile)
+    text_data = intervals_from_flat_profiles(profiles, interval=1.0)
+    bin_data = intervals_from_snapshots(snaps)
+    assert text_data.functions == bin_data.functions
+    assert np.allclose(text_data.self_time, bin_data.self_time, atol=0.01)
+
+
+def test_flat_profiles_requires_two():
+    with pytest.raises(ProfileDataError):
+        intervals_from_flat_profiles([FlatProfile([], 0.01)])
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    increments=st.lists(
+        st.dictionaries(st.sampled_from(["f", "g", "h"]),
+                        st.integers(min_value=0, max_value=200), max_size=3),
+        min_size=2, max_size=10,
+    )
+)
+def test_differencing_property(increments):
+    """Interval matrices are non-negative and sum to the final cumulative."""
+    snaps = make_snaps([(inc, {}) for inc in increments])
+    data = intervals_from_snapshots(snaps, drop_short_final=False)
+    assert (data.self_time >= 0).all()
+    final = snaps[-1]
+    for j, func in enumerate(data.functions):
+        assert data.self_time[:, j].sum() == pytest.approx(final.self_seconds(func))

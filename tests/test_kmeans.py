@@ -1,0 +1,122 @@
+"""From-scratch k-means: correctness and invariants (incl. hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.kmeans import KMeansResult, kmeans
+from repro.util.errors import ClusteringError, ValidationError
+
+
+def blobs(seed=0, centers=((0, 0), (10, 10), (-10, 5)), n=30, spread=0.3):
+    rng = np.random.default_rng(seed)
+    points = []
+    for cx, cy in centers:
+        points.append(rng.normal((cx, cy), spread, size=(n, 2)))
+    return np.vstack(points)
+
+
+def test_recovers_well_separated_blobs():
+    points = blobs()
+    result = kmeans(points, 3, seed=1)
+    # Each blob of 30 points is one cluster.
+    sizes = sorted(result.cluster_sizes().tolist())
+    assert sizes == [30, 30, 30]
+    # Centroids near the true centers.
+    found = sorted(tuple(np.round(c).astype(int)) for c in result.centroids)
+    assert found == [(-10, 5), (0, 0), (10, 10)]
+
+
+def test_k1_exact_mean():
+    points = np.array([[0.0], [2.0], [4.0]])
+    result = kmeans(points, 1)
+    assert result.centroids[0, 0] == pytest.approx(2.0)
+    assert result.inertia == pytest.approx(8.0)
+
+
+def test_k_equals_n_zero_inertia():
+    points = np.array([[0.0, 0], [5, 5], [9, 1]])
+    result = kmeans(points, 3, seed=0)
+    assert result.inertia == pytest.approx(0.0)
+
+
+def test_more_clusters_than_points_rejected():
+    with pytest.raises(ClusteringError):
+        kmeans(np.zeros((2, 2)), 3)
+
+
+def test_invalid_args():
+    with pytest.raises(ValidationError):
+        kmeans(np.zeros((3,)), 2)
+    with pytest.raises(ValidationError):
+        kmeans(np.zeros((3, 2)), 0)
+    with pytest.raises(ValidationError):
+        kmeans(np.zeros((3, 2)), 2, n_init=0)
+
+
+def test_deterministic_with_seed():
+    points = blobs(seed=5)
+    a = kmeans(points, 3, seed=42)
+    b = kmeans(points, 3, seed=42)
+    assert np.array_equal(a.labels, b.labels)
+    assert a.inertia == b.inertia
+
+
+def test_duplicate_points_fine():
+    points = np.ones((10, 3))
+    result = kmeans(points, 2, seed=0)
+    assert result.inertia == pytest.approx(0.0)
+
+
+def test_labels_match_nearest_centroid():
+    points = blobs(seed=2)
+    result = kmeans(points, 3, seed=0)
+    dists = ((points[:, None, :] - result.centroids[None]) ** 2).sum(axis=2)
+    assert np.array_equal(result.labels, dists.argmin(axis=1))
+
+
+def test_inertia_nonincreasing_in_k():
+    points = blobs(seed=3)
+    inertias = [kmeans(points, k, seed=0, n_init=8).inertia for k in range(1, 7)]
+    for a, b in zip(inertias, inertias[1:]):
+        assert b <= a + 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    points=hnp.arrays(np.float64, shape=st.tuples(st.integers(5, 40), st.integers(1, 4)),
+                      elements=st.floats(-100, 100, allow_nan=False)),
+    k=st.integers(1, 5),
+)
+def test_kmeans_invariants(points, k):
+    """Labels valid; every cluster non-empty; inertia consistent."""
+    if points.shape[0] < k:
+        return
+    result = kmeans(points, k, seed=0, n_init=2)
+    assert result.labels.shape == (points.shape[0],)
+    assert set(np.unique(result.labels)) <= set(range(k))
+    distinct = np.unique(points, axis=0).shape[0]
+    if distinct >= k:
+        assert (result.cluster_sizes() > 0).all()
+    manual = sum(
+        ((points[result.labels == j] - result.centroids[j]) ** 2).sum()
+        for j in range(k)
+    )
+    assert result.inertia == pytest.approx(manual, rel=1e-9, abs=1e-9)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 1000))
+def test_kmeans_quality_vs_random_assignment(seed):
+    """k-means inertia beats a random partition of the same data."""
+    points = blobs(seed=seed, spread=1.0)
+    result = kmeans(points, 3, seed=0)
+    rng = np.random.default_rng(seed)
+    random_labels = rng.integers(0, 3, size=points.shape[0])
+    random_inertia = 0.0
+    for j in range(3):
+        members = points[random_labels == j]
+        if len(members):
+            random_inertia += ((members - members.mean(axis=0)) ** 2).sum()
+    assert result.inertia <= random_inertia + 1e-9

@@ -1,0 +1,132 @@
+"""k selection: variance elbow, chord elbow, silhouette."""
+
+import numpy as np
+import pytest
+
+from repro.core.kmeans import kmeans
+from repro.core.kselect import (
+    KSelection,
+    choose_k,
+    elbow_k,
+    silhouette_k,
+    silhouette_score,
+    variance_elbow_k,
+    wcss_curve,
+)
+from repro.util.errors import ClusteringError, ValidationError
+
+
+def blobs(k, n=25, spread=0.2, seed=0):
+    rng = np.random.default_rng(seed)
+    centers = rng.uniform(-50, 50, size=(k, 2))
+    return np.vstack([rng.normal(c, spread, size=(n, 2)) for c in centers])
+
+
+@pytest.mark.parametrize("true_k", [2, 3, 4, 5])
+def test_variance_elbow_finds_true_k(true_k):
+    points = blobs(true_k, seed=true_k)
+    assert choose_k(points, method="elbow", seed=1).chosen_k == true_k
+
+
+@pytest.mark.parametrize("true_k", [3, 4])
+def test_chord_elbow_finds_true_k(true_k):
+    # The chord criterion needs comparable inter-cluster separations
+    # (its known weakness with lopsided geometry), so use symmetric
+    # centers here.
+    rng = np.random.default_rng(true_k)
+    angle = 2 * np.pi * np.arange(true_k) / true_k
+    centers = 40 * np.column_stack([np.cos(angle), np.sin(angle)])
+    points = np.vstack([rng.normal(c, 0.3, size=(25, 2)) for c in centers])
+    assert choose_k(points, method="chord", seed=1).chosen_k == true_k
+
+
+@pytest.mark.parametrize("true_k", [2, 3, 4])
+def test_silhouette_finds_true_k(true_k):
+    points = blobs(true_k, seed=true_k + 20)
+    assert choose_k(points, method="silhouette", seed=1).chosen_k == true_k
+
+
+def test_wcss_curve_monotone():
+    points = blobs(3, seed=7)
+    curve = wcss_curve(points, kmax=8, seed=0)
+    inertias = [curve[k].inertia for k in sorted(curve)]
+    assert all(b <= a + 1e-9 for a, b in zip(inertias, inertias[1:]))
+
+
+def test_wcss_curve_caps_k_at_n():
+    points = np.random.default_rng(0).normal(size=(5, 2))
+    curve = wcss_curve(points, kmax=8)
+    assert sorted(curve) == [1, 2, 3, 4, 5]
+
+
+def test_chord_on_structureless_noise_picks_small_k():
+    # Pure gaussian noise has no phases; the chord elbow lands on a small
+    # k (it cannot return 1 because the WCSS curve of noise still bends).
+    points = np.random.default_rng(0).normal(size=(60, 2))
+    assert elbow_k(wcss_curve(points, seed=0)) <= 3
+
+
+def test_identical_points_k1():
+    points = np.ones((20, 2))
+    assert choose_k(points, method="elbow").chosen_k == 1
+    assert choose_k(points, method="chord").chosen_k == 1
+
+
+def test_variance_threshold_effect():
+    points = blobs(4, spread=2.0, seed=5)
+    curve = wcss_curve(points, seed=0)
+    loose = variance_elbow_k(curve, threshold=0.5)
+    strict = variance_elbow_k(curve, threshold=0.999)
+    assert loose <= strict
+
+
+def test_unknown_method_rejected():
+    with pytest.raises(ValidationError):
+        choose_k(blobs(2), method="magic")
+
+
+def test_empty_points_rejected():
+    with pytest.raises(ClusteringError):
+        wcss_curve(np.zeros((0, 2)))
+
+
+def test_selection_exposes_best_result():
+    points = blobs(3, seed=2)
+    selection = choose_k(points, seed=0)
+    assert isinstance(selection, KSelection)
+    assert selection.best.k == selection.chosen_k
+    assert selection.scores
+
+
+# ----------------------------------------------------------------------
+# silhouette internals
+# ----------------------------------------------------------------------
+def test_silhouette_perfect_separation_close_to_one():
+    points = np.vstack([np.zeros((10, 2)), np.full((10, 2), 100.0)])
+    labels = np.array([0] * 10 + [1] * 10)
+    assert silhouette_score(points, labels) > 0.99
+
+
+def test_silhouette_bad_labels_negative():
+    points = np.vstack([np.zeros((10, 2)), np.full((10, 2), 100.0)])
+    labels = np.array(([0, 1] * 5) + ([1, 0] * 5))  # scrambled
+    assert silhouette_score(points, labels) < 0.1
+
+
+def test_silhouette_requires_two_clusters():
+    with pytest.raises(ValidationError):
+        silhouette_score(np.zeros((5, 2)), np.zeros(5, dtype=int))
+
+
+def test_silhouette_singletons_contribute_zero():
+    points = np.array([[0.0, 0], [0, 0.1], [50, 50]])
+    labels = np.array([0, 0, 1])
+    score = silhouette_score(points, labels)
+    # Third point is a singleton (s=0); the others are near 1.
+    assert 0.5 < score < 1.0
+
+
+def test_silhouette_k_skips_invalid_ks():
+    points = blobs(2, n=4, seed=1)  # 8 points: k up to 7 valid
+    curve = wcss_curve(points, kmax=8, seed=0)
+    assert silhouette_k(points, curve) == 2

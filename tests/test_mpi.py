@@ -1,0 +1,63 @@
+"""Simulated MPI ranks and aggregate statistics."""
+
+import pytest
+
+from repro.apps import get_app
+from repro.incprof.session import Session, SessionConfig
+from repro.simulate.mpi import RankResult, SimComm
+from repro.util.errors import ValidationError
+
+
+def test_requires_positive_ranks():
+    with pytest.raises(ValidationError):
+        SimComm(0)
+
+
+def test_run_calls_job_per_rank():
+    comm = SimComm(4)
+    results = comm.run(lambda rank: RankResult(rank=rank, runtime=10.0 + rank))
+    assert [r.rank for r in results] == [0, 1, 2, 3]
+
+
+def test_runtime_stats():
+    results = [RankResult(rank=i, runtime=r) for i, r in enumerate([10, 11, 12, 13])]
+    stats = SimComm.runtime_stats(results)
+    assert stats["mean"] == pytest.approx(11.5)
+    assert stats["min"] == 10 and stats["max"] == 13
+    assert stats["imbalance"] == pytest.approx(3 / 11.5)
+
+
+def test_is_symmetric():
+    even = [RankResult(rank=i, runtime=100.0) for i in range(4)]
+    skewed = [RankResult(rank=0, runtime=100.0), RankResult(rank=1, runtime=150.0)]
+    assert SimComm.is_symmetric(even)
+    assert not SimComm.is_symmetric(skewed)
+
+
+def test_overhead_stats():
+    results = [
+        RankResult(rank=0, runtime=100.0, total_overhead=5.0),
+        RankResult(rank=1, runtime=100.0, total_overhead=15.0),
+    ]
+    stats = SimComm.overhead_stats(results)
+    assert stats["mean_seconds"] == pytest.approx(10.0)
+    assert stats["mean_fraction"] == pytest.approx(0.1)
+
+
+def test_multirank_session_symmetric():
+    """All ranks of a symmetric app behave alike (paper's premise)."""
+    result = Session(get_app("graph500"),
+                     SessionConfig(ranks=3, scale=0.15)).run()
+    assert len(result.per_rank) == 3
+    assert SimComm.is_symmetric(result.per_rank, tolerance=0.15)
+    # Each rank produced its own sample stream.
+    for rank_result in result.per_rank:
+        assert len(rank_result.samples) >= 2
+        assert rank_result.samples[0].rank == rank_result.rank
+
+
+def test_ranks_have_distinct_noise_streams():
+    result = Session(get_app("graph500"),
+                     SessionConfig(ranks=2, scale=0.15)).run()
+    r0, r1 = result.per_rank
+    assert r0.runtime != r1.runtime  # jittered durations differ per rank

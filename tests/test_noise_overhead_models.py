@@ -1,0 +1,68 @@
+"""Cost and noise models."""
+
+import numpy as np
+import pytest
+
+from repro.simulate.noise import NoiseModel
+from repro.simulate.overhead import CostModel
+from repro.util.errors import ValidationError
+
+
+def test_disabled_costmodel_all_zero():
+    cost = CostModel.disabled()
+    assert not cost.enabled
+    assert cost.per_call == 0.0
+    assert cost.per_dump == 0.0
+
+
+def test_gprof_defaults_enabled():
+    cost = CostModel.gprof_defaults()
+    assert cost.enabled
+    assert cost.per_call > 0
+
+
+def test_heartbeat_only_has_no_gprof_costs():
+    cost = CostModel.heartbeat_only()
+    assert cost.per_call == 0.0
+    assert cost.per_dump == 0.0
+    assert cost.per_heartbeat_event > 0
+
+
+def test_with_overrides():
+    cost = CostModel.gprof_defaults().with_overrides(per_dump=1.0)
+    assert cost.per_dump == 1.0
+    assert cost.per_call == CostModel.gprof_defaults().per_call
+
+
+def test_noise_quiet_is_identity():
+    model = NoiseModel.quiet()
+    rng = np.random.default_rng(0)
+    assert model.apply(100.0, rng, instrumented=False) == 100.0
+
+
+def test_noise_jitter_centered():
+    model = NoiseModel(sigma=0.01)
+    rng = np.random.default_rng(0)
+    draws = [model.jitter(rng) for _ in range(2000)]
+    assert np.mean(draws) == pytest.approx(1.0, abs=0.002)
+    assert np.std(draws) == pytest.approx(0.01, abs=0.002)
+
+
+def test_systematic_bias_applied_only_when_instrumented():
+    model = NoiseModel(sigma=0.0, systematic_bias=-0.06)
+    rng = np.random.default_rng(0)
+    assert model.apply(100.0, rng, instrumented=True) == pytest.approx(94.0)
+    assert model.apply(100.0, rng, instrumented=False) == pytest.approx(100.0)
+
+
+def test_noise_validation():
+    with pytest.raises(ValidationError):
+        NoiseModel(sigma=-0.1)
+    with pytest.raises(ValidationError):
+        NoiseModel(systematic_bias=-1.5)
+
+
+def test_jitter_clamped_below():
+    model = NoiseModel(sigma=10.0)  # absurd sigma: clamp kicks in
+    rng = np.random.default_rng(3)
+    assert all(model.jitter(rng) >= 0.5 for _ in range(100))

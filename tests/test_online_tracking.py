@@ -1,0 +1,120 @@
+"""Online phase tracking on deployment-style snapshot streams."""
+
+import numpy as np
+import pytest
+
+from repro.apps import get_app
+from repro.core.online import NOVEL, OnlinePhaseTracker
+from repro.core.pipeline import analyze_snapshots
+from repro.gprof.gmon import GmonData
+from repro.incprof.session import Session, SessionConfig
+from repro.util.errors import ValidationError
+
+
+@pytest.fixture(scope="module")
+def trained():
+    """Tracker trained on one synthetic run, plus its analysis."""
+    session = Session(get_app("synthetic"), SessionConfig(ranks=1, seed=111))
+    samples = session.run().samples(0)
+    analysis = analyze_snapshots(samples)
+    tracker = OnlinePhaseTracker.from_analysis(analysis)
+    return analysis, tracker
+
+
+def test_training_run_reclassifies_to_itself(trained):
+    """Feeding the training snapshots back reproduces the phase labels
+    almost everywhere (boundary intervals may gate out)."""
+    analysis, _ = trained
+    tracker = OnlinePhaseTracker.from_analysis(analysis)
+    data = analysis.interval_data
+    matches = 0
+    for i in range(data.n_intervals):
+        profile = {f: data.self_time[i, j] for j, f in enumerate(data.functions)}
+        tracked = tracker.classify(profile)
+        if tracked.phase_id == analysis.phase_model.labels[i]:
+            matches += 1
+    assert matches / data.n_intervals > 0.9
+
+
+def test_second_seed_run_tracks_same_phases(trained):
+    """A fresh run of the same workload classifies with few novelties."""
+    _, tracker_proto = trained
+    analysis, _ = trained
+    tracker = OnlinePhaseTracker.from_analysis(analysis)
+    session = Session(get_app("synthetic"), SessionConfig(ranks=1, seed=202))
+    for snapshot in session.run().samples(0):
+        tracker.observe_snapshot(snapshot)
+    assert tracker.history  # first snapshot primes, rest classify
+    assert tracker.novel_fraction() < 0.15
+    assert set(tracker.phase_sequence()) - {NOVEL} != set()
+
+
+def test_novel_behavior_flagged(trained):
+    analysis, _ = trained
+    tracker = OnlinePhaseTracker.from_analysis(analysis)
+    tracked = tracker.classify({"totally_new_function": 1.0})
+    assert tracked.is_novel
+    assert tracked.phase_id == NOVEL
+
+
+def test_unknown_functions_ignored_in_vectorization(trained):
+    analysis, _ = trained
+    tracker = OnlinePhaseTracker.from_analysis(analysis)
+    data = analysis.interval_data
+    profile = {f: data.self_time[5, j] for j, f in enumerate(data.functions)}
+    base = tracker.classify(dict(profile))
+    profile["alien"] = 0.0
+    with_alien = tracker.classify(profile)
+    assert base.phase_id == with_alien.phase_id
+
+
+def test_observe_snapshot_differences_stream(trained):
+    analysis, _ = trained
+    tracker = OnlinePhaseTracker.from_analysis(analysis)
+    cum = GmonData()
+    cum.add_ticks("kernel", 85)
+    cum.add_ticks("reduce", 10)
+    first = cum.copy()
+    first.timestamp = 1.0
+    assert tracker.observe_snapshot(first) is None  # primes
+    cum.add_ticks("kernel", 85)
+    cum.add_ticks("reduce", 10)
+    second = cum.copy()
+    second.timestamp = 2.0
+    tracked = tracker.observe_snapshot(second)
+    assert tracked is not None
+    # ~0.85s kernel + 0.1s reduce is the compute phase of the script.
+    assert not tracked.is_novel
+    assert tracked.phase_id == tracked.nearest_phase
+
+
+def test_transitions_reported(trained):
+    analysis, _ = trained
+    tracker = OnlinePhaseTracker.from_analysis(analysis)
+    data = analysis.interval_data
+    for i in range(data.n_intervals):
+        profile = {f: data.self_time[i, j] for j, f in enumerate(data.functions)}
+        tracker.classify(profile)
+    transitions = tracker.transitions()
+    # The synthetic staircase has >= 3 phase changes.
+    assert len(transitions) >= 3
+    for index, src, dst in transitions:
+        assert src != dst
+        assert 0 < index < data.n_intervals
+
+
+def test_invalid_training_parameters(trained):
+    analysis, _ = trained
+    with pytest.raises(ValidationError):
+        OnlinePhaseTracker.from_analysis(analysis, quantile=0.0)
+    with pytest.raises(ValidationError):
+        OnlinePhaseTracker.from_analysis(analysis, slack=0.0)
+
+
+def test_constructor_shape_validation():
+    with pytest.raises(ValidationError):
+        OnlinePhaseTracker(functions=["f"], centroids=np.zeros((2, 2)),
+                           gates=np.zeros(2))
+    with pytest.raises(ValidationError):
+        OnlinePhaseTracker(functions=["f"], centroids=np.zeros((2, 1)),
+                           gates=np.zeros(3))

@@ -1,0 +1,67 @@
+"""Outlier-interval classification."""
+
+import numpy as np
+import pytest
+
+from repro.core.intervals import IntervalData
+from repro.core.outliers import analyze_outliers
+from repro.core.pipeline import AnalysisConfig, analyze_intervals, analyze_snapshots
+from repro.gprof.gmon import GmonData
+
+
+def build_snaps(rows):
+    """rows: per-interval {func: ticks} increments."""
+    snaps = []
+    cum = GmonData()
+    for i, row in enumerate(rows):
+        for func, ticks in row.items():
+            cum.add_ticks(func, ticks)
+        snap = cum.copy()
+        snap.timestamp = float(i + 1)
+        snaps.append(snap)
+    return snaps
+
+
+def test_idle_outliers_classified():
+    rows = [{"f": 100}] * 10 + [{}] * 2 + [{"f": 100}] * 10
+    analysis = analyze_snapshots(build_snaps(rows))
+    report = analyze_outliers(analysis)
+    kinds = report.by_kind()
+    assert kinds["idle"] == 2
+    assert report.uncovered_pct == pytest.approx(100 * 2 / 22)
+
+
+def test_unique_outliers_expose_candidate_sites():
+    # 40 main intervals, 1 odd interval with a function selected nowhere
+    # (under the 95% threshold it stays uncovered).
+    rows = [{"f": 100}] * 40 + [{"weird_fn": 100}] + [{"f": 100}] * 20
+    analysis = analyze_snapshots(build_snaps(rows))
+    report = analyze_outliers(analysis)
+    if report.outliers:  # threshold skipped it
+        assert report.unique_functions() == ["weird_fn"]
+        assert report.by_kind()["unique"] == 1
+
+
+def test_fully_covered_run_no_outliers():
+    rows = [{"f": 100}] * 20
+    analysis = analyze_snapshots(build_snaps(rows))
+    report = analyze_outliers(analysis)
+    assert report.outliers == ()
+    assert report.uncovered_pct == 0.0
+
+
+def test_real_app_outliers_reported(graph500_samples):
+    analysis = analyze_snapshots(graph500_samples)
+    report = analyze_outliers(analysis)
+    # Coverage threshold 95%: a few percent may remain uncovered.
+    assert report.uncovered_pct < 10.0
+    for outlier in report.outliers:
+        assert outlier.kind in ("idle", "foreign", "unique")
+        assert 0 <= outlier.interval < analysis.interval_data.n_intervals
+
+
+def test_outliers_sorted_by_interval(graph500_samples):
+    analysis = analyze_snapshots(graph500_samples)
+    report = analyze_outliers(analysis)
+    intervals = [o.interval for o in report.outliers]
+    assert intervals == sorted(intervals)

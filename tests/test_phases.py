@@ -1,0 +1,85 @@
+"""Phase model construction and ordering."""
+
+import numpy as np
+import pytest
+
+from repro.core.model import Phase
+from repro.core.phases import PhaseModel, detect_phases, phases_from_labels
+from repro.core.kselect import choose_k
+from repro.util.errors import ValidationError
+
+
+def blobs(sizes, seed=0):
+    rng = np.random.default_rng(seed)
+    points, labels = [], []
+    for idx, size in enumerate(sizes):
+        center = np.array([idx * 20.0, -idx * 20.0])
+        points.append(rng.normal(center, 0.1, size=(size, 2)))
+        labels.extend([idx] * size)
+    return np.vstack(points), np.array(labels)
+
+
+def test_detect_phases_counts_and_labels():
+    points, _true = blobs([30, 20, 10])
+    model = detect_phases(points, seed=0)
+    assert model.n_phases == 3
+    assert model.labels.shape == (60,)
+    assert model.n_intervals == 60
+
+
+def test_phases_ordered_by_size_desc():
+    points, _true = blobs([10, 30, 20], seed=1)
+    model = detect_phases(points, seed=0)
+    assert model.sizes() == [30, 20, 10]
+    assert model.phases[0].phase_id == 0
+
+
+def test_phase_membership_consistent_with_labels():
+    points, _ = blobs([15, 15], seed=2)
+    model = detect_phases(points, seed=0)
+    for phase in model.phases:
+        for interval in phase.interval_indices:
+            assert model.phase_of_interval(interval) == phase.phase_id
+
+
+def test_phase_fraction():
+    phase = Phase(phase_id=0, interval_indices=(0, 1, 2))
+    assert phase.fraction_of(12) == pytest.approx(0.25)
+    assert phase.fraction_of(0) == 0.0
+    assert len(phase) == 3
+
+
+def test_centroid_stored_per_phase():
+    points, _ = blobs([20, 20], seed=3)
+    model = detect_phases(points, seed=0)
+    for phase in model.phases:
+        members = points[list(phase.interval_indices)]
+        assert np.allclose(phase.centroid, members.mean(axis=0), atol=0.2)
+
+
+def test_empty_features_rejected():
+    with pytest.raises(ValidationError):
+        detect_phases(np.zeros((0, 2)))
+    with pytest.raises(ValidationError):
+        detect_phases(np.zeros(5))
+
+
+def test_phases_from_labels_tie_broken_by_first_appearance():
+    points = np.array([[0.0, 0], [0, 0], [10, 10], [10, 10]])
+    selection = choose_k(points, kmax=2, seed=0)
+    model = phases_from_labels(selection.best.labels, selection.best.centroids, selection)
+    # Equal sizes: the cluster containing interval 0 becomes phase 0.
+    assert 0 in model.phases[0].interval_indices
+
+
+def test_merged_by_site_equivalence():
+    points, _ = blobs([10, 10], seed=4)
+    model = detect_phases(points, seed=0)
+    groups = model.merged_by_site_equivalence(
+        {0: frozenset({"f"}), 1: frozenset({"f"})}
+    )
+    assert groups == [[0, 1]]
+    groups = model.merged_by_site_equivalence(
+        {0: frozenset({"f"}), 1: frozenset({"g"})}
+    )
+    assert sorted(groups) == [[0], [1]]

@@ -1,0 +1,101 @@
+"""End-to-end analysis pipeline on collected runs."""
+
+import numpy as np
+import pytest
+
+from repro.core.model import InstType
+from repro.core.pipeline import AnalysisConfig, analyze_intervals, analyze_snapshots
+from repro.core.report import kcurve_table, phases_summary_table, render_full_report, sites_table
+from repro.apps import get_app
+
+
+def test_analyze_snapshots_end_to_end(graph500_samples):
+    analysis = analyze_snapshots(graph500_samples)
+    assert analysis.n_phases == 4
+    assert analysis.sites()
+    # Every selected function is a real attribute dimension.
+    for selected in analysis.sites():
+        assert selected.function in analysis.interval_data.functions
+
+
+def test_site_labels(graph500_samples):
+    analysis = analyze_snapshots(graph500_samples)
+    labels = analysis.site_labels()
+    assert set(labels) == {s.hb_id for s in analysis.sites()}
+
+
+def test_phase_fractions_sum_to_one(graph500_samples):
+    analysis = analyze_snapshots(graph500_samples)
+    total = sum(analysis.phase_fraction(p) for p in range(analysis.n_phases))
+    assert total == pytest.approx(1.0)
+
+
+def test_via_text_reports_path_agrees(graph500_samples):
+    binary = analyze_snapshots(graph500_samples)
+    text = analyze_snapshots(graph500_samples, AnalysisConfig(via_text_reports=True))
+    assert text.n_phases == binary.n_phases
+    assert {s.site for s in text.sites()} == {s.site for s in binary.sites()}
+
+
+def test_deterministic_given_seed(graph500_samples):
+    a = analyze_snapshots(graph500_samples)
+    b = analyze_snapshots(graph500_samples)
+    assert np.array_equal(a.phase_model.labels, b.phase_model.labels)
+    assert [s.site for s in a.sites()] == [s.site for s in b.sites()]
+
+
+def test_coverage_threshold_flows_through(graph500_samples):
+    strict = analyze_snapshots(graph500_samples, AnalysisConfig(coverage_threshold=1.0))
+    default = analyze_snapshots(graph500_samples)
+    assert len(strict.sites()) >= len(default.sites())
+
+
+def test_kmax_limits_phase_count(graph500_samples):
+    analysis = analyze_snapshots(graph500_samples, AnalysisConfig(kmax=2))
+    assert analysis.n_phases <= 2
+
+
+def test_analyze_intervals_direct(graph500_samples):
+    from repro.core.intervals import intervals_from_snapshots
+
+    data = intervals_from_snapshots(graph500_samples)
+    analysis = analyze_intervals(data)
+    assert analysis.n_phases == 4
+
+
+# ----------------------------------------------------------------------
+# report rendering
+# ----------------------------------------------------------------------
+def test_sites_table_contains_all_rows(graph500_samples):
+    analysis = analyze_snapshots(graph500_samples)
+    app = get_app("graph500")
+    text = sites_table(analysis, manual_sites=app.manual_sites).render()
+    for selected in analysis.sites():
+        assert selected.function in text
+    assert "Manual Instrumentation Sites" in text
+    assert "generate_kronecker_range" in text
+
+
+def test_phase_summary_table(graph500_samples):
+    analysis = analyze_snapshots(graph500_samples)
+    text = phases_summary_table(analysis).render()
+    assert text.count("\n") >= analysis.n_phases
+
+
+def test_kcurve_table_marks_chosen(graph500_samples):
+    analysis = analyze_snapshots(graph500_samples)
+    text = kcurve_table(analysis).render()
+    assert "<--" in text
+
+
+def test_full_report(graph500_samples):
+    analysis = analyze_snapshots(graph500_samples)
+    text = render_full_report(analysis, "graph500")
+    assert "GRAPH500" in text
+    assert "k-means sweep" in text
+
+
+def test_inst_types_valid(graph500_samples):
+    analysis = analyze_snapshots(graph500_samples)
+    for selected in analysis.sites():
+        assert selected.inst_type in (InstType.BODY, InstType.LOOP)

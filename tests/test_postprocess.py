@@ -1,0 +1,66 @@
+"""Phase merging (the paper's suggested post-processing)."""
+
+import pytest
+
+from repro.core.postprocess import merge_equivalent_phases
+from repro.eval.experiments import run_experiment
+
+
+@pytest.fixture(scope="module")
+def lammps_result():
+    return run_experiment("lammps")
+
+
+@pytest.fixture(scope="module")
+def minife_result():
+    return run_experiment("minife")
+
+
+def test_lammps_compute_phases_merge(lammps_result):
+    """Paper Table V: phases 0 and 2 (both PairLJCut::compute) 'should
+    really be identified as a single phase' — merging does exactly that."""
+    merged = merge_equivalent_phases(lammps_result.analysis)
+    assert merged.n_original == 4
+    assert merged.merges_applied() >= 1
+    compute_groups = [g for g in merged.merged
+                      if g.functions == frozenset({"PairLJCut::compute"})]
+    assert len(compute_groups) == 1
+    assert compute_groups[0].was_merged
+    assert len(compute_groups[0].phase_ids) == 2
+
+
+def test_merged_share_is_sum_of_members(lammps_result):
+    merged = merge_equivalent_phases(lammps_result.analysis)
+    total_intervals = lammps_result.analysis.interval_data.n_intervals
+    for group in merged.merged:
+        assert group.app_pct == pytest.approx(
+            100.0 * len(group.interval_indices) / total_intervals
+        )
+    assert sum(g.app_pct for g in merged.merged) == pytest.approx(100.0)
+
+
+def test_intervals_partition_preserved(lammps_result):
+    merged = merge_equivalent_phases(lammps_result.analysis)
+    seen = [i for g in merged.merged for i in g.interval_indices]
+    assert len(seen) == len(set(seen)) == lammps_result.analysis.interval_data.n_intervals
+
+
+def test_distinct_phases_not_merged(minife_result):
+    """MiniFE's five phases have distinct site sets: nothing merges."""
+    merged = merge_equivalent_phases(minife_result.analysis)
+    assert merged.n_phases == merged.n_original == 5
+    assert all(not g.was_merged for g in merged.merged)
+
+
+def test_merged_ordering_by_size(lammps_result):
+    merged = merge_equivalent_phases(lammps_result.analysis)
+    sizes = [len(g.interval_indices) for g in merged.merged]
+    assert sizes == sorted(sizes, reverse=True)
+    assert [g.merged_id for g in merged.merged] == list(range(len(sizes)))
+
+
+def test_sites_union_deduplicated(lammps_result):
+    merged = merge_equivalent_phases(lammps_result.analysis)
+    for group in merged.merged:
+        assert len(group.sites) == len(set(group.sites))
+        assert {s.function for s in group.sites} == set(group.functions)

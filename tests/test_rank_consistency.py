@@ -1,0 +1,59 @@
+"""Cross-rank analysis consistency (the symmetric-parallel premise)."""
+
+import pytest
+
+from repro.apps import get_app
+from repro.eval.rank_consistency import RankConsistency, analyze_all_ranks
+from repro.util.errors import ValidationError
+
+
+@pytest.fixture(scope="module")
+def graph500_consistency():
+    return analyze_all_ranks(get_app("graph500"), ranks=4, scale=0.5)
+
+
+def test_all_ranks_analyzed(graph500_consistency):
+    assert graph500_consistency.n_ranks == 4
+    assert len(graph500_consistency.phase_counts) == 4
+    assert len(graph500_consistency.site_sets) == 4
+
+
+def test_phase_counts_mostly_agree(graph500_consistency):
+    """Symmetric ranks should produce (near-)identical phase counts."""
+    assert graph500_consistency.phase_count_agreement >= 0.75
+
+
+def test_site_sets_similar_across_ranks(graph500_consistency):
+    assert graph500_consistency.mean_site_jaccard() >= 0.5
+
+
+def test_common_sites_include_dominant_function(graph500_consistency):
+    functions = {f for f, _t in graph500_consistency.common_sites()}
+    assert "validate_bfs_result" in functions
+
+
+def test_runtime_imbalance_small(graph500_consistency):
+    # Graph500's bimodal search durations make it the most rank-variable
+    # of the workloads; symmetric still means within ~15%.
+    assert graph500_consistency.runtime_imbalance < 0.15
+
+
+def test_table_renders(graph500_consistency):
+    text = graph500_consistency.to_table().render()
+    assert "per-rank analysis agreement" in text
+    assert text.count("\n") >= 4
+
+
+def test_single_rank_degenerate():
+    consistency = analyze_all_ranks(get_app("miniamr"), ranks=1, scale=0.3)
+    assert consistency.phase_count_agreement == 1.0
+    assert consistency.mean_site_jaccard() == 1.0
+
+
+def test_ranks_validated():
+    with pytest.raises(ValidationError):
+        analyze_all_ranks(get_app("miniamr"), ranks=0)
+
+
+def test_modal_phase_count(graph500_consistency):
+    assert graph500_consistency.modal_phase_count in graph500_consistency.phase_counts

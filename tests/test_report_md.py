@@ -1,0 +1,48 @@
+"""Markdown reproduction report."""
+
+import pytest
+
+from repro.apps import paper_app_names
+from repro.eval.report_md import render_markdown_report, write_markdown_report
+
+
+@pytest.fixture(scope="module")
+def report(experiments):
+    return render_markdown_report(experiments)
+
+
+def test_report_has_all_sections(report):
+    assert report.startswith("# IncProf reproduction report")
+    assert "## Table I — overview" in report
+    for name in paper_app_names():
+        assert f"## {name}" in report
+
+
+def test_report_contains_paper_and_ours(report):
+    assert "TABLE I — paper vs reproduced" in report
+    assert "(paper)" in report
+
+
+def test_report_mentions_extensions(report):
+    assert "Call-graph lifts" in report
+    assert "Phase merging" in report
+    assert "Outliers" in report
+
+
+def test_report_figure_summaries(report):
+    for number in (2, 3, 4, 5, 6):
+        assert f"Figure {number} summary" in report
+
+
+def test_write_report(tmp_path, experiments):
+    path = write_markdown_report(tmp_path / "REPORT.md", experiments)
+    assert path.exists()
+    assert path.read_text().startswith("# IncProf")
+
+
+def test_cli_report_all(tmp_path, capsys, experiments):
+    from repro.cli import main
+
+    out = tmp_path / "r.md"
+    assert main(["report-all", "--out", str(out)]) == 0
+    assert out.exists()

@@ -1,0 +1,31 @@
+"""Full gprof report rendering and the flat-profile parse path."""
+
+import pytest
+
+from repro.gprof.gmon import GmonData
+from repro.gprof.reports import parse_flat_profile, render_gprof_report
+
+
+def sample():
+    data = GmonData()
+    data.add_ticks("kernel", 250)
+    data.add_arc("main", "kernel", 10)
+    return data
+
+
+def test_report_has_both_sections():
+    text = render_gprof_report(sample())
+    assert "Flat profile:" in text
+    assert "Call graph" in text
+
+
+def test_report_flat_only():
+    text = render_gprof_report(sample(), include_callgraph=False)
+    assert "Call graph" not in text
+
+
+def test_parse_extracts_flat_section():
+    text = render_gprof_report(sample())
+    profile = parse_flat_profile(text)
+    assert profile.self_seconds("kernel") == pytest.approx(2.5)
+    assert profile.calls("kernel") == 10

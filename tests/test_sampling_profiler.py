@@ -1,0 +1,132 @@
+"""Virtual PC-sampling profiler: exact tick accounting, snapshots, jitter."""
+
+import numpy as np
+import pytest
+
+from repro.profiler.sampling import SamplingProfiler, ticks_in_segment
+from repro.simulate.engine import Engine, SimFunction
+from repro.util.errors import ValidationError
+
+
+def test_ticks_in_segment_exact():
+    assert ticks_in_segment(0.0, 1.0, 0.01) == 100
+    assert ticks_in_segment(0.005, 0.015, 0.01) == 1
+    assert ticks_in_segment(0.0, 0.009, 0.01) == 0
+
+
+def test_ticks_boundary_belongs_to_ending_segment():
+    # A sample instant exactly at t belongs to the segment ending at t.
+    assert ticks_in_segment(0.0, 0.01, 0.01) == 1
+    assert ticks_in_segment(0.01, 0.02, 0.01) == 1
+
+
+def test_ticks_float_robustness():
+    total = sum(ticks_in_segment(i * 0.03, (i + 1) * 0.03, 0.01) for i in range(100))
+    assert total == 300
+
+
+def test_ticks_invalid_segment():
+    with pytest.raises(ValidationError):
+        ticks_in_segment(1.0, 0.5, 0.01)
+
+
+def test_profiler_accumulates_function_time():
+    engine = Engine()
+    profiler = SamplingProfiler()
+    engine.add_observer(profiler)
+    child = SimFunction("child", lambda ctx: ctx.work(0.5))
+
+    def main(ctx):
+        ctx.work(1.0)
+        ctx.call(child)
+
+    engine.run(SimFunction("main", main))
+    snap = profiler.snapshot(engine.clock.now)
+    assert snap.self_seconds("main") == pytest.approx(1.0, abs=0.011)
+    assert snap.self_seconds("child") == pytest.approx(0.5, abs=0.011)
+    assert snap.calls_into("child") == 1
+
+
+def test_split_segments_lose_no_ticks():
+    """Splitting work at arbitrary boundaries must conserve samples."""
+    engine = Engine()
+    profiler = SamplingProfiler()
+    engine.add_observer(profiler)
+    # Trigger every 0.037s forces many odd segment splits.
+    engine.clock.schedule_every(0.037, lambda t: None)
+    engine.run(SimFunction("main", lambda ctx: ctx.work(2.0)))
+    snap = profiler.snapshot(engine.clock.now)
+    assert snap.hist["main"] == 200
+
+
+def test_snapshot_is_independent_copy():
+    engine = Engine()
+    profiler = SamplingProfiler()
+    engine.add_observer(profiler)
+    engine.run(SimFunction("main", lambda ctx: ctx.work(0.2)))
+    snap1 = profiler.snapshot(0.2)
+    engine.run(SimFunction("main", lambda ctx: ctx.work(0.2)))
+    snap2 = profiler.snapshot(0.4)
+    assert snap2.hist["main"] > snap1.hist["main"]
+
+
+def test_snapshot_timestamp():
+    profiler = SamplingProfiler()
+    assert profiler.snapshot(12.5).timestamp == 12.5
+
+
+def test_idle_time_unattributed():
+    engine = Engine()
+    profiler = SamplingProfiler()
+    engine.add_observer(profiler)
+
+    def main(ctx):
+        ctx.work(0.3)
+        ctx.idle(0.7)
+
+    engine.run(SimFunction("main", main))
+    snap = profiler.snapshot(engine.clock.now)
+    assert snap.total_seconds() == pytest.approx(0.3, abs=0.011)
+
+
+def test_reset():
+    profiler = SamplingProfiler()
+    profiler.on_work("f", 0.0, 1.0)
+    profiler.reset()
+    assert profiler.snapshot(0.0).hist == {}
+    assert profiler.total_samples == 0
+
+
+def test_jitter_perturbs_but_preserves_scale():
+    rng = np.random.default_rng(1)
+    profiler = SamplingProfiler(jitter_sigma=0.2, rng=rng)
+    for i in range(50):
+        profiler.on_work("f", i * 1.0, i * 1.0 + 1.0)
+    ticks = profiler.snapshot(50.0).hist["f"]
+    assert ticks != 5000  # essentially certain with sigma=0.2
+    assert abs(ticks - 5000) < 500
+
+
+def test_jitter_never_fabricates_activity():
+    rng = np.random.default_rng(2)
+    profiler = SamplingProfiler(jitter_sigma=5.0, rng=rng)
+    for _ in range(100):
+        profiler.on_work("quiet", 0.0, 0.004)  # zero ticks each time
+    assert "quiet" not in profiler.snapshot(1.0).hist
+
+
+def test_jitter_deterministic_under_seeded_rng():
+    def run(seed):
+        profiler = SamplingProfiler(jitter_sigma=0.3, rng=np.random.default_rng(seed))
+        for i in range(20):
+            profiler.on_work("f", i * 0.5, i * 0.5 + 0.5)
+        return profiler.snapshot(10.0).hist["f"]
+
+    assert run(7) == run(7)
+
+
+def test_invalid_parameters():
+    with pytest.raises(ValidationError):
+        SamplingProfiler(sample_period=0.0)
+    with pytest.raises(ValidationError):
+        SamplingProfiler(jitter_sigma=-0.1)

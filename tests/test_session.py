@@ -1,0 +1,88 @@
+"""Session orchestration: collection, heartbeats, costs, storage."""
+
+import pytest
+
+from repro.apps import get_app
+from repro.core.model import InstType, Site
+from repro.heartbeat.instrument import bindings_from_sites
+from repro.incprof.session import Session, SessionConfig
+from repro.incprof.storage import SampleStore
+from repro.util.errors import ValidationError
+
+
+def test_config_validation():
+    with pytest.raises(ValidationError):
+        SessionConfig(interval=0.0)
+    with pytest.raises(ValidationError):
+        SessionConfig(scale=-1.0)
+
+
+def test_collection_produces_samples():
+    result = Session(get_app("graph500"), SessionConfig(ranks=1, scale=0.2)).run()
+    samples = result.samples(0)
+    assert len(samples) >= 5
+    assert samples[0].timestamp == pytest.approx(1.0)
+
+
+def test_seed_determinism():
+    def run():
+        return Session(get_app("graph500"),
+                       SessionConfig(ranks=1, scale=0.2, seed=9)).run()
+
+    a, b = run(), run()
+    assert a.runtime == b.runtime
+    assert a.samples(0)[-1].hist == b.samples(0)[-1].hist
+
+
+def test_different_seeds_differ():
+    def run(seed):
+        return Session(get_app("graph500"),
+                       SessionConfig(ranks=1, scale=0.2, seed=seed)).run()
+
+    assert run(1).runtime != run(2).runtime
+
+
+def test_costs_lengthen_runtime():
+    plain = Session(get_app("graph500"),
+                    SessionConfig(ranks=1, scale=0.2, charge_costs=False)).run()
+    instrumented = Session(get_app("graph500"),
+                           SessionConfig(ranks=1, scale=0.2, charge_costs=True)).run()
+    assert instrumented.runtime > plain.runtime
+    assert instrumented.rank0.total_overhead > 0
+
+
+def test_no_profiles_mode():
+    result = Session(get_app("graph500"),
+                     SessionConfig(ranks=1, scale=0.2, collect_profiles=False)).run()
+    assert result.samples(0) == []
+
+
+def test_heartbeat_sites_produce_records():
+    app = get_app("graph500")
+    bindings = bindings_from_sites(app.manual_sites)
+    result = Session(app, SessionConfig(ranks=1, scale=0.2,
+                                        heartbeat_sites=bindings)).run()
+    records = result.heartbeat_records(0)
+    assert records
+    ids = {r.hb_id for r in records}
+    assert ids <= {b.hb_id for b in bindings}
+
+
+def test_store_dir_persists(tmp_path):
+    Session(get_app("graph500"),
+            SessionConfig(ranks=1, scale=0.2, store_dir=tmp_path)).run()
+    assert SampleStore(tmp_path).load_rank(0)
+
+
+def test_default_ranks_from_app():
+    app = get_app("graph500")  # paper config: 1 rank
+    result = Session(app, SessionConfig(scale=0.15)).run()
+    assert len(result.per_rank) == app.default_ranks
+
+
+def test_loop_sites_record_heartbeats():
+    app = get_app("minife")
+    bindings = bindings_from_sites([Site("cg_solve", InstType.LOOP)])
+    result = Session(app, SessionConfig(ranks=1, scale=0.05,
+                                        heartbeat_sites=bindings)).run()
+    assert any(r.hb_id == 1 for r in result.heartbeat_records(0))

@@ -1,0 +1,121 @@
+"""SIGPROF statistical sampler on real CPU-bound code."""
+
+import math
+import threading
+import time
+
+import pytest
+
+from repro.profiler.sigprof import SigprofSampler
+from repro.util.errors import CollectorError, ValidationError
+
+
+def spin(seconds: float) -> float:
+    """CPU-bound work (ITIMER_PROF only ticks on CPU time)."""
+    total = 0.0
+    end = time.process_time() + seconds
+    while time.process_time() < end:
+        total += math.sqrt(total + 2.0)
+    return total
+
+
+def hot_spin():
+    return spin(0.25)
+
+
+def cold_spin():
+    return spin(0.05)
+
+
+def test_samples_land_in_hot_function():
+    sampler = SigprofSampler(sample_period=0.005)
+    with sampler:
+        hot_spin()
+        cold_spin()
+    snap = sampler.snapshot()
+    # Samples attribute to spin (the innermost matching frame).
+    assert sampler.total_samples >= 20
+    assert snap.hist.get("spin", 0) >= 20
+
+
+def test_name_filter_walks_to_matching_ancestor():
+    sampler = SigprofSampler(sample_period=0.005,
+                             name_filter=lambda n: n in ("hot_spin", "cold_spin"))
+    with sampler:
+        hot_spin()
+        cold_spin()
+    snap = sampler.snapshot()
+    assert snap.hist.get("hot_spin", 0) > snap.hist.get("cold_spin", 0)
+    assert "spin" not in snap.hist
+
+
+def test_sampling_roughly_proportional():
+    sampler = SigprofSampler(sample_period=0.002,
+                             name_filter=lambda n: n in ("hot_spin", "cold_spin"))
+    with sampler:
+        hot_spin()   # ~0.25s CPU
+        cold_spin()  # ~0.05s CPU
+    snap = sampler.snapshot()
+    hot = snap.hist.get("hot_spin", 0)
+    cold = max(1, snap.hist.get("cold_spin", 0))
+    # 5x CPU ratio: allow generous statistical slack.
+    assert hot / cold > 2.0
+
+
+def test_blocked_time_unsampled():
+    """ITIMER_PROF counts CPU time: sleeping gets (almost) no samples."""
+    sampler = SigprofSampler(sample_period=0.005)
+    with sampler:
+        time.sleep(0.2)
+    assert sampler.total_samples <= 3
+
+
+def test_double_start_rejected():
+    sampler = SigprofSampler()
+    sampler.start()
+    try:
+        with pytest.raises(CollectorError):
+            sampler.start()
+    finally:
+        sampler.stop()
+
+
+def test_must_start_on_main_thread():
+    sampler = SigprofSampler()
+    failures = []
+
+    def worker():
+        try:
+            sampler.start()
+        except CollectorError:
+            failures.append(True)
+
+    thread = threading.Thread(target=worker)
+    thread.start()
+    thread.join()
+    assert failures == [True]
+
+
+def test_stop_idempotent():
+    sampler = SigprofSampler()
+    sampler.stop()  # never started: no-op
+
+
+def test_reset():
+    sampler = SigprofSampler(sample_period=0.005)
+    with sampler:
+        spin(0.05)
+    sampler.reset()
+    assert sampler.snapshot().hist == {}
+
+
+def test_invalid_period():
+    with pytest.raises(ValidationError):
+        SigprofSampler(sample_period=0.0)
+
+
+def test_snapshot_has_no_arcs():
+    sampler = SigprofSampler(sample_period=0.005)
+    with sampler:
+        spin(0.05)
+    assert sampler.snapshot().arcs == {}

@@ -1,0 +1,75 @@
+"""Site-quality scoring."""
+
+import numpy as np
+import pytest
+
+from repro.eval.site_quality import SiteQuality, compare_site_sets, score_series
+from repro.heartbeat.analysis import HeartbeatSeries
+from repro.util.errors import ValidationError
+
+
+def series_from_counts(counts_by_id, interval=1.0):
+    n = max(len(v) for v in counts_by_id.values())
+    series = HeartbeatSeries(n_intervals=n, interval=interval)
+    for hb_id, counts in counts_by_id.items():
+        arr = np.asarray(counts, dtype=float)
+        series.counts[hb_id] = arr
+        series.durations[hb_id] = np.where(arr > 0, 0.1, 0.0)
+    return series
+
+
+def test_perfect_discrimination():
+    """One exclusive heartbeat per phase: purity 1, lift 1."""
+    labels = [0] * 5 + [1] * 5
+    series = series_from_counts({1: [1] * 5 + [0] * 5, 2: [0] * 5 + [1] * 5})
+    quality = score_series(series, labels)
+    assert quality.purity == pytest.approx(1.0)
+    assert quality.lift == pytest.approx(1.0)
+    assert quality.coverage == 1.0
+    assert quality.n_signatures == 2
+
+
+def test_uninformative_sites_floor():
+    """A heartbeat active everywhere says nothing: purity == baseline."""
+    labels = [0] * 6 + [1] * 4
+    series = series_from_counts({1: [1] * 10})
+    quality = score_series(series, labels)
+    assert quality.purity == pytest.approx(0.6)  # majority phase share
+    assert quality.lift == pytest.approx(0.0)
+
+
+def test_silent_sites_low_coverage():
+    labels = [0] * 4 + [1] * 4
+    series = series_from_counts({1: [1, 0, 0, 0, 0, 0, 0, 1]})
+    quality = score_series(series, labels)
+    assert quality.coverage == pytest.approx(0.25)
+
+
+def test_partial_discrimination_between_floor_and_one():
+    labels = [0] * 4 + [1] * 4
+    # Site 1 marks phase 0 in half its intervals only.
+    series = series_from_counts({1: [1, 1, 0, 0, 0, 0, 0, 0]})
+    quality = score_series(series, labels)
+    assert 0.0 < quality.lift < 1.0
+
+
+def test_length_mismatch_clipped():
+    labels = [0, 0, 1]
+    series = series_from_counts({1: [1, 1, 0, 0, 0]})
+    quality = score_series(series, labels)  # scores min(3, 5) intervals
+    assert quality.n_signatures >= 1
+
+
+def test_empty_rejected():
+    series = series_from_counts({1: [1]})
+    with pytest.raises(ValidationError):
+        score_series(series, [])
+
+
+def test_compare_site_sets_on_experiment(experiments):
+    discovered, manual = compare_site_sets(experiments["graph500"])
+    assert isinstance(discovered, SiteQuality)
+    assert discovered.kind == "discovered" and manual.kind == "manual"
+    # The paper's Graph500 verdict, quantified.
+    assert discovered.lift > manual.lift
+    assert discovered.coverage > manual.coverage

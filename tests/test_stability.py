@@ -1,0 +1,47 @@
+"""Seed-stability sweeps."""
+
+import pytest
+
+from repro.eval.stability import StabilityResult, stability_sweep
+from repro.util.errors import ValidationError
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    # Small scale + few seeds keeps this quick while exercising the path.
+    return stability_sweep("synthetic", seeds=(1, 2, 3, 4), scale=0.5)
+
+
+def test_sweep_shape(sweep):
+    assert sweep.n_runs == 4
+    assert len(sweep.phase_counts) == 4
+    assert sweep.site_frequency
+
+
+def test_histogram_and_mode(sweep):
+    hist = sweep.phase_count_histogram()
+    assert sum(hist.values()) == 4
+    assert sweep.modal_phase_count() in hist
+    assert 0 < sweep.phase_count_stability() <= 1.0
+
+
+def test_synthetic_detection_stable(sweep):
+    """The ground-truth staircase is found in (almost) every run."""
+    assert sweep.modal_phase_count() == 4
+    assert sweep.phase_count_stability() >= 0.75
+
+
+def test_core_sites_frequent(sweep):
+    core = sweep.core_sites(min_frequency=0.75)
+    functions = {f for f, _t in core}
+    assert "kernel" in functions
+
+
+def test_table_renders(sweep):
+    text = sweep.to_table().render()
+    assert "site discovery over 4 seeds" in text
+
+
+def test_empty_seeds_rejected():
+    with pytest.raises(ValidationError):
+        stability_sweep("synthetic", seeds=())

@@ -1,0 +1,59 @@
+"""Sample-file naming and loading."""
+
+import pytest
+
+from repro.gprof.gmon import GmonData
+from repro.incprof.storage import SampleStore
+from repro.util.errors import CollectorError
+
+
+def snap(rank: int, ticks: int, t: float) -> GmonData:
+    data = GmonData(rank=rank, timestamp=t)
+    data.add_ticks("f", ticks)
+    return data
+
+
+def test_path_naming(tmp_path):
+    store = SampleStore(tmp_path)
+    assert store.path_for(3, 12).name == "gmon-r003-i00012.gmon"
+
+
+def test_save_and_load_rank_ordering(tmp_path):
+    store = SampleStore(tmp_path)
+    # Save out of order: loader must return interval order.
+    store.save(snap(0, 30, 3.0), 2)
+    store.save(snap(0, 10, 1.0), 0)
+    store.save(snap(0, 20, 2.0), 1)
+    loaded = store.load_rank(0)
+    assert [s.hist["f"] for s in loaded] == [10, 20, 30]
+
+
+def test_multiple_ranks(tmp_path):
+    store = SampleStore(tmp_path)
+    store.save(snap(0, 1, 1.0), 0)
+    store.save(snap(2, 1, 1.0), 0)
+    assert store.ranks() == [0, 2]
+    everything = store.load_all()
+    assert set(everything) == {0, 2}
+
+
+def test_load_missing_rank_empty(tmp_path):
+    assert SampleStore(tmp_path).load_rank(7) == []
+
+
+def test_nonexistent_dir_rejected(tmp_path):
+    with pytest.raises(CollectorError):
+        SampleStore(tmp_path / "nope", create=False)
+
+
+def test_negative_indices_rejected(tmp_path):
+    store = SampleStore(tmp_path)
+    with pytest.raises(CollectorError):
+        store.path_for(-1, 0)
+
+
+def test_foreign_files_ignored(tmp_path):
+    (tmp_path / "README.txt").write_text("hello")
+    (tmp_path / "gmon-rxxx-iyyyyy.gmon").write_text("junk")
+    store = SampleStore(tmp_path)
+    assert store.ranks() == []

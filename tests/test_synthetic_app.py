@@ -1,0 +1,84 @@
+"""The ground-truth synthetic workload."""
+
+import pytest
+
+from repro import analyze_snapshots
+from repro.apps import get_app
+from repro.apps.synthetic import DEFAULT_SCRIPT, PhaseSpec, Synthetic, detection_accuracy
+from repro.core.model import InstType
+from repro.incprof.session import Session, SessionConfig
+from repro.util.errors import AppError
+
+
+def run_analysis(app, scale=1.0, seed=111):
+    result = Session(app, SessionConfig(ranks=1, scale=scale, seed=seed)).run()
+    return analyze_snapshots(result.samples(0))
+
+
+def test_default_script_fully_recovered():
+    app = Synthetic()
+    analysis = run_analysis(app)
+    score = detection_accuracy(app, analysis)
+    assert score["phase_count_error"] == 0
+    assert score["dominant_recall"] == 1.0
+
+
+def test_discovered_types_are_body():
+    """Every synthetic function is batch-called each interval -> body."""
+    analysis = run_analysis(Synthetic())
+    assert all(s.inst_type is InstType.BODY for s in analysis.sites())
+
+
+def test_custom_script_two_phases():
+    script = (
+        PhaseSpec("a", 30.0, (("alpha", 0.9, 10.0),)),
+        PhaseSpec("b", 30.0, (("beta", 0.9, 10.0),)),
+    )
+    app = Synthetic(script)
+    analysis = run_analysis(app)
+    assert analysis.n_phases == 2
+    assert {s.function for s in analysis.sites()} == {"alpha", "beta"}
+
+
+def test_phase_spec_validation():
+    with pytest.raises(AppError):
+        PhaseSpec("bad", -1.0, ())
+    with pytest.raises(AppError):
+        PhaseSpec("overfull", 10.0, (("f", 0.8, 1.0), ("g", 0.3, 1.0)))
+    with pytest.raises(AppError):
+        Synthetic(())
+
+
+def test_manual_sites_are_dominants():
+    app = Synthetic()
+    manual = {s.function for s in app.manual_sites}
+    expected = {max(p.functions, key=lambda f: f[1])[0] for p in DEFAULT_SCRIPT}
+    assert manual == expected
+
+
+def test_expected_functions_listed():
+    app = Synthetic()
+    assert "kernel" in app.expected_functions()
+    assert "pack" in app.expected_functions()
+
+
+def test_registered_in_registry():
+    app = get_app("synthetic")
+    assert isinstance(app, Synthetic)
+    assert app.live_run() is None
+
+
+def test_scale_contracts_phases():
+    app = Synthetic()
+    short = Session(app, SessionConfig(ranks=1, scale=0.25)).run().runtime
+    full = Session(app, SessionConfig(ranks=1, scale=1.0)).run().runtime
+    assert short == pytest.approx(full * 0.25, rel=0.1)
+
+
+def test_idle_share_respected():
+    """Phases whose shares sum below 1 leave unattributed time."""
+    script = (PhaseSpec("half", 20.0, (("busy", 0.5, 5.0),)),)
+    result = Session(Synthetic(script), SessionConfig(ranks=1)).run()
+    final = result.samples(0)[-1]
+    assert final.total_seconds() == pytest.approx(10.0, rel=0.15)
+    assert result.runtime == pytest.approx(20.0, rel=0.05)

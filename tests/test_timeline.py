@@ -1,0 +1,54 @@
+"""Phase timeline rendering."""
+
+import pytest
+
+from repro.core.pipeline import analyze_snapshots
+from repro.core.timeline import phase_strip, render_timeline, run_lengths
+
+
+def test_strip_symbols():
+    assert phase_strip([0, 0, 1, 2]) == "0012"
+
+
+def test_strip_novel_symbol():
+    assert phase_strip([0, -1, 1]) == "0!1"
+
+
+def test_strip_empty():
+    assert phase_strip([]) == ""
+
+
+def test_strip_compression_majority():
+    labels = [0] * 50 + [1] * 50
+    strip = phase_strip(labels, width=10)
+    assert strip == "0000011111"
+
+
+def test_strip_overflow_symbol():
+    assert phase_strip([25]) == "?"
+
+
+def test_run_lengths():
+    assert run_lengths([0, 0, 1, 1, 1, 0]) == [(0, 2), (1, 3), (0, 1)]
+    assert run_lengths([]) == []
+
+
+def test_render_timeline_real_run(graph500_samples):
+    analysis = analyze_snapshots(graph500_samples)
+    text = render_timeline(analysis, width=80)
+    assert "phase timeline" in text
+    # Every phase appears in the legend with its sites.
+    for phase in analysis.phase_model.phases:
+        assert f"phase {phase.phase_id}" in text
+    # The strip is exactly the requested width.
+    strip_line = text.splitlines()[1].strip()
+    assert len(strip_line) == 80
+
+
+def test_timeline_temporal_structure(graph500_samples):
+    """Graph500's init phase occupies the left edge of the strip."""
+    analysis = analyze_snapshots(graph500_samples)
+    labels = analysis.phase_model.labels.tolist()
+    # Whatever phase interval 0 belongs to should dominate the first 10%.
+    head = labels[: max(1, len(labels) // 10)]
+    assert head.count(labels[0]) / len(head) > 0.8

@@ -1,0 +1,86 @@
+"""Trace logging and Chrome trace export."""
+
+import json
+
+import pytest
+
+from repro.apps import get_app
+from repro.simulate.engine import Engine, SimFunction
+from repro.simulate.tracelog import TraceLogger
+
+
+def run_traced(body, **kwargs):
+    engine = Engine()
+    logger = TraceLogger(**kwargs)
+    engine.add_observer(logger)
+    engine.run(SimFunction("main", body))
+    return engine, logger
+
+
+def test_nested_begin_end_events():
+    child = SimFunction("child", lambda ctx: ctx.work(0.1))
+
+    def main(ctx):
+        ctx.work(0.1)
+        ctx.call(child)
+
+    _engine, logger = run_traced(main)
+    kinds = [(e.kind, e.name) for e in logger.events]
+    assert kinds == [
+        ("B", "main"), ("B", "child"), ("E", "child"), ("E", "main")
+    ]
+    assert logger.validate_nesting()
+
+
+def test_batch_rendered_as_annotated_span():
+    leaf = SimFunction("leaf")
+
+    def main(ctx):
+        ctx.call_batch(leaf, 42, 0.2)
+
+    _engine, logger = run_traced(main)
+    names = [e.name for e in logger.events]
+    assert "leaf (x42)" in names
+
+
+def test_ticks_optional():
+    def main(ctx):
+        ctx.work(0.1)
+        ctx.loop_tick()
+
+    _e, quiet = run_traced(main)
+    assert all(e.kind != "i" for e in quiet.events)
+    _e, chatty = run_traced(main, include_ticks=True)
+    assert any(e.kind == "i" for e in chatty.events)
+
+
+def test_event_cap():
+    def main(ctx):
+        for _ in range(50):
+            ctx.call(SimFunction("noop", lambda c: None))
+
+    _e, logger = run_traced(main, max_events=10)
+    assert len(logger.events) == 10
+    assert logger.dropped > 0
+
+
+def test_chrome_trace_format(tmp_path):
+    child = SimFunction("child", lambda ctx: ctx.work(0.5))
+    _e, logger = run_traced(lambda ctx: ctx.call(child))
+    path = logger.write_chrome_trace(tmp_path / "trace.json")
+    payload = json.loads(path.read_text())
+    events = payload["traceEvents"]
+    assert all({"name", "ph", "ts", "pid", "tid"} <= set(e) for e in events)
+    begin = next(e for e in events if e["name"] == "child" and e["ph"] == "B")
+    end = next(e for e in events if e["name"] == "child" and e["ph"] == "E")
+    assert end["ts"] - begin["ts"] == pytest.approx(0.5e6)
+
+
+def test_real_app_trace_validates(tmp_path):
+    app = get_app("miniamr")
+    engine = Engine(params={"scale": 0.05})
+    logger = TraceLogger()
+    engine.add_observer(logger)
+    engine.run(app.build_main(0.05))
+    assert logger.validate_nesting()
+    assert len(logger.events) > 10

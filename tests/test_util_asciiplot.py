@@ -1,0 +1,70 @@
+"""ASCII plots and sparklines."""
+
+import pytest
+
+from repro.util.asciiplot import AsciiPlot, sparkline
+from repro.util.errors import ValidationError
+
+
+def test_sparkline_monotone():
+    assert sparkline([0, 1, 2, 3]) == "▁▃▆█"
+
+
+def test_sparkline_constant():
+    assert sparkline([5, 5, 5]) == "▁▁▁"
+
+
+def test_sparkline_empty():
+    assert sparkline([]) == ""
+
+
+def test_sparkline_downsamples_to_width():
+    line = sparkline(range(100), width=10)
+    assert len(line) == 10
+
+
+def test_sparkline_downsample_keeps_spikes():
+    values = [0.0] * 50
+    values[25] = 10.0
+    line = sparkline(values, width=10)
+    assert "█" in line
+
+
+def test_plot_requires_matching_lengths():
+    plot = AsciiPlot()
+    with pytest.raises(ValidationError):
+        plot.add_series("s", [1, 2], [1])
+
+
+def test_plot_renders_legend_and_title():
+    plot = AsciiPlot(title="the title", width=40, height=6)
+    plot.add_series("alpha", [0, 1, 2], [0, 1, 2])
+    plot.add_series("beta", [0, 1, 2], [2, 1, 0])
+    text = plot.render()
+    assert text.startswith("the title")
+    assert "o = alpha" in text
+    assert "x = beta" in text
+
+
+def test_plot_empty_series_ok():
+    plot = AsciiPlot()
+    plot.add_series("empty", [], [])
+    assert "(no data)" in plot.render()
+
+
+def test_plot_no_series():
+    assert "(no data)" in AsciiPlot(title="t").render()
+
+
+def test_plot_dimensions():
+    plot = AsciiPlot(width=30, height=5)
+    plot.add_series("s", [0, 1], [0, 1])
+    lines = plot.render().splitlines()
+    grid_lines = [l for l in lines if "|" in l]
+    assert len(grid_lines) == 5
+
+
+def test_plot_single_point():
+    plot = AsciiPlot(width=20, height=4)
+    plot.add_series("s", [5], [7])
+    assert "o" in plot.render()

@@ -1,0 +1,79 @@
+"""ASCII table rendering."""
+
+import pytest
+
+from repro.util.errors import ValidationError
+from repro.util.tables import Table
+
+
+def make_table():
+    table = Table(headers=["name", "pct", "n"], title="demo")
+    table.add_row("alpha", 12.345, 3)
+    table.add_row("beta", None, 10)
+    return table
+
+
+def test_add_row_width_mismatch():
+    table = Table(headers=["a", "b"])
+    with pytest.raises(ValidationError):
+        table.add_row(1)
+
+
+def test_float_formatting_default_one_decimal():
+    text = make_table().render()
+    assert "12.3" in text
+    assert "12.345" not in text
+
+
+def test_none_renders_empty():
+    text = make_table().render()
+    line = [l for l in text.splitlines() if "beta" in l][0]
+    cells = [c.strip() for c in line.split("|")]
+    assert cells[1] == ""
+
+
+def test_title_rendered():
+    assert make_table().render().startswith("demo")
+
+
+def test_separator_with_label():
+    table = make_table()
+    table.add_separator("Manual Sites")
+    table.add_row("gamma", 1.0, 1)
+    text = table.render()
+    assert "Manual Sites" in text
+    assert text.index("Manual Sites") < text.index("gamma")
+
+
+def test_markdown_rendering():
+    table = make_table()
+    md = table.render_markdown()
+    lines = md.splitlines()
+    assert lines[0].startswith("**demo**")
+    assert "| name | pct | n |" in md
+    assert "| alpha | 12.3 | 3 |" in md
+
+
+def test_markdown_separator():
+    table = make_table()
+    table.add_separator("Extra")
+    assert "*Extra*" in table.render_markdown()
+
+
+def test_add_rows_bulk():
+    table = Table(headers=["x"])
+    table.add_rows([[1], [2], [3]])
+    assert len(table.rows) == 3
+
+
+def test_custom_float_fmt():
+    table = Table(headers=["v"], float_fmt=".3f")
+    table.add_row(1.23456)
+    assert "1.235" in table.render()
+
+
+def test_column_alignment_consistent():
+    text = make_table().render()
+    rows = [l for l in text.splitlines() if "|" in l]
+    pipes = [tuple(i for i, ch in enumerate(r) if ch == "|") for r in rows]
+    assert len(set(pipes)) == 1

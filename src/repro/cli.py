@@ -10,7 +10,11 @@ Subcommands mirror the tool's workflow:
   print the paper-style table;
 - ``incprof figure --app miniamr`` — print the heartbeat figure;
 - ``incprof table1`` — regenerate Table I across all apps;
-- ``incprof apps`` — list workloads.
+- ``incprof apps`` — list workloads;
+- ``incprof serve`` — run the ``incprofd`` phase-monitoring daemon;
+- ``incprof submit --app graph500 --to HOST:PORT`` — stream a collection
+  run's ranks through a running daemon;
+- ``incprof fleet-status --to HOST:PORT`` — query a daemon's fleet view.
 """
 
 from __future__ import annotations
@@ -19,7 +23,7 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.apps import get_app, paper_app_names
+from repro.apps import app_names, get_app, paper_app_names
 from repro.core.pipeline import AnalysisConfig, analyze_snapshots
 from repro.core.report import render_full_report
 from repro.eval.experiments import run_experiment
@@ -191,6 +195,172 @@ def _cmd_merge(args: argparse.Namespace) -> int:
     return 0
 
 
+def _train_template(args: argparse.Namespace):
+    """Train the serving tracker: from a sample directory or a fresh run."""
+    from repro.core.online import OnlinePhaseTracker
+
+    if args.samples:
+        store = SampleStore(args.samples, create=False)
+        snapshots = store.load_rank(args.rank)
+        label = f"samples {args.samples} (rank {args.rank})"
+    else:
+        app = get_app(args.app)
+        config = SessionConfig(interval=args.interval, ranks=1, seed=args.seed,
+                               scale=args.scale)
+        snapshots = Session(app, config).run().samples(0)
+        label = f"app {args.app}"
+    analysis = analyze_snapshots(snapshots)
+    tracker = OnlinePhaseTracker.from_analysis(analysis)
+    print(f"trained on {label}: {analysis.n_phases} phases, "
+          f"{analysis.interval_data.n_intervals} intervals")
+    return tracker
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import Endpoint, PhaseMonitorServer, ServerConfig
+
+    if args.selftest:
+        return _serve_selftest(args)
+    template = None
+    if args.app or args.samples:
+        template = _train_template(args)
+    else:
+        print("no --app/--samples: serving without classification "
+              "(ingest + stats only)")
+    endpoint = (Endpoint.unix(args.unix) if args.unix
+                else Endpoint.tcp(args.host, args.port))
+    config = ServerConfig(
+        endpoint=endpoint,
+        workers=args.workers,
+        queue_capacity=args.queue,
+        policy=args.policy,
+        idle_timeout=args.idle_timeout,
+    )
+    server = PhaseMonitorServer(template, config)
+    bound = server.start()
+    print(f"incprofd listening on {bound} "
+          f"(workers={config.workers}, queue={config.queue_capacity}, "
+          f"policy={config.policy})")
+    try:
+        server.wait()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+        server.stop()
+    return 0
+
+
+def _serve_selftest(args: argparse.Namespace) -> int:
+    """In-process smoke test: daemon + synthetic publishers + assertions."""
+    from repro.core.online import OnlinePhaseTracker
+    from repro.service import (
+        Endpoint,
+        PhaseMonitorServer,
+        ServerConfig,
+        SyntheticLoadGenerator,
+    )
+
+    generator = SyntheticLoadGenerator()
+    analysis = analyze_snapshots(
+        generator.stream(0, 24), AnalysisConfig(kmax=4, drop_short_final=False)
+    )
+    template = OnlinePhaseTracker.from_analysis(analysis)
+    config = ServerConfig(endpoint=Endpoint.tcp("127.0.0.1", 0),
+                          workers=args.workers, queue_capacity=args.queue,
+                          policy="block")
+    n_streams, n_intervals = 4, 24
+    with PhaseMonitorServer(template, config) as server:
+        load = generator.run(server.endpoint, n_streams, n_intervals)
+        stats = server.stats()
+    failures = []
+    if load.sent != n_streams * n_intervals:
+        failures.append(f"sent {load.sent} != {n_streams * n_intervals}")
+    if load.processed != load.sent:
+        failures.append(f"processed {load.processed} != sent {load.sent}")
+    if stats["drops"] != 0:
+        failures.append(f"{stats['drops']} drops under blocking policy")
+    if not all(r.drained for r in load.streams.values()):
+        failures.append("some streams did not drain")
+    print(f"selftest: {n_streams} streams x {n_intervals} intervals, "
+          f"{load.processed} classified, "
+          f"{stats['ingest_rate']:.0f} intervals/s, "
+          f"drops={stats['drops']}, "
+          f"p99 classify {stats['classify_latency']['p99'] * 1e3:.2f} ms")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print("selftest PASS (clean shutdown)")
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.service import Endpoint, publish_session
+    from repro.util.errors import ReproError
+
+    try:
+        endpoint = Endpoint.parse(args.to)
+    except ReproError as exc:
+        print(f"error: {exc}")
+        return 1
+    app = get_app(args.app)
+    config = SessionConfig(interval=args.interval, ranks=args.ranks,
+                           seed=args.seed, scale=args.scale)
+    result = Session(app, config).run()
+    print(f"{args.app}: collected {len(result.per_rank)} rank(s), "
+          f"{len(result.samples(0))} snapshots/rank; publishing to {endpoint}")
+    try:
+        reports = publish_session(endpoint, result,
+                                  stream_prefix=args.stream_prefix or args.app)
+    except (ReproError, OSError) as exc:
+        print(f"error: cannot publish to {endpoint}: {exc}")
+        return 1
+    for stream_id in sorted(reports):
+        rep = reports[stream_id]
+        status = rep.error or ("drained" if rep.drained else "not drained")
+        print(f"  {stream_id}: sent={rep.sent} processed={rep.processed} "
+              f"novel={rep.novel} rejected={rep.rejected} [{status}]")
+    return 0 if all(not r.error for r in reports.values()) else 1
+
+
+def _cmd_fleet_status(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.service import Endpoint, PhaseClient
+    from repro.util.errors import ReproError
+
+    try:
+        endpoint = Endpoint.parse(args.to)
+        with PhaseClient(endpoint) as client:
+            reply = client.fleet_status()
+    except (ReproError, OSError) as exc:
+        print(f"error: cannot reach daemon at {args.to!r}: {exc}")
+        return 1
+    if not reply.ok:
+        print(f"error: {reply.error}")
+        return 1
+    status = reply.data
+    if args.json:
+        print(_json.dumps(status, indent=2, sort_keys=True))
+        return 0
+    service = status["service"]
+    print(f"incprofd @ {endpoint}: {status['n_streams']} live stream(s), "
+          f"{status['registered_total']} registered, "
+          f"{status['expired_total']} expired")
+    print(f"  ingest {service['processed']}/{service['ingested']} processed, "
+          f"{service['ingest_rate']:.0f} intervals/s, "
+          f"drops={service['drops']}, lag={status['total_lag']}, "
+          f"novel={status['novel_total']}")
+    for phase, occ in status["phase_occupancy"].items():
+        label = "novel" if phase == "-1" else f"phase {phase}"
+        print(f"  {label:>9s}: {occ['intervals']:6d} intervals "
+              f"({occ['share']:.1%})")
+    for row in status["streams"]:
+        print(f"  {row['stream_id']:>16s}: seq={row['last_seq']} "
+              f"lag={row['lag']} novel={row['novel']} "
+              f"idle={row['idle_seconds']:.1f}s")
+    return 0
+
+
 def _cmd_report_all(args: argparse.Namespace) -> int:
     from repro.eval.report_md import write_markdown_report
 
@@ -276,6 +446,51 @@ def build_parser() -> argparse.ArgumentParser:
     p_merge.add_argument("inputs", nargs="+", help="gmon sample files")
     p_merge.add_argument("--out", required=True, help="merged output file")
     p_merge.set_defaults(func=_cmd_merge)
+
+    p_serve = sub.add_parser("serve",
+                             help="run the incprofd phase-monitoring daemon")
+    p_serve.add_argument("--app", choices=app_names(),
+                         help="train the serving phase model on this app")
+    p_serve.add_argument("--samples", help="train from a sample directory instead")
+    p_serve.add_argument("--rank", type=int, default=0,
+                         help="training rank when using --samples")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=9271,
+                         help="TCP port (0 = ephemeral)")
+    p_serve.add_argument("--unix", default=None,
+                         help="listen on a unix socket path instead of TCP")
+    p_serve.add_argument("--workers", type=int, default=4,
+                         help="classification worker threads")
+    p_serve.add_argument("--queue", type=int, default=64,
+                         help="per-stream queue capacity")
+    p_serve.add_argument("--policy", default="block",
+                         choices=["block", "drop-oldest", "reject"],
+                         help="backpressure policy for full stream queues")
+    p_serve.add_argument("--idle-timeout", type=float, default=30.0,
+                         help="expire streams idle longer than this (seconds)")
+    p_serve.add_argument("--selftest", action="store_true",
+                         help="in-process smoke test: server + synthetic "
+                              "publishers, assert clean shutdown")
+    _add_common(p_serve)
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_sub = sub.add_parser("submit",
+                           help="run a workload and stream it to a daemon")
+    p_sub.add_argument("--app", required=True, choices=app_names())
+    p_sub.add_argument("--to", required=True,
+                       help="daemon endpoint: HOST:PORT or unix:PATH")
+    p_sub.add_argument("--ranks", type=int, default=1)
+    p_sub.add_argument("--stream-prefix", default=None,
+                       help="stream id prefix (default: the app name)")
+    _add_common(p_sub)
+    p_sub.set_defaults(func=_cmd_submit)
+
+    p_fs = sub.add_parser("fleet-status",
+                          help="query a running daemon's fleet view")
+    p_fs.add_argument("--to", required=True,
+                      help="daemon endpoint: HOST:PORT or unix:PATH")
+    p_fs.add_argument("--json", action="store_true", help="raw JSON output")
+    p_fs.set_defaults(func=_cmd_fleet_status)
 
     return parser
 

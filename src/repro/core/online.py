@@ -15,6 +15,7 @@ The gate is calibrated from the training data itself: an interval is
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -43,7 +44,20 @@ class TrackedInterval:
 
 
 class OnlinePhaseTracker:
-    """Classify streaming interval profiles against trained phases."""
+    """Classify streaming interval profiles against trained phases.
+
+    Instances are thread-safe: classification, snapshot observation, and
+    every history accessor take an internal lock, so one tracker can be
+    driven from a worker pool (the ``incprofd`` service classifies each
+    stream on whichever worker picks it up).
+
+    ``zero_start`` controls how the first *cumulative* snapshot fed to
+    :meth:`observe_snapshot` is treated: ``False`` (the historical
+    behaviour) primes the differencer and classifies from the second
+    snapshot on; ``True`` assumes the stream began at a zero profile, so
+    the first snapshot *is* the first interval — matching the offline
+    pipeline, which also counts interval 0 from the process start.
+    """
 
     def __init__(
         self,
@@ -51,6 +65,7 @@ class OnlinePhaseTracker:
         centroids: np.ndarray,
         gates: np.ndarray,
         interval: float = 1.0,
+        zero_start: bool = False,
     ) -> None:
         if centroids.ndim != 2 or centroids.shape[0] != gates.shape[0]:
             raise ValidationError("centroids and gates disagree")
@@ -61,8 +76,10 @@ class OnlinePhaseTracker:
         self.centroids = centroids.astype(float)
         self.gates = gates.astype(float)
         self.interval = interval
+        self.zero_start = zero_start
         self.history: List[TrackedInterval] = []
         self._previous: Optional[GmonData] = None
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # training
@@ -119,40 +136,81 @@ class OnlinePhaseTracker:
         nearest = int(dists.argmin())
         distance = float(dists[nearest])
         phase_id = nearest if distance <= self.gates[nearest] else NOVEL
-        tracked = TrackedInterval(
-            index=len(self.history),
-            phase_id=phase_id,
-            distance=distance,
-            nearest_phase=nearest,
-        )
-        self.history.append(tracked)
+        with self._lock:
+            tracked = TrackedInterval(
+                index=len(self.history),
+                phase_id=phase_id,
+                distance=distance,
+                nearest_phase=nearest,
+            )
+            self.history.append(tracked)
         return tracked
+
+    def classify_batch(self, profiles: Sequence[Dict[str, float]]) -> List[TrackedInterval]:
+        """Classify several interval profiles in order, atomically.
+
+        The whole batch is appended to the history as one unit — a
+        concurrent classifier cannot interleave inside it.
+        """
+        with self._lock:
+            return [self.classify(profile) for profile in profiles]
 
     def observe_snapshot(self, snapshot: GmonData) -> Optional[TrackedInterval]:
         """Feed a *cumulative* gmon snapshot (deployment dump stream).
 
-        The first snapshot primes the differencer and returns None; each
-        later one is differenced against its predecessor and classified.
+        Without ``zero_start``, the first snapshot primes the differencer
+        and returns None; each later one is differenced against its
+        predecessor and classified.  With ``zero_start``, the first
+        snapshot is classified as-is (the stream's zero baseline).
         """
-        if self._previous is None:
+        with self._lock:
+            if self._previous is None and not self.zero_start:
+                self._previous = snapshot
+                return None
+            delta = (snapshot if self._previous is None
+                     else snapshot.subtract(self._previous))
             self._previous = snapshot
-            return None
-        delta = snapshot.subtract(self._previous)
-        self._previous = snapshot
-        profile = {func: ticks * delta.sample_period
-                   for func, ticks in delta.hist.items()}
-        return self.classify(profile)
+            profile = {func: ticks * delta.sample_period
+                       for func, ticks in delta.hist.items()}
+            return self.classify(profile)
+
+    # ------------------------------------------------------------------
+    # per-stream forking
+    # ------------------------------------------------------------------
+    def spawn(self, zero_start: bool = True) -> "OnlinePhaseTracker":
+        """A fresh tracker sharing this one's trained model.
+
+        The trained arrays are copied (cheap: ``k × n_functions``), the
+        history starts empty — one template tracker trained offline can
+        be forked once per deployment stream.
+        """
+        return OnlinePhaseTracker(
+            functions=self.functions,
+            centroids=self.centroids,
+            gates=self.gates,
+            interval=self.interval,
+            zero_start=zero_start,
+        )
 
     # ------------------------------------------------------------------
     # reporting
     # ------------------------------------------------------------------
     def phase_sequence(self) -> List[int]:
-        return [t.phase_id for t in self.history]
+        with self._lock:
+            return [t.phase_id for t in self.history]
 
     def novel_fraction(self) -> float:
-        if not self.history:
-            return 0.0
-        return sum(t.is_novel for t in self.history) / len(self.history)
+        with self._lock:
+            if not self.history:
+                return 0.0
+            return sum(t.is_novel for t in self.history) / len(self.history)
+
+    def phase_counts(self) -> Dict[int, int]:
+        """Observed intervals per phase id (NOVEL included as -1)."""
+        counts: Dict[int, int] = {}
+        for phase_id in self.phase_sequence():
+            counts[phase_id] = counts.get(phase_id, 0) + 1
+        return counts
 
     def transitions(self) -> List[Tuple[int, int, int]]:
         """(interval, from_phase, to_phase) for every phase change."""

@@ -14,6 +14,7 @@ harness regenerates several tables/figures from the same experiment.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -65,12 +66,32 @@ class ExperimentResult:
         )
 
 
-_CACHE: Dict[Tuple, ExperimentResult] = {}
+#: Memoized experiments, LRU-bounded: a long-lived process (the
+#: ``incprofd`` daemon, a notebook sweeping app/scale/seed combinations)
+#: must not grow this without limit — each entry holds full per-interval
+#: matrices and heartbeat series.
+_CACHE: "OrderedDict[Tuple, ExperimentResult]" = OrderedDict()
+_CACHE_CAPACITY = 16
 
 
 def clear_cache() -> None:
     """Drop memoized experiments (tests use this for isolation)."""
     _CACHE.clear()
+
+
+def set_cache_capacity(capacity: int) -> None:
+    """Re-bound the experiment LRU (evicts immediately if shrinking)."""
+    global _CACHE_CAPACITY
+    if capacity < 1:
+        raise ValueError("cache capacity must be positive")
+    _CACHE_CAPACITY = capacity
+    while len(_CACHE) > _CACHE_CAPACITY:
+        _CACHE.popitem(last=False)
+
+
+def cache_info() -> Dict[str, int]:
+    """Current size and bound of the experiment cache."""
+    return {"size": len(_CACHE), "capacity": _CACHE_CAPACITY}
 
 
 def run_experiment(
@@ -85,6 +106,7 @@ def run_experiment(
     """Run the full methodology for ``app_name`` (memoized)."""
     key = (app_name, scale, seed, ranks, interval, analysis_config is None)
     if use_cache and analysis_config is None and key in _CACHE:
+        _CACHE.move_to_end(key)
         return _CACHE[key]
 
     app = get_app(app_name)
@@ -139,4 +161,7 @@ def run_experiment(
     )
     if use_cache and analysis_config is None:
         _CACHE[key] = result
+        _CACHE.move_to_end(key)
+        while len(_CACHE) > _CACHE_CAPACITY:
+            _CACHE.popitem(last=False)
     return result

@@ -10,6 +10,7 @@ sampler's clock, not the app's).
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Dict, List, Tuple
 
 from repro.heartbeat.accumulator import HeartbeatRecord
@@ -23,11 +24,19 @@ class LDMSTransport:
     Use the transport itself as the AppEKG sink; call :meth:`sample` from
     the "system side" (e.g. once per collection interval) to drain the
     metric set to subscribers.
+
+    Thread-safe: in the real deployment the sampler runs on its own
+    thread (the ``incprofd`` housekeeping loop plays that role), so
+    app-side :meth:`__call__` and sampler-side :meth:`sample` race on the
+    pending list; a lock makes update-vs-drain atomic, guaranteeing every
+    record is delivered exactly once.  Subscriber callbacks run *outside*
+    the lock — a slow subscriber must not block the app side.
     """
 
     def __init__(self) -> None:
         self._pending: List[HeartbeatRecord] = []
         self._subscribers: List[Subscriber] = []
+        self._lock = threading.Lock()
         self.updates = 0
         self.samples_taken = 0
         self.delivered = 0
@@ -36,27 +45,33 @@ class LDMSTransport:
     # app side (sink protocol)
     # ------------------------------------------------------------------
     def __call__(self, record: HeartbeatRecord) -> None:
-        self._pending.append(record)
-        self.updates += 1
+        with self._lock:
+            self._pending.append(record)
+            self.updates += 1
 
     # ------------------------------------------------------------------
     # system side
     # ------------------------------------------------------------------
     def subscribe(self, subscriber: Subscriber) -> None:
-        self._subscribers.append(subscriber)
+        with self._lock:
+            self._subscribers.append(subscriber)
 
     def sample(self) -> List[HeartbeatRecord]:
         """Pull and clear the metric set, forwarding to subscribers."""
-        batch, self._pending = self._pending, []
-        self.samples_taken += 1
-        self.delivered += len(batch)
-        for subscriber in self._subscribers:
+        with self._lock:
+            batch, self._pending = self._pending, []
+            self.samples_taken += 1
+            self.delivered += len(batch)
+            subscribers = list(self._subscribers)
+        for subscriber in subscribers:
             subscriber(batch)
         return batch
 
     def pending_metrics(self) -> Dict[Tuple[int, int], float]:
         """Current metric-set view: (rank, hb_id) -> latest count."""
         view: Dict[Tuple[int, int], float] = {}
-        for record in self._pending:
+        with self._lock:
+            pending = list(self._pending)
+        for record in pending:
             view[(record.rank, record.hb_id)] = record.count
         return view

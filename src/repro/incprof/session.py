@@ -10,9 +10,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import List, Optional, Sequence, Union
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.apps.base import AppModel
+from repro.gprof.gmon import GmonData
 from repro.heartbeat.api import AppEKG
 from repro.heartbeat.instrument import HeartbeatInstrumentation, SiteBinding
 from repro.incprof.collector import VirtualSnapshotCollector
@@ -83,6 +84,39 @@ class SessionResult:
     def runtime(self) -> float:
         """Representative (rank 0) virtual runtime."""
         return self.rank0.runtime
+
+    # ------------------------------------------------------------------
+    # stream export (the ``incprofd`` publishing hook)
+    # ------------------------------------------------------------------
+    def stream_events(self) -> Iterator[Tuple[int, int, "GmonData"]]:
+        """Yield ``(rank, seq, snapshot)`` across all ranks, merged by time.
+
+        This is the event order a fleet service would see: every rank's
+        cumulative dumps interleaved by snapshot timestamp (ties broken
+        by rank then interval index, so the feed is deterministic).
+        ``seq`` is the per-rank interval index publishers put on the wire.
+        """
+        events = [
+            (snap.timestamp, rank_result.rank, seq, snap)
+            for rank_result in self.per_rank
+            for seq, snap in enumerate(rank_result.samples)
+        ]
+        events.sort(key=lambda e: (e[0], e[1], e[2]))
+        for _ts, rank, seq, snap in events:
+            yield rank, seq, snap
+
+    def publish(self, publisher: Callable[[int, int, "GmonData"], None]) -> int:
+        """Replay every snapshot through ``publisher(rank, seq, snapshot)``.
+
+        Returns the number of events delivered.  The service client's
+        helpers build on this; any callable works (a test sink, a custom
+        exporter, a :class:`~repro.service.client.PhaseClient` wrapper).
+        """
+        count = 0
+        for rank, seq, snap in self.stream_events():
+            publisher(rank, seq, snap)
+            count += 1
+        return count
 
 
 class Session:

@@ -16,9 +16,22 @@ from pathlib import Path
 from typing import Dict, List, Union
 
 from repro.gprof.gmon import GmonData, read_gmon, write_gmon
-from repro.util.errors import CollectorError
+from repro.util.errors import CollectorError, FormatError
 
 _NAME_RE = re.compile(r"^gmon-r(?P<rank>\d{3})-i(?P<index>\d{5})\.gmon$")
+
+
+class SampleFileError(FormatError):
+    """A sample file in the store is corrupt or truncated.
+
+    Carries the offending path so callers (and the service ingest path)
+    can report *which* dump went bad rather than crashing mid-load.
+    """
+
+    def __init__(self, path: Path, cause: Exception) -> None:
+        super().__init__(f"corrupt sample file {path}: {cause}")
+        self.path = path
+        self.cause = cause
 
 
 class SampleStore:
@@ -42,24 +55,40 @@ class SampleStore:
         write_gmon(sample, path)
         return path
 
-    def ranks(self) -> List[int]:
-        """Ranks that have at least one sample file, sorted."""
-        ranks = set()
-        for path in self.directory.glob("gmon-r*-i*.gmon"):
+    def _scan(self) -> Dict[int, Dict[int, Path]]:
+        """One directory pass: ``{rank: {interval_index: path}}``.
+
+        Every query below is built on this single scan; the old layout
+        (one ``glob`` per rank inside a loop over ``ranks()``) walked the
+        directory O(ranks) times, which dominates load time once a fleet
+        of ranks has dumped thousands of intervals.
+        """
+        index: Dict[int, Dict[int, Path]] = {}
+        for path in self.directory.iterdir():
             m = _NAME_RE.match(path.name)
             if m:
-                ranks.add(int(m.group("rank")))
-        return sorted(ranks)
+                index.setdefault(int(m.group("rank")), {})[int(m.group("index"))] = path
+        return index
+
+    @staticmethod
+    def _read(path: Path) -> GmonData:
+        try:
+            return read_gmon(path)
+        except (FormatError, OSError) as exc:
+            raise SampleFileError(path, exc) from exc
+
+    def ranks(self) -> List[int]:
+        """Ranks that have at least one sample file, sorted."""
+        return sorted(self._scan())
 
     def load_rank(self, rank: int) -> List[GmonData]:
         """All samples of ``rank`` in interval order."""
-        indexed: Dict[int, Path] = {}
-        for path in self.directory.glob(f"gmon-r{rank:03d}-i*.gmon"):
-            m = _NAME_RE.match(path.name)
-            if m:
-                indexed[int(m.group("index"))] = path
-        return [read_gmon(indexed[i]) for i in sorted(indexed)]
+        indexed = self._scan().get(rank, {})
+        return [self._read(indexed[i]) for i in sorted(indexed)]
 
     def load_all(self) -> Dict[int, List[GmonData]]:
-        """Samples for every rank present in the store."""
-        return {rank: self.load_rank(rank) for rank in self.ranks()}
+        """Samples for every rank, ordered by interval — one directory scan."""
+        return {
+            rank: [self._read(indexed[i]) for i in sorted(indexed)]
+            for rank, indexed in sorted(self._scan().items())
+        }

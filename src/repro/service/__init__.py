@@ -1,0 +1,72 @@
+"""``incprofd``: the fleet-scale phase-monitoring service.
+
+Offline discovery trains an :class:`~repro.core.online.OnlinePhaseTracker`;
+this package serves it: a long-running daemon ingests gmon snapshot and
+heartbeat streams from many concurrent publishers, classifies every
+interval online, and exposes aggregated fleet state (phase occupancy,
+novelty alerts, per-stream lag) plus its own self-metrics.
+
+See ``docs/SERVICE.md`` for the wire protocol and deployment sketch.
+"""
+
+from repro.service.client import (
+    LoadResult,
+    PhaseClient,
+    PublishReport,
+    SyntheticLoadGenerator,
+    publish_samples,
+    publish_session,
+)
+from repro.service.metrics import LatencyWindow, ServiceMetrics
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    Bye,
+    Control,
+    Endpoint,
+    Hello,
+    HeartbeatMsg,
+    Reply,
+    SnapshotMsg,
+    decode_message,
+    encode_message,
+    read_message,
+    write_message,
+)
+from repro.service.registry import StreamRegistry, StreamState
+from repro.service.server import (
+    BACKPRESSURE_POLICIES,
+    BoundedStreamQueue,
+    PhaseMonitorServer,
+    ServerConfig,
+    serve,
+)
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "BACKPRESSURE_POLICIES",
+    "BoundedStreamQueue",
+    "Bye",
+    "Control",
+    "Endpoint",
+    "Hello",
+    "HeartbeatMsg",
+    "LatencyWindow",
+    "LoadResult",
+    "PhaseClient",
+    "PhaseMonitorServer",
+    "PublishReport",
+    "Reply",
+    "ServerConfig",
+    "ServiceMetrics",
+    "SnapshotMsg",
+    "StreamRegistry",
+    "StreamState",
+    "SyntheticLoadGenerator",
+    "decode_message",
+    "encode_message",
+    "publish_samples",
+    "publish_session",
+    "read_message",
+    "serve",
+    "write_message",
+]

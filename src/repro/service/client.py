@@ -1,0 +1,310 @@
+"""Publishers for ``incprofd``.
+
+:class:`PhaseClient` is the low-level request/reply connection; on top of
+it sit the replay helpers (stream a :class:`~repro.incprof.session.Session`
+run or a :class:`~repro.incprof.storage.SampleStore` directory through the
+service, one stream per rank) and :class:`SyntheticLoadGenerator`, which
+manufactures deterministic snapshot streams for throughput and
+backpressure testing without running a workload at all.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.gprof.gmon import GmonData
+from repro.heartbeat.accumulator import HeartbeatRecord
+from repro.service.protocol import (
+    Bye,
+    Control,
+    Endpoint,
+    Hello,
+    HeartbeatMsg,
+    Message,
+    Reply,
+    SnapshotMsg,
+    read_message,
+    write_message,
+)
+from repro.util.errors import (
+    ProtocolError,
+    ReproError,
+    ServiceError,
+    ValidationError,
+)
+
+
+class PhaseClient:
+    """One connection to the daemon; strict request/reply, thread-safe."""
+
+    def __init__(self, endpoint: Endpoint, timeout: Optional[float] = 30.0) -> None:
+        self.endpoint = endpoint
+        self._sock = endpoint.connect(timeout=timeout)
+        self._fh = self._sock.makefile("rwb")
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def request(self, msg: Message) -> Reply:
+        """Send one message and wait for the server's reply."""
+        with self._lock:
+            write_message(self._fh, msg)
+            reply = read_message(self._fh)
+        if reply is None:
+            raise ServiceError("server closed the connection mid-request")
+        if not isinstance(reply, Reply):
+            raise ProtocolError(f"expected a reply, got {type(reply).__name__}")
+        return reply
+
+    def close(self) -> None:
+        try:
+            self._fh.close()
+        except (OSError, ValueError):
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "PhaseClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # typed requests
+    # ------------------------------------------------------------------
+    def hello(self, stream_id: str, app: str = "", rank: int = 0) -> Reply:
+        return self.request(Hello(stream_id=stream_id, app=app, rank=rank))
+
+    def snapshot(self, stream_id: str, seq: int, gmon: GmonData) -> Reply:
+        return self.request(SnapshotMsg(stream_id=stream_id, seq=seq, gmon=gmon))
+
+    def heartbeats(self, stream_id: str, records: Sequence[HeartbeatRecord]) -> Reply:
+        return self.request(HeartbeatMsg(stream_id=stream_id, records=list(records)))
+
+    def bye(self, stream_id: str) -> Reply:
+        return self.request(Bye(stream_id=stream_id))
+
+    def control(self, command: str, **args) -> Reply:
+        return self.request(Control(command=command, args=args))
+
+    def ping(self) -> Reply:
+        return self.control("ping")
+
+    def stats(self) -> Reply:
+        return self.control("stats")
+
+    def fleet_status(self) -> Reply:
+        return self.control("fleet-status")
+
+    def shutdown(self) -> Reply:
+        return self.control("shutdown")
+
+
+@dataclass
+class PublishReport:
+    """What one stream's replay achieved."""
+
+    stream_id: str
+    sent: int = 0
+    accepted: int = 0
+    dropped_oldest: int = 0
+    rejected: int = 0
+    novel: int = 0
+    processed: int = 0
+    drained: bool = False
+    phase_sequence: List[int] = field(default_factory=list)
+    heartbeats_sent: int = 0
+    error: str = ""
+
+
+def publish_samples(
+    endpoint: Endpoint,
+    stream_id: str,
+    samples: Sequence[GmonData],
+    app: str = "",
+    rank: int = 0,
+    heartbeat_records: Sequence[HeartbeatRecord] = (),
+    delay: float = 0.0,
+) -> PublishReport:
+    """Replay one rank's cumulative snapshot series through the service.
+
+    This is the stream a deployed IncProf runtime would produce: ``hello``,
+    one ``snapshot`` per collection interval (plus any AppEKG rows), and an
+    orderly ``bye`` whose reply carries the server-side classification.
+    """
+    report = PublishReport(stream_id=stream_id)
+    with PhaseClient(endpoint) as client:
+        reply = client.hello(stream_id, app=app, rank=rank)
+        if not reply.ok:
+            report.error = reply.error
+            return report
+        for seq, snap in enumerate(samples):
+            reply = client.snapshot(stream_id, seq, snap)
+            report.sent += 1
+            outcome = reply.data.get("outcome", "")
+            if reply.ok and outcome == "accepted":
+                report.accepted += 1
+            elif reply.ok and outcome == "dropped-oldest":
+                report.accepted += 1
+                report.dropped_oldest += 1
+            else:
+                report.rejected += 1
+            if delay > 0:
+                time.sleep(delay)
+        if heartbeat_records:
+            hb = client.heartbeats(stream_id, heartbeat_records)
+            if hb.ok:
+                report.heartbeats_sent = int(hb.data.get("accepted", 0))
+        reply = client.bye(stream_id)
+        if reply.ok:
+            report.drained = bool(reply.data.get("drained", False))
+            report.processed = int(reply.data.get("processed", 0))
+            report.novel = int(reply.data.get("novel", 0))
+            report.phase_sequence = [int(p) for p in reply.data.get("phase_sequence", [])]
+        else:
+            report.error = reply.error
+    return report
+
+
+def publish_session(
+    endpoint: Endpoint,
+    result,
+    stream_prefix: str = "",
+    include_heartbeats: bool = True,
+    delay: float = 0.0,
+) -> Dict[str, PublishReport]:
+    """Stream every rank of a :class:`~repro.incprof.session.SessionResult`
+    through the service concurrently (one connection + thread per rank)."""
+    prefix = stream_prefix or f"{result.app_name}"
+    reports: Dict[str, PublishReport] = {}
+    reports_lock = threading.Lock()
+
+    def one_rank(rank_result) -> None:
+        stream_id = f"{prefix}-r{rank_result.rank}"
+        try:
+            report = publish_samples(
+                endpoint,
+                stream_id,
+                rank_result.samples,
+                app=result.app_name,
+                rank=rank_result.rank,
+                heartbeat_records=(rank_result.heartbeat_records
+                                   if include_heartbeats else ()),
+                delay=delay,
+            )
+        except (ReproError, OSError) as exc:
+            # A publisher thread must not die silently: surface the
+            # failure (unreachable daemon, dropped connection) in its
+            # report instead.
+            report = PublishReport(stream_id=stream_id, error=str(exc))
+        with reports_lock:
+            reports[stream_id] = report
+
+    threads = [threading.Thread(target=one_rank, args=(rr,),
+                                name=f"publish-{prefix}-r{rr.rank}")
+               for rr in result.per_rank]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return reports
+
+
+@dataclass
+class LoadResult:
+    """Aggregate outcome of one synthetic load run."""
+
+    streams: Dict[str, PublishReport]
+    elapsed: float
+    sent: int
+    processed: int
+    rejected: int
+    dropped_oldest: int
+
+    @property
+    def throughput(self) -> float:
+        """Client-side intervals/second across all streams."""
+        return self.sent / self.elapsed if self.elapsed > 0 else 0.0
+
+
+class SyntheticLoadGenerator:
+    """Deterministic snapshot streams for stress and throughput tests.
+
+    Each stream is a cumulative gmon series over a small function set —
+    enough structure for the tracker to classify, cheap enough that the
+    generator, not the service, is never the bottleneck in tests.
+    """
+
+    def __init__(
+        self,
+        functions: Sequence[str] = ("kernel", "reduce", "exchange"),
+        sample_period: float = 0.01,
+        ticks_per_interval: int = 100,
+    ) -> None:
+        if not functions:
+            raise ValidationError("need at least one function")
+        self.functions = list(functions)
+        self.sample_period = sample_period
+        self.ticks_per_interval = ticks_per_interval
+
+    def stream(self, stream_seed: int, n_intervals: int) -> List[GmonData]:
+        """One stream's cumulative snapshots (deterministic in the seed)."""
+        cumulative = GmonData(sample_period=self.sample_period, rank=stream_seed)
+        snapshots: List[GmonData] = []
+        n_funcs = len(self.functions)
+        for i in range(n_intervals):
+            # Rotate the dominant function so streams show phase structure.
+            dominant = (stream_seed + i // 4) % n_funcs
+            for j, func in enumerate(self.functions):
+                share = 0.7 if j == dominant else 0.3 / max(1, n_funcs - 1)
+                cumulative.add_ticks(func, int(self.ticks_per_interval * share))
+            snap = cumulative.copy()
+            snap.timestamp = float(i + 1)
+            snapshots.append(snap)
+        return snapshots
+
+    def run(
+        self,
+        endpoint: Endpoint,
+        n_streams: int,
+        n_intervals: int,
+        stream_prefix: str = "load",
+        delay: float = 0.0,
+    ) -> LoadResult:
+        """Publish ``n_streams`` concurrent synthetic streams; aggregate."""
+        reports: Dict[str, PublishReport] = {}
+        lock = threading.Lock()
+
+        def one(i: int) -> None:
+            stream_id = f"{stream_prefix}-{i}"
+            try:
+                report = publish_samples(endpoint, stream_id,
+                                         self.stream(i, n_intervals),
+                                         app="synthetic-load", rank=i,
+                                         delay=delay)
+            except (ReproError, OSError) as exc:
+                report = PublishReport(stream_id=stream_id, error=str(exc))
+            with lock:
+                reports[stream_id] = report
+
+        start = time.monotonic()
+        threads = [threading.Thread(target=one, args=(i,), name=f"load-{i}")
+                   for i in range(n_streams)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.monotonic() - start
+        return LoadResult(
+            streams=reports,
+            elapsed=elapsed,
+            sent=sum(r.sent for r in reports.values()),
+            processed=sum(r.processed for r in reports.values()),
+            rejected=sum(r.rejected for r in reports.values()),
+            dropped_oldest=sum(r.dropped_oldest for r in reports.values()),
+        )

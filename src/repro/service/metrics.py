@@ -1,0 +1,154 @@
+"""Service self-metrics for ``incprofd``.
+
+The daemon measures itself the way it measures applications: counters
+plus per-interval style summaries.  Everything here is thread-safe —
+reader threads, workers, and the stats endpoint all touch the same
+object concurrently.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Any, Deque, Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.util.errors import ValidationError
+
+
+class LatencyWindow:
+    """A bounded sliding window of latency observations (seconds).
+
+    Percentiles are computed over the most recent ``capacity``
+    observations — a long-lived daemon must not accumulate an unbounded
+    sample list just to answer a stats query.
+    """
+
+    def __init__(self, capacity: int = 2048) -> None:
+        if capacity < 1:
+            raise ValidationError("latency window capacity must be positive")
+        self._window: Deque[float] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self.observed = 0
+
+    def record(self, seconds: float) -> None:
+        with self._lock:
+            self._window.append(seconds)
+            self.observed += 1
+
+    def percentiles(self, qs: Sequence[float] = (0.5, 0.9, 0.99)) -> Dict[str, float]:
+        """``{"p50": ..., "p90": ...}`` over the current window (empty: zeros)."""
+        with self._lock:
+            sample = list(self._window)
+        out: Dict[str, float] = {}
+        for q in qs:
+            key = f"p{int(round(q * 100))}"
+            out[key] = float(np.quantile(sample, q)) if sample else 0.0
+        return out
+
+
+class ServiceMetrics:
+    """Counters + derived rates for the whole service.
+
+    ``ingested`` counts messages accepted into a queue; ``processed``
+    counts intervals actually classified; the difference across all
+    streams is the fleet's total lag.  Drop counters are split by
+    backpressure policy outcome so a stats reader can tell "the queue
+    shed load" (``dropped_oldest``) from "the client was pushed back"
+    (``rejected``).
+    """
+
+    def __init__(self, clock=time.monotonic, latency_capacity: int = 2048) -> None:
+        self._clock = clock
+        self._lock = threading.Lock()
+        self.ingested = 0
+        self.processed = 0
+        self.novel = 0
+        self.dropped_oldest = 0
+        self.rejected = 0
+        self.protocol_errors = 0
+        self.ingest_errors = 0
+        self.heartbeats = 0
+        self.connections = 0
+        self.classify_latency = LatencyWindow(latency_capacity)
+        self._first_ingest: Optional[float] = None
+        self._last_process: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def note_connection(self) -> None:
+        with self._lock:
+            self.connections += 1
+
+    def note_ingested(self, n: int = 1) -> None:
+        with self._lock:
+            self.ingested += n
+            if self._first_ingest is None:
+                self._first_ingest = self._clock()
+
+    def note_processed(self, novel: bool, latency: float) -> None:
+        with self._lock:
+            self.processed += 1
+            if novel:
+                self.novel += 1
+            self._last_process = self._clock()
+        self.classify_latency.record(latency)
+
+    def note_dropped_oldest(self, n: int = 1) -> None:
+        with self._lock:
+            self.dropped_oldest += n
+
+    def note_rejected(self, n: int = 1) -> None:
+        with self._lock:
+            self.rejected += n
+
+    def note_protocol_error(self) -> None:
+        with self._lock:
+            self.protocol_errors += 1
+
+    def note_ingest_error(self) -> None:
+        with self._lock:
+            self.ingest_errors += 1
+
+    def note_heartbeats(self, n: int) -> None:
+        with self._lock:
+            self.heartbeats += n
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    @property
+    def total_drops(self) -> int:
+        return self.dropped_oldest + self.rejected
+
+    def ingest_rate(self) -> float:
+        """Processed intervals per second, first ingest to last classify."""
+        with self._lock:
+            if self._first_ingest is None or self._last_process is None:
+                return 0.0
+            elapsed = self._last_process - self._first_ingest
+            if elapsed <= 0:
+                return float(self.processed)
+            return self.processed / elapsed
+
+    def snapshot(self) -> Dict[str, Any]:
+        """One JSON-ready view of every counter and derived rate."""
+        with self._lock:
+            snap: Dict[str, Any] = {
+                "ingested": self.ingested,
+                "processed": self.processed,
+                "novel": self.novel,
+                "dropped_oldest": self.dropped_oldest,
+                "rejected": self.rejected,
+                "drops": self.dropped_oldest + self.rejected,
+                "protocol_errors": self.protocol_errors,
+                "ingest_errors": self.ingest_errors,
+                "heartbeats": self.heartbeats,
+                "connections": self.connections,
+            }
+        snap["ingest_rate"] = self.ingest_rate()
+        snap["classify_latency"] = self.classify_latency.percentiles()
+        return snap

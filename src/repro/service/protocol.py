@@ -1,0 +1,352 @@
+"""The ``incprofd`` wire protocol.
+
+Every message is one *frame*: a 4-byte big-endian payload length followed
+by a UTF-8 JSON object.  The object always carries ``"v"`` (protocol
+version) and ``"type"`` (message kind); the remaining keys are the typed
+message's fields.  Gmon snapshots travel inside frames as base64 of the
+existing binary gmon serialization, so the service ingest path exercises
+exactly the same corrupt/truncated-file checks as the offline loader.
+
+Message kinds
+-------------
+``hello``      stream registration (stream id, app name, rank)
+``snapshot``   one cumulative gmon dump with a per-stream sequence number
+``heartbeat``  a batch of AppEKG heartbeat rows
+``control``    service commands (``ping``, ``stats``, ``fleet-status``,
+               ``shutdown``)
+``reply``      server response: ok/error plus a data payload
+``bye``        orderly stream shutdown
+
+Anything malformed — short frame, oversized frame, broken JSON, unknown
+type, missing field, undecodable snapshot — raises
+:class:`~repro.util.errors.ProtocolError`; a clean EOF between frames
+returns ``None`` from :func:`read_message`.
+"""
+
+from __future__ import annotations
+
+import base64
+import binascii
+import json
+import socket
+import struct
+from dataclasses import asdict, dataclass, field
+from typing import Any, BinaryIO, Dict, List, Optional
+
+from repro.gprof.gmon import GmonData, dumps_gmon, loads_gmon
+from repro.heartbeat.accumulator import HeartbeatRecord
+from repro.util.errors import FormatError, ProtocolError
+
+PROTOCOL_VERSION = 1
+
+#: Hard cap on one frame's JSON payload; anything larger is rejected
+#: before allocation (a malicious or corrupt length prefix must not make
+#: the server try to buffer gigabytes).
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+_LEN = struct.Struct(">I")
+
+
+# ----------------------------------------------------------------------
+# typed messages
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Hello:
+    """Register a stream (one per rank/node) with the service."""
+
+    stream_id: str
+    app: str = ""
+    rank: int = 0
+
+    TYPE = "hello"
+
+
+@dataclass(frozen=True)
+class SnapshotMsg:
+    """One cumulative gmon dump from a stream.
+
+    ``seq`` is the publisher's interval index; the server uses it to
+    detect gaps and report per-stream lag.
+    """
+
+    stream_id: str
+    seq: int
+    gmon: GmonData
+
+    TYPE = "snapshot"
+
+
+@dataclass(frozen=True)
+class HeartbeatMsg:
+    """A batch of AppEKG heartbeat rows from one stream."""
+
+    stream_id: str
+    records: List[HeartbeatRecord] = field(default_factory=list)
+
+    TYPE = "heartbeat"
+
+
+@dataclass(frozen=True)
+class Control:
+    """A service command (``ping``/``stats``/``fleet-status``/``shutdown``)."""
+
+    command: str
+    args: Dict[str, Any] = field(default_factory=dict)
+
+    TYPE = "control"
+
+
+@dataclass(frozen=True)
+class Reply:
+    """Server response to any request."""
+
+    ok: bool
+    error: str = ""
+    data: Dict[str, Any] = field(default_factory=dict)
+
+    TYPE = "reply"
+
+
+@dataclass(frozen=True)
+class Bye:
+    """Orderly end-of-stream."""
+
+    stream_id: str = ""
+
+    TYPE = "bye"
+
+
+Message = Any  # union of the dataclasses above
+
+
+# ----------------------------------------------------------------------
+# wire <-> message
+# ----------------------------------------------------------------------
+def _gmon_to_wire(gmon: GmonData) -> str:
+    return base64.b64encode(dumps_gmon(gmon)).decode("ascii")
+
+
+def _gmon_from_wire(blob: str) -> GmonData:
+    try:
+        raw = base64.b64decode(blob.encode("ascii"), validate=True)
+    except (binascii.Error, UnicodeEncodeError) as exc:
+        raise ProtocolError(f"snapshot payload is not valid base64: {exc}") from exc
+    try:
+        return loads_gmon(raw)
+    except FormatError as exc:
+        raise ProtocolError(f"snapshot payload is not a valid gmon: {exc}") from exc
+
+
+def _record_to_wire(record: HeartbeatRecord) -> Dict[str, Any]:
+    return asdict(record)
+
+_RECORD_FIELDS = ("rank", "hb_id", "interval_index", "time", "count", "avg_duration")
+
+
+def _record_from_wire(obj: Any) -> HeartbeatRecord:
+    if not isinstance(obj, dict):
+        raise ProtocolError("heartbeat record must be an object")
+    try:
+        return HeartbeatRecord(
+            rank=int(obj["rank"]),
+            hb_id=int(obj["hb_id"]),
+            interval_index=int(obj["interval_index"]),
+            time=float(obj["time"]),
+            count=float(obj["count"]),
+            avg_duration=float(obj["avg_duration"]),
+            min_duration=float(obj.get("min_duration", 0.0)),
+            max_duration=float(obj.get("max_duration", 0.0)),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError(f"bad heartbeat record: {exc!r}") from exc
+
+
+def message_to_obj(msg: Message) -> Dict[str, Any]:
+    """Lower a typed message to its wire JSON object."""
+    obj: Dict[str, Any] = {"v": PROTOCOL_VERSION, "type": msg.TYPE}
+    if isinstance(msg, Hello):
+        obj.update(stream_id=msg.stream_id, app=msg.app, rank=msg.rank)
+    elif isinstance(msg, SnapshotMsg):
+        obj.update(stream_id=msg.stream_id, seq=msg.seq, gmon=_gmon_to_wire(msg.gmon))
+    elif isinstance(msg, HeartbeatMsg):
+        obj.update(stream_id=msg.stream_id,
+                   records=[_record_to_wire(r) for r in msg.records])
+    elif isinstance(msg, Control):
+        obj.update(command=msg.command, args=dict(msg.args))
+    elif isinstance(msg, Reply):
+        obj.update(ok=msg.ok, error=msg.error, data=dict(msg.data))
+    elif isinstance(msg, Bye):
+        obj.update(stream_id=msg.stream_id)
+    else:
+        raise ProtocolError(f"cannot encode {type(msg).__name__}")
+    return obj
+
+
+def _require(obj: Dict[str, Any], key: str, kind: type) -> Any:
+    if key not in obj:
+        raise ProtocolError(f"message missing field {key!r}")
+    value = obj[key]
+    if kind is float and isinstance(value, int):
+        value = float(value)
+    if not isinstance(value, kind) or (kind is int and isinstance(value, bool)):
+        raise ProtocolError(f"field {key!r} must be {kind.__name__}")
+    return value
+
+
+def message_from_obj(obj: Any) -> Message:
+    """Raise a typed message from a decoded wire JSON object."""
+    if not isinstance(obj, dict):
+        raise ProtocolError("frame payload must be a JSON object")
+    version = _require(obj, "v", int)
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(f"unsupported protocol version {version}")
+    kind = _require(obj, "type", str)
+    if kind == Hello.TYPE:
+        return Hello(stream_id=_require(obj, "stream_id", str),
+                     app=str(obj.get("app", "")), rank=int(obj.get("rank", 0)))
+    if kind == SnapshotMsg.TYPE:
+        return SnapshotMsg(stream_id=_require(obj, "stream_id", str),
+                           seq=_require(obj, "seq", int),
+                           gmon=_gmon_from_wire(_require(obj, "gmon", str)))
+    if kind == HeartbeatMsg.TYPE:
+        records = _require(obj, "records", list)
+        return HeartbeatMsg(stream_id=_require(obj, "stream_id", str),
+                            records=[_record_from_wire(r) for r in records])
+    if kind == Control.TYPE:
+        return Control(command=_require(obj, "command", str),
+                       args=dict(obj.get("args") or {}))
+    if kind == Reply.TYPE:
+        return Reply(ok=_require(obj, "ok", bool), error=str(obj.get("error", "")),
+                     data=dict(obj.get("data") or {}))
+    if kind == Bye.TYPE:
+        return Bye(stream_id=str(obj.get("stream_id", "")))
+    raise ProtocolError(f"unknown message type {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# framing
+# ----------------------------------------------------------------------
+def encode_message(msg: Message) -> bytes:
+    """Serialize one message to a length-prefixed frame."""
+    payload = json.dumps(message_to_obj(msg), separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {len(payload)} bytes exceeds the "
+                            f"{MAX_FRAME_BYTES}-byte limit")
+    return _LEN.pack(len(payload)) + payload
+
+
+def decode_message(frame: bytes) -> Message:
+    """Inverse of :func:`encode_message` (whole frame, prefix included)."""
+    if len(frame) < _LEN.size:
+        raise ProtocolError("frame shorter than its length prefix")
+    (length,) = _LEN.unpack(frame[:_LEN.size])
+    payload = frame[_LEN.size:]
+    if len(payload) != length:
+        raise ProtocolError(f"frame length prefix says {length} bytes, "
+                            f"got {len(payload)}")
+    return _decode_payload(payload)
+
+
+def _decode_payload(payload: bytes) -> Message:
+    try:
+        obj = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"frame payload is not valid JSON: {exc}") from exc
+    return message_from_obj(obj)
+
+
+def read_frame(stream: BinaryIO) -> Optional[bytes]:
+    """Read one frame's payload bytes; ``None`` on clean EOF between frames.
+
+    Framing errors (short prefix, mid-frame EOF, oversized length) raise
+    :class:`ProtocolError` and mean the byte stream has lost sync — the
+    connection cannot be recovered.  Payload-level errors (bad JSON, bad
+    snapshot) are recoverable: the next frame is still readable.
+    """
+    prefix = stream.read(_LEN.size)
+    if not prefix:
+        return None
+    if len(prefix) < _LEN.size:
+        raise ProtocolError("connection closed mid-frame (short length prefix)")
+    (length,) = _LEN.unpack(prefix)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {length} bytes exceeds the "
+                            f"{MAX_FRAME_BYTES}-byte limit")
+    payload = b""
+    while len(payload) < length:
+        chunk = stream.read(length - len(payload))
+        if not chunk:
+            raise ProtocolError(f"connection closed mid-frame "
+                                f"({len(payload)}/{length} payload bytes)")
+        payload += chunk
+    return payload
+
+
+def decode_payload(payload: bytes) -> Message:
+    """Decode one frame's payload into a typed message."""
+    return _decode_payload(payload)
+
+
+def read_message(stream: BinaryIO) -> Optional[Message]:
+    """Read one framed message; ``None`` on clean EOF between frames."""
+    payload = read_frame(stream)
+    if payload is None:
+        return None
+    return _decode_payload(payload)
+
+
+def write_message(stream: BinaryIO, msg: Message) -> None:
+    """Frame and write one message."""
+    stream.write(encode_message(msg))
+    stream.flush()
+
+
+# ----------------------------------------------------------------------
+# addressing
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Endpoint:
+    """Where ``incprofd`` listens: TCP (``host:port``) or a Unix socket."""
+
+    kind: str  # "tcp" | "unix"
+    host: str = "127.0.0.1"
+    port: int = 0
+    path: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("tcp", "unix"):
+            raise ProtocolError(f"unknown endpoint kind {self.kind!r}")
+        if self.kind == "unix" and not self.path:
+            raise ProtocolError("unix endpoint needs a socket path")
+
+    @classmethod
+    def tcp(cls, host: str = "127.0.0.1", port: int = 0) -> "Endpoint":
+        return cls(kind="tcp", host=host, port=port)
+
+    @classmethod
+    def unix(cls, path: str) -> "Endpoint":
+        return cls(kind="unix", path=path)
+
+    @classmethod
+    def parse(cls, spec: str) -> "Endpoint":
+        """``host:port`` or ``unix:/path/to.sock``."""
+        if spec.startswith("unix:"):
+            return cls.unix(spec[len("unix:"):])
+        host, sep, port = spec.rpartition(":")
+        if not sep or not port.isdigit():
+            raise ProtocolError(f"endpoint spec {spec!r} is not host:port or unix:PATH")
+        return cls.tcp(host or "127.0.0.1", int(port))
+
+    def connect(self, timeout: Optional[float] = None) -> socket.socket:
+        """Open a client socket to this endpoint."""
+        if self.kind == "unix":
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(timeout)
+            sock.connect(self.path)
+        else:
+            sock = socket.create_connection((self.host, self.port), timeout=timeout)
+        sock.settimeout(None)
+        return sock
+
+    def __str__(self) -> str:
+        return f"unix:{self.path}" if self.kind == "unix" else f"{self.host}:{self.port}"

@@ -1,0 +1,215 @@
+"""Stream lifecycle for ``incprofd``.
+
+One *stream* is one publisher — a rank, node, or synthetic load thread.
+The registry owns per-stream state (its online tracker, ingest counters,
+sequence tracking) and the lifecycle: streams register with a ``hello``,
+stay alive as long as traffic (or explicit touches) arrive, and are
+expired when idle longer than the configured timeout — exactly the LDMS
+aggregator behaviour of dropping metric sets whose node went silent.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional
+
+from repro.core.online import OnlinePhaseTracker
+from repro.util.errors import ServiceError, ValidationError
+
+
+class StreamState:
+    """Everything the service knows about one publisher stream.
+
+    The ``queue`` attribute is attached by the server (the registry is
+    transport-agnostic); counter updates take the per-stream lock so the
+    reader thread and the worker pool can update concurrently.
+    """
+
+    def __init__(
+        self,
+        stream_id: str,
+        app: str,
+        rank: int,
+        now: float,
+        tracker: Optional[OnlinePhaseTracker] = None,
+    ) -> None:
+        self.stream_id = stream_id
+        self.app = app
+        self.rank = rank
+        self.tracker = tracker
+        self.connected_at = now
+        self.last_seen = now
+        self.lock = threading.Lock()
+        self.queue: Any = None  # BoundedStreamQueue, attached by the server
+        self.scheduled = False  # worker-pool scheduling flag (server-owned)
+        self.closed = False
+        self.last_seq = -1
+        self.seq_gaps = 0
+        self.enqueued = 0
+        self.processed = 0
+        self.novel = 0
+        self.dropped_oldest = 0
+        self.rejected = 0
+        self.heartbeats = 0
+
+    # ------------------------------------------------------------------
+    def touch(self, now: float) -> None:
+        with self.lock:
+            self.last_seen = now
+
+    def note_sequence(self, seq: int) -> None:
+        """Track the publisher's interval index; count gaps (lost dumps)."""
+        with self.lock:
+            if self.last_seq >= 0 and seq > self.last_seq + 1:
+                self.seq_gaps += seq - self.last_seq - 1
+            self.last_seq = max(self.last_seq, seq)
+
+    @property
+    def lag(self) -> int:
+        """Intervals accepted but not yet classified."""
+        with self.lock:
+            return max(0, self.enqueued - self.processed - self.dropped_oldest)
+
+    def phase_sequence(self) -> List[int]:
+        return self.tracker.phase_sequence() if self.tracker else []
+
+    def info(self, now: float) -> Dict[str, Any]:
+        """JSON-ready per-stream status row."""
+        with self.lock:
+            row = {
+                "stream_id": self.stream_id,
+                "app": self.app,
+                "rank": self.rank,
+                "connected_at": self.connected_at,
+                "idle_seconds": max(0.0, now - self.last_seen),
+                "last_seq": self.last_seq,
+                "seq_gaps": self.seq_gaps,
+                "enqueued": self.enqueued,
+                "processed": self.processed,
+                "novel": self.novel,
+                "dropped_oldest": self.dropped_oldest,
+                "rejected": self.rejected,
+                "heartbeats": self.heartbeats,
+                "closed": self.closed,
+            }
+        row["lag"] = max(0, row["enqueued"] - row["processed"] - row["dropped_oldest"])
+        if self.tracker is not None:
+            row["phase_counts"] = {str(k): v for k, v in self.tracker.phase_counts().items()}
+        return row
+
+
+class StreamRegistry:
+    """Thread-safe registry of live (and recently finished) streams."""
+
+    def __init__(
+        self,
+        idle_timeout: float = 30.0,
+        clock=time.monotonic,
+        finished_capacity: int = 64,
+    ) -> None:
+        if idle_timeout <= 0:
+            raise ValidationError("idle timeout must be positive")
+        self.idle_timeout = idle_timeout
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._streams: Dict[str, StreamState] = {}
+        self._finished: Deque[Dict[str, Any]] = deque(maxlen=finished_capacity)
+        self.registered = 0
+        self.expired = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        stream_id: str,
+        app: str = "",
+        rank: int = 0,
+        tracker: Optional[OnlinePhaseTracker] = None,
+    ) -> StreamState:
+        if not stream_id:
+            raise ServiceError("stream id must be non-empty")
+        now = self._clock()
+        with self._lock:
+            if stream_id in self._streams:
+                raise ServiceError(f"stream {stream_id!r} is already registered")
+            state = StreamState(stream_id, app, rank, now, tracker)
+            self._streams[stream_id] = state
+            self.registered += 1
+            return state
+
+    def get(self, stream_id: str) -> StreamState:
+        with self._lock:
+            state = self._streams.get(stream_id)
+        if state is None:
+            raise ServiceError(f"unknown stream {stream_id!r} (hello first?)")
+        return state
+
+    def touch(self, stream_id: str) -> None:
+        self.get(stream_id).touch(self._clock())
+
+    def close(self, stream_id: str) -> Optional[StreamState]:
+        """Remove a stream on orderly shutdown; keep its final stats."""
+        with self._lock:
+            state = self._streams.pop(stream_id, None)
+        if state is not None:
+            state.closed = True
+            self._finished.append(state.info(self._clock()))
+        return state
+
+    def expire_idle(self, now: Optional[float] = None) -> List[str]:
+        """Expire every stream idle longer than the timeout; return ids."""
+        now = self._clock() if now is None else now
+        with self._lock:
+            stale = [sid for sid, s in self._streams.items()
+                     if now - s.last_seen > self.idle_timeout]
+            expired = [self._streams.pop(sid) for sid in stale]
+        for state in expired:
+            state.closed = True
+            self._finished.append(state.info(now))
+        self.expired += len(expired)
+        return [s.stream_id for s in expired]
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def active(self) -> List[StreamState]:
+        with self._lock:
+            return list(self._streams.values())
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._streams)
+
+    def fleet_status(self) -> Dict[str, Any]:
+        """Aggregated fleet view: per-stream rows + cross-stream occupancy.
+
+        Occupancy spans live streams *and* the finished ring, so a
+        dashboard polled right after a fleet drains still sees where the
+        intervals went.
+        """
+        now = self._clock()
+        streams = [state.info(now) for state in self.active()]
+        with self._lock:
+            finished = list(self._finished)
+        occupancy: Dict[str, int] = {}
+        for row in streams + finished:
+            for phase, count in row.get("phase_counts", {}).items():
+                occupancy[phase] = occupancy.get(phase, 0) + count
+        total = sum(occupancy.values())
+        return {
+            "streams": sorted(streams, key=lambda r: r["stream_id"]),
+            "n_streams": len(streams),
+            "registered_total": self.registered,
+            "expired_total": self.expired,
+            "phase_occupancy": {
+                phase: {"intervals": count,
+                        "share": count / total if total else 0.0}
+                for phase, count in sorted(occupancy.items())
+            },
+            "total_lag": sum(row["lag"] for row in streams),
+            "novel_total": sum(row["novel"] for row in streams + finished),
+            "finished": finished,
+        }

@@ -1,0 +1,540 @@
+"""``incprofd`` — the long-running phase-monitoring daemon.
+
+Architecture (one box per thread group)::
+
+    publishers ──TCP/unix──▶ reader threads ──▶ per-stream bounded queues
+                                                        │
+                                             scheduler (ready queue)
+                                                        │
+                                                  worker pool ──▶ per-stream
+                                                                  OnlinePhaseTracker
+    housekeeping thread: idle-stream expiry + LDMS sampler pulls
+
+Each accepted connection gets a reader thread that decodes frames and
+*enqueues* snapshots — classification happens on the worker pool, so a
+slow stream cannot stall ingest for the others.  Per-stream ordering is
+preserved by scheduling: a stream is in the ready queue at most once, so
+only one worker services a given stream at a time.
+
+Backpressure when a stream's queue is full is explicit policy:
+
+``block``        the reader thread waits for space, which stops reading
+                 the connection and pushes back on the publisher via TCP
+                 flow control (the default; lossless).
+``drop-oldest``  evict the oldest queued snapshot to admit the new one
+                 (bounded staleness; drop counters surface the loss).
+``reject``       refuse the new snapshot and tell the publisher via a
+                 failed reply (the publisher decides what to retry).
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field, replace
+from queue import Empty, Queue
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from repro.core.online import OnlinePhaseTracker
+from repro.gprof.gmon import GmonData
+from repro.heartbeat.ldms import LDMSTransport
+from repro.service.metrics import ServiceMetrics
+from repro.service.protocol import (
+    Bye,
+    Control,
+    Endpoint,
+    Hello,
+    HeartbeatMsg,
+    Message,
+    Reply,
+    SnapshotMsg,
+    decode_payload,
+    read_frame,
+    write_message,
+)
+from repro.service.registry import StreamRegistry, StreamState
+from repro.util.errors import ProtocolError, ReproError, ServiceError, ValidationError
+
+#: Admission outcomes of one snapshot (also used on the wire in replies).
+ACCEPTED = "accepted"
+DROPPED_OLDEST = "dropped-oldest"
+REJECTED = "rejected"
+
+BACKPRESSURE_POLICIES = ("block", "drop-oldest", "reject")
+
+
+class BoundedStreamQueue:
+    """A bounded FIFO with an explicit full-queue policy.
+
+    ``put`` is called by reader threads, ``pop_batch`` by workers; the
+    condition variable couples them so the ``block`` policy gives real
+    producer backpressure rather than buffering.
+    """
+
+    def __init__(self, capacity: int, policy: str = "block") -> None:
+        if capacity < 1:
+            raise ValidationError("queue capacity must be positive")
+        if policy not in BACKPRESSURE_POLICIES:
+            raise ValidationError(
+                f"unknown backpressure policy {policy!r} "
+                f"(expected one of {BACKPRESSURE_POLICIES})")
+        self.capacity = capacity
+        self.policy = policy
+        self._items: Deque[Any] = deque()
+        self._cv = threading.Condition()
+        self._closed = False
+
+    def __len__(self) -> int:
+        with self._cv:
+            return len(self._items)
+
+    def close(self) -> None:
+        """Unblock every waiting producer; further puts fail."""
+        with self._cv:
+            self._closed = True
+            self._cv.notify_all()
+
+    def put(self, item: Any, timeout: Optional[float] = None) -> str:
+        """Admit one item under the queue's policy.
+
+        Returns the admission outcome; ``block`` waits for space (up to
+        ``timeout`` seconds, then :class:`ServiceError`).
+        """
+        with self._cv:
+            if self.policy == "block":
+                deadline = None if timeout is None else time.monotonic() + timeout
+                while len(self._items) >= self.capacity and not self._closed:
+                    remaining = None if deadline is None else deadline - time.monotonic()
+                    if remaining is not None and remaining <= 0:
+                        raise ServiceError("backpressure timeout: queue stayed full")
+                    self._cv.wait(remaining)
+                if self._closed:
+                    raise ServiceError("queue closed")
+                self._items.append(item)
+                self._cv.notify_all()
+                return ACCEPTED
+            if self._closed:
+                raise ServiceError("queue closed")
+            if len(self._items) >= self.capacity:
+                if self.policy == "drop-oldest":
+                    self._items.popleft()
+                    self._items.append(item)
+                    return DROPPED_OLDEST
+                return REJECTED
+            self._items.append(item)
+            return ACCEPTED
+
+    def pop_batch(self, max_items: int) -> List[Any]:
+        """Dequeue up to ``max_items`` (may be empty), waking producers."""
+        with self._cv:
+            batch = [self._items.popleft()
+                     for _ in range(min(max_items, len(self._items)))]
+            if batch:
+                self._cv.notify_all()
+            return batch
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Tunables of one ``incprofd`` instance."""
+
+    endpoint: Endpoint = field(default_factory=Endpoint.tcp)
+    workers: int = 4
+    queue_capacity: int = 64
+    policy: str = "block"
+    #: Give up on a blocked put after this many seconds (a wedged worker
+    #: pool must not hold reader threads hostage forever).
+    block_timeout: float = 30.0
+    idle_timeout: float = 30.0
+    #: Housekeeping cadence (idle expiry + LDMS sampler pulls).
+    housekeeping_interval: float = 0.5
+    batch_size: int = 8
+    #: Novelty gate parameters used when spawning per-stream trackers.
+    quantile: float = 0.95
+    slack: float = 1.5
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValidationError("need at least one worker")
+        if self.policy not in BACKPRESSURE_POLICIES:
+            raise ValidationError(f"unknown backpressure policy {self.policy!r}")
+        if self.batch_size < 1:
+            raise ValidationError("batch size must be positive")
+
+
+class PhaseMonitorServer:
+    """The daemon: socket front end, worker pool, fleet state."""
+
+    def __init__(
+        self,
+        tracker_template: Optional[OnlinePhaseTracker] = None,
+        config: ServerConfig = ServerConfig(),
+    ) -> None:
+        self.template = tracker_template
+        self.config = config
+        self.registry = StreamRegistry(idle_timeout=config.idle_timeout)
+        self.metrics = ServiceMetrics()
+        #: Heartbeat rows are forwarded through the same pull-model
+        #: transport the in-process examples use; the housekeeping thread
+        #: plays the LDMS sampler.
+        self.transport = LDMSTransport()
+        self._listener: Optional[socket.socket] = None
+        self._endpoint: Optional[Endpoint] = None
+        self._running = threading.Event()
+        self._stopped = threading.Event()
+        self._ready: "Queue[Optional[StreamState]]" = Queue()
+        self._sched_lock = threading.Lock()
+        self._threads: List[threading.Thread] = []
+        self._conns: List[socket.socket] = []
+        self._conns_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def endpoint(self) -> Endpoint:
+        if self._endpoint is None:
+            raise ServiceError("server is not started")
+        return self._endpoint
+
+    def start(self) -> Endpoint:
+        """Bind, spawn the thread groups, and return the bound endpoint."""
+        if self._running.is_set():
+            raise ServiceError("server already started")
+        cfg = self.config
+        if cfg.endpoint.kind == "unix":
+            listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            listener.bind(cfg.endpoint.path)
+            self._endpoint = cfg.endpoint
+        else:
+            listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            listener.bind((cfg.endpoint.host, cfg.endpoint.port))
+            host, port = listener.getsockname()[:2]
+            self._endpoint = replace(cfg.endpoint, host=host, port=port)
+        listener.listen(128)
+        # Closing a listener does not reliably wake a thread blocked in
+        # accept(); a short timeout lets the accept loop re-check the
+        # running flag instead.  (Accepted sockets stay blocking.)
+        listener.settimeout(0.2)
+        self._listener = listener
+        self._running.set()
+        self._stopped.clear()
+
+        self._spawn(self._accept_loop, "incprofd-accept")
+        for i in range(cfg.workers):
+            self._spawn(self._worker_loop, f"incprofd-worker-{i}")
+        self._spawn(self._housekeeping_loop, "incprofd-housekeeping")
+        return self._endpoint
+
+    def _spawn(self, target, name: str) -> None:
+        thread = threading.Thread(target=target, name=name, daemon=True)
+        thread.start()
+        self._threads.append(thread)
+
+    def stop(self) -> None:
+        """Stop accepting, unblock everything, and join the thread groups."""
+        if not self._running.is_set():
+            return
+        self._running.clear()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        with self._conns_lock:
+            conns = list(self._conns)
+        for conn in conns:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+        for state in self.registry.active():
+            if state.queue is not None:
+                state.queue.close()
+        for _ in range(self.config.workers):
+            self._ready.put(None)
+        current = threading.current_thread()
+        for thread in self._threads:
+            if thread is not current:
+                thread.join(timeout=5.0)
+        self._stopped.set()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the server stops (e.g. via a shutdown control)."""
+        return self._stopped.wait(timeout)
+
+    def __enter__(self) -> "PhaseMonitorServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # socket front end
+    # ------------------------------------------------------------------
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while self._running.is_set():
+            try:
+                conn, _addr = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            with self._conns_lock:
+                self._conns.append(conn)
+            self._spawn(lambda c=conn: self._handle_conn(c), "incprofd-conn")
+
+    def _handle_conn(self, conn: socket.socket) -> None:
+        self.metrics.note_connection()
+        fh = conn.makefile("rwb")
+        try:
+            while self._running.is_set():
+                try:
+                    payload = read_frame(fh)
+                except ProtocolError:
+                    # Framing is broken: the byte stream lost sync, the
+                    # connection cannot be trusted any further.
+                    self.metrics.note_protocol_error()
+                    break
+                if payload is None:
+                    break
+                try:
+                    msg = decode_payload(payload)
+                except ProtocolError as exc:
+                    # The frame boundary held — reject the message, keep
+                    # the connection.
+                    self.metrics.note_protocol_error()
+                    write_message(fh, Reply(ok=False, error=str(exc)))
+                    continue
+                reply = self._dispatch(msg)
+                write_message(fh, reply)
+                if (reply.ok and isinstance(msg, Control)
+                        and msg.command == "shutdown"):
+                    # The reply is flushed; now it is safe to tear the
+                    # server down.  stop() joins reader threads, so it
+                    # must run on a helper thread, not this one.
+                    threading.Thread(target=self.stop,
+                                     name="incprofd-stopper",
+                                     daemon=True).start()
+                    break
+        except (OSError, ValueError):
+            pass  # peer vanished mid-write; nothing to answer
+        finally:
+            try:
+                fh.close()
+            except (OSError, ValueError):
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+            with self._conns_lock:
+                if conn in self._conns:
+                    self._conns.remove(conn)
+
+    # ------------------------------------------------------------------
+    # request dispatch
+    # ------------------------------------------------------------------
+    def _dispatch(self, msg: Message) -> Reply:
+        try:
+            if isinstance(msg, Hello):
+                return self._on_hello(msg)
+            if isinstance(msg, SnapshotMsg):
+                return self._on_snapshot(msg)
+            if isinstance(msg, HeartbeatMsg):
+                return self._on_heartbeat(msg)
+            if isinstance(msg, Control):
+                return self._on_control(msg)
+            if isinstance(msg, Bye):
+                return self._on_bye(msg)
+        except ServiceError as exc:
+            return Reply(ok=False, error=str(exc))
+        return Reply(ok=False, error=f"unhandled message {type(msg).__name__}")
+
+    def _on_hello(self, msg: Hello) -> Reply:
+        tracker = None
+        if self.template is not None:
+            tracker = self.template.spawn(zero_start=True)
+        state = self.registry.register(msg.stream_id, app=msg.app,
+                                       rank=msg.rank, tracker=tracker)
+        state.queue = BoundedStreamQueue(self.config.queue_capacity,
+                                         self.config.policy)
+        return Reply(ok=True, data={
+            "stream_id": msg.stream_id,
+            "policy": self.config.policy,
+            "queue_capacity": self.config.queue_capacity,
+            "classifying": tracker is not None,
+        })
+
+    def _on_snapshot(self, msg: SnapshotMsg) -> Reply:
+        state = self.registry.get(msg.stream_id)
+        self.registry.touch(msg.stream_id)
+        state.note_sequence(msg.seq)
+        try:
+            outcome = state.queue.put((msg.seq, msg.gmon),
+                                      timeout=self.config.block_timeout)
+        except ServiceError as exc:
+            self.metrics.note_rejected()
+            with state.lock:
+                state.rejected += 1
+            return Reply(ok=False, error=str(exc), data={"outcome": REJECTED})
+        if outcome == REJECTED:
+            self.metrics.note_rejected()
+            with state.lock:
+                state.rejected += 1
+            return Reply(ok=False, error="queue full", data={"outcome": REJECTED})
+        self.metrics.note_ingested()
+        with state.lock:
+            state.enqueued += 1
+        if outcome == DROPPED_OLDEST:
+            self.metrics.note_dropped_oldest()
+            with state.lock:
+                state.dropped_oldest += 1
+        self._schedule(state)
+        return Reply(ok=True, data={"outcome": outcome, "seq": msg.seq})
+
+    def _on_heartbeat(self, msg: HeartbeatMsg) -> Reply:
+        state = self.registry.get(msg.stream_id)
+        self.registry.touch(msg.stream_id)
+        for record in msg.records:
+            self.transport(record)
+        self.metrics.note_heartbeats(len(msg.records))
+        with state.lock:
+            state.heartbeats += len(msg.records)
+        return Reply(ok=True, data={"accepted": len(msg.records)})
+
+    def _on_control(self, msg: Control) -> Reply:
+        if msg.command == "ping":
+            return Reply(ok=True, data={"version": 1})
+        if msg.command == "stats":
+            return Reply(ok=True, data=self.stats())
+        if msg.command == "fleet-status":
+            return Reply(ok=True, data=self.fleet_status())
+        if msg.command == "shutdown":
+            # The connection handler triggers the actual stop *after*
+            # flushing this reply, so the client always sees it.
+            return Reply(ok=True, data={"stopping": True})
+        return Reply(ok=False, error=f"unknown control command {msg.command!r}")
+
+    def _on_bye(self, msg: Bye) -> Reply:
+        state = self.registry.get(msg.stream_id)
+        drained = self._drain(state, timeout=self.config.block_timeout)
+        self.registry.close(msg.stream_id)
+        return Reply(ok=True, data={
+            "drained": drained,
+            "processed": state.processed,
+            "novel": state.novel,
+            "phase_sequence": state.phase_sequence(),
+        })
+
+    def _drain(self, state: StreamState, timeout: float) -> bool:
+        """Wait until every accepted snapshot of ``state`` is classified."""
+        deadline = time.monotonic() + timeout
+        while state.lag > 0:
+            if time.monotonic() >= deadline or not self._running.is_set():
+                return False
+            time.sleep(0.002)
+        return True
+
+    # ------------------------------------------------------------------
+    # worker pool + scheduler
+    # ------------------------------------------------------------------
+    def _schedule(self, state: StreamState) -> None:
+        """Put a stream on the ready queue unless a worker already has it."""
+        with self._sched_lock:
+            if not state.scheduled:
+                state.scheduled = True
+                self._ready.put(state)
+
+    def _worker_loop(self) -> None:
+        while True:
+            try:
+                state = self._ready.get(timeout=0.5)
+            except Empty:
+                if not self._running.is_set():
+                    return
+                continue
+            if state is None:
+                return
+            batch = state.queue.pop_batch(self.config.batch_size)
+            for seq, gmon in batch:
+                self._classify_one(state, seq, gmon)
+            with self._sched_lock:
+                if len(state.queue):
+                    self._ready.put(state)
+                else:
+                    state.scheduled = False
+
+    def _classify_one(self, state: StreamState, seq: int, gmon: GmonData) -> None:
+        start = time.perf_counter()
+        novel = False
+        try:
+            if state.tracker is not None:
+                tracked = state.tracker.observe_snapshot(gmon)
+                novel = bool(tracked is not None and tracked.is_novel)
+        except ReproError:
+            # A single inconsistent snapshot (e.g. mismatched sample
+            # period) must not take the worker down.
+            self.metrics.note_ingest_error()
+            with state.lock:
+                state.processed += 1
+            return
+        latency = time.perf_counter() - start
+        self.metrics.note_processed(novel=novel, latency=latency)
+        with state.lock:
+            state.processed += 1
+            if novel:
+                state.novel += 1
+
+    # ------------------------------------------------------------------
+    # housekeeping
+    # ------------------------------------------------------------------
+    def _housekeeping_loop(self) -> None:
+        while self._running.is_set():
+            if self._stopped.wait(self.config.housekeeping_interval):
+                return
+            if not self._running.is_set():
+                return
+            self.registry.expire_idle()
+            self.transport.sample()
+
+    # ------------------------------------------------------------------
+    # status
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        """Service self-metrics plus live queue depths."""
+        depths = {s.stream_id: len(s.queue) for s in self.registry.active()
+                  if s.queue is not None}
+        snap = self.metrics.snapshot()
+        snap["queue_depths"] = depths
+        snap["queued_total"] = sum(depths.values())
+        snap["streams"] = len(self.registry)
+        snap["policy"] = self.config.policy
+        snap["workers"] = self.config.workers
+        snap["ldms_delivered"] = self.transport.delivered
+        return snap
+
+    def fleet_status(self) -> Dict[str, Any]:
+        """Registry fleet view plus the service metrics snapshot."""
+        status = self.registry.fleet_status()
+        status["service"] = self.stats()
+        return status
+
+
+def serve(
+    tracker_template: Optional[OnlinePhaseTracker],
+    config: ServerConfig = ServerConfig(),
+) -> PhaseMonitorServer:
+    """Start a daemon and return it (caller owns ``stop``/``wait``)."""
+    server = PhaseMonitorServer(tracker_template, config)
+    server.start()
+    return server

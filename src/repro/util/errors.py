@@ -32,3 +32,11 @@ class CollectorError(ReproError):
 
 class AppError(ReproError):
     """A workload application was misconfigured."""
+
+
+class ProtocolError(ReproError):
+    """A service wire-protocol frame is malformed or violates the protocol."""
+
+
+class ServiceError(ReproError):
+    """The phase-monitoring service was misused or is unavailable."""

@@ -48,8 +48,19 @@ def test_unknown_app_rejected():
 def test_parser_has_all_subcommands():
     parser = build_parser()
     text = parser.format_help()
-    for cmd in ("apps", "run", "analyze", "report", "figure", "table1"):
+    for cmd in ("apps", "run", "analyze", "report", "figure", "table1",
+                "serve", "submit", "fleet-status"):
         assert cmd in text
+
+
+def test_serve_parser_defaults():
+    args = build_parser().parse_args(["serve"])
+    assert args.policy == "block"
+    assert args.workers == 4
+    assert not args.selftest
+    args = build_parser().parse_args(
+        ["serve", "--policy", "drop-oldest", "--queue", "8", "--selftest"])
+    assert args.policy == "drop-oldest" and args.queue == 8 and args.selftest
 
 
 def test_report_with_lift_and_merge(capsys):

@@ -110,3 +110,38 @@ def test_paperdata_helpers():
     assert paperdata.paper_function_share("graph500", "run_bfs") == pytest.approx(25.5)
     sites = paperdata.paper_site_set("miniamr")
     assert ("check_sum", paperdata.SITES["miniamr"][0].inst_type) in sites
+
+
+# ----------------------------------------------------------------------
+# experiment cache bounds (daemon-safe memoization)
+# ----------------------------------------------------------------------
+def test_cache_is_lru_bounded():
+    from repro.eval import experiments as exp
+
+    saved = dict(exp._CACHE)
+    saved_capacity = exp.cache_info()["capacity"]
+    try:
+        exp.clear_cache()
+        exp.set_cache_capacity(2)
+        for seed in (1, 2, 3):
+            exp.run_experiment("synthetic", scale=0.25, seed=seed)
+        info = exp.cache_info()
+        assert info["size"] == 2  # the oldest entry was evicted
+        seeds_cached = {key[2] for key in exp._CACHE}
+        assert seeds_cached == {2, 3}
+        # a cache hit refreshes recency: seed 2 survives the next insert
+        exp.run_experiment("synthetic", scale=0.25, seed=2)
+        exp.run_experiment("synthetic", scale=0.25, seed=4)
+        seeds_cached = {key[2] for key in exp._CACHE}
+        assert seeds_cached == {2, 4}
+    finally:
+        exp.clear_cache()
+        exp.set_cache_capacity(saved_capacity)
+        exp._CACHE.update(saved)
+
+
+def test_cache_capacity_validation():
+    from repro.eval.experiments import set_cache_capacity
+
+    with pytest.raises(ValueError):
+        set_cache_capacity(0)

@@ -60,6 +60,16 @@ def test_online_phase_tracking():
     assert "!" in out  # the rogue stage shows as novelty marks
 
 
+@pytest.mark.socket
+def test_fleet_monitoring():
+    out = run_example("fleet_monitoring.py")
+    assert "incprofd listening" in out
+    assert "intervals/s" in out and "drops=0" in out
+    assert "novel intervals" in out and "!" in out
+    assert "phase occupancy" in out
+    assert "daemon stopped cleanly" in out
+
+
 @pytest.mark.slow
 def test_live_python_profiling():
     out = run_example("live_python_profiling.py")

@@ -81,6 +81,59 @@ def test_ldms_pending_metrics_view():
     assert transport.pending_metrics() == {}
 
 
+def test_ldms_concurrent_updates_and_samples_lose_nothing():
+    """App-side pushes racing the sampler thread: exactly-once delivery.
+
+    This is the daemon's real shape — reader threads call the transport
+    while the housekeeping thread plays the LDMS sampler — so updates
+    and drains must be atomic with respect to each other.
+    """
+    import threading
+
+    transport = LDMSTransport()
+    delivered = []
+    delivered_lock = threading.Lock()
+
+    def subscriber(batch):
+        with delivered_lock:
+            delivered.extend(batch)
+
+    transport.subscribe(subscriber)
+    n_producers, per_producer = 8, 500
+    start = threading.Barrier(n_producers + 1)
+    stop_sampling = threading.Event()
+
+    def produce(rank):
+        start.wait()
+        for i in range(per_producer):
+            transport(HeartbeatRecord(rank=rank, hb_id=1, interval_index=i,
+                                      time=float(i), count=1.0,
+                                      avg_duration=0.01))
+
+    def sample_loop():
+        start.wait()
+        while not stop_sampling.is_set():
+            transport.sample()
+        transport.sample()  # final drain
+
+    producers = [threading.Thread(target=produce, args=(r,))
+                 for r in range(n_producers)]
+    sampler = threading.Thread(target=sample_loop)
+    for thread in producers:
+        thread.start()
+    sampler.start()
+    for thread in producers:
+        thread.join()
+    stop_sampling.set()
+    sampler.join()
+
+    total = n_producers * per_producer
+    assert transport.updates == total
+    assert transport.delivered == total
+    assert len(delivered) == total  # nothing lost, nothing duplicated
+    assert transport.pending_metrics() == {}
+
+
 def test_csv_roundtrip_min_max(tmp_path):
     path = tmp_path / "hbmm.csv"
     with CSVSink(path) as sink:

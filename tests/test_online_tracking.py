@@ -118,3 +118,99 @@ def test_constructor_shape_validation():
     with pytest.raises(ValidationError):
         OnlinePhaseTracker(functions=["f"], centroids=np.zeros((2, 1)),
                            gates=np.zeros(3))
+
+
+# ----------------------------------------------------------------------
+# serving-side additions: spawn, zero-start, batches, thread safety
+# ----------------------------------------------------------------------
+def test_spawn_shares_model_but_not_history(trained):
+    analysis, _ = trained
+    template = OnlinePhaseTracker.from_analysis(analysis)
+    template.classify({"kernel": 0.9})
+    child = template.spawn()
+    assert child.history == []
+    assert child.functions == template.functions
+    assert np.array_equal(child.centroids, template.centroids)
+    assert np.array_equal(child.gates, template.gates)
+    child.classify({"kernel": 0.9})
+    assert len(template.history) == 1  # child's history is its own
+
+
+def test_zero_start_classifies_first_snapshot(trained):
+    analysis, _ = trained
+    template = OnlinePhaseTracker.from_analysis(analysis)
+    snap = GmonData()
+    snap.add_ticks("kernel", 85)
+    snap.add_ticks("reduce", 10)
+    primed = template.spawn(zero_start=False)
+    assert primed.observe_snapshot(snap.copy()) is None
+    eager = template.spawn(zero_start=True)
+    tracked = eager.observe_snapshot(snap.copy())
+    assert tracked is not None and tracked.index == 0
+
+
+def test_zero_start_matches_offline_labels(trained):
+    """With a zero baseline, streaming the training run's cumulative
+    snapshots reproduces the offline interval count exactly."""
+    analysis, _ = trained
+    tracker = OnlinePhaseTracker.from_analysis(analysis).spawn(zero_start=True)
+    session = Session(get_app("synthetic"), SessionConfig(ranks=1, seed=111))
+    samples = session.run().samples(0)
+    for snapshot in samples:
+        tracker.observe_snapshot(snapshot)
+    assert len(tracker.history) == len(samples)
+    labels = analysis.phase_model.labels
+    seq = tracker.phase_sequence()
+    matches = sum(1 for a, b in zip(seq, labels) if a == b)
+    assert matches / len(labels) > 0.9
+
+
+def test_classify_batch_appends_in_order(trained):
+    analysis, _ = trained
+    tracker = OnlinePhaseTracker.from_analysis(analysis)
+    data = analysis.interval_data
+    profiles = [
+        {f: data.self_time[i, j] for j, f in enumerate(data.functions)}
+        for i in range(6)
+    ]
+    batch = tracker.classify_batch(profiles)
+    assert [t.index for t in batch] == list(range(6))
+    assert tracker.phase_sequence() == [t.phase_id for t in batch]
+
+
+def test_phase_counts(trained):
+    analysis, _ = trained
+    tracker = OnlinePhaseTracker.from_analysis(analysis)
+    tracker.classify({"totally_new_function": 5.0})
+    data = analysis.interval_data
+    tracker.classify({f: data.self_time[0, j] for j, f in enumerate(data.functions)})
+    counts = tracker.phase_counts()
+    assert counts[NOVEL] == 1
+    assert sum(counts.values()) == 2
+
+
+def test_concurrent_classification_is_safe(trained):
+    """Many threads hammering one tracker: history stays consistent."""
+    import threading
+
+    analysis, _ = trained
+    tracker = OnlinePhaseTracker.from_analysis(analysis)
+    data = analysis.interval_data
+    profile = {f: data.self_time[0, j] for j, f in enumerate(data.functions)}
+    n_threads, per_thread = 8, 200
+    barrier = threading.Barrier(n_threads)
+
+    def worker():
+        barrier.wait()
+        for _ in range(per_thread):
+            tracker.classify(dict(profile))
+
+    threads = [threading.Thread(target=worker) for _ in range(n_threads)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    total = n_threads * per_thread
+    assert len(tracker.history) == total
+    # every interval got a unique, gapless index despite the races
+    assert sorted(t.index for t in tracker.history) == list(range(total))

@@ -86,3 +86,33 @@ def test_loop_sites_record_heartbeats():
     result = Session(app, SessionConfig(ranks=1, scale=0.05,
                                         heartbeat_sites=bindings)).run()
     assert any(r.hb_id == 1 for r in result.heartbeat_records(0))
+
+
+# ----------------------------------------------------------------------
+# stream export (the incprofd publishing hook)
+# ----------------------------------------------------------------------
+def test_stream_events_merged_by_time():
+    result = Session(get_app("synthetic"),
+                     SessionConfig(ranks=3, seed=111)).run()
+    events = list(result.stream_events())
+    total = sum(len(rr.samples) for rr in result.per_rank)
+    assert len(events) == total
+    # globally non-decreasing timestamps...
+    stamps = [snap.timestamp for _rank, _seq, snap in events]
+    assert stamps == sorted(stamps)
+    # ...and per-rank sequence numbers stay in order
+    last_seq = {}
+    for rank, seq, _snap in events:
+        assert seq == last_seq.get(rank, -1) + 1
+        last_seq[rank] = seq
+    assert set(last_seq) == {0, 1, 2}
+
+
+def test_publish_delivers_every_snapshot():
+    result = Session(get_app("synthetic"),
+                     SessionConfig(ranks=2, seed=111)).run()
+    seen = []
+    count = result.publish(lambda rank, seq, snap: seen.append((rank, seq)))
+    assert count == len(seen)
+    assert count == sum(len(rr.samples) for rr in result.per_rank)
+    assert len(set(seen)) == count  # no duplicates

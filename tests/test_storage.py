@@ -3,8 +3,8 @@
 import pytest
 
 from repro.gprof.gmon import GmonData
-from repro.incprof.storage import SampleStore
-from repro.util.errors import CollectorError
+from repro.incprof.storage import SampleFileError, SampleStore
+from repro.util.errors import CollectorError, FormatError
 
 
 def snap(rank: int, ticks: int, t: float) -> GmonData:
@@ -57,3 +57,67 @@ def test_foreign_files_ignored(tmp_path):
     (tmp_path / "gmon-rxxx-iyyyyy.gmon").write_text("junk")
     store = SampleStore(tmp_path)
     assert store.ranks() == []
+
+
+def test_load_all_matches_per_rank_loads(tmp_path):
+    store = SampleStore(tmp_path)
+    for rank in (0, 1, 3):
+        for index in range(3):
+            store.save(snap(rank, 10 * (index + 1), float(index)), index)
+    everything = store.load_all()
+    assert sorted(everything) == [0, 1, 3]
+    for rank in (0, 1, 3):
+        assert [s.hist["f"] for s in everything[rank]] == [10, 20, 30]
+        assert [s.hist["f"] for s in store.load_rank(rank)] == [10, 20, 30]
+
+
+def test_load_all_scans_directory_once(tmp_path, monkeypatch):
+    store = SampleStore(tmp_path)
+    for rank in range(5):
+        store.save(snap(rank, 1, 1.0), 0)
+    calls = {"n": 0}
+    original = SampleStore._scan
+
+    def counting_scan(self):
+        calls["n"] += 1
+        return original(self)
+
+    monkeypatch.setattr(SampleStore, "_scan", counting_scan)
+    everything = store.load_all()
+    assert len(everything) == 5
+    assert calls["n"] == 1
+
+
+# ----------------------------------------------------------------------
+# corrupt/truncated sample files (the service ingest contract)
+# ----------------------------------------------------------------------
+def test_corrupt_sample_file_raises_typed_error(tmp_path):
+    store = SampleStore(tmp_path)
+    store.save(snap(0, 10, 1.0), 0)
+    bad = store.path_for(0, 1)
+    bad.write_bytes(b"NOTAGMON" * 4)
+    with pytest.raises(SampleFileError) as excinfo:
+        store.load_rank(0)
+    assert excinfo.value.path == bad
+    # the typed error is still a FormatError, so existing handlers work
+    assert isinstance(excinfo.value, FormatError)
+
+
+def test_truncated_sample_file_raises_typed_error(tmp_path):
+    store = SampleStore(tmp_path)
+    store.save(snap(0, 10, 1.0), 0)
+    path = store.path_for(0, 0)
+    blob = path.read_bytes()
+    path.write_bytes(blob[: len(blob) // 2])
+    with pytest.raises(SampleFileError):
+        store.load_rank(0)
+    with pytest.raises(SampleFileError):
+        store.load_all()
+
+
+def test_empty_sample_file_raises_typed_error(tmp_path):
+    store = SampleStore(tmp_path)
+    store.path_for(2, 0).write_bytes(b"")
+    with pytest.raises(SampleFileError) as excinfo:
+        store.load_rank(2)
+    assert "gmon-r002-i00000.gmon" in str(excinfo.value)

@@ -1,0 +1,140 @@
+"""Performance-regression runner: stage timings with a trajectory file.
+
+Times the four analysis stages (interval differencing, k-means at the
+paper's typical k, the full k sweep, and end-to-end analysis) at paper
+scale — MiniFE, ~600 intervals — and writes ``BENCH_perf.json`` at the
+repo root so future PRs can compare against a recorded trajectory.
+
+For an honest speedup figure on a shared/noisy box, the seed revision's
+kernels are benchmarked *interleaved* with the current tree: the seed's
+``src/`` is extracted read-only via ``git archive`` and both variants run
+alternately as subprocesses, taking the per-stage minimum over rounds.
+Cross-process clock drift then hits both variants equally.
+
+Marked ``slow``: tier-1 (``pytest -q`` over ``tests/``) never runs this.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+#: The growth seed: the revision whose kernels are the baseline.
+SEED_REV = "34b105b"
+ROUNDS = 3
+
+#: Timing harness run in a subprocess with PYTHONPATH pointing at either
+#: the seed's ``src`` or the current one.  Only touches APIs that exist
+#: in both revisions.
+_TIMER_SCRIPT = r"""
+import json, sys, time
+
+from repro.apps import get_app
+from repro.incprof.session import Session, SessionConfig
+from repro.core.intervals import intervals_from_snapshots
+from repro.core.kmeans import kmeans
+from repro.core.kselect import silhouette_score, wcss_curve
+from repro.core.pipeline import analyze_snapshots
+
+samples = Session(get_app("minife"), SessionConfig(ranks=1)).run().samples(0)
+data = intervals_from_snapshots(samples).drop_inactive_functions()
+features = data.self_time
+k5 = kmeans(features, 5, 0)
+
+
+def best_ms(fn, repeat):
+    times = []
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return min(times) * 1e3
+
+
+out = {
+    "n_intervals": data.n_intervals,
+    "differencing": best_ms(lambda: intervals_from_snapshots(samples), 5),
+    "kmeans": best_ms(lambda: kmeans(features, 5, 0), 5),
+    "silhouette": best_ms(lambda: silhouette_score(features, k5.labels), 5),
+    "ksweep": best_ms(lambda: wcss_curve(features, kmax=8, seed=0), 3),
+    "end_to_end": best_ms(lambda: analyze_snapshots(samples), 3),
+}
+print(json.dumps(out))
+"""
+
+STAGES = ("differencing", "kmeans", "silhouette", "ksweep", "end_to_end")
+
+
+def _run_timer(src_dir: Path) -> dict:
+    env = dict(os.environ, PYTHONPATH=str(src_dir))
+    proc = subprocess.run(
+        [sys.executable, "-c", _TIMER_SCRIPT],
+        env=env, capture_output=True, text=True, check=True,
+        cwd=str(REPO_ROOT),
+    )
+    return json.loads(proc.stdout.strip().splitlines()[-1])
+
+
+def _extract_seed_src(dest: Path) -> Path:
+    """Seed revision's ``src/`` via ``git archive`` (read-only on .git)."""
+    archive = subprocess.run(
+        ["git", "-C", str(REPO_ROOT), "archive", SEED_REV, "src"],
+        capture_output=True, check=True,
+    )
+    tar = dest / "seed.tar"
+    tar.write_bytes(archive.stdout)
+    subprocess.run(["tar", "-xf", str(tar), "-C", str(dest)], check=True)
+    return dest / "src"
+
+
+def _merge_min(rounds: list) -> dict:
+    return {stage: min(r[stage] for r in rounds) for stage in STAGES}
+
+
+@pytest.mark.slow
+def test_perf_regression_trajectory():
+    with tempfile.TemporaryDirectory(prefix="incprof-seed-") as tmp:
+        try:
+            seed_src = _extract_seed_src(Path(tmp))
+        except (subprocess.CalledProcessError, OSError):
+            seed_src = None  # shallow clone or missing rev: new-only record
+
+        new_rounds, seed_rounds = [], []
+        for _ in range(ROUNDS):
+            if seed_src is not None:
+                seed_rounds.append(_run_timer(seed_src))
+            new_rounds.append(_run_timer(REPO_ROOT / "src"))
+
+    new_ms = _merge_min(new_rounds)
+    record = {
+        "app": "minife",
+        "scale": 1.0,
+        "n_intervals": new_rounds[0]["n_intervals"],
+        "unit": "ms",
+        "method": (f"min over {ROUNDS} interleaved subprocess rounds; "
+                   f"seed baseline from git archive {SEED_REV}"),
+        "generated_unix": int(time.time()),
+        "stages": new_ms,
+    }
+    if seed_rounds:
+        seed_ms = _merge_min(seed_rounds)
+        record["seed_stages"] = seed_ms
+        record["speedup"] = {stage: round(seed_ms[stage] / new_ms[stage], 2)
+                             for stage in STAGES}
+
+    out_path = REPO_ROOT / "BENCH_perf.json"
+    out_path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    print()
+    print(json.dumps(record, indent=2, sort_keys=True))
+
+    assert record["n_intervals"] > 500  # paper scale
+    if seed_rounds:
+        # Acceptance: the vectorized kernels buy >=3x on the hot stages.
+        for stage in ("kmeans", "silhouette", "end_to_end"):
+            assert record["speedup"][stage] >= 3.0, (stage, record["speedup"])

@@ -13,6 +13,7 @@ import pytest
 from benchmarks._common import collect_samples
 from repro.core.intervals import intervals_from_snapshots
 from repro.core.kmeans import kmeans
+from repro.core.kselect import silhouette_score, wcss_curve
 from repro.core.pipeline import analyze_snapshots
 from repro.gprof.gmon import dumps_gmon, loads_gmon
 from repro.util.tables import Table
@@ -42,6 +43,21 @@ def test_kmeans_speed_paper_scale(benchmark):
     data = intervals_from_snapshots(samples).drop_inactive_functions()
     result = benchmark(kmeans, data.self_time, 5, 0)
     assert result.k == 5
+
+
+def test_silhouette_speed_paper_scale(benchmark):
+    samples = collect_samples("minife")
+    data = intervals_from_snapshots(samples).drop_inactive_functions()
+    labels = kmeans(data.self_time, 5, 0).labels
+    score = benchmark(silhouette_score, data.self_time, labels)
+    assert -1.0 <= score <= 1.0
+
+
+def test_ksweep_speed_paper_scale(benchmark):
+    samples = collect_samples("minife")
+    data = intervals_from_snapshots(samples).drop_inactive_functions()
+    results = benchmark(wcss_curve, data.self_time, 8, 0)
+    assert set(results) == set(range(1, 9))
 
 
 def test_analysis_scales_linearly(benchmark, save_artifact):

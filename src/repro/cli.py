@@ -26,7 +26,7 @@ from typing import List, Optional
 from repro.apps import app_names, get_app, paper_app_names
 from repro.core.pipeline import AnalysisConfig, analyze_snapshots
 from repro.core.report import render_full_report
-from repro.eval.experiments import run_experiment
+from repro.eval.experiments import run_experiment, run_experiments
 from repro.eval.figures import heartbeat_figure
 from repro.eval.tables import app_sites_table, comparison_table, table1, table1_comparison
 from repro.incprof.session import DEFAULT_SEED, Session, SessionConfig
@@ -39,6 +39,12 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=DEFAULT_SEED, help="experiment seed")
     parser.add_argument("--interval", type=float, default=1.0,
                         help="IncProf collection interval in seconds")
+
+
+def _add_workers(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workers", type=int, default=None,
+                        help="analysis process-pool size (results are "
+                             "identical to a serial run; default serial)")
 
 
 def _cmd_apps(_args: argparse.Namespace) -> int:
@@ -80,14 +86,14 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         label = args.samples
     config = AnalysisConfig(kselect_method=args.kselect,
                             coverage_threshold=args.coverage)
-    analysis = analyze_snapshots(snapshots, config)
+    analysis = analyze_snapshots(snapshots, config, workers=args.workers)
     print(render_full_report(analysis, app_name=label))
     return 0
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
     result = run_experiment(args.app, scale=args.scale, seed=args.seed,
-                            interval=args.interval)
+                            interval=args.interval, workers=args.workers)
     print(app_sites_table(result).render())
     print()
     from repro.core.timeline import render_timeline
@@ -364,14 +370,14 @@ def _cmd_fleet_status(args: argparse.Namespace) -> int:
 def _cmd_report_all(args: argparse.Namespace) -> int:
     from repro.eval.report_md import write_markdown_report
 
-    path = write_markdown_report(args.out)
+    path = write_markdown_report(args.out, workers=args.workers)
     print(f"wrote {path}")
     return 0
 
 
 def _cmd_table1(args: argparse.Namespace) -> int:
-    results = {name: run_experiment(name, scale=args.scale, seed=args.seed)
-               for name in paper_app_names()}
+    results = run_experiments(paper_app_names(), scale=args.scale,
+                              seed=args.seed, workers=args.workers)
     print(table1(results).render())
     print()
     print(table1_comparison(results).render())
@@ -402,6 +408,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_an.add_argument("--kselect", default="elbow",
                       choices=["elbow", "chord", "silhouette"])
     p_an.add_argument("--coverage", type=float, default=0.95)
+    _add_workers(p_an)
     p_an.set_defaults(func=_cmd_analyze)
 
     p_rep = sub.add_parser("report", help="full experiment + paper-style table")
@@ -411,6 +418,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_rep.add_argument("--merge", action="store_true",
                        help="post-process: merge phases sharing site functions")
     _add_common(p_rep)
+    _add_workers(p_rep)
     p_rep.set_defaults(func=_cmd_report)
 
     p_live = sub.add_parser("live", help="profile the app's real kernels live")
@@ -427,11 +435,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_t1 = sub.add_parser("table1", help="regenerate Table I across all apps")
     _add_common(p_t1)
+    _add_workers(p_t1)
     p_t1.set_defaults(func=_cmd_table1)
 
     p_all = sub.add_parser("report-all",
                            help="write the full markdown reproduction report")
     p_all.add_argument("--out", default="REPORT.md")
+    _add_workers(p_all)
     p_all.set_defaults(func=_cmd_report_all)
 
     p_script = sub.add_parser("live-script",

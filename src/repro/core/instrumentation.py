@@ -36,13 +36,19 @@ from repro.core.phases import PhaseModel
 from repro.util.errors import ValidationError
 
 
-def function_ranks(data: IntervalData, phases: Sequence[Phase]) -> np.ndarray:
+def function_ranks(
+    data: IntervalData,
+    phases: Sequence[Phase],
+    active: Optional[np.ndarray] = None,
+) -> np.ndarray:
     """Per-phase function rank matrix, shape ``(n_phases, n_functions)``.
 
     ``rank[p, f]`` = fraction of phase ``p``'s intervals in which function
-    ``f`` has non-zero self-time.
+    ``f`` has non-zero self-time.  ``active`` lets callers that already
+    hold ``data.active()`` skip recomputing it.
     """
-    active = data.active()
+    if active is None:
+        active = data.active()
     ranks = np.zeros((len(phases), data.n_functions))
     for i, phase in enumerate(phases):
         members = np.asarray(phase.interval_indices, dtype=int)
@@ -100,26 +106,28 @@ def _select_for_phase(
     phase: Phase,
     ranks_row: np.ndarray,
     threshold: float,
+    active: np.ndarray,
 ) -> List[Tuple[Site, int]]:
-    """Run Algorithm 1's inner loop; returns sites with covering interval."""
+    """Run Algorithm 1's inner loop; returns sites with covering interval.
+
+    Coverage is tracked incrementally: when a site is selected, the
+    members its function is active in are marked covered once, so the
+    per-interval loop costs O(1) per already-covered interval instead of
+    re-scanning the whole (members x sites) activity block every step.
+    """
     members = np.asarray(phase.interval_indices, dtype=int)
     n_phase = members.size
     target = math.ceil(threshold * n_phase)
-    active = data.active()
 
     order = _order_by_centroid_distance(features, phase)
     selected: List[Tuple[Site, int]] = []
-    selected_funcs: List[int] = []  # function column indices
-
-    def covered_count() -> int:
-        if not selected_funcs:
-            return 0
-        return int(active[np.ix_(members, selected_funcs)].any(axis=1).sum())
+    covered = np.zeros(data.n_intervals, dtype=bool)  # by interval id
+    n_covered = 0
 
     for interval in order:
-        if covered_count() >= target:
+        if n_covered >= target:
             break
-        if selected_funcs and active[interval, selected_funcs].any():
+        if covered[interval]:
             continue  # already covered by an existing site
         candidates = np.nonzero(active[interval])[0]
         if candidates.size == 0:
@@ -135,7 +143,9 @@ def _select_for_phase(
         site = Site(function=data.functions[func], inst_type=inst)
         if all(site != s for s, _ in selected):
             selected.append((site, int(interval)))
-            selected_funcs.append(func)
+            newly = members[active[members, func] & ~covered[members]]
+            n_covered += newly.size
+            covered[newly] = True
     return selected
 
 
@@ -143,20 +153,19 @@ def _attribute_coverage(
     data: IntervalData,
     phase: Phase,
     sites: List[Tuple[Site, int]],
+    active: np.ndarray,
 ) -> List[Tuple[Site, Tuple[int, ...]]]:
     """Attribute each phase interval to the earliest-selected active site."""
-    members = list(phase.interval_indices)
-    active = data.active()
+    members = np.asarray(phase.interval_indices, dtype=int)
     func_index = {name: j for j, name in enumerate(data.functions)}
-    assigned: Dict[int, int] = {}  # interval -> site position
+    assigned = np.full(members.size, -1, dtype=int)  # member -> site position
     for pos, (site, _cover) in enumerate(sites):
         col = func_index[site.function]
-        for interval in members:
-            if interval not in assigned and active[interval, col]:
-                assigned[interval] = pos
+        hit = (assigned == -1) & active[members, col]
+        assigned[hit] = pos
     out: List[Tuple[Site, Tuple[int, ...]]] = []
     for pos, (site, _cover) in enumerate(sites):
-        covered = tuple(i for i in members if assigned.get(i) == pos)
+        covered = tuple(int(i) for i in members[assigned == pos])
         out.append((site, covered))
     return out
 
@@ -180,14 +189,16 @@ def select_sites(
     if features.shape[0] != data.n_intervals:
         raise ValidationError("features row count must match interval count")
 
-    ranks = function_ranks(data, phase_model.phases)
+    active = data.active()
+    ranks = function_ranks(data, phase_model.phases, active=active)
     total_intervals = data.n_intervals
 
     # First pass: run the greedy selection per phase.
     raw: List[List[Tuple[Site, int]]] = []
     for phase in phase_model.phases:
         raw.append(
-            _select_for_phase(data, features, phase, ranks[phase.phase_id], coverage_threshold)
+            _select_for_phase(data, features, phase, ranks[phase.phase_id],
+                              coverage_threshold, active)
         )
 
     # Assign heartbeat IDs to unique (function, type) sites in discovery
@@ -202,7 +213,7 @@ def select_sites(
     for phase, phase_sites in zip(phase_model.phases, raw):
         n_phase = max(1, len(phase.interval_indices))
         rows: List[SelectedSite] = []
-        for site, covered in _attribute_coverage(data, phase, phase_sites):
+        for site, covered in _attribute_coverage(data, phase, phase_sites, active):
             rows.append(
                 SelectedSite(
                     site=site,

@@ -12,15 +12,16 @@ dimensions (the paper's footnote 3: not every program function shows up).
 
 from __future__ import annotations
 
+from collections.abc import Sequence as _Sequence
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.gprof.flatprofile import FlatProfile
 from repro.gprof.gmon import GmonData
 from repro.simulate.engine import SPONTANEOUS
-from repro.util.errors import ProfileDataError
+from repro.util.errors import ProfileDataError, ValidationError
 
 
 @dataclass
@@ -48,7 +49,7 @@ class IntervalData:
     calls: np.ndarray
     timestamps: np.ndarray
     interval: float
-    interval_gmons: Optional[List[GmonData]] = field(default=None, repr=False)
+    interval_gmons: Optional[Sequence[GmonData]] = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         n_i, n_f = self.self_time.shape
@@ -97,7 +98,13 @@ class IntervalData:
 
 
 def _snapshot_pairs(snapshots: Sequence[GmonData]) -> List[GmonData]:
-    """Difference consecutive cumulative snapshots (first vs empty)."""
+    """Difference consecutive cumulative snapshots (first vs empty).
+
+    Reference implementation of the differencing step (per-pair
+    ``GmonData.subtract``); :func:`intervals_from_snapshots` does the
+    same subtraction as one aligned-matrix operation and keeps this
+    around for tests to check against.
+    """
     deltas: List[GmonData] = []
     previous: Optional[GmonData] = None
     for snap in snapshots:
@@ -124,6 +131,12 @@ def intervals_from_snapshots(
     ``min_final_fraction`` of the nominal interval (the program-exit dump
     right after a periodic one would otherwise add a near-empty point that
     k-means would have to absorb).
+
+    The differencing itself is vectorized: one tick matrix and one
+    per-arc matrix over the union vocabulary, a single ``np.diff`` +
+    clamp along the time axis (exactly the per-pair clamped subtraction
+    of :meth:`GmonData.subtract`), and a column filter that reproduces
+    the delta-derived attribute vocabulary.
     """
     if len(snapshots) < 2:
         raise ProfileDataError("need at least two snapshots to form an interval")
@@ -134,42 +147,150 @@ def intervals_from_snapshots(
     if interval <= 0:
         raise ProfileDataError("could not infer a positive interval length")
 
-    deltas = _snapshot_pairs(snapshots)
     timestamps = [s.timestamp for s in snapshots]
+    periods = np.array([s.sample_period for s in snapshots])
+    for i in range(1, len(snapshots)):
+        if timestamps[i] < timestamps[i - 1]:
+            raise ProfileDataError("snapshots are not in time order")
+        if abs(periods[i] - periods[i - 1]) > 1e-12:
+            raise ValidationError(
+                "cannot subtract snapshots with different sample periods")
 
-    if drop_short_final and len(deltas) >= 2:
+    # Union vocabulary over the whole series (column order is arbitrary
+    # here; the attribute vocabulary is re-derived from the deltas below).
+    all_funcs = sorted({f for s in snapshots for f in s.hist})
+    all_arcs = sorted({a for s in snapshots for a in s.arcs})
+    func_col = {f: j for j, f in enumerate(all_funcs)}
+    arc_col = {a: j for j, a in enumerate(all_arcs)}
+
+    n = len(snapshots)
+    cum_ticks = np.zeros((n, len(all_funcs)), dtype=np.int64)
+    cum_arcs = np.zeros((n, len(all_arcs)), dtype=np.int64)
+    for i, snap in enumerate(snapshots):
+        row = cum_ticks[i]
+        for func, ticks in snap.hist.items():
+            row[func_col[func]] = ticks
+        row = cum_arcs[i]
+        for arc, count in snap.arcs.items():
+            row[arc_col[arc]] = count
+
+    # Interval deltas: diff along time (first row vs zero), clamped at
+    # zero per entry — identical to GmonData.subtract pair by pair.
+    tick_deltas = np.diff(cum_ticks, axis=0,
+                          prepend=np.zeros((1, len(all_funcs)), dtype=np.int64))
+    arc_deltas = np.diff(cum_arcs, axis=0,
+                         prepend=np.zeros((1, len(all_arcs)), dtype=np.int64))
+    np.clip(tick_deltas, 0, None, out=tick_deltas)
+    np.clip(arc_deltas, 0, None, out=arc_deltas)
+
+    if drop_short_final and n >= 2:
         final_len = timestamps[-1] - timestamps[-2]
         if final_len < min_final_fraction * interval:
-            deltas = deltas[:-1]
+            tick_deltas = tick_deltas[:-1]
+            arc_deltas = arc_deltas[:-1]
             timestamps = timestamps[:-1]
+            periods = periods[:-1]
+            snapshots = snapshots[: len(timestamps)]
 
-    # Attribute dimensions: every function sampled anywhere in the run.
-    # (The *last* snapshot is cumulative, but we derive from deltas so the
-    # same code handles pre-differenced inputs.)
-    names = sorted(
-        {f for d in deltas for f in d.hist} | {c for d in deltas for (_p, c) in d.arcs}
-        - {SPONTANEOUS}
-    )
+    # Attribute dimensions: every function that shows up in the *deltas*
+    # (the paper's footnote 3) — sampled in some interval, or the callee
+    # of an arc that fired in some interval.
+    sampled = tick_deltas.any(axis=0)
+    fired = arc_deltas.any(axis=0)
+    active_funcs = {all_funcs[j] for j in np.nonzero(sampled)[0]}
+    active_funcs |= {all_arcs[j][1] for j in np.nonzero(fired)[0]}
+    active_funcs -= {SPONTANEOUS}
+    names = sorted(active_funcs)
     name_index = {name: i for i, name in enumerate(names)}
 
-    self_time = np.zeros((len(deltas), len(names)))
-    calls = np.zeros((len(deltas), len(names)), dtype=np.int64)
-    for i, delta in enumerate(deltas):
-        for func, ticks in delta.hist.items():
-            if func in name_index:
-                self_time[i, name_index[func]] = ticks * delta.sample_period
-        for (_caller, callee), count in delta.arcs.items():
-            if callee in name_index:
-                calls[i, name_index[callee]] += count
+    keep_func = np.array([f in name_index for f in all_funcs], dtype=bool)
+    self_time = tick_deltas[:, keep_func].astype(float)
+    self_time *= periods[:, None]
+    func_dest = np.array([name_index[f] for f, k in zip(all_funcs, keep_func) if k],
+                         dtype=np.intp)
+    # Columns of the union vocabulary are a subset in arbitrary positions;
+    # scatter them into sorted attribute order.
+    ordered_time = np.zeros((self_time.shape[0], len(names)))
+    ordered_time[:, func_dest] = self_time
+
+    # Calls into each attribute function: per-arc clamped deltas summed
+    # over callers (an integer matmul against the arc->callee indicator).
+    keep_arc = np.array([a[1] in name_index for a in all_arcs], dtype=bool)
+    kept_arcs = [a for a, k in zip(all_arcs, keep_arc) if k]
+    arc_to_name = np.zeros((len(kept_arcs), len(names)), dtype=np.int64)
+    for j, (_caller, callee) in enumerate(kept_arcs):
+        arc_to_name[j, name_index[callee]] = 1
+    calls = arc_deltas[:, keep_arc] @ arc_to_name
+
+    interval_gmons: Optional[Sequence[GmonData]] = None
+    if keep_gmons:
+        metas = [(s.sample_period, s.timestamp, s.rank) for s in snapshots]
+        interval_gmons = LazyGmonDeltas(
+            metas, tick_deltas, arc_deltas, all_funcs, all_arcs)
 
     return IntervalData(
         functions=names,
-        self_time=self_time,
+        self_time=ordered_time,
         calls=calls,
         timestamps=np.asarray(timestamps, dtype=float),
         interval=float(interval),
-        interval_gmons=deltas if keep_gmons else None,
+        interval_gmons=interval_gmons,
     )
+
+
+class LazyGmonDeltas(_Sequence):
+    """Per-interval :class:`GmonData` deltas, materialized on first access.
+
+    The analysis hot path (self-time features) never touches the delta
+    *dicts* — only the matrices — so building 2×n_intervals dicts up
+    front would be pure overhead.  Consumers that do need them (children
+    -time features, call-graph lift) index or iterate this sequence and
+    trigger a one-time conversion; entries with zero delta are omitted,
+    matching ``GmonData.subtract``.
+    """
+
+    def __init__(self, metas: List[Tuple[float, float, int]],
+                 tick_deltas: np.ndarray, arc_deltas: np.ndarray,
+                 all_funcs: List[str],
+                 all_arcs: List[Tuple[str, str]]) -> None:
+        self._metas = metas
+        self._tick_deltas = tick_deltas
+        self._arc_deltas = arc_deltas
+        self._all_funcs = all_funcs
+        self._all_arcs = all_arcs
+        self._cache: Optional[List[GmonData]] = None
+
+    def _materialize(self) -> List[GmonData]:
+        if self._cache is None:
+            funcs_arr = np.array(self._all_funcs, dtype=object)
+            arcs_arr = np.empty(len(self._all_arcs), dtype=object)
+            arcs_arr[:] = self._all_arcs
+            gmons: List[GmonData] = []
+            for i, (period, timestamp, rank) in enumerate(self._metas):
+                trow = self._tick_deltas[i]
+                tcols = np.nonzero(trow)[0]
+                arow = self._arc_deltas[i]
+                acols = np.nonzero(arow)[0]
+                gmons.append(GmonData(
+                    sample_period=period,
+                    hist=dict(zip(funcs_arr[tcols].tolist(),
+                                  trow[tcols].tolist())),
+                    arcs=dict(zip(arcs_arr[acols].tolist(),
+                                  arow[acols].tolist())),
+                    timestamp=timestamp,
+                    rank=rank,
+                ))
+            self._cache = gmons
+        return self._cache
+
+    def __len__(self) -> int:
+        return len(self._metas)
+
+    def __getitem__(self, index):
+        return self._materialize()[index]
+
+    def __iter__(self):
+        return iter(self._materialize())
 
 
 def intervals_from_flat_profiles(

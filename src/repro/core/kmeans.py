@@ -4,16 +4,32 @@ Implemented directly on NumPy — vectorized distance computation, no
 scikit-learn dependency — because the clustering itself is part of the
 reproduced system.  Deterministic under a fixed seed; multiple restarts
 keep the best inertia.
+
+All ``n_init`` restarts run *batched*: k-means++ seeding draws one
+uniform vector per center for the whole restart block (inverse-CDF
+sampling instead of per-restart ``rng.choice``), and Lloyd iterations
+update every restart's centroids through a single one-hot matmul —
+there is no per-cluster Python loop.  Distance tensors are kept
+center-major (``(rows, k, n_points)``) so every reduction runs over
+the long contiguous point axis; restart blocks are sized by a memory
+budget so batching stays bounded at large n.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Union
+from typing import List, Optional, Union
 
 import numpy as np
 
 from repro.util.errors import ClusteringError, ValidationError
+
+Seed = Union[int, np.random.Generator, np.random.SeedSequence]
+
+#: Cap on the number of floats in one (rows, n_points, k) distance
+#: tensor; restart blocks are sized so batching never costs more than
+#: ~64 MiB regardless of input size.
+_BATCH_BUDGET = 8 * 1024 * 1024
 
 
 @dataclass(frozen=True)
@@ -43,23 +59,254 @@ def _pairwise_sq_dists(points: np.ndarray, centers: np.ndarray) -> np.ndarray:
     return d
 
 
-def _kmeanspp_init(points: np.ndarray, k: int, rng: np.random.Generator) -> np.ndarray:
-    """k-means++ seeding: spread initial centers by D^2 sampling."""
+def _batch_sq_dists(points: np.ndarray, centers: np.ndarray,
+                    x_sq: np.ndarray) -> np.ndarray:
+    """Squared distances for a restart block: ``(rows, k, n_points)``.
+
+    ``centers`` is ``(rows, k, d)``; ``x_sq`` the precomputed point
+    norms.  One flattened ``(rows*k, n)`` BLAS matmul beats the
+    equivalent einsum.  Center-major layout keeps the *point* axis
+    innermost, so the per-cluster reductions downstream run over long
+    contiguous vectors instead of length-k stubs (NumPy's reduce
+    overhead on a tiny inner axis dwarfs the arithmetic).  Values may
+    dip a hair below zero from round-off; callers that need exact
+    non-negativity clamp themselves.
+    """
+    rows, k, dim = centers.shape
+    flat = centers.reshape(rows * k, dim)
+    c_sq = np.einsum("ij,ij->i", flat, flat)
+    d = c_sq[:, None] - 2.0 * (flat @ points.T)
+    d += x_sq[None, :]
+    return d.reshape(rows, k, points.shape[0])
+
+
+def _assign(dists: np.ndarray) -> tuple:
+    """Labels and min distances from a ``(rows, k, n)`` tensor.
+
+    A k-step elementwise tournament over the long point axis; ties go
+    to the lowest cluster index, exactly like ``argmin``, but without
+    argmin's per-point reduce overhead on the short cluster axis.
+    """
+    k = dists.shape[1]
+    best = dists[:, 0, :].copy()
+    labels = np.zeros(best.shape, dtype=np.intp)
+    for j in range(1, k):
+        dj = dists[:, j, :]
+        closer = dj < best
+        np.copyto(labels, j, where=closer)
+        np.minimum(best, dj, out=best)
+    return labels, best
+
+
+def _kmeanspp_init_batch(points: np.ndarray, k: int, n_restarts: int,
+                         rng: np.random.Generator,
+                         x_sq: Optional[np.ndarray] = None) -> np.ndarray:
+    """k-means++ seeding for a whole restart block: ``(R, k, d)``.
+
+    D^2 sampling is done by inverse-CDF lookup on the per-restart
+    cumulative distance mass — one uniform draw per restart per center
+    instead of a per-restart ``rng.choice``.
+    """
     n = points.shape[0]
-    centers = np.empty((k, points.shape[1]))
-    first = int(rng.integers(n))
-    centers[0] = points[first]
-    closest = _pairwise_sq_dists(points, centers[:1])[:, 0]
+    if x_sq is None:
+        x_sq = np.einsum("ij,ij->i", points, points)
+    centers = np.empty((n_restarts, k, points.shape[1]))
+    first = rng.integers(n, size=n_restarts)
+    centers[:, 0] = points[first]
+
+    def sq_to(chosen: np.ndarray) -> np.ndarray:
+        # (R, n) squared distances to one chosen center per restart —
+        # built contiguous and updated in place (no strided temporaries).
+        d = chosen @ points.T
+        d *= -2.0
+        d += x_sq[None, :]
+        d += np.einsum("ij,ij->i", chosen, chosen)[:, None]
+        np.maximum(d, 0.0, out=d)  # D^2 sampling weights must be >= 0
+        return d
+
+    closest = sq_to(centers[:, 0])
     for i in range(1, k):
-        total = closest.sum()
-        if total <= 0.0:
-            # All remaining points coincide with chosen centers; any pick works.
-            idx = int(rng.integers(n))
-        else:
-            idx = int(rng.choice(n, p=closest / total))
-        centers[i] = points[idx]
-        np.minimum(closest, _pairwise_sq_dists(points, centers[i : i + 1])[:, 0], out=closest)
+        u = rng.random(n_restarts)
+        cum = np.cumsum(closest, axis=1)
+        totals = cum[:, -1]
+        idx = np.minimum((cum < (u * totals)[:, None]).sum(axis=1), n - 1)
+        # All remaining points coincide with chosen centers; any pick works.
+        degenerate = totals <= 0.0
+        if degenerate.any():
+            idx[degenerate] = np.minimum((u[degenerate] * n).astype(np.int64), n - 1)
+        centers[:, i] = points[idx]
+        np.minimum(closest, sq_to(centers[:, i]), out=closest)
     return centers
+
+
+def _restart_blocks(n_points: int, k: int, n_init: int) -> List[int]:
+    """Restart block sizes under the memory budget (sum == n_init)."""
+    block = max(1, min(n_init, _BATCH_BUDGET // max(1, n_points * k)))
+    sizes = []
+    done = 0
+    while done < n_init:
+        size = min(block, n_init - done)
+        sizes.append(size)
+        done += size
+    return sizes
+
+
+def _lloyd_batch_arrays(
+    points: np.ndarray,
+    centers: np.ndarray,
+    max_iter: int,
+    tol: float,
+    x_sq: Optional[np.ndarray] = None,
+) -> tuple:
+    """Lloyd iterations for a whole restart block at once.
+
+    ``centers`` is ``(rows, k, d)``; every row iterates until its own
+    convergence (converged rows are frozen, not re-fit), so each result
+    is identical to fitting that row alone.  Returns the raw per-row
+    arrays ``(centers, labels, inertia, n_iter)`` so the caller can pick
+    a winner without materializing a result object per row.
+    """
+    n_rows, width, _dim = centers.shape
+    n = points.shape[0]
+    if x_sq is None:
+        x_sq = np.einsum("ij,ij->i", points, points)
+
+    active = np.ones(n_rows, dtype=bool)
+    prev_inertia = np.full(n_rows, np.inf)
+    n_iter = np.zeros(n_rows, dtype=int)
+    all_labels = np.zeros((n_rows, n), dtype=np.intp)
+    last_shift = np.full(n_rows, np.inf)
+    had_empty = np.zeros(n_rows, dtype=bool)
+    row_inertia = np.zeros(n_rows)
+    col_idx = np.arange(n)
+
+    for it in range(1, max_iter + 1):
+        act = np.nonzero(active)[0]
+        if act.size == 0:
+            break
+        sub = centers[act]
+        dists = _batch_sq_dists(points, sub, x_sq)  # (A, k, n)
+        labels, mins = _assign(dists)  # both (A, n)
+        inertia = mins.sum(axis=1)
+        row_inertia[act] = inertia
+        n_iter[act] = it
+
+        # A row whose memberships did not change since last iteration is
+        # done: recomputing centroids from identical labels reproduces
+        # identical centers (shift exactly 0.0), so the whole update can
+        # be skipped for it — and its labels are already final.  (A row
+        # that reseeded an empty cluster last iteration is excluded: its
+        # reseed point depends on distances, not only on labels.)
+        if it > 1:
+            settled = (~had_empty[act]
+                       & (labels == all_labels[act]).all(axis=1))
+        else:
+            settled = np.zeros(act.size, dtype=bool)
+        all_labels[act] = labels
+        if it > 1 and settled.all():
+            last_shift[act] = 0.0
+            active[act] = False
+            continue
+        upd = np.nonzero(~settled)[0]  # indices into the active block
+        n_upd = upd.size
+        labels_u = labels[upd]
+        sub_u = sub[upd]
+
+        # One-hot membership + a batched matmul replaces the per-cluster
+        # membership loop (and scales with the attribute count, unlike a
+        # per-dimension bincount).
+        onehot = np.zeros(n_upd * width * n)
+        pos = (np.arange(n_upd) * (width * n))[:, None] + labels_u * n
+        pos += col_idx[None, :]
+        onehot[pos.ravel()] = 1.0
+        onehot = onehot.reshape(n_upd, width, n)
+        counts = np.bincount(
+            (labels_u + (np.arange(n_upd) * width)[:, None]).ravel(),
+            minlength=n_upd * width).reshape(n_upd, width)
+        sums = onehot @ points
+        new_sub = sums / np.maximum(counts, 1)[:, :, None]
+
+        # Empty cluster: reseed at the point farthest from its center.
+        empty_r, empty_c = np.nonzero(counts == 0)
+        had_empty[act[upd]] = False
+        if empty_r.size:
+            farthest = mins[upd].argmax(axis=1)  # (U,)
+            new_sub[empty_r, empty_c] = points[farthest[empty_r]]
+            had_empty[act[upd[np.unique(empty_r)]]] = True
+
+        diff = new_sub - sub_u
+        shift = np.sqrt(np.einsum("rkd,rkd->r", diff, diff))
+        centers[act[upd]] = new_sub
+        last_shift[act[upd]] = shift
+        last_shift[act[settled]] = 0.0
+        converged = np.array(settled)
+        converged[upd] = ((shift <= tol)
+                          | (np.abs(prev_inertia[act[upd]] - inertia[upd]) <= tol))
+        prev_inertia[act] = inertia
+        active[act[converged]] = False
+
+    # Final assignment.  A row whose last shift was exactly 0.0 had
+    # stable memberships: recomputing centroids from the same labels
+    # reproduced the same centers bit-for-bit, so the labels computed in
+    # that iteration already ARE the assignment for the final centers.
+    # Only rows that moved on their last iteration (or never iterated)
+    # need one more distance pass.
+    stale = np.nonzero((last_shift != 0.0) | (n_iter == 0))[0]
+    if stale.size:
+        dists = _batch_sq_dists(points, centers[stale], x_sq)
+        labels_s, mins_s = _assign(dists)
+        all_labels[stale] = labels_s
+        row_inertia[stale] = mins_s.sum(axis=1)
+
+    # Repair any empty cluster by reassigning to it the point farthest
+    # from its current center (taken from a cluster with more than one
+    # member), so callers can rely on non-empty clusters when n >= k.
+    offsets = (np.arange(n_rows) * width)[:, None]
+    all_sizes = np.bincount((all_labels + offsets).ravel(),
+                            minlength=n_rows * width).reshape(n_rows, width)
+    for r in np.nonzero((all_sizes == 0).any(axis=1))[0]:
+        k = width
+        labels = all_labels[r]
+        dists = _pairwise_sq_dists(points, centers[r])  # (n, k)
+        for j in range(k):
+            sizes = np.bincount(labels, minlength=k)
+            if sizes[j] > 0:
+                continue
+            movable = sizes[labels] > 1
+            if not movable.any():
+                break  # unreachable when n >= k, defensive otherwise
+            point_dists = dists[col_idx, labels]
+            donor = int(np.where(movable, point_dists, -np.inf).argmax())
+            labels[donor] = j
+            centers[r, j] = points[donor]
+        # Repair moved labels/centers: recompute this row's inertia
+        # exactly from the repaired assignment.
+        deltas = points - centers[r][labels]
+        row_inertia[r] = np.einsum("ij,ij->", deltas, deltas)
+
+    # Inertia is the expansion-form distance mass accumulated on each
+    # row's final assignment pass (clamped: round-off can dip a few ulp
+    # below zero when clusters collapse onto their points).  Accurate to
+    # ~1e-12 relative, same as scikit-learn's inertia.
+    np.maximum(row_inertia, 0.0, out=row_inertia)
+    return centers, all_labels, row_inertia, n_iter
+
+
+def _lloyd_batch(
+    points: np.ndarray,
+    centers: np.ndarray,
+    max_iter: int,
+    tol: float,
+) -> List[KMeansResult]:
+    """Lloyd for a restart block, one :class:`KMeansResult` per row."""
+    cents, labels, inertias, iters = _lloyd_batch_arrays(
+        points, centers, max_iter=max_iter, tol=tol)
+    width = centers.shape[1]
+    return [
+        KMeansResult(k=width, centroids=cents[r], labels=labels[r],
+                     inertia=float(inertias[r]), n_iter=int(iters[r]))
+        for r in range(centers.shape[0])
+    ]
 
 
 def _lloyd(
@@ -68,67 +315,25 @@ def _lloyd(
     max_iter: int,
     tol: float,
 ) -> KMeansResult:
-    k = centers.shape[0]
-    labels = np.zeros(points.shape[0], dtype=int)
-    prev_inertia = np.inf
-    n_iter = 0
-    for n_iter in range(1, max_iter + 1):
-        dists = _pairwise_sq_dists(points, centers)
-        labels = dists.argmin(axis=1)
-        inertia = float(dists[np.arange(points.shape[0]), labels].sum())
-
-        new_centers = centers.copy()
-        for j in range(k):
-            members = points[labels == j]
-            if members.shape[0] == 0:
-                # Empty cluster: reseed at the point farthest from its center.
-                farthest = int(dists.min(axis=1).argmax())
-                new_centers[j] = points[farthest]
-            else:
-                new_centers[j] = members.mean(axis=0)
-
-        shift = float(np.linalg.norm(new_centers - centers))
-        centers = new_centers
-        if shift <= tol or abs(prev_inertia - inertia) <= tol:
-            break
-        prev_inertia = inertia
-
-    # Final assignment; repair any empty cluster by reassigning to it the
-    # point farthest from its current center (taken from a cluster with
-    # more than one member), so callers can rely on non-empty clusters
-    # whenever n >= k.
-    dists = _pairwise_sq_dists(points, centers)
-    labels = dists.argmin(axis=1)
-    n = points.shape[0]
-    for j in range(k):
-        sizes = np.bincount(labels, minlength=k)
-        if sizes[j] > 0:
-            continue
-        movable = sizes[labels] > 1
-        if not movable.any():
-            break  # unreachable when n >= k, defensive otherwise
-        point_dists = dists[np.arange(n), labels]
-        donor = int(np.where(movable, point_dists, -1.0).argmax())
-        labels[donor] = j
-        centers[j] = points[donor]
-    deltas = points - centers[labels]
-    inertia = float(np.einsum("ij,ij->", deltas, deltas))
-    return KMeansResult(k=k, centroids=centers, labels=labels, inertia=inertia, n_iter=n_iter)
+    """Single-restart Lloyd (a one-row batch; kept for tests/callers)."""
+    return _lloyd_batch(points, np.array(centers, dtype=float)[None],
+                        max_iter=max_iter, tol=tol)[0]
 
 
-def kmeans(
-    points: np.ndarray,
-    k: int,
-    seed: Union[int, np.random.Generator] = 0,
-    n_init: int = 8,
-    max_iter: int = 200,
-    tol: float = 1e-9,
-) -> KMeansResult:
-    """Fit k-means with ``n_init`` restarts, keeping the lowest inertia.
+def _k1_result(points: np.ndarray) -> KMeansResult:
+    """Closed-form k=1 fit (the global mean; no randomness involved)."""
+    center = points.mean(axis=0, keepdims=True)
+    inertia = float(((points - center) ** 2).sum())
+    return KMeansResult(
+        k=1,
+        centroids=center,
+        labels=np.zeros(points.shape[0], dtype=int),
+        inertia=inertia,
+        n_iter=1,
+    )
 
-    Raises :class:`ClusteringError` if there are fewer points than
-    clusters; duplicate points are fine.
-    """
+
+def _validate(points: np.ndarray, k: int, n_init: int) -> np.ndarray:
     points = np.asarray(points, dtype=float)
     if points.ndim != 2:
         raise ValidationError("points must be a 2-D array")
@@ -138,25 +343,37 @@ def kmeans(
         raise ClusteringError(f"{points.shape[0]} points cannot form {k} clusters")
     if n_init < 1:
         raise ValidationError("n_init must be >= 1")
+    return points
 
-    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
 
+def kmeans(
+    points: np.ndarray,
+    k: int,
+    seed: Seed = 0,
+    n_init: int = 8,
+    max_iter: int = 200,
+    tol: float = 1e-9,
+) -> KMeansResult:
+    """Fit k-means with ``n_init`` restarts, keeping the lowest inertia.
+
+    Raises :class:`ClusteringError` if there are fewer points than
+    clusters; duplicate points are fine.  ``seed`` may be an int, a
+    ``numpy.random.Generator``, or a ``numpy.random.SeedSequence``.
+    """
+    points = _validate(points, k, n_init)
     if k == 1:
-        center = points.mean(axis=0, keepdims=True)
-        inertia = float(((points - center) ** 2).sum())
-        return KMeansResult(
-            k=1,
-            centroids=center,
-            labels=np.zeros(points.shape[0], dtype=int),
-            inertia=inertia,
-            n_iter=1,
-        )
+        return _k1_result(points)
 
-    best: Optional[KMeansResult] = None
-    for _ in range(n_init):
-        centers = _kmeanspp_init(points, k, rng)
-        result = _lloyd(points, centers, max_iter=max_iter, tol=tol)
-        if best is None or result.inertia < best.inertia:
-            best = result
+    rng = np.random.default_rng(seed)
+    x_sq = np.einsum("ij,ij->i", points, points)
+    best: Optional[tuple] = None
+    for size in _restart_blocks(points.shape[0], k, n_init):
+        seeds = _kmeanspp_init_batch(points, k, size, rng, x_sq=x_sq)
+        cents, labels, inertias, iters = _lloyd_batch_arrays(
+            points, seeds, max_iter=max_iter, tol=tol, x_sq=x_sq)
+        r = int(np.argmin(inertias))  # first minimum wins, like the loop
+        if best is None or inertias[r] < best[0]:
+            best = (float(inertias[r]), cents[r], labels[r], int(iters[r]))
     assert best is not None
-    return best
+    return KMeansResult(k=k, centroids=best[1], labels=best[2],
+                        inertia=best[0], n_iter=best[3])

@@ -4,16 +4,23 @@ k-means needs k up front; the paper runs k = 1..8 and applies the *elbow*
 method, with *silhouette* evaluated as an alternative (both implemented
 here; the ablation bench compares them).  Eight was enough because no
 studied application showed more than five phases.
+
+Each k of the sweep is fit under its own child seed spawned from one
+``numpy.random.SeedSequence``, so the per-k results are independent of
+sweep order and of how the sweep is scheduled — fitting k = 1..kmax
+serially, fitting each k in its own process (``workers``), or fitting a
+single k in isolation all produce bit-identical clusterings.
 """
 
 from __future__ import annotations
 
+import concurrent.futures
 from dataclasses import dataclass
-from typing import Dict, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.core.kmeans import KMeansResult, kmeans
+from repro.core.kmeans import KMeansResult, Seed, kmeans
 from repro.util.errors import ClusteringError, ValidationError
 
 DEFAULT_KMAX = 8
@@ -25,6 +32,10 @@ DEFAULT_ELBOW_THRESHOLD = 0.88
 #: If the best multi-cluster fit only shaves this relative amount off the
 #: k=1 WCSS, the data has no cluster structure and one phase is reported.
 _FLAT_CURVE_FRACTION = 0.05
+
+#: Floats per distance block in the chunked silhouette computation; the
+#: working set stays ~32 MiB however many intervals are scored.
+_SIL_CHUNK_BUDGET = 4 * 1024 * 1024
 
 
 @dataclass(frozen=True)
@@ -41,19 +52,62 @@ class KSelection:
         return self.results[self.chosen_k]
 
 
+def spawn_seedseqs(seed: Seed, count: int) -> List[np.random.SeedSequence]:
+    """``count`` independent child seeds derived from ``seed``.
+
+    Child i is ``SeedSequence(seed).spawn(...)[i]``, whose identity
+    depends only on the root seed and i — not on ``count`` — so a sweep
+    over k = 1..5 and one over k = 1..8 agree on their shared prefix,
+    and tasks can be fanned out to workers in any order.  A Generator
+    seed is accepted for backward compatibility; one draw from it forms
+    the root entropy.
+    """
+    if isinstance(seed, np.random.SeedSequence):
+        root = seed
+    elif isinstance(seed, np.random.Generator):
+        root = np.random.SeedSequence(int(seed.integers(0, 2 ** 63)))
+    else:
+        root = np.random.SeedSequence(seed)
+    return root.spawn(count)
+
+
+def _fit_one_k(points: np.ndarray, k: int, seedseq: np.random.SeedSequence,
+               n_init: int) -> Tuple[int, KMeansResult]:
+    """One sweep task (module-level so it pickles for worker processes)."""
+    return k, kmeans(points, k, seed=seedseq, n_init=n_init)
+
+
 def wcss_curve(
     points: np.ndarray,
     kmax: int = DEFAULT_KMAX,
-    seed: Union[int, np.random.Generator] = 0,
+    seed: Seed = 0,
     n_init: int = 8,
+    workers: Optional[int] = None,
 ) -> Dict[int, KMeansResult]:
-    """Fit k-means for k = 1..min(kmax, n_points)."""
+    """Fit k-means for k = 1..min(kmax, n_points).
+
+    Every k gets its own independent child seed (see
+    :func:`spawn_seedseqs`), so ``workers > 1`` — a process pool with
+    one task per k — returns bit-identical results to the serial sweep.
+
+    .. note:: Compatibility: earlier versions threaded one shared
+       ``Generator`` through the fits in ascending-k order, which made
+       each k's result depend on every smaller k having run first.  For
+       a given integer seed the clusterings therefore differ from those
+       versions, but they no longer depend on sweep order or schedule.
+    """
     points = np.asarray(points, dtype=float)
     if points.shape[0] < 1:
         raise ClusteringError("no points to cluster")
-    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
     top = min(kmax, points.shape[0])
-    return {k: kmeans(points, k, seed=rng, n_init=n_init) for k in range(1, top + 1)}
+    seeds = spawn_seedseqs(seed, top)
+    ks = range(1, top + 1)
+    if workers is not None and workers > 1 and top > 1:
+        with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [pool.submit(_fit_one_k, points, k, seeds[k - 1], n_init)
+                       for k in ks]
+            return dict(f.result() for f in futures)
+    return dict(_fit_one_k(points, k, seeds[k - 1], n_init) for k in ks)
 
 
 def elbow_k(results: Dict[int, KMeansResult]) -> int:
@@ -146,6 +200,55 @@ def variance_elbow_k(
     return chosen
 
 
+def _silhouette_means(points: np.ndarray,
+                      labelings: Sequence[np.ndarray]) -> List[float]:
+    """Mean silhouette for several labelings over ONE distance pass.
+
+    Distances are produced in row chunks (``_SIL_CHUNK_BUDGET`` floats
+    at a time — never the O(n^2) matrix plus a per-point Python loop),
+    and each chunk's per-cluster distance sums come from a single
+    ``(chunk, n) @ (n, k)`` matmul against the labeling's one-hot
+    membership matrix.
+    """
+    n = points.shape[0]
+    x_sq = np.einsum("ij,ij->i", points, points)
+
+    # One-hot membership and cluster sizes per labeling, built once.
+    onehots = []
+    for labels in labelings:
+        _, inv = np.unique(labels, return_inverse=True)
+        k = int(inv.max()) + 1
+        onehot = np.zeros((n, k))
+        onehot[np.arange(n), inv] = 1.0
+        onehots.append((inv, onehot, np.bincount(inv, minlength=k)))
+
+    totals = np.zeros(len(labelings))
+    chunk = max(1, _SIL_CHUNK_BUDGET // n)
+    for start in range(0, n, chunk):
+        stop = min(start + chunk, n)
+        rows = points[start:stop]
+        d = x_sq[start:stop, None] - 2.0 * (rows @ points.T)
+        d += x_sq[None, :]
+        np.maximum(d, 0.0, out=d)
+        np.sqrt(d, out=d)
+        d[np.arange(stop - start), np.arange(start, stop)] = 0.0
+
+        for li, (inv, onehot, counts) in enumerate(onehots):
+            own = inv[start:stop]
+            sums = d @ onehot  # (chunk, k)
+            row_idx = np.arange(stop - start)
+            own_count = counts[own] - 1
+            a = sums[row_idx, own] / np.maximum(own_count, 1)
+            means = sums / counts[None, :]
+            means[row_idx, own] = np.inf
+            b = means.min(axis=1)
+            denom = np.maximum(a, b)
+            s = np.where((own_count == 0) | (denom == 0.0), 0.0,
+                         (b - a) / np.where(denom == 0.0, 1.0, denom))
+            totals[li] += s.sum()
+    return [float(t / n) for t in totals]
+
+
 def silhouette_score(points: np.ndarray, labels: np.ndarray) -> float:
     """Mean silhouette coefficient over all points (from scratch).
 
@@ -161,39 +264,29 @@ def silhouette_score(points: np.ndarray, labels: np.ndarray) -> float:
         raise ValidationError("silhouette requires at least two clusters")
     if unique.size > n - 1:
         raise ValidationError("silhouette requires k <= n - 1")
+    return _silhouette_means(points, [labels])[0]
 
-    diffs = points[:, None, :] - points[None, :, :]
-    dists = np.sqrt(np.einsum("ijk,ijk->ij", diffs, diffs))
 
-    scores = np.zeros(n)
-    for i in range(n):
-        own = labels == labels[i]
-        own_count = own.sum() - 1
-        if own_count == 0:
-            scores[i] = 0.0
-            continue
-        a = dists[i, own].sum() / own_count
-        b = np.inf
-        for cluster in unique:
-            if cluster == labels[i]:
-                continue
-            members = labels == cluster
-            b = min(b, dists[i, members].mean())
-        denom = max(a, b)
-        scores[i] = 0.0 if denom == 0 else (b - a) / denom
-    return float(scores.mean())
+def _silhouette_sweep_scores(
+    points: np.ndarray, results: Dict[int, KMeansResult]
+) -> Dict[int, float]:
+    """Silhouette score per valid k of a sweep (one distance pass total)."""
+    points = np.asarray(points, dtype=float)
+    n = points.shape[0]
+    valid = [k for k in sorted(results) if 2 <= k <= n - 1]
+    if not valid:
+        return {}
+    scores = _silhouette_means(points, [results[k].labels for k in valid])
+    return dict(zip(valid, scores))
 
 
 def silhouette_k(points: np.ndarray, results: Dict[int, KMeansResult]) -> int:
     """Pick the k (>= 2) maximizing mean silhouette."""
+    scores = _silhouette_sweep_scores(points, results)
     best_k, best_score = None, -np.inf
-    n = np.asarray(points).shape[0]
-    for k, result in sorted(results.items()):
-        if k < 2 or k > n - 1:
-            continue
-        score = silhouette_score(points, result.labels)
-        if score > best_score:
-            best_k, best_score = k, score
+    for k in sorted(scores):
+        if scores[k] > best_score:
+            best_k, best_score = k, scores[k]
     if best_k is None:
         return 1
     return best_k
@@ -203,14 +296,20 @@ def choose_k(
     points: np.ndarray,
     kmax: int = DEFAULT_KMAX,
     method: str = "elbow",
-    seed: Union[int, np.random.Generator] = 0,
+    seed: Seed = 0,
     n_init: int = 8,
     threshold: float = DEFAULT_ELBOW_THRESHOLD,
+    workers: Optional[int] = None,
 ) -> KSelection:
-    """Run the k sweep and select k with the requested method."""
+    """Run the k sweep and select k with the requested method.
+
+    ``workers`` fans the sweep out over a process pool (one task per k)
+    without changing any result; see :func:`wcss_curve`.
+    """
     if method not in ("elbow", "chord", "silhouette"):
         raise ValidationError(f"unknown k-selection method {method!r}")
-    results = wcss_curve(points, kmax=kmax, seed=seed, n_init=n_init)
+    results = wcss_curve(points, kmax=kmax, seed=seed, n_init=n_init,
+                         workers=workers)
     if method == "elbow":
         chosen = variance_elbow_k(results, threshold=threshold)
         scores = {k: r.inertia for k, r in results.items()}
@@ -218,10 +317,10 @@ def choose_k(
         chosen = elbow_k(results)
         scores = {k: r.inertia for k, r in results.items()}
     else:
-        chosen = silhouette_k(points, results)
-        scores = {}
-        n = np.asarray(points).shape[0]
-        for k, r in results.items():
-            if 2 <= k <= n - 1:
-                scores[k] = silhouette_score(points, r.labels)
+        scores = _silhouette_sweep_scores(points, results)
+        chosen = 1
+        best_score = -np.inf
+        for k in sorted(scores):
+            if scores[k] > best_score:
+                chosen, best_score = k, scores[k]
     return KSelection(method=method, chosen_k=chosen, results=results, scores=scores)

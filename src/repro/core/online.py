@@ -121,39 +121,71 @@ class OnlinePhaseTracker:
     # ------------------------------------------------------------------
     # streaming classification
     # ------------------------------------------------------------------
-    def _vectorize(self, profile: Dict[str, float]) -> np.ndarray:
-        vec = np.zeros(len(self.functions))
-        for func, seconds in profile.items():
-            j = self._index.get(func)
-            if j is not None:
-                vec[j] = seconds
-        return vec
+    def _vectorize_batch(self, profiles: Sequence[Dict[str, float]]) -> np.ndarray:
+        """``(n_profiles, n_functions)`` matrix via the name->column index."""
+        mat = np.zeros((len(profiles), len(self.functions)))
+        index = self._index
+        for i, profile in enumerate(profiles):
+            row = mat[i]
+            for func, seconds in profile.items():
+                j = index.get(func)
+                if j is not None:
+                    row[j] = seconds
+        return mat
 
     def classify(self, profile: Dict[str, float]) -> TrackedInterval:
         """Classify one interval profile (function -> self seconds)."""
-        vec = self._vectorize(profile)
-        dists = np.linalg.norm(self.centroids - vec[None, :], axis=1)
-        nearest = int(dists.argmin())
-        distance = float(dists[nearest])
-        phase_id = nearest if distance <= self.gates[nearest] else NOVEL
-        with self._lock:
-            tracked = TrackedInterval(
-                index=len(self.history),
-                phase_id=phase_id,
-                distance=distance,
-                nearest_phase=nearest,
-            )
-            self.history.append(tracked)
-        return tracked
+        return self.classify_batch([profile])[0]
 
     def classify_batch(self, profiles: Sequence[Dict[str, float]]) -> List[TrackedInterval]:
         """Classify several interval profiles in order, atomically.
 
-        The whole batch is appended to the history as one unit — a
-        concurrent classifier cannot interleave inside it.
+        All distances come from one ``(n_profiles, k, d)`` vectorized
+        computation — the service hot path calls this once per drained
+        batch instead of once per snapshot.  The whole batch is appended
+        to the history as one unit — a concurrent classifier cannot
+        interleave inside it.
+        """
+        if not profiles:
+            return []
+        mat = self._vectorize_batch(profiles)
+        diffs = mat[:, None, :] - self.centroids[None, :, :]
+        dists = np.linalg.norm(diffs, axis=2)  # (n_profiles, k)
+        nearest = dists.argmin(axis=1)
+        distance = dists[np.arange(len(profiles)), nearest]
+        novel = distance > self.gates[nearest]
+        with self._lock:
+            start = len(self.history)
+            tracked = [
+                TrackedInterval(
+                    index=start + i,
+                    phase_id=NOVEL if novel[i] else int(nearest[i]),
+                    distance=float(distance[i]),
+                    nearest_phase=int(nearest[i]),
+                )
+                for i in range(len(profiles))
+            ]
+            self.history.extend(tracked)
+        return tracked
+
+    def delta_profile(self, snapshot: GmonData) -> Optional[Dict[str, float]]:
+        """Difference a *cumulative* snapshot against the stream state.
+
+        Returns the interval profile (function -> self seconds) the
+        snapshot closes, or None when it merely primed the differencer
+        (first snapshot without ``zero_start``).  Splitting this from
+        classification lets the service difference a drained batch
+        per-snapshot but classify it in one vectorized call.
         """
         with self._lock:
-            return [self.classify(profile) for profile in profiles]
+            if self._previous is None and not self.zero_start:
+                self._previous = snapshot
+                return None
+            delta = (snapshot if self._previous is None
+                     else snapshot.subtract(self._previous))
+            self._previous = snapshot
+        return {func: ticks * delta.sample_period
+                for func, ticks in delta.hist.items()}
 
     def observe_snapshot(self, snapshot: GmonData) -> Optional[TrackedInterval]:
         """Feed a *cumulative* gmon snapshot (deployment dump stream).
@@ -164,14 +196,9 @@ class OnlinePhaseTracker:
         snapshot is classified as-is (the stream's zero baseline).
         """
         with self._lock:
-            if self._previous is None and not self.zero_start:
-                self._previous = snapshot
+            profile = self.delta_profile(snapshot)
+            if profile is None:
                 return None
-            delta = (snapshot if self._previous is None
-                     else snapshot.subtract(self._previous))
-            self._previous = snapshot
-            profile = {func: ticks * delta.sample_period
-                       for func, ticks in delta.hist.items()}
             return self.classify(profile)
 
     # ------------------------------------------------------------------

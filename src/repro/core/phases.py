@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -85,16 +85,22 @@ def detect_phases(
     seed: Union[int, np.random.Generator] = 0,
     n_init: int = 8,
     threshold: float = DEFAULT_ELBOW_THRESHOLD,
+    workers: Optional[int] = None,
 ) -> PhaseModel:
     """Cluster interval features and return the phase model.
 
     This is steps 2-3 of the paper's flow: k-means for k = 1..kmax, k
     chosen by ``method`` (elbow by default), each cluster a phase.
+
+    ``workers`` > 1 runs the k sweep on a process pool; results are
+    bit-identical to the serial sweep (per-k seeds are spawned from one
+    ``SeedSequence``), so it is a throughput knob only and deliberately
+    not part of any result-defining configuration.
     """
     features = np.asarray(features, dtype=float)
     if features.ndim != 2 or features.shape[0] == 0:
         raise ValidationError("features must be a non-empty 2-D array")
     selection = choose_k(features, kmax=kmax, method=method, seed=seed, n_init=n_init,
-                         threshold=threshold)
+                         threshold=threshold, workers=workers)
     best = selection.best
     return phases_from_labels(best.labels, best.centroids, selection)

@@ -75,8 +75,18 @@ class AnalysisResult:
         return self.phase_model.phase(phase_id).fraction_of(self.interval_data.n_intervals)
 
 
-def analyze_intervals(data: IntervalData, config: AnalysisConfig = AnalysisConfig()) -> AnalysisResult:
-    """Run clustering + Algorithm 1 on pre-built interval data."""
+def analyze_intervals(
+    data: IntervalData,
+    config: AnalysisConfig = AnalysisConfig(),
+    workers: Optional[int] = None,
+) -> AnalysisResult:
+    """Run clustering + Algorithm 1 on pre-built interval data.
+
+    ``workers`` > 1 spreads the k sweep over a process pool without
+    changing any result (see :func:`repro.core.phases.detect_phases`);
+    it is a runtime knob, not part of ``config``, so cached or stored
+    results stay comparable across worker counts.
+    """
     if config.drop_inactive_functions:
         data = data.drop_inactive_functions()
     features = build_features(data, config.feature)
@@ -87,6 +97,7 @@ def analyze_intervals(data: IntervalData, config: AnalysisConfig = AnalysisConfi
         seed=config.seed,
         n_init=config.n_init,
         threshold=config.kselect_threshold,
+        workers=workers,
     )
     selection = select_sites(
         data, phase_model, features=features, coverage_threshold=config.coverage_threshold
@@ -103,6 +114,7 @@ def analyze_intervals(data: IntervalData, config: AnalysisConfig = AnalysisConfi
 def analyze_snapshots(
     snapshots: Sequence[GmonData],
     config: AnalysisConfig = AnalysisConfig(),
+    workers: Optional[int] = None,
 ) -> AnalysisResult:
     """Full pipeline from IncProf's cumulative snapshots.
 
@@ -124,4 +136,4 @@ def analyze_snapshots(
             drop_short_final=config.drop_short_final,
             min_final_fraction=config.min_final_fraction,
         )
-    return analyze_intervals(data, config)
+    return analyze_intervals(data, config, workers=workers)

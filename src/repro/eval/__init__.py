@@ -11,7 +11,12 @@
 - :mod:`repro.eval.figures` — Figures 2-6 heartbeat series and plots.
 """
 
-from repro.eval.experiments import ExperimentResult, run_experiment, clear_cache
+from repro.eval.experiments import (
+    ExperimentResult,
+    clear_cache,
+    run_experiment,
+    run_experiments,
+)
 from repro.eval.overhead import OverheadResult, measure_overheads
 from repro.eval.tables import table1, app_sites_table, comparison_table
 from repro.eval.figures import heartbeat_figure, FigureResult
@@ -23,6 +28,7 @@ from repro.eval.site_quality import SiteQuality, compare_site_sets, quality_tabl
 __all__ = [
     "ExperimentResult",
     "run_experiment",
+    "run_experiments",
     "clear_cache",
     "OverheadResult",
     "measure_overheads",

@@ -15,8 +15,9 @@ harness regenerates several tables/figures from the same experiment.
 from __future__ import annotations
 
 from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.apps import get_app
 from repro.core.pipeline import AnalysisConfig, AnalysisResult, analyze_snapshots
@@ -102,8 +103,14 @@ def run_experiment(
     interval: float = 1.0,
     analysis_config: Optional[AnalysisConfig] = None,
     use_cache: bool = True,
+    workers: Optional[int] = None,
 ) -> ExperimentResult:
-    """Run the full methodology for ``app_name`` (memoized)."""
+    """Run the full methodology for ``app_name`` (memoized).
+
+    ``workers`` > 1 parallelizes the analysis k sweep; it changes only
+    wall time, never results, so it is deliberately absent from the
+    memoization key.
+    """
     key = (app_name, scale, seed, ranks, interval, analysis_config is None)
     if use_cache and analysis_config is None and key in _CACHE:
         _CACHE.move_to_end(key)
@@ -121,7 +128,7 @@ def run_experiment(
 
     # 2. Phase detection + Algorithm 1 on the representative rank.
     config = analysis_config if analysis_config is not None else AnalysisConfig()
-    analysis = analyze_snapshots(collect.samples(0), config)
+    analysis = analyze_snapshots(collect.samples(0), config, workers=workers)
 
     # 3/4. Heartbeat runs at discovered and manual sites (costs off; these
     #      runs produce the Figures 2-6 series).
@@ -165,3 +172,52 @@ def run_experiment(
         while len(_CACHE) > _CACHE_CAPACITY:
             _CACHE.popitem(last=False)
     return result
+
+
+def run_experiments(
+    app_names: Sequence[str],
+    scale: float = 1.0,
+    seed: int = DEFAULT_SEED,
+    ranks: int = 1,
+    interval: float = 1.0,
+    analysis_config: Optional[AnalysisConfig] = None,
+    use_cache: bool = True,
+    workers: Optional[int] = None,
+) -> Dict[str, ExperimentResult]:
+    """Run the full methodology for several apps, optionally in parallel.
+
+    With ``workers`` > 1, uncached apps run on a process pool (one task
+    per app; each task keeps its own k sweep serial to avoid nested
+    pools).  Every app's experiment is fully determined by its own
+    ``(app, scale, seed, ranks, interval)`` tuple, so parallel results
+    are identical to serial ones; the returned dict preserves the input
+    order either way, and fresh results land in the in-process cache.
+    """
+    names = list(app_names)
+    results: Dict[str, ExperimentResult] = {}
+    kwargs = dict(scale=scale, seed=seed, ranks=ranks, interval=interval,
+                  analysis_config=analysis_config, use_cache=use_cache)
+    if workers is not None and workers > 1 and len(names) > 1:
+        cached = [name for name in names
+                  if use_cache and analysis_config is None
+                  and (name, scale, seed, ranks, interval, True) in _CACHE]
+        fresh = [name for name in names if name not in cached]
+        for name in cached:
+            results[name] = run_experiment(name, **kwargs)
+        if fresh:
+            with ProcessPoolExecutor(max_workers=min(workers, len(fresh))) as pool:
+                futures = {name: pool.submit(run_experiment, name, **kwargs)
+                           for name in fresh}
+                for name in fresh:
+                    results[name] = futures[name].result()
+            if use_cache and analysis_config is None:
+                for name in fresh:
+                    key = (name, scale, seed, ranks, interval, True)
+                    _CACHE[key] = results[name]
+                    _CACHE.move_to_end(key)
+                while len(_CACHE) > _CACHE_CAPACITY:
+                    _CACHE.popitem(last=False)
+        return {name: results[name] for name in names}
+    for name in names:
+        results[name] = run_experiment(name, workers=workers, **kwargs)
+    return results

@@ -15,7 +15,7 @@ from repro.apps import get_app, paper_app_names
 from repro.core.callgraph_lift import suggest_lifts
 from repro.core.outliers import analyze_outliers
 from repro.core.postprocess import merge_equivalent_phases
-from repro.eval.experiments import ExperimentResult, run_experiment
+from repro.eval.experiments import ExperimentResult, run_experiments
 from repro.eval.figures import heartbeat_figure
 from repro.eval.site_quality import quality_table
 from repro.eval.tables import (
@@ -47,10 +47,16 @@ def _figure_summary_table(result: ExperimentResult) -> Table:
 def render_markdown_report(
     results: Optional[Dict[str, ExperimentResult]] = None,
     title: str = "IncProf reproduction report",
+    workers: Optional[int] = None,
 ) -> str:
-    """Render the full reproduction as a markdown document."""
+    """Render the full reproduction as a markdown document.
+
+    ``workers`` > 1 runs uncached per-app experiments on a process pool
+    (identical results, shorter wall time); ignored when ``results`` is
+    given.
+    """
     if results is None:
-        results = {name: run_experiment(name) for name in paper_app_names()}
+        results = run_experiments(paper_app_names(), workers=workers)
 
     parts: List[str] = [f"# {title}", ""]
     parts += ["## Table I — overview", "",
@@ -88,8 +94,9 @@ def render_markdown_report(
 def write_markdown_report(
     path: Union[str, Path],
     results: Optional[Dict[str, ExperimentResult]] = None,
+    workers: Optional[int] = None,
 ) -> Path:
     """Write the report to ``path`` and return it."""
     path = Path(path)
-    path.write_text(render_markdown_report(results) + "\n")
+    path.write_text(render_markdown_report(results, workers=workers) + "\n")
     return path

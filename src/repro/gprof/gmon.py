@@ -132,10 +132,6 @@ class GmonData:
 # ----------------------------------------------------------------------
 # binary serialization
 # ----------------------------------------------------------------------
-def _write_u32(stream: BinaryIO, value: int) -> None:
-    stream.write(_U32.pack(value))
-
-
 def _read_exact(stream: BinaryIO, n: int) -> bytes:
     data = stream.read(n)
     if len(data) != n:
@@ -150,23 +146,39 @@ def write_gmon(data: GmonData, target: Union[str, Path, BinaryIO]) -> None:
             write_gmon(data, fh)
         return
     stream = target
-    stream.write(_HEADER.pack(MAGIC, VERSION, data.sample_period, data.timestamp, data.rank))
+    parts: List[bytes] = [
+        _HEADER.pack(MAGIC, VERSION, data.sample_period, data.timestamp, data.rank)
+    ]
 
     names = sorted(set(data.hist) | {n for arc in data.arcs for n in arc})
     index = {name: i for i, name in enumerate(names)}
-    _write_u32(stream, len(names))
+    parts.append(_U32.pack(len(names)))
     for name in names:
         encoded = name.encode("utf-8")
-        _write_u32(stream, len(encoded))
-        stream.write(encoded)
+        parts.append(_U32.pack(len(encoded)))
+        parts.append(encoded)
 
-    _write_u32(stream, len(data.hist))
-    for name in sorted(data.hist):
-        stream.write(_HIST_REC.pack(index[name], data.hist[name]))
+    # Fixed-size sections are packed in one struct call each; with "<"
+    # there is no alignment padding, so the bytes are identical to a
+    # record-at-a-time stream (the IGMON format is unchanged).
+    hist = data.hist
+    flat_hist: List[int] = []
+    for name in sorted(hist):
+        flat_hist.append(index[name])
+        flat_hist.append(hist[name])
+    parts.append(_U32.pack(len(hist)))
+    parts.append(struct.pack("<" + "IQ" * len(hist), *flat_hist))
 
-    _write_u32(stream, len(data.arcs))
-    for caller, callee in sorted(data.arcs):
-        stream.write(_ARC_REC.pack(index[caller], index[callee], data.arcs[(caller, callee)]))
+    arcs = data.arcs
+    flat_arcs: List[int] = []
+    for caller, callee in sorted(arcs):
+        flat_arcs.append(index[caller])
+        flat_arcs.append(index[callee])
+        flat_arcs.append(arcs[(caller, callee)])
+    parts.append(_U32.pack(len(arcs)))
+    parts.append(struct.pack("<" + "IIQ" * len(arcs), *flat_arcs))
+
+    stream.write(b"".join(parts))
 
 
 def read_gmon(source: Union[str, Path, BinaryIO]) -> GmonData:
@@ -190,15 +202,15 @@ def read_gmon(source: Union[str, Path, BinaryIO]) -> GmonData:
     data = GmonData(sample_period=period, timestamp=timestamp, rank=rank)
 
     (n_hist,) = _U32.unpack(_read_exact(stream, 4))
-    for _ in range(n_hist):
-        idx, ticks = _HIST_REC.unpack(_read_exact(stream, _HIST_REC.size))
+    hist_buf = _read_exact(stream, n_hist * _HIST_REC.size)
+    for idx, ticks in _HIST_REC.iter_unpack(hist_buf):
         if idx >= len(names):
             raise FormatError(f"histogram name index {idx} out of range")
         data.hist[names[idx]] = ticks
 
     (n_arcs,) = _U32.unpack(_read_exact(stream, 4))
-    for _ in range(n_arcs):
-        src, dst, count = _ARC_REC.unpack(_read_exact(stream, _ARC_REC.size))
+    arc_buf = _read_exact(stream, n_arcs * _ARC_REC.size)
+    for src, dst, count in _ARC_REC.iter_unpack(arc_buf):
         if src >= len(names) or dst >= len(names):
             raise FormatError("arc name index out of range")
         data.arcs[(names[src], names[dst])] = count

@@ -73,6 +73,7 @@ class ServiceMetrics:
         self.heartbeats = 0
         self.connections = 0
         self.classify_latency = LatencyWindow(latency_capacity)
+        self.stages: Dict[str, Dict[str, float]] = {}
         self._first_ingest: Optional[float] = None
         self._last_process: Optional[float] = None
 
@@ -117,6 +118,20 @@ class ServiceMetrics:
         with self._lock:
             self.heartbeats += n
 
+    def note_stage(self, stage: str, seconds: float, items: int = 1) -> None:
+        """Accumulate wall time of one worker pipeline stage.
+
+        The service hot path is staged (snapshot differencing, then one
+        vectorized classification per drained batch); per-stage totals
+        show where worker time actually goes at fleet scale.
+        """
+        with self._lock:
+            rec = self.stages.setdefault(
+                stage, {"calls": 0, "items": 0, "seconds": 0.0})
+            rec["calls"] += 1
+            rec["items"] += items
+            rec["seconds"] += seconds
+
     # ------------------------------------------------------------------
     # reading
     # ------------------------------------------------------------------
@@ -148,6 +163,8 @@ class ServiceMetrics:
                 "ingest_errors": self.ingest_errors,
                 "heartbeats": self.heartbeats,
                 "connections": self.connections,
+                "stages": {name: dict(rec)
+                           for name, rec in self.stages.items()},
             }
         snap["ingest_rate"] = self.ingest_rate()
         snap["classify_latency"] = self.classify_latency.percentiles()

@@ -466,34 +466,57 @@ class PhaseMonitorServer:
             if state is None:
                 return
             batch = state.queue.pop_batch(self.config.batch_size)
-            for seq, gmon in batch:
-                self._classify_one(state, seq, gmon)
+            if batch:
+                self._classify_batch(state, batch)
             with self._sched_lock:
                 if len(state.queue):
                     self._ready.put(state)
                 else:
                     state.scheduled = False
 
-    def _classify_one(self, state: StreamState, seq: int, gmon: GmonData) -> None:
+    def _classify_batch(self, state: StreamState,
+                        batch: List[Tuple[int, GmonData]]) -> None:
+        """Classify one drained batch of a stream's snapshots.
+
+        Differencing stays per-snapshot (each delta depends on its
+        predecessor and may fail independently), but all resulting
+        profiles go through one vectorized ``classify_batch`` call.
+        """
         start = time.perf_counter()
-        novel = False
-        try:
-            if state.tracker is not None:
-                tracked = state.tracker.observe_snapshot(gmon)
-                novel = bool(tracked is not None and tracked.is_novel)
-        except ReproError:
-            # A single inconsistent snapshot (e.g. mismatched sample
-            # period) must not take the worker down.
-            self.metrics.note_ingest_error()
-            with state.lock:
-                state.processed += 1
-            return
-        latency = time.perf_counter() - start
-        self.metrics.note_processed(novel=novel, latency=latency)
+        errors = 0
+        tracked: List[Any] = []
+        if state.tracker is not None:
+            profiles = []
+            for _seq, gmon in batch:
+                try:
+                    profile = state.tracker.delta_profile(gmon)
+                except ReproError:
+                    # A single inconsistent snapshot (e.g. mismatched
+                    # sample period) must not take the worker down.
+                    errors += 1
+                    self.metrics.note_ingest_error()
+                    continue
+                if profile is not None:
+                    profiles.append(profile)
+            diffed = time.perf_counter()
+            self.metrics.note_stage("difference", diffed - start, len(batch))
+            tracked = state.tracker.classify_batch(profiles)
+            self.metrics.note_stage("classify",
+                                    time.perf_counter() - diffed,
+                                    len(profiles))
+        end = time.perf_counter()
+        counted = len(batch) - errors
+        novel_count = sum(1 for t in tracked if t.is_novel)
+        per_item = (end - start) / max(1, counted)
+        for t in tracked:
+            self.metrics.note_processed(novel=t.is_novel, latency=per_item)
+        for _ in range(counted - len(tracked)):
+            # Primed first snapshots and tracker-less streams still count
+            # as processed work, exactly as before batching.
+            self.metrics.note_processed(novel=False, latency=per_item)
         with state.lock:
-            state.processed += 1
-            if novel:
-                state.novel += 1
+            state.processed += len(batch)
+            state.novel += novel_count
 
     # ------------------------------------------------------------------
     # housekeeping

@@ -170,3 +170,41 @@ def test_subtract_property_nonnegative_and_exact(base, extra):
     for func, ticks in extra.items():
         if ticks > 0:
             assert delta.hist[func] == ticks
+
+
+# ----------------------------------------------------------------------
+# golden round-trip: the IGMON byte layout is frozen
+# ----------------------------------------------------------------------
+#: Exact serialization of GOLDEN_DATA, captured before the bulk-packed
+#: (de)serializer landed — any byte difference is a format break.
+GOLDEN_BLOB = bytes.fromhex(
+    "49474d4f4e01007b14ae47e17a843f0000000000002940030000000400000005"
+    "000000616c7068610400000062657461040000006d61696e070000006dc3bc6c"
+    "6c65720300000000000000070000000000000001000000130000000000000003"
+    "00000002000000000000000300000000000000010000000b0000000000000002"
+    "00000000000000040000000000000002000000030000000100000000000000"
+)
+
+
+def golden_data() -> GmonData:
+    return GmonData(
+        sample_period=0.01,
+        timestamp=12.5,
+        rank=3,
+        hist={"alpha": 7, "beta": 19, "müller": 2},
+        arcs={("main", "alpha"): 4, ("alpha", "beta"): 11, ("main", "müller"): 1},
+    )
+
+
+def test_golden_blob_bytes_exact():
+    assert dumps_gmon(golden_data()) == GOLDEN_BLOB
+
+
+def test_golden_blob_roundtrip():
+    data = loads_gmon(GOLDEN_BLOB)
+    expected = golden_data()
+    assert data.hist == expected.hist
+    assert data.arcs == expected.arcs
+    assert data.sample_period == expected.sample_period
+    assert data.timestamp == expected.timestamp
+    assert data.rank == expected.rank

@@ -161,3 +161,42 @@ def test_differencing_property(increments):
     final = snaps[-1]
     for j, func in enumerate(data.functions):
         assert data.self_time[:, j].sum() == pytest.approx(final.self_seconds(func))
+
+
+def test_matrix_differencing_matches_pairwise_reference():
+    """The single aligned-matrix subtraction reproduces per-pair
+    ``GmonData.subtract`` exactly, including the lazy interval gmons."""
+    from repro.core.intervals import _snapshot_pairs
+
+    rng = np.random.default_rng(13)
+    names = [f"fn{i}" for i in range(12)]
+    snapshots = []
+    hist = {n: 0 for n in names}
+    arcs = {}
+    for step in range(6):
+        for n in names:
+            hist[n] += int(rng.integers(0, 9))
+        for _ in range(8):
+            a, b = rng.choice(len(names), size=2, replace=False)
+            key = (names[a], names[b])
+            arcs[key] = arcs.get(key, 0) + int(rng.integers(1, 5))
+        snapshots.append(GmonData(
+            sample_period=0.01,
+            timestamp=float(step + 1),
+            hist={n: t for n, t in hist.items() if t},
+            arcs=dict(arcs),
+        ))
+
+    data = intervals_from_snapshots(snapshots, keep_gmons=True)
+    ref_deltas = _snapshot_pairs(snapshots)
+
+    for got, want in zip(data.interval_gmons, ref_deltas):
+        assert got.hist == want.hist
+        assert got.arcs == want.arcs
+        assert got.timestamp == want.timestamp
+        assert got.sample_period == want.sample_period
+    for i, delta in enumerate(ref_deltas):
+        for j, func in enumerate(data.functions):
+            assert data.self_time[i, j] == pytest.approx(
+                delta.hist.get(func, 0) * delta.sample_period)
+            assert data.calls[i, j] == delta.calls_into(func)

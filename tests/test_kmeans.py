@@ -120,3 +120,25 @@ def test_kmeans_quality_vs_random_assignment(seed):
         if len(members):
             random_inertia += ((members - members.mean(axis=0)) ** 2).sum()
     assert result.inertia <= random_inertia + 1e-9
+
+
+def test_empty_cluster_repair():
+    # Two coincident seeds collapse onto one cluster; the third seed is
+    # far from every point.  The update leaves empty clusters that the
+    # repair path must re-seat on far points.
+    from repro.core.kmeans import _lloyd
+
+    points = np.array([[0.0], [0.1], [0.2], [10.0], [10.1], [50.0]])
+    centers = np.array([[0.0], [0.0], [1000.0]])
+    result = _lloyd(points, centers.copy(), max_iter=100, tol=1e-9)
+    sizes = result.cluster_sizes()
+    assert sizes.shape == (3,)
+    assert (sizes > 0).all()
+    assert int(sizes.sum()) == len(points)
+    assert np.isfinite(result.inertia)
+    # Reported inertia matches the reported labels/centroids exactly.
+    recomputed = sum(
+        float(np.sum((points[i] - result.centroids[result.labels[i]]) ** 2))
+        for i in range(len(points))
+    )
+    assert result.inertia == pytest.approx(recomputed)

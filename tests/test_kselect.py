@@ -130,3 +130,78 @@ def test_silhouette_k_skips_invalid_ks():
     points = blobs(2, n=4, seed=1)  # 8 points: k up to 7 valid
     curve = wcss_curve(points, kmax=8, seed=0)
     assert silhouette_k(points, curve) == 2
+
+
+def _silhouette_reference(points, labels):
+    """Textbook per-point silhouette loop (the pre-vectorization shape)."""
+    points = np.asarray(points, dtype=float)
+    labels = np.asarray(labels)
+    scores = []
+    for i in range(len(points)):
+        dists = np.linalg.norm(points - points[i], axis=1)
+        own = labels == labels[i]
+        n_own = int(own.sum())
+        if n_own <= 1:
+            scores.append(0.0)
+            continue
+        a = float(dists[own].sum() / (n_own - 1))
+        b = min(float(dists[labels == c].mean())
+                for c in np.unique(labels) if c != labels[i])
+        denom = max(a, b)
+        scores.append(0.0 if denom == 0.0 else (b - a) / denom)
+    return float(np.mean(scores))
+
+
+def test_silhouette_matches_bruteforce_reference():
+    rng = np.random.default_rng(5)
+    points = np.vstack([
+        rng.normal((0, 0), 1.0, size=(40, 2)),
+        rng.normal((4, 4), 1.5, size=(25, 2)),
+        rng.normal((-5, 6), 0.5, size=(10, 2)),
+    ])
+    labels = np.concatenate([np.zeros(40), np.ones(25), np.full(10, 2)]).astype(int)
+    got = silhouette_score(points, labels)
+    want = _silhouette_reference(points, labels)
+    assert got == pytest.approx(want, abs=1e-9)
+
+    # Also with a singleton cluster and noisy labels.
+    labels2 = labels.copy()
+    labels2[0] = 7  # singleton
+    labels2[50:55] = 0
+    assert silhouette_score(points, labels2) == pytest.approx(
+        _silhouette_reference(points, labels2), abs=1e-9)
+
+
+def test_wcss_curve_parallel_matches_serial():
+    rng = np.random.default_rng(17)
+    points = np.vstack([rng.normal(c, 0.4, size=(30, 3))
+                        for c in ((0, 0, 0), (6, 6, 0), (0, 6, 6), (9, 0, 9))])
+    serial = wcss_curve(points, kmax=6, seed=42)
+    parallel = wcss_curve(points, kmax=6, seed=42, workers=2)
+    assert set(serial) == set(parallel)
+    for k in serial:
+        assert serial[k].inertia == parallel[k].inertia
+        assert np.array_equal(serial[k].labels, parallel[k].labels)
+        assert np.array_equal(serial[k].centroids, parallel[k].centroids)
+
+
+def test_choose_k_parallel_matches_serial():
+    rng = np.random.default_rng(23)
+    points = np.vstack([rng.normal(c, 0.3, size=(25, 2))
+                        for c in ((0, 0), (8, 8), (-8, 8))])
+    for method in ("elbow", "chord", "silhouette"):
+        serial = choose_k(points, kmax=6, method=method, seed=3)
+        parallel = choose_k(points, kmax=6, method=method, seed=3, workers=3)
+        assert serial.chosen_k == parallel.chosen_k
+        assert np.array_equal(serial.best.labels, parallel.best.labels)
+
+
+def test_per_k_seeds_independent_of_sweep_order():
+    """Each k's fit draws from its own child seed, not a shared stream."""
+    rng = np.random.default_rng(29)
+    points = rng.random((40, 4))
+    full = wcss_curve(points, kmax=6, seed=9)
+    small = wcss_curve(points, kmax=3, seed=9)
+    for k in small:
+        assert small[k].inertia == full[k].inertia
+        assert np.array_equal(small[k].labels, full[k].labels)

@@ -214,3 +214,28 @@ def test_concurrent_classification_is_safe(trained):
     assert len(tracker.history) == total
     # every interval got a unique, gapless index despite the races
     assert sorted(t.index for t in tracker.history) == list(range(total))
+
+
+def test_classify_batch_matches_repeated_classify(trained):
+    _, template = trained
+    rng = np.random.default_rng(11)
+    functions = template.functions
+    profiles = []
+    for _ in range(40):
+        profile = {f: float(rng.random() * 2) for f in functions
+                   if rng.random() < 0.8}
+        profile["not_a_known_function"] = 1.0
+        profiles.append(profile)
+
+    one_by_one = template.spawn(zero_start=False)
+    batched = template.spawn(zero_start=False)
+    singles = [one_by_one.classify(p) for p in profiles]
+    batch = batched.classify_batch(profiles)
+
+    assert len(batch) == len(singles)
+    for got, want in zip(batch, singles):
+        assert got.index == want.index
+        assert got.phase_id == want.phase_id
+        assert got.nearest_phase == want.nearest_phase
+        assert got.distance == want.distance  # bit-identical math
+    assert batched.phase_sequence() == one_by_one.phase_sequence()

@@ -99,3 +99,19 @@ def test_inst_types_valid(graph500_samples):
     analysis = analyze_snapshots(graph500_samples)
     for selected in analysis.sites():
         assert selected.inst_type in (InstType.BODY, InstType.LOOP)
+
+
+def test_parallel_sweep_identical_to_serial(graph500_samples):
+    """Acceptance: for a fixed AnalysisConfig, parallel and serial sweeps
+    yield identical chosen k, labels, and selected sites."""
+    config = AnalysisConfig()
+    serial = analyze_snapshots(graph500_samples, config)
+    parallel = analyze_snapshots(graph500_samples, config, workers=2)
+    assert (serial.phase_model.kselection.chosen_k
+            == parallel.phase_model.kselection.chosen_k)
+    assert np.array_equal(serial.phase_model.labels, parallel.phase_model.labels)
+    assert ([(s.function, s.hb_id) for s in serial.sites()]
+            == [(s.function, s.hb_id) for s in parallel.sites()])
+    serial_wcss = {k: r.inertia for k, r in serial.phase_model.kselection.results.items()}
+    parallel_wcss = {k: r.inertia for k, r in parallel.phase_model.kselection.results.items()}
+    assert serial_wcss == parallel_wcss

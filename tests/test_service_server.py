@@ -209,13 +209,13 @@ def test_shutdown_via_control():
 def slow_server(policy: str) -> PhaseMonitorServer:
     server = PhaseMonitorServer(None, make_config(
         policy=policy, queue_capacity=2, workers=1, block_timeout=10.0))
-    original = server._classify_one
+    original = server._classify_batch
 
-    def dawdling(state, seq, gmon):
-        time.sleep(0.05)
-        original(state, seq, gmon)
+    def dawdling(state, batch):
+        time.sleep(0.05 * len(batch))
+        original(state, batch)
 
-    server._classify_one = dawdling
+    server._classify_batch = dawdling
     return server
 
 

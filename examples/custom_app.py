@@ -9,11 +9,10 @@ its source.
 Run:  python examples/custom_app.py
 """
 
-from repro import analyze_snapshots
+from repro.api import Session, SessionConfig, analyze_snapshots
 from repro.apps.base import AppModel, chunked_work, leaf
 from repro.core.model import InstType, Site
 from repro.core.report import render_full_report
-from repro.incprof.session import Session, SessionConfig
 from repro.simulate.engine import SimFunction
 
 parse_record = leaf("parse_record")

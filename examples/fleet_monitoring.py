@@ -9,17 +9,21 @@ misbehaving run lights up the novelty counters the moment it appears.
 Run:  python examples/fleet_monitoring.py
 """
 
-from repro import Session, SessionConfig, analyze_snapshots
-from repro.apps.synthetic import PhaseSpec, Synthetic
-from repro.core.online import OnlinePhaseTracker
-from repro.core.timeline import phase_strip
-from repro.service import (
-    Endpoint,
-    PhaseMonitorServer,
-    ServerConfig,
+import tempfile
+from pathlib import Path
+
+from repro.api import (
+    Session,
+    SessionConfig,
+    analyze_snapshots,
+    load_model,
     publish_samples,
     publish_session,
+    save_model,
 )
+from repro.apps.synthetic import PhaseSpec, Synthetic
+from repro.core.timeline import phase_strip
+from repro.service import Endpoint, PhaseMonitorServer, ServerConfig
 
 
 def main() -> None:
@@ -28,9 +32,15 @@ def main() -> None:
     # ---- offline: one profiled run, phases discovered, tracker trained ----
     train = Session(app, SessionConfig(ranks=1, seed=111)).run()
     analysis = analyze_snapshots(train.samples(0))
-    template = OnlinePhaseTracker.from_analysis(analysis)
     print(f"offline training: {analysis.n_phases} phases from "
           f"{analysis.interval_data.n_intervals} intervals")
+
+    # ---- the model is a durable artifact: save, ship, load anywhere ----
+    with tempfile.TemporaryDirectory() as tmp:
+        artifact = save_model(analysis, Path(tmp) / "synthetic.ipm")
+        print(f"phase model artifact: {artifact.name} "
+              f"({artifact.stat().st_size} bytes)")
+        template = load_model(artifact)
 
     # ---- the daemon: ephemeral loopback port, blocking backpressure ----
     config = ServerConfig(endpoint=Endpoint.tcp("127.0.0.1", 0), workers=4)

@@ -10,7 +10,7 @@ Figure 4 highlights.
 Run:  python examples/heartbeat_monitoring.py
 """
 
-from repro import analyze_snapshots, Session, SessionConfig
+from repro.api import Session, SessionConfig, analyze_snapshots
 from repro.apps import get_app
 from repro.heartbeat import LDMSTransport
 from repro.heartbeat.analysis import series_from_records

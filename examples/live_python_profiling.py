@@ -11,9 +11,8 @@ Run:  python examples/live_python_profiling.py
 
 import time
 
-from repro import analyze_snapshots
+from repro.api import AnalysisConfig, analyze_snapshots
 from repro.apps import get_app
-from repro.core.pipeline import AnalysisConfig
 from repro.gprof.flatprofile import FlatProfile
 from repro.incprof.collector import LiveCollector
 from repro.profiler.tracing import TracingProfiler, names_filter

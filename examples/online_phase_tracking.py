@@ -9,9 +9,8 @@ flagged the moment it appears.
 Run:  python examples/online_phase_tracking.py
 """
 
-from repro import analyze_snapshots, Session, SessionConfig
+from repro.api import OnlinePhaseTracker, Session, SessionConfig, analyze_snapshots
 from repro.apps.synthetic import PhaseSpec, Synthetic
-from repro.core.online import OnlinePhaseTracker
 from repro.core.timeline import phase_strip, render_timeline
 
 

@@ -8,7 +8,7 @@ instrumentation sites.
 Run:  python examples/quickstart.py
 """
 
-from repro import analyze_snapshots, Session, SessionConfig
+from repro.api import Session, SessionConfig, analyze_snapshots
 from repro.apps import get_app
 from repro.core.report import render_full_report
 

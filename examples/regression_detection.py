@@ -15,7 +15,7 @@ example builds that loop end to end:
 Run:  python examples/regression_detection.py
 """
 
-from repro import analyze_snapshots, Session, SessionConfig
+from repro.api import Session, SessionConfig, analyze_snapshots
 from repro.apps import get_app
 from repro.heartbeat.analysis import series_from_records
 from repro.heartbeat.compare import compare_series

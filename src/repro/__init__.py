@@ -21,12 +21,14 @@ Quickstart::
 """
 
 from repro import apps, core, gprof, heartbeat, incprof, profiler, simulate, util  # noqa: F401
+from repro import api  # noqa: F401  (the stable facade; see docs/API.md)
 from repro.core import AnalysisConfig, AnalysisResult, analyze_snapshots
 from repro.incprof import Session, SessionConfig
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "api",
     "apps",
     "core",
     "gprof",

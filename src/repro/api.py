@@ -1,0 +1,141 @@
+"""The stable public surface of the IncProf reproduction.
+
+Everything an application author needs lives here under one import:
+
+    from repro import api
+
+    session = api.Session(app, api.SessionConfig(ranks=1))
+    analysis = api.analyze_snapshots(session.run().samples(rank=0))
+    api.save_model(analysis, "app.ipmdl")
+
+    tracker = api.load_model("app.ipmdl")          # later, elsewhere
+    phases = tracker.classify_batch(new_samples)
+
+Names exported from this module follow the deprecation policy in
+``docs/API.md``: they are stable across minor versions, removals go
+through a deprecation cycle, and anything *not* exported here (module
+internals, helper functions reached by deep imports) may change without
+notice.  Prefer ``repro.api`` over deep imports in application code.
+
+The surface groups into five layers:
+
+- **offline analysis** — :func:`analyze_snapshots` over a snapshot
+  series; :class:`AnalysisConfig` / :class:`AnalysisResult`.
+- **collection** — :class:`Session` (simulated app runs) and
+  :class:`SampleStore` (on-disk gmon sample directories).
+- **model artifacts** — :func:`save_model` / :func:`load_model`
+  round-trip a trained phase model through one durable, checksummed
+  file with bit-identical classification.
+- **online monitoring** — :class:`OnlinePhaseTracker` in-process;
+  :class:`PhaseClient` + :class:`RetryPolicy` against an ``incprofd``
+  daemon (see ``docs/SERVICE.md``).
+- **errors** — the :class:`ReproError` hierarchy; every exception this
+  package raises deliberately derives from it.
+"""
+
+from __future__ import annotations
+
+# -- offline analysis --------------------------------------------------
+from repro.core import (
+    AnalysisConfig,
+    AnalysisResult,
+    analyze_snapshots,
+)
+
+# -- model artifacts ---------------------------------------------------
+from repro.core.model_io import (
+    MODEL_SCHEMA,
+    dumps_model,
+    load_model,
+    loads_model,
+    model_meta,
+    save_model,
+)
+
+# -- online monitoring -------------------------------------------------
+from repro.core.online import NOVEL, OnlinePhaseTracker, TrackedInterval
+
+# -- collection --------------------------------------------------------
+from repro.gprof.gmon import GmonData, read_gmon, write_gmon
+from repro.incprof import SampleStore, Session, SessionConfig, SessionResult
+
+# -- service client ----------------------------------------------------
+from repro.service import (
+    Endpoint,
+    PhaseClient,
+    PublishReport,
+    RetryPolicy,
+    publish_samples,
+    publish_session,
+)
+
+# -- errors ------------------------------------------------------------
+from repro.util.errors import (
+    BackpressureError,
+    CheckpointError,
+    ClusteringError,
+    CollectorError,
+    ConnectionLostError,
+    FormatError,
+    ModelFormatError,
+    ProfileDataError,
+    ProtocolError,
+    ReproError,
+    RequestError,
+    RetryExhaustedError,
+    SampleFileError,
+    ServiceError,
+    StreamConflictError,
+    UnknownStreamError,
+    ValidationError,
+)
+
+__all__ = [
+    # offline analysis
+    "AnalysisConfig",
+    "AnalysisResult",
+    "analyze_snapshots",
+    # collection
+    "GmonData",
+    "read_gmon",
+    "write_gmon",
+    "SampleStore",
+    "Session",
+    "SessionConfig",
+    "SessionResult",
+    # model artifacts
+    "MODEL_SCHEMA",
+    "save_model",
+    "load_model",
+    "dumps_model",
+    "loads_model",
+    "model_meta",
+    # online monitoring
+    "NOVEL",
+    "OnlinePhaseTracker",
+    "TrackedInterval",
+    "Endpoint",
+    "PhaseClient",
+    "PublishReport",
+    "RetryPolicy",
+    "publish_samples",
+    "publish_session",
+    # errors
+    "ReproError",
+    "ValidationError",
+    "FormatError",
+    "ProfileDataError",
+    "ClusteringError",
+    "CollectorError",
+    "ProtocolError",
+    "SampleFileError",
+    "ModelFormatError",
+    "CheckpointError",
+    "ServiceError",
+    "RequestError",
+    "UnknownStreamError",
+    "StreamConflictError",
+    "BackpressureError",
+    "ConnectionLostError",
+    "RetryExhaustedError",
+]

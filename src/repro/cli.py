@@ -88,6 +88,12 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
                             coverage_threshold=args.coverage)
     analysis = analyze_snapshots(snapshots, config, workers=args.workers)
     print(render_full_report(analysis, app_name=label))
+    if args.save_model:
+        from repro.core.model_io import save_model
+
+        path = save_model(analysis, args.save_model,
+                          meta={"trained_on": label})
+        print(f"\nphase model -> {path} ({path.stat().st_size} bytes)")
     return 0
 
 
@@ -228,10 +234,24 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.selftest:
         return _serve_selftest(args)
     template = None
-    if args.app or args.samples:
+    if args.model:
+        from repro.core.model_io import load_model, model_meta
+        from repro.util.errors import ModelFormatError
+
+        try:
+            template = load_model(args.model)
+            meta = model_meta(args.model)
+        except ModelFormatError as exc:
+            print(f"error: cannot load phase model {args.model}: {exc}")
+            return 1
+        print(f"loaded phase model {args.model}: "
+              f"{meta.get('n_phases', '?')} phases"
+              + (f", trained on {meta['trained_on']}"
+                 if meta.get("trained_on") else ""))
+    elif args.app or args.samples:
         template = _train_template(args)
     else:
-        print("no --app/--samples: serving without classification "
+        print("no --model/--app/--samples: serving without classification "
               "(ingest + stats only)")
     endpoint = (Endpoint.unix(args.unix) if args.unix
                 else Endpoint.tcp(args.host, args.port))
@@ -241,12 +261,24 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         queue_capacity=args.queue,
         policy=args.policy,
         idle_timeout=args.idle_timeout,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_interval=args.checkpoint_interval,
     )
     server = PhaseMonitorServer(template, config)
     bound = server.start()
+    if server.quarantined_checkpoint is not None:
+        print(f"warning: corrupt checkpoint quarantined -> "
+              f"{server.quarantined_checkpoint}; starting fresh")
+    if server.restored_streams:
+        print(f"restored {len(server.restored_streams)} stream(s) from "
+              f"checkpoint: {', '.join(sorted(server.restored_streams))}")
     print(f"incprofd listening on {bound} "
           f"(workers={config.workers}, queue={config.queue_capacity}, "
-          f"policy={config.policy})")
+          f"policy={config.policy}"
+          + (f", checkpoints -> {args.checkpoint_dir} "
+             f"every {config.checkpoint_interval:g}s"
+             if args.checkpoint_dir else "")
+          + ")")
     try:
         server.wait()
     except KeyboardInterrupt:
@@ -300,7 +332,7 @@ def _serve_selftest(args: argparse.Namespace) -> int:
 
 
 def _cmd_submit(args: argparse.Namespace) -> int:
-    from repro.service import Endpoint, publish_session
+    from repro.service import Endpoint, RetryPolicy, publish_session
     from repro.util.errors import ReproError
 
     try:
@@ -314,17 +346,22 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     result = Session(app, config).run()
     print(f"{args.app}: collected {len(result.per_rank)} rank(s), "
           f"{len(result.samples(0))} snapshots/rank; publishing to {endpoint}")
+    retry = RetryPolicy(max_attempts=args.max_attempts,
+                        request_timeout=args.request_timeout)
     try:
         reports = publish_session(endpoint, result,
-                                  stream_prefix=args.stream_prefix or args.app)
+                                  stream_prefix=args.stream_prefix or args.app,
+                                  retry=retry)
     except (ReproError, OSError) as exc:
         print(f"error: cannot publish to {endpoint}: {exc}")
         return 1
     for stream_id in sorted(reports):
         rep = reports[stream_id]
         status = rep.error or ("drained" if rep.drained else "not drained")
+        bumpy = (f" reconnects={rep.reconnects} retries={rep.retries}"
+                 if rep.reconnects or rep.retries else "")
         print(f"  {stream_id}: sent={rep.sent} processed={rep.processed} "
-              f"novel={rep.novel} rejected={rep.rejected} [{status}]")
+              f"novel={rep.novel} rejected={rep.rejected}{bumpy} [{status}]")
     return 0 if all(not r.error for r in reports.values()) else 1
 
 
@@ -408,6 +445,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_an.add_argument("--kselect", default="elbow",
                       choices=["elbow", "chord", "silhouette"])
     p_an.add_argument("--coverage", type=float, default=0.95)
+    p_an.add_argument("--save-model", default=None, metavar="PATH",
+                      help="write the trained phase model to a durable "
+                           "artifact loadable by 'serve --model'")
     _add_workers(p_an)
     p_an.set_defaults(func=_cmd_analyze)
 
@@ -462,8 +502,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--app", choices=app_names(),
                          help="train the serving phase model on this app")
     p_serve.add_argument("--samples", help="train from a sample directory instead")
+    p_serve.add_argument("--model", default=None, metavar="PATH",
+                         help="serve a phase model saved by "
+                              "'analyze --save-model' (skips training)")
     p_serve.add_argument("--rank", type=int, default=0,
                          help="training rank when using --samples")
+    p_serve.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                         help="persist daemon state here and recover it on "
+                              "startup (crash-safe restarts)")
+    p_serve.add_argument("--checkpoint-interval", type=float, default=2.0,
+                         help="seconds between checkpoints (with "
+                              "--checkpoint-dir)")
     p_serve.add_argument("--host", default="127.0.0.1")
     p_serve.add_argument("--port", type=int, default=9271,
                          help="TCP port (0 = ephemeral)")
@@ -492,6 +541,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_sub.add_argument("--ranks", type=int, default=1)
     p_sub.add_argument("--stream-prefix", default=None,
                        help="stream id prefix (default: the app name)")
+    p_sub.add_argument("--max-attempts", type=int, default=6,
+                       help="connection/retry attempt budget per stream")
+    p_sub.add_argument("--request-timeout", type=float, default=30.0,
+                       help="per-request deadline in seconds")
     _add_common(p_sub)
     p_sub.set_defaults(func=_cmd_submit)
 

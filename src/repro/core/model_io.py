@@ -1,0 +1,191 @@
+"""Durable phase-model artifacts (``.ipm`` files).
+
+The paper's workflow is train-once/monitor-forever: IncProf derives a
+phase model offline and monitoring then runs indefinitely.  This module
+makes the trained model a *durable artifact* instead of process state:
+:func:`save_model` serializes an :class:`~repro.core.online.OnlinePhaseTracker`
+(or the :class:`~repro.core.pipeline.AnalysisResult` it is trained from)
+to a single self-describing file, and :func:`load_model` round-trips it
+to bit-identical classification.
+
+File format (magic ``IPMDL``)::
+
+    magic(5) | schema(u16 LE) | sha256(payload)(32) | length(u32 LE) | payload
+
+The payload is canonical JSON (sorted keys, no whitespace) holding the
+function vocabulary, centroids, novelty gates, interval, and free-form
+metadata (training app, analysis config, selected sites).  Floats use
+Python's shortest-round-trip repr, so nothing is lost to formatting.
+Writes are atomic (temp file + rename); anything malformed — wrong
+magic, unsupported schema, checksum mismatch, truncation — raises
+:class:`~repro.util.errors.ModelFormatError` with a message naming the
+failure.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import struct
+from dataclasses import asdict
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from repro.core.online import OnlinePhaseTracker
+from repro.core.pipeline import AnalysisResult
+from repro.util.atomicio import atomic_write_bytes
+from repro.util.errors import ModelFormatError, ValidationError
+
+MODEL_MAGIC = b"IPMDL"
+MODEL_SCHEMA = 1
+
+_MODEL_HEADER = struct.Struct("<5sH32sI")  # magic, schema, sha256, payload length
+
+
+def _payload_from_tracker(tracker: OnlinePhaseTracker,
+                          meta: Optional[Dict[str, Any]]) -> Dict[str, Any]:
+    payload = {"kind": "phase-model", "model": tracker.trained_state()}
+    payload["meta"] = dict(meta) if meta else {}
+    return payload
+
+
+def _coerce_tracker(
+    obj: Union[OnlinePhaseTracker, AnalysisResult],
+    quantile: float,
+    slack: float,
+    meta: Optional[Dict[str, Any]],
+) -> tuple:
+    """Accept a tracker or an analysis result; return (tracker, meta)."""
+    if isinstance(obj, OnlinePhaseTracker):
+        return obj, dict(meta or {})
+    if isinstance(obj, AnalysisResult):
+        tracker = OnlinePhaseTracker.from_analysis(obj, quantile=quantile,
+                                                   slack=slack)
+        enriched = {
+            "n_phases": obj.n_phases,
+            "n_intervals": obj.interval_data.n_intervals,
+            "sites": [asdict(site) for site in obj.sites()],
+            "analysis_config": {
+                k: v for k, v in asdict(obj.config).items()
+                if isinstance(v, (bool, int, float, str))
+            },
+            "quantile": quantile,
+            "slack": slack,
+        }
+        enriched.update(meta or {})
+        return tracker, enriched
+    raise ValidationError(
+        f"save_model needs an OnlinePhaseTracker or AnalysisResult, "
+        f"got {type(obj).__name__}")
+
+
+def pack_artifact(payload_obj: Dict[str, Any], magic: bytes,
+                  schema: int) -> bytes:
+    """Wrap a JSON-ready payload in the checksummed artifact envelope."""
+    payload = json.dumps(payload_obj, sort_keys=True,
+                         separators=(",", ":")).encode("utf-8")
+    digest = hashlib.sha256(payload).digest()
+    return _MODEL_HEADER.pack(magic, schema, digest, len(payload)) + payload
+
+
+def dumps_model(
+    obj: Union[OnlinePhaseTracker, AnalysisResult],
+    *,
+    quantile: float = 0.95,
+    slack: float = 1.5,
+    meta: Optional[Dict[str, Any]] = None,
+) -> bytes:
+    """Serialize a phase model to the versioned artifact bytes."""
+    tracker, meta = _coerce_tracker(obj, quantile, slack, meta)
+    return pack_artifact(_payload_from_tracker(tracker, meta),
+                         MODEL_MAGIC, MODEL_SCHEMA)
+
+
+def read_artifact_payload(blob: bytes, magic: bytes, schema: int, what: str,
+                          exc_type: type = ModelFormatError) -> Dict[str, Any]:
+    """Validate a ``header+payload`` artifact envelope; return the payload.
+
+    Shared by model artifacts and daemon checkpoints (same envelope,
+    different magic); failures raise ``exc_type`` with a message naming
+    exactly what is wrong.
+    """
+    if len(blob) < _MODEL_HEADER.size:
+        raise exc_type(f"truncated {what} artifact: "
+                       f"{len(blob)} bytes is shorter than the header")
+    got_magic, got_schema, digest, length = _MODEL_HEADER.unpack(
+        blob[:_MODEL_HEADER.size])
+    if got_magic != magic:
+        raise exc_type(f"bad {what} magic {got_magic!r} (expected {magic!r})")
+    if got_schema != schema:
+        raise exc_type(f"unsupported {what} schema version {got_schema} "
+                       f"(this build reads version {schema})")
+    payload = blob[_MODEL_HEADER.size:]
+    if len(payload) != length:
+        raise exc_type(f"truncated {what} artifact: header says {length} "
+                       f"payload bytes, file has {len(payload)}")
+    if hashlib.sha256(payload).digest() != digest:
+        raise exc_type(f"{what} checksum mismatch: the payload is corrupt")
+    try:
+        obj = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise exc_type(f"{what} payload is not valid JSON: {exc}") from exc
+    if not isinstance(obj, dict):
+        raise exc_type(f"{what} payload must be a JSON object")
+    return obj
+
+
+def loads_model(blob: bytes) -> OnlinePhaseTracker:
+    """Deserialize artifact bytes back to a ready-to-serve tracker."""
+    obj = read_artifact_payload(blob, MODEL_MAGIC, MODEL_SCHEMA, "model")
+    if obj.get("kind") != "phase-model":
+        raise ModelFormatError(f"artifact kind {obj.get('kind')!r} "
+                               f"is not 'phase-model'")
+    try:
+        return OnlinePhaseTracker.from_trained_state(obj["model"])
+    except (KeyError, ValidationError) as exc:
+        raise ModelFormatError(f"model payload is incomplete: {exc}") from exc
+
+
+def model_meta(source: Union[bytes, str, Path]) -> Dict[str, Any]:
+    """The artifact's metadata dict (training provenance), without loading.
+
+    Accepts either the artifact bytes or a path to the artifact file.
+    """
+    if isinstance(source, (str, Path)):
+        try:
+            blob = Path(source).read_bytes()
+        except OSError as exc:
+            raise ModelFormatError(f"cannot read model {source}: {exc}") from exc
+    else:
+        blob = source
+    obj = read_artifact_payload(blob, MODEL_MAGIC, MODEL_SCHEMA, "model")
+    meta = obj.get("meta", {})
+    return meta if isinstance(meta, dict) else {}
+
+
+def save_model(
+    obj: Union[OnlinePhaseTracker, AnalysisResult],
+    path: Union[str, Path],
+    *,
+    quantile: float = 0.95,
+    slack: float = 1.5,
+    meta: Optional[Dict[str, Any]] = None,
+) -> Path:
+    """Atomically write a phase-model artifact; return the final path.
+
+    Accepts either a trained tracker or a raw analysis result (in which
+    case the tracker is derived with ``quantile``/``slack`` and the
+    artifact records the analysis provenance as metadata).
+    """
+    return atomic_write_bytes(path, dumps_model(obj, quantile=quantile,
+                                                slack=slack, meta=meta))
+
+
+def load_model(path: Union[str, Path]) -> OnlinePhaseTracker:
+    """Load a phase-model artifact written by :func:`save_model`."""
+    path = Path(path)
+    try:
+        blob = path.read_bytes()
+    except OSError as exc:
+        raise ModelFormatError(f"cannot read model {path}: {exc}") from exc
+    return loads_model(blob)

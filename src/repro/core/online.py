@@ -15,14 +15,15 @@ The gate is calibrated from the training data itself: an interval is
 
 from __future__ import annotations
 
+import base64
 import threading
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.pipeline import AnalysisResult
-from repro.gprof.gmon import GmonData
+from repro.gprof.gmon import GmonData, dumps_gmon, loads_gmon
 from repro.util.errors import ValidationError
 
 #: Phase label reported for intervals unlike any training phase.
@@ -61,6 +62,7 @@ class OnlinePhaseTracker:
 
     def __init__(
         self,
+        *,
         functions: Sequence[str],
         centroids: np.ndarray,
         gates: np.ndarray,
@@ -218,6 +220,73 @@ class OnlinePhaseTracker:
             interval=self.interval,
             zero_start=zero_start,
         )
+
+    # ------------------------------------------------------------------
+    # state (for model artifacts and daemon checkpoints)
+    # ------------------------------------------------------------------
+    def trained_state(self) -> Dict[str, Any]:
+        """The trained model as a JSON-ready dict (no runtime state).
+
+        Floats survive exactly: Python's ``float`` repr (which ``json``
+        uses) is shortest-round-trip, so a saved model classifies
+        bit-identically after loading.
+        """
+        return {
+            "functions": list(self.functions),
+            "centroids": [[float(x) for x in row] for row in self.centroids],
+            "gates": [float(g) for g in self.gates],
+            "interval": float(self.interval),
+            "zero_start": bool(self.zero_start),
+        }
+
+    @classmethod
+    def from_trained_state(cls, state: Dict[str, Any]) -> "OnlinePhaseTracker":
+        """Inverse of :meth:`trained_state`."""
+        try:
+            return cls(
+                functions=[str(f) for f in state["functions"]],
+                centroids=np.asarray(state["centroids"], dtype=float).reshape(
+                    len(state["gates"]), len(state["functions"])),
+                gates=np.asarray(state["gates"], dtype=float),
+                interval=float(state["interval"]),
+                zero_start=bool(state.get("zero_start", False)),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValidationError(f"bad trained-tracker state: {exc!r}") from exc
+
+    def runtime_state(self) -> Dict[str, Any]:
+        """Mutable stream state (history + differencer), JSON-ready.
+
+        Taken atomically under the tracker lock; pairs with
+        :meth:`restore_runtime_state` so a daemon checkpoint can resume a
+        stream exactly where classification left off.
+        """
+        with self._lock:
+            history = [[t.index, t.phase_id, float(t.distance), t.nearest_phase]
+                       for t in self.history]
+            previous = self._previous
+        blob = None
+        if previous is not None:
+            blob = base64.b64encode(dumps_gmon(previous)).decode("ascii")
+        return {"history": history, "previous": blob}
+
+    def restore_runtime_state(self, state: Dict[str, Any]) -> None:
+        """Install stream state captured by :meth:`runtime_state`."""
+        try:
+            history = [
+                TrackedInterval(index=int(i), phase_id=int(p),
+                                distance=float(d), nearest_phase=int(n))
+                for i, p, d, n in state.get("history", [])
+            ]
+            blob = state.get("previous")
+            previous = None
+            if blob is not None:
+                previous = loads_gmon(base64.b64decode(blob.encode("ascii")))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValidationError(f"bad tracker runtime state: {exc!r}") from exc
+        with self._lock:
+            self.history = history
+            self._previous = previous
 
     # ------------------------------------------------------------------
     # reporting

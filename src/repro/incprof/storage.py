@@ -15,23 +15,13 @@ import re
 from pathlib import Path
 from typing import Dict, List, Union
 
-from repro.gprof.gmon import GmonData, read_gmon, write_gmon
-from repro.util.errors import CollectorError, FormatError
+from repro.gprof.gmon import GmonData, dumps_gmon, read_gmon
+from repro.util.atomicio import atomic_write_bytes
+from repro.util.errors import CollectorError, FormatError, SampleFileError
+
+__all__ = ["SampleFileError", "SampleStore"]
 
 _NAME_RE = re.compile(r"^gmon-r(?P<rank>\d{3})-i(?P<index>\d{5})\.gmon$")
-
-
-class SampleFileError(FormatError):
-    """A sample file in the store is corrupt or truncated.
-
-    Carries the offending path so callers (and the service ingest path)
-    can report *which* dump went bad rather than crashing mid-load.
-    """
-
-    def __init__(self, path: Path, cause: Exception) -> None:
-        super().__init__(f"corrupt sample file {path}: {cause}")
-        self.path = path
-        self.cause = cause
 
 
 class SampleStore:
@@ -50,10 +40,14 @@ class SampleStore:
         return self.directory / f"gmon-r{rank:03d}-i{index:05d}.gmon"
 
     def save(self, sample: GmonData, index: int) -> Path:
-        """Persist one snapshot under its (rank, interval-index) name."""
+        """Persist one snapshot under its (rank, interval-index) name.
+
+        The write is atomic (same-directory temp file + rename): an
+        analysis pass scanning the store concurrently, or a crash
+        mid-dump, can never observe a half-written sample.
+        """
         path = self.path_for(sample.rank, index)
-        write_gmon(sample, path)
-        return path
+        return atomic_write_bytes(path, dumps_gmon(sample))
 
     def _scan(self) -> Dict[int, Dict[int, Path]]:
         """One directory pass: ``{rank: {interval_index: path}}``.

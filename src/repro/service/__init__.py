@@ -9,13 +9,25 @@ novelty alerts, per-stream lag) plus its own self-metrics.
 See ``docs/SERVICE.md`` for the wire protocol and deployment sketch.
 """
 
+from repro.service.checkpoint import (
+    CheckpointManager,
+    restore_registry,
+    snapshot_registry,
+)
 from repro.service.client import (
+    NO_RETRY,
     LoadResult,
     PhaseClient,
     PublishReport,
+    RetryPolicy,
     SyntheticLoadGenerator,
     publish_samples,
     publish_session,
+)
+from repro.service.faults import (
+    FaultAction,
+    FaultInjector,
+    FlakyEndpoint,
 )
 from repro.service.metrics import LatencyWindow, ServiceMetrics
 from repro.service.protocol import (
@@ -44,10 +56,15 @@ from repro.service.server import (
 __all__ = [
     "PROTOCOL_VERSION",
     "BACKPRESSURE_POLICIES",
+    "NO_RETRY",
     "BoundedStreamQueue",
     "Bye",
+    "CheckpointManager",
     "Control",
     "Endpoint",
+    "FaultAction",
+    "FaultInjector",
+    "FlakyEndpoint",
     "Hello",
     "HeartbeatMsg",
     "LatencyWindow",
@@ -56,6 +73,7 @@ __all__ = [
     "PhaseMonitorServer",
     "PublishReport",
     "Reply",
+    "RetryPolicy",
     "ServerConfig",
     "ServiceMetrics",
     "SnapshotMsg",
@@ -67,6 +85,8 @@ __all__ = [
     "publish_samples",
     "publish_session",
     "read_message",
+    "restore_registry",
     "serve",
+    "snapshot_registry",
     "write_message",
 ]

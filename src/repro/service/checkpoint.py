@@ -1,0 +1,213 @@
+"""Crash-safe state for ``incprofd``.
+
+The daemon's working set — the stream registry, each stream's online
+tracker (trained arrays *and* classification history/differencer), and
+the fleet aggregates — normally lives only in memory, so a crash
+discards everything a fleet has streamed.  This module checkpoints that
+state to disk on the housekeeping cadence:
+
+- One checkpoint file (magic ``IPCKP``), same checksummed envelope as
+  phase-model artifacts, written atomically (temp file + rename) so a
+  crash *during* a checkpoint leaves the previous one intact.
+- Per stream the checkpoint records the resume anchor ``processed_seq``
+  — the highest sequence number the worker pool actually consumed — and
+  counters clamped to it.  Snapshots that were admitted but still queued
+  at the crash are deliberately *not* recorded: the publisher's
+  ``hello(resume=True)`` handshake re-sends from ``processed_seq + 1``,
+  so nothing is classified twice and at most one checkpoint interval of
+  progress is repeated.
+- A corrupt or truncated checkpoint is quarantined (renamed aside with a
+  ``.quarantined-N`` suffix) rather than deleted, and the daemon starts
+  fresh; the bad bytes stay available for inspection.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.core.model_io import pack_artifact, read_artifact_payload
+from repro.core.online import OnlinePhaseTracker
+from repro.service.registry import StreamRegistry, StreamState
+from repro.util.atomicio import atomic_write_bytes
+from repro.util.errors import CheckpointError, ValidationError
+
+CHECKPOINT_MAGIC = b"IPCKP"
+CHECKPOINT_SCHEMA = 1
+CHECKPOINT_FILENAME = "incprofd.ckpt"
+
+
+# ----------------------------------------------------------------------
+# stream state <-> JSON
+# ----------------------------------------------------------------------
+def _stream_to_obj(state: StreamState) -> Dict[str, Any]:
+    """One stream's durable state, consistent as of ``processed_seq``.
+
+    ``work_lock`` is held so the tracker's differencer and history are
+    never captured mid-batch; counters are clamped to processed work
+    because queued-but-unclassified snapshots will be re-sent on resume.
+    """
+    with state.work_lock:
+        with state.lock:
+            obj: Dict[str, Any] = {
+                "stream_id": state.stream_id,
+                "app": state.app,
+                "rank": state.rank,
+                "last_seq": state.processed_seq,
+                "processed_seq": state.processed_seq,
+                "seq_gaps": state.seq_gaps,
+                "enqueued": state.processed,
+                "processed": state.processed,
+                "novel": state.novel,
+                "dropped_oldest": state.dropped_oldest,
+                "rejected": state.rejected,
+                "heartbeats": state.heartbeats,
+            }
+        if state.tracker is not None:
+            obj["tracker"] = state.tracker.runtime_state()
+    return obj
+
+
+def _stream_from_obj(obj: Dict[str, Any],
+                     template: Optional[OnlinePhaseTracker]) -> StreamState:
+    try:
+        state = StreamState(
+            stream_id=str(obj["stream_id"]),
+            app=str(obj.get("app", "")),
+            rank=int(obj.get("rank", 0)),
+            now=0.0,  # adopt() stamps the registry clock
+        )
+        state.last_seq = int(obj.get("last_seq", -1))
+        state.processed_seq = int(obj.get("processed_seq", -1))
+        state.seq_gaps = int(obj.get("seq_gaps", 0))
+        state.enqueued = int(obj.get("enqueued", 0))
+        state.processed = int(obj.get("processed", 0))
+        state.novel = int(obj.get("novel", 0))
+        state.dropped_oldest = int(obj.get("dropped_oldest", 0))
+        state.rejected = int(obj.get("rejected", 0))
+        state.heartbeats = int(obj.get("heartbeats", 0))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CheckpointError(f"bad stream record in checkpoint: {exc!r}") from exc
+    tracker_state = obj.get("tracker")
+    if tracker_state is not None and template is not None:
+        tracker = template.spawn(zero_start=True)
+        try:
+            tracker.restore_runtime_state(tracker_state)
+        except ValidationError as exc:
+            raise CheckpointError(str(exc)) from exc
+        state.tracker = tracker
+    return state
+
+
+def snapshot_registry(registry: StreamRegistry) -> Dict[str, Any]:
+    """The registry's durable state as a JSON-ready checkpoint payload."""
+    return {
+        "kind": "incprofd-checkpoint",
+        "streams": [_stream_to_obj(s) for s in registry.active()],
+        "finished": registry.finished_rows(),
+        "registered": registry.registered,
+        "expired": registry.expired,
+    }
+
+
+def restore_registry(
+    registry: StreamRegistry,
+    payload: Dict[str, Any],
+    template: Optional[OnlinePhaseTracker],
+) -> List[StreamState]:
+    """Install a checkpoint payload into ``registry``; return the streams."""
+    if payload.get("kind") != "incprofd-checkpoint":
+        raise CheckpointError(
+            f"artifact kind {payload.get('kind')!r} is not an incprofd checkpoint")
+    streams = payload.get("streams", [])
+    if not isinstance(streams, list):
+        raise CheckpointError("checkpoint 'streams' must be a list")
+    restored = [_stream_from_obj(obj, template) for obj in streams]
+    finished = payload.get("finished", [])
+    registry.restore_finished(
+        [row for row in finished if isinstance(row, dict)],
+        registered=int(payload.get("registered", 0)),
+        expired=int(payload.get("expired", 0)),
+    )
+    for state in restored:
+        registry.adopt(state)
+    return restored
+
+
+# ----------------------------------------------------------------------
+# the on-disk manager
+# ----------------------------------------------------------------------
+class CheckpointManager:
+    """Owns one checkpoint file: periodic writes, recovery, quarantine."""
+
+    def __init__(self, directory: Union[str, Path],
+                 interval: float = 2.0) -> None:
+        if interval <= 0:
+            raise ValidationError("checkpoint interval must be positive")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.path = self.directory / CHECKPOINT_FILENAME
+        self.interval = interval
+        self.writes = 0
+        self.quarantined: List[Path] = []
+        self._last_write = 0.0
+
+    # -- writing -------------------------------------------------------
+    def write(self, payload: Dict[str, Any]) -> Path:
+        """Atomically persist one checkpoint payload."""
+        blob = pack_artifact(payload, CHECKPOINT_MAGIC, CHECKPOINT_SCHEMA)
+        out = atomic_write_bytes(self.path, blob)
+        self.writes += 1
+        self._last_write = time.monotonic()
+        return out
+
+    def due(self, now: Optional[float] = None) -> bool:
+        """True when the checkpoint cadence has elapsed."""
+        now = time.monotonic() if now is None else now
+        return now - self._last_write >= self.interval
+
+    # -- recovery ------------------------------------------------------
+    def load(self) -> Optional[Dict[str, Any]]:
+        """Read and validate the checkpoint payload.
+
+        Returns ``None`` when no checkpoint exists; raises
+        :class:`CheckpointError` when one exists but is unreadable (the
+        caller decides whether to quarantine).
+        """
+        try:
+            blob = self.path.read_bytes()
+        except FileNotFoundError:
+            return None
+        except OSError as exc:
+            raise CheckpointError(f"cannot read checkpoint {self.path}: {exc}") from exc
+        return read_artifact_payload(blob, CHECKPOINT_MAGIC, CHECKPOINT_SCHEMA,
+                                     "checkpoint", exc_type=CheckpointError)
+
+    def quarantine(self) -> Optional[Path]:
+        """Move a bad checkpoint aside (never delete evidence)."""
+        if not self.path.exists():
+            return None
+        n = 0
+        while True:
+            target = self.path.with_name(f"{self.path.name}.quarantined-{n}")
+            if not target.exists():
+                break
+            n += 1
+        os.replace(self.path, target)
+        self.quarantined.append(target)
+        return target
+
+    def load_or_quarantine(self) -> Tuple[Optional[Dict[str, Any]], Optional[Path]]:
+        """Recovery entry point: ``(payload, quarantined_path)``.
+
+        A valid checkpoint returns ``(payload, None)``; a missing one
+        ``(None, None)``; a corrupt one is quarantined and returns
+        ``(None, path-it-was-moved-to)`` so the daemon can start fresh
+        while reporting what happened.
+        """
+        try:
+            return self.load(), None
+        except CheckpointError:
+            return None, self.quarantine()

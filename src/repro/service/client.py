@@ -6,13 +6,27 @@ run or a :class:`~repro.incprof.storage.SampleStore` directory through the
 service, one stream per rank) and :class:`SyntheticLoadGenerator`, which
 manufactures deterministic snapshot streams for throughput and
 backpressure testing without running a workload at all.
+
+Failure handling is first-class:
+
+- Error replies raise typed exceptions (:class:`RequestError` subclasses
+  carrying the full reply payload) unless the client is built with — or
+  the call passes — ``check=False``.
+- Connection losses surface as :class:`ConnectionLostError`; the client
+  reconnects with exponential backoff + jitter (:class:`RetryPolicy`),
+  and every request runs under a per-request deadline.
+- Publishers resume rather than blindly resend: after a reconnect they
+  re-``hello`` with ``resume=True`` and continue from the sequence
+  number the server reports, so a daemon restart (or a dropped reply)
+  never produces duplicate classification.
 """
 
 from __future__ import annotations
 
+import random
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence
 
 from repro.gprof.gmon import GmonData
@@ -30,43 +44,139 @@ from repro.service.protocol import (
     write_message,
 )
 from repro.util.errors import (
+    ConnectionLostError,
     ProtocolError,
     ReproError,
-    ServiceError,
+    RetryExhaustedError,
     ValidationError,
+    request_error_from_reply,
 )
 
 
-class PhaseClient:
-    """One connection to the daemon; strict request/reply, thread-safe."""
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Backoff and deadline knobs for one client connection.
 
-    def __init__(self, endpoint: Endpoint, timeout: Optional[float] = 30.0) -> None:
+    ``delay_for(attempt)`` grows ``base_delay * multiplier**attempt`` up
+    to ``max_delay``, with symmetric ``jitter`` (a fraction of the raw
+    delay) so a restarted daemon is not hit by a thundering herd of
+    publishers retrying in lockstep.
+    """
+
+    max_attempts: int = 6
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    multiplier: float = 2.0
+    jitter: float = 0.25
+    #: Per-request deadline (seconds of silence before the request is
+    #: declared lost); None waits forever.
+    request_timeout: Optional[float] = 30.0
+    connect_timeout: Optional[float] = 10.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValidationError("need at least one attempt")
+        if self.base_delay < 0 or self.max_delay < self.base_delay:
+            raise ValidationError("need 0 <= base_delay <= max_delay")
+        if self.multiplier < 1:
+            raise ValidationError("backoff multiplier must be >= 1")
+        if not 0 <= self.jitter <= 1:
+            raise ValidationError("jitter must be a fraction in [0, 1]")
+
+    def delay_for(self, attempt: int, rng: random.Random) -> float:
+        """Backoff before retry number ``attempt`` (0-based)."""
+        raw = min(self.max_delay, self.base_delay * self.multiplier ** attempt)
+        if self.jitter:
+            raw *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return max(0.0, raw)
+
+
+#: Retries disabled: one attempt, fail fast (the pre-retry behaviour).
+NO_RETRY = RetryPolicy(max_attempts=1, base_delay=0.0, max_delay=0.0,
+                       jitter=0.0)
+
+
+class PhaseClient:
+    """One connection to the daemon; strict request/reply, thread-safe.
+
+    ``check=True`` (the default) raises a typed
+    :class:`~repro.util.errors.RequestError` subclass on error replies;
+    pass ``check=False`` (per client or per call) to get the raw
+    :class:`Reply` back instead.  Connection losses raise
+    :class:`~repro.util.errors.ConnectionLostError`; :meth:`reconnect`
+    re-dials with the policy's backoff, and idempotent requests
+    (``ping``/``stats``/``hello``...) retry through it transparently.
+    """
+
+    def __init__(
+        self,
+        endpoint: Endpoint,
+        *,
+        retry: Optional[RetryPolicy] = None,
+        check: bool = True,
+        timeout: Optional[float] = None,
+        seed: Optional[int] = None,
+    ) -> None:
         self.endpoint = endpoint
-        self._sock = endpoint.connect(timeout=timeout)
-        self._fh = self._sock.makefile("rwb")
+        self.retry = retry if retry is not None else RetryPolicy()
+        if timeout is not None:
+            self.retry = replace(self.retry, request_timeout=timeout)
+        self.check = check
+        self.connect_retries = 0
+        self.reconnects = 0
+        self.request_retries = 0
+        self._rng = random.Random(seed)
         self._lock = threading.Lock()
+        self._sock = None
+        self._fh = None
+        with self._lock:
+            self._connect_locked()
 
     # ------------------------------------------------------------------
-    def request(self, msg: Message) -> Reply:
-        """Send one message and wait for the server's reply."""
+    # connection management
+    # ------------------------------------------------------------------
+    def _connect_locked(self) -> None:
+        """Dial with backoff; caller holds the lock."""
+        policy = self.retry
+        last: Optional[Exception] = None
+        for attempt in range(policy.max_attempts):
+            if attempt:
+                self.connect_retries += 1
+                time.sleep(policy.delay_for(attempt - 1, self._rng))
+            try:
+                sock = self.endpoint.connect(timeout=policy.connect_timeout)
+                sock.settimeout(policy.request_timeout)
+                self._sock = sock
+                self._fh = sock.makefile("rwb")
+                return
+            except OSError as exc:
+                last = exc
+        raise RetryExhaustedError(
+            f"cannot connect to {self.endpoint} after "
+            f"{policy.max_attempts} attempts: {last}",
+            attempts=policy.max_attempts, cause=last)
+
+    def _teardown_locked(self) -> None:
+        for closer in (self._fh, self._sock):
+            if closer is None:
+                continue
+            try:
+                closer.close()
+            except (OSError, ValueError):
+                pass
+        self._fh = None
+        self._sock = None
+
+    def reconnect(self) -> None:
+        """Tear down the dead connection and re-dial with backoff."""
         with self._lock:
-            write_message(self._fh, msg)
-            reply = read_message(self._fh)
-        if reply is None:
-            raise ServiceError("server closed the connection mid-request")
-        if not isinstance(reply, Reply):
-            raise ProtocolError(f"expected a reply, got {type(reply).__name__}")
-        return reply
+            self._teardown_locked()
+            self.reconnects += 1
+            self._connect_locked()
 
     def close(self) -> None:
-        try:
-            self._fh.close()
-        except (OSError, ValueError):
-            pass
-        try:
-            self._sock.close()
-        except OSError:
-            pass
+        with self._lock:
+            self._teardown_locked()
 
     def __enter__(self) -> "PhaseClient":
         return self
@@ -75,22 +185,94 @@ class PhaseClient:
         self.close()
 
     # ------------------------------------------------------------------
+    # request/reply
+    # ------------------------------------------------------------------
+    def request(self, msg: Message, *, check: Optional[bool] = None,
+                idempotent: bool = False) -> Reply:
+        """Send one message and wait for the server's reply.
+
+        Transport failures (dead socket, deadline expiry, corrupt reply
+        frame) raise :class:`ConnectionLostError` — unless the request is
+        ``idempotent``, in which case the client transparently reconnects
+        and resends up to the policy's attempt budget.  Requests with
+        server-side effects (snapshots, byes) must NOT be blindly resent:
+        resume via ``hello(resume=True)`` instead.
+        """
+        if not idempotent:
+            return self._transact(msg, check)
+        last: Optional[Exception] = None
+        for attempt in range(self.retry.max_attempts):
+            if attempt:
+                self.request_retries += 1
+                try:
+                    self.reconnect()
+                except RetryExhaustedError as exc:
+                    last = exc
+                    break
+            try:
+                return self._transact(msg, check)
+            except ConnectionLostError as exc:
+                last = exc
+        raise RetryExhaustedError(
+            f"request failed after {self.retry.max_attempts} attempts: {last}",
+            attempts=self.retry.max_attempts, cause=last)
+
+    def _transact(self, msg: Message, check: Optional[bool]) -> Reply:
+        with self._lock:
+            if self._fh is None:
+                raise ConnectionLostError("client is disconnected "
+                                          "(reconnect first)")
+            try:
+                write_message(self._fh, msg)
+                reply = read_message(self._fh)
+            except (OSError, ValueError) as exc:
+                self._teardown_locked()
+                raise ConnectionLostError(
+                    f"connection to {self.endpoint} died mid-request: {exc}",
+                    cause=exc) from exc
+            except ProtocolError as exc:
+                # A corrupt reply frame means the byte stream lost sync;
+                # nothing further on this connection can be trusted.
+                self._teardown_locked()
+                raise ConnectionLostError(
+                    f"reply stream corrupt: {exc}", cause=exc) from exc
+            if reply is None:
+                self._teardown_locked()
+                raise ConnectionLostError(
+                    "server closed the connection mid-request")
+        if not isinstance(reply, Reply):
+            raise ProtocolError(f"expected a reply, got {type(reply).__name__}")
+        effective = self.check if check is None else check
+        if effective and not reply.ok:
+            raise request_error_from_reply(reply)
+        return reply
+
+    # ------------------------------------------------------------------
     # typed requests
     # ------------------------------------------------------------------
-    def hello(self, stream_id: str, app: str = "", rank: int = 0) -> Reply:
-        return self.request(Hello(stream_id=stream_id, app=app, rank=rank))
+    def hello(self, stream_id: str, app: str = "", rank: int = 0,
+              resume: bool = False, *, check: Optional[bool] = None) -> Reply:
+        return self.request(
+            Hello(stream_id=stream_id, app=app, rank=rank, resume=resume),
+            check=check, idempotent=resume)
 
-    def snapshot(self, stream_id: str, seq: int, gmon: GmonData) -> Reply:
-        return self.request(SnapshotMsg(stream_id=stream_id, seq=seq, gmon=gmon))
+    def snapshot(self, stream_id: str, seq: int, gmon: GmonData,
+                 *, check: Optional[bool] = None) -> Reply:
+        return self.request(SnapshotMsg(stream_id=stream_id, seq=seq,
+                                        gmon=gmon), check=check)
 
-    def heartbeats(self, stream_id: str, records: Sequence[HeartbeatRecord]) -> Reply:
-        return self.request(HeartbeatMsg(stream_id=stream_id, records=list(records)))
+    def heartbeats(self, stream_id: str, records: Sequence[HeartbeatRecord],
+                   *, check: Optional[bool] = None) -> Reply:
+        return self.request(HeartbeatMsg(stream_id=stream_id,
+                                         records=list(records)), check=check)
 
-    def bye(self, stream_id: str) -> Reply:
-        return self.request(Bye(stream_id=stream_id))
+    def bye(self, stream_id: str, *, check: Optional[bool] = None) -> Reply:
+        return self.request(Bye(stream_id=stream_id), check=check)
 
-    def control(self, command: str, **args) -> Reply:
-        return self.request(Control(command=command, args=args))
+    def control(self, command: str, *, check: Optional[bool] = None,
+                **args) -> Reply:
+        return self.request(Control(command=command, args=args),
+                            check=check, idempotent=command != "shutdown")
 
     def ping(self) -> Reply:
         return self.control("ping")
@@ -120,6 +302,12 @@ class PublishReport:
     phase_sequence: List[int] = field(default_factory=list)
     heartbeats_sent: int = 0
     error: str = ""
+    #: Resilience counters: how many reconnect-and-resume handshakes the
+    #: replay needed, how many extra connection dials the backoff made,
+    #: and how many snapshot sends were repeats after a resume rewind.
+    reconnects: int = 0
+    retries: int = 0
+    resent: int = 0
 
 
 def publish_samples(
@@ -130,44 +318,85 @@ def publish_samples(
     rank: int = 0,
     heartbeat_records: Sequence[HeartbeatRecord] = (),
     delay: float = 0.0,
+    retry: Optional[RetryPolicy] = None,
 ) -> PublishReport:
     """Replay one rank's cumulative snapshot series through the service.
 
     This is the stream a deployed IncProf runtime would produce: ``hello``,
     one ``snapshot`` per collection interval (plus any AppEKG rows), and an
     orderly ``bye`` whose reply carries the server-side classification.
+
+    The replay rides through connection losses and daemon restarts: on
+    failure it reconnects (exponential backoff + jitter), re-``hello``\\ s
+    with ``resume=True``, and continues from the sequence number the
+    server asks for — rewinding after a restart, fast-forwarding past
+    snapshots whose replies were lost after admission.  The report's
+    ``reconnects``/``retries``/``resent`` counters say how bumpy the ride
+    was.
     """
     report = PublishReport(stream_id=stream_id)
-    with PhaseClient(endpoint) as client:
-        reply = client.hello(stream_id, app=app, rank=rank)
-        if not reply.ok:
-            report.error = reply.error
-            return report
-        for seq, snap in enumerate(samples):
-            reply = client.snapshot(stream_id, seq, snap)
-            report.sent += 1
-            outcome = reply.data.get("outcome", "")
-            if reply.ok and outcome == "accepted":
-                report.accepted += 1
-            elif reply.ok and outcome == "dropped-oldest":
-                report.accepted += 1
-                report.dropped_oldest += 1
+    samples = list(samples)
+
+    def resume(client: PhaseClient) -> int:
+        """Reconnect + resume handshake; returns the next seq to send."""
+        client.reconnect()
+        report.reconnects += 1
+        reply = client.hello(stream_id, app=app, rank=rank, resume=True)
+        return int(reply.data.get("resume_from", 0))
+
+    try:
+        with PhaseClient(endpoint, retry=retry, check=False) as client:
+            reply = client.hello(stream_id, app=app, rank=rank, resume=True)
+            if not reply.ok:
+                report.error = reply.error
+                return report
+            seq = int(reply.data.get("resume_from", 0))
+            max_sent = -1
+            while seq < len(samples):
+                try:
+                    reply = client.snapshot(stream_id, seq, samples[seq])
+                except ConnectionLostError:
+                    seq = resume(client)
+                    continue
+                report.sent += 1
+                if seq <= max_sent:
+                    report.resent += 1
+                max_sent = max(max_sent, seq)
+                outcome = reply.data.get("outcome", "")
+                if reply.ok and outcome == "accepted":
+                    report.accepted += 1
+                elif reply.ok and outcome == "dropped-oldest":
+                    report.accepted += 1
+                    report.dropped_oldest += 1
+                else:
+                    report.rejected += 1
+                seq += 1
+                if delay > 0:
+                    time.sleep(delay)
+            if heartbeat_records:
+                try:
+                    hb = client.heartbeats(stream_id, heartbeat_records)
+                except ConnectionLostError:
+                    resume(client)
+                    hb = client.heartbeats(stream_id, heartbeat_records)
+                if hb.ok:
+                    report.heartbeats_sent = int(hb.data.get("accepted", 0))
+            try:
+                reply = client.bye(stream_id)
+            except ConnectionLostError:
+                resume(client)
+                reply = client.bye(stream_id)
+            if reply.ok:
+                report.drained = bool(reply.data.get("drained", False))
+                report.processed = int(reply.data.get("processed", 0))
+                report.novel = int(reply.data.get("novel", 0))
+                report.phase_sequence = [int(p) for p in
+                                         reply.data.get("phase_sequence", [])]
             else:
-                report.rejected += 1
-            if delay > 0:
-                time.sleep(delay)
-        if heartbeat_records:
-            hb = client.heartbeats(stream_id, heartbeat_records)
-            if hb.ok:
-                report.heartbeats_sent = int(hb.data.get("accepted", 0))
-        reply = client.bye(stream_id)
-        if reply.ok:
-            report.drained = bool(reply.data.get("drained", False))
-            report.processed = int(reply.data.get("processed", 0))
-            report.novel = int(reply.data.get("novel", 0))
-            report.phase_sequence = [int(p) for p in reply.data.get("phase_sequence", [])]
-        else:
-            report.error = reply.error
+                report.error = reply.error
+            report.retries = client.connect_retries + client.request_retries
+    except RetryExhaustedError as exc:
+        report.error = str(exc)
     return report
 
 
@@ -177,6 +406,7 @@ def publish_session(
     stream_prefix: str = "",
     include_heartbeats: bool = True,
     delay: float = 0.0,
+    retry: Optional[RetryPolicy] = None,
 ) -> Dict[str, PublishReport]:
     """Stream every rank of a :class:`~repro.incprof.session.SessionResult`
     through the service concurrently (one connection + thread per rank)."""
@@ -196,6 +426,7 @@ def publish_session(
                 heartbeat_records=(rank_result.heartbeat_records
                                    if include_heartbeats else ()),
                 delay=delay,
+                retry=retry,
             )
         except (ReproError, OSError) as exc:
             # A publisher thread must not die silently: surface the
@@ -275,6 +506,7 @@ class SyntheticLoadGenerator:
         n_intervals: int,
         stream_prefix: str = "load",
         delay: float = 0.0,
+        retry: Optional[RetryPolicy] = None,
     ) -> LoadResult:
         """Publish ``n_streams`` concurrent synthetic streams; aggregate."""
         reports: Dict[str, PublishReport] = {}
@@ -286,7 +518,7 @@ class SyntheticLoadGenerator:
                 report = publish_samples(endpoint, stream_id,
                                          self.stream(i, n_intervals),
                                          app="synthetic-load", rank=i,
-                                         delay=delay)
+                                         delay=delay, retry=retry)
             except (ReproError, OSError) as exc:
                 report = PublishReport(stream_id=stream_id, error=str(exc))
             with lock:

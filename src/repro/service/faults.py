@@ -1,0 +1,161 @@
+"""Deterministic fault injection for chaos-testing ``incprofd``.
+
+Production networks drop replies, stall, corrupt bytes, and kill
+connections; this module scripts those failures *deterministically* so
+the chaos suite can assert exact recovery behaviour (no state loss, no
+duplicate classification) instead of sampling randomness.
+
+Server side, a :class:`FaultInjector` hooks the reply path of every
+connection handler: each rule fires on a fixed cadence over the matching
+message kinds and returns a :class:`FaultAction` — drop the reply, delay
+it, corrupt the reply frame, or close the connection outright.  Client
+side, :class:`FlakyEndpoint` wraps a real endpoint and fails the first
+N connection attempts, driving the retry/backoff path without a server
+in a broken state.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.util.errors import ValidationError
+
+#: What an injected fault does to the connection handler.
+DROP = "drop"        # swallow the reply (client times out / sees silence)
+DELAY = "delay"      # sleep before replying (latency injection)
+CLOSE = "close"      # close the connection before replying
+CORRUPT = "corrupt"  # write a well-framed but undecodable reply
+
+FAULT_KINDS = (DROP, DELAY, CLOSE, CORRUPT)
+
+
+@dataclass(frozen=True)
+class FaultAction:
+    """One injected failure: what to do, and how long to stall doing it."""
+
+    kind: str
+    delay: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValidationError(f"unknown fault kind {self.kind!r} "
+                                  f"(expected one of {FAULT_KINDS})")
+        if self.delay < 0:
+            raise ValidationError("fault delay must be non-negative")
+
+
+@dataclass
+class _Rule:
+    action: FaultAction
+    message_types: tuple
+    every: int
+    limit: Optional[int]
+    seen: int = 0
+    fired: int = 0
+
+    def match(self, msg_type: str) -> Optional[FaultAction]:
+        if self.message_types and msg_type not in self.message_types:
+            return None
+        if self.limit is not None and self.fired >= self.limit:
+            return None
+        self.seen += 1
+        if self.seen % self.every:
+            return None
+        self.fired += 1
+        return self.action
+
+
+class FaultInjector:
+    """A deterministic schedule of failures over server replies.
+
+    Rules fire per *matching message*, counted across all connections:
+    ``every=5`` means every 5th matching message triggers the action,
+    ``limit`` caps total firings.  Thread-safe (connection handlers run
+    concurrently); ``injected`` counts every fault actually delivered.
+    """
+
+    def __init__(self) -> None:
+        self._rules: List[_Rule] = []
+        self._lock = threading.Lock()
+        self.injected = 0
+
+    def add(self, action: FaultAction, *, every: int = 1,
+            message_types: tuple = (), limit: Optional[int] = None) -> "FaultInjector":
+        if every < 1:
+            raise ValidationError("'every' must be at least 1")
+        with self._lock:
+            self._rules.append(_Rule(action=action,
+                                     message_types=tuple(message_types),
+                                     every=every, limit=limit))
+        return self
+
+    # Convenience constructors for the common chaos scenarios.
+    def close_every(self, n: int, message_types: tuple = ("snapshot",),
+                    limit: Optional[int] = None) -> "FaultInjector":
+        """Kill the connection after every ``n``-th matching message."""
+        return self.add(FaultAction(CLOSE), every=n,
+                        message_types=message_types, limit=limit)
+
+    def drop_every(self, n: int, message_types: tuple = ("snapshot",),
+                   limit: Optional[int] = None) -> "FaultInjector":
+        """Swallow every ``n``-th reply (request processed, reply lost)."""
+        return self.add(FaultAction(DROP), every=n,
+                        message_types=message_types, limit=limit)
+
+    def corrupt_every(self, n: int, message_types: tuple = ("snapshot",),
+                      limit: Optional[int] = None) -> "FaultInjector":
+        """Replace every ``n``-th reply with an undecodable frame."""
+        return self.add(FaultAction(CORRUPT), every=n,
+                        message_types=message_types, limit=limit)
+
+    def delay_every(self, n: int, delay: float,
+                    message_types: tuple = ("snapshot",),
+                    limit: Optional[int] = None) -> "FaultInjector":
+        """Stall every ``n``-th reply by ``delay`` seconds."""
+        return self.add(FaultAction(DELAY, delay=delay), every=n,
+                        message_types=message_types, limit=limit)
+
+    def on_reply(self, msg_type: str) -> Optional[FaultAction]:
+        """Called by the server before writing a reply; first match wins."""
+        with self._lock:
+            for rule in self._rules:
+                action = rule.match(msg_type)
+                if action is not None:
+                    self.injected += 1
+                    return action
+        return None
+
+
+#: A length-prefixed frame whose payload is not JSON — exercises the
+#: client's corrupt-frame handling without breaking stream sync.
+CORRUPT_FRAME = len(b"\xff\xfenot-json").to_bytes(4, "big") + b"\xff\xfenot-json"
+
+
+class FlakyEndpoint:
+    """An endpoint whose first ``fail_connects`` connection attempts fail.
+
+    Duck-types the :class:`~repro.service.protocol.Endpoint` surface the
+    client uses (``connect``); deterministic, in-process, no broken
+    server required to exercise client backoff.
+    """
+
+    def __init__(self, endpoint, fail_connects: int = 0) -> None:
+        self.endpoint = endpoint
+        self.fail_connects = fail_connects
+        self.attempts = 0
+        self._lock = threading.Lock()
+
+    def connect(self, timeout: Optional[float] = None) -> socket.socket:
+        with self._lock:
+            self.attempts += 1
+            failing = self.attempts <= self.fail_connects
+        if failing:
+            raise ConnectionRefusedError(
+                f"injected connect failure {self.attempts}/{self.fail_connects}")
+        return self.endpoint.connect(timeout=timeout)
+
+    def __str__(self) -> str:
+        return f"flaky({self.endpoint})"

@@ -72,6 +72,8 @@ class ServiceMetrics:
         self.ingest_errors = 0
         self.heartbeats = 0
         self.connections = 0
+        self.faults_injected = 0
+        self.checkpoints_written = 0
         self.classify_latency = LatencyWindow(latency_capacity)
         self.stages: Dict[str, Dict[str, float]] = {}
         self._first_ingest: Optional[float] = None
@@ -118,6 +120,14 @@ class ServiceMetrics:
         with self._lock:
             self.heartbeats += n
 
+    def note_fault_injected(self) -> None:
+        with self._lock:
+            self.faults_injected += 1
+
+    def note_checkpoint(self) -> None:
+        with self._lock:
+            self.checkpoints_written += 1
+
     def note_stage(self, stage: str, seconds: float, items: int = 1) -> None:
         """Accumulate wall time of one worker pipeline stage.
 
@@ -163,6 +173,8 @@ class ServiceMetrics:
                 "ingest_errors": self.ingest_errors,
                 "heartbeats": self.heartbeats,
                 "connections": self.connections,
+                "faults_injected": self.faults_injected,
+                "checkpoints_written": self.checkpoints_written,
                 "stages": {name: dict(rec)
                            for name, rec in self.stages.items()},
             }

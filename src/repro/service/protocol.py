@@ -52,11 +52,20 @@ _LEN = struct.Struct(">I")
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class Hello:
-    """Register a stream (one per rank/node) with the service."""
+    """Register a stream (one per rank/node) with the service.
+
+    With ``resume`` the hello is *idempotent*: if the stream already
+    exists (live, or restored from a checkpoint) the server re-attaches
+    to it instead of rejecting a duplicate, and the reply's
+    ``resume_from`` tells the publisher the next sequence number the
+    server wants — the reconnect handshake after a connection loss or a
+    daemon restart.
+    """
 
     stream_id: str
     app: str = ""
     rank: int = 0
+    resume: bool = False
 
     TYPE = "hello"
 
@@ -165,7 +174,8 @@ def message_to_obj(msg: Message) -> Dict[str, Any]:
     """Lower a typed message to its wire JSON object."""
     obj: Dict[str, Any] = {"v": PROTOCOL_VERSION, "type": msg.TYPE}
     if isinstance(msg, Hello):
-        obj.update(stream_id=msg.stream_id, app=msg.app, rank=msg.rank)
+        obj.update(stream_id=msg.stream_id, app=msg.app, rank=msg.rank,
+                   resume=msg.resume)
     elif isinstance(msg, SnapshotMsg):
         obj.update(stream_id=msg.stream_id, seq=msg.seq, gmon=_gmon_to_wire(msg.gmon))
     elif isinstance(msg, HeartbeatMsg):
@@ -203,7 +213,8 @@ def message_from_obj(obj: Any) -> Message:
     kind = _require(obj, "type", str)
     if kind == Hello.TYPE:
         return Hello(stream_id=_require(obj, "stream_id", str),
-                     app=str(obj.get("app", "")), rank=int(obj.get("rank", 0)))
+                     app=str(obj.get("app", "")), rank=int(obj.get("rank", 0)),
+                     resume=bool(obj.get("resume", False)))
     if kind == SnapshotMsg.TYPE:
         return SnapshotMsg(stream_id=_require(obj, "stream_id", str),
                            seq=_require(obj, "seq", int),

@@ -16,7 +16,12 @@ from collections import deque
 from typing import Any, Deque, Dict, List, Optional
 
 from repro.core.online import OnlinePhaseTracker
-from repro.util.errors import ServiceError, ValidationError
+from repro.util.errors import (
+    ServiceError,
+    StreamConflictError,
+    UnknownStreamError,
+    ValidationError,
+)
 
 
 class StreamState:
@@ -42,10 +47,19 @@ class StreamState:
         self.connected_at = now
         self.last_seen = now
         self.lock = threading.Lock()
+        #: Held by a worker for one whole classify batch and by the
+        #: checkpointer while snapshotting — a checkpoint never observes
+        #: a stream with its differencer advanced but history not yet
+        #: appended.
+        self.work_lock = threading.Lock()
         self.queue: Any = None  # BoundedStreamQueue, attached by the server
         self.scheduled = False  # worker-pool scheduling flag (server-owned)
         self.closed = False
         self.last_seq = -1
+        #: Highest sequence number actually consumed by the worker pool
+        #: (differenced/classified) — the resume anchor a checkpoint
+        #: records, as opposed to ``last_seq`` which is merely admitted.
+        self.processed_seq = -1
         self.seq_gaps = 0
         self.enqueued = 0
         self.processed = 0
@@ -85,6 +99,7 @@ class StreamState:
                 "connected_at": self.connected_at,
                 "idle_seconds": max(0.0, now - self.last_seen),
                 "last_seq": self.last_seq,
+                "processed_seq": self.processed_seq,
                 "seq_gaps": self.seq_gaps,
                 "enqueued": self.enqueued,
                 "processed": self.processed,
@@ -134,18 +149,32 @@ class StreamRegistry:
         now = self._clock()
         with self._lock:
             if stream_id in self._streams:
-                raise ServiceError(f"stream {stream_id!r} is already registered")
+                raise StreamConflictError(
+                    f"stream {stream_id!r} is already registered")
             state = StreamState(stream_id, app, rank, now, tracker)
             self._streams[stream_id] = state
             self.registered += 1
             return state
 
-    def get(self, stream_id: str) -> StreamState:
+    def adopt(self, state: StreamState) -> StreamState:
+        """Install a restored stream (checkpoint recovery), replacing any."""
+        state.touch(self._clock())
         with self._lock:
-            state = self._streams.get(stream_id)
-        if state is None:
-            raise ServiceError(f"unknown stream {stream_id!r} (hello first?)")
+            if state.stream_id not in self._streams:
+                self.registered += 1
+            self._streams[state.stream_id] = state
         return state
+
+    def get(self, stream_id: str) -> StreamState:
+        state = self.get_or_none(stream_id)
+        if state is None:
+            raise UnknownStreamError(
+                f"unknown stream {stream_id!r} (hello first?)")
+        return state
+
+    def get_or_none(self, stream_id: str) -> Optional[StreamState]:
+        with self._lock:
+            return self._streams.get(stream_id)
 
     def touch(self, stream_id: str) -> None:
         self.get(stream_id).touch(self._clock())
@@ -171,6 +200,23 @@ class StreamRegistry:
             self._finished.append(state.info(now))
         self.expired += len(expired)
         return [s.stream_id for s in expired]
+
+    # ------------------------------------------------------------------
+    # checkpoint support
+    # ------------------------------------------------------------------
+    def finished_rows(self) -> List[Dict[str, Any]]:
+        """The finished-stream ring as JSON-ready rows (for checkpoints)."""
+        with self._lock:
+            return list(self._finished)
+
+    def restore_finished(self, rows: List[Dict[str, Any]],
+                         registered: int = 0, expired: int = 0) -> None:
+        """Reinstall the finished ring and lifetime counters on recovery."""
+        with self._lock:
+            self._finished.clear()
+            self._finished.extend(rows)
+        self.registered = registered
+        self.expired = expired
 
     # ------------------------------------------------------------------
     # queries

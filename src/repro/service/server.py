@@ -40,6 +40,19 @@ from typing import Any, Deque, Dict, List, Optional, Tuple
 from repro.core.online import OnlinePhaseTracker
 from repro.gprof.gmon import GmonData
 from repro.heartbeat.ldms import LDMSTransport
+from repro.service.checkpoint import (
+    CheckpointManager,
+    restore_registry,
+    snapshot_registry,
+)
+from repro.service.faults import (
+    CLOSE,
+    CORRUPT,
+    CORRUPT_FRAME,
+    DELAY,
+    DROP,
+    FaultInjector,
+)
 from repro.service.metrics import ServiceMetrics
 from repro.service.protocol import (
     Bye,
@@ -55,7 +68,15 @@ from repro.service.protocol import (
     write_message,
 )
 from repro.service.registry import StreamRegistry, StreamState
-from repro.util.errors import ProtocolError, ReproError, ServiceError, ValidationError
+from repro.util.errors import (
+    BackpressureError,
+    CheckpointError,
+    ProtocolError,
+    ReproError,
+    ServiceError,
+    StreamConflictError,
+    ValidationError,
+)
 
 #: Admission outcomes of one snapshot (also used on the wire in replies).
 ACCEPTED = "accepted"
@@ -108,7 +129,7 @@ class BoundedStreamQueue:
                 while len(self._items) >= self.capacity and not self._closed:
                     remaining = None if deadline is None else deadline - time.monotonic()
                     if remaining is not None and remaining <= 0:
-                        raise ServiceError("backpressure timeout: queue stayed full")
+                        raise BackpressureError("backpressure timeout: queue stayed full")
                     self._cv.wait(remaining)
                 if self._closed:
                     raise ServiceError("queue closed")
@@ -154,6 +175,10 @@ class ServerConfig:
     #: Novelty gate parameters used when spawning per-stream trackers.
     quantile: float = 0.95
     slack: float = 1.5
+    #: Durable-state directory; None disables checkpointing entirely.
+    checkpoint_dir: Optional[str] = None
+    #: Seconds between checkpoint writes (a crash loses at most this much).
+    checkpoint_interval: float = 2.0
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -162,6 +187,8 @@ class ServerConfig:
             raise ValidationError(f"unknown backpressure policy {self.policy!r}")
         if self.batch_size < 1:
             raise ValidationError("batch size must be positive")
+        if self.checkpoint_interval <= 0:
+            raise ValidationError("checkpoint interval must be positive")
 
 
 class PhaseMonitorServer:
@@ -171,11 +198,21 @@ class PhaseMonitorServer:
         self,
         tracker_template: Optional[OnlinePhaseTracker] = None,
         config: ServerConfig = ServerConfig(),
+        faults: Optional[FaultInjector] = None,
     ) -> None:
         self.template = tracker_template
         self.config = config
         self.registry = StreamRegistry(idle_timeout=config.idle_timeout)
         self.metrics = ServiceMetrics()
+        self.faults = faults
+        self.checkpoints: Optional[CheckpointManager] = None
+        if config.checkpoint_dir is not None:
+            self.checkpoints = CheckpointManager(
+                config.checkpoint_dir, interval=config.checkpoint_interval)
+        #: Recovery outcome of the last start(): stream ids restored from
+        #: the checkpoint, and the path a corrupt one was quarantined to.
+        self.restored_streams: List[str] = []
+        self.quarantined_checkpoint = None
         #: Heartbeat rows are forwarded through the same pull-model
         #: transport the in-process examples use; the housekeeping thread
         #: plays the LDMS sampler.
@@ -203,6 +240,7 @@ class PhaseMonitorServer:
         """Bind, spawn the thread groups, and return the bound endpoint."""
         if self._running.is_set():
             raise ServiceError("server already started")
+        self._recover()
         cfg = self.config
         if cfg.endpoint.kind == "unix":
             listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
@@ -228,6 +266,30 @@ class PhaseMonitorServer:
             self._spawn(self._worker_loop, f"incprofd-worker-{i}")
         self._spawn(self._housekeeping_loop, "incprofd-housekeeping")
         return self._endpoint
+
+    def _recover(self) -> None:
+        """Restore registry state from the checkpoint directory, if any.
+
+        A corrupt checkpoint is quarantined (moved aside, never deleted)
+        and the daemon starts fresh; the quarantine path is kept on the
+        server for operators to inspect.
+        """
+        if self.checkpoints is None:
+            return
+        payload, quarantined = self.checkpoints.load_or_quarantine()
+        self.quarantined_checkpoint = quarantined
+        if payload is None:
+            return
+        restored = restore_registry(self.registry, payload, self.template)
+        for state in restored:
+            state.queue = BoundedStreamQueue(self.config.queue_capacity,
+                                             self.config.policy)
+        self.restored_streams = [s.stream_id for s in restored]
+
+    def checkpoint_now(self) -> None:
+        """Write one checkpoint immediately (no-op without a directory)."""
+        if self.checkpoints is not None:
+            self.checkpoints.write(snapshot_registry(self.registry))
 
     def _spawn(self, target, name: str) -> None:
         thread = threading.Thread(target=target, name=name, daemon=True)
@@ -264,6 +326,12 @@ class PhaseMonitorServer:
         for thread in self._threads:
             if thread is not current:
                 thread.join(timeout=5.0)
+        try:
+            # Final checkpoint after the workers quiesce, so an orderly
+            # shutdown persists exactly the classified state.
+            self.checkpoint_now()
+        except (CheckpointError, OSError):
+            pass
         self._stopped.set()
 
     def wait(self, timeout: Optional[float] = None) -> bool:
@@ -316,6 +384,20 @@ class PhaseMonitorServer:
                     write_message(fh, Reply(ok=False, error=str(exc)))
                     continue
                 reply = self._dispatch(msg)
+                action = (self.faults.on_reply(msg.TYPE)
+                          if self.faults is not None else None)
+                if action is not None:
+                    self.metrics.note_fault_injected()
+                    if action.kind == DELAY:
+                        time.sleep(action.delay)
+                    elif action.kind == DROP:
+                        continue
+                    elif action.kind == CORRUPT:
+                        fh.write(CORRUPT_FRAME)
+                        fh.flush()
+                        continue
+                    elif action.kind == CLOSE:
+                        break
                 write_message(fh, reply)
                 if (reply.ok and isinstance(msg, Control)
                         and msg.command == "shutdown"):
@@ -357,22 +439,44 @@ class PhaseMonitorServer:
             if isinstance(msg, Bye):
                 return self._on_bye(msg)
         except ServiceError as exc:
-            return Reply(ok=False, error=str(exc))
+            # Every service error carries a stable wire code so clients
+            # can raise the matching typed exception from the reply.
+            return Reply(ok=False, error=str(exc), data={"code": exc.code})
         return Reply(ok=False, error=f"unhandled message {type(msg).__name__}")
 
     def _on_hello(self, msg: Hello) -> Reply:
-        tracker = None
-        if self.template is not None:
-            tracker = self.template.spawn(zero_start=True)
-        state = self.registry.register(msg.stream_id, app=msg.app,
-                                       rank=msg.rank, tracker=tracker)
-        state.queue = BoundedStreamQueue(self.config.queue_capacity,
-                                         self.config.policy)
+        state = self.registry.get_or_none(msg.stream_id)
+        resumed = False
+        if state is not None:
+            if not msg.resume:
+                raise StreamConflictError(
+                    f"stream {msg.stream_id!r} is already registered")
+            # Reconnect-and-resume: re-attach to the live (or restored)
+            # stream instead of rejecting the duplicate hello.
+            if state.queue is None:
+                state.queue = BoundedStreamQueue(self.config.queue_capacity,
+                                                 self.config.policy)
+            self.registry.touch(msg.stream_id)
+            resumed = True
+        else:
+            tracker = None
+            if self.template is not None:
+                tracker = self.template.spawn(zero_start=True)
+            state = self.registry.register(msg.stream_id, app=msg.app,
+                                           rank=msg.rank, tracker=tracker)
+            state.queue = BoundedStreamQueue(self.config.queue_capacity,
+                                             self.config.policy)
         return Reply(ok=True, data={
             "stream_id": msg.stream_id,
             "policy": self.config.policy,
             "queue_capacity": self.config.queue_capacity,
-            "classifying": tracker is not None,
+            "classifying": state.tracker is not None,
+            "resumed": resumed,
+            # The next sequence number the server wants: everything at or
+            # below ``last_seq`` is admitted (or, after a restart,
+            # classified-and-checkpointed) — the publisher rewinds or
+            # fast-forwards to exactly this point.
+            "resume_from": state.last_seq + 1,
         })
 
     def _on_snapshot(self, msg: SnapshotMsg) -> Reply:
@@ -386,12 +490,16 @@ class PhaseMonitorServer:
             self.metrics.note_rejected()
             with state.lock:
                 state.rejected += 1
-            return Reply(ok=False, error=str(exc), data={"outcome": REJECTED})
+            return Reply(ok=False, error=str(exc),
+                         data={"outcome": REJECTED,
+                               "code": BackpressureError.code})
         if outcome == REJECTED:
             self.metrics.note_rejected()
             with state.lock:
                 state.rejected += 1
-            return Reply(ok=False, error="queue full", data={"outcome": REJECTED})
+            return Reply(ok=False, error="queue full",
+                         data={"outcome": REJECTED,
+                               "code": BackpressureError.code})
         self.metrics.note_ingested()
         with state.lock:
             state.enqueued += 1
@@ -481,7 +589,15 @@ class PhaseMonitorServer:
         Differencing stays per-snapshot (each delta depends on its
         predecessor and may fail independently), but all resulting
         profiles go through one vectorized ``classify_batch`` call.
+        The whole batch runs under the stream's ``work_lock`` so a
+        concurrent checkpoint never captures the differencer advanced
+        past the recorded history.
         """
+        with state.work_lock:
+            self._classify_batch_locked(state, batch)
+
+    def _classify_batch_locked(self, state: StreamState,
+                               batch: List[Tuple[int, GmonData]]) -> None:
         start = time.perf_counter()
         errors = 0
         tracked: List[Any] = []
@@ -517,6 +633,10 @@ class PhaseMonitorServer:
         with state.lock:
             state.processed += len(batch)
             state.novel += novel_count
+            # The resume anchor: the highest sequence number this stream
+            # has actually consumed (checkpoints persist exactly this).
+            state.processed_seq = max(state.processed_seq,
+                                      max(seq for seq, _gmon in batch))
 
     # ------------------------------------------------------------------
     # housekeeping
@@ -529,6 +649,15 @@ class PhaseMonitorServer:
                 return
             self.registry.expire_idle()
             self.transport.sample()
+            if self.checkpoints is not None and self.checkpoints.due():
+                try:
+                    self.checkpoint_now()
+                    self.metrics.note_checkpoint()
+                except (CheckpointError, OSError):
+                    # A failed write must not kill housekeeping; the next
+                    # cadence retries and the previous checkpoint file is
+                    # still intact (writes are atomic).
+                    pass
 
     # ------------------------------------------------------------------
     # status
@@ -544,6 +673,14 @@ class PhaseMonitorServer:
         snap["policy"] = self.config.policy
         snap["workers"] = self.config.workers
         snap["ldms_delivered"] = self.transport.delivered
+        snap["restored_streams"] = len(self.restored_streams)
+        if self.checkpoints is not None:
+            snap["checkpoint"] = {
+                "path": str(self.checkpoints.path),
+                "interval": self.checkpoints.interval,
+                "writes": self.checkpoints.writes,
+                "quarantined": len(self.checkpoints.quarantined),
+            }
         return snap
 
     def fleet_status(self) -> Dict[str, Any]:
@@ -556,8 +693,9 @@ class PhaseMonitorServer:
 def serve(
     tracker_template: Optional[OnlinePhaseTracker],
     config: ServerConfig = ServerConfig(),
+    faults: Optional[FaultInjector] = None,
 ) -> PhaseMonitorServer:
     """Start a daemon and return it (caller owns ``stop``/``wait``)."""
-    server = PhaseMonitorServer(tracker_template, config)
+    server = PhaseMonitorServer(tracker_template, config, faults=faults)
     server.start()
     return server

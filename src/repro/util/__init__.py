@@ -4,10 +4,14 @@ These helpers are deliberately dependency-light; everything else in
 :mod:`repro` builds on them.
 """
 
+from repro.util.atomicio import atomic_write_bytes
 from repro.util.errors import (
     ReproError,
     ValidationError,
     FormatError,
+    SampleFileError,
+    ModelFormatError,
+    CheckpointError,
     ProfileDataError,
     ClusteringError,
     CollectorError,
@@ -21,10 +25,14 @@ __all__ = [
     "ReproError",
     "ValidationError",
     "FormatError",
+    "SampleFileError",
+    "ModelFormatError",
+    "CheckpointError",
     "ProfileDataError",
     "ClusteringError",
     "CollectorError",
     "AppError",
+    "atomic_write_bytes",
     "derive_seed",
     "rng_stream",
     "Table",

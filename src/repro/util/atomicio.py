@@ -1,0 +1,39 @@
+"""Atomic file writes (temp file + rename in the target directory).
+
+Every durable artifact this package writes — gmon samples, phase-model
+files, daemon checkpoints — goes through :func:`atomic_write_bytes`: the
+bytes land in a temporary file *in the same directory*, are fsynced, and
+then renamed over the target.  A reader (or a crash at any instant)
+therefore sees either the old complete file or the new complete file,
+never a truncated hybrid.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Union
+
+
+def atomic_write_bytes(path: Union[str, Path], blob: bytes) -> Path:
+    """Write ``blob`` to ``path`` atomically; return the final path.
+
+    The temporary name carries the pid so concurrent writers in
+    different processes never collide; ``os.replace`` makes the final
+    rename atomic on POSIX and Windows alike.
+    """
+    path = Path(path)
+    tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+    try:
+        with open(tmp, "wb") as fh:
+            fh.write(blob)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return path

@@ -1,0 +1,195 @@
+"""Durable phase-model artifacts: round-trip fidelity and format safety.
+
+The contract under test is the one ``docs/API.md`` promises: a model
+saved with :func:`save_model` and reloaded with :func:`load_model`
+classifies **bit-identically** to the in-memory original, the artifact
+byte format is pinned (schema version 1), and every way a file can go
+bad — truncation, wrong magic, future schema, flipped payload bytes —
+is a clear :class:`ModelFormatError`, never a wrong answer.
+"""
+
+import base64
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    AnalysisConfig,
+    ModelFormatError,
+    OnlinePhaseTracker,
+    ValidationError,
+    analyze_snapshots,
+    dumps_model,
+    load_model,
+    loads_model,
+    model_meta,
+    save_model,
+)
+from repro.core.model_io import MODEL_SCHEMA
+from repro.service import SyntheticLoadGenerator
+
+
+def small_tracker() -> OnlinePhaseTracker:
+    return OnlinePhaseTracker(
+        functions=["alpha", "beta"],
+        centroids=np.array([[0.75, 0.25], [0.125, 0.875]]),
+        gates=np.array([0.5, 0.625]),
+        interval=1.0,
+    )
+
+
+@pytest.fixture(scope="module")
+def trained():
+    gen = SyntheticLoadGenerator()
+    analysis = analyze_snapshots(gen.stream(0, 24), AnalysisConfig(kmax=4))
+    return gen, analysis
+
+
+# ----------------------------------------------------------------------
+# round-trip fidelity
+# ----------------------------------------------------------------------
+def test_round_trip_is_bit_identical(trained, tmp_path):
+    gen, analysis = trained
+    tracker = OnlinePhaseTracker.from_analysis(analysis)
+    path = save_model(tracker, tmp_path / "m.ipm")
+    loaded = load_model(path)
+
+    assert loaded.functions == tracker.functions
+    assert np.array_equal(loaded.centroids, tracker.centroids)
+    assert np.array_equal(loaded.gates, tracker.gates)
+
+    fresh = gen.stream(7, 40)
+    ta, tb = tracker.spawn(zero_start=True), loaded.spawn(zero_start=True)
+    a = [ta.observe_snapshot(s) for s in fresh]
+    b = [tb.observe_snapshot(s) for s in fresh]
+    assert [t.phase_id for t in a] == [t.phase_id for t in b]
+    assert [t.distance for t in a] == [t.distance for t in b]  # exact floats
+
+
+def test_save_twice_is_deterministic(tmp_path):
+    tracker = small_tracker()
+    assert dumps_model(tracker) == dumps_model(tracker)
+    p1 = save_model(tracker, tmp_path / "a.ipm")
+    p2 = save_model(tracker, tmp_path / "b.ipm")
+    assert p1.read_bytes() == p2.read_bytes()
+
+
+def test_save_from_analysis_records_provenance(trained, tmp_path):
+    _, analysis = trained
+    path = save_model(analysis, tmp_path / "m.ipm", meta={"trained_on": "app"})
+    meta = model_meta(path)
+    assert meta["trained_on"] == "app"
+    assert meta["n_phases"] == analysis.n_phases
+    assert meta["sites"]  # Algorithm 1 output travels with the model
+    loaded = load_model(path)
+    direct = OnlinePhaseTracker.from_analysis(analysis)
+    assert np.array_equal(loaded.centroids, direct.centroids)
+
+
+def test_atomic_write_leaves_no_temp_files(tmp_path):
+    save_model(small_tracker(), tmp_path / "m.ipm")
+    leftovers = [p.name for p in tmp_path.iterdir() if p.name != "m.ipm"]
+    assert leftovers == []
+
+
+def test_save_model_rejects_wrong_type(tmp_path):
+    with pytest.raises(ValidationError, match="OnlinePhaseTracker"):
+        save_model({"not": "a model"}, tmp_path / "m.ipm")
+
+
+# ----------------------------------------------------------------------
+# the byte format is pinned
+# ----------------------------------------------------------------------
+GOLDEN_B64 = (
+    "SVBNREwBAIzlRwWHCB0f42fW7l48lR8g4yzLFu9hQvYpeqG1KBlMugAAAHsia2luZCI6InBo"
+    "YXNlLW1vZGVsIiwibWV0YSI6eyJ0cmFpbmVkX29uIjoiZ29sZGVuIn0sIm1vZGVsIjp7ImNl"
+    "bnRyb2lkcyI6W1swLjc1LDAuMjVdLFswLjEyNSwwLjg3NV1dLCJmdW5jdGlvbnMiOlsiYWxw"
+    "aGEiLCJiZXRhIl0sImdhdGVzIjpbMC41LDAuNjI1XSwiaW50ZXJ2YWwiOjEuMCwiemVyb19z"
+    "dGFydCI6ZmFsc2V9fQ=="
+)
+GOLDEN_SHA256 = "9582e0d853bb27ac0c168f872ee4e8e5675ef834a15e9f0adbc0678c6b0cf4c9"
+
+
+def test_golden_blob_byte_format_is_stable():
+    """The exact artifact bytes for a known model are pinned.
+
+    If this fails, the on-disk format changed: either revert, or bump
+    ``MODEL_SCHEMA`` and regenerate the golden blob alongside a
+    compatibility path for version-1 artifacts (see docs/API.md).
+    """
+    blob = dumps_model(small_tracker(), meta={"trained_on": "golden"})
+    assert hashlib.sha256(blob).hexdigest() == GOLDEN_SHA256
+    assert blob == base64.b64decode(GOLDEN_B64)
+
+
+def test_golden_blob_still_loads():
+    tracker = loads_model(base64.b64decode(GOLDEN_B64))
+    assert tracker.functions == ["alpha", "beta"]
+    assert np.array_equal(tracker.gates, [0.5, 0.625])
+
+
+def test_header_fields():
+    blob = dumps_model(small_tracker())
+    assert blob[:5] == b"IPMDL"
+    assert int.from_bytes(blob[5:7], "little") == MODEL_SCHEMA == 1
+
+
+# ----------------------------------------------------------------------
+# every corruption mode is a clear error
+# ----------------------------------------------------------------------
+def good_blob() -> bytes:
+    return dumps_model(small_tracker())
+
+
+def test_truncated_header():
+    with pytest.raises(ModelFormatError, match="shorter than the header"):
+        loads_model(good_blob()[:10])
+
+
+def test_truncated_payload():
+    with pytest.raises(ModelFormatError, match="truncated"):
+        loads_model(good_blob()[:-5])
+
+
+def test_wrong_magic():
+    blob = b"NOTIT" + good_blob()[5:]
+    with pytest.raises(ModelFormatError, match="magic"):
+        loads_model(blob)
+
+
+def test_future_schema_version():
+    blob = bytearray(good_blob())
+    blob[5:7] = (MODEL_SCHEMA + 1).to_bytes(2, "little")
+    with pytest.raises(ModelFormatError, match="schema version"):
+        loads_model(bytes(blob))
+
+
+def test_flipped_payload_byte_fails_checksum():
+    blob = bytearray(good_blob())
+    blob[-1] ^= 0xFF
+    with pytest.raises(ModelFormatError, match="checksum"):
+        loads_model(bytes(blob))
+
+
+def test_wrong_artifact_kind():
+    from repro.core.model_io import MODEL_MAGIC, pack_artifact
+
+    blob = pack_artifact({"kind": "something-else"}, MODEL_MAGIC, MODEL_SCHEMA)
+    with pytest.raises(ModelFormatError, match="kind"):
+        loads_model(blob)
+
+
+def test_missing_file(tmp_path):
+    with pytest.raises(ModelFormatError, match="cannot read"):
+        load_model(tmp_path / "nope.ipm")
+
+
+def test_corrupt_file_on_disk(tmp_path):
+    path = tmp_path / "m.ipm"
+    save_model(small_tracker(), path)
+    raw = bytearray(path.read_bytes())
+    raw[len(raw) // 2] ^= 0x01
+    path.write_bytes(bytes(raw))
+    with pytest.raises(ModelFormatError):
+        load_model(path)

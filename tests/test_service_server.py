@@ -27,6 +27,7 @@ from repro.service import (
     publish_session,
 )
 from repro.service.protocol import write_message, read_message, Control
+from repro.util.errors import StreamConflictError, UnknownStreamError
 
 pytestmark = pytest.mark.socket
 
@@ -153,17 +154,24 @@ def test_ping_stats_and_unknown_stream():
             stats = client.stats()
             assert stats.ok and stats.data["streams"] == 0
             # snapshot before hello is a typed error, not a hang/crash
-            reply = client.snapshot("ghost", 0,
-                                    SyntheticLoadGenerator().stream(0, 1)[0])
+            sample = SyntheticLoadGenerator().stream(0, 1)[0]
+            with pytest.raises(UnknownStreamError, match="ghost"):
+                client.snapshot("ghost", 0, sample)
+            # check=False keeps the raw-reply escape hatch working
+            reply = client.snapshot("ghost", 0, sample, check=False)
             assert not reply.ok and "ghost" in reply.error
+            assert reply.data["code"] == "unknown-stream"
 
 
 def test_duplicate_hello_rejected():
     with PhaseMonitorServer(None, make_config()) as server:
         with PhaseClient(server.endpoint) as client:
             assert client.hello("twin").ok
-            reply = client.hello("twin")
-            assert not reply.ok and "already registered" in reply.error
+            with pytest.raises(StreamConflictError, match="already registered"):
+                client.hello("twin")
+            # resume=True makes the handshake idempotent instead
+            reply = client.hello("twin", resume=True)
+            assert reply.ok and reply.data["resumed"] is True
 
 
 def test_unix_socket_endpoint(tmp_path):

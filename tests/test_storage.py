@@ -121,3 +121,48 @@ def test_empty_sample_file_raises_typed_error(tmp_path):
     with pytest.raises(SampleFileError) as excinfo:
         store.load_rank(2)
     assert "gmon-r002-i00000.gmon" in str(excinfo.value)
+
+
+def test_save_is_atomic_no_temp_residue(tmp_path):
+    """A completed save leaves exactly the sample file — the temp file
+    used for the atomic rename never survives."""
+    store = SampleStore(tmp_path)
+    for i in range(5):
+        store.save(snap(0, 10 * (i + 1), float(i)), i)
+    names = sorted(p.name for p in tmp_path.iterdir())
+    assert names == [f"gmon-r000-i{i:05d}.gmon" for i in range(5)]
+
+
+def test_interrupted_save_preserves_previous_sample(tmp_path, monkeypatch):
+    """A crash mid-write (simulated at the temp-file stage) must leave
+    the previously saved bytes intact — a concurrent analysis pass can
+    never observe a torn sample."""
+    import repro.util.atomicio as atomicio
+
+    store = SampleStore(tmp_path)
+    store.save(snap(0, 10, 1.0), 0)
+    before = store.path_for(0, 0).read_bytes()
+
+    real_replace = atomicio.os.replace
+
+    def exploding_replace(src, dst):
+        raise OSError("simulated crash before rename")
+
+    monkeypatch.setattr(atomicio.os, "replace", exploding_replace)
+    with pytest.raises(OSError):
+        store.save(snap(0, 999, 2.0), 0)
+    monkeypatch.setattr(atomicio.os, "replace", real_replace)
+
+    assert store.path_for(0, 0).read_bytes() == before  # old bytes intact
+    leftovers = [p.name for p in tmp_path.iterdir()
+                 if p.name != "gmon-r000-i00000.gmon"]
+    assert leftovers == []  # temp file cleaned up on failure
+
+
+def test_sample_file_error_importable_from_errors_module(tmp_path):
+    """SampleFileError moved under the shared FormatError branch in
+    repro.util.errors; the storage-module import keeps working."""
+    from repro.util.errors import SampleFileError as canonical
+
+    assert SampleFileError is canonical
+    assert issubclass(SampleFileError, FormatError)

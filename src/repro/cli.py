@@ -14,7 +14,9 @@ Subcommands mirror the tool's workflow:
 - ``incprof serve`` — run the ``incprofd`` phase-monitoring daemon;
 - ``incprof submit --app graph500 --to HOST:PORT`` — stream a collection
   run's ranks through a running daemon;
-- ``incprof fleet-status --to HOST:PORT`` — query a daemon's fleet view.
+- ``incprof fleet-status --to HOST:PORT`` — query a daemon's fleet view;
+- ``incprof metrics --to HOST:PORT`` — scrape Prometheus text metrics;
+- ``incprof top --to HOST:PORT`` — live terminal view of daemon health.
 """
 
 from __future__ import annotations
@@ -263,9 +265,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         idle_timeout=args.idle_timeout,
         checkpoint_dir=args.checkpoint_dir,
         checkpoint_interval=args.checkpoint_interval,
+        metrics_port=args.metrics_port,
+        log_level=args.log_level,
     )
     server = PhaseMonitorServer(template, config)
     bound = server.start()
+    if server.metrics_http is not None:
+        print(f"metrics endpoint: {server.metrics_http.url}")
     if server.quarantined_checkpoint is not None:
         print(f"warning: corrupt checkpoint quarantined -> "
               f"{server.quarantined_checkpoint}; starting fresh")
@@ -404,6 +410,79 @@ def _cmd_fleet_status(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    """Scrape the daemon's Prometheus text metrics over the wire protocol."""
+    from repro.service import Endpoint, PhaseClient
+    from repro.util.errors import ReproError
+
+    try:
+        endpoint = Endpoint.parse(args.to)
+        with PhaseClient(endpoint) as client:
+            text = client.metrics()
+    except (ReproError, OSError) as exc:
+        print(f"error: cannot reach daemon at {args.to!r}: {exc}")
+        return 1
+    print(text, end="" if text.endswith("\n") else "\n")
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """Live terminal view of a running daemon (sparkline history)."""
+    import time as _time
+
+    from repro.service import Endpoint, PhaseClient
+    from repro.util.asciiplot import sparkline
+    from repro.util.errors import ReproError
+
+    try:
+        endpoint = Endpoint.parse(args.to)
+    except ReproError as exc:
+        print(f"error: {exc}")
+        return 1
+    history: dict = {"rate": [], "queued": [], "processed": []}
+    iteration = 0
+    try:
+        with PhaseClient(endpoint) as client:
+            while args.iterations <= 0 or iteration < args.iterations:
+                if iteration:
+                    _time.sleep(args.refresh)
+                iteration += 1
+                stats = client.stats().data
+                history["rate"].append(float(stats.get("ingest_rate", 0.0)))
+                history["queued"].append(float(stats.get("queued_total", 0)))
+                history["processed"].append(float(stats.get("processed", 0)))
+                for series in history.values():
+                    del series[:-args.width]
+                latency = stats.get("classify_latency", {})
+                traces = stats.get("traces", {})
+                lines = [
+                    f"incprofd @ {endpoint}  "
+                    f"streams={stats.get('streams', 0)} "
+                    f"workers={stats.get('workers', '?')} "
+                    f"policy={stats.get('policy', '?')}",
+                    f"  rate   {history['rate'][-1]:10.1f}/s "
+                    f"{sparkline(history['rate'], width=args.width)}",
+                    f"  queued {history['queued'][-1]:10.0f}   "
+                    f"{sparkline(history['queued'], width=args.width)}",
+                    f"  done   {history['processed'][-1]:10.0f}   "
+                    f"{sparkline(history['processed'], width=args.width)}",
+                    f"  drops={stats.get('drops', 0)} "
+                    f"novel={stats.get('novel', 0)} "
+                    f"p99={latency.get('p99', 0.0) * 1e3:.2f}ms "
+                    f"traces={traces.get('finished', 0)}/"
+                    f"{traces.get('started', 0)}",
+                ]
+                if args.clear:
+                    print("\x1b[2J\x1b[H", end="")
+                print("\n".join(lines))
+    except (ReproError, OSError) as exc:
+        print(f"error: lost daemon at {args.to!r}: {exc}")
+        return 1
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def _cmd_report_all(args: argparse.Namespace) -> int:
     from repro.eval.report_md import write_markdown_report
 
@@ -527,6 +606,12 @@ def build_parser() -> argparse.ArgumentParser:
                          help="backpressure policy for full stream queues")
     p_serve.add_argument("--idle-timeout", type=float, default=30.0,
                          help="expire streams idle longer than this (seconds)")
+    p_serve.add_argument("--metrics-port", type=int, default=None,
+                         help="also serve Prometheus text metrics over "
+                              "plain HTTP on this port (0 = ephemeral)")
+    p_serve.add_argument("--log-level", default="info",
+                         choices=["debug", "info", "warning", "error"],
+                         help="structured JSON log threshold (stderr)")
     p_serve.add_argument("--selftest", action="store_true",
                          help="in-process smoke test: server + synthetic "
                               "publishers, assert clean shutdown")
@@ -554,6 +639,26 @@ def build_parser() -> argparse.ArgumentParser:
                       help="daemon endpoint: HOST:PORT or unix:PATH")
     p_fs.add_argument("--json", action="store_true", help="raw JSON output")
     p_fs.set_defaults(func=_cmd_fleet_status)
+
+    p_met = sub.add_parser("metrics",
+                           help="scrape a daemon's Prometheus text metrics")
+    p_met.add_argument("--to", required=True,
+                       help="daemon endpoint: HOST:PORT or unix:PATH")
+    p_met.set_defaults(func=_cmd_metrics)
+
+    p_top = sub.add_parser("top",
+                           help="live terminal view of a running daemon")
+    p_top.add_argument("--to", required=True,
+                       help="daemon endpoint: HOST:PORT or unix:PATH")
+    p_top.add_argument("--refresh", type=float, default=1.0,
+                       help="seconds between refreshes")
+    p_top.add_argument("--iterations", type=int, default=0,
+                       help="stop after this many refreshes (0 = forever)")
+    p_top.add_argument("--width", type=int, default=40,
+                       help="sparkline history width (samples kept)")
+    p_top.add_argument("--clear", action="store_true",
+                       help="clear the screen between refreshes")
+    p_top.set_defaults(func=_cmd_top)
 
     return parser
 

@@ -27,6 +27,12 @@ class HeartbeatRecord:
     ``min_duration``/``max_duration`` extend the paper's count+mean
     accumulation at no extra I/O (still one row per interval); they make
     per-interval variability visible to downstream analyses.
+
+    ``min_duration`` is ``None`` when no minimum was observed (a record
+    from a source that predates the field).  ``None`` — not ``0.0`` — is
+    the sentinel: a downstream min-merge must treat a missing minimum as
+    the merge identity (+inf), never as a genuinely observed 0-second
+    beat.  :meth:`min_duration_or_inf` gives the merge-ready value.
     """
 
     rank: int
@@ -35,12 +41,16 @@ class HeartbeatRecord:
     time: float  # interval end time
     count: float  # float: batch spans distribute fractionally
     avg_duration: float
-    min_duration: float = 0.0
+    min_duration: Optional[float] = None
     max_duration: float = 0.0
 
     @property
     def duration_sum(self) -> float:
         return self.count * self.avg_duration
+
+    def min_duration_or_inf(self) -> float:
+        """The observed minimum, or +inf when none was recorded."""
+        return math.inf if self.min_duration is None else self.min_duration
 
 
 Sink = Callable[[HeartbeatRecord], None]
@@ -92,7 +102,9 @@ class HeartbeatAccumulator:
                 time=end_time,
                 count=count,
                 avg_duration=self._durations[hb_id] / count,
-                min_duration=self._min.get(hb_id, 0.0),
+                # None (not 0.0) when no minimum was tracked: a missing
+                # minimum must stay "unknown" through any min-merge.
+                min_duration=self._min.get(hb_id),
                 max_duration=self._max.get(hb_id, 0.0),
             )
             self.records.append(record)
@@ -149,9 +161,57 @@ class HeartbeatAccumulator:
             self._max[hb_id] = max(self._max.get(hb_id, per_duration), per_duration)
         self.total_events += int(n)
 
+    def flush_upto(self, now: float) -> None:
+        """Flush every interval that ended at or before ``now``.
+
+        Long-lived users (the ``incprofd`` self-instrumentation) call
+        this on a housekeeping cadence so completed intervals reach the
+        sink even when no new heartbeat arrives to trigger the flush.
+        """
+        self._flush_through(self._index_of(now))
+
     def finalize(self, now: Optional[float] = None) -> List[HeartbeatRecord]:
         """Flush the trailing partial interval and return all records."""
         if now is not None:
             self._flush_through(self._index_of(now))
         self._emit_current()
         return self.records
+
+
+def merge_records(records: List[HeartbeatRecord],
+                  rank: Optional[int] = None) -> List[HeartbeatRecord]:
+    """Merge records sharing ``(hb_id, interval_index)`` into one row each.
+
+    The fleet view: many ranks (or many flushes) report the same
+    heartbeat in the same interval; the merged row sums counts, weights
+    the mean by count, and min/max-merges the extremes.  A ``None``
+    minimum is the merge identity — it never drags the merged minimum to
+    zero — and the merged minimum is ``None`` only when *no* input
+    observed one.  Output is sorted by ``(interval_index, hb_id)``.
+    """
+    merged: Dict[tuple, HeartbeatRecord] = {}
+    for rec in records:
+        key = (rec.interval_index, rec.hb_id)
+        prev = merged.get(key)
+        if prev is None:
+            merged[key] = rec
+            continue
+        count = prev.count + rec.count
+        avg = ((prev.duration_sum + rec.duration_sum) / count
+               if count > 0 else 0.0)
+        low = min(prev.min_duration_or_inf(), rec.min_duration_or_inf())
+        if rank is not None:
+            merged_rank = rank
+        else:
+            merged_rank = prev.rank if prev.rank == rec.rank else -1
+        merged[key] = HeartbeatRecord(
+            rank=merged_rank,
+            hb_id=rec.hb_id,
+            interval_index=rec.interval_index,
+            time=max(prev.time, rec.time),
+            count=count,
+            avg_duration=avg,
+            min_duration=None if math.isinf(low) else low,
+            max_duration=max(prev.max_duration, rec.max_duration),
+        )
+    return [merged[key] for key in sorted(merged)]

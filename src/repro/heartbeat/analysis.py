@@ -14,6 +14,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 import numpy as np
 
 from repro.heartbeat.accumulator import HeartbeatRecord
+from repro.core.kselect import elbow_k, wcss_curve
 from repro.util.asciiplot import AsciiPlot
 from repro.util.errors import ValidationError
 
@@ -142,6 +143,51 @@ class HeartbeatSeries:
                 self.counts[hb_id][active],
             )
         return plot
+
+
+@dataclass(frozen=True)
+class PhaseAssignment:
+    """Per-interval phase labels derived from heartbeat behaviour alone."""
+
+    k: int
+    labels: np.ndarray  # length n_intervals, values in [0, k)
+    inertia: float
+
+    def phase_sequence(self) -> List[int]:
+        return [int(v) for v in self.labels]
+
+
+def phase_assignment(
+    series: HeartbeatSeries,
+    kmax: int = 6,
+    seed: int = 0,
+) -> PhaseAssignment:
+    """Cluster a run's intervals into phases from its heartbeat series.
+
+    This closes the dogfooding loop: any heartbeat CSV — including the
+    one ``incprofd`` emits about itself — becomes a feature matrix (per
+    interval: count and average duration of every heartbeat ID, each
+    column z-normalized) and goes through the paper's own pipeline, a
+    WCSS sweep plus the elbow criterion, to a per-interval phase label.
+    """
+    ids = series.hb_ids()
+    if not ids or series.n_intervals < 1:
+        raise ValidationError("phase assignment needs a non-empty series")
+    columns = []
+    for hb_id in ids:
+        columns.append(series.counts[hb_id])
+        columns.append(series.durations[hb_id])
+    matrix = np.stack(columns, axis=1).astype(float)
+    mean = matrix.mean(axis=0)
+    std = matrix.std(axis=0)
+    std[std == 0] = 1.0  # constant columns carry no signal; leave centred
+    matrix = (matrix - mean) / std
+    results = wcss_curve(matrix, kmax=max(1, min(kmax, series.n_intervals)),
+                         seed=seed)
+    k = elbow_k(results)
+    best = results[k]
+    return PhaseAssignment(k=k, labels=best.labels,
+                           inertia=float(best.inertia))
 
 
 def series_from_records(

@@ -83,6 +83,15 @@ class AppEKG:
     beginHeartbeat = begin_heartbeat
     endHeartbeat = end_heartbeat
 
+    def flush(self, at: float) -> None:
+        """Flush intervals completed by time ``at`` without new events.
+
+        Long-running processes (the ``incprofd`` daemon instrumenting its
+        own pipeline) call this on a housekeeping cadence so quiet
+        periods still deliver their completed intervals to the sink.
+        """
+        self._accumulator.flush_upto(at)
+
     # ------------------------------------------------------------------
     def finalize(self, now: Optional[float] = None) -> List[HeartbeatRecord]:
         """Flush trailing data; open (never-ended) heartbeats are dropped."""

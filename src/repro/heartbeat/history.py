@@ -66,9 +66,10 @@ class HeartbeatHistory:
         with open(path, "w") as fh:
             fh.write(",".join(CSV_FIELDS) + "\n")
             for r in records:
+                low = "" if r.min_duration is None else f"{r.min_duration:.6f}"
                 fh.write(f"{r.rank},{r.hb_id},{r.interval_index},"
                          f"{r.time:.6f},{r.count:.4f},{r.avg_duration:.6f},"
-                         f"{r.min_duration:.6f},{r.max_duration:.6f}\n")
+                         f"{low},{r.max_duration:.6f}\n")
         meta = {
             "timestamp": time.time() if timestamp is None else timestamp,
             "labels": {str(k): v for k, v in (labels or {}).items()},

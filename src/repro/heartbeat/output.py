@@ -56,7 +56,9 @@ class CSVSink:
                 f"{record.time:.6f}",
                 f"{record.count:.4f}",
                 f"{record.avg_duration:.6f}",
-                f"{record.min_duration:.6f}",
+                # An unobserved minimum is an empty cell, not "0.000000".
+                ("" if record.min_duration is None
+                 else f"{record.min_duration:.6f}"),
                 f"{record.max_duration:.6f}",
             ]
         )
@@ -77,6 +79,9 @@ def read_csv_records(path: Union[str, Path]) -> List[HeartbeatRecord]:
     records: List[HeartbeatRecord] = []
     with open(path, newline="") as fh:
         for row in csv.DictReader(fh):
+            # Empty/missing minimum cells mean "not observed" (None) —
+            # coercing them to 0.0 would poison any downstream min-merge.
+            raw_min = row.get("min_duration")
             records.append(
                 HeartbeatRecord(
                     rank=int(row["rank"]),
@@ -85,7 +90,7 @@ def read_csv_records(path: Union[str, Path]) -> List[HeartbeatRecord]:
                     time=float(row["time"]),
                     count=float(row["count"]),
                     avg_duration=float(row["avg_duration"]),
-                    min_duration=float(row.get("min_duration") or 0.0),
+                    min_duration=float(raw_min) if raw_min else None,
                     max_duration=float(row.get("max_duration") or 0.0),
                 )
             )

@@ -24,6 +24,12 @@ from repro.service.client import (
     publish_samples,
     publish_session,
 )
+from repro.service.exposition import (
+    CONTENT_TYPE,
+    MetricsHTTPServer,
+    parse_prometheus,
+    render_prometheus,
+)
 from repro.service.faults import (
     FaultAction,
     FaultInjector,
@@ -45,6 +51,13 @@ from repro.service.protocol import (
     write_message,
 )
 from repro.service.registry import StreamRegistry, StreamState
+from repro.service.selfekg import SELF_STAGES, SelfInstrument
+from repro.service.tracing import (
+    TRACE_STAGES,
+    TraceRecord,
+    TraceStore,
+    new_trace_id,
+)
 from repro.service.server import (
     BACKPRESSURE_POLICIES,
     BoundedStreamQueue,
@@ -56,7 +69,10 @@ from repro.service.server import (
 __all__ = [
     "PROTOCOL_VERSION",
     "BACKPRESSURE_POLICIES",
+    "CONTENT_TYPE",
     "NO_RETRY",
+    "SELF_STAGES",
+    "TRACE_STAGES",
     "BoundedStreamQueue",
     "Bye",
     "CheckpointManager",
@@ -69,22 +85,29 @@ __all__ = [
     "HeartbeatMsg",
     "LatencyWindow",
     "LoadResult",
+    "MetricsHTTPServer",
     "PhaseClient",
     "PhaseMonitorServer",
     "PublishReport",
     "Reply",
     "RetryPolicy",
+    "SelfInstrument",
     "ServerConfig",
     "ServiceMetrics",
     "SnapshotMsg",
     "StreamRegistry",
     "StreamState",
     "SyntheticLoadGenerator",
+    "TraceRecord",
+    "TraceStore",
     "decode_message",
     "encode_message",
+    "new_trace_id",
+    "parse_prometheus",
     "publish_samples",
     "publish_session",
     "read_message",
+    "render_prometheus",
     "restore_registry",
     "serve",
     "snapshot_registry",

@@ -43,6 +43,7 @@ from repro.service.protocol import (
     read_message,
     write_message,
 )
+from repro.service.tracing import new_trace_id
 from repro.util.errors import (
     ConnectionLostError,
     ProtocolError,
@@ -257,9 +258,16 @@ class PhaseClient:
             check=check, idempotent=resume)
 
     def snapshot(self, stream_id: str, seq: int, gmon: GmonData,
-                 *, check: Optional[bool] = None) -> Reply:
+                 *, trace_id: str = "",
+                 check: Optional[bool] = None) -> Reply:
+        """Submit one snapshot; ``trace_id`` propagates end to end.
+
+        An empty trace id makes the server mint one; either way the reply
+        data carries the effective id under ``"trace"``.
+        """
         return self.request(SnapshotMsg(stream_id=stream_id, seq=seq,
-                                        gmon=gmon), check=check)
+                                        gmon=gmon, trace_id=trace_id),
+                            check=check)
 
     def heartbeats(self, stream_id: str, records: Sequence[HeartbeatRecord],
                    *, check: Optional[bool] = None) -> Reply:
@@ -282,6 +290,22 @@ class PhaseClient:
 
     def fleet_status(self) -> Reply:
         return self.control("fleet-status")
+
+    def metrics(self) -> str:
+        """Prometheus text exposition of the daemon's self-metrics."""
+        return str(self.control("metrics").data.get("text", ""))
+
+    def trace(self, trace_id: Optional[str] = None,
+              stream_id: Optional[str] = None, limit: int = 50,
+              completed_only: bool = False) -> Reply:
+        """Query the daemon's trace ring (by id, stream, or most recent)."""
+        args: Dict[str, object] = {"limit": limit,
+                                   "completed_only": completed_only}
+        if trace_id is not None:
+            args["trace_id"] = trace_id
+        if stream_id is not None:
+            args["stream_id"] = stream_id
+        return self.control("trace", **args)
 
     def shutdown(self) -> Reply:
         return self.control("shutdown")
@@ -308,6 +332,9 @@ class PublishReport:
     reconnects: int = 0
     retries: int = 0
     resent: int = 0
+    #: seq -> effective trace id of that submission (client-minted, or
+    #: what the server's reply reported for it).
+    trace_ids: Dict[int, str] = field(default_factory=dict)
 
 
 def publish_samples(
@@ -319,6 +346,7 @@ def publish_samples(
     heartbeat_records: Sequence[HeartbeatRecord] = (),
     delay: float = 0.0,
     retry: Optional[RetryPolicy] = None,
+    trace: bool = True,
 ) -> PublishReport:
     """Replay one rank's cumulative snapshot series through the service.
 
@@ -333,6 +361,10 @@ def publish_samples(
     snapshots whose replies were lost after admission.  The report's
     ``reconnects``/``retries``/``resent`` counters say how bumpy the ride
     was.
+
+    With ``trace=True`` (the default) every submission carries a fresh
+    trace id; the effective ids land in ``report.trace_ids`` so callers
+    can query per-stage span timings back out of the daemon.
     """
     report = PublishReport(stream_id=stream_id)
     samples = list(samples)
@@ -353,12 +385,19 @@ def publish_samples(
             seq = int(reply.data.get("resume_from", 0))
             max_sent = -1
             while seq < len(samples):
+                # One trace id per submission attempt: a resent interval
+                # is a new admission, so it gets a fresh id.
+                trace_id = new_trace_id() if trace else ""
                 try:
-                    reply = client.snapshot(stream_id, seq, samples[seq])
+                    reply = client.snapshot(stream_id, seq, samples[seq],
+                                            trace_id=trace_id)
                 except ConnectionLostError:
                     seq = resume(client)
                     continue
                 report.sent += 1
+                effective = str(reply.data.get("trace", trace_id) or "")
+                if effective:
+                    report.trace_ids[seq] = effective
                 if seq <= max_sent:
                     report.resent += 1
                 max_sent = max(max_sent, seq)

@@ -1,0 +1,241 @@
+"""Prometheus text exposition for ``incprofd`` self-metrics.
+
+Renders a :meth:`~repro.service.server.PhaseMonitorServer.stats` snapshot
+in the Prometheus text format (version 0.0.4): counters as ``*_total``,
+gauges as-is, the pipeline stage accounting as labelled totals, and the
+classify-latency window as a summary with ``quantile`` labels.
+
+Two transports serve the same text:
+
+- the wire protocol's ``metrics`` control request (``incprof metrics``),
+- a tiny stdlib HTTP endpoint (:class:`MetricsHTTPServer`, enabled with
+  ``incprof serve --metrics-port``) so an off-the-shelf Prometheus
+  scraper needs no knowledge of the incprofd framing.
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.util.errors import ValidationError
+
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: stats() counter keys exposed as monotone ``*_total`` counters.
+_COUNTERS = (
+    ("ingested", "Snapshots admitted into a stream queue."),
+    ("processed", "Intervals classified by the worker pool."),
+    ("novel", "Classified intervals flagged as novel behaviour."),
+    ("dropped_oldest", "Snapshots evicted by the drop-oldest policy."),
+    ("rejected", "Snapshots refused by backpressure."),
+    ("protocol_errors", "Malformed frames or messages."),
+    ("ingest_errors", "Snapshots that failed differencing."),
+    ("heartbeats", "Application heartbeat rows accepted."),
+    ("connections", "Connections accepted."),
+    ("faults_injected", "Fault-injector actions taken."),
+    ("checkpoints_written", "Checkpoints written."),
+)
+
+#: stats() keys exposed as gauges (instantaneous values).
+_GAUGES = (
+    ("streams", "Live registered streams."),
+    ("queued_total", "Snapshots queued across all streams."),
+    ("ingest_rate", "Processed intervals per second since first ingest."),
+    ("ldms_delivered", "Heartbeat rows delivered through the LDMS sampler."),
+    ("restored_streams", "Streams restored from the last checkpoint."),
+    ("workers", "Classification worker threads."),
+)
+
+
+def _escape_label(value: str) -> str:
+    return (value.replace("\\", "\\\\").replace("\n", "\\n")
+            .replace('"', '\\"'))
+
+
+def _fmt(value: float) -> str:
+    # Prometheus wants plain decimal floats; integers render without ".0".
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if float(value) == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_prometheus(stats: Dict[str, Any], prefix: str = "incprofd") -> str:
+    """One stats snapshot as Prometheus exposition text."""
+    lines: List[str] = []
+
+    def emit(name: str, kind: str, help_text: str,
+             samples: List[Tuple[str, float]]) -> None:
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {kind}")
+        for labels, value in samples:
+            lines.append(f"{name}{labels} {_fmt(value)}")
+
+    for key, help_text in _COUNTERS:
+        if key in stats:
+            emit(f"{prefix}_{key}_total", "counter", help_text,
+                 [("", float(stats[key]))])
+    for key, help_text in _GAUGES:
+        if key in stats:
+            emit(f"{prefix}_{key}", "gauge", help_text,
+                 [("", float(stats[key]))])
+
+    depths = stats.get("queue_depths") or {}
+    if depths:
+        emit(f"{prefix}_queue_depth", "gauge",
+             "Queued snapshots per stream.",
+             [(f'{{stream="{_escape_label(sid)}"}}', float(depth))
+              for sid, depth in sorted(depths.items())])
+
+    stages = stats.get("stages") or {}
+    if stages:
+        for field, help_text in (
+            ("seconds", "Wall seconds spent in each worker pipeline stage."),
+            ("items", "Items processed by each worker pipeline stage."),
+            ("calls", "Batch invocations of each worker pipeline stage."),
+        ):
+            emit(f"{prefix}_stage_{field}_total", "counter", help_text,
+                 [(f'{{stage="{_escape_label(stage)}"}}', float(rec[field]))
+                  for stage, rec in sorted(stages.items())])
+
+    latency = stats.get("classify_latency") or {}
+    if latency:
+        name = f"{prefix}_classify_latency_seconds"
+        samples = []
+        for key in sorted(latency, key=lambda k: float(k[1:])):
+            quantile = float(key[1:]) / 100.0
+            samples.append((f'{{quantile="{quantile:g}"}}',
+                            float(latency[key])))
+        emit(name, "summary",
+             "Per-interval classification latency over the recent window.",
+             samples)
+
+    traces = stats.get("traces") or {}
+    for key in ("started", "finished", "evicted"):
+        if key in traces:
+            emit(f"{prefix}_traces_{key}_total", "counter",
+                 f"Traces {key}.", [("", float(traces[key]))])
+
+    selfhb = stats.get("self_heartbeats") or {}
+    if "events" in selfhb:
+        emit(f"{prefix}_self_heartbeats_total", "counter",
+             "Self-instrumentation heartbeat events (daemon dogfooding).",
+             [("", float(selfhb["events"]))])
+    self_stages = selfhb.get("stages") or {}
+    if self_stages:
+        for field, help_text in (
+            ("seconds", "Wall seconds of the daemon's own heartbeat-"
+                        "instrumented pipeline stages."),
+            ("count", "Heartbeat count of the daemon's own pipeline stages."),
+        ):
+            emit(f"{prefix}_self_stage_{field}_total", "counter", help_text,
+                 [(f'{{stage="{_escape_label(stage)}"}}', float(rec[field]))
+                  for stage, rec in sorted(self_stages.items())])
+
+    return "\n".join(lines) + "\n"
+
+
+def parse_prometheus(text: str) -> Dict[str, float]:
+    """Parse exposition text back to ``{name{labels}: value}``.
+
+    A deliberately strict mini-parser (used by tests and ``incprof
+    metrics --json``): every non-comment line must be ``name[{labels}]
+    value``; anything else raises :class:`ValidationError`.
+    """
+    out: Dict[str, float] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        name, sep, value = line.rpartition(" ")
+        if not sep or not name:
+            raise ValidationError(f"line {lineno}: not 'name value': {line!r}")
+        try:
+            out[name] = float(value)
+        except ValueError as exc:
+            raise ValidationError(
+                f"line {lineno}: bad sample value {value!r}") from exc
+    return out
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "incprofd-metrics/1"
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib handler naming)
+        if self.path.split("?", 1)[0] in ("/metrics", "/"):
+            try:
+                body = self.server.render_fn().encode("utf-8")  # type: ignore[attr-defined]
+            except Exception as exc:  # pragma: no cover - defensive
+                self.send_error(500, str(exc))
+                return
+            self.send_response(200)
+            self.send_header("Content-Type", CONTENT_TYPE)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+        elif self.path == "/healthz":
+            body = b"ok\n"
+            self.send_response(200)
+            self.send_header("Content-Type", "text/plain; charset=utf-8")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+        else:
+            self.send_error(404, "only /metrics and /healthz are served")
+
+    def log_message(self, fmt: str, *args: Any) -> None:
+        # The scrape path must stay silent on stderr; the daemon's own
+        # structured logger covers lifecycle events.
+        pass
+
+
+class MetricsHTTPServer:
+    """A stdlib HTTP ``/metrics`` endpoint over a render callable.
+
+    ``render_fn`` returns the exposition text; typically
+    ``lambda: render_prometheus(server.stats())``.  The endpoint runs on
+    one daemon thread and serves each scrape on its own (threading
+    server), so a stalled scraper cannot block the next one.
+    """
+
+    def __init__(self, render_fn, host: str = "127.0.0.1",
+                 port: int = 0) -> None:
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self._httpd.render_fn = render_fn  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}/metrics"
+
+    def start(self) -> "MetricsHTTPServer":
+        self._thread = threading.Thread(target=self._httpd.serve_forever,
+                                        name="incprofd-metrics-http",
+                                        daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "MetricsHTTPServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -38,14 +38,26 @@ class LatencyWindow:
             self._window.append(seconds)
             self.observed += 1
 
-    def percentiles(self, qs: Sequence[float] = (0.5, 0.9, 0.99)) -> Dict[str, float]:
-        """``{"p50": ..., "p90": ...}`` over the current window (empty: zeros)."""
+    @staticmethod
+    def percentile_key(q: float) -> str:
+        """``0.5 -> "p50"``, ``0.999 -> "p99.9"``, ``1.0 -> "p100"``.
+
+        Fractional quantiles keep their fraction: rounding 0.999 to an
+        integer percent would render ``p100`` and collide with (and
+        shadow) q = 1.0, the true maximum.
+        """
+        return f"p{round(q * 100, 6):g}"
+
+    def percentiles(
+        self, qs: Sequence[float] = (0.5, 0.9, 0.99, 0.999)
+    ) -> Dict[str, float]:
+        """``{"p50": ..., "p99.9": ...}`` over the current window (empty: zeros)."""
         with self._lock:
             sample = list(self._window)
         out: Dict[str, float] = {}
         for q in qs:
-            key = f"p{int(round(q * 100))}"
-            out[key] = float(np.quantile(sample, q)) if sample else 0.0
+            out[self.percentile_key(q)] = (
+                float(np.quantile(sample, q)) if sample else 0.0)
         return out
 
 
@@ -149,19 +161,35 @@ class ServiceMetrics:
     def total_drops(self) -> int:
         return self.dropped_oldest + self.rejected
 
+    def _elapsed_locked(self) -> float:
+        """Seconds from first ingest to last classify; caller holds the lock."""
+        if self._first_ingest is None or self._last_process is None:
+            return 0.0
+        return max(0.0, self._last_process - self._first_ingest)
+
+    def _ingest_rate_locked(self) -> float:
+        elapsed = self._elapsed_locked()
+        if elapsed <= 0:
+            return float(self.processed) if self._last_process is not None else 0.0
+        return self.processed / elapsed
+
     def ingest_rate(self) -> float:
         """Processed intervals per second, first ingest to last classify."""
         with self._lock:
-            if self._first_ingest is None or self._last_process is None:
-                return 0.0
-            elapsed = self._last_process - self._first_ingest
-            if elapsed <= 0:
-                return float(self.processed)
-            return self.processed / elapsed
+            return self._ingest_rate_locked()
 
     def snapshot(self) -> Dict[str, Any]:
-        """One JSON-ready view of every counter and derived rate."""
+        """One JSON-ready view of every counter and derived rate.
+
+        The whole snapshot — counters *and* the rate derived from them —
+        is composed under a single lock acquisition, so ``ingest_rate``
+        is always consistent with the ``processed``/``elapsed`` values in
+        the same snapshot.  (Reading the rate after releasing the lock
+        would let a concurrent ``note_processed`` slip in between, making
+        a stats reply disagree with itself under load.)
+        """
         with self._lock:
+            elapsed = self._elapsed_locked()
             snap: Dict[str, Any] = {
                 "ingested": self.ingested,
                 "processed": self.processed,
@@ -175,9 +203,12 @@ class ServiceMetrics:
                 "connections": self.connections,
                 "faults_injected": self.faults_injected,
                 "checkpoints_written": self.checkpoints_written,
+                "elapsed": elapsed,
+                "ingest_rate": self._ingest_rate_locked(),
                 "stages": {name: dict(rec)
                            for name, rec in self.stages.items()},
             }
-        snap["ingest_rate"] = self.ingest_rate()
+        # The latency window has its own lock and no invariant tying it
+        # to the counters; percentiles are taken right after.
         snap["classify_latency"] = self.classify_latency.percentiles()
         return snap

@@ -11,9 +11,10 @@ Message kinds
 -------------
 ``hello``      stream registration (stream id, app name, rank)
 ``snapshot``   one cumulative gmon dump with a per-stream sequence number
+               and an optional publisher-minted trace id
 ``heartbeat``  a batch of AppEKG heartbeat rows
-``control``    service commands (``ping``, ``stats``, ``fleet-status``,
-               ``shutdown``)
+``control``    service commands (``ping``, ``stats``, ``metrics``,
+               ``trace``, ``fleet-status``, ``shutdown``)
 ``reply``      server response: ok/error plus a data payload
 ``bye``        orderly stream shutdown
 
@@ -75,12 +76,17 @@ class SnapshotMsg:
     """One cumulative gmon dump from a stream.
 
     ``seq`` is the publisher's interval index; the server uses it to
-    detect gaps and report per-stream lag.
+    detect gaps and report per-stream lag.  ``trace_id`` (optional)
+    follows the submission through the service pipeline — queue, worker
+    pool, aggregation — and its per-stage span timings are queryable via
+    the ``trace`` control request.  An empty trace id means "untraced";
+    the server mints one on admission so every interval is traceable.
     """
 
     stream_id: str
     seq: int
     gmon: GmonData
+    trace_id: str = ""
 
     TYPE = "snapshot"
 
@@ -156,6 +162,10 @@ def _record_from_wire(obj: Any) -> HeartbeatRecord:
     if not isinstance(obj, dict):
         raise ProtocolError("heartbeat record must be an object")
     try:
+        # A missing/null minimum stays None ("not observed"), never 0.0:
+        # a 0.0 default would survive any downstream min-merge as if a
+        # genuine 0-second beat had been measured.
+        raw_min = obj.get("min_duration")
         return HeartbeatRecord(
             rank=int(obj["rank"]),
             hb_id=int(obj["hb_id"]),
@@ -163,7 +173,7 @@ def _record_from_wire(obj: Any) -> HeartbeatRecord:
             time=float(obj["time"]),
             count=float(obj["count"]),
             avg_duration=float(obj["avg_duration"]),
-            min_duration=float(obj.get("min_duration", 0.0)),
+            min_duration=None if raw_min is None else float(raw_min),
             max_duration=float(obj.get("max_duration", 0.0)),
         )
     except (KeyError, TypeError, ValueError) as exc:
@@ -178,6 +188,8 @@ def message_to_obj(msg: Message) -> Dict[str, Any]:
                    resume=msg.resume)
     elif isinstance(msg, SnapshotMsg):
         obj.update(stream_id=msg.stream_id, seq=msg.seq, gmon=_gmon_to_wire(msg.gmon))
+        if msg.trace_id:
+            obj["trace"] = msg.trace_id
     elif isinstance(msg, HeartbeatMsg):
         obj.update(stream_id=msg.stream_id,
                    records=[_record_to_wire(r) for r in msg.records])
@@ -218,7 +230,8 @@ def message_from_obj(obj: Any) -> Message:
     if kind == SnapshotMsg.TYPE:
         return SnapshotMsg(stream_id=_require(obj, "stream_id", str),
                            seq=_require(obj, "seq", int),
-                           gmon=_gmon_from_wire(_require(obj, "gmon", str)))
+                           gmon=_gmon_from_wire(_require(obj, "gmon", str)),
+                           trace_id=str(obj.get("trace", "") or ""))
     if kind == HeartbeatMsg.TYPE:
         records = _require(obj, "records", list)
         return HeartbeatMsg(stream_id=_require(obj, "stream_id", str),

@@ -53,6 +53,11 @@ from repro.service.faults import (
     DROP,
     FaultInjector,
 )
+from repro.service.exposition import (
+    CONTENT_TYPE,
+    MetricsHTTPServer,
+    render_prometheus,
+)
 from repro.service.metrics import ServiceMetrics
 from repro.service.protocol import (
     Bye,
@@ -68,6 +73,9 @@ from repro.service.protocol import (
     write_message,
 )
 from repro.service.registry import StreamRegistry, StreamState
+from repro.service.selfekg import SelfInstrument
+from repro.service.tracing import TraceStore, new_trace_id
+from repro.util.jsonlog import JsonLogger
 from repro.util.errors import (
     BackpressureError,
     CheckpointError,
@@ -179,6 +187,20 @@ class ServerConfig:
     checkpoint_dir: Optional[str] = None
     #: Seconds between checkpoint writes (a crash loses at most this much).
     checkpoint_interval: float = 2.0
+    #: Completed-trace ring size for the ``trace`` request.
+    trace_capacity: int = 4096
+    #: A submission whose spans sum past this many seconds is logged as a
+    #: structured ``slow-op`` record.
+    slow_op_threshold: float = 1.0
+    #: Self-instrumentation: the daemon heartbeats its own pipeline
+    #: stages on this collection interval (None disables dogfooding).
+    self_heartbeat_interval: Optional[float] = 1.0
+    #: Serve Prometheus text over plain HTTP on this port (None = off;
+    #: 0 = ephemeral).  The wire ``metrics`` request works regardless.
+    metrics_port: Optional[int] = None
+    metrics_host: str = "127.0.0.1"
+    #: Threshold for the daemon's structured JSON log (stderr).
+    log_level: str = "info"
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -189,6 +211,13 @@ class ServerConfig:
             raise ValidationError("batch size must be positive")
         if self.checkpoint_interval <= 0:
             raise ValidationError("checkpoint interval must be positive")
+        if self.trace_capacity < 1:
+            raise ValidationError("trace capacity must be positive")
+        if self.slow_op_threshold <= 0:
+            raise ValidationError("slow-op threshold must be positive")
+        if (self.self_heartbeat_interval is not None
+                and self.self_heartbeat_interval <= 0):
+            raise ValidationError("self-heartbeat interval must be positive")
 
 
 class PhaseMonitorServer:
@@ -199,12 +228,17 @@ class PhaseMonitorServer:
         tracker_template: Optional[OnlinePhaseTracker] = None,
         config: ServerConfig = ServerConfig(),
         faults: Optional[FaultInjector] = None,
+        logger: Optional[JsonLogger] = None,
     ) -> None:
         self.template = tracker_template
         self.config = config
         self.registry = StreamRegistry(idle_timeout=config.idle_timeout)
         self.metrics = ServiceMetrics()
         self.faults = faults
+        self.log = (logger if logger is not None
+                    else JsonLogger("incprofd", level=config.log_level))
+        #: Per-submission trace spans, queryable via the ``trace`` request.
+        self.traces = TraceStore(capacity=config.trace_capacity)
         self.checkpoints: Optional[CheckpointManager] = None
         if config.checkpoint_dir is not None:
             self.checkpoints = CheckpointManager(
@@ -217,6 +251,13 @@ class PhaseMonitorServer:
         #: transport the in-process examples use; the housekeeping thread
         #: plays the LDMS sampler.
         self.transport = LDMSTransport()
+        #: Dogfooding: the daemon heartbeats its own pipeline stages into
+        #: the same transport, so IncProf can analyse incprofd itself.
+        self.selfekg: Optional[SelfInstrument] = None
+        if config.self_heartbeat_interval is not None:
+            self.selfekg = SelfInstrument(
+                sink=self.transport, interval=config.self_heartbeat_interval)
+        self.metrics_http: Optional[MetricsHTTPServer] = None
         self._listener: Optional[socket.socket] = None
         self._endpoint: Optional[Endpoint] = None
         self._running = threading.Event()
@@ -265,6 +306,18 @@ class PhaseMonitorServer:
         for i in range(cfg.workers):
             self._spawn(self._worker_loop, f"incprofd-worker-{i}")
         self._spawn(self._housekeeping_loop, "incprofd-housekeeping")
+        if cfg.metrics_port is not None:
+            self.metrics_http = MetricsHTTPServer(
+                lambda: render_prometheus(self.stats()),
+                host=cfg.metrics_host, port=cfg.metrics_port)
+            self.metrics_http.start()
+        self.log.info(
+            "server-started",
+            endpoint=str(self._endpoint), workers=cfg.workers,
+            policy=cfg.policy,
+            restored_streams=len(self.restored_streams),
+            metrics_url=(self.metrics_http.url
+                         if self.metrics_http is not None else None))
         return self._endpoint
 
     def _recover(self) -> None:
@@ -278,6 +331,8 @@ class PhaseMonitorServer:
             return
         payload, quarantined = self.checkpoints.load_or_quarantine()
         self.quarantined_checkpoint = quarantined
+        if quarantined is not None:
+            self.log.warning("checkpoint-quarantined", path=str(quarantined))
         if payload is None:
             return
         restored = restore_registry(self.registry, payload, self.template)
@@ -285,11 +340,16 @@ class PhaseMonitorServer:
             state.queue = BoundedStreamQueue(self.config.queue_capacity,
                                              self.config.policy)
         self.restored_streams = [s.stream_id for s in restored]
+        # Traces survive restarts alongside the registry (extra payload
+        # keys are ignored by older restore paths, so this is additive).
+        self.traces.restore_rows(payload.get("traces", []))
 
     def checkpoint_now(self) -> None:
         """Write one checkpoint immediately (no-op without a directory)."""
         if self.checkpoints is not None:
-            self.checkpoints.write(snapshot_registry(self.registry))
+            payload = snapshot_registry(self.registry)
+            payload["traces"] = self.traces.export_rows()
+            self.checkpoints.write(payload)
 
     def _spawn(self, target, name: str) -> None:
         thread = threading.Thread(target=target, name=name, daemon=True)
@@ -301,6 +361,8 @@ class PhaseMonitorServer:
         if not self._running.is_set():
             return
         self._running.clear()
+        if self.metrics_http is not None:
+            self.metrics_http.stop()
         if self._listener is not None:
             try:
                 self._listener.close()
@@ -330,8 +392,11 @@ class PhaseMonitorServer:
             # Final checkpoint after the workers quiesce, so an orderly
             # shutdown persists exactly the classified state.
             self.checkpoint_now()
-        except (CheckpointError, OSError):
-            pass
+        except (CheckpointError, OSError) as exc:
+            self.log.warning("final-checkpoint-failed", error=str(exc))
+        self.log.info("server-stopped",
+                      processed=self.metrics.processed,
+                      streams=len(self.registry))
         self._stopped.set()
 
     def wait(self, timeout: Optional[float] = None) -> bool:
@@ -483,22 +548,33 @@ class PhaseMonitorServer:
         state = self.registry.get(msg.stream_id)
         self.registry.touch(msg.stream_id)
         state.note_sequence(msg.seq)
+        # Server-side minting keeps untraced publishers traceable: every
+        # admitted interval has a trace id, client-supplied or not.
+        trace_id = msg.trace_id or new_trace_id()
+        self.traces.begin(trace_id, msg.stream_id, msg.seq)
+        t0 = time.perf_counter()
         try:
-            outcome = state.queue.put((msg.seq, msg.gmon),
+            outcome = state.queue.put((msg.seq, msg.gmon, trace_id, t0),
                                       timeout=self.config.block_timeout)
         except ServiceError as exc:
+            self.traces.add_span(trace_id, "enqueue",
+                                 time.perf_counter() - t0)
             self.metrics.note_rejected()
             with state.lock:
                 state.rejected += 1
             return Reply(ok=False, error=str(exc),
-                         data={"outcome": REJECTED,
+                         data={"outcome": REJECTED, "trace": trace_id,
                                "code": BackpressureError.code})
+        enqueue_seconds = time.perf_counter() - t0
+        self.traces.add_span(trace_id, "enqueue", enqueue_seconds)
+        if self.selfekg is not None:
+            self.selfekg.record("ingest", enqueue_seconds)
         if outcome == REJECTED:
             self.metrics.note_rejected()
             with state.lock:
                 state.rejected += 1
             return Reply(ok=False, error="queue full",
-                         data={"outcome": REJECTED,
+                         data={"outcome": REJECTED, "trace": trace_id,
                                "code": BackpressureError.code})
         self.metrics.note_ingested()
         with state.lock:
@@ -508,7 +584,8 @@ class PhaseMonitorServer:
             with state.lock:
                 state.dropped_oldest += 1
         self._schedule(state)
-        return Reply(ok=True, data={"outcome": outcome, "seq": msg.seq})
+        return Reply(ok=True, data={"outcome": outcome, "seq": msg.seq,
+                                    "trace": trace_id})
 
     def _on_heartbeat(self, msg: HeartbeatMsg) -> Reply:
         state = self.registry.get(msg.stream_id)
@@ -527,6 +604,27 @@ class PhaseMonitorServer:
             return Reply(ok=True, data=self.stats())
         if msg.command == "fleet-status":
             return Reply(ok=True, data=self.fleet_status())
+        if msg.command == "metrics":
+            return Reply(ok=True, data={
+                "text": render_prometheus(self.stats()),
+                "content_type": CONTENT_TYPE,
+            })
+        if msg.command == "trace":
+            args = msg.args or {}
+            wanted = args.get("trace_id")
+            if wanted:
+                row = self.traces.get(str(wanted))
+                if row is None:
+                    return Reply(ok=False,
+                                 error=f"unknown trace id {wanted!r}")
+                return Reply(ok=True, data={"traces": [row]})
+            limit = int(args.get("limit", 50))
+            rows = self.traces.rows(
+                stream_id=args.get("stream_id"),
+                limit=limit,
+                completed_only=bool(args.get("completed_only", False)))
+            return Reply(ok=True, data={"traces": rows,
+                                        "stats": self.traces.stats()})
         if msg.command == "shutdown":
             # The connection handler triggers the actual stop *after*
             # flushing this reply, so the client always sees it.
@@ -583,7 +681,7 @@ class PhaseMonitorServer:
                     state.scheduled = False
 
     def _classify_batch(self, state: StreamState,
-                        batch: List[Tuple[int, GmonData]]) -> None:
+                        batch: List[Tuple[int, GmonData, str, float]]) -> None:
         """Classify one drained batch of a stream's snapshots.
 
         Differencing stays per-snapshot (each delta depends on its
@@ -596,14 +694,23 @@ class PhaseMonitorServer:
         with state.work_lock:
             self._classify_batch_locked(state, batch)
 
-    def _classify_batch_locked(self, state: StreamState,
-                               batch: List[Tuple[int, GmonData]]) -> None:
+    def _classify_batch_locked(
+        self, state: StreamState,
+        batch: List[Tuple[int, GmonData, str, float]],
+    ) -> None:
         start = time.perf_counter()
+        # The dequeue span is submission-to-drain: how long the interval
+        # sat queued before a worker picked the stream up.
+        for _seq, _gmon, trace_id, enq_time in batch:
+            self.traces.add_span(trace_id, "dequeue",
+                                 max(0.0, start - enq_time))
         errors = 0
         tracked: List[Any] = []
+        diff_seconds = 0.0
+        classify_seconds = 0.0
         if state.tracker is not None:
             profiles = []
-            for _seq, gmon in batch:
+            for _seq, gmon, _tid, _enq in batch:
                 try:
                     profile = state.tracker.delta_profile(gmon)
                 except ReproError:
@@ -615,10 +722,11 @@ class PhaseMonitorServer:
                 if profile is not None:
                     profiles.append(profile)
             diffed = time.perf_counter()
-            self.metrics.note_stage("difference", diffed - start, len(batch))
+            diff_seconds = diffed - start
+            self.metrics.note_stage("difference", diff_seconds, len(batch))
             tracked = state.tracker.classify_batch(profiles)
-            self.metrics.note_stage("classify",
-                                    time.perf_counter() - diffed,
+            classify_seconds = time.perf_counter() - diffed
+            self.metrics.note_stage("classify", classify_seconds,
                                     len(profiles))
         end = time.perf_counter()
         counted = len(batch) - errors
@@ -636,7 +744,29 @@ class PhaseMonitorServer:
             # The resume anchor: the highest sequence number this stream
             # has actually consumed (checkpoints persist exactly this).
             state.processed_seq = max(state.processed_seq,
-                                      max(seq for seq, _gmon in batch))
+                                      max(item[0] for item in batch))
+        aggregate_seconds = time.perf_counter() - end
+        self.metrics.note_stage("aggregate", aggregate_seconds, len(batch))
+        if self.selfekg is not None:
+            if state.tracker is not None:
+                self.selfekg.record("difference", diff_seconds)
+                self.selfekg.record("classify", classify_seconds)
+            self.selfekg.record("aggregate", aggregate_seconds)
+        # Per-item share of the batched stages closes out each trace.
+        classify_share = (end - start) / max(1, len(batch))
+        aggregate_share = aggregate_seconds / max(1, len(batch))
+        for seq, _gmon, trace_id, _enq in batch:
+            self.traces.add_span(trace_id, "classify", classify_share)
+            self.traces.add_span(trace_id, "aggregate", aggregate_share)
+            record = self.traces.complete(trace_id)
+            if (record is not None
+                    and record.total_seconds >= self.config.slow_op_threshold):
+                self.log.warning(
+                    "slow-op", trace_id=trace_id,
+                    stream_id=state.stream_id, seq=seq,
+                    total_seconds=round(record.total_seconds, 6),
+                    spans={k: round(v, 6)
+                           for k, v in record.spans.items()})
 
     # ------------------------------------------------------------------
     # housekeeping
@@ -647,17 +777,23 @@ class PhaseMonitorServer:
                 return
             if not self._running.is_set():
                 return
-            self.registry.expire_idle()
+            expired = self.registry.expire_idle()
+            if expired:
+                self.log.info("streams-expired", count=len(expired))
+            if self.selfekg is not None:
+                # Flush completed self-heartbeat intervals into the LDMS
+                # transport before the sampler pull below picks them up.
+                self.selfekg.tick()
             self.transport.sample()
             if self.checkpoints is not None and self.checkpoints.due():
                 try:
                     self.checkpoint_now()
                     self.metrics.note_checkpoint()
-                except (CheckpointError, OSError):
+                except (CheckpointError, OSError) as exc:
                     # A failed write must not kill housekeeping; the next
                     # cadence retries and the previous checkpoint file is
                     # still intact (writes are atomic).
-                    pass
+                    self.log.warning("checkpoint-failed", error=str(exc))
 
     # ------------------------------------------------------------------
     # status
@@ -674,6 +810,11 @@ class PhaseMonitorServer:
         snap["workers"] = self.config.workers
         snap["ldms_delivered"] = self.transport.delivered
         snap["restored_streams"] = len(self.restored_streams)
+        snap["traces"] = self.traces.stats()
+        if self.selfekg is not None:
+            snap["self_heartbeats"] = self.selfekg.stage_summary()
+        if self.metrics_http is not None:
+            snap["metrics_url"] = self.metrics_http.url
         if self.checkpoints is not None:
             snap["checkpoint"] = {
                 "path": str(self.checkpoints.path),

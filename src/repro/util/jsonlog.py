@@ -1,0 +1,113 @@
+"""Structured JSON logging.
+
+The service layer logs one JSON object per line — machine-parseable the
+way the paper's heartbeat rows are: a fixed envelope (timestamp, level,
+logger, event) plus free-form fields.  A fleet aggregator can grep
+``"event":"slow-op"`` the same way it greps a metrics endpoint, instead
+of scraping human prose.
+
+Levels follow the conventional severity order; a logger drops records
+below its threshold before serialization, so disabled debug logging
+costs one dict lookup and a comparison.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+from typing import Any, Callable, Dict, Optional, TextIO
+
+from repro.util.errors import ValidationError
+
+LEVELS: Dict[str, int] = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+
+
+class JsonLogger:
+    """One named logger writing JSON lines to a text stream.
+
+    Thread-safe: the service's reader threads, workers, and housekeeping
+    all share one logger, so each record is serialized and written under
+    a lock (one line per record, never interleaved).
+
+    ``bound`` fields (set at construction or via :meth:`bind`) are merged
+    into every record — the daemon binds its endpoint once instead of
+    repeating it at every call site.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        level: str = "info",
+        stream: Optional[TextIO] = None,
+        clock: Callable[[], float] = time.time,
+        **bound: Any,
+    ) -> None:
+        if level not in LEVELS:
+            raise ValidationError(
+                f"unknown log level {level!r} (expected one of {sorted(LEVELS)})")
+        self.name = name
+        self.level = level
+        self.stream = stream if stream is not None else sys.stderr
+        self.clock = clock
+        self.bound = dict(bound)
+        self._lock = threading.Lock()
+        self.emitted = 0
+
+    def bind(self, **fields: Any) -> "JsonLogger":
+        """A child logger with extra fields merged into every record."""
+        child = JsonLogger(self.name, level=self.level, stream=self.stream,
+                           clock=self.clock, **{**self.bound, **fields})
+        child._lock = self._lock  # share the line lock with the parent
+        return child
+
+    def enabled(self, level: str) -> bool:
+        return LEVELS.get(level, 0) >= LEVELS[self.level]
+
+    def log(self, level: str, event: str, **fields: Any) -> Optional[str]:
+        """Emit one record; returns the serialized line (None if dropped)."""
+        if level not in LEVELS:
+            raise ValidationError(f"unknown log level {level!r}")
+        if not self.enabled(level):
+            return None
+        record: Dict[str, Any] = {
+            "ts": round(self.clock(), 6),
+            "level": level,
+            "logger": self.name,
+            "event": event,
+        }
+        record.update(self.bound)
+        record.update(fields)
+        line = json.dumps(record, separators=(",", ":"), sort_keys=False,
+                          default=str)
+        with self._lock:
+            self.stream.write(line + "\n")
+            try:
+                self.stream.flush()
+            except (OSError, ValueError):
+                pass
+            self.emitted += 1
+        return line
+
+    def debug(self, event: str, **fields: Any) -> Optional[str]:
+        return self.log("debug", event, **fields)
+
+    def info(self, event: str, **fields: Any) -> Optional[str]:
+        return self.log("info", event, **fields)
+
+    def warning(self, event: str, **fields: Any) -> Optional[str]:
+        return self.log("warning", event, **fields)
+
+    def error(self, event: str, **fields: Any) -> Optional[str]:
+        return self.log("error", event, **fields)
+
+
+class NullLogger(JsonLogger):
+    """Discards everything (tests and embedded servers that want silence)."""
+
+    def __init__(self) -> None:
+        super().__init__("null", level="error")
+
+    def log(self, level: str, event: str, **fields: Any) -> Optional[str]:
+        return None

@@ -146,7 +146,7 @@ def test_csv_roundtrip_min_max(tmp_path):
 
 
 def test_csv_reader_tolerates_legacy_rows(tmp_path):
-    """Files written before min/max existed still load (zeros)."""
+    """Files written before min/max existed still load."""
     path = tmp_path / "legacy.csv"
     path.write_text(
         "rank,hb_id,interval_index,time,count,avg_duration\n"
@@ -154,4 +154,6 @@ def test_csv_reader_tolerates_legacy_rows(tmp_path):
     )
     loaded = read_csv_records(path)
     assert loaded[0].avg_duration == pytest.approx(0.125)
-    assert loaded[0].min_duration == 0.0
+    # A file without min/max columns never observed a minimum: the loader
+    # reports None (not-observed), not a poisoning 0.0.
+    assert loaded[0].min_duration is None

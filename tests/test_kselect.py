@@ -205,3 +205,44 @@ def test_per_k_seeds_independent_of_sweep_order():
     for k in small:
         assert small[k].inertia == full[k].inertia
         assert np.array_equal(small[k].labels, full[k].labels)
+
+
+# ----------------------------------------------------------------------
+# elbow_k degenerate branches (synthetic WCSS curves, no fitting)
+# ----------------------------------------------------------------------
+def _sweep(wcss_by_k):
+    """Fake sweep results carrying only the inertia the elbow rule reads."""
+    from repro.core.kmeans import KMeansResult
+
+    return {
+        k: KMeansResult(k=k, centroids=np.zeros((k, 2)),
+                        labels=np.zeros(4, dtype=int),
+                        inertia=float(w), n_iter=1)
+        for k, w in wcss_by_k.items()
+    }
+
+
+def test_elbow_single_k_returns_it():
+    assert elbow_k(_sweep({3: 5.0})) == 3
+
+
+def test_elbow_identical_points_returns_one():
+    # WCSS already zero at k=1: every point is the same, no structure.
+    assert elbow_k(_sweep({1: 0.0, 2: 0.0, 3: 0.0})) == 1
+
+
+def test_elbow_near_zero_truncates_trailing_ks():
+    # k=3 already explains the data exactly; k=4 must not drag the chord
+    # endpoint right and shift the elbow.
+    assert elbow_k(_sweep({1: 100.0, 2: 10.0, 3: 0.0, 4: 0.0})) == 2
+
+
+def test_elbow_near_zero_with_two_points_returns_exact_k():
+    # After truncation only (k=1, k=2) remain: the first exact k wins.
+    assert elbow_k(_sweep({1: 100.0, 2: 0.0})) == 2
+
+
+def test_elbow_flat_curve_returns_one():
+    # A <5% total drop is noise, not structure: adding clusters buys
+    # nothing, so the smallest model wins.
+    assert elbow_k(_sweep({1: 100.0, 2: 99.5, 3: 99.0, 4: 98.7})) == 1

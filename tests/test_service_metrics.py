@@ -1,0 +1,84 @@
+"""ServiceMetrics regressions: percentile keys, snapshot atomicity."""
+
+import threading
+
+import pytest
+
+from repro.service.metrics import LatencyWindow, ServiceMetrics
+
+
+# ----------------------------------------------------------------------
+# percentile key rendering
+# ----------------------------------------------------------------------
+def test_percentile_keys_do_not_collide():
+    """0.999 must render p99.9, not round up into q=1.0's p100."""
+    assert LatencyWindow.percentile_key(0.5) == "p50"
+    assert LatencyWindow.percentile_key(0.9) == "p90"
+    assert LatencyWindow.percentile_key(0.99) == "p99"
+    assert LatencyWindow.percentile_key(0.999) == "p99.9"
+    assert LatencyWindow.percentile_key(0.9999) == "p99.99"
+    assert LatencyWindow.percentile_key(1.0) == "p100"
+
+
+def test_percentiles_keep_distinct_tail_quantiles():
+    window = LatencyWindow()
+    for i in range(1000):
+        window.record(i / 1000.0)
+    out = window.percentiles(qs=(0.99, 0.999, 1.0))
+    assert set(out) == {"p99", "p99.9", "p100"}
+    # Three distinct quantiles: the old p100 collision silently dropped
+    # one of these.
+    assert out["p99"] < out["p99.9"] < out["p100"]
+    assert out["p100"] == pytest.approx(0.999)
+
+
+def test_default_percentiles_include_p99_9():
+    window = LatencyWindow()
+    window.record(0.1)
+    assert set(window.percentiles()) == {"p50", "p90", "p99", "p99.9"}
+
+
+# ----------------------------------------------------------------------
+# snapshot atomicity
+# ----------------------------------------------------------------------
+def test_snapshot_rate_consistent_with_its_own_counters():
+    """The rate inside a snapshot derives from that snapshot's counters.
+
+    A torn snapshot read the counters, released the lock, then computed
+    the rate from *newer* state — so a stats reply could disagree with
+    itself.  Hammer the metrics from writer threads and check every
+    snapshot is internally consistent.
+    """
+    metrics = ServiceMetrics()
+    stop = threading.Event()
+
+    def writer():
+        while not stop.is_set():
+            metrics.note_ingested()
+            metrics.note_processed(novel=False, latency=0.001)
+
+    threads = [threading.Thread(target=writer) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    try:
+        for _ in range(300):
+            snap = metrics.snapshot()
+            if snap["elapsed"] > 0:
+                assert snap["ingest_rate"] == pytest.approx(
+                    snap["processed"] / snap["elapsed"])
+            assert snap["drops"] == (snap["dropped_oldest"]
+                                     + snap["rejected"])
+    finally:
+        stop.set()
+        for thread in threads:
+            thread.join()
+
+
+def test_snapshot_zero_elapsed_rate_counts_processed():
+    fake_now = [0.0]
+    metrics = ServiceMetrics(clock=lambda: fake_now[0])
+    metrics.note_ingested()
+    metrics.note_processed(novel=False, latency=0.01)
+    snap = metrics.snapshot()
+    assert snap["elapsed"] == 0.0
+    assert snap["ingest_rate"] == pytest.approx(1.0)

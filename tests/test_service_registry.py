@@ -137,7 +137,8 @@ def test_latency_window_is_bounded():
 
 
 def test_latency_window_empty_percentiles_zero():
-    assert LatencyWindow().percentiles() == {"p50": 0.0, "p90": 0.0, "p99": 0.0}
+    assert LatencyWindow().percentiles() == {
+        "p50": 0.0, "p90": 0.0, "p99": 0.0, "p99.9": 0.0}
 
 
 def test_metrics_ingest_rate_with_fake_clock():

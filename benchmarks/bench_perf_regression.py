@@ -29,6 +29,10 @@ REPO_ROOT = Path(__file__).resolve().parents[1]
 SEED_REV = "34b105b"
 ROUNDS = 3
 
+#: CI smoke mode: single-round, current-tree-only timings compared
+#: against the committed ``BENCH_perf.json`` (>2x regression fails).
+QUICK = os.environ.get("BENCH_PERF_QUICK") == "1"
+
 #: Timing harness run in a subprocess with PYTHONPATH pointing at either
 #: the seed's ``src`` or the current one.  Only touches APIs that exist
 #: in both revisions.
@@ -97,6 +101,20 @@ def _merge_min(rounds: list) -> dict:
     return {stage: min(r[stage] for r in rounds) for stage in STAGES}
 
 
+def _merge_into_bench_json(updates: dict) -> dict:
+    """Fold one benchmark's record into ``BENCH_perf.json``.
+
+    Each benchmark owns its top-level keys; merging (rather than
+    overwriting the file) lets the stage trajectory and the streaming
+    benchmark update independently.
+    """
+    path = REPO_ROOT / "BENCH_perf.json"
+    record = json.loads(path.read_text()) if path.exists() else {}
+    record.update(updates)
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    return record
+
+
 @pytest.mark.slow
 def test_perf_regression_trajectory():
     with tempfile.TemporaryDirectory(prefix="incprof-seed-") as tmp:
@@ -128,8 +146,7 @@ def test_perf_regression_trajectory():
         record["speedup"] = {stage: round(seed_ms[stage] / new_ms[stage], 2)
                              for stage in STAGES}
 
-    out_path = REPO_ROOT / "BENCH_perf.json"
-    out_path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    record = _merge_into_bench_json(record)
     print()
     print(json.dumps(record, indent=2, sort_keys=True))
 
@@ -138,3 +155,99 @@ def test_perf_regression_trajectory():
         # Acceptance: the vectorized kernels buy >=3x on the hot stages.
         for stage in ("kmeans", "silhouette", "end_to_end"):
             assert record["speedup"][stage] >= 3.0, (stage, record["speedup"])
+
+
+@pytest.mark.slow
+def test_streaming_incremental_speedup():
+    """The streaming engine's O(1)-per-snapshot claim, measured.
+
+    Before the incremental engine, "live" analysis meant re-running
+    ``analyze_snapshots`` on the whole prefix after every dump —
+    O(n) differencing plus a full re-cluster each time, O(n^2) overall.
+    The engine ingests each snapshot once (delta against the previous
+    dump only, amortized-O(1) matrix append, constant-size classify).
+    This benchmark times both workflows over the same 100+ interval
+    stream and records the speedup; 10x is the acceptance floor, and
+    the per-snapshot cost of the second half of the stream must stay
+    flat relative to the first (the actual O(1) evidence).
+    """
+    from repro.apps import get_app
+    from repro.core.incremental import IncrementalAnalyzer
+    from repro.core.pipeline import analyze_snapshots
+    from repro.incprof.session import Session, SessionConfig
+
+    samples = Session(get_app("synthetic"),
+                      SessionConfig(ranks=1)).run().samples(0)
+    n = len(samples)
+    assert n >= 100  # the claim is about sustained streams
+
+    def time_streaming() -> tuple:
+        engine = IncrementalAnalyzer(track=True)
+        t0 = time.perf_counter()
+        for snapshot in samples[:n // 2]:
+            engine.observe(snapshot)
+        t_half = time.perf_counter()
+        for snapshot in samples[n // 2:]:
+            engine.observe(snapshot)
+        t1 = time.perf_counter()
+        return (t1 - t0) * 1e3, (t_half - t0) * 1e3, (t1 - t_half) * 1e3
+
+    def time_batch_per_snapshot() -> float:
+        t0 = time.perf_counter()
+        for i in range(2, n + 1):
+            analyze_snapshots(samples[:i])
+        return (time.perf_counter() - t0) * 1e3
+
+    rounds = 1 if QUICK else 3
+    stream_runs = [time_streaming() for _ in range(rounds)]
+    stream_ms, first_half_ms, second_half_ms = min(stream_runs)
+    batch_ms = min(time_batch_per_snapshot() for _ in range(rounds))
+
+    speedup = batch_ms / stream_ms
+    record = {
+        "streaming": {
+            "app": "synthetic",
+            "n_intervals": n,
+            "unit": "ms",
+            "streaming_total": round(stream_ms, 3),
+            "per_snapshot_us": round(stream_ms * 1e3 / n, 1),
+            "batch_per_snapshot_total": round(batch_ms, 3),
+            "speedup": round(speedup, 1),
+            "half_split": [round(first_half_ms, 3),
+                           round(second_half_ms, 3)],
+        },
+    }
+    if not QUICK:
+        _merge_into_bench_json(record)
+    print()
+    print(json.dumps(record, indent=2, sort_keys=True))
+
+    # acceptance: 10x+ over re-analyzing the prefix per dump...
+    assert speedup >= 10.0, f"streaming speedup only {speedup:.1f}x"
+    # ...and flat per-snapshot cost (second half classifies against the
+    # same fixed-size model; allow slack for refits landing there)
+    assert second_half_ms <= 3.0 * max(first_half_ms, 1.0), \
+        (first_half_ms, second_half_ms)
+
+
+@pytest.mark.slow
+@pytest.mark.skipif(not QUICK,
+                    reason="CI smoke only: set BENCH_PERF_QUICK=1")
+def test_quick_bench_guard():
+    """CI quick-bench: current-tree stage timings vs the recorded file.
+
+    One subprocess round, no seed interleave — catches gross (>2x)
+    regressions in seconds.  The 2x tolerance absorbs runner-speed
+    variance between the box that recorded ``BENCH_perf.json`` and the
+    CI machine; the full interleaved trajectory stays a local tool.
+    """
+    baseline = json.loads((REPO_ROOT / "BENCH_perf.json").read_text())
+    stages = baseline["stages"]
+    now = _run_timer(REPO_ROOT / "src")
+    regressions = {
+        stage: {"now_ms": round(now[stage], 2),
+                "recorded_ms": round(stages[stage], 2)}
+        for stage in STAGES if now[stage] > 2.0 * stages[stage]
+    }
+    assert not regressions, \
+        f"stage(s) regressed >2x vs BENCH_perf.json: {regressions}"

@@ -21,6 +21,11 @@ The surface groups into five layers:
 
 - **offline analysis** — :func:`analyze_snapshots` over a snapshot
   series; :class:`AnalysisConfig` / :class:`AnalysisResult`.
+- **streaming analysis** — :class:`IncrementalAnalyzer` ingests the
+  same cumulative snapshots one at a time, emitting live phase
+  assignments and :class:`RefitEvent` model swaps; its ``finalize()``
+  reproduces :func:`analyze_snapshots` exactly (see
+  ``docs/STREAMING.md``).
 - **collection** — :class:`Session` (simulated app runs) and
   :class:`SampleStore` (on-disk gmon sample directories).
 - **model artifacts** — :func:`save_model` / :func:`load_model`
@@ -40,6 +45,15 @@ from repro.core import (
     AnalysisConfig,
     AnalysisResult,
     analyze_snapshots,
+)
+
+# -- streaming analysis ------------------------------------------------
+from repro.core.incremental import (
+    AdaptiveConfig,
+    DriftConfig,
+    IncrementalAnalyzer,
+    IncrementalUpdate,
+    RefitEvent,
 )
 
 # -- model artifacts ---------------------------------------------------
@@ -95,6 +109,12 @@ __all__ = [
     "AnalysisConfig",
     "AnalysisResult",
     "analyze_snapshots",
+    # streaming analysis
+    "AdaptiveConfig",
+    "DriftConfig",
+    "IncrementalAnalyzer",
+    "IncrementalUpdate",
+    "RefitEvent",
     # collection
     "GmonData",
     "read_gmon",

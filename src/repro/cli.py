@@ -75,7 +75,73 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _analyze_follow(args: argparse.Namespace) -> int:
+    """Tail a growing sample directory: live assignments, then full report.
+
+    Each poll loads only the dumps past the watermark and feeds them to
+    the streaming engine one at a time, so a run that is still being
+    collected gets per-interval phase assignments (and refit events) with
+    O(functions) work per new snapshot.  When polling stops the engine
+    finalizes through the batch pipeline and prints the usual report.
+    """
+    from repro.core.incremental import IncrementalAnalyzer
+
+    store = SampleStore(args.samples, create=False)
+    config = AnalysisConfig(kselect_method=args.kselect,
+                            coverage_threshold=args.coverage)
+    engine = IncrementalAnalyzer(config)
+    watermark = -1
+    polls = 0
+    print(f"following {args.samples} (rank {args.rank}, "
+          f"poll every {args.poll:g}s; Ctrl-C to stop and finalize)")
+    try:
+        while True:
+            for index, snapshot in store.load_rank_since(args.rank, watermark):
+                watermark = index
+                update = engine.observe(snapshot)
+                if update.phase_id is None:
+                    label = "warmup"
+                elif update.novel:
+                    label = "novel"
+                else:
+                    label = f"phase {update.phase_id}"
+                line = (f"[{update.index:5d}] t={update.timestamp:9.2f}  "
+                        f"{label:<9s} v{update.model_version}")
+                if update.refit is not None:
+                    event = update.refit
+                    line += (f"  << refit v{event.version}: "
+                             f"k {event.old_k}->{event.new_k} ({event.reason})")
+                print(line, flush=True)
+            polls += 1
+            if args.max_polls > 0 and polls >= args.max_polls:
+                break
+            import time as _time
+
+            _time.sleep(args.poll)
+    except KeyboardInterrupt:
+        print("\nstopping follow; finalizing")
+    if engine.n_intervals < 2:
+        print(f"only {engine.n_intervals} interval(s) collected; "
+              "need at least 2 for a final analysis")
+        return 1
+    analysis = engine.finalize(workers=args.workers)
+    print()
+    print(render_full_report(analysis, app_name=f"{args.samples} (followed)"))
+    if args.save_model:
+        from repro.core.model_io import save_model
+
+        path = save_model(analysis, args.save_model,
+                          meta={"trained_on": f"{args.samples} (followed)"})
+        print(f"\nphase model -> {path} ({path.stat().st_size} bytes)")
+    return 0
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
+    if args.follow:
+        if args.merge_ranks:
+            print("error: --follow tails a single rank; drop --merge-ranks")
+            return 2
+        return _analyze_follow(args)
     store = SampleStore(args.samples, create=False)
     if args.merge_ranks:
         from repro.gprof.merge import merge_sample_series
@@ -267,6 +333,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         checkpoint_interval=args.checkpoint_interval,
         metrics_port=args.metrics_port,
         log_level=args.log_level,
+        refit_interval=args.refit_interval,
+        refit_drift_threshold=args.refit_drift_threshold,
     )
     server = PhaseMonitorServer(template, config)
     bound = server.start()
@@ -284,6 +352,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
           + (f", checkpoints -> {args.checkpoint_dir} "
              f"every {config.checkpoint_interval:g}s"
              if args.checkpoint_dir else "")
+          + (f", live refit every >={config.refit_interval:g}s at "
+             f"drift >={config.refit_drift_threshold:g}"
+             if config.refit_interval is not None else "")
           + ")")
     try:
         server.wait()
@@ -527,6 +598,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_an.add_argument("--save-model", default=None, metavar="PATH",
                       help="write the trained phase model to a durable "
                            "artifact loadable by 'serve --model'")
+    p_an.add_argument("--follow", action="store_true",
+                      help="tail a growing sample directory: stream new "
+                           "snapshots through the incremental engine, print "
+                           "live phase assignments and refit events, then "
+                           "finalize with the full report")
+    p_an.add_argument("--poll", type=float, default=1.0,
+                      help="directory poll interval in seconds (with --follow)")
+    p_an.add_argument("--max-polls", type=int, default=0,
+                      help="stop following after this many polls "
+                           "(0 = until Ctrl-C)")
     _add_workers(p_an)
     p_an.set_defaults(func=_cmd_analyze)
 
@@ -612,6 +693,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--log-level", default="info",
                          choices=["debug", "info", "warning", "error"],
                          help="structured JSON log threshold (stderr)")
+    p_serve.add_argument("--refit-interval", type=float, default=None,
+                         metavar="SECONDS",
+                         help="enable online model refits: minimum seconds "
+                              "between per-stream refits (0 = no cooldown; "
+                              "omit to serve a frozen model)")
+    p_serve.add_argument("--refit-drift-threshold", type=float, default=0.3,
+                         metavar="RATE",
+                         help="novel-interval rate over the drift window "
+                              "that triggers a refit (with --refit-interval)")
     p_serve.add_argument("--selftest", action="store_true",
                          help="in-process smoke test: server + synthetic "
                               "publishers, assert clean shutdown")

@@ -27,6 +27,17 @@ from repro.core.postprocess import MergedPhase, MergedPhaseModel, merge_equivale
 from repro.core.callgraph_lift import LiftSuggestion, suggest_lifts
 from repro.core.outliers import OutlierReport, analyze_outliers
 from repro.core.online import NOVEL, OnlinePhaseTracker, TrackedInterval
+from repro.core.incremental import (
+    AdaptiveConfig,
+    DriftConfig,
+    DriftDetector,
+    IncrementalAnalyzer,
+    IncrementalUpdate,
+    RefitEvent,
+    bounded_resweep,
+    calibrate_gates,
+    match_phase_labels,
+)
 from repro.core.timeline import phase_strip, render_timeline
 
 __all__ = [
@@ -62,6 +73,15 @@ __all__ = [
     "NOVEL",
     "OnlinePhaseTracker",
     "TrackedInterval",
+    "AdaptiveConfig",
+    "DriftConfig",
+    "DriftDetector",
+    "IncrementalAnalyzer",
+    "IncrementalUpdate",
+    "RefitEvent",
+    "bounded_resweep",
+    "calibrate_gates",
+    "match_phase_labels",
     "phase_strip",
     "render_timeline",
 ]

@@ -119,6 +119,72 @@ def _snapshot_pairs(snapshots: Sequence[GmonData]) -> List[GmonData]:
     return deltas
 
 
+def assemble_interval_data(
+    tick_deltas: np.ndarray,
+    arc_deltas: np.ndarray,
+    all_funcs: Sequence[str],
+    all_arcs: Sequence[Tuple[str, str]],
+    timestamps: Sequence[float],
+    periods: np.ndarray,
+    metas: Sequence[Tuple[float, float, int]],
+    interval: float,
+    keep_gmons: bool = True,
+) -> IntervalData:
+    """Turn raw per-interval delta matrices into :class:`IntervalData`.
+
+    The one place the delta -> attribute-matrix conversion lives: the
+    batch path (:func:`intervals_from_snapshots`) and the streaming path
+    (:class:`repro.core.incremental.IncrementalAnalyzer`) both call this,
+    so however the deltas were accumulated — one vectorized ``np.diff``
+    or one appended row per snapshot — the resulting interval data is
+    identical.  Column order of ``all_funcs``/``all_arcs`` is arbitrary;
+    the attribute vocabulary is re-derived from the deltas and sorted.
+    """
+    # Attribute dimensions: every function that shows up in the *deltas*
+    # (the paper's footnote 3) — sampled in some interval, or the callee
+    # of an arc that fired in some interval.
+    sampled = tick_deltas.any(axis=0)
+    fired = arc_deltas.any(axis=0)
+    active_funcs = {all_funcs[j] for j in np.nonzero(sampled)[0]}
+    active_funcs |= {all_arcs[j][1] for j in np.nonzero(fired)[0]}
+    active_funcs -= {SPONTANEOUS}
+    names = sorted(active_funcs)
+    name_index = {name: i for i, name in enumerate(names)}
+
+    keep_func = np.array([f in name_index for f in all_funcs], dtype=bool)
+    self_time = tick_deltas[:, keep_func].astype(float)
+    self_time *= np.asarray(periods)[:, None]
+    func_dest = np.array([name_index[f] for f, k in zip(all_funcs, keep_func) if k],
+                         dtype=np.intp)
+    # Columns of the union vocabulary are a subset in arbitrary positions;
+    # scatter them into sorted attribute order.
+    ordered_time = np.zeros((self_time.shape[0], len(names)))
+    ordered_time[:, func_dest] = self_time
+
+    # Calls into each attribute function: per-arc clamped deltas summed
+    # over callers (an integer matmul against the arc->callee indicator).
+    keep_arc = np.array([a[1] in name_index for a in all_arcs], dtype=bool)
+    kept_arcs = [a for a, k in zip(all_arcs, keep_arc) if k]
+    arc_to_name = np.zeros((len(kept_arcs), len(names)), dtype=np.int64)
+    for j, (_caller, callee) in enumerate(kept_arcs):
+        arc_to_name[j, name_index[callee]] = 1
+    calls = arc_deltas[:, keep_arc] @ arc_to_name
+
+    interval_gmons: Optional[Sequence[GmonData]] = None
+    if keep_gmons:
+        interval_gmons = LazyGmonDeltas(
+            list(metas), tick_deltas, arc_deltas, list(all_funcs), list(all_arcs))
+
+    return IntervalData(
+        functions=names,
+        self_time=ordered_time,
+        calls=calls,
+        timestamps=np.asarray(timestamps, dtype=float),
+        interval=float(interval),
+        interval_gmons=interval_gmons,
+    )
+
+
 def intervals_from_snapshots(
     snapshots: Sequence[GmonData],
     drop_short_final: bool = True,
@@ -157,7 +223,8 @@ def intervals_from_snapshots(
                 "cannot subtract snapshots with different sample periods")
 
     # Union vocabulary over the whole series (column order is arbitrary
-    # here; the attribute vocabulary is re-derived from the deltas below).
+    # here; the attribute vocabulary is re-derived from the deltas in
+    # assemble_interval_data).
     all_funcs = sorted({f for s in snapshots for f in s.hist})
     all_arcs = sorted({a for s in snapshots for a in s.arcs})
     func_col = {f: j for j, f in enumerate(all_funcs)}
@@ -192,60 +259,23 @@ def intervals_from_snapshots(
             periods = periods[:-1]
             snapshots = snapshots[: len(timestamps)]
 
-    # Attribute dimensions: every function that shows up in the *deltas*
-    # (the paper's footnote 3) — sampled in some interval, or the callee
-    # of an arc that fired in some interval.
-    sampled = tick_deltas.any(axis=0)
-    fired = arc_deltas.any(axis=0)
-    active_funcs = {all_funcs[j] for j in np.nonzero(sampled)[0]}
-    active_funcs |= {all_arcs[j][1] for j in np.nonzero(fired)[0]}
-    active_funcs -= {SPONTANEOUS}
-    names = sorted(active_funcs)
-    name_index = {name: i for i, name in enumerate(names)}
-
-    keep_func = np.array([f in name_index for f in all_funcs], dtype=bool)
-    self_time = tick_deltas[:, keep_func].astype(float)
-    self_time *= periods[:, None]
-    func_dest = np.array([name_index[f] for f, k in zip(all_funcs, keep_func) if k],
-                         dtype=np.intp)
-    # Columns of the union vocabulary are a subset in arbitrary positions;
-    # scatter them into sorted attribute order.
-    ordered_time = np.zeros((self_time.shape[0], len(names)))
-    ordered_time[:, func_dest] = self_time
-
-    # Calls into each attribute function: per-arc clamped deltas summed
-    # over callers (an integer matmul against the arc->callee indicator).
-    keep_arc = np.array([a[1] in name_index for a in all_arcs], dtype=bool)
-    kept_arcs = [a for a, k in zip(all_arcs, keep_arc) if k]
-    arc_to_name = np.zeros((len(kept_arcs), len(names)), dtype=np.int64)
-    for j, (_caller, callee) in enumerate(kept_arcs):
-        arc_to_name[j, name_index[callee]] = 1
-    calls = arc_deltas[:, keep_arc] @ arc_to_name
-
-    interval_gmons: Optional[Sequence[GmonData]] = None
-    if keep_gmons:
-        metas = [(s.sample_period, s.timestamp, s.rank) for s in snapshots]
-        interval_gmons = LazyGmonDeltas(
-            metas, tick_deltas, arc_deltas, all_funcs, all_arcs)
-
-    return IntervalData(
-        functions=names,
-        self_time=ordered_time,
-        calls=calls,
-        timestamps=np.asarray(timestamps, dtype=float),
-        interval=float(interval),
-        interval_gmons=interval_gmons,
+    metas = [(s.sample_period, s.timestamp, s.rank) for s in snapshots]
+    return assemble_interval_data(
+        tick_deltas, arc_deltas, all_funcs, all_arcs,
+        timestamps, periods, metas, interval, keep_gmons=keep_gmons,
     )
 
 
 class LazyGmonDeltas(_Sequence):
-    """Per-interval :class:`GmonData` deltas, materialized on first access.
+    """Per-interval :class:`GmonData` deltas, materialized per index.
 
     The analysis hot path (self-time features) never touches the delta
     *dicts* — only the matrices — so building 2×n_intervals dicts up
     front would be pure overhead.  Consumers that do need them (children
-    -time features, call-graph lift) index or iterate this sequence and
-    trigger a one-time conversion; entries with zero delta are omitted,
+    -time features, call-graph lift) index or iterate this sequence;
+    each entry is converted on first access and cached individually, so
+    touching one interval costs one dict build, not n, and repeated
+    access never re-materializes.  Entries with zero delta are omitted,
     matching ``GmonData.subtract``.
     """
 
@@ -258,39 +288,51 @@ class LazyGmonDeltas(_Sequence):
         self._arc_deltas = arc_deltas
         self._all_funcs = all_funcs
         self._all_arcs = all_arcs
-        self._cache: Optional[List[GmonData]] = None
+        self._cache: List[Optional[GmonData]] = [None] * len(metas)
+        self._funcs_arr: Optional[np.ndarray] = None
+        self._arcs_arr: Optional[np.ndarray] = None
 
-    def _materialize(self) -> List[GmonData]:
-        if self._cache is None:
-            funcs_arr = np.array(self._all_funcs, dtype=object)
+    def _entry(self, i: int) -> GmonData:
+        got = self._cache[i]
+        if got is not None:
+            return got
+        if self._funcs_arr is None:
+            self._funcs_arr = np.array(self._all_funcs, dtype=object)
             arcs_arr = np.empty(len(self._all_arcs), dtype=object)
             arcs_arr[:] = self._all_arcs
-            gmons: List[GmonData] = []
-            for i, (period, timestamp, rank) in enumerate(self._metas):
-                trow = self._tick_deltas[i]
-                tcols = np.nonzero(trow)[0]
-                arow = self._arc_deltas[i]
-                acols = np.nonzero(arow)[0]
-                gmons.append(GmonData(
-                    sample_period=period,
-                    hist=dict(zip(funcs_arr[tcols].tolist(),
-                                  trow[tcols].tolist())),
-                    arcs=dict(zip(arcs_arr[acols].tolist(),
-                                  arow[acols].tolist())),
-                    timestamp=timestamp,
-                    rank=rank,
-                ))
-            self._cache = gmons
-        return self._cache
+            self._arcs_arr = arcs_arr
+        period, timestamp, rank = self._metas[i]
+        trow = self._tick_deltas[i]
+        tcols = np.nonzero(trow)[0]
+        arow = self._arc_deltas[i]
+        acols = np.nonzero(arow)[0]
+        got = GmonData(
+            sample_period=period,
+            hist=dict(zip(self._funcs_arr[tcols].tolist(),
+                          trow[tcols].tolist())),
+            arcs=dict(zip(self._arcs_arr[acols].tolist(),
+                          arow[acols].tolist())),
+            timestamp=timestamp,
+            rank=rank,
+        )
+        self._cache[i] = got
+        return got
 
     def __len__(self) -> int:
         return len(self._metas)
 
     def __getitem__(self, index):
-        return self._materialize()[index]
+        if isinstance(index, slice):
+            return [self._entry(i)
+                    for i in range(*index.indices(len(self._metas)))]
+        if index < 0:
+            index += len(self._metas)
+        if not 0 <= index < len(self._metas):
+            raise IndexError("interval delta index out of range")
+        return self._entry(index)
 
     def __iter__(self):
-        return iter(self._materialize())
+        return (self._entry(i) for i in range(len(self._metas)))
 
 
 def intervals_from_flat_profiles(

@@ -46,6 +46,12 @@ def _payload_from_tracker(tracker: OnlinePhaseTracker,
                           meta: Optional[Dict[str, Any]]) -> Dict[str, Any]:
     payload = {"kind": "phase-model", "model": tracker.trained_state()}
     payload["meta"] = dict(meta) if meta else {}
+    # Refit artifacts name the model version they froze, so a consumer
+    # can tell generations apart without parsing the model body.  A
+    # never-refit model omits the key to keep its bytes identical to
+    # pre-streaming artifacts.
+    if tracker.model_version > 0:
+        payload["meta"].setdefault("model_version", tracker.model_version)
     return payload
 
 

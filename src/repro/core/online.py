@@ -11,17 +11,38 @@ during training (novel behaviour: new inputs, degraded nodes, bugs).
 The gate is calibrated from the training data itself: an interval is
 *novel* when its distance to the nearest centroid exceeds that phase's
 ``quantile`` training distance by ``slack``.
+
+Trackers are no longer frozen: constructed with an
+:class:`~repro.core.incremental.AdaptiveConfig`, a tracker buffers the
+interval profiles it classifies, refines centroids with mini-batch
+k-means updates, and — when the shared drift detector fires — refits
+itself with a bounded re-sweep (k-1..k+1) and **hot-swaps** the new
+model atomically under its lock.  Every refit bumps ``model_version``
+(carried on each :class:`TrackedInterval`) and remaps cluster rows onto
+*stable* phase ids via greedy centroid matching, so phase 2 before the
+swap and phase 2 after it mean the same behaviour.
 """
 
 from __future__ import annotations
 
 import base64
 import threading
+import time
+from collections import deque
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.incremental import (
+    MATCH_RADIUS_FACTOR,
+    AdaptiveConfig,
+    DriftDetector,
+    RefitEvent,
+    bounded_resweep,
+    calibrate_gates,
+    match_phase_labels,
+)
 from repro.core.pipeline import AnalysisResult
 from repro.gprof.gmon import GmonData, dumps_gmon, loads_gmon
 from repro.util.errors import ValidationError
@@ -38,6 +59,9 @@ class TrackedInterval:
     phase_id: int  # NOVEL (-1) when outside every phase's gate
     distance: float
     nearest_phase: int
+    #: Version of the model that produced this classification (0 for the
+    #: original offline fit; bumped by every live refit / installed model).
+    model_version: int = 0
 
     @property
     def is_novel(self) -> bool:
@@ -50,7 +74,10 @@ class OnlinePhaseTracker:
     Instances are thread-safe: classification, snapshot observation, and
     every history accessor take an internal lock, so one tracker can be
     driven from a worker pool (the ``incprofd`` service classifies each
-    stream on whichever worker picks it up).
+    stream on whichever worker picks it up).  Model hot-swaps (live
+    refits, :meth:`install_model`) happen under the same lock, so a
+    classification sees either the old model or the new one, never a
+    half-installed mix.
 
     ``zero_start`` controls how the first *cumulative* snapshot fed to
     :meth:`observe_snapshot` is treated: ``False`` (the historical
@@ -58,6 +85,10 @@ class OnlinePhaseTracker:
     snapshot on; ``True`` assumes the stream began at a zero profile, so
     the first snapshot *is* the first interval — matching the offline
     pipeline, which also counts interval 0 from the process start.
+
+    ``labels`` maps centroid rows to *stable* phase ids (defaults to
+    row order).  With ``adaptive`` set, the tracker refits itself when
+    drift fires; reported phase ids stay comparable across refits.
     """
 
     def __init__(
@@ -68,11 +99,18 @@ class OnlinePhaseTracker:
         gates: np.ndarray,
         interval: float = 1.0,
         zero_start: bool = False,
+        labels: Optional[Sequence[int]] = None,
+        counts: Optional[Sequence[float]] = None,
+        version: int = 0,
+        adaptive: Optional[AdaptiveConfig] = None,
+        clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if centroids.ndim != 2 or centroids.shape[0] != gates.shape[0]:
             raise ValidationError("centroids and gates disagree")
         if centroids.shape[1] != len(functions):
             raise ValidationError("centroid width must match function count")
+        if labels is not None and len(labels) != centroids.shape[0]:
+            raise ValidationError("labels must cover every centroid row")
         self.functions = list(functions)
         self._index = {name: j for j, name in enumerate(self.functions)}
         self.centroids = centroids.astype(float)
@@ -82,6 +120,27 @@ class OnlinePhaseTracker:
         self.history: List[TrackedInterval] = []
         self._previous: Optional[GmonData] = None
         self._lock = threading.RLock()
+        # -- versioned model identity ----------------------------------
+        k = self.centroids.shape[0]
+        self.phase_labels = (np.arange(k) if labels is None
+                             else np.asarray([int(x) for x in labels]))
+        self.model_version = int(version)
+        self._counts = (np.ones(k) if counts is None
+                        else np.asarray([float(c) for c in counts]))
+        if self._counts.shape[0] != k:
+            raise ValidationError("counts must cover every centroid row")
+        self._next_label = int(self.phase_labels.max()) + 1 if k else 0
+        # -- adaptive refit state --------------------------------------
+        self._adaptive = adaptive
+        self._clock = clock
+        self._buffer: Deque[np.ndarray] = deque(
+            maxlen=adaptive.window if adaptive else 1)
+        self._drift = DriftDetector(adaptive.drift) if adaptive else None
+        self._last_refit_index = 0
+        self._last_refit_time: Optional[float] = None
+        self.refit_events: List[RefitEvent] = []
+        self._refit_listeners: List[
+            Callable[["OnlinePhaseTracker", RefitEvent], None]] = []
 
     # ------------------------------------------------------------------
     # training
@@ -92,6 +151,7 @@ class OnlinePhaseTracker:
         analysis: AnalysisResult,
         quantile: float = 0.95,
         slack: float = 1.5,
+        adaptive: Optional[AdaptiveConfig] = None,
     ) -> "OnlinePhaseTracker":
         """Train a tracker from an offline phase-detection result.
 
@@ -108,16 +168,16 @@ class OnlinePhaseTracker:
             features[list(phase.interval_indices)].mean(axis=0)
             for phase in phases
         ])
-        gates = np.empty(len(phases))
-        for phase_id, phase in enumerate(phases):
-            members = features[list(phase.interval_indices)]
-            dists = np.linalg.norm(members - centroids[phase_id], axis=1)
-            gates[phase_id] = max(float(np.quantile(dists, quantile)) * slack, 0.05)
+        gates = calibrate_gates(
+            features, analysis.phase_model.labels, centroids, quantile, slack)
+        counts = [len(phase.interval_indices) for phase in phases]
         return cls(
             functions=data.functions,
             centroids=centroids,
             gates=gates,
             interval=data.interval,
+            counts=counts,
+            adaptive=adaptive,
         )
 
     # ------------------------------------------------------------------
@@ -144,30 +204,47 @@ class OnlinePhaseTracker:
 
         All distances come from one ``(n_profiles, k, d)`` vectorized
         computation — the service hot path calls this once per drained
-        batch instead of once per snapshot.  The whole batch is appended
-        to the history as one unit — a concurrent classifier cannot
-        interleave inside it.
+        batch instead of once per snapshot.  The whole batch runs under
+        the tracker lock: a concurrent classifier cannot interleave
+        inside it, and a model hot-swap cannot land mid-batch — every
+        interval in the batch is classified by one model version.
         """
         if not profiles:
             return []
-        mat = self._vectorize_batch(profiles)
-        diffs = mat[:, None, :] - self.centroids[None, :, :]
-        dists = np.linalg.norm(diffs, axis=2)  # (n_profiles, k)
-        nearest = dists.argmin(axis=1)
-        distance = dists[np.arange(len(profiles)), nearest]
-        novel = distance > self.gates[nearest]
         with self._lock:
+            mat = self._vectorize_batch(profiles)
+            diffs = mat[:, None, :] - self.centroids[None, :, :]
+            dists = np.linalg.norm(diffs, axis=2)  # (n_profiles, k)
+            nearest = dists.argmin(axis=1)
+            distance = dists[np.arange(len(profiles)), nearest]
+            novel = distance > self.gates[nearest]
             start = len(self.history)
+            version = self.model_version
             tracked = [
                 TrackedInterval(
                     index=start + i,
-                    phase_id=NOVEL if novel[i] else int(nearest[i]),
+                    phase_id=(NOVEL if novel[i]
+                              else int(self.phase_labels[nearest[i]])),
                     distance=float(distance[i]),
-                    nearest_phase=int(nearest[i]),
+                    nearest_phase=int(self.phase_labels[nearest[i]]),
+                    model_version=version,
                 )
                 for i in range(len(profiles))
             ]
             self.history.extend(tracked)
+            if self._adaptive is not None:
+                for i in range(len(profiles)):
+                    self._buffer.append(mat[i].copy())
+                    self._drift.observe(bool(novel[i]),
+                                        float(distance[i]) ** 2)
+                    if not novel[i]:
+                        # Mini-batch k-means: the centroid tracks the
+                        # running mean of its members (rate 1/count).
+                        j = int(nearest[i])
+                        self._counts[j] += 1.0
+                        self.centroids[j] += (
+                            (mat[i] - self.centroids[j]) / self._counts[j])
+                self._maybe_refit_locked()
         return tracked
 
     def delta_profile(self, snapshot: GmonData) -> Optional[Dict[str, float]]:
@@ -204,22 +281,144 @@ class OnlinePhaseTracker:
             return self.classify(profile)
 
     # ------------------------------------------------------------------
+    # live refits and hot swaps
+    # ------------------------------------------------------------------
+    def add_refit_listener(
+        self, listener: Callable[["OnlinePhaseTracker", RefitEvent], None],
+    ) -> None:
+        """Call ``listener(tracker, event)`` after each model swap.
+
+        Listeners run under the tracker lock (the swap and its
+        notification are one atomic unit) — keep them quick, and reach
+        back into the tracker only from the same thread.
+        """
+        with self._lock:
+            self._refit_listeners.append(listener)
+
+    def force_refit(self, reason: str = "manual") -> Optional[RefitEvent]:
+        """Refit now from the buffered window, ignoring drift/cooldowns.
+
+        Returns None when the tracker is not adaptive or the buffer has
+        fewer than ``min_refit_window`` profiles.
+        """
+        with self._lock:
+            return self._maybe_refit_locked(reason=reason, force=True)
+
+    def _maybe_refit_locked(self, reason: Optional[str] = None,
+                            force: bool = False) -> Optional[RefitEvent]:
+        ad = self._adaptive
+        if ad is None or len(self._buffer) < ad.min_refit_window:
+            return None
+        n_seen = len(self.history)
+        if not force:
+            if n_seen - self._last_refit_index < ad.cooldown_intervals:
+                return None
+            if (self._last_refit_time is not None
+                    and self._clock() - self._last_refit_time < ad.cooldown_s):
+                return None
+            reason = self._drift.check()
+            if reason is None:
+                return None
+        features = np.vstack(self._buffer)
+        fit = bounded_resweep(
+            features, self.centroids.shape[0], kmax=ad.kmax,
+            seed=np.random.SeedSequence(
+                [ad.seed & 0xFFFFFFFF, self.model_version + 1]),
+            n_init=ad.n_init)
+        new_labels, self._next_label = match_phase_labels(
+            self.centroids, self.phase_labels, fit.centroids, self._next_label,
+            max_distance=self.gates * MATCH_RADIUS_FACTOR)
+        gates = calibrate_gates(features, fit.labels, fit.centroids,
+                                ad.quantile, ad.slack)
+        event = RefitEvent(
+            interval_index=n_seen, version=self.model_version + 1,
+            old_k=self.centroids.shape[0], new_k=fit.k,
+            reason=reason or "forced",
+            label_map=tuple(int(x) for x in new_labels))
+        self.centroids = np.asarray(fit.centroids, dtype=float).copy()
+        self.gates = gates
+        self.phase_labels = new_labels
+        self._counts = np.bincount(fit.labels, minlength=fit.k).astype(float)
+        self.model_version = event.version
+        self._last_refit_index = n_seen
+        self._last_refit_time = self._clock()
+        self._drift.reset(fit.inertia / max(1, features.shape[0]))
+        self.refit_events.append(event)
+        for listener in list(self._refit_listeners):
+            listener(self, event)
+        return event
+
+    def install_model(
+        self,
+        *,
+        centroids: np.ndarray,
+        gates: np.ndarray,
+        labels: Optional[Sequence[int]] = None,
+        counts: Optional[Sequence[float]] = None,
+        version: Optional[int] = None,
+    ) -> int:
+        """Atomically hot-swap an externally trained model.
+
+        ``version`` must exceed the current one (defaults to current+1);
+        returns the installed version.  Classifications already appended
+        to the history are untouched — only future intervals see the new
+        model.
+        """
+        centroids = np.asarray(centroids, dtype=float)
+        gates = np.asarray(gates, dtype=float)
+        if centroids.ndim != 2 or centroids.shape[0] != gates.shape[0]:
+            raise ValidationError("centroids and gates disagree")
+        if centroids.shape[1] != len(self.functions):
+            raise ValidationError("centroid width must match function count")
+        if labels is not None and len(labels) != centroids.shape[0]:
+            raise ValidationError("labels must cover every centroid row")
+        with self._lock:
+            new_version = (self.model_version + 1 if version is None
+                           else int(version))
+            if new_version <= self.model_version:
+                raise ValidationError(
+                    f"model version must increase "
+                    f"(have {self.model_version}, got {new_version})")
+            k = centroids.shape[0]
+            self.centroids = centroids.copy()
+            self.gates = gates.copy()
+            self.phase_labels = (np.arange(k) if labels is None
+                                 else np.asarray([int(x) for x in labels]))
+            self._counts = (np.ones(k) if counts is None
+                            else np.asarray([float(c) for c in counts]))
+            self._next_label = max(
+                self._next_label, int(self.phase_labels.max()) + 1 if k else 0)
+            self.model_version = new_version
+            if self._drift is not None:
+                self._drift.reset(None)
+            return new_version
+
+    # ------------------------------------------------------------------
     # per-stream forking
     # ------------------------------------------------------------------
-    def spawn(self, zero_start: bool = True) -> "OnlinePhaseTracker":
+    def spawn(self, zero_start: bool = True,
+              adaptive: Optional[AdaptiveConfig] = None) -> "OnlinePhaseTracker":
         """A fresh tracker sharing this one's trained model.
 
         The trained arrays are copied (cheap: ``k × n_functions``), the
         history starts empty — one template tracker trained offline can
-        be forked once per deployment stream.
+        be forked once per deployment stream.  ``adaptive`` makes the
+        spawned stream refit itself independently; the fork inherits the
+        template's model version and stable labels, so a refit on one
+        stream never perturbs another.
         """
-        return OnlinePhaseTracker(
-            functions=self.functions,
-            centroids=self.centroids,
-            gates=self.gates,
-            interval=self.interval,
-            zero_start=zero_start,
-        )
+        with self._lock:
+            return OnlinePhaseTracker(
+                functions=self.functions,
+                centroids=self.centroids,
+                gates=self.gates,
+                interval=self.interval,
+                zero_start=zero_start,
+                labels=self.phase_labels,
+                counts=self._counts,
+                version=self.model_version,
+                adaptive=adaptive if adaptive is not None else self._adaptive,
+            )
 
     # ------------------------------------------------------------------
     # state (for model artifacts and daemon checkpoints)
@@ -231,18 +430,35 @@ class OnlinePhaseTracker:
         uses) is shortest-round-trip, so a saved model classifies
         bit-identically after loading.
         """
-        return {
-            "functions": list(self.functions),
-            "centroids": [[float(x) for x in row] for row in self.centroids],
-            "gates": [float(g) for g in self.gates],
-            "interval": float(self.interval),
-            "zero_start": bool(self.zero_start),
-        }
+        with self._lock:
+            state = {
+                "functions": list(self.functions),
+                "centroids": [[float(x) for x in row] for row in self.centroids],
+                "gates": [float(g) for g in self.gates],
+                "interval": float(self.interval),
+                "zero_start": bool(self.zero_start),
+            }
+            # Only refit survivors carry labels/version: a never-refit
+            # model stays byte-identical to pre-streaming artifacts
+            # (the golden-blob format test pins those bytes), and the
+            # loader's defaults reproduce exactly what is omitted here.
+            k = self.centroids.shape[0]
+            if self.model_version > 0 or not np.array_equal(
+                    self.phase_labels, np.arange(k)):
+                state["labels"] = [int(x) for x in self.phase_labels]
+                state["version"] = int(self.model_version)
+            return state
 
     @classmethod
     def from_trained_state(cls, state: Dict[str, Any]) -> "OnlinePhaseTracker":
-        """Inverse of :meth:`trained_state`."""
+        """Inverse of :meth:`trained_state`.
+
+        ``labels``/``version`` are optional (models saved before live
+        refits existed default to row-order labels at version 0), so old
+        artifacts keep loading.
+        """
         try:
+            labels = state.get("labels")
             return cls(
                 functions=[str(f) for f in state["functions"]],
                 centroids=np.asarray(state["centroids"], dtype=float).reshape(
@@ -250,43 +466,106 @@ class OnlinePhaseTracker:
                 gates=np.asarray(state["gates"], dtype=float),
                 interval=float(state["interval"]),
                 zero_start=bool(state.get("zero_start", False)),
+                labels=None if labels is None else [int(x) for x in labels],
+                version=int(state.get("version", 0)),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise ValidationError(f"bad trained-tracker state: {exc!r}") from exc
 
     def runtime_state(self) -> Dict[str, Any]:
-        """Mutable stream state (history + differencer), JSON-ready.
+        """Mutable stream state (history, differencer, live model), JSON-ready.
 
         Taken atomically under the tracker lock; pairs with
         :meth:`restore_runtime_state` so a daemon checkpoint can resume a
-        stream exactly where classification left off.
+        stream exactly where classification left off.  When the stream
+        has refit itself (or is adaptive), the current model and refit
+        machinery ride along — a restored stream keeps its version, its
+        stable labels, and its drift window.
         """
         with self._lock:
-            history = [[t.index, t.phase_id, float(t.distance), t.nearest_phase]
-                       for t in self.history]
+            history = [
+                [t.index, t.phase_id, float(t.distance), t.nearest_phase,
+                 t.model_version]
+                for t in self.history
+            ]
             previous = self._previous
-        blob = None
+            state: Dict[str, Any] = {"history": history, "previous": None}
+            if self.model_version > 0 or self._adaptive is not None:
+                state["model"] = {
+                    "centroids": [[float(x) for x in row]
+                                  for row in self.centroids],
+                    "gates": [float(g) for g in self.gates],
+                    "labels": [int(x) for x in self.phase_labels],
+                    "counts": [float(c) for c in self._counts],
+                    "version": int(self.model_version),
+                }
+            if self._adaptive is not None:
+                state["refit"] = {
+                    "buffer": [[float(x) for x in row] for row in self._buffer],
+                    "drift": self._drift.state(),
+                    "next_label": int(self._next_label),
+                    "last_refit_index": int(self._last_refit_index),
+                    "events": [e.to_obj() for e in self.refit_events],
+                }
         if previous is not None:
-            blob = base64.b64encode(dumps_gmon(previous)).decode("ascii")
-        return {"history": history, "previous": blob}
+            state["previous"] = base64.b64encode(
+                dumps_gmon(previous)).decode("ascii")
+        return state
 
     def restore_runtime_state(self, state: Dict[str, Any]) -> None:
-        """Install stream state captured by :meth:`runtime_state`."""
+        """Install stream state captured by :meth:`runtime_state`.
+
+        Accepts both the historical 4-element history rows (pre-version
+        checkpoints classify as version 0) and the current 5-element
+        form; ``model``/``refit`` sections are optional.
+        """
         try:
             history = [
-                TrackedInterval(index=int(i), phase_id=int(p),
-                                distance=float(d), nearest_phase=int(n))
-                for i, p, d, n in state.get("history", [])
+                TrackedInterval(
+                    index=int(row[0]), phase_id=int(row[1]),
+                    distance=float(row[2]), nearest_phase=int(row[3]),
+                    model_version=int(row[4]) if len(row) > 4 else 0)
+                for row in state.get("history", [])
             ]
             blob = state.get("previous")
             previous = None
             if blob is not None:
                 previous = loads_gmon(base64.b64decode(blob.encode("ascii")))
+            model = state.get("model")
+            refit = state.get("refit")
+            if model is not None:
+                k = len(model["gates"])
+                centroids = np.asarray(model["centroids"], dtype=float).reshape(
+                    k, len(self.functions))
+                gates = np.asarray(model["gates"], dtype=float)
+                labels = np.asarray([int(x) for x in model["labels"]])
+                counts = np.asarray([float(c) for c in
+                                     model.get("counts", [1.0] * k)])
+                version = int(model.get("version", 0))
         except (KeyError, TypeError, ValueError) as exc:
             raise ValidationError(f"bad tracker runtime state: {exc!r}") from exc
         with self._lock:
             self.history = history
             self._previous = previous
+            if model is not None:
+                self.centroids = centroids
+                self.gates = gates
+                self.phase_labels = labels
+                self._counts = counts
+                self.model_version = version
+                self._next_label = (int(labels.max()) + 1 if labels.size
+                                    else self._next_label)
+            if refit is not None and self._adaptive is not None:
+                self._buffer.clear()
+                for row in refit.get("buffer", []):
+                    self._buffer.append(np.asarray(row, dtype=float))
+                self._drift.restore(refit.get("drift", {}))
+                self._next_label = max(
+                    self._next_label, int(refit.get("next_label", 0)))
+                self._last_refit_index = int(refit.get("last_refit_index", 0))
+                self._last_refit_time = None  # wall clock doesn't survive restarts
+                self.refit_events = [RefitEvent.from_obj(obj)
+                                     for obj in refit.get("events", [])]
 
     # ------------------------------------------------------------------
     # reporting
@@ -294,6 +573,11 @@ class OnlinePhaseTracker:
     def phase_sequence(self) -> List[int]:
         with self._lock:
             return [t.phase_id for t in self.history]
+
+    def version_sequence(self) -> List[int]:
+        """Model version that classified each interval, history order."""
+        with self._lock:
+            return [t.model_version for t in self.history]
 
     def novel_fraction(self) -> float:
         with self._lock:

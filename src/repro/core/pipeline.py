@@ -18,7 +18,6 @@ from repro.core.instrumentation import SiteSelection, select_sites
 from repro.core.intervals import (
     IntervalData,
     intervals_from_flat_profiles,
-    intervals_from_snapshots,
 )
 from repro.core.kselect import DEFAULT_ELBOW_THRESHOLD, DEFAULT_KMAX
 from repro.core.model import SelectedSite, Site
@@ -26,6 +25,7 @@ from repro.core.phases import PhaseModel, detect_phases
 from repro.gprof.flatprofile import FlatProfile
 from repro.gprof.gmon import GmonData
 from repro.gprof.reports import parse_flat_profile, render_gprof_report
+from repro.util.errors import ProfileDataError
 
 
 @dataclass(frozen=True)
@@ -118,6 +118,13 @@ def analyze_snapshots(
 ) -> AnalysisResult:
     """Full pipeline from IncProf's cumulative snapshots.
 
+    A thin driver over the incremental engine: every snapshot is fed
+    through :class:`~repro.core.incremental.IncrementalAnalyzer` (with
+    live tracking off — batch analysis needs no running model) and the
+    result is whatever ``finalize`` assembles, which is identical to the
+    historical all-at-once implementation because both paths share
+    :func:`~repro.core.intervals.assemble_interval_data`.
+
     With ``config.via_text_reports`` the snapshots are first rendered to
     gprof-style text and re-parsed, exercising the exact data path of the
     original tool.
@@ -130,10 +137,12 @@ def analyze_snapshots(
             profiles.append(profile)
         interval = snapshots[0].timestamp if snapshots[0].timestamp > 0 else 1.0
         data = intervals_from_flat_profiles(profiles, interval=interval)
-    else:
-        data = intervals_from_snapshots(
-            snapshots,
-            drop_short_final=config.drop_short_final,
-            min_final_fraction=config.min_final_fraction,
-        )
-    return analyze_intervals(data, config, workers=workers)
+        return analyze_intervals(data, config, workers=workers)
+    if len(snapshots) < 2:
+        raise ProfileDataError("need at least two snapshots to form an interval")
+    from repro.core.incremental import IncrementalAnalyzer  # lazy: avoids cycle
+
+    engine = IncrementalAnalyzer(config, track=False)
+    for snap in snapshots:
+        engine.observe(snap)
+    return engine.finalize(workers=workers)

@@ -8,6 +8,8 @@
 - :mod:`repro.eval.experiments` — the per-app experiment driver (collect,
   analyze, instrument, re-run with heartbeats), with memoized results;
 - :mod:`repro.eval.tables` — Table I and Tables II-VI generators;
+- :mod:`repro.eval.convergence` — online-vs-batch agreement curves for
+  the incremental streaming engine;
 - :mod:`repro.eval.figures` — Figures 2-6 heartbeat series and plots.
 """
 
@@ -16,6 +18,12 @@ from repro.eval.experiments import (
     clear_cache,
     run_experiment,
     run_experiments,
+)
+from repro.eval.convergence import (
+    ConvergencePoint,
+    ConvergenceResult,
+    label_agreement,
+    measure_convergence,
 )
 from repro.eval.overhead import OverheadResult, measure_overheads
 from repro.eval.tables import table1, app_sites_table, comparison_table
@@ -30,6 +38,10 @@ __all__ = [
     "run_experiment",
     "run_experiments",
     "clear_cache",
+    "ConvergencePoint",
+    "ConvergenceResult",
+    "label_agreement",
+    "measure_convergence",
     "OverheadResult",
     "measure_overheads",
     "table1",

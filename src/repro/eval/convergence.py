@@ -1,0 +1,132 @@
+"""Online-vs-batch convergence: how fast does the streaming engine agree?
+
+The streaming engine classifies each interval the moment its snapshot
+arrives, using a model trained on only the prefix seen so far (and refit
+when drift fires).  The batch pipeline sees the whole run at once.  This
+experiment quantifies the price of immediacy: at a series of checkpoints
+it compares every live assignment made so far against the final batch
+labels — after greedy label matching, since live stable ids and batch
+cluster ids are arbitrary alphabets — producing an agreement-over-time
+curve that should climb toward 1.0 as the live model converges on the
+batch phase structure.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from repro.apps import get_app
+from repro.core.incremental import IncrementalAnalyzer
+from repro.core.pipeline import AnalysisConfig, analyze_snapshots
+from repro.incprof.session import DEFAULT_SEED, Session, SessionConfig
+from repro.util.errors import ValidationError
+from repro.util.tables import Table
+
+
+@dataclass(frozen=True)
+class ConvergencePoint:
+    """Agreement measured after ``intervals`` snapshots have streamed in."""
+
+    intervals: int
+    live_k: int
+    model_version: int
+    agreement: float
+
+
+@dataclass(frozen=True)
+class ConvergenceResult:
+    """One app's online-vs-batch agreement curve."""
+
+    app_name: str
+    n_intervals: int
+    batch_k: int
+    n_refits: int
+    final_agreement: float
+    points: Tuple[ConvergencePoint, ...]
+
+    def to_table(self) -> Table:
+        table = Table(
+            headers=["intervals", "live k", "model", "agreement"],
+            title=(f"{self.app_name}: online-vs-batch agreement "
+                   f"(batch k={self.batch_k}, {self.n_refits} refit(s))"),
+        )
+        for point in self.points:
+            table.add_row(str(point.intervals), str(point.live_k),
+                          f"v{point.model_version}", f"{point.agreement:.1%}")
+        return table
+
+
+def label_agreement(live: Sequence[Optional[int]],
+                    batch: Sequence[int]) -> float:
+    """Fraction of intervals where live and batch assignments agree.
+
+    Live stable ids and batch cluster ids are arbitrary integers, so raw
+    equality is meaningless; each live id is mapped to the batch label it
+    co-occurs with most (a purity-style many-to-one alignment).  The
+    mapping is deliberately *not* one-to-one: a refit retires a stable id
+    and mints a fresh one for behavior the batch pipeline files under a
+    single phase, so several live generations legitimately shadow one
+    batch label.  Warmup intervals (live ``None``) are excluded; novel
+    intervals (live ``-1``) form their own live id and count as
+    disagreement unless novelty genuinely shadows one batch phase.
+    """
+    pairs = [(lv, int(b)) for lv, b in zip(live, batch) if lv is not None]
+    if not pairs:
+        return 0.0
+    by_live: Counter = Counter(pairs)
+    best: Counter = Counter()
+    for (lv, _b), count in by_live.items():
+        best[lv] = max(best[lv], count)
+    return sum(best.values()) / len(pairs)
+
+
+def measure_convergence(
+    app_name: str = "synthetic",
+    *,
+    scale: float = 1.0,
+    seed: int = DEFAULT_SEED,
+    interval: float = 1.0,
+    checkpoints: int = 8,
+    warmup: int = 12,
+    config: AnalysisConfig = AnalysisConfig(),
+) -> ConvergenceResult:
+    """Stream one collected run and score live agreement at checkpoints.
+
+    The same snapshot series is analyzed twice: once by the batch
+    pipeline (the reference labels) and once through the streaming
+    engine one snapshot at a time, scoring :func:`label_agreement` over
+    the prefix at each of ``checkpoints`` evenly spaced marks.
+    """
+    if checkpoints < 1:
+        raise ValidationError("need at least one convergence checkpoint")
+    app = get_app(app_name)
+    session = Session(app, SessionConfig(ranks=1, seed=seed, scale=scale,
+                                         interval=interval))
+    snapshots = session.run().samples(0)
+    batch = analyze_snapshots(snapshots, config)
+    batch_labels = [int(label) for label in batch.phase_model.labels]
+    engine = IncrementalAnalyzer(config, warmup=warmup)
+    n = len(snapshots)
+    marks = sorted({max(1, round(n * i / checkpoints))
+                    for i in range(1, checkpoints + 1)})
+    points = []
+    for i, snapshot in enumerate(snapshots, start=1):
+        engine.observe(snapshot)
+        if i in marks:
+            points.append(ConvergencePoint(
+                intervals=i,
+                live_k=engine.current_k,
+                model_version=engine.model_version,
+                agreement=label_agreement(engine.phase_sequence(),
+                                          batch_labels),
+            ))
+    return ConvergenceResult(
+        app_name=app_name,
+        n_intervals=n,
+        batch_k=batch.n_phases,
+        n_refits=len(engine.refits),
+        final_agreement=points[-1].agreement,
+        points=tuple(points),
+    )

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import re
 from pathlib import Path
-from typing import Dict, List, Union
+from typing import Dict, List, Tuple, Union
 
 from repro.gprof.gmon import GmonData, dumps_gmon, read_gmon
 from repro.util.atomicio import atomic_write_bytes
@@ -79,6 +79,20 @@ class SampleStore:
         """All samples of ``rank`` in interval order."""
         indexed = self._scan().get(rank, {})
         return [self._read(indexed[i]) for i in sorted(indexed)]
+
+    def load_rank_since(self, rank: int,
+                        after_index: int = -1) -> List[Tuple[int, GmonData]]:
+        """Samples of ``rank`` with interval index > ``after_index``.
+
+        The polling primitive behind ``incprof analyze --follow``: a live
+        tail re-scans the directory each poll but reads only the dumps
+        past its watermark, so each poll costs O(new files) reads rather
+        than re-loading the whole run.  Returns ``(index, sample)`` pairs
+        in interval order so the caller can advance its watermark.
+        """
+        indexed = self._scan().get(rank, {})
+        return [(i, self._read(indexed[i]))
+                for i in sorted(indexed) if i > after_index]
 
     def load_all(self) -> Dict[int, List[GmonData]]:
         """Samples for every rank, ordered by interval — one directory scan."""

@@ -28,6 +28,7 @@ import time
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple, Union
 
+from repro.core.incremental import AdaptiveConfig
 from repro.core.model_io import pack_artifact, read_artifact_payload
 from repro.core.online import OnlinePhaseTracker
 from repro.service.registry import StreamRegistry, StreamState
@@ -64,14 +65,18 @@ def _stream_to_obj(state: StreamState) -> Dict[str, Any]:
                 "dropped_oldest": state.dropped_oldest,
                 "rejected": state.rejected,
                 "heartbeats": state.heartbeats,
+                "refits": state.refits,
             }
         if state.tracker is not None:
             obj["tracker"] = state.tracker.runtime_state()
     return obj
 
 
-def _stream_from_obj(obj: Dict[str, Any],
-                     template: Optional[OnlinePhaseTracker]) -> StreamState:
+def _stream_from_obj(
+    obj: Dict[str, Any],
+    template: Optional[OnlinePhaseTracker],
+    adaptive: Optional[AdaptiveConfig] = None,
+) -> StreamState:
     try:
         state = StreamState(
             stream_id=str(obj["stream_id"]),
@@ -88,11 +93,12 @@ def _stream_from_obj(obj: Dict[str, Any],
         state.dropped_oldest = int(obj.get("dropped_oldest", 0))
         state.rejected = int(obj.get("rejected", 0))
         state.heartbeats = int(obj.get("heartbeats", 0))
+        state.refits = int(obj.get("refits", 0))
     except (KeyError, TypeError, ValueError) as exc:
         raise CheckpointError(f"bad stream record in checkpoint: {exc!r}") from exc
     tracker_state = obj.get("tracker")
     if tracker_state is not None and template is not None:
-        tracker = template.spawn(zero_start=True)
+        tracker = template.spawn(zero_start=True, adaptive=adaptive)
         try:
             tracker.restore_runtime_state(tracker_state)
         except ValidationError as exc:
@@ -116,15 +122,21 @@ def restore_registry(
     registry: StreamRegistry,
     payload: Dict[str, Any],
     template: Optional[OnlinePhaseTracker],
+    adaptive: Optional[AdaptiveConfig] = None,
 ) -> List[StreamState]:
-    """Install a checkpoint payload into ``registry``; return the streams."""
+    """Install a checkpoint payload into ``registry``; return the streams.
+
+    ``adaptive`` re-arms online refitting on the restored trackers (the
+    checkpointed refit window, drift state, and model version all ride
+    in the tracker's runtime state).
+    """
     if payload.get("kind") != "incprofd-checkpoint":
         raise CheckpointError(
             f"artifact kind {payload.get('kind')!r} is not an incprofd checkpoint")
     streams = payload.get("streams", [])
     if not isinstance(streams, list):
         raise CheckpointError("checkpoint 'streams' must be a list")
-    restored = [_stream_from_obj(obj, template) for obj in streams]
+    restored = [_stream_from_obj(obj, template, adaptive) for obj in streams]
     finished = payload.get("finished", [])
     registry.restore_finished(
         [row for row in finished if isinstance(row, dict)],

@@ -335,6 +335,13 @@ class PublishReport:
     #: seq -> effective trace id of that submission (client-minted, or
     #: what the server's reply reported for it).
     trace_ids: Dict[int, str] = field(default_factory=dict)
+    #: Stream model version observed on each snapshot reply, in send
+    #: order — a live refit on the server shows up as a monotone step.
+    model_versions: List[int] = field(default_factory=list)
+    #: Final model version (from the bye reply), and which version
+    #: classified each interval (parallel to ``phase_sequence``).
+    model_version: int = 0
+    classified_versions: List[int] = field(default_factory=list)
 
 
 def publish_samples(
@@ -398,6 +405,9 @@ def publish_samples(
                 effective = str(reply.data.get("trace", trace_id) or "")
                 if effective:
                     report.trace_ids[seq] = effective
+                version = reply.data.get("model_version")
+                if version is not None:
+                    report.model_versions.append(int(version))
                 if seq <= max_sent:
                     report.resent += 1
                 max_sent = max(max_sent, seq)
@@ -431,6 +441,9 @@ def publish_samples(
                 report.novel = int(reply.data.get("novel", 0))
                 report.phase_sequence = [int(p) for p in
                                          reply.data.get("phase_sequence", [])]
+                report.model_version = int(reply.data.get("model_version", 0))
+                report.classified_versions = [
+                    int(v) for v in reply.data.get("model_versions", [])]
             else:
                 report.error = reply.error
             report.retries = client.connect_retries + client.request_retries

@@ -86,6 +86,7 @@ class ServiceMetrics:
         self.connections = 0
         self.faults_injected = 0
         self.checkpoints_written = 0
+        self.refits = 0
         self.classify_latency = LatencyWindow(latency_capacity)
         self.stages: Dict[str, Dict[str, float]] = {}
         self._first_ingest: Optional[float] = None
@@ -139,6 +140,11 @@ class ServiceMetrics:
     def note_checkpoint(self) -> None:
         with self._lock:
             self.checkpoints_written += 1
+
+    def note_refit(self) -> None:
+        """One live model refit (any stream) hot-swapped a new version."""
+        with self._lock:
+            self.refits += 1
 
     def note_stage(self, stage: str, seconds: float, items: int = 1) -> None:
         """Accumulate wall time of one worker pipeline stage.
@@ -203,6 +209,7 @@ class ServiceMetrics:
                 "connections": self.connections,
                 "faults_injected": self.faults_injected,
                 "checkpoints_written": self.checkpoints_written,
+                "refits": self.refits,
                 "elapsed": elapsed,
                 "ingest_rate": self._ingest_rate_locked(),
                 "stages": {name: dict(rec)

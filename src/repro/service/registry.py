@@ -67,6 +67,8 @@ class StreamState:
         self.dropped_oldest = 0
         self.rejected = 0
         self.heartbeats = 0
+        #: Live model refits this stream's tracker has performed.
+        self.refits = 0
 
     # ------------------------------------------------------------------
     def touch(self, now: float) -> None:
@@ -107,11 +109,13 @@ class StreamState:
                 "dropped_oldest": self.dropped_oldest,
                 "rejected": self.rejected,
                 "heartbeats": self.heartbeats,
+                "refits": self.refits,
                 "closed": self.closed,
             }
         row["lag"] = max(0, row["enqueued"] - row["processed"] - row["dropped_oldest"])
         if self.tracker is not None:
             row["phase_counts"] = {str(k): v for k, v in self.tracker.phase_counts().items()}
+            row["model_version"] = getattr(self.tracker, "model_version", 0)
         return row
 
 

@@ -37,9 +37,12 @@ from dataclasses import dataclass, field, replace
 from queue import Empty, Queue
 from typing import Any, Deque, Dict, List, Optional, Tuple
 
+from repro.core.incremental import AdaptiveConfig, DriftConfig
+from repro.core.model_io import MODEL_MAGIC, MODEL_SCHEMA, pack_artifact
 from repro.core.online import OnlinePhaseTracker
 from repro.gprof.gmon import GmonData
 from repro.heartbeat.ldms import LDMSTransport
+from repro.util.atomicio import atomic_write_bytes
 from repro.service.checkpoint import (
     CheckpointManager,
     restore_registry,
@@ -183,6 +186,15 @@ class ServerConfig:
     #: Novelty gate parameters used when spawning per-stream trackers.
     quantile: float = 0.95
     slack: float = 1.5
+    #: Online refit: wall-clock floor between per-stream model refits
+    #: (``--refit-interval``); None disables live refitting entirely.
+    refit_interval: Optional[float] = None
+    #: Fraction of recent intervals that must be novel before a refit
+    #: fires (``--refit-drift-threshold``); inertia degradation uses the
+    #: shared :class:`~repro.core.incremental.DriftConfig` default.
+    refit_drift_threshold: float = 0.3
+    #: Refits train on this many most-recent interval profiles.
+    refit_window: int = 128
     #: Durable-state directory; None disables checkpointing entirely.
     checkpoint_dir: Optional[str] = None
     #: Seconds between checkpoint writes (a crash loses at most this much).
@@ -218,6 +230,25 @@ class ServerConfig:
         if (self.self_heartbeat_interval is not None
                 and self.self_heartbeat_interval <= 0):
             raise ValidationError("self-heartbeat interval must be positive")
+        if self.refit_interval is not None and self.refit_interval < 0:
+            raise ValidationError("refit interval must be non-negative")
+        if not 0 < self.refit_drift_threshold <= 1:
+            raise ValidationError("refit drift threshold must be in (0, 1]")
+        if self.refit_window < 2:
+            raise ValidationError("refit window needs at least two profiles")
+
+    def adaptive_config(self) -> Optional[AdaptiveConfig]:
+        """The per-stream refit policy, or None when refitting is off."""
+        if self.refit_interval is None:
+            return None
+        return AdaptiveConfig(
+            window=self.refit_window,
+            min_refit_window=min(16, self.refit_window),
+            drift=DriftConfig(novel_rate=self.refit_drift_threshold),
+            cooldown_s=self.refit_interval,
+            quantile=self.quantile,
+            slack=self.slack,
+        )
 
 
 class PhaseMonitorServer:
@@ -232,8 +263,13 @@ class PhaseMonitorServer:
     ) -> None:
         self.template = tracker_template
         self.config = config
+        self.adaptive = config.adaptive_config()
         self.registry = StreamRegistry(idle_timeout=config.idle_timeout)
         self.metrics = ServiceMetrics()
+        #: Refit artifacts awaiting persistence: (stream_id, version,
+        #: trained-state dict), captured atomically at swap time and
+        #: written by the housekeeping thread (never under tracker locks).
+        self._model_saves: Deque[Tuple[str, int, Dict[str, Any]]] = deque()
         self.faults = faults
         self.log = (logger if logger is not None
                     else JsonLogger("incprofd", level=config.log_level))
@@ -335,10 +371,13 @@ class PhaseMonitorServer:
             self.log.warning("checkpoint-quarantined", path=str(quarantined))
         if payload is None:
             return
-        restored = restore_registry(self.registry, payload, self.template)
+        restored = restore_registry(self.registry, payload, self.template,
+                                    adaptive=self.adaptive)
         for state in restored:
             state.queue = BoundedStreamQueue(self.config.queue_capacity,
                                              self.config.policy)
+            if state.tracker is not None:
+                self._watch_refits(state, state.tracker)
         self.restored_streams = [s.stream_id for s in restored]
         # Traces survive restarts alongside the registry (extra payload
         # keys are ignored by older restore paths, so this is additive).
@@ -390,7 +429,9 @@ class PhaseMonitorServer:
                 thread.join(timeout=5.0)
         try:
             # Final checkpoint after the workers quiesce, so an orderly
-            # shutdown persists exactly the classified state.
+            # shutdown persists exactly the classified state (including
+            # any refit artifacts still queued for persistence).
+            self._flush_model_saves()
             self.checkpoint_now()
         except (CheckpointError, OSError) as exc:
             self.log.warning("final-checkpoint-failed", error=str(exc))
@@ -526,16 +567,23 @@ class PhaseMonitorServer:
         else:
             tracker = None
             if self.template is not None:
-                tracker = self.template.spawn(zero_start=True)
+                tracker = self.template.spawn(zero_start=True,
+                                              adaptive=self.adaptive)
             state = self.registry.register(msg.stream_id, app=msg.app,
                                            rank=msg.rank, tracker=tracker)
             state.queue = BoundedStreamQueue(self.config.queue_capacity,
                                              self.config.policy)
+            if tracker is not None:
+                self._watch_refits(state, tracker)
         return Reply(ok=True, data={
             "stream_id": msg.stream_id,
             "policy": self.config.policy,
             "queue_capacity": self.config.queue_capacity,
             "classifying": state.tracker is not None,
+            "refitting": (state.tracker is not None
+                          and self.adaptive is not None),
+            "model_version": (state.tracker.model_version
+                              if state.tracker is not None else None),
             "resumed": resumed,
             # The next sequence number the server wants: everything at or
             # below ``last_seq`` is admitted (or, after a restart,
@@ -584,8 +632,14 @@ class PhaseMonitorServer:
             with state.lock:
                 state.dropped_oldest += 1
         self._schedule(state)
-        return Reply(ok=True, data={"outcome": outcome, "seq": msg.seq,
-                                    "trace": trace_id})
+        data: Dict[str, Any] = {"outcome": outcome, "seq": msg.seq,
+                                "trace": trace_id}
+        if state.tracker is not None:
+            # The stream's current model version rides on every snapshot
+            # reply — versions only increase, so a publisher watching the
+            # sequence sees each hot swap as a monotone step.
+            data["model_version"] = state.tracker.model_version
+        return Reply(ok=True, data=data)
 
     def _on_heartbeat(self, msg: HeartbeatMsg) -> Reply:
         state = self.registry.get(msg.stream_id)
@@ -635,12 +689,20 @@ class PhaseMonitorServer:
         state = self.registry.get(msg.stream_id)
         drained = self._drain(state, timeout=self.config.block_timeout)
         self.registry.close(msg.stream_id)
-        return Reply(ok=True, data={
+        data: Dict[str, Any] = {
             "drained": drained,
             "processed": state.processed,
             "novel": state.novel,
             "phase_sequence": state.phase_sequence(),
-        })
+        }
+        if state.tracker is not None:
+            data["model_version"] = state.tracker.model_version
+            # Which model classified each interval, parallel to
+            # phase_sequence — the client-side record of every hot swap.
+            data["model_versions"] = state.tracker.version_sequence()
+            data["refits"] = [e.to_obj()
+                              for e in state.tracker.refit_events]
+        return Reply(ok=True, data=data)
 
     def _drain(self, state: StreamState, timeout: float) -> bool:
         """Wait until every accepted snapshot of ``state`` is classified."""
@@ -650,6 +712,53 @@ class PhaseMonitorServer:
                 return False
             time.sleep(0.002)
         return True
+
+    # ------------------------------------------------------------------
+    # live refits
+    # ------------------------------------------------------------------
+    def _watch_refits(self, state: StreamState,
+                      tracker: OnlinePhaseTracker) -> None:
+        """Observe a stream tracker's hot swaps (metrics, log, artifact).
+
+        The listener runs under the tracker's lock, so it only captures
+        cheap state: the trained-state dict is queued and the artifact
+        write happens on the housekeeping thread.
+        """
+        def on_refit(trk: OnlinePhaseTracker, event) -> None:
+            self.metrics.note_refit()
+            with state.lock:
+                state.refits += 1
+            self.log.info(
+                "model-refit", stream_id=state.stream_id,
+                version=event.version, old_k=event.old_k, new_k=event.new_k,
+                interval_index=event.interval_index, reason=event.reason)
+            if self.checkpoints is not None:
+                self._model_saves.append(
+                    (state.stream_id, event.version, trk.trained_state()))
+
+        tracker.add_refit_listener(on_refit)
+
+    def _flush_model_saves(self) -> None:
+        """Persist queued refit models as versioned ``.ipm`` artifacts."""
+        if self.checkpoints is None:
+            self._model_saves.clear()
+            return
+        while self._model_saves:
+            stream_id, version, model_state = self._model_saves.popleft()
+            payload = {
+                "kind": "phase-model",
+                "model": model_state,
+                "meta": {"stream_id": stream_id, "model_version": version,
+                         "source": "live-refit"},
+            }
+            path = (self.checkpoints.directory
+                    / f"model-{stream_id}-v{version}.ipm")
+            try:
+                atomic_write_bytes(
+                    path, pack_artifact(payload, MODEL_MAGIC, MODEL_SCHEMA))
+            except OSError as exc:
+                self.log.warning("model-artifact-failed", path=str(path),
+                                 error=str(exc))
 
     # ------------------------------------------------------------------
     # worker pool + scheduler
@@ -785,6 +894,7 @@ class PhaseMonitorServer:
                 # transport before the sampler pull below picks them up.
                 self.selfekg.tick()
             self.transport.sample()
+            self._flush_model_saves()
             if self.checkpoints is not None and self.checkpoints.due():
                 try:
                     self.checkpoint_now()

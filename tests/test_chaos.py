@@ -302,3 +302,89 @@ def test_sigkill_mid_stream_recovers_with_identical_fleet_counts(
         if proc.poll() is None:
             proc.kill()
             proc.wait(timeout=10)
+
+
+# ----------------------------------------------------------------------
+# live model refits: hot swap under traffic
+# ----------------------------------------------------------------------
+PHASE_A = {"kernel": 85, "reduce": 10}
+PHASE_B = {"sort": 60, "reduce": 35}
+PHASE_C = {"alien": 90, "reduce": 5}  # never seen in training
+
+
+def cumulative_stream(interval_ticks):
+    """A cumulative gmon series from per-interval tick profiles."""
+    from repro.gprof.gmon import GmonData
+
+    cum = GmonData()
+    out = []
+    for i, ticks in enumerate(interval_ticks):
+        for func, n in ticks.items():
+            cum.add_ticks(func, n)
+        snap = cum.copy()
+        snap.timestamp = float(i + 1)
+        out.append(snap)
+    return out
+
+
+def test_refit_hot_swap_under_live_traffic(tmp_path):
+    """The headline hot-swap scenario: a stream drifts mid-run, the
+    daemon refits and swaps the model under live traffic, and the client
+    observes (1) no loss or misordering, (2) a monotonically increasing
+    model version, and (3) stable-phase labels unchanged across the
+    swap — only the genuinely new behavior gets a fresh id."""
+    train = cumulative_stream([PHASE_A, PHASE_B] * 12)
+    analysis = analyze_snapshots(train,
+                                 AnalysisConfig(kmax=4, drop_short_final=False))
+    template = OnlinePhaseTracker.from_analysis(analysis)
+    known = set(template.phase_sequence()) | {int(lab)
+                                             for lab in template.phase_labels}
+
+    # steady A/B traffic, then B is replaced by never-trained C while A
+    # keeps occurring — A is the stable phase the swap must not relabel
+    flip = 60
+    live = cumulative_stream([PHASE_A, PHASE_B] * (flip // 2)
+                             + [PHASE_A, PHASE_C] * (flip // 2))
+    config = make_config(refit_interval=0.0, refit_drift_threshold=0.3,
+                         checkpoint_dir=tmp_path, checkpoint_interval=0.1)
+    with PhaseMonitorServer(template, config) as server:
+        report = publish_samples(server.endpoint, "drift", live,
+                                 retry=FAST_RETRY)
+        refits_metric = server.metrics.snapshot()["refits"]
+
+    assert report.error == "" and report.drained
+    assert report.processed == len(live)
+    assert len(report.phase_sequence) == len(live)
+
+    # (2) version visibility: at least one refit happened, and every
+    # version series the client can observe is monotone non-decreasing
+    assert refits_metric >= 1
+    assert report.model_version >= 1
+    for versions in (report.model_versions, report.classified_versions):
+        assert versions == sorted(versions)
+    assert len(set(report.classified_versions)) >= 2
+    assert len(report.classified_versions) == len(live)
+
+    # (3) label stability: the A intervals run through the entire stream
+    # (even indexes); across the hot swap they keep one label
+    seq = report.phase_sequence
+    a_labels = {seq[i] for i in range(0, len(seq), 2)}
+    assert len(a_labels) == 1, f"stable phase relabeled: {a_labels}"
+    assert a_labels < known
+
+    # the drifted behavior converges on a fresh id outside the trained
+    # alphabet (early C intervals may gate out as novel first)
+    c_labels = {seq[i] for i in range(flip + 1, len(seq), 2)}
+    fresh = c_labels - known - {-1}
+    assert fresh, f"no fresh phase id for drifted behavior: {c_labels}"
+    assert seq[-1] in fresh  # settled by the end of the run
+
+    # each refit's versioned model artifact was persisted durably
+    artifacts = sorted(p.name for p in tmp_path.glob("model-drift-v*.ipm"))
+    assert artifacts, "refit produced no model artifact"
+    from repro.core.model_io import load_model, model_meta
+
+    swapped = load_model(tmp_path / artifacts[-1])
+    meta = model_meta(tmp_path / artifacts[-1])
+    assert swapped.model_version == int(meta["model_version"]) >= 1
+    assert meta["source"] == "live-refit"

@@ -101,3 +101,50 @@ def test_analyze_merge_ranks(tmp_path, capsys):
     assert main(["analyze", out_dir, "--merge-ranks"]) == 0
     out = capsys.readouterr().out
     assert "merged 2 ranks" in out
+
+
+def test_analyze_follow_tails_a_growing_directory(tmp_path, capsys):
+    """--follow with a poll budget: live per-interval lines, then the
+    final batch report once polling stops."""
+    out_dir = str(tmp_path / "follow")
+    main(["run", "--app", "graph500", "--out", out_dir, "--scale", "0.2"])
+    assert main(["analyze", out_dir, "--follow", "--poll", "0.01",
+                 "--max-polls", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "following" in out
+    assert "phase" in out
+    assert "[    0]" in out  # live line for the first interval
+    assert "Phase summary" in out or "phase" in out.lower()
+
+
+def test_analyze_follow_rejects_merge_ranks(tmp_path, capsys):
+    out_dir = str(tmp_path / "fm")
+    main(["run", "--app", "graph500", "--out", out_dir, "--scale", "0.2"])
+    assert main(["analyze", out_dir, "--follow", "--merge-ranks",
+                 "--max-polls", "1"]) == 2
+
+
+def test_analyze_follow_saves_model(tmp_path, capsys):
+    out_dir = str(tmp_path / "fs")
+    model = tmp_path / "followed.ipm"
+    main(["run", "--app", "miniamr", "--out", out_dir, "--scale", "0.15"])
+    assert main(["analyze", out_dir, "--follow", "--max-polls", "1",
+                 "--save-model", str(model)]) == 0
+    assert model.exists()
+
+
+def test_analyze_follow_needs_two_intervals(tmp_path, capsys):
+    (tmp_path / "empty").mkdir()
+    assert main(["analyze", str(tmp_path / "empty"), "--follow",
+                 "--poll", "0.01", "--max-polls", "2"]) == 1
+    assert "need at least 2" in capsys.readouterr().out
+
+
+def test_serve_refit_parser_flags():
+    args = build_parser().parse_args(["serve"])
+    assert args.refit_interval is None  # frozen model by default
+    assert args.refit_drift_threshold == 0.3
+    args = build_parser().parse_args(
+        ["serve", "--refit-interval", "5", "--refit-drift-threshold", "0.2"])
+    assert args.refit_interval == 5.0
+    assert args.refit_drift_threshold == 0.2

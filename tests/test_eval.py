@@ -145,3 +145,25 @@ def test_cache_capacity_validation():
 
     with pytest.raises(ValueError):
         set_cache_capacity(0)
+
+
+def test_convergence_curve_reaches_agreement():
+    from repro.eval import label_agreement, measure_convergence
+
+    result = measure_convergence("synthetic", checkpoints=4)
+    assert len(result.points) == 4
+    assert [p.intervals for p in result.points] == \
+        sorted(p.intervals for p in result.points)
+    assert result.points[-1].intervals == result.n_intervals
+    assert 0.0 <= result.final_agreement <= 1.0
+    # the online engine must substantially agree with hindsight
+    assert result.final_agreement > 0.75
+    # versions only move forward as the live model refits
+    versions = [p.model_version for p in result.points]
+    assert versions == sorted(versions)
+    table = result.to_table().render()
+    assert "agreement" in table and "%" in table
+    # the alignment metric itself: permuted-alphabet perfection
+    assert label_agreement([None, 5, 5, 9], [0, 1, 1, 0]) == 1.0
+    assert label_agreement([1, 1], [0, 1]) == 0.5
+    assert label_agreement([], []) == 0.0

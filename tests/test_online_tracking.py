@@ -239,3 +239,147 @@ def test_classify_batch_matches_repeated_classify(trained):
         assert got.nearest_phase == want.nearest_phase
         assert got.distance == want.distance  # bit-identical math
     assert batched.phase_sequence() == one_by_one.phase_sequence()
+
+
+# ----------------------------------------------------------------------
+# differencing edge cases: real dump streams are not always well behaved
+# ----------------------------------------------------------------------
+def _snap(ticks, timestamp):
+    snap = GmonData(timestamp=timestamp)
+    for func, n in ticks.items():
+        snap.add_ticks(func, n)
+    return snap
+
+
+def test_decreasing_cumulative_times_clamp_to_zero(trained):
+    """A counter that goes backwards (restarted collector, lost dump)
+    must clamp to zero self time, not produce a negative interval."""
+    analysis, _ = trained
+    tracker = OnlinePhaseTracker.from_analysis(analysis)
+    assert tracker.observe_snapshot(_snap({"kernel": 200, "reduce": 40},
+                                          1.0)) is None
+    profile = tracker.delta_profile(_snap({"kernel": 150, "reduce": 50}, 2.0))
+    assert "kernel" not in profile  # decreased: clamped out entirely
+    assert profile["reduce"] == pytest.approx((50 - 40) * 0.01)
+    assert all(v >= 0 for v in profile.values())
+
+
+def test_functions_disappearing_between_snapshots(trained):
+    """A function absent from the newer dump contributes zero time; the
+    interval still classifies against the full vocabulary."""
+    analysis, _ = trained
+    tracker = OnlinePhaseTracker.from_analysis(analysis)
+    assert tracker.observe_snapshot(_snap({"kernel": 85, "reduce": 10,
+                                           "setup": 30}, 1.0)) is None
+    profile = tracker.delta_profile(_snap({"kernel": 170, "reduce": 20}, 2.0))
+    assert "setup" not in profile
+    tracked = tracker.classify(profile)
+    assert tracked is not None and not tracked.is_novel
+
+
+def test_first_snapshot_after_spawn_primes_without_zero_start(trained):
+    """spawn(zero_start=False) children treat their first snapshot as a
+    baseline — mid-run attach must not classify a bogus cumulative blob."""
+    analysis, _ = trained
+    template = OnlinePhaseTracker.from_analysis(analysis)
+    child = template.spawn(zero_start=False)
+    huge = _snap({"kernel": 5000, "reduce": 800}, 10.0)  # mid-run totals
+    assert child.observe_snapshot(huge) is None  # primes, no bogus novel
+    assert child.history == []
+    nxt = _snap({"kernel": 5085, "reduce": 810}, 11.0)
+    tracked = child.observe_snapshot(nxt)
+    assert tracked is not None and tracked.index == 0
+    assert not tracked.is_novel  # one clean interval of the known phase
+
+
+# ----------------------------------------------------------------------
+# adaptive refits: the tracker rebuilds its own model on drift
+# ----------------------------------------------------------------------
+def adaptive_tracker(analysis):
+    from repro.core.incremental import AdaptiveConfig, DriftConfig
+
+    config = AdaptiveConfig(window=64, min_refit_window=16,
+                            drift=DriftConfig(window=32, min_samples=16,
+                                              novel_rate=0.3),
+                            cooldown_s=0.0, cooldown_intervals=16)
+    return OnlinePhaseTracker.from_analysis(analysis, adaptive=config)
+
+
+def test_adaptive_refit_fires_on_drift_and_bumps_version(trained):
+    analysis, _ = trained
+    tracker = adaptive_tracker(analysis)
+    data = analysis.interval_data
+    known = {f: data.self_time[0, j] for j, f in enumerate(data.functions)}
+    alien = {data.functions[0]: 47.0}
+    events = []
+    tracker.add_refit_listener(lambda trk, event: events.append(event))
+    for _ in range(20):
+        tracker.classify(dict(known))
+    assert tracker.model_version == 0
+    before = tracker.classify(dict(known)).phase_id
+    for _ in range(40):
+        tracker.classify(dict(alien))
+    assert tracker.model_version >= 1
+    assert events and events[0].version == 1
+    assert tracker.refit_events == events
+    # the stable phase keeps its id across the swap...
+    after = tracker.classify(dict(known))
+    assert after.phase_id == before
+    assert after.model_version == tracker.model_version
+    # ...and the drifted behavior now has a phase of its own
+    adopted = tracker.classify(dict(alien))
+    assert not adopted.is_novel
+    assert adopted.phase_id not in (before, NOVEL)
+
+
+def test_version_sequence_is_monotone_across_refits(trained):
+    analysis, _ = trained
+    tracker = adaptive_tracker(analysis)
+    data = analysis.interval_data
+    alien = {data.functions[0]: 47.0}
+    for _ in range(40):
+        tracker.classify(dict(alien))
+    versions = tracker.version_sequence()
+    assert versions == sorted(versions)
+    assert versions[0] == 0 and versions[-1] >= 1
+
+
+def test_force_refit_and_install_model_version_rules(trained):
+    analysis, _ = trained
+    tracker = adaptive_tracker(analysis)
+    data = analysis.interval_data
+    profile = {f: data.self_time[0, j] for j, f in enumerate(data.functions)}
+    for _ in range(16):
+        tracker.classify(dict(profile))
+    event = tracker.force_refit(reason="operator")
+    assert event is not None and event.reason == "operator"
+    assert tracker.model_version == event.version == 1
+    with pytest.raises(ValidationError):
+        tracker.install_model(centroids=tracker.centroids.copy(),
+                              gates=tracker.gates.copy(), version=0)
+    tracker.install_model(centroids=tracker.centroids.copy(),
+                          gates=tracker.gates.copy())
+    assert tracker.model_version == 2  # default: bump past current
+
+
+def test_runtime_state_round_trips_refit_machinery(trained):
+    analysis, _ = trained
+    tracker = adaptive_tracker(analysis)
+    data = analysis.interval_data
+    alien = {data.functions[0]: 47.0}
+    for _ in range(40):
+        tracker.classify(dict(alien))
+    assert tracker.model_version >= 1
+    state = tracker.runtime_state()
+    clone = adaptive_tracker(analysis)
+    clone.restore_runtime_state(state)
+    assert clone.model_version == tracker.model_version
+    assert clone.phase_sequence() == tracker.phase_sequence()
+    assert clone.version_sequence() == tracker.version_sequence()
+    assert np.array_equal(clone.centroids, tracker.centroids)
+    assert np.array_equal(clone.phase_labels, tracker.phase_labels)
+    assert ([e.to_obj() for e in clone.refit_events]
+            == [e.to_obj() for e in tracker.refit_events])
+    # the restored window keeps feeding the same drift machinery
+    assert clone.classify(dict(alien)).phase_id == \
+        tracker.classify(dict(alien)).phase_id

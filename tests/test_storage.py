@@ -166,3 +166,20 @@ def test_sample_file_error_importable_from_errors_module(tmp_path):
 
     assert SampleFileError is canonical
     assert issubclass(SampleFileError, FormatError)
+
+
+def test_load_rank_since_watermark(tmp_path):
+    """The --follow polling primitive: only dumps past the watermark."""
+    store = SampleStore(tmp_path)
+    for i in range(4):
+        store.save(snap(0, (i + 1) * 10, float(i + 1)), i)
+    everything = store.load_rank_since(0)
+    assert [i for i, _ in everything] == [0, 1, 2, 3]
+    fresh = store.load_rank_since(0, after_index=1)
+    assert [i for i, _ in fresh] == [2, 3]
+    assert [s.hist["f"] for _, s in fresh] == [30, 40]
+    assert store.load_rank_since(0, after_index=3) == []
+    assert store.load_rank_since(7, after_index=-1) == []  # unknown rank
+    # a dump landing between polls is picked up by the next poll
+    store.save(snap(0, 50, 5.0), 4)
+    assert [i for i, _ in store.load_rank_since(0, after_index=3)] == [4]

@@ -335,6 +335,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         log_level=args.log_level,
         refit_interval=args.refit_interval,
         refit_drift_threshold=args.refit_drift_threshold,
+        worker_id=args.worker_id or "",
+        finished_capacity=args.finished_capacity,
     )
     server = PhaseMonitorServer(template, config)
     bound = server.start()
@@ -405,6 +407,154 @@ def _serve_selftest(args: argparse.Namespace) -> int:
             print(f"FAIL: {failure}")
         return 1
     print("selftest PASS (clean shutdown)")
+    return 0
+
+
+def _cmd_serve_fleet(args: argparse.Namespace) -> int:
+    import tempfile
+
+    from repro.fleet import FleetConfig, FleetRouter, RouterConfig, WorkerSupervisor
+    from repro.service import Endpoint
+    from repro.util.errors import ReproError
+
+    if args.selftest:
+        return _serve_fleet_selftest(args)
+    root = args.root or tempfile.mkdtemp(prefix="incprof-fleet-")
+    fleet_config = FleetConfig(
+        root=root,
+        n_workers=args.workers,
+        model_path=args.model,
+        worker_threads=args.worker_threads,
+        queue_capacity=args.queue,
+        policy=args.policy,
+        idle_timeout=args.idle_timeout,
+        checkpoint_interval=args.checkpoint_interval,
+        max_restarts=args.max_restarts,
+        log_level=args.log_level,
+    )
+    endpoint = (Endpoint.unix(args.unix) if args.unix
+                else Endpoint.tcp(args.host, args.port))
+    router_config = RouterConfig(endpoint=endpoint, mode=args.mode,
+                                 log_level=args.log_level)
+    supervisor = WorkerSupervisor(fleet_config)
+    try:
+        supervisor.start()
+    except ReproError as exc:
+        print(f"error: cannot start fleet: {exc}")
+        supervisor.stop()
+        return 1
+    supervisor.start_monitor()
+    router = FleetRouter(supervisor, router_config)
+    try:
+        bound = router.start()
+    except (ReproError, OSError) as exc:
+        print(f"error: cannot start router: {exc}")
+        supervisor.stop()
+        return 1
+    print(f"incprofd fleet: {args.workers} worker(s) under {root}")
+    for worker_id, info in sorted(supervisor.status()["workers"].items()):
+        print(f"  {worker_id}: {info['endpoint']}")
+    print(f"router listening on {bound} (mode={args.mode}, "
+          f"ring generation {supervisor.ring.generation})")
+    try:
+        router.wait()
+    except KeyboardInterrupt:
+        print("\nshutting down fleet")
+        supervisor.stop()
+        router.stop()
+    return 0
+
+
+def _serve_fleet_selftest(args: argparse.Namespace) -> int:
+    """Fleet smoke test: publish through the router, kill a worker,
+    assert the ring rebalances and every stream drains on survivors."""
+    import shutil
+    import tempfile
+    import threading
+    import time as _time
+    from pathlib import Path
+
+    from repro.core.model_io import save_model
+    from repro.fleet import FleetConfig, FleetRouter, RouterConfig, WorkerSupervisor
+    from repro.service import Endpoint, RetryPolicy, SyntheticLoadGenerator
+
+    n_workers = max(2, args.workers)
+    n_streams, n_intervals = 4, 30
+    root = tempfile.mkdtemp(prefix="incprof-fleet-selftest-")
+    failures = []
+    try:
+        generator = SyntheticLoadGenerator()
+        analysis = analyze_snapshots(
+            generator.stream(0, 24),
+            AnalysisConfig(kmax=4, drop_short_final=False))
+        model_path = str(Path(root) / "model.ipm")
+        save_model(analysis, model_path)
+        fleet_config = FleetConfig(
+            root=root, n_workers=n_workers, model_path=model_path,
+            worker_threads=2, checkpoint_interval=0.2, ping_interval=0.2,
+            max_restarts=0, log_level="error",
+        )
+        retry = RetryPolicy(max_attempts=8, base_delay=0.1, max_delay=1.0)
+        with WorkerSupervisor(fleet_config) as supervisor:
+            supervisor.start_monitor()
+            with FleetRouter(supervisor,
+                             RouterConfig(endpoint=Endpoint.tcp("127.0.0.1", 0),
+                                          mode=args.mode,
+                                          log_level="error")) as router:
+                victim = supervisor.ring.lookup("load-0")
+                box = {}
+
+                def publish() -> None:
+                    box["load"] = generator.run(router.endpoint, n_streams,
+                                                n_intervals, delay=0.05,
+                                                retry=retry)
+
+                thread = threading.Thread(target=publish, name="fleet-load")
+                thread.start()
+                _time.sleep(0.8)  # streams registered, checkpoints written
+                supervisor.kill_worker(victim)
+                thread.join(timeout=120.0)
+                if thread.is_alive():
+                    failures.append("load generator did not finish")
+                status = supervisor.status()
+                stats = router.merged_stats()
+        load = box.get("load")
+        if load is None:
+            failures.append("no load result")
+        else:
+            for stream_id, report in sorted(load.streams.items()):
+                if report.error:
+                    failures.append(f"{stream_id}: {report.error}")
+                elif not report.drained:
+                    failures.append(f"{stream_id}: did not drain")
+            # Failover re-sends intervals past the adopter's resume_from
+            # (seq dedup keeps them from being classified twice), so sent
+            # may legitimately exceed the unique-interval count.
+            if load.sent < n_streams * n_intervals:
+                failures.append(
+                    f"sent {load.sent} < {n_streams * n_intervals} "
+                    "(intervals lost)")
+        if status["evictions_total"] != 1:
+            failures.append(
+                f"evictions_total {status['evictions_total']} != 1 "
+                f"(victim {victim} should have been evicted)")
+        if len(status["members"]) != n_workers - 1:
+            failures.append(f"ring has {len(status['members'])} members, "
+                            f"expected {n_workers - 1}")
+        source = stats.get("classify_latency_source", {})
+        print(f"fleet selftest: {n_workers} workers, {n_streams} streams x "
+              f"{n_intervals} intervals through {args.mode} router; "
+              f"killed {victim}; "
+              f"migrated={status['migrations_total']}, "
+              f"ring generation {status['generation']}, "
+              f"latency merge {source.get('kind', '?')}")
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print("fleet selftest PASS (rebalance + resume on survivors)")
     return 0
 
 
@@ -702,11 +852,57 @@ def build_parser() -> argparse.ArgumentParser:
                          metavar="RATE",
                          help="novel-interval rate over the drift window "
                               "that triggers a refit (with --refit-interval)")
+    p_serve.add_argument("--worker-id", default=None, metavar="ID",
+                         help="fleet identity: run as this worker of a "
+                              "sharded fleet (enables ring-ownership "
+                              "enforcement; normally set by serve-fleet)")
+    p_serve.add_argument("--finished-capacity", type=int, default=64,
+                         help="finished-stream history rows kept "
+                              "(drop-oldest beyond this)")
     p_serve.add_argument("--selftest", action="store_true",
                          help="in-process smoke test: server + synthetic "
                               "publishers, assert clean shutdown")
     _add_common(p_serve)
     p_serve.set_defaults(func=_cmd_serve)
+
+    p_fleet = sub.add_parser(
+        "serve-fleet",
+        help="shard incprofd: spawn worker daemons behind one router")
+    p_fleet.add_argument("--workers", type=int, default=2,
+                         help="worker daemons to spawn")
+    p_fleet.add_argument("--root", default=None, metavar="DIR",
+                         help="fleet root directory (sockets, per-worker "
+                              "checkpoints, manifest); default: a temp dir")
+    p_fleet.add_argument("--model", default=None, metavar="PATH",
+                         help="phase-model artifact every worker serves")
+    p_fleet.add_argument("--host", default="127.0.0.1",
+                         help="router listen host")
+    p_fleet.add_argument("--port", type=int, default=9270,
+                         help="router TCP port (0 = ephemeral)")
+    p_fleet.add_argument("--unix", default=None,
+                         help="router unix socket path instead of TCP")
+    p_fleet.add_argument("--mode", default="proxy",
+                         choices=["proxy", "redirect"],
+                         help="proxy forwards requests; redirect points "
+                              "publishers at the owning worker")
+    p_fleet.add_argument("--worker-threads", type=int, default=2,
+                         help="classification threads per worker daemon")
+    p_fleet.add_argument("--queue", type=int, default=64,
+                         help="per-stream queue capacity in each worker")
+    p_fleet.add_argument("--policy", default="block",
+                         choices=["block", "drop-oldest", "reject"])
+    p_fleet.add_argument("--idle-timeout", type=float, default=30.0)
+    p_fleet.add_argument("--checkpoint-interval", type=float, default=0.5)
+    p_fleet.add_argument("--max-restarts", type=int, default=1,
+                         help="same-identity revivals before a dead worker "
+                              "is evicted and the ring rebalances")
+    p_fleet.add_argument("--log-level", default="info",
+                         choices=["debug", "info", "warning", "error"])
+    p_fleet.add_argument("--selftest", action="store_true",
+                         help="fleet smoke test: spawn workers, publish "
+                              "through the router, SIGKILL one worker, "
+                              "assert every stream resumes")
+    p_fleet.set_defaults(func=_cmd_serve_fleet)
 
     p_sub = sub.add_parser("submit",
                            help="run a workload and stream it to a daemon")

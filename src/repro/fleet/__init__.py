@@ -1,0 +1,39 @@
+"""Fleet-of-daemons: shard ``incprofd`` across worker processes.
+
+One threaded ``incprofd`` caps classify throughput at a single
+interpreter.  This package scales the profiling plane *out* instead of
+up, shared-nothing:
+
+- :mod:`repro.fleet.ring` — a consistent-hash ring with virtual nodes
+  maps every ``stream_id`` to exactly one worker; membership changes
+  move only the dead worker's streams.
+- :mod:`repro.fleet.supervisor` — spawns N ``incprofd`` worker daemons
+  as subprocesses (own checkpoint dir, model artifact, unix socket,
+  metrics port each), monitors liveness over the existing ping
+  machinery, restarts crashed workers, and evicts repeat offenders.
+- :mod:`repro.fleet.router` — a thin front end speaking the existing
+  wire protocol: routes ``hello``/``snapshot``/``bye`` by ring lookup
+  (proxy- or redirect-mode), fans ``fleet-status``/``stats``/
+  ``metrics``/``trace`` out across workers and merges the replies, and
+  on worker death rebalances the ring and drives orphaned streams
+  through checkpoint-restore + ``resume_from``.
+
+See ``docs/FLEET.md`` for the architecture and failure model.
+"""
+
+from repro.fleet.ring import HashRing
+from repro.fleet.router import FleetRouter, RouterConfig
+from repro.fleet.supervisor import (
+    FleetConfig,
+    WorkerHandle,
+    WorkerSupervisor,
+)
+
+__all__ = [
+    "FleetConfig",
+    "FleetRouter",
+    "HashRing",
+    "RouterConfig",
+    "WorkerHandle",
+    "WorkerSupervisor",
+]

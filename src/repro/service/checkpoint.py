@@ -23,6 +23,7 @@ state to disk on the housekeeping cadence:
 
 from __future__ import annotations
 
+import json
 import os
 import time
 from pathlib import Path
@@ -38,6 +39,22 @@ from repro.util.errors import CheckpointError, ValidationError
 CHECKPOINT_MAGIC = b"IPCKP"
 CHECKPOINT_SCHEMA = 1
 CHECKPOINT_FILENAME = "incprofd.ckpt"
+MANIFEST_FILENAME = "fleet-manifest.json"
+
+
+def worker_checkpoint_dir(root: Union[str, Path], worker_id: str) -> Path:
+    """The per-worker durable-state directory under a fleet root.
+
+    Shared-nothing by construction: each worker checkpoints into its own
+    subdirectory, so concurrent workers never contend on one checkpoint
+    file and the supervisor can read a *dead* worker's state to migrate
+    its streams without touching the survivors'.
+    """
+    if not worker_id:
+        raise ValidationError("worker id must be non-empty")
+    if "/" in worker_id or worker_id in (".", ".."):
+        raise ValidationError(f"worker id {worker_id!r} is not path-safe")
+    return Path(root) / f"worker-{worker_id}"
 
 
 # ----------------------------------------------------------------------
@@ -115,6 +132,7 @@ def snapshot_registry(registry: StreamRegistry) -> Dict[str, Any]:
         "finished": registry.finished_rows(),
         "registered": registry.registered,
         "expired": registry.expired,
+        "finished_evicted": registry.finished_evicted,
     }
 
 
@@ -142,10 +160,57 @@ def restore_registry(
         [row for row in finished if isinstance(row, dict)],
         registered=int(payload.get("registered", 0)),
         expired=int(payload.get("expired", 0)),
+        finished_evicted=int(payload.get("finished_evicted", 0)),
     )
     for state in restored:
         registry.adopt(state)
     return restored
+
+
+# ----------------------------------------------------------------------
+# fleet topology manifest
+# ----------------------------------------------------------------------
+class FleetManifest:
+    """The fleet root's durable topology record (plain JSON, atomic).
+
+    Records the ring membership and where each worker keeps its state
+    (checkpoint directory, endpoint, metrics port).  A restarting
+    supervisor reads it to find orphaned per-worker checkpoints; it is
+    plain JSON — not the checksummed artifact envelope — because humans
+    and shell tools are expected to read it during incident response.
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.path = self.root / MANIFEST_FILENAME
+
+    def write(self, ring_obj: Dict[str, Any],
+              workers: Dict[str, Dict[str, Any]]) -> Path:
+        obj = {"kind": "incprofd-fleet-manifest",
+               "ring": ring_obj, "workers": workers}
+        blob = json.dumps(obj, indent=2, sort_keys=True).encode("utf-8")
+        return atomic_write_bytes(self.path, blob + b"\n")
+
+    def load(self) -> Optional[Dict[str, Any]]:
+        """The manifest payload, or ``None`` when absent; bad JSON raises."""
+        try:
+            blob = self.path.read_bytes()
+        except FileNotFoundError:
+            return None
+        except OSError as exc:
+            raise CheckpointError(
+                f"cannot read fleet manifest {self.path}: {exc}") from exc
+        try:
+            obj = json.loads(blob)
+        except ValueError as exc:
+            raise CheckpointError(
+                f"corrupt fleet manifest {self.path}: {exc}") from exc
+        if (not isinstance(obj, dict)
+                or obj.get("kind") != "incprofd-fleet-manifest"):
+            raise CheckpointError(
+                f"{self.path} is not an incprofd fleet manifest")
+        return obj
 
 
 # ----------------------------------------------------------------------

@@ -32,6 +32,9 @@ from typing import Dict, List, Optional, Sequence
 from repro.gprof.gmon import GmonData
 from repro.heartbeat.accumulator import HeartbeatRecord
 from repro.service.protocol import (
+    ROUTE_REDIRECT,
+    ROUTE_WRONG_WORKER,
+    ROUTING_CODES,
     Bye,
     Control,
     Endpoint,
@@ -41,6 +44,7 @@ from repro.service.protocol import (
     Reply,
     SnapshotMsg,
     read_message,
+    routing_directive,
     write_message,
 )
 from repro.service.tracing import new_trace_id
@@ -49,6 +53,7 @@ from repro.util.errors import (
     ProtocolError,
     ReproError,
     RetryExhaustedError,
+    UnknownStreamError,
     ValidationError,
     request_error_from_reply,
 )
@@ -96,6 +101,11 @@ class RetryPolicy:
 NO_RETRY = RetryPolicy(max_attempts=1, base_delay=0.0, max_delay=0.0,
                        jitter=0.0)
 
+#: Routing-hop budget per request: a redirect chain longer than this
+#: (router -> worker -> wrong-worker -> home -> ...) means the fleet's
+#: view is churning; surface the routing reply instead of looping.
+MAX_ROUTE_HOPS = 4
+
 
 class PhaseClient:
     """One connection to the daemon; strict request/reply, thread-safe.
@@ -117,15 +127,26 @@ class PhaseClient:
         check: bool = True,
         timeout: Optional[float] = None,
         seed: Optional[int] = None,
+        follow_routing: bool = True,
     ) -> None:
         self.endpoint = endpoint
+        #: The resolve point this client was built with (in a fleet: the
+        #: router).  Redirects move ``endpoint`` to a worker; on a
+        #: ``wrong-worker`` refusal or an unreachable worker the client
+        #: comes back here to re-resolve.
+        self.home = endpoint
         self.retry = retry if retry is not None else RetryPolicy()
         if timeout is not None:
             self.retry = replace(self.retry, request_timeout=timeout)
         self.check = check
+        #: Follow fleet routing replies transparently.  A router's own
+        #: worker links set this False: the router *is* the resolver, so
+        #: a routing reply must surface to it, not be chased.
+        self.follow_routing = follow_routing
         self.connect_retries = 0
         self.reconnects = 0
         self.request_retries = 0
+        self.redirects = 0
         self._rng = random.Random(seed)
         self._lock = threading.Lock()
         self._sock = None
@@ -175,6 +196,23 @@ class PhaseClient:
             self.reconnects += 1
             self._connect_locked()
 
+    def rehome(self) -> None:
+        """Go back to the original endpoint (the router) and re-dial.
+
+        The recovery move when a redirected-to worker died: its address
+        is useless now, but the home endpoint can re-resolve the stream's
+        new owner.
+        """
+        self._switch(self.home)
+
+    def _switch(self, endpoint: Endpoint) -> None:
+        """Drop the current connection and dial ``endpoint`` instead."""
+        with self._lock:
+            self._teardown_locked()
+            self.endpoint = endpoint
+            self.reconnects += 1
+            self._connect_locked()
+
     def close(self) -> None:
         with self._lock:
             self._teardown_locked()
@@ -200,7 +238,7 @@ class PhaseClient:
         resume via ``hello(resume=True)`` instead.
         """
         if not idempotent:
-            return self._transact(msg, check)
+            return self._routed(msg, check)
         last: Optional[Exception] = None
         for attempt in range(self.retry.max_attempts):
             if attempt:
@@ -211,12 +249,54 @@ class PhaseClient:
                     last = exc
                     break
             try:
-                return self._transact(msg, check)
+                return self._routed(msg, check)
             except ConnectionLostError as exc:
                 last = exc
         raise RetryExhaustedError(
             f"request failed after {self.retry.max_attempts} attempts: {last}",
             attempts=self.retry.max_attempts, cause=last)
+
+    def _routed(self, msg: Message, check: Optional[bool]) -> Reply:
+        """One request, transparently following fleet routing replies.
+
+        Routing replies (``redirect``/``wrong-worker``/
+        ``worker-unavailable``) mean "not processed, safe to resend
+        elsewhere" by protocol contract, so resending here is safe even
+        for snapshots.  A redirect with an address dials the owning
+        worker; a ``wrong-worker`` refusal (a worker after a rebalance,
+        no address known) re-resolves through the home endpoint; an
+        unavailable worker backs off first — the supervisor is likely
+        mid-restart.  The hop budget keeps a churning fleet from looping
+        this client forever.
+        """
+        reply = self._transact(msg, check=False)
+        hops = 0
+        while (self.follow_routing and not reply.ok
+               and hops < MAX_ROUTE_HOPS):
+            directive = routing_directive(reply)
+            if directive is None:
+                break
+            hops += 1
+            self.redirects += 1
+            if (directive.code == ROUTE_REDIRECT
+                    and directive.endpoint is not None):
+                try:
+                    self._switch(directive.endpoint)
+                except RetryExhaustedError:
+                    # The redirected-to worker is unreachable (it may
+                    # have just died); let home re-resolve instead.
+                    time.sleep(self.retry.delay_for(hops - 1, self._rng))
+                    self.rehome()
+            elif directive.code == ROUTE_WRONG_WORKER:
+                self.rehome()
+            else:  # worker-unavailable (or an address-less redirect)
+                time.sleep(self.retry.delay_for(hops - 1, self._rng))
+                self.rehome()
+            reply = self._transact(msg, check=False)
+        effective = self.check if check is None else check
+        if effective and not reply.ok:
+            raise request_error_from_reply(reply)
+        return reply
 
     def _transact(self, msg: Message, check: Optional[bool]) -> Reply:
         with self._lock:
@@ -377,10 +457,22 @@ def publish_samples(
     samples = list(samples)
 
     def resume(client: PhaseClient) -> int:
-        """Reconnect + resume handshake; returns the next seq to send."""
-        client.reconnect()
+        """Reconnect + resume handshake; returns the next seq to send.
+
+        When the current endpoint is a worker that died, re-dialing it is
+        pointless — fall back to the home endpoint (the router) so the
+        resume hello re-resolves the stream's new owner.
+        """
+        try:
+            client.reconnect()
+        except RetryExhaustedError:
+            client.rehome()
         report.reconnects += 1
         reply = client.hello(stream_id, app=app, rank=rank, resume=True)
+        if not reply.ok:
+            raise RetryExhaustedError(
+                f"resume hello refused: {reply.error}",
+                attempts=client.retry.max_attempts)
         return int(reply.data.get("resume_from", 0))
 
     try:
@@ -391,6 +483,7 @@ def publish_samples(
                 return report
             seq = int(reply.data.get("resume_from", 0))
             max_sent = -1
+            stalls = 0
             while seq < len(samples):
                 # One trace id per submission attempt: a resent interval
                 # is a new admission, so it gets a fresh id.
@@ -401,6 +494,26 @@ def publish_samples(
                 except ConnectionLostError:
                     seq = resume(client)
                     continue
+                code = str(reply.data.get("code", ""))
+                if (not reply.ok
+                        and (code in ROUTING_CODES
+                             or code == UnknownStreamError.code)):
+                    # A routing refusal that survived the client's hop
+                    # budget means "not processed" — the fleet is mid-
+                    # rebalance.  ``unknown-stream`` mid-replay means the
+                    # same thing from the other side: the stream's new
+                    # owner saw this snapshot before its adoption (or an
+                    # idle expiry) landed.  Either way, re-resolve and
+                    # resend this interval instead of counting it
+                    # rejected (which would lose it); give up only after
+                    # repeated stalls.
+                    stalls += 1
+                    if stalls > client.retry.max_attempts:
+                        report.error = reply.error
+                        return report
+                    seq = resume(client)
+                    continue
+                stalls = 0
                 report.sent += 1
                 effective = str(reply.data.get("trace", trace_id) or "")
                 if effective:
@@ -417,6 +530,10 @@ def publish_samples(
                 elif reply.ok and outcome == "dropped-oldest":
                     report.accepted += 1
                     report.dropped_oldest += 1
+                elif reply.ok and outcome == "duplicate":
+                    # Already durably classified (a resend raced an
+                    # adoption); counted in ``resent``, not a rejection.
+                    report.accepted += 1
                 else:
                     report.rejected += 1
                 seq += 1

@@ -36,6 +36,11 @@ _COUNTERS = (
     ("connections", "Connections accepted."),
     ("faults_injected", "Fault-injector actions taken."),
     ("checkpoints_written", "Checkpoints written."),
+    ("refits", "Live model refits hot-swapped across all streams."),
+    ("wrong_worker", "Requests refused because the ring assigns the "
+                     "stream to another worker."),
+    ("finished_evicted",
+     "Finished-stream rows evicted by the bounded history ring."),
 )
 
 #: stats() keys exposed as gauges (instantaneous values).

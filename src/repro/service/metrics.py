@@ -11,7 +11,7 @@ from __future__ import annotations
 import threading
 import time
 from collections import deque
-from typing import Any, Deque, Dict, Optional, Sequence
+from typing import Any, Deque, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -37,6 +37,17 @@ class LatencyWindow:
         with self._lock:
             self._window.append(seconds)
             self.observed += 1
+
+    def values(self) -> list:
+        """The raw window as a list (for exact cross-worker merging).
+
+        A fleet router cannot compute an exact merged p99 from
+        per-worker percentiles — quantiles do not compose.  Shipping the
+        bounded raw window (a few thousand floats) lets the router take
+        percentiles over the *union* instead of approximating.
+        """
+        with self._lock:
+            return list(self._window)
 
     @staticmethod
     def percentile_key(q: float) -> str:
@@ -87,6 +98,7 @@ class ServiceMetrics:
         self.faults_injected = 0
         self.checkpoints_written = 0
         self.refits = 0
+        self.wrong_worker = 0
         self.classify_latency = LatencyWindow(latency_capacity)
         self.stages: Dict[str, Dict[str, float]] = {}
         self._first_ingest: Optional[float] = None
@@ -145,6 +157,11 @@ class ServiceMetrics:
         """One live model refit (any stream) hot-swapped a new version."""
         with self._lock:
             self.refits += 1
+
+    def note_wrong_worker(self) -> None:
+        """One request refused because the ring assigns the stream away."""
+        with self._lock:
+            self.wrong_worker += 1
 
     def note_stage(self, stage: str, seconds: float, items: int = 1) -> None:
         """Accumulate wall time of one worker pipeline stage.
@@ -210,6 +227,7 @@ class ServiceMetrics:
                 "faults_injected": self.faults_injected,
                 "checkpoints_written": self.checkpoints_written,
                 "refits": self.refits,
+                "wrong_worker": self.wrong_worker,
                 "elapsed": elapsed,
                 "ingest_rate": self._ingest_rate_locked(),
                 "stages": {name: dict(rec)
@@ -218,4 +236,106 @@ class ServiceMetrics:
         # The latency window has its own lock and no invariant tying it
         # to the counters; percentiles are taken right after.
         snap["classify_latency"] = self.classify_latency.percentiles()
+        # One worker's percentiles are computed over its own window, so
+        # they are exact; merged fleet views relabel this (see
+        # :func:`aggregate_worker_stats`) because quantiles of quantiles
+        # are not quantiles.
+        snap["classify_latency_source"] = {
+            "kind": "exact",
+            "observed": self.classify_latency.observed,
+        }
         return snap
+
+
+# ----------------------------------------------------------------------
+# fleet-level merging
+# ----------------------------------------------------------------------
+
+#: stats() keys that sum across workers in a merged fleet view.
+_MERGE_SUM_KEYS = (
+    "ingested", "processed", "novel", "dropped_oldest", "rejected",
+    "drops", "protocol_errors", "ingest_errors", "heartbeats",
+    "connections", "faults_injected", "checkpoints_written", "refits",
+    "wrong_worker", "streams", "queued_total", "ldms_delivered",
+    "restored_streams", "workers", "finished_evicted", "ingest_rate",
+)
+
+_MERGE_QS = (0.5, 0.9, 0.99, 0.999)
+
+
+def merged_latency_percentiles(
+    windows: Sequence[Sequence[float]],
+    qs: Sequence[float] = _MERGE_QS,
+) -> Dict[str, float]:
+    """Exact percentiles over the union of per-worker latency windows."""
+    sample = [v for window in windows for v in window]
+    return {
+        LatencyWindow.percentile_key(q):
+            (float(np.quantile(sample, q)) if sample else 0.0)
+        for q in qs
+    }
+
+
+def aggregate_worker_stats(
+    worker_stats: Dict[str, Dict[str, Any]],
+) -> Dict[str, Any]:
+    """Merge per-worker ``stats()`` snapshots into one fleet view.
+
+    Counters and rates sum; queue depths and stage accounting union.
+    ``classify_latency`` is the delicate part: when every worker shipped
+    its raw ``latency_window`` the merged percentiles are *exact* over
+    the union and labelled ``{"kind": "merged-window"}``; otherwise the
+    merge falls back to the per-key maximum — a valid upper bound, but
+    approximate — and says so with ``{"kind": "merged-upper-bound"}``.
+    Dashboards must be able to tell those apart (a "p99" that is really
+    max-of-p99s overstates tail latency on skewed fleets).
+    """
+    merged: Dict[str, Any] = {key: 0 for key in _MERGE_SUM_KEYS}
+    merged["queue_depths"] = {}
+    merged["stages"] = {}
+    windows: List[Sequence[float]] = []
+    have_all_windows = bool(worker_stats)
+    upper_bound: Dict[str, float] = {}
+    per_worker: Dict[str, Any] = {}
+    for worker_id, stats in sorted(worker_stats.items()):
+        for key in _MERGE_SUM_KEYS:
+            value = stats.get(key)
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                merged[key] += value
+        for sid, depth in (stats.get("queue_depths") or {}).items():
+            merged["queue_depths"][sid] = depth
+        for stage, rec in (stats.get("stages") or {}).items():
+            agg = merged["stages"].setdefault(
+                stage, {"calls": 0, "items": 0, "seconds": 0.0})
+            for field in ("calls", "items", "seconds"):
+                agg[field] += rec.get(field, 0)
+        window = stats.get("latency_window")
+        if isinstance(window, list):
+            windows.append([float(v) for v in window])
+        else:
+            have_all_windows = False
+        for key, value in (stats.get("classify_latency") or {}).items():
+            upper_bound[key] = max(upper_bound.get(key, 0.0), float(value))
+        per_worker[worker_id] = {
+            "processed": stats.get("processed", 0),
+            "streams": stats.get("streams", 0),
+            "queued_total": stats.get("queued_total", 0),
+            "classify_latency": stats.get("classify_latency", {}),
+        }
+    merged["queued_total"] = sum(merged["queue_depths"].values())
+    if have_all_windows:
+        merged["classify_latency"] = merged_latency_percentiles(windows)
+        merged["classify_latency_source"] = {
+            "kind": "merged-window",
+            "samples": sum(len(w) for w in windows),
+            "workers": len(worker_stats),
+        }
+    else:
+        merged["classify_latency"] = upper_bound
+        merged["classify_latency_source"] = {
+            "kind": "merged-upper-bound",
+            "workers": len(worker_stats),
+        }
+    merged["per_worker"] = per_worker
+    merged["n_workers"] = len(worker_stats)
+    return merged

@@ -326,6 +326,82 @@ def write_message(stream: BinaryIO, msg: Message) -> None:
 
 
 # ----------------------------------------------------------------------
+# fleet routing replies
+# ----------------------------------------------------------------------
+#: Reply ``data.code`` values that mean "re-route, don't fail": the
+#: request was NOT processed and may safely be resent to the right
+#: worker (or back through the router's home endpoint).
+ROUTE_REDIRECT = "redirect"
+ROUTE_WRONG_WORKER = "wrong-worker"
+ROUTE_UNAVAILABLE = "worker-unavailable"
+ROUTING_CODES = (ROUTE_REDIRECT, ROUTE_WRONG_WORKER, ROUTE_UNAVAILABLE)
+
+
+@dataclass(frozen=True)
+class RoutingDirective:
+    """A parsed routing reply: where the request should go instead.
+
+    ``endpoint`` is None when the replier knows the owner's identity but
+    not its address (a worker after a rebalance) — the client should
+    then fall back to its home (router) endpoint and re-resolve.
+    """
+
+    code: str
+    worker_id: str = ""
+    endpoint: Optional["Endpoint"] = None
+    ring_generation: int = 0
+
+
+def redirect_reply(endpoint: "Endpoint", worker_id: str,
+                   ring_generation: int) -> "Reply":
+    """A router's redirect-mode answer: dial the owning worker directly."""
+    return Reply(ok=False,
+                 error=f"stream is served by worker {worker_id!r}",
+                 data={"code": ROUTE_REDIRECT, "worker_id": worker_id,
+                       "endpoint": str(endpoint),
+                       "ring_generation": ring_generation})
+
+
+def wrong_worker_reply(owner: str, worker_id: str,
+                       ring_generation: int) -> "Reply":
+    """A worker's refusal: the current ring assigns this stream elsewhere."""
+    return Reply(ok=False,
+                 error=f"worker {worker_id!r} does not own this stream "
+                       f"(ring generation {ring_generation} says "
+                       f"{owner!r} does)",
+                 data={"code": ROUTE_WRONG_WORKER, "worker_id": owner,
+                       "ring_generation": ring_generation})
+
+
+def worker_unavailable_reply(worker_id: str, cause: str) -> "Reply":
+    """A router's answer when the owning worker cannot be reached."""
+    return Reply(ok=False,
+                 error=f"worker {worker_id!r} is unavailable: {cause}",
+                 data={"code": ROUTE_UNAVAILABLE, "worker_id": worker_id})
+
+
+def routing_directive(reply: "Reply") -> Optional[RoutingDirective]:
+    """Parse a routing reply, or ``None`` for any non-routing reply."""
+    if reply.ok:
+        return None
+    code = str(reply.data.get("code", ""))
+    if code not in ROUTING_CODES:
+        return None
+    endpoint = None
+    spec = reply.data.get("endpoint")
+    if spec:
+        try:
+            endpoint = Endpoint.parse(str(spec))
+        except ProtocolError:
+            endpoint = None  # a malformed hint is no hint
+    return RoutingDirective(
+        code=code,
+        worker_id=str(reply.data.get("worker_id", "")),
+        endpoint=endpoint,
+        ring_generation=int(reply.data.get("ring_generation", 0) or 0))
+
+
+# ----------------------------------------------------------------------
 # addressing
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)

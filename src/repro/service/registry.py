@@ -130,13 +130,26 @@ class StreamRegistry:
     ) -> None:
         if idle_timeout <= 0:
             raise ValidationError("idle timeout must be positive")
+        if finished_capacity < 1:
+            raise ValidationError("finished capacity must be positive")
         self.idle_timeout = idle_timeout
+        self.finished_capacity = finished_capacity
         self._clock = clock
         self._lock = threading.Lock()
         self._streams: Dict[str, StreamState] = {}
         self._finished: Deque[Dict[str, Any]] = deque(maxlen=finished_capacity)
         self.registered = 0
         self.expired = 0
+        #: Finished-stream rows evicted by the drop-oldest cap — the
+        #: counter that makes the bounded ring's loss *visible* instead
+        #: of silently shrinking fleet occupancy history.
+        self.finished_evicted = 0
+
+    def _note_finished_locked(self, row: Dict[str, Any]) -> None:
+        """Append to the finished ring, counting drop-oldest evictions."""
+        if len(self._finished) >= self.finished_capacity:
+            self.finished_evicted += 1
+        self._finished.append(row)
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -189,7 +202,9 @@ class StreamRegistry:
             state = self._streams.pop(stream_id, None)
         if state is not None:
             state.closed = True
-            self._finished.append(state.info(self._clock()))
+            row = state.info(self._clock())
+            with self._lock:
+                self._note_finished_locked(row)
         return state
 
     def expire_idle(self, now: Optional[float] = None) -> List[str]:
@@ -201,7 +216,9 @@ class StreamRegistry:
             expired = [self._streams.pop(sid) for sid in stale]
         for state in expired:
             state.closed = True
-            self._finished.append(state.info(now))
+            row = state.info(now)
+            with self._lock:
+                self._note_finished_locked(row)
         self.expired += len(expired)
         return [s.stream_id for s in expired]
 
@@ -214,11 +231,19 @@ class StreamRegistry:
             return list(self._finished)
 
     def restore_finished(self, rows: List[Dict[str, Any]],
-                         registered: int = 0, expired: int = 0) -> None:
-        """Reinstall the finished ring and lifetime counters on recovery."""
+                         registered: int = 0, expired: int = 0,
+                         finished_evicted: int = 0) -> None:
+        """Reinstall the finished ring and lifetime counters on recovery.
+
+        A checkpoint written under a larger cap may carry more rows than
+        this registry keeps; the overflow is dropped oldest-first and
+        counted as evictions, never silently truncated.
+        """
         with self._lock:
             self._finished.clear()
-            self._finished.extend(rows)
+            overflow = max(0, len(rows) - self.finished_capacity)
+            self._finished.extend(rows[overflow:])
+            self.finished_evicted = finished_evicted + overflow
         self.registered = registered
         self.expired = expired
 

@@ -43,8 +43,10 @@ from repro.core.online import OnlinePhaseTracker
 from repro.gprof.gmon import GmonData
 from repro.heartbeat.ldms import LDMSTransport
 from repro.util.atomicio import atomic_write_bytes
+from repro.fleet.ring import HashRing
 from repro.service.checkpoint import (
     CheckpointManager,
+    _stream_from_obj,
     restore_registry,
     snapshot_registry,
 )
@@ -74,6 +76,7 @@ from repro.service.protocol import (
     decode_payload,
     read_frame,
     write_message,
+    wrong_worker_reply,
 )
 from repro.service.registry import StreamRegistry, StreamState
 from repro.service.selfekg import SelfInstrument
@@ -213,6 +216,14 @@ class ServerConfig:
     metrics_host: str = "127.0.0.1"
     #: Threshold for the daemon's structured JSON log (stderr).
     log_level: str = "info"
+    #: Fleet identity: non-empty when this daemon is one worker of a
+    #: sharded fleet.  Enables ring-ownership enforcement and the
+    #: fleet reply fields (``worker_id``, ``ring_generation``); the
+    #: empty default keeps single-daemon wire replies exactly as before.
+    worker_id: str = ""
+    #: Finished-stream history ring size (drop-oldest beyond this, with
+    #: evictions counted in ``finished_evicted``).
+    finished_capacity: int = 64
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -236,6 +247,8 @@ class ServerConfig:
             raise ValidationError("refit drift threshold must be in (0, 1]")
         if self.refit_window < 2:
             raise ValidationError("refit window needs at least two profiles")
+        if self.finished_capacity < 1:
+            raise ValidationError("finished capacity must be positive")
 
     def adaptive_config(self) -> Optional[AdaptiveConfig]:
         """The per-stream refit policy, or None when refitting is off."""
@@ -264,8 +277,15 @@ class PhaseMonitorServer:
         self.template = tracker_template
         self.config = config
         self.adaptive = config.adaptive_config()
-        self.registry = StreamRegistry(idle_timeout=config.idle_timeout)
+        self.registry = StreamRegistry(
+            idle_timeout=config.idle_timeout,
+            finished_capacity=config.finished_capacity)
         self.metrics = ServiceMetrics()
+        #: Fleet membership as this worker last heard it (``ring-update``
+        #: control); None until the supervisor pushes one.  Assignment is
+        #: atomic and :class:`HashRing` is itself thread-safe, so request
+        #: threads read it without a lock.
+        self.ring: Optional[HashRing] = None
         #: Refit artifacts awaiting persistence: (stream_id, version,
         #: trained-state dict), captured atomically at swap time and
         #: written by the housekeeping thread (never under tracker locks).
@@ -550,7 +570,124 @@ class PhaseMonitorServer:
             return Reply(ok=False, error=str(exc), data={"code": exc.code})
         return Reply(ok=False, error=f"unhandled message {type(msg).__name__}")
 
+    # ------------------------------------------------------------------
+    # fleet membership
+    # ------------------------------------------------------------------
+    def _fleet_fields(self, data: Dict[str, Any]) -> Dict[str, Any]:
+        """Stamp fleet identity onto a reply (no-op outside fleet mode).
+
+        Single-daemon deployments must keep byte-identical replies, so
+        these keys only appear when a ``worker_id`` is configured.
+        """
+        if self.config.worker_id:
+            data["worker_id"] = self.config.worker_id
+            data["ring_generation"] = (self.ring.generation
+                                       if self.ring is not None else 0)
+        return data
+
+    def _check_owner(self, stream_id: str) -> Optional[Reply]:
+        """A ``wrong-worker`` reply when the ring assigns the stream away.
+
+        Enforcement needs both a fleet identity and a pushed ring; a
+        worker that never saw a ``ring-update`` accepts everything (the
+        supervisor pushes the ring before admitting traffic).  The
+        refusal means "not processed, safe to re-resolve and resend".
+        """
+        cfg = self.config
+        ring = self.ring
+        if not cfg.worker_id or ring is None:
+            return None
+        owner = ring.lookup_or_none(stream_id)
+        if owner is None or owner == cfg.worker_id:
+            return None
+        # Note a worker *removed* from the installed ring refuses too:
+        # a live-but-evicted worker silently accepting streams it no
+        # longer owns is a split brain, not a convenience.
+        self.metrics.note_wrong_worker()
+        return wrong_worker_reply(owner, cfg.worker_id, ring.generation)
+
+    def _misplaced_streams(self) -> List[str]:
+        """Live streams the current ring assigns to some other worker."""
+        cfg = self.config
+        ring = self.ring
+        if not cfg.worker_id or ring is None or len(ring) == 0:
+            return []
+        return sorted(
+            state.stream_id for state in self.registry.active()
+            if ring.lookup_or_none(state.stream_id) != cfg.worker_id)
+
+    def _install_ring(self, args: Dict[str, Any]) -> Reply:
+        """Handle a ``ring-update`` control: adopt new fleet membership.
+
+        Stale pushes (lower generation than the installed ring) are
+        refused so a delayed update can never roll the membership back.
+        The reply names this worker's now-misplaced streams so the
+        supervisor can migrate them.
+        """
+        ring_obj = args.get("ring")
+        if not isinstance(ring_obj, dict):
+            raise ServiceError("ring-update needs a 'ring' object")
+        try:
+            ring = HashRing.from_obj(ring_obj)
+        except ValidationError as exc:
+            raise ServiceError(str(exc)) from exc
+        current = self.ring
+        if current is not None and ring.generation < current.generation:
+            return Reply(ok=False,
+                         error=f"stale ring generation {ring.generation} "
+                               f"(installed: {current.generation})",
+                         data=self._fleet_fields({}))
+        self.ring = ring
+        self.log.info("ring-updated", generation=ring.generation,
+                      members=ring.members())
+        return Reply(ok=True, data=self._fleet_fields({
+            "generation": ring.generation,
+            "members": ring.members(),
+            "misplaced": self._misplaced_streams(),
+        }))
+
+    def _adopt_stream(self, args: Dict[str, Any]) -> Reply:
+        """Handle an ``adopt-stream`` control: install a migrated stream.
+
+        The supervisor reads the dead worker's checkpoint and sends each
+        orphaned stream record to its new ring owner.  Adoption is
+        guarded against the race where the publisher reconnected first:
+        live state that has already processed at least as far as the
+        checkpoint wins (adopting would roll ``processed_seq`` back and
+        reclassify intervals).
+        """
+        obj = args.get("stream")
+        if not isinstance(obj, dict):
+            raise ServiceError("adopt-stream needs a 'stream' object")
+        try:
+            state = _stream_from_obj(obj, self.template, adaptive=self.adaptive)
+        except CheckpointError as exc:
+            raise ServiceError(f"bad stream record: {exc}") from exc
+        live = self.registry.get_or_none(state.stream_id)
+        if live is not None and live.processed_seq >= state.processed_seq:
+            return Reply(ok=True, data=self._fleet_fields({
+                "stream_id": state.stream_id,
+                "adopted": False,
+                "reason": "live-state-newer",
+                "resume_from": live.last_seq + 1,
+            }))
+        state.queue = BoundedStreamQueue(self.config.queue_capacity,
+                                         self.config.policy)
+        if state.tracker is not None:
+            self._watch_refits(state, state.tracker)
+        self.registry.adopt(state)
+        self.log.info("stream-adopted", stream_id=state.stream_id,
+                      processed_seq=state.processed_seq)
+        return Reply(ok=True, data=self._fleet_fields({
+            "stream_id": state.stream_id,
+            "adopted": True,
+            "resume_from": state.last_seq + 1,
+        }))
+
     def _on_hello(self, msg: Hello) -> Reply:
+        denial = self._check_owner(msg.stream_id)
+        if denial is not None:
+            return denial
         state = self.registry.get_or_none(msg.stream_id)
         resumed = False
         if state is not None:
@@ -575,7 +712,7 @@ class PhaseMonitorServer:
                                              self.config.policy)
             if tracker is not None:
                 self._watch_refits(state, tracker)
-        return Reply(ok=True, data={
+        return Reply(ok=True, data=self._fleet_fields({
             "stream_id": msg.stream_id,
             "policy": self.config.policy,
             "queue_capacity": self.config.queue_capacity,
@@ -590,11 +727,26 @@ class PhaseMonitorServer:
             # classified-and-checkpointed) — the publisher rewinds or
             # fast-forwards to exactly this point.
             "resume_from": state.last_seq + 1,
-        })
+        }))
 
     def _on_snapshot(self, msg: SnapshotMsg) -> Reply:
+        denial = self._check_owner(msg.stream_id)
+        if denial is not None:
+            return denial
         state = self.registry.get(msg.stream_id)
         self.registry.touch(msg.stream_id)
+        with state.lock:
+            already_processed = msg.seq <= state.processed_seq
+        if already_processed:
+            # A replay raced an adoption (the publisher resumed from an
+            # older anchor than this worker's state).  The interval is
+            # already durably classified here — ack it without enqueuing
+            # so a resend can never classify the same interval twice.
+            data: Dict[str, Any] = {"outcome": "duplicate", "seq": msg.seq,
+                                    "trace": msg.trace_id}
+            if state.tracker is not None:
+                data["model_version"] = state.tracker.model_version
+            return Reply(ok=True, data=data)
         state.note_sequence(msg.seq)
         # Server-side minting keeps untraced publishers traceable: every
         # admitted interval has a trace id, client-supplied or not.
@@ -642,6 +794,9 @@ class PhaseMonitorServer:
         return Reply(ok=True, data=data)
 
     def _on_heartbeat(self, msg: HeartbeatMsg) -> Reply:
+        denial = self._check_owner(msg.stream_id)
+        if denial is not None:
+            return denial
         state = self.registry.get(msg.stream_id)
         self.registry.touch(msg.stream_id)
         for record in msg.records:
@@ -653,9 +808,19 @@ class PhaseMonitorServer:
 
     def _on_control(self, msg: Control) -> Reply:
         if msg.command == "ping":
-            return Reply(ok=True, data={"version": 1})
+            return Reply(ok=True, data=self._fleet_fields({"version": 1}))
         if msg.command == "stats":
-            return Reply(ok=True, data=self.stats())
+            data = self.stats()
+            if (msg.args or {}).get("latency_window"):
+                # Raw window on request: lets a fleet router compute
+                # *exact* merged percentiles instead of approximating
+                # from per-worker quantiles.
+                data["latency_window"] = self.metrics.classify_latency.values()
+            return Reply(ok=True, data=data)
+        if msg.command == "ring-update":
+            return self._install_ring(msg.args or {})
+        if msg.command == "adopt-stream":
+            return self._adopt_stream(msg.args or {})
         if msg.command == "fleet-status":
             return Reply(ok=True, data=self.fleet_status())
         if msg.command == "metrics":
@@ -686,6 +851,9 @@ class PhaseMonitorServer:
         return Reply(ok=False, error=f"unknown control command {msg.command!r}")
 
     def _on_bye(self, msg: Bye) -> Reply:
+        denial = self._check_owner(msg.stream_id)
+        if denial is not None:
+            return denial
         state = self.registry.get(msg.stream_id)
         drained = self._drain(state, timeout=self.config.block_timeout)
         self.registry.close(msg.stream_id)
@@ -702,7 +870,7 @@ class PhaseMonitorServer:
             data["model_versions"] = state.tracker.version_sequence()
             data["refits"] = [e.to_obj()
                               for e in state.tracker.refit_events]
-        return Reply(ok=True, data=data)
+        return Reply(ok=True, data=self._fleet_fields(data))
 
     def _drain(self, state: StreamState, timeout: float) -> bool:
         """Wait until every accepted snapshot of ``state`` is classified."""
@@ -920,7 +1088,9 @@ class PhaseMonitorServer:
         snap["workers"] = self.config.workers
         snap["ldms_delivered"] = self.transport.delivered
         snap["restored_streams"] = len(self.restored_streams)
+        snap["finished_evicted"] = self.registry.finished_evicted
         snap["traces"] = self.traces.stats()
+        self._fleet_fields(snap)
         if self.selfekg is not None:
             snap["self_heartbeats"] = self.selfekg.stage_summary()
         if self.metrics_http is not None:

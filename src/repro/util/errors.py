@@ -126,6 +126,41 @@ class BackpressureError(RequestError):
     code = "backpressure"
 
 
+class RedirectError(RequestError):
+    """A fleet router answered: this stream lives on another worker.
+
+    The reply data carries ``endpoint`` (where to go), ``worker_id``, and
+    ``ring_generation``.  :class:`~repro.service.client.PhaseClient`
+    follows redirects transparently; this surfaces only when the hop
+    budget is exhausted or no target endpoint was given.
+    """
+
+    code = "redirect"
+
+
+class WrongWorkerError(RequestError):
+    """A worker refused a stream the current ring assigns elsewhere.
+
+    Raised after a rebalance when a client keeps talking to the old
+    owner.  The reply data names the new ``owner`` and the ring
+    ``generation``; clients re-resolve through their home (router)
+    endpoint.
+    """
+
+    code = "wrong-worker"
+
+
+class WorkerUnavailableError(RequestError):
+    """The router could not reach the worker owning this stream.
+
+    Transient by design: the supervisor will restart or evict the dead
+    worker and rebalance; publishers should back off and retry through
+    the resume handshake rather than dropping the interval.
+    """
+
+    code = "worker-unavailable"
+
+
 class ConnectionLostError(ServiceError):
     """The connection to the daemon died mid-request.
 
@@ -156,7 +191,8 @@ class RetryExhaustedError(ServiceError):
 #: from error replies.  Unknown codes map to plain :class:`RequestError`.
 REQUEST_ERROR_CODES = {
     cls.code: cls
-    for cls in (UnknownStreamError, StreamConflictError, BackpressureError)
+    for cls in (UnknownStreamError, StreamConflictError, BackpressureError,
+                RedirectError, WrongWorkerError, WorkerUnavailableError)
 }
 
 

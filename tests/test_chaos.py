@@ -22,6 +22,7 @@ import signal
 import socket
 import subprocess
 import sys
+import threading
 import time
 from pathlib import Path
 
@@ -302,6 +303,110 @@ def test_sigkill_mid_stream_recovers_with_identical_fleet_counts(
         if proc.poll() is None:
             proc.kill()
             proc.wait(timeout=10)
+
+
+# ----------------------------------------------------------------------
+# fleet chaos: SIGKILL one worker of a sharded fleet under live traffic
+# ----------------------------------------------------------------------
+@pytest.mark.slow
+def test_fleet_sigkill_rebalances_and_resumes_on_survivors(trained, tmp_path):
+    """The fleet acceptance test: two real worker subprocesses behind a
+    proxy router; one is SIGKILLed mid-stream.  The supervisor evicts it
+    (``max_restarts=0``), rebalances the ring, and migrates its
+    checkpointed streams; every publisher resumes on a survivor through
+    the normal routing replies and finishes with a drained stream, a
+    monotone model-version sequence, and at most one checkpoint interval
+    re-sent (never lost)."""
+    from repro.fleet import FleetConfig, FleetRouter, RouterConfig, WorkerSupervisor
+
+    gen, template = trained
+    model = tmp_path / "fleet.ipm"
+    save_model(template, model)
+    n_streams, n_intervals = 4, 30
+    fleet_config = FleetConfig(
+        root=str(tmp_path / "fleet"), n_workers=2, model_path=str(model),
+        worker_threads=2, checkpoint_interval=0.2, ping_interval=0.2,
+        max_restarts=0, log_level="error")
+    retry = RetryPolicy(max_attempts=8, base_delay=0.1, max_delay=1.0,
+                        request_timeout=10.0)
+    with WorkerSupervisor(fleet_config) as supervisor:
+        supervisor.start_monitor()
+        victim = supervisor.ring.lookup("load-0")
+        with FleetRouter(supervisor,
+                         RouterConfig(endpoint=Endpoint.tcp("127.0.0.1", 0),
+                                      mode="proxy",
+                                      log_level="error")) as router:
+            box = {}
+            thread = threading.Thread(
+                target=lambda: box.update(load=gen.run(
+                    router.endpoint, n_streams, n_intervals,
+                    delay=0.05, retry=retry)))
+            thread.start()
+            time.sleep(0.8)  # streams live, a checkpoint cadence elapsed
+            supervisor.kill_worker(victim)
+            thread.join(timeout=120.0)
+            assert not thread.is_alive(), "load generator hung"
+            status = supervisor.status()
+            with PhaseClient(router.endpoint, retry=FAST_RETRY) as viewer:
+                fleet_view = viewer.fleet_status().data
+
+    load = box["load"]
+    for stream_id, report in sorted(load.streams.items()):
+        assert report.error == "", f"{stream_id}: {report.error}"
+        assert report.drained, f"{stream_id} did not drain"
+        # versions only ever step forward, even across the migration
+        assert report.model_versions == sorted(report.model_versions)
+    # nothing lost; failover may re-send at most one checkpoint interval
+    assert load.sent >= n_streams * n_intervals
+
+    # the dead worker was evicted, the ring rebalanced, orphans moved
+    assert status["evictions_total"] == 1
+    assert status["members"] == [w for w in ("w0", "w1") if w != victim]
+    assert status["workers"][victim]["evicted"] is True
+
+    # the merged fleet view agrees: every finished stream sits on a
+    # survivor, none claims the evicted worker
+    finished_owners = {row["stream_id"]: row["worker_id"]
+                       for row in fleet_view["finished"]}
+    assert set(finished_owners) == {f"load-{i}" for i in range(n_streams)}
+    assert victim not in finished_owners.values()
+    source = fleet_view["service"]["classify_latency_source"]
+    assert source["kind"] in ("merged-window", "exact")
+
+
+@pytest.mark.slow
+def test_fleet_restart_keeps_ring_position(trained, tmp_path):
+    """Below the restart budget a dead worker revives under the same
+    identity: the generation may not regress, no eviction happens, and
+    the revived worker answers pings again."""
+    from repro.fleet import FleetConfig, WorkerSupervisor
+
+    _, template = trained
+    model = tmp_path / "fleet.ipm"
+    save_model(template, model)
+    fleet_config = FleetConfig(
+        root=str(tmp_path / "fleet"), n_workers=2, model_path=str(model),
+        checkpoint_interval=0.2, ping_interval=0.2,
+        max_restarts=1, log_level="error")
+    with WorkerSupervisor(fleet_config) as supervisor:
+        generation = supervisor.ring.generation
+        supervisor.kill_worker("w0")
+        deadline = time.monotonic() + 30.0
+        outcome = None
+        while time.monotonic() < deadline:
+            events = supervisor.check_once()
+            if events:
+                outcome = events[0]
+                break
+            time.sleep(0.1)
+        assert outcome == "restarted:w0"
+        assert supervisor.status()["evictions_total"] == 0
+        assert sorted(supervisor.ring.members()) == ["w0", "w1"]
+        assert supervisor.ring.generation >= generation
+        with PhaseClient(supervisor.endpoint_of("w0"),
+                         retry=FAST_RETRY) as probe:
+            reply = probe.ping()
+            assert reply.ok and reply.data["worker_id"] == "w0"
 
 
 # ----------------------------------------------------------------------

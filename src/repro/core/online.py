@@ -30,7 +30,7 @@ import threading
 import time
 from collections import deque
 from dataclasses import dataclass
-from typing import Any, Callable, Deque, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Deque, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -46,6 +46,11 @@ from repro.core.incremental import (
 from repro.core.pipeline import AnalysisResult
 from repro.gprof.gmon import GmonData, dumps_gmon, loads_gmon
 from repro.util.errors import ValidationError
+
+#: An interval profile: a function -> self-seconds mapping, or the same
+#: already projected onto the model universe as an ``(n_functions,)``
+#: vector (see :meth:`OnlinePhaseTracker.delta_vector`).
+Profile = Union[Dict[str, float], np.ndarray]
 
 #: Phase label reported for intervals unlike any training phase.
 NOVEL = -1
@@ -119,6 +124,11 @@ class OnlinePhaseTracker:
         self.zero_start = zero_start
         self.history: List[TrackedInterval] = []
         self._previous: Optional[GmonData] = None
+        #: Universe-projected ticks of ``_previous`` — a pure cache for
+        #: :meth:`delta_vector`.  ``_previous`` stays the checkpointed
+        #: source of truth; any path that replaces it without refreshing
+        #: the projection must reset this to ``None``.
+        self._previous_vec: Optional[np.ndarray] = None
         self._lock = threading.RLock()
         # -- versioned model identity ----------------------------------
         k = self.centroids.shape[0]
@@ -183,11 +193,19 @@ class OnlinePhaseTracker:
     # ------------------------------------------------------------------
     # streaming classification
     # ------------------------------------------------------------------
-    def _vectorize_batch(self, profiles: Sequence[Dict[str, float]]) -> np.ndarray:
-        """``(n_profiles, n_functions)`` matrix via the name->column index."""
+    def _vectorize_batch(self, profiles: Sequence[Profile]) -> np.ndarray:
+        """``(n_profiles, n_functions)`` matrix via the name->column index.
+
+        A profile is either a function -> self-seconds dict or an
+        already-projected ``(n_functions,)`` vector from
+        :meth:`delta_vector`; vector rows copy straight in.
+        """
         mat = np.zeros((len(profiles), len(self.functions)))
         index = self._index
         for i, profile in enumerate(profiles):
+            if isinstance(profile, np.ndarray):
+                mat[i] = profile
+                continue
             row = mat[i]
             for func, seconds in profile.items():
                 j = index.get(func)
@@ -195,11 +213,11 @@ class OnlinePhaseTracker:
                     row[j] = seconds
         return mat
 
-    def classify(self, profile: Dict[str, float]) -> TrackedInterval:
+    def classify(self, profile: Profile) -> TrackedInterval:
         """Classify one interval profile (function -> self seconds)."""
         return self.classify_batch([profile])[0]
 
-    def classify_batch(self, profiles: Sequence[Dict[str, float]]) -> List[TrackedInterval]:
+    def classify_batch(self, profiles: Sequence[Profile]) -> List[TrackedInterval]:
         """Classify several interval profiles in order, atomically.
 
         All distances come from one ``(n_profiles, k, d)`` vectorized
@@ -259,12 +277,63 @@ class OnlinePhaseTracker:
         with self._lock:
             if self._previous is None and not self.zero_start:
                 self._previous = snapshot
+                self._previous_vec = None
                 return None
             delta = (snapshot if self._previous is None
                      else snapshot.subtract(self._previous))
             self._previous = snapshot
+            self._previous_vec = None
         return {func: ticks * delta.sample_period
                 for func, ticks in delta.hist.items()}
+
+    def _hist_ticks_locked(self, snapshot: GmonData) -> np.ndarray:
+        """``snapshot.hist`` projected onto the model universe (ticks)."""
+        vec = np.zeros(len(self.functions))
+        index = self._index
+        for func, ticks in snapshot.hist.items():
+            j = index.get(func)
+            if j is not None:
+                vec[j] = ticks
+        return vec
+
+    def delta_vector(self, snapshot: GmonData) -> Optional[np.ndarray]:
+        """Difference a *cumulative* snapshot straight into feature space.
+
+        Vectorized twin of :meth:`delta_profile`: returns the interval
+        the snapshot closes as an ``(n_functions,)`` self-seconds vector
+        ready for :meth:`classify_batch`, or None when the snapshot
+        merely primed the differencer.  Classification only ever sees
+        the model universe, so projecting each snapshot *before* the
+        clamped subtract commutes with subtracting first — the result
+        matches ``delta_profile`` exactly while skipping the
+        intermediate dicts and the (classification-irrelevant) arc
+        differencing, which is what the service hot path pays for at
+        wire rate.  The projection of the previous snapshot is cached
+        between calls; mixing in :meth:`delta_profile` merely drops the
+        cache, never the correctness.
+        """
+        with self._lock:
+            prev = self._previous
+            if (prev is not None
+                    and abs(prev.sample_period - snapshot.sample_period)
+                    > 1e-12):
+                raise ValidationError(
+                    "cannot subtract snapshots with different sample periods")
+            cur = self._hist_ticks_locked(snapshot)
+            if prev is None and not self.zero_start:
+                self._previous = snapshot
+                self._previous_vec = cur
+                return None
+            if prev is None:
+                delta = cur
+            else:
+                prev_vec = self._previous_vec
+                if prev_vec is None:  # cache dropped by restore/dict path
+                    prev_vec = self._hist_ticks_locked(prev)
+                delta = np.maximum(cur - prev_vec, 0.0)
+            self._previous = snapshot
+            self._previous_vec = cur
+            return delta * snapshot.sample_period
 
     def observe_snapshot(self, snapshot: GmonData) -> Optional[TrackedInterval]:
         """Feed a *cumulative* gmon snapshot (deployment dump stream).
@@ -547,6 +616,7 @@ class OnlinePhaseTracker:
         with self._lock:
             self.history = history
             self._previous = previous
+            self._previous_vec = None
             if model is not None:
                 self.centroids = centroids
                 self.gates = gates
@@ -600,3 +670,102 @@ class OnlinePhaseTracker:
             if seq[i] != seq[i - 1]:
                 out.append((i, seq[i - 1], seq[i]))
         return out
+
+
+# ----------------------------------------------------------------------
+# cross-stream classification
+# ----------------------------------------------------------------------
+#: A frozen-model snapshot captured under the tracker lock:
+#: (centroids, gates, phase_labels, model_version).
+_ModelSnap = Tuple[np.ndarray, np.ndarray, np.ndarray, int]
+
+
+def _commit_pooled(
+    tracker: OnlinePhaseTracker,
+    profiles: Sequence[Profile],
+    nearest: np.ndarray,
+    distance: np.ndarray,
+    novel: np.ndarray,
+    snap: _ModelSnap,
+) -> List[TrackedInterval]:
+    """Append pooled classification results to one tracker's history.
+
+    Re-validates under the tracker lock that the model the pooled pass
+    computed against is still installed; if a hot swap landed in between
+    (``install_model`` on another thread), the stale results are thrown
+    away and this stream re-classifies on its own path — correct, just
+    not pooled this tick.
+    """
+    centroids, _gates, labels, version = snap
+    with tracker._lock:
+        if (tracker.model_version != version
+                or tracker.centroids is not centroids):
+            return tracker.classify_batch(profiles)
+        start = len(tracker.history)
+        tracked = [
+            TrackedInterval(
+                index=start + i,
+                phase_id=(NOVEL if novel[i] else int(labels[nearest[i]])),
+                distance=float(distance[i]),
+                nearest_phase=int(labels[nearest[i]]),
+                model_version=version,
+            )
+            for i in range(len(profiles))
+        ]
+        tracker.history.extend(tracked)
+    return tracked
+
+
+def classify_across(
+    groups: Sequence[Tuple[OnlinePhaseTracker, Sequence[Profile]]],
+) -> List[List[TrackedInterval]]:
+    """Classify several streams' profile batches in one vectorized pass.
+
+    Returns one result list per input group, order preserved — exactly
+    what calling ``tracker.classify_batch(profiles)`` per group would
+    return.  Streams whose trackers share an identical *frozen* model
+    (same functions, centroids, gates, stable labels, and version — the
+    common serving shape: every stream spawned from one template and
+    never refit) are pooled into a single ``(n_total, k, d)`` distance
+    computation, so a worker tick over N streams costs one NumPy call
+    instead of N.  Adaptive trackers mutate their centroids as they
+    classify, so they always take their own per-tracker path; model
+    hot-swaps racing the pooled pass are caught at commit time and fall
+    back likewise.
+    """
+    results: List[Optional[List[TrackedInterval]]] = [None] * len(groups)
+    pooled: Dict[Any, List[Tuple[int, OnlinePhaseTracker,
+                                 Sequence[Profile], _ModelSnap]]] = {}
+    for i, (tracker, profiles) in enumerate(groups):
+        if not profiles or tracker._adaptive is not None:
+            results[i] = tracker.classify_batch(profiles)
+            continue
+        with tracker._lock:
+            snap: _ModelSnap = (tracker.centroids, tracker.gates,
+                                tracker.phase_labels, tracker.model_version)
+        # Non-adaptive trackers never mutate these arrays in place (every
+        # swap *replaces* them), so the refs stay valid outside the lock
+        # and byte equality is a sound pooling key.
+        key = (tuple(tracker.functions), snap[0].shape, snap[0].tobytes(),
+               snap[1].tobytes(), snap[2].tobytes(), snap[3])
+        pooled.setdefault(key, []).append((i, tracker, profiles, snap))
+    for members in pooled.values():
+        if len(members) == 1:
+            i, tracker, profiles, _snap = members[0]
+            results[i] = tracker.classify_batch(profiles)
+            continue
+        centroids, gates, _labels, _version = members[0][3]
+        mat = np.vstack([trk._vectorize_batch(profiles)
+                         for _i, trk, profiles, _s in members])
+        diffs = mat[:, None, :] - centroids[None, :, :]
+        dists = np.linalg.norm(diffs, axis=2)  # (n_total, k)
+        nearest = dists.argmin(axis=1)
+        distance = dists[np.arange(mat.shape[0]), nearest]
+        novel = distance > gates[nearest]
+        offset = 0
+        for i, tracker, profiles, snap in members:
+            rows = slice(offset, offset + len(profiles))
+            offset += len(profiles)
+            results[i] = _commit_pooled(tracker, profiles, nearest[rows],
+                                        distance[rows], novel[rows], snap)
+    return [r if r is not None else [] for r in results]

@@ -46,7 +46,9 @@ from repro.service.protocol import (
     Message,
     Reply,
     SnapshotMsg,
+    binary_envelope,
     decode_payload,
+    enable_nodelay,
     read_frame,
     redirect_reply,
     worker_unavailable_reply,
@@ -208,6 +210,7 @@ class FleetRouter:
                         "fleet-router-conn")
 
     def _handle_conn(self, conn: socket.socket) -> None:
+        enable_nodelay(conn)
         fh = conn.makefile("rwb")
         try:
             while self._running.is_set():
@@ -217,6 +220,18 @@ class FleetRouter:
                     break
                 if payload is None:
                     break
+                try:
+                    envelope = binary_envelope(payload)
+                except ProtocolError as exc:
+                    write_message(fh, Reply(ok=False, error=str(exc)))
+                    continue
+                if envelope is not None:
+                    # Binary v2 frame: the peeked header names the
+                    # stream, so it routes without decoding the gmon
+                    # payload and proxies to the owner byte for byte.
+                    reply = self._dispatch_raw(envelope.stream_id, payload)
+                    write_message(fh, reply)
+                    continue
                 try:
                     msg = decode_payload(payload)
                 except ProtocolError as exc:
@@ -262,8 +277,18 @@ class FleetRouter:
             return Reply(ok=False, error=str(exc), data={"code": exc.code})
         return Reply(ok=False, error=f"unhandled message {type(msg).__name__}")
 
+    def _dispatch_raw(self, stream_id: str, payload: bytes) -> Reply:
+        """Dispatch an already-encoded binary frame by its peeked header."""
+        try:
+            return self._route_payload(stream_id, payload)
+        except ServiceError as exc:
+            return Reply(ok=False, error=str(exc), data={"code": exc.code})
+
     def _route(self, msg: Message) -> Reply:
-        stream_id = msg.stream_id
+        return self._route_payload(msg.stream_id, None, msg)
+
+    def _route_payload(self, stream_id: str, payload: Optional[bytes],
+                       msg: Optional[Message] = None) -> Reply:
         owner = self.ring.lookup_or_none(stream_id)
         if owner is None:
             return worker_unavailable_reply("", "ring has no workers")
@@ -274,13 +299,21 @@ class FleetRouter:
                 return worker_unavailable_reply(owner, "owner not live")
             self.routed += 1
             return redirect_reply(endpoint, owner, self.ring.generation)
-        return self._forward(owner, msg)
+        return self._forward(owner, msg, payload=payload)
 
-    def _forward(self, owner: str, msg: Message) -> Reply:
-        """Proxy-mode forwarding over a pooled per-worker link."""
+    def _forward(self, owner: str, msg: Optional[Message],
+                 payload: Optional[bytes] = None) -> Reply:
+        """Proxy-mode forwarding over a pooled per-worker link.
+
+        A raw ``payload`` (binary v2 snapshot) is relayed verbatim with
+        no transcoding; JSON messages go through the normal encoder.
+        """
         try:
             link = self._link(owner)
-            reply = link.request(msg, check=False)
+            if payload is not None:
+                reply = link.request_raw(payload, check=False)
+            else:
+                reply = link.request(msg, check=False)
         except (ReproError, OSError) as exc:
             # The owning worker is gone.  Tell the supervisor (restart
             # or evict + rebalance happens off this thread) and give the

@@ -20,6 +20,11 @@ from typing import BinaryIO, Dict, List, Tuple, Union
 
 from repro.util.errors import FormatError, ValidationError
 
+try:  # numpy accelerates bulk record decoding; the format does not need it
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy ships with the toolchain
+    _np = None
+
 MAGIC = b"IGMON"
 VERSION = 1
 
@@ -27,6 +32,15 @@ _HEADER = struct.Struct("<5sHddi")  # magic, version, sample_period, timestamp, 
 _U32 = struct.Struct("<I")
 _HIST_REC = struct.Struct("<IQ")  # name index, tick count
 _ARC_REC = struct.Struct("<IIQ")  # caller index, callee index, count
+
+if _np is not None:
+    # Packed-record views of the fixed-size sections ("<" structs carry
+    # no padding, so explicit offsets reproduce the wire layout exactly).
+    _HIST_DTYPE = _np.dtype({"names": ["i", "t"], "formats": ["<u4", "<u8"],
+                             "offsets": [0, 4], "itemsize": _HIST_REC.size})
+    _ARC_DTYPE = _np.dtype({"names": ["s", "d", "c"],
+                            "formats": ["<u4", "<u4", "<u8"],
+                            "offsets": [0, 4, 8], "itemsize": _ARC_REC.size})
 
 
 @dataclass
@@ -218,6 +232,32 @@ def read_gmon(source: Union[str, Path, BinaryIO]) -> GmonData:
     return data
 
 
+class GmonBlob:
+    """A still-serialized gmon snapshot: raw bytes plus parse-on-demand.
+
+    The service wire path admits binary snapshots without paying the
+    parse on the connection's reader thread; whichever worker classifies
+    the interval calls :meth:`load` (cached) off the critical path.  A
+    blob also rides *encoding* untouched — both codecs emit its bytes
+    directly, so a publisher holding pre-serialized gmon files never
+    re-serializes, and a router relaying a snapshot never parses it.
+
+    ``raw`` may be any buffer (``memoryview`` included); a corrupt blob
+    raises :class:`FormatError` from :meth:`load`, not from construction.
+    """
+
+    __slots__ = ("raw", "_data")
+
+    def __init__(self, raw) -> None:
+        self.raw = raw
+        self._data: "GmonData | None" = None
+
+    def load(self) -> GmonData:
+        if self._data is None:
+            self._data = loads_gmon(self.raw)
+        return self._data
+
+
 def dumps_gmon(data: GmonData) -> bytes:
     """Serialize to bytes."""
     buf = io.BytesIO()
@@ -225,6 +265,108 @@ def dumps_gmon(data: GmonData) -> bytes:
     return buf.getvalue()
 
 
-def loads_gmon(blob: bytes) -> GmonData:
-    """Deserialize from bytes."""
-    return read_gmon(io.BytesIO(blob))
+#: Decoded string tables keyed by their raw section bytes; cleared
+#: wholesale at the cap (tables are small and the set of distinct
+#: function universes a process sees is, too).
+_NAMES_CACHE: Dict[bytes, List[str]] = {}
+_NAMES_CACHE_MAX = 256
+
+
+def loads_gmon(blob) -> GmonData:
+    """Deserialize from bytes or any buffer (``memoryview`` included).
+
+    Parses in place with ``unpack_from`` offsets — no stream object, no
+    intermediate copies — so the service wire path can hand in a
+    ``memoryview`` carved straight out of a received frame.  Same format,
+    same :class:`FormatError` guarantees as :func:`read_gmon`.
+    """
+    buf = memoryview(blob)
+    total = buf.nbytes
+
+    def need(offset: int, n: int) -> None:
+        if offset + n > total:
+            raise FormatError(f"truncated gmon data: wanted {n} bytes, "
+                              f"got {max(0, total - offset)}")
+
+    need(0, _HEADER.size)
+    magic, version, period, timestamp, rank = _HEADER.unpack_from(buf, 0)
+    if magic != MAGIC:
+        raise FormatError(f"bad gmon magic {bytes(magic)!r}")
+    if version != VERSION:
+        raise FormatError(f"unsupported gmon version {version}")
+    off = _HEADER.size
+
+    need(off, 4)
+    (n_names,) = _U32.unpack_from(buf, off)
+    off += 4
+    # A stream's snapshots carry the same function set interval after
+    # interval, so the string table's raw bytes repeat verbatim; cache
+    # the decoded table keyed by those bytes and the per-interval parse
+    # skips every UTF-8 decode.  First pass walks lengths only.
+    names_start = off
+    for _ in range(n_names):
+        need(off, 4)
+        (length,) = _U32.unpack_from(buf, off)
+        off += 4
+        need(off, length)
+        off += length
+    section = bytes(buf[names_start:off])
+    names = _NAMES_CACHE.get(section)
+    if names is None:
+        names = []
+        pos = 0
+        for _ in range(n_names):
+            (length,) = _U32.unpack_from(section, pos)
+            pos += 4
+            names.append(section[pos:pos + length].decode("utf-8"))
+            pos += length
+        if len(_NAMES_CACHE) >= _NAMES_CACHE_MAX:
+            _NAMES_CACHE.clear()
+        _NAMES_CACHE[section] = names
+
+    try:
+        data = GmonData(sample_period=period, timestamp=timestamp, rank=rank)
+    except ValidationError as exc:
+        raise FormatError(f"bad gmon header: {exc}") from exc
+
+    need(off, 4)
+    (n_hist,) = _U32.unpack_from(buf, off)
+    off += 4
+    need(off, n_hist * _HIST_REC.size)
+    if _np is not None and n_hist:
+        # One vectorized view over the whole section instead of ~n_hist
+        # iter_unpack tuples; this parse sits on the service's classify
+        # path, where it is the single largest per-interval CPU item.
+        recs = _np.frombuffer(buf, dtype=_HIST_DTYPE, count=n_hist, offset=off)
+        idx = recs["i"]
+        if int(idx.max()) >= len(names):
+            bad = int(idx[idx >= len(names)][0])
+            raise FormatError(f"histogram name index {bad} out of range")
+        data.hist = dict(zip((names[i] for i in idx.tolist()),
+                             recs["t"].tolist()))
+    else:
+        for idx, ticks in _HIST_REC.iter_unpack(buf[off:off + n_hist * _HIST_REC.size]):
+            if idx >= len(names):
+                raise FormatError(f"histogram name index {idx} out of range")
+            data.hist[names[idx]] = ticks
+    off += n_hist * _HIST_REC.size
+
+    need(off, 4)
+    (n_arcs,) = _U32.unpack_from(buf, off)
+    off += 4
+    need(off, n_arcs * _ARC_REC.size)
+    if _np is not None and n_arcs:
+        recs = _np.frombuffer(buf, dtype=_ARC_DTYPE, count=n_arcs, offset=off)
+        src_i, dst_i = recs["s"], recs["d"]
+        if int(src_i.max()) >= len(names) or int(dst_i.max()) >= len(names):
+            raise FormatError("arc name index out of range")
+        data.arcs = dict(zip(zip((names[i] for i in src_i.tolist()),
+                                 (names[i] for i in dst_i.tolist())),
+                             recs["c"].tolist()))
+    else:
+        for src, dst, count in _ARC_REC.iter_unpack(buf[off:off + n_arcs * _ARC_REC.size]):
+            if src >= len(names) or dst >= len(names):
+                raise FormatError("arc name index out of range")
+            data.arcs[(names[src], names[dst])] = count
+
+    return data

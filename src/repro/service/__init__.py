@@ -37,7 +37,9 @@ from repro.service.faults import (
 )
 from repro.service.metrics import LatencyWindow, ServiceMetrics
 from repro.service.protocol import (
+    BINARY_PROTOCOL_VERSION,
     PROTOCOL_VERSION,
+    SUPPORTED_PROTOCOLS,
     Bye,
     Control,
     Endpoint,
@@ -47,6 +49,7 @@ from repro.service.protocol import (
     SnapshotMsg,
     decode_message,
     encode_message,
+    negotiate,
     read_message,
     write_message,
 )
@@ -67,7 +70,9 @@ from repro.service.server import (
 )
 
 __all__ = [
+    "BINARY_PROTOCOL_VERSION",
     "PROTOCOL_VERSION",
+    "SUPPORTED_PROTOCOLS",
     "BACKPRESSURE_POLICIES",
     "CONTENT_TYPE",
     "NO_RETRY",
@@ -102,6 +107,7 @@ __all__ = [
     "TraceStore",
     "decode_message",
     "encode_message",
+    "negotiate",
     "new_trace_id",
     "parse_prometheus",
     "publish_samples",

@@ -26,15 +26,19 @@ from __future__ import annotations
 import random
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.gprof.gmon import GmonData
 from repro.heartbeat.accumulator import HeartbeatRecord
 from repro.service.protocol import (
+    CODECS,
+    PROTOCOL_VERSION,
     ROUTE_REDIRECT,
     ROUTE_WRONG_WORKER,
     ROUTING_CODES,
+    SUPPORTED_PROTOCOLS,
     Bye,
     Control,
     Endpoint,
@@ -43,9 +47,10 @@ from repro.service.protocol import (
     Message,
     Reply,
     SnapshotMsg,
+    encode_message,
+    frame_bytes,
     read_message,
     routing_directive,
-    write_message,
 )
 from repro.service.tracing import new_trace_id
 from repro.util.errors import (
@@ -106,6 +111,11 @@ NO_RETRY = RetryPolicy(max_attempts=1, base_delay=0.0, max_delay=0.0,
 #: view is churning; surface the routing reply instead of looping.
 MAX_ROUTE_HOPS = 4
 
+#: Default in-flight window for pipelined submission once binary v2 is
+#: negotiated.  Deep enough to hide one round trip behind the next
+#: encode, shallow enough that a resume rewind stays cheap.
+PIPELINE_WINDOW = 8
+
 
 class PhaseClient:
     """One connection to the daemon; strict request/reply, thread-safe.
@@ -128,8 +138,17 @@ class PhaseClient:
         timeout: Optional[float] = None,
         seed: Optional[int] = None,
         follow_routing: bool = True,
+        protocols: Sequence[int] = SUPPORTED_PROTOCOLS,
     ) -> None:
         self.endpoint = endpoint
+        #: Codec versions this client offers in ``hello``.  Pass ``(1,)``
+        #: to pin a client to the JSON wire (benchmark baselines, talking
+        #: to a pre-v2 daemon without a handshake round trip).
+        self.protocols = tuple(protocols)
+        #: The codec actually in use; starts at v1 and upgrades when a
+        #: hello reply negotiates higher.  Sticky across reconnects —
+        #: every reconnect path re-``hello``\ s, which re-negotiates.
+        self.wire_version = PROTOCOL_VERSION
         #: The resolve point this client was built with (in a fleet: the
         #: router).  Redirects move ``endpoint`` to a worker; on a
         #: ``wrong-worker`` refusal or an unreachable worker the client
@@ -169,7 +188,9 @@ class PhaseClient:
                 sock = self.endpoint.connect(timeout=policy.connect_timeout)
                 sock.settimeout(policy.request_timeout)
                 self._sock = sock
-                self._fh = sock.makefile("rwb")
+                # Buffer comfortably above one pipeline window of frames
+                # so a burst flush is one syscall, not several.
+                self._fh = sock.makefile("rwb", buffering=65536)
                 return
             except OSError as exc:
                 last = exc
@@ -236,9 +257,15 @@ class PhaseClient:
         and resends up to the policy's attempt budget.  Requests with
         server-side effects (snapshots, byes) must NOT be blindly resent:
         resume via ``hello(resume=True)`` instead.
+
+        The message is encoded exactly once, up front — every retry,
+        redirect hop, and resend reuses the same frame bytes.  An
+        oversized message therefore also fails here, locally, before any
+        round trip.
         """
+        frame = encode_message(msg, version=self.wire_version)
         if not idempotent:
-            return self._routed(msg, check)
+            return self._routed(frame, check)
         last: Optional[Exception] = None
         for attempt in range(self.retry.max_attempts):
             if attempt:
@@ -249,14 +276,23 @@ class PhaseClient:
                     last = exc
                     break
             try:
-                return self._routed(msg, check)
+                return self._routed(frame, check)
             except ConnectionLostError as exc:
                 last = exc
         raise RetryExhaustedError(
             f"request failed after {self.retry.max_attempts} attempts: {last}",
             attempts=self.retry.max_attempts, cause=last)
 
-    def _routed(self, msg: Message, check: Optional[bool]) -> Reply:
+    def request_raw(self, payload: bytes, *, check: Optional[bool] = None) -> Reply:
+        """Send one already-encoded payload verbatim and await the reply.
+
+        The router's forward path: a validated frame payload goes to the
+        owning worker byte for byte, with no decode/re-encode in between
+        (binary snapshots keep their zero-copy gmon bytes).
+        """
+        return self._routed(frame_bytes(payload), check)
+
+    def _routed(self, frame: bytes, check: Optional[bool]) -> Reply:
         """One request, transparently following fleet routing replies.
 
         Routing replies (``redirect``/``wrong-worker``/
@@ -269,7 +305,7 @@ class PhaseClient:
         mid-restart.  The hop budget keeps a churning fleet from looping
         this client forever.
         """
-        reply = self._transact(msg, check=False)
+        reply = self._transact(frame, check=False)
         hops = 0
         while (self.follow_routing and not reply.ok
                and hops < MAX_ROUTE_HOPS):
@@ -292,35 +328,16 @@ class PhaseClient:
             else:  # worker-unavailable (or an address-less redirect)
                 time.sleep(self.retry.delay_for(hops - 1, self._rng))
                 self.rehome()
-            reply = self._transact(msg, check=False)
+            reply = self._transact(frame, check=False)
         effective = self.check if check is None else check
         if effective and not reply.ok:
             raise request_error_from_reply(reply)
         return reply
 
-    def _transact(self, msg: Message, check: Optional[bool]) -> Reply:
+    def _transact(self, frame: bytes, check: Optional[bool]) -> Reply:
         with self._lock:
-            if self._fh is None:
-                raise ConnectionLostError("client is disconnected "
-                                          "(reconnect first)")
-            try:
-                write_message(self._fh, msg)
-                reply = read_message(self._fh)
-            except (OSError, ValueError) as exc:
-                self._teardown_locked()
-                raise ConnectionLostError(
-                    f"connection to {self.endpoint} died mid-request: {exc}",
-                    cause=exc) from exc
-            except ProtocolError as exc:
-                # A corrupt reply frame means the byte stream lost sync;
-                # nothing further on this connection can be trusted.
-                self._teardown_locked()
-                raise ConnectionLostError(
-                    f"reply stream corrupt: {exc}", cause=exc) from exc
-            if reply is None:
-                self._teardown_locked()
-                raise ConnectionLostError(
-                    "server closed the connection mid-request")
+            self._write_frame_locked(frame)
+            reply = self._read_reply_locked()
         if not isinstance(reply, Reply):
             raise ProtocolError(f"expected a reply, got {type(reply).__name__}")
         effective = self.check if check is None else check
@@ -328,14 +345,118 @@ class PhaseClient:
             raise request_error_from_reply(reply)
         return reply
 
+    def _write_frame_locked(self, frame: bytes, flush: bool = True) -> None:
+        if self._fh is None:
+            raise ConnectionLostError("client is disconnected "
+                                      "(reconnect first)")
+        try:
+            self._fh.write(frame)
+            if flush:
+                self._fh.flush()
+        except (OSError, ValueError) as exc:
+            self._teardown_locked()
+            raise ConnectionLostError(
+                f"connection to {self.endpoint} died mid-request: {exc}",
+                cause=exc) from exc
+
+    def _read_reply_locked(self) -> Message:
+        if self._fh is None:
+            raise ConnectionLostError("client is disconnected "
+                                      "(reconnect first)")
+        try:
+            reply = read_message(self._fh)
+        except (OSError, ValueError) as exc:
+            self._teardown_locked()
+            raise ConnectionLostError(
+                f"connection to {self.endpoint} died mid-request: {exc}",
+                cause=exc) from exc
+        except ProtocolError as exc:
+            # A corrupt reply frame means the byte stream lost sync;
+            # nothing further on this connection can be trusted.
+            self._teardown_locked()
+            raise ConnectionLostError(
+                f"reply stream corrupt: {exc}", cause=exc) from exc
+        if reply is None:
+            self._teardown_locked()
+            raise ConnectionLostError(
+                "server closed the connection mid-request")
+        return reply
+
+    # ------------------------------------------------------------------
+    # pipelined submission primitives
+    # ------------------------------------------------------------------
+    def send_frame(self, frame: bytes, *, flush: bool = True) -> None:
+        """Write one already-encoded frame without waiting for its reply.
+
+        The pipelining half-step: a publisher keeps up to N of these in
+        flight and drains the replies with :meth:`read_reply` in send
+        order (the server handles each connection's frames sequentially,
+        so replies always come back in order).  ``flush=False`` only
+        buffers the frame — :meth:`flush_frames` then puts the whole
+        burst on the wire at once, one syscall for a full pipeline
+        window instead of one per frame (and the server, seeing the
+        burst arrive together, corks its replies the same way).
+        """
+        with self._lock:
+            self._write_frame_locked(frame, flush=flush)
+
+    def flush_frames(self) -> None:
+        """Flush frames buffered by ``send_frame(flush=False)``."""
+        with self._lock:
+            if self._fh is None:
+                raise ConnectionLostError("client is disconnected "
+                                          "(reconnect first)")
+            try:
+                self._fh.flush()
+            except (OSError, ValueError) as exc:
+                self._teardown_locked()
+                raise ConnectionLostError(
+                    f"connection to {self.endpoint} died mid-flush: {exc}",
+                    cause=exc) from exc
+
+    def read_reply(self) -> Reply:
+        """Read the next in-order reply for a pipelined send."""
+        with self._lock:
+            reply = self._read_reply_locked()
+        if not isinstance(reply, Reply):
+            raise ProtocolError(f"expected a reply, got {type(reply).__name__}")
+        return reply
+
     # ------------------------------------------------------------------
     # typed requests
     # ------------------------------------------------------------------
     def hello(self, stream_id: str, app: str = "", rank: int = 0,
               resume: bool = False, *, check: Optional[bool] = None) -> Reply:
-        return self.request(
-            Hello(stream_id=stream_id, app=app, rank=rank, resume=resume),
+        """Register (or resume) a stream and negotiate the wire codec.
+
+        The hello offers this client's ``protocols``; a successful reply
+        carries the server's pick in ``data["protocol"]`` and upgrades
+        :attr:`wire_version` for every subsequent snapshot.  A reply from
+        a pre-v2 server has no ``protocol`` key and leaves the client on
+        JSON v1 — the fallback is automatic in both directions.
+        """
+        reply = self.request(
+            Hello(stream_id=stream_id, app=app, rank=rank, resume=resume,
+                  protocols=self.protocols),
             check=check, idempotent=resume)
+        if reply.ok:
+            try:
+                negotiated = int(reply.data.get("protocol", PROTOCOL_VERSION))
+            except (TypeError, ValueError):
+                negotiated = PROTOCOL_VERSION
+            if negotiated in CODECS and negotiated in self.protocols:
+                self.wire_version = negotiated
+            else:
+                self.wire_version = PROTOCOL_VERSION
+        return reply
+
+    def encode_snapshot(self, stream_id: str, seq: int, gmon: GmonData,
+                        trace_id: str = "") -> bytes:
+        """Encode one snapshot to a reusable frame at the negotiated codec."""
+        return encode_message(
+            SnapshotMsg(stream_id=stream_id, seq=seq, gmon=gmon,
+                        trace_id=trace_id),
+            version=self.wire_version)
 
     def snapshot(self, stream_id: str, seq: int, gmon: GmonData,
                  *, trace_id: str = "",
@@ -412,6 +533,10 @@ class PublishReport:
     reconnects: int = 0
     retries: int = 0
     resent: int = 0
+    #: Pipelined intervals whose admission ack died with a connection
+    #: but whose durability the resume point confirmed; they count in
+    #: ``sent``/``accepted`` because the server holds them.
+    acks_lost: int = 0
     #: seq -> effective trace id of that submission (client-minted, or
     #: what the server's reply reported for it).
     trace_ids: Dict[int, str] = field(default_factory=dict)
@@ -434,6 +559,8 @@ def publish_samples(
     delay: float = 0.0,
     retry: Optional[RetryPolicy] = None,
     trace: bool = True,
+    pipeline: Optional[int] = None,
+    protocols: Sequence[int] = SUPPORTED_PROTOCOLS,
 ) -> PublishReport:
     """Replay one rank's cumulative snapshot series through the service.
 
@@ -441,13 +568,26 @@ def publish_samples(
     one ``snapshot`` per collection interval (plus any AppEKG rows), and an
     orderly ``bye`` whose reply carries the server-side classification.
 
+    Submission is *pipelined*: each snapshot is encoded once (binary v2
+    when the hello negotiates it) and up to ``pipeline`` frames ride the
+    wire before the first reply is drained, so round-trip latency is paid
+    once per window instead of once per interval.  Windows move in
+    *bursts* — the frames of a window are buffered and flushed in one
+    write, and the window's replies drain together — so syscall and
+    wakeup costs are paid per window too.  ``pipeline=None``
+    picks :data:`PIPELINE_WINDOW` on a v2 wire and the classic one-at-a-
+    time submit on v1; the replies come back in send order, each echoing
+    its sequence number, and any misalignment (a swallowed reply) resyncs
+    through the resume handshake rather than guessing.
+
     The replay rides through connection losses and daemon restarts: on
     failure it reconnects (exponential backoff + jitter), re-``hello``\\ s
     with ``resume=True``, and continues from the sequence number the
     server asks for — rewinding after a restart, fast-forwarding past
-    snapshots whose replies were lost after admission.  The report's
-    ``reconnects``/``retries``/``resent`` counters say how bumpy the ride
-    was.
+    snapshots whose replies were lost after admission.  Rewound intervals
+    resend their cached frames verbatim — no re-serialization.  The
+    report's ``reconnects``/``retries``/``resent`` counters say how bumpy
+    the ride was.
 
     With ``trace=True`` (the default) every submission carries a fresh
     trace id; the effective ids land in ``report.trace_ids`` so callers
@@ -476,23 +616,104 @@ def publish_samples(
         return int(reply.data.get("resume_from", 0))
 
     try:
-        with PhaseClient(endpoint, retry=retry, check=False) as client:
+        with PhaseClient(endpoint, retry=retry, check=False,
+                         protocols=protocols) as client:
             reply = client.hello(stream_id, app=app, rank=rank, resume=True)
             if not reply.ok:
                 report.error = reply.error
                 return report
-            seq = int(reply.data.get("resume_from", 0))
+            if pipeline is not None:
+                window = max(1, int(pipeline))
+            elif client.wire_version > PROTOCOL_VERSION:
+                window = PIPELINE_WINDOW
+            else:
+                window = 1
+
+            #: seq -> (encoded frame, trace id).  Encoded exactly once;
+            #: a resume rewind resends these bytes verbatim.  Entries are
+            #: evicted when their reply is processed.
+            frames: Dict[int, Tuple[bytes, str]] = {}
+            in_flight: Deque[int] = deque()
+            next_seq = int(reply.data.get("resume_from", 0))
             max_sent = -1
             stalls = 0
-            while seq < len(samples):
-                # One trace id per submission attempt: a resent interval
-                # is a new admission, so it gets a fresh id.
-                trace_id = new_trace_id() if trace else ""
-                try:
-                    reply = client.snapshot(stream_id, seq, samples[seq],
-                                            trace_id=trace_id)
-                except ConnectionLostError:
-                    seq = resume(client)
+
+            def frame_for(s: int) -> bytes:
+                cached = frames.get(s)
+                if cached is None:
+                    tid = new_trace_id() if trace else ""
+                    cached = (client.encode_snapshot(stream_id, s,
+                                                     samples[s], tid), tid)
+                    frames[s] = cached
+                return cached[0]
+
+            def rewind() -> None:
+                """Resume handshake + reconcile in-flight state.
+
+                In-flight intervals below the resume point were durably
+                admitted server-side but their acks died with the
+                connection; the resume point is the server's word for
+                that, so credit them here — otherwise a crash that eats
+                a window of replies would leave intervals the fleet
+                holds uncounted in the ledger.
+                """
+                nonlocal next_seq, max_sent
+                head = in_flight[0] if in_flight else next_seq
+                next_seq = resume(client)
+                for s in range(head, next_seq):
+                    report.sent += 1
+                    report.accepted += 1
+                    report.acks_lost += 1
+                    if s <= max_sent:
+                        report.resent += 1
+                    max_sent = max(max_sent, s)
+                    tid = frames.pop(s, (b"", ""))[1]
+                    if tid:
+                        report.trace_ids.setdefault(s, tid)
+                in_flight.clear()
+                # Any other frames at or past the resume point stay
+                # cached for verbatim resend; stale ones below it go.
+                for s in [s for s in frames if s < next_seq]:
+                    del frames[s]
+
+            #: Replies already read off the wire for this burst but not
+            #: yet reconciled against ``in_flight``.
+            pending: Deque[Reply] = deque()
+
+            while next_seq < len(samples) or in_flight or pending:
+                if not pending:
+                    try:
+                        # One burst: fill the window with buffered
+                        # writes, flush once, then drain the window's
+                        # replies together (the server corks them into
+                        # one flush too) — syscalls per interval drop
+                        # from two round-trips' worth to ~2/window.
+                        while (next_seq < len(samples)
+                               and len(in_flight) < window):
+                            client.send_frame(frame_for(next_seq),
+                                              flush=False)
+                            in_flight.append(next_seq)
+                            next_seq += 1
+                        client.flush_frames()
+                        for _ in range(len(in_flight)):
+                            pending.append(client.read_reply())
+                    except ConnectionLostError:
+                        pending.clear()
+                        rewind()
+                        continue
+                reply = pending.popleft()
+                seq = in_flight.popleft()
+                echoed = reply.data.get("seq")
+                if echoed is not None and int(echoed) != seq:
+                    # The reply stream no longer lines up with the sends
+                    # (a swallowed reply); resync through the resume
+                    # handshake rather than guessing which ack this is.
+                    # The popped seq goes back in flight first so the
+                    # rewind can reconcile it like the rest; the burst's
+                    # remaining replies are stale now and are dropped.
+                    in_flight.appendleft(seq)
+                    pending.clear()
+                    rewind()
                     continue
                 code = str(reply.data.get("code", ""))
                 if (not reply.ok
@@ -511,10 +732,13 @@ def publish_samples(
                     if stalls > client.retry.max_attempts:
                         report.error = reply.error
                         return report
-                    seq = resume(client)
+                    in_flight.appendleft(seq)
+                    pending.clear()
+                    rewind()
                     continue
                 stalls = 0
                 report.sent += 1
+                trace_id = frames.pop(seq, (b"", ""))[1]
                 effective = str(reply.data.get("trace", trace_id) or "")
                 if effective:
                     report.trace_ids[seq] = effective
@@ -536,7 +760,6 @@ def publish_samples(
                     report.accepted += 1
                 else:
                     report.rejected += 1
-                seq += 1
                 if delay > 0:
                     time.sleep(delay)
             if heartbeat_records:
@@ -576,6 +799,8 @@ def publish_session(
     include_heartbeats: bool = True,
     delay: float = 0.0,
     retry: Optional[RetryPolicy] = None,
+    pipeline: Optional[int] = None,
+    protocols: Sequence[int] = SUPPORTED_PROTOCOLS,
 ) -> Dict[str, PublishReport]:
     """Stream every rank of a :class:`~repro.incprof.session.SessionResult`
     through the service concurrently (one connection + thread per rank)."""
@@ -596,6 +821,8 @@ def publish_session(
                                    if include_heartbeats else ()),
                 delay=delay,
                 retry=retry,
+                pipeline=pipeline,
+                protocols=protocols,
             )
         except (ReproError, OSError) as exc:
             # A publisher thread must not die silently: surface the
@@ -676,6 +903,8 @@ class SyntheticLoadGenerator:
         stream_prefix: str = "load",
         delay: float = 0.0,
         retry: Optional[RetryPolicy] = None,
+        pipeline: Optional[int] = None,
+        protocols: Sequence[int] = SUPPORTED_PROTOCOLS,
     ) -> LoadResult:
         """Publish ``n_streams`` concurrent synthetic streams; aggregate."""
         reports: Dict[str, PublishReport] = {}
@@ -687,7 +916,9 @@ class SyntheticLoadGenerator:
                 report = publish_samples(endpoint, stream_id,
                                          self.stream(i, n_intervals),
                                          app="synthetic-load", rank=i,
-                                         delay=delay, retry=retry)
+                                         delay=delay, retry=retry,
+                                         pipeline=pipeline,
+                                         protocols=protocols)
             except (ReproError, OSError) as exc:
                 report = PublishReport(stream_id=stream_id, error=str(exc))
             with lock:

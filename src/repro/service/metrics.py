@@ -38,6 +38,14 @@ class LatencyWindow:
             self._window.append(seconds)
             self.observed += 1
 
+    def record_many(self, seconds: float, count: int) -> None:
+        """Record ``count`` identical observations under one lock."""
+        if count <= 0:
+            return
+        with self._lock:
+            self._window.extend([seconds] * count)
+            self.observed += count
+
     def values(self) -> list:
         """The raw window as a list (for exact cross-worker merging).
 
@@ -124,6 +132,21 @@ class ServiceMetrics:
                 self.novel += 1
             self._last_process = self._clock()
         self.classify_latency.record(latency)
+
+    def note_processed_batch(self, count: int, novel: int,
+                             latency: float) -> None:
+        """One coalesced tick's worth of :meth:`note_processed` calls.
+
+        ``latency`` is the per-item share, recorded once per item so the
+        latency distribution is identical to ``count`` single calls.
+        """
+        if count <= 0:
+            return
+        with self._lock:
+            self.processed += count
+            self.novel += novel
+            self._last_process = self._clock()
+        self.classify_latency.record_many(latency, count)
 
     def note_dropped_oldest(self, n: int = 1) -> None:
         with self._lock:

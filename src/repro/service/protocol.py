@@ -1,11 +1,25 @@
 """The ``incprofd`` wire protocol.
 
 Every message is one *frame*: a 4-byte big-endian payload length followed
-by a UTF-8 JSON object.  The object always carries ``"v"`` (protocol
-version) and ``"type"`` (message kind); the remaining keys are the typed
-message's fields.  Gmon snapshots travel inside frames as base64 of the
-existing binary gmon serialization, so the service ingest path exercises
-exactly the same corrupt/truncated-file checks as the offline loader.
+by a payload encoded by one of two registered codecs.
+
+Protocol v1 (JSON) payloads are UTF-8 JSON objects.  The object always
+carries ``"v"`` (protocol version) and ``"type"`` (message kind); the
+remaining keys are the typed message's fields.  Gmon snapshots travel
+inside frames as base64 of the existing binary gmon serialization, so
+the service ingest path exercises exactly the same corrupt/truncated-file
+checks as the offline loader.
+
+Protocol v2 (binary) payloads start with a NUL byte — never a valid JSON
+start — so both codecs share one byte stream and a receiver dispatches
+per frame without any out-of-band state.  v2 frames a snapshot as a
+struct-packed header plus the *raw* gmon serialization (no base64, no
+JSON re-encode); the gmon bytes are carved out of the received frame
+zero-copy with ``memoryview``.  Low-rate kinds (hello, control, replies,
+heartbeats, bye) keep riding on JSON even at v2.  A client offers its
+codecs in ``hello.protocols``; the server answers with the negotiated
+version in the reply's ``protocol`` field.  Peers that predate v2 ignore
+both keys, so mixed-version pairs settle on v1 automatically.
 
 Message kinds
 -------------
@@ -32,13 +46,17 @@ import json
 import socket
 import struct
 from dataclasses import asdict, dataclass, field
-from typing import Any, BinaryIO, Dict, List, Optional
+from typing import Any, BinaryIO, Dict, Iterable, List, Optional, Tuple, Union
 
-from repro.gprof.gmon import GmonData, dumps_gmon, loads_gmon
+from repro.gprof.gmon import GmonBlob, GmonData, dumps_gmon, loads_gmon
 from repro.heartbeat.accumulator import HeartbeatRecord
 from repro.util.errors import FormatError, ProtocolError
 
 PROTOCOL_VERSION = 1
+BINARY_PROTOCOL_VERSION = 2
+#: Codec versions this build can speak, lowest first.  v1 is the floor
+#: every peer understands; anything newer is opt-in via negotiation.
+SUPPORTED_PROTOCOLS = (PROTOCOL_VERSION, BINARY_PROTOCOL_VERSION)
 
 #: Hard cap on one frame's JSON payload; anything larger is rejected
 #: before allocation (a malicious or corrupt length prefix must not make
@@ -67,6 +85,11 @@ class Hello:
     app: str = ""
     rank: int = 0
     resume: bool = False
+    #: Codec versions the publisher can speak.  Defaults to v1 only, so
+    #: a message minted by (or parsed from) an old peer stays equal to
+    #: what that peer meant.  The server picks the highest version both
+    #: sides support and echoes it in the hello reply's ``protocol``.
+    protocols: Tuple[int, ...] = (PROTOCOL_VERSION,)
 
     TYPE = "hello"
 
@@ -81,11 +104,15 @@ class SnapshotMsg:
     pool, aggregation — and its per-stage span timings are queryable via
     the ``trace`` control request.  An empty trace id means "untraced";
     the server mints one on admission so every interval is traceable.
+
+    ``gmon`` is normally a parsed :class:`GmonData`; it may instead be a
+    :class:`GmonBlob` — already-serialized bytes that both codecs emit
+    verbatim and a lazy binary decode hands back unparsed.
     """
 
     stream_id: str
     seq: int
-    gmon: GmonData
+    gmon: Union[GmonData, GmonBlob]
     trace_id: str = ""
 
     TYPE = "snapshot"
@@ -137,8 +164,9 @@ Message = Any  # union of the dataclasses above
 # ----------------------------------------------------------------------
 # wire <-> message
 # ----------------------------------------------------------------------
-def _gmon_to_wire(gmon: GmonData) -> str:
-    return base64.b64encode(dumps_gmon(gmon)).decode("ascii")
+def _gmon_to_wire(gmon: Union[GmonData, GmonBlob]) -> str:
+    raw = gmon.raw if isinstance(gmon, GmonBlob) else dumps_gmon(gmon)
+    return base64.b64encode(raw).decode("ascii")
 
 
 def _gmon_from_wire(blob: str) -> GmonData:
@@ -185,7 +213,7 @@ def message_to_obj(msg: Message) -> Dict[str, Any]:
     obj: Dict[str, Any] = {"v": PROTOCOL_VERSION, "type": msg.TYPE}
     if isinstance(msg, Hello):
         obj.update(stream_id=msg.stream_id, app=msg.app, rank=msg.rank,
-                   resume=msg.resume)
+                   resume=msg.resume, protocols=list(msg.protocols))
     elif isinstance(msg, SnapshotMsg):
         obj.update(stream_id=msg.stream_id, seq=msg.seq, gmon=_gmon_to_wire(msg.gmon))
         if msg.trace_id:
@@ -224,9 +252,17 @@ def message_from_obj(obj: Any) -> Message:
         raise ProtocolError(f"unsupported protocol version {version}")
     kind = _require(obj, "type", str)
     if kind == Hello.TYPE:
+        raw_protocols = obj.get("protocols") or [PROTOCOL_VERSION]
+        if not isinstance(raw_protocols, list):
+            raise ProtocolError("field 'protocols' must be a list")
+        try:
+            protocols = tuple(int(p) for p in raw_protocols)
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError(f"bad 'protocols' entry: {exc!r}") from exc
         return Hello(stream_id=_require(obj, "stream_id", str),
                      app=str(obj.get("app", "")), rank=int(obj.get("rank", 0)),
-                     resume=bool(obj.get("resume", False)))
+                     resume=bool(obj.get("resume", False)),
+                     protocols=protocols)
     if kind == SnapshotMsg.TYPE:
         return SnapshotMsg(stream_id=_require(obj, "stream_id", str),
                            seq=_require(obj, "seq", int),
@@ -248,11 +284,303 @@ def message_from_obj(obj: Any) -> Message:
 
 
 # ----------------------------------------------------------------------
+# codec registry
+# ----------------------------------------------------------------------
+#: First payload byte of every v2 frame.  A JSON payload can never start
+#: with NUL, so one receiver dispatches both codecs per frame with no
+#: out-of-band state.
+BINARY_MAGIC = b"\x00IPB"
+_BIN_PREFIX = struct.Struct(">4sBB")    # magic, codec version, kind code
+_BIN_SNAPSHOT = struct.Struct(">QIHH")  # seq, gmon_len, stream_id_len, trace_id_len
+_BIN_ACK = struct.Struct(">BBQIHHB")    # flags, outcome, seq, model_version,
+                                        # trace_len, error_len, code_len
+KIND_SNAPSHOT = 1
+KIND_ACK = 2
+
+_ACK_FLAG_OK = 1
+_ACK_FLAG_MODEL = 2
+#: Snapshot ack outcomes with a packed representation.  The codes are
+#: wire constants — append, never renumber.
+_ACK_OUTCOMES = {1: "accepted", 2: "dropped-oldest", 3: "rejected",
+                 4: "duplicate"}
+_ACK_CODES = {name: code for code, name in _ACK_OUTCOMES.items()}
+_ACK_KEYS = frozenset(("outcome", "seq", "trace", "model_version", "code"))
+
+
+@dataclass(frozen=True)
+class BinaryEnvelope:
+    """A peeked v2 frame: routing fields without the gmon bytes decoded.
+
+    Lets a proxy (the fleet router) pick the owning worker and forward
+    the original payload verbatim — no deserialize/re-serialize of the
+    dominant part of the frame.
+    """
+
+    kind: int
+    type: str
+    stream_id: str
+    seq: int
+    trace_id: str = ""
+
+
+def _binary_kind(view: memoryview) -> int:
+    """Validate a binary payload's prefix and return its kind code."""
+    if view.nbytes < _BIN_PREFIX.size:
+        raise ProtocolError("binary frame shorter than its prefix")
+    magic, version, kind = _BIN_PREFIX.unpack_from(view, 0)
+    if magic != BINARY_MAGIC:
+        raise ProtocolError(f"bad binary frame magic {bytes(magic)!r}")
+    if version != BINARY_PROTOCOL_VERSION:
+        raise ProtocolError(f"unsupported binary protocol version {version}")
+    return kind
+
+
+def _is_snapshot_ack(msg: Message) -> bool:
+    """Whether ``msg`` is a snapshot ack the packed layout can carry.
+
+    Deliberately strict: any reply with extra keys, an unknown outcome,
+    or a field that does not fit its fixed-width slot is *not* an ack
+    for encoding purposes and rides the JSON codec instead — fallback,
+    never failure.
+    """
+    if not isinstance(msg, Reply):
+        return False
+    data = msg.data
+    if not isinstance(data, dict) or not _ACK_KEYS.issuperset(data):
+        return False
+    if data.get("outcome") not in _ACK_CODES:
+        return False
+    seq = data.get("seq")
+    if type(seq) is not int or not 0 <= seq <= 0xFFFFFFFFFFFFFFFF:
+        return False
+    trace = data.get("trace")
+    if not isinstance(trace, str) or len(trace.encode("utf-8")) > 0xFFFF:
+        return False
+    if "model_version" in data:
+        mv = data["model_version"]
+        if type(mv) is not int or not 0 <= mv <= 0xFFFFFFFF:
+            return False
+    if "code" in data:
+        code = data["code"]
+        if not isinstance(code, str) or not code or len(code.encode("utf-8")) > 0xFF:
+            return False
+    return len(msg.error.encode("utf-8")) <= 0xFFFF
+
+
+def _encode_ack(msg: Reply) -> bytes:
+    """Pack a snapshot ack (:func:`_is_snapshot_ack` must hold)."""
+    data = msg.data
+    trace = data["trace"].encode("utf-8")
+    error = msg.error.encode("utf-8")
+    code = data.get("code", "").encode("utf-8")
+    mv = data.get("model_version")
+    flags = ((_ACK_FLAG_OK if msg.ok else 0)
+             | (_ACK_FLAG_MODEL if mv is not None else 0))
+    return b"".join((
+        _BIN_PREFIX.pack(BINARY_MAGIC, BINARY_PROTOCOL_VERSION, KIND_ACK),
+        _BIN_ACK.pack(flags, _ACK_CODES[data["outcome"]], data["seq"],
+                      mv or 0, len(trace), len(error), len(code)),
+        trace, error, code))
+
+
+def _parse_binary_ack(view: memoryview) -> Reply:
+    """Inverse of :func:`_encode_ack` (prefix already validated)."""
+    off = _BIN_PREFIX.size
+    if view.nbytes < off + _BIN_ACK.size:
+        raise ProtocolError("binary ack frame truncated in its header")
+    flags, outcome_code, seq, mv, t_len, e_len, c_len = \
+        _BIN_ACK.unpack_from(view, off)
+    off += _BIN_ACK.size
+    end = off + t_len + e_len + c_len
+    if end != view.nbytes:
+        raise ProtocolError(f"binary ack frame length mismatch: header "
+                            f"implies {end} bytes, frame has {view.nbytes}")
+    outcome = _ACK_OUTCOMES.get(outcome_code)
+    if outcome is None:
+        raise ProtocolError(f"unknown binary ack outcome {outcome_code}")
+    try:
+        trace = bytes(view[off:off + t_len]).decode("utf-8")
+        error = bytes(view[off + t_len:off + t_len + e_len]).decode("utf-8")
+        code = bytes(view[off + t_len + e_len:end]).decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise ProtocolError(f"binary ack fields are not UTF-8: {exc}") from exc
+    data: Dict[str, Any] = {"outcome": outcome, "seq": seq, "trace": trace}
+    if flags & _ACK_FLAG_MODEL:
+        data["model_version"] = mv
+    if code:
+        data["code"] = code
+    return Reply(ok=bool(flags & _ACK_FLAG_OK), error=error, data=data)
+
+
+def _parse_binary_snapshot(view: memoryview) -> Tuple[int, str, str, memoryview]:
+    """Validate a v2 snapshot payload; return (seq, stream_id, trace_id, gmon bytes).
+
+    The gmon bytes come back as a ``memoryview`` slice of the input —
+    zero-copy — so callers that only need the envelope never touch them.
+    """
+    if _binary_kind(view) != KIND_SNAPSHOT:
+        raise ProtocolError(
+            f"unknown binary frame kind {_binary_kind(view)}")
+    off = _BIN_PREFIX.size
+    if view.nbytes < off + _BIN_SNAPSHOT.size:
+        raise ProtocolError("binary snapshot frame truncated in its header")
+    seq, gmon_len, sid_len, tid_len = _BIN_SNAPSHOT.unpack_from(view, off)
+    off += _BIN_SNAPSHOT.size
+    end = off + sid_len + tid_len + gmon_len
+    if end != view.nbytes:
+        raise ProtocolError(f"binary snapshot frame length mismatch: header "
+                            f"implies {end} bytes, frame has {view.nbytes}")
+    try:
+        stream_id = bytes(view[off:off + sid_len]).decode("utf-8")
+        trace_id = bytes(view[off + sid_len:off + sid_len + tid_len]).decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise ProtocolError(f"binary frame id fields are not UTF-8: {exc}") from exc
+    if not stream_id:
+        raise ProtocolError("binary snapshot frame has an empty stream id")
+    return seq, stream_id, trace_id, view[off + sid_len + tid_len:end]
+
+
+class JsonCodec:
+    """Protocol v1: UTF-8 JSON payloads, gmon snapshots as base64."""
+
+    version = PROTOCOL_VERSION
+
+    def encode(self, msg: Message) -> bytes:
+        return json.dumps(message_to_obj(msg), separators=(",", ":")).encode("utf-8")
+
+    def decode(self, payload: Union[bytes, memoryview]) -> Message:
+        try:
+            obj = json.loads(bytes(payload).decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ProtocolError(f"frame payload is not valid JSON: {exc}") from exc
+        return message_from_obj(obj)
+
+
+class BinaryCodec:
+    """Protocol v2: struct-packed snapshot payloads carrying raw gmon bytes.
+
+    Snapshot layout (big-endian)::
+
+        magic  b"\\x00IPB"             4 bytes
+        codec version (2)              u8
+        kind code (1 = snapshot)       u8
+        seq                            u64
+        gmon_len                       u32
+        stream_id_len                  u16
+        trace_id_len                   u16
+        stream_id                      UTF-8, stream_id_len bytes
+        trace_id                       UTF-8, trace_id_len bytes
+        gmon                           raw IGMON serialization, gmon_len bytes
+
+    Only snapshots — the hot path — get a binary layout; every other
+    message kind delegates to the JSON codec, which is always valid on
+    the shared stream because the receiver dispatches per frame.
+    """
+
+    version = BINARY_PROTOCOL_VERSION
+
+    def encode(self, msg: Message) -> bytes:
+        if not isinstance(msg, SnapshotMsg):
+            # Snapshot acks — the reply-side hot path — also pack; every
+            # other message (and any ack a packed frame can't represent
+            # exactly) delegates to JSON.
+            if _is_snapshot_ack(msg):
+                return _encode_ack(msg)
+            return JSON_CODEC.encode(msg)
+        sid = msg.stream_id.encode("utf-8")
+        tid = msg.trace_id.encode("utf-8")
+        if len(sid) > 0xFFFF or len(tid) > 0xFFFF:
+            raise ProtocolError("stream/trace id too long for a binary frame")
+        if not 0 <= msg.seq <= 0xFFFFFFFFFFFFFFFF:
+            raise ProtocolError(f"sequence number {msg.seq} does not fit u64")
+        gmon = (bytes(msg.gmon.raw) if isinstance(msg.gmon, GmonBlob)
+                else dumps_gmon(msg.gmon))
+        size = _BIN_PREFIX.size + _BIN_SNAPSHOT.size + len(sid) + len(tid) + len(gmon)
+        if size > MAX_FRAME_BYTES:
+            raise ProtocolError(f"frame of {size} bytes exceeds the "
+                                f"{MAX_FRAME_BYTES}-byte limit")
+        return b"".join((
+            _BIN_PREFIX.pack(BINARY_MAGIC, self.version, KIND_SNAPSHOT),
+            _BIN_SNAPSHOT.pack(msg.seq, len(gmon), len(sid), len(tid)),
+            sid, tid, gmon))
+
+    def decode(self, payload: Union[bytes, memoryview],
+               lazy_gmon: bool = False) -> Message:
+        """Decode a binary payload; ``lazy_gmon`` defers the gmon parse.
+
+        With ``lazy_gmon`` the returned snapshot carries a
+        :class:`GmonBlob` view into the payload instead of a parsed
+        :class:`GmonData` — the daemon's reader thread admits the frame
+        after header validation only, and the classify worker pays the
+        parse off the connection's critical path (a corrupt blob then
+        surfaces as a per-interval ingest error, not a reply error).
+        """
+        view = memoryview(payload)
+        if _binary_kind(view) == KIND_ACK:
+            return _parse_binary_ack(view)
+        seq, stream_id, trace_id, gmon_view = _parse_binary_snapshot(view)
+        if lazy_gmon:
+            return SnapshotMsg(stream_id=stream_id, seq=seq,
+                               gmon=GmonBlob(gmon_view), trace_id=trace_id)
+        try:
+            gmon = loads_gmon(gmon_view)
+        except FormatError as exc:
+            raise ProtocolError(f"snapshot payload is not a valid gmon: {exc}") from exc
+        return SnapshotMsg(stream_id=stream_id, seq=seq, gmon=gmon,
+                           trace_id=trace_id)
+
+
+JSON_CODEC = JsonCodec()
+BINARY_CODEC = BinaryCodec()
+CODECS = {codec.version: codec for codec in (JSON_CODEC, BINARY_CODEC)}
+
+
+def codec_for(version: int) -> Union[JsonCodec, BinaryCodec]:
+    """The registered codec for ``version``, or :class:`ProtocolError`."""
+    try:
+        return CODECS[version]
+    except KeyError:
+        raise ProtocolError(f"unsupported protocol version {version}") from None
+
+
+def negotiate(offered: Iterable[int],
+              supported: Iterable[int] = SUPPORTED_PROTOCOLS) -> int:
+    """Pick the highest codec version both sides speak.
+
+    Falls back to v1 when the sets don't intersect: v1 is the floor
+    every peer has spoken since PR 1, so an empty intersection only
+    means the other side is from the future — it can still talk v1.
+    """
+    common = set(offered) & set(supported)
+    return max(common) if common else PROTOCOL_VERSION
+
+
+def binary_envelope(payload: Union[bytes, memoryview]) -> Optional[BinaryEnvelope]:
+    """Peek a payload's routing fields if it is a v2 binary frame.
+
+    Returns ``None`` for JSON payloads (route those by decoding as
+    usual).  Malformed binary payloads raise :class:`ProtocolError`.
+    """
+    view = memoryview(payload)
+    if view.nbytes == 0 or view[0] != 0:
+        return None
+    seq, stream_id, trace_id, _gmon = _parse_binary_snapshot(view)
+    return BinaryEnvelope(kind=KIND_SNAPSHOT, type=SnapshotMsg.TYPE,
+                          stream_id=stream_id, seq=seq, trace_id=trace_id)
+
+
+# ----------------------------------------------------------------------
 # framing
 # ----------------------------------------------------------------------
-def encode_message(msg: Message) -> bytes:
-    """Serialize one message to a length-prefixed frame."""
-    payload = json.dumps(message_to_obj(msg), separators=(",", ":")).encode("utf-8")
+def encode_message(msg: Message, version: int = PROTOCOL_VERSION) -> bytes:
+    """Serialize one message to a length-prefixed frame.
+
+    Oversized messages fail here — on the encoding side, before any
+    bytes hit the wire — with the same :class:`ProtocolError` the
+    receiver would raise, so a publisher with a pathological snapshot
+    learns locally instead of after a round trip.
+    """
+    payload = codec_for(version).encode(msg)
     if len(payload) > MAX_FRAME_BYTES:
         raise ProtocolError(f"frame of {len(payload)} bytes exceeds the "
                             f"{MAX_FRAME_BYTES}-byte limit")
@@ -271,12 +599,12 @@ def decode_message(frame: bytes) -> Message:
     return _decode_payload(payload)
 
 
-def _decode_payload(payload: bytes) -> Message:
-    try:
-        obj = json.loads(payload.decode("utf-8"))
-    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-        raise ProtocolError(f"frame payload is not valid JSON: {exc}") from exc
-    return message_from_obj(obj)
+def _decode_payload(payload: Union[bytes, memoryview],
+                    lazy_gmon: bool = False) -> Message:
+    view = memoryview(payload)
+    if view.nbytes and view[0] == 0:
+        return BINARY_CODEC.decode(view, lazy_gmon=lazy_gmon)
+    return JSON_CODEC.decode(payload)
 
 
 def read_frame(stream: BinaryIO) -> Optional[bytes]:
@@ -306,9 +634,70 @@ def read_frame(stream: BinaryIO) -> Optional[bytes]:
     return payload
 
 
-def decode_payload(payload: bytes) -> Message:
-    """Decode one frame's payload into a typed message."""
-    return _decode_payload(payload)
+class FrameReader:
+    """Length-prefixed frame reads straight off a socket, with lookahead.
+
+    Serves the daemon's reader loop instead of a ``makefile`` stream:
+    :meth:`buffered_frame` says — without a syscall — whether another
+    complete frame is already in memory, which is what lets the server
+    *cork* its replies under a pipelined submission window (one flush
+    per drained burst instead of one per reply).  Framing errors carry
+    the same :class:`ProtocolError` semantics as :func:`read_frame`.
+    """
+
+    def __init__(self, sock: socket.socket, chunk: int = 65536) -> None:
+        self._sock = sock
+        self._chunk = chunk
+        self._buf = bytearray()
+
+    def _fill(self) -> bool:
+        """One ``recv``; False on EOF."""
+        data = self._sock.recv(self._chunk)
+        if not data:
+            return False
+        self._buf += data
+        return True
+
+    def buffered_frame(self) -> bool:
+        """A complete frame (or a framing error) is already buffered."""
+        if len(self._buf) < _LEN.size:
+            return False
+        (length,) = _LEN.unpack_from(self._buf, 0)
+        if length > MAX_FRAME_BYTES:
+            return True  # read_frame will raise; don't wait for bytes
+        return len(self._buf) >= _LEN.size + length
+
+    def read_frame(self) -> Optional[bytes]:
+        """Next frame's payload; ``None`` on clean EOF between frames."""
+        while len(self._buf) < _LEN.size:
+            if not self._fill():
+                if not self._buf:
+                    return None
+                raise ProtocolError(
+                    "connection closed mid-frame (short length prefix)")
+        (length,) = _LEN.unpack_from(self._buf, 0)
+        if length > MAX_FRAME_BYTES:
+            raise ProtocolError(f"frame of {length} bytes exceeds the "
+                                f"{MAX_FRAME_BYTES}-byte limit")
+        total = _LEN.size + length
+        while len(self._buf) < total:
+            if not self._fill():
+                raise ProtocolError(
+                    f"connection closed mid-frame "
+                    f"({len(self._buf) - _LEN.size}/{length} payload bytes)")
+        payload = bytes(memoryview(self._buf)[_LEN.size:total])
+        del self._buf[:total]
+        return payload
+
+
+def decode_payload(payload: bytes, lazy_gmon: bool = False) -> Message:
+    """Decode one frame's payload into a typed message.
+
+    ``lazy_gmon`` applies only to binary snapshot payloads (see
+    :meth:`BinaryCodec.decode`); JSON payloads always validate fully,
+    keeping v1's admission semantics exactly as they were.
+    """
+    return _decode_payload(payload, lazy_gmon=lazy_gmon)
 
 
 def read_message(stream: BinaryIO) -> Optional[Message]:
@@ -319,9 +708,28 @@ def read_message(stream: BinaryIO) -> Optional[Message]:
     return _decode_payload(payload)
 
 
-def write_message(stream: BinaryIO, msg: Message) -> None:
-    """Frame and write one message."""
-    stream.write(encode_message(msg))
+def write_message(stream: BinaryIO, msg: Message,
+                  version: int = PROTOCOL_VERSION) -> None:
+    """Frame and write one message with the given codec version."""
+    stream.write(encode_message(msg, version=version))
+    stream.flush()
+
+
+def frame_bytes(payload: Union[bytes, memoryview]) -> bytes:
+    """Length-prefix one already-encoded payload.
+
+    The forwarding path: a proxy that has a validated payload in hand
+    frames it verbatim instead of decode/re-encode round-tripping it.
+    """
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {len(payload)} bytes exceeds the "
+                            f"{MAX_FRAME_BYTES}-byte limit")
+    return _LEN.pack(len(payload)) + bytes(payload)
+
+
+def write_frame(stream: BinaryIO, payload: Union[bytes, memoryview]) -> None:
+    """Write one already-encoded payload with its length prefix."""
+    stream.write(frame_bytes(payload))
     stream.flush()
 
 
@@ -445,8 +853,24 @@ class Endpoint:
             sock.connect(self.path)
         else:
             sock = socket.create_connection((self.host, self.port), timeout=timeout)
+            enable_nodelay(sock)
         sock.settimeout(None)
         return sock
 
     def __str__(self) -> str:
         return f"unix:{self.path}" if self.kind == "unix" else f"{self.host}:{self.port}"
+
+
+def enable_nodelay(sock: socket.socket) -> None:
+    """Disable Nagle on a TCP socket (harmless no-op elsewhere).
+
+    The protocol is small framed request/reply messages, each flushed
+    explicitly — Nagle can never usefully coalesce them, but it can
+    stall a pipelined submission window behind a delayed ACK.  Both
+    ends of every connection (client dial, daemon accept, router
+    accept) go through here.
+    """
+    try:
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    except (OSError, ValueError):
+        pass  # unix sockets and exotic stacks have no Nagle to disable

@@ -82,6 +82,24 @@ class StreamState:
                 self.seq_gaps += seq - self.last_seq - 1
             self.last_seq = max(self.last_seq, seq)
 
+    def admit_sequence(self, seq: int, now: float) -> bool:
+        """Touch, duplicate-check, and sequence-track in one lock trip.
+
+        The admission fast path runs this once per snapshot instead of
+        three separate lock acquisitions.  Returns ``False`` when
+        ``seq`` is already admitted (``seq <= last_seq``) — the caller
+        acks the duplicate without enqueuing; the stream still counts
+        as seen either way.
+        """
+        with self.lock:
+            self.last_seen = now
+            if seq <= self.last_seq:
+                return False
+            if self.last_seq >= 0 and seq > self.last_seq + 1:
+                self.seq_gaps += seq - self.last_seq - 1
+            self.last_seq = seq
+            return True
+
     @property
     def lag(self) -> int:
         """Intervals accepted but not yet classified."""
@@ -195,6 +213,10 @@ class StreamRegistry:
 
     def touch(self, stream_id: str) -> None:
         self.get(stream_id).touch(self._clock())
+
+    def now(self) -> float:
+        """The registry's clock reading (injectable in tests)."""
+        return self._clock()
 
     def close(self, stream_id: str) -> Optional[StreamState]:
         """Remove a stream on orderly shutdown; keep its final stats."""

@@ -39,8 +39,8 @@ from typing import Any, Deque, Dict, List, Optional, Tuple
 
 from repro.core.incremental import AdaptiveConfig, DriftConfig
 from repro.core.model_io import MODEL_MAGIC, MODEL_SCHEMA, pack_artifact
-from repro.core.online import OnlinePhaseTracker
-from repro.gprof.gmon import GmonData
+from repro.core.online import OnlinePhaseTracker, classify_across
+from repro.gprof.gmon import GmonBlob, GmonData
 from repro.heartbeat.ldms import LDMSTransport
 from repro.util.atomicio import atomic_write_bytes
 from repro.fleet.ring import HashRing
@@ -65,6 +65,9 @@ from repro.service.exposition import (
 )
 from repro.service.metrics import ServiceMetrics
 from repro.service.protocol import (
+    BINARY_PROTOCOL_VERSION,
+    PROTOCOL_VERSION,
+    SUPPORTED_PROTOCOLS,
     Bye,
     Control,
     Endpoint,
@@ -73,9 +76,11 @@ from repro.service.protocol import (
     Message,
     Reply,
     SnapshotMsg,
+    FrameReader,
     decode_payload,
-    read_frame,
-    write_message,
+    enable_nodelay,
+    encode_message,
+    negotiate,
     wrong_worker_reply,
 )
 from repro.service.registry import StreamRegistry, StreamState
@@ -224,6 +229,15 @@ class ServerConfig:
     #: Finished-stream history ring size (drop-oldest beyond this, with
     #: evictions counted in ``finished_evicted``).
     finished_capacity: int = 64
+    #: Highest wire codec version this daemon advertises in hello
+    #: replies.  The decoder always accepts every registered codec
+    #: (dispatch is per frame); lowering this only steers clients — the
+    #: knob that lets tests exercise a v1-only server.
+    max_protocol: int = BINARY_PROTOCOL_VERSION
+    #: How many ready streams one worker tick coalesces into a single
+    #: cross-stream vectorized classify call.  1 restores strictly
+    #: per-stream ticks.
+    coalesce_streams: int = 4
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -249,6 +263,10 @@ class ServerConfig:
             raise ValidationError("refit window needs at least two profiles")
         if self.finished_capacity < 1:
             raise ValidationError("finished capacity must be positive")
+        if self.max_protocol < 1:
+            raise ValidationError("max protocol must be at least 1")
+        if self.coalesce_streams < 1:
+            raise ValidationError("coalesce_streams must be positive")
 
     def adaptive_config(self) -> Optional[AdaptiveConfig]:
         """The per-stream refit policy, or None when refitting is off."""
@@ -489,11 +507,28 @@ class PhaseMonitorServer:
 
     def _handle_conn(self, conn: socket.socket) -> None:
         self.metrics.note_connection()
-        fh = conn.makefile("rwb")
+        enable_nodelay(conn)
+        reader = FrameReader(conn)
+        fh = conn.makefile("wb")
+        # Replies follow the version this connection's hello negotiated
+        # (v1 until one arrives): a v2 publisher gets packed snapshot
+        # acks, everyone else plain JSON.
+        wire_version = PROTOCOL_VERSION
+
+        def send(reply: Reply) -> None:
+            # Corked replies: under a pipelined submission window the
+            # next request is usually already buffered, so defer the
+            # flush and answer the whole burst with one send.  With a
+            # single-shot client nothing is ever buffered and this
+            # degenerates to flush-per-reply.
+            fh.write(encode_message(reply, version=wire_version))
+            if not reader.buffered_frame():
+                fh.flush()
+
         try:
             while self._running.is_set():
                 try:
-                    payload = read_frame(fh)
+                    payload = reader.read_frame()
                 except ProtocolError:
                     # Framing is broken: the byte stream lost sync, the
                     # connection cannot be trusted any further.
@@ -502,14 +537,20 @@ class PhaseMonitorServer:
                 if payload is None:
                     break
                 try:
-                    msg = decode_payload(payload)
+                    # Lazy gmon: a binary snapshot is admitted on header
+                    # validation alone; the classify worker pays the
+                    # parse off this reader thread's critical path.
+                    msg = decode_payload(payload, lazy_gmon=True)
                 except ProtocolError as exc:
                     # The frame boundary held — reject the message, keep
                     # the connection.
                     self.metrics.note_protocol_error()
-                    write_message(fh, Reply(ok=False, error=str(exc)))
+                    send(Reply(ok=False, error=str(exc)))
                     continue
                 reply = self._dispatch(msg)
+                if isinstance(msg, Hello) and reply.ok:
+                    wire_version = int(
+                        reply.data.get("protocol", PROTOCOL_VERSION))
                 action = (self.faults.on_reply(msg.TYPE)
                           if self.faults is not None else None)
                 if action is not None:
@@ -519,14 +560,16 @@ class PhaseMonitorServer:
                     elif action.kind == DROP:
                         continue
                     elif action.kind == CORRUPT:
+                        fh.flush()
                         fh.write(CORRUPT_FRAME)
                         fh.flush()
                         continue
                     elif action.kind == CLOSE:
                         break
-                write_message(fh, reply)
+                send(reply)
                 if (reply.ok and isinstance(msg, Control)
                         and msg.command == "shutdown"):
+                    fh.flush()
                     # The reply is flushed; now it is safe to tear the
                     # server down.  stop() joins reader threads, so it
                     # must run on a helper thread, not this one.
@@ -712,10 +755,17 @@ class PhaseMonitorServer:
                                              self.config.policy)
             if tracker is not None:
                 self._watch_refits(state, tracker)
+        advertised = [v for v in SUPPORTED_PROTOCOLS
+                      if v <= self.config.max_protocol]
         return Reply(ok=True, data=self._fleet_fields({
             "stream_id": msg.stream_id,
             "policy": self.config.policy,
             "queue_capacity": self.config.queue_capacity,
+            # Codec negotiation: the highest version both sides speak.
+            # A pre-v2 client never sent ``protocols`` (its parsed Hello
+            # defaults to v1 only) and ignores these reply keys.
+            "protocol": negotiate(msg.protocols, advertised),
+            "protocols": advertised,
             "classifying": state.tracker is not None,
             "refitting": (state.tracker is not None
                           and self.adaptive is not None),
@@ -734,20 +784,27 @@ class PhaseMonitorServer:
         if denial is not None:
             return denial
         state = self.registry.get(msg.stream_id)
-        self.registry.touch(msg.stream_id)
-        with state.lock:
-            already_processed = msg.seq <= state.processed_seq
-        if already_processed:
+        # One lock trip covers touch, duplicate check, and sequence
+        # accounting.  The duplicate check is against ``last_seq``
+        # (admitted) rather than ``processed_seq`` (classified): a
+        # pipelined resend can race the old torn connection's handler,
+        # which may still drain buffered frames after the resume hello
+        # answered — the first copy sits in the queue, not yet
+        # classified.  Checkpoints anchor ``last_seq`` at
+        # ``processed_seq``, so after a restart or adoption nothing
+        # pending is mistaken for admitted.
+        if not state.admit_sequence(msg.seq, self.registry.now()):
             # A replay raced an adoption (the publisher resumed from an
-            # older anchor than this worker's state).  The interval is
-            # already durably classified here — ack it without enqueuing
-            # so a resend can never classify the same interval twice.
+            # older anchor than this worker's state) or a torn
+            # connection's late drain.  The interval is already held
+            # here — classified, or queued for exactly-once
+            # classification — ack it without enqueuing so a resend can
+            # never classify the same interval twice.
             data: Dict[str, Any] = {"outcome": "duplicate", "seq": msg.seq,
                                     "trace": msg.trace_id}
             if state.tracker is not None:
                 data["model_version"] = state.tracker.model_version
             return Reply(ok=True, data=data)
-        state.note_sequence(msg.seq)
         # Server-side minting keeps untraced publishers traceable: every
         # admitted interval has a trace id, client-supplied or not.
         trace_id = msg.trace_id or new_trace_id()
@@ -763,7 +820,8 @@ class PhaseMonitorServer:
             with state.lock:
                 state.rejected += 1
             return Reply(ok=False, error=str(exc),
-                         data={"outcome": REJECTED, "trace": trace_id,
+                         data={"outcome": REJECTED, "seq": msg.seq,
+                               "trace": trace_id,
                                "code": BackpressureError.code})
         enqueue_seconds = time.perf_counter() - t0
         self.traces.add_span(trace_id, "enqueue", enqueue_seconds)
@@ -773,8 +831,11 @@ class PhaseMonitorServer:
             self.metrics.note_rejected()
             with state.lock:
                 state.rejected += 1
+            # Every snapshot reply echoes its sequence number so a
+            # pipelined publisher can line acks up with sends.
             return Reply(ok=False, error="queue full",
-                         data={"outcome": REJECTED, "trace": trace_id,
+                         data={"outcome": REJECTED, "seq": msg.seq,
+                               "trace": trace_id,
                                "code": BackpressureError.code})
         self.metrics.note_ingested()
         with state.lock:
@@ -948,98 +1009,171 @@ class PhaseMonitorServer:
                 continue
             if state is None:
                 return
-            batch = state.queue.pop_batch(self.config.batch_size)
-            if batch:
-                self._classify_batch(state, batch)
+            states = [state]
+            # Cross-stream coalescing: opportunistically take more ready
+            # streams so this tick classifies all of them in one
+            # vectorized call.  Per-stream ordering is untouched — the
+            # ``scheduled`` flag still guarantees a stream is owned by at
+            # most one worker at a time.
+            while len(states) < self.config.coalesce_streams:
+                try:
+                    extra = self._ready.get_nowait()
+                except Empty:
+                    break
+                if extra is None:
+                    # A shutdown token meant for some worker; hand it
+                    # back and stop coalescing.
+                    self._ready.put(None)
+                    break
+                states.append(extra)
+            work = [(st, st.queue.pop_batch(self.config.batch_size))
+                    for st in states]
+            work = [(st, batch) for st, batch in work if batch]
+            if work:
+                self._classify_many(work)
             with self._sched_lock:
-                if len(state.queue):
-                    self._ready.put(state)
-                else:
-                    state.scheduled = False
+                for st in states:
+                    if len(st.queue):
+                        self._ready.put(st)
+                    else:
+                        st.scheduled = False
 
     def _classify_batch(self, state: StreamState,
                         batch: List[Tuple[int, GmonData, str, float]]) -> None:
-        """Classify one drained batch of a stream's snapshots.
+        """Classify one drained batch of a single stream's snapshots."""
+        with state.work_lock:
+            self._classify_work_locked([(state, batch)])
+
+    def _classify_many(
+        self, work: List[Tuple[StreamState, List[Tuple[int, GmonData, str, float]]]],
+    ) -> None:
+        """Classify drained batches of one or more streams in one tick.
+
+        The single-stream case routes through :meth:`_classify_batch` so
+        per-instance wrappers (tests, instrumentation) keep intercepting
+        the classic path.  Holding several ``work_lock``\\ s at once is
+        deadlock-free: each stream here is exclusively owned by this
+        worker (its ``scheduled`` flag is set), and every other
+        ``work_lock`` taker (the checkpointer) holds at most one at a
+        time, so no cycle can form.
+        """
+        if len(work) == 1:
+            self._classify_batch(work[0][0], work[0][1])
+            return
+        acquired: List[StreamState] = []
+        try:
+            for state, _batch in work:
+                state.work_lock.acquire()
+                acquired.append(state)
+            self._classify_work_locked(work)
+        finally:
+            for state in reversed(acquired):
+                state.work_lock.release()
+
+    def _classify_work_locked(
+        self, work: List[Tuple[StreamState, List[Tuple[int, GmonData, str, float]]]],
+    ) -> None:
+        """Difference + classify + commit for one coalesced worker tick.
 
         Differencing stays per-snapshot (each delta depends on its
-        predecessor and may fail independently), but all resulting
-        profiles go through one vectorized ``classify_batch`` call.
-        The whole batch runs under the stream's ``work_lock`` so a
-        concurrent checkpoint never captures the differencer advanced
-        past the recorded history.
+        predecessor and may fail independently), but classification of
+        *every* stream's profiles happens in one cross-stream vectorized
+        call — :func:`~repro.core.online.classify_across` pools streams
+        whose trackers share an identical frozen model into a single
+        NumPy distance computation.  Each batch runs under its stream's
+        ``work_lock`` so a concurrent checkpoint never captures the
+        differencer advanced past the recorded history.
         """
-        with state.work_lock:
-            self._classify_batch_locked(state, batch)
-
-    def _classify_batch_locked(
-        self, state: StreamState,
-        batch: List[Tuple[int, GmonData, str, float]],
-    ) -> None:
         start = time.perf_counter()
-        # The dequeue span is submission-to-drain: how long the interval
-        # sat queued before a worker picked the stream up.
-        for _seq, _gmon, trace_id, enq_time in batch:
-            self.traces.add_span(trace_id, "dequeue",
-                                 max(0.0, start - enq_time))
-        errors = 0
-        tracked: List[Any] = []
-        diff_seconds = 0.0
-        classify_seconds = 0.0
-        if state.tracker is not None:
-            profiles = []
-            for _seq, gmon, _tid, _enq in batch:
-                try:
-                    profile = state.tracker.delta_profile(gmon)
-                except ReproError:
-                    # A single inconsistent snapshot (e.g. mismatched
-                    # sample period) must not take the worker down.
-                    errors += 1
-                    self.metrics.note_ingest_error()
-                    continue
-                if profile is not None:
-                    profiles.append(profile)
-            diffed = time.perf_counter()
-            diff_seconds = diffed - start
-            self.metrics.note_stage("difference", diff_seconds, len(batch))
-            tracked = state.tracker.classify_batch(profiles)
-            classify_seconds = time.perf_counter() - diffed
-            self.metrics.note_stage("classify", classify_seconds,
-                                    len(profiles))
-        end = time.perf_counter()
-        counted = len(batch) - errors
-        novel_count = sum(1 for t in tracked if t.is_novel)
-        per_item = (end - start) / max(1, counted)
-        for t in tracked:
-            self.metrics.note_processed(novel=t.is_novel, latency=per_item)
-        for _ in range(counted - len(tracked)):
-            # Primed first snapshots and tracker-less streams still count
-            # as processed work, exactly as before batching.
-            self.metrics.note_processed(novel=False, latency=per_item)
-        with state.lock:
-            state.processed += len(batch)
-            state.novel += novel_count
-            # The resume anchor: the highest sequence number this stream
-            # has actually consumed (checkpoints persist exactly this).
-            state.processed_seq = max(state.processed_seq,
-                                      max(item[0] for item in batch))
-        aggregate_seconds = time.perf_counter() - end
-        self.metrics.note_stage("aggregate", aggregate_seconds, len(batch))
-        if self.selfekg is not None:
+        total_items = 0
+        preps: List[Tuple[StreamState, List[Tuple[int, GmonData, str, float]],
+                          List[Any], int]] = []
+        for state, batch in work:
+            total_items += len(batch)
+            errors = 0
+            # Universe-projected delta vectors (see delta_vector) — the
+            # classify pass consumes them without re-vectorizing.
+            profiles: List[Any] = []
             if state.tracker is not None:
+                for _seq, gmon, _tid, _enq in batch:
+                    try:
+                        if isinstance(gmon, GmonBlob):
+                            gmon = gmon.load()
+                        profile = state.tracker.delta_vector(gmon)
+                    except ReproError:
+                        # A single inconsistent snapshot (e.g. mismatched
+                        # sample period) must not take the worker down.
+                        errors += 1
+                        self.metrics.note_ingest_error()
+                        continue
+                    if profile is not None:
+                        profiles.append(profile)
+            preps.append((state, batch, profiles, errors))
+        diffed = time.perf_counter()
+        diff_seconds = diffed - start
+        groups = [(state.tracker, profiles)
+                  for state, _batch, profiles, _err in preps
+                  if state.tracker is not None]
+        tracked_groups = classify_across(groups)
+        classify_seconds = time.perf_counter() - diffed
+        if groups:
+            self.metrics.note_stage("difference", diff_seconds, total_items)
+            self.metrics.note_stage(
+                "classify", classify_seconds,
+                sum(len(profiles) for _trk, profiles in groups))
+        end = time.perf_counter()
+        total_counted = sum(len(batch) - errors
+                            for _s, batch, _p, errors in preps)
+        per_item = (end - start) / max(1, total_counted)
+        tracked_iter = iter(tracked_groups)
+        for state, batch, _profiles, errors in preps:
+            tracked: List[Any] = (list(next(tracked_iter))
+                                  if state.tracker is not None else [])
+            counted = len(batch) - errors
+            novel_count = sum(1 for t in tracked if t.is_novel)
+            # Primed first snapshots and tracker-less streams still
+            # count as processed work, exactly as before batching.
+            self.metrics.note_processed_batch(count=counted,
+                                              novel=novel_count,
+                                              latency=per_item)
+            with state.lock:
+                state.processed += len(batch)
+                state.novel += novel_count
+                # The resume anchor: the highest sequence number this
+                # stream has actually consumed (checkpoints persist
+                # exactly this).
+                state.processed_seq = max(state.processed_seq,
+                                          max(item[0] for item in batch))
+        aggregate_seconds = time.perf_counter() - end
+        self.metrics.note_stage("aggregate", aggregate_seconds, total_items)
+        if self.selfekg is not None:
+            if groups:
                 self.selfekg.record("difference", diff_seconds)
                 self.selfekg.record("classify", classify_seconds)
             self.selfekg.record("aggregate", aggregate_seconds)
         # Per-item share of the batched stages closes out each trace.
-        classify_share = (end - start) / max(1, len(batch))
-        aggregate_share = aggregate_seconds / max(1, len(batch))
-        for seq, _gmon, trace_id, _enq in batch:
-            self.traces.add_span(trace_id, "classify", classify_share)
-            self.traces.add_span(trace_id, "aggregate", aggregate_share)
-            record = self.traces.complete(trace_id)
+        # Spans land in one batched call — the dequeue span (submission
+        # to drain, measured against this tick's start) included — so
+        # the trace store's lock is taken once per tick, not four times
+        # per interval.
+        classify_share = (end - start) / max(1, total_items)
+        aggregate_share = aggregate_seconds / max(1, total_items)
+        closes: List[Tuple[str, List[Tuple[str, float]]]] = []
+        origins: List[Tuple[StreamState, int]] = []
+        for state, batch, _profiles, _errors in preps:
+            for seq, _gmon, trace_id, enq_time in batch:
+                closes.append((trace_id,
+                               [("dequeue", max(0.0, start - enq_time)),
+                                ("classify", classify_share),
+                                ("aggregate", aggregate_share)]))
+                origins.append((state, seq))
+        for (state, seq), record in zip(origins,
+                                        self.traces.finish_batch(closes)):
             if (record is not None
-                    and record.total_seconds >= self.config.slow_op_threshold):
+                    and record.total_seconds
+                    >= self.config.slow_op_threshold):
                 self.log.warning(
-                    "slow-op", trace_id=trace_id,
+                    "slow-op", trace_id=record.trace_id,
                     stream_id=state.stream_id, seq=seq,
                     total_seconds=round(record.total_seconds, 6),
                     spans={k: round(v, 6)

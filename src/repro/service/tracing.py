@@ -19,10 +19,10 @@ still answer "what happened to trace X" for recently completed work.
 
 from __future__ import annotations
 
+import os
 import threading
-import uuid
 from collections import OrderedDict
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.util.errors import ValidationError
 
@@ -31,8 +31,13 @@ TRACE_STAGES = ("enqueue", "dequeue", "classify", "aggregate")
 
 
 def new_trace_id() -> str:
-    """A fresh 16-hex-char trace id (collision-safe at fleet scale)."""
-    return uuid.uuid4().hex[:16]
+    """A fresh 16-hex-char trace id (collision-safe at fleet scale).
+
+    Straight from ``os.urandom`` — same 64 bits of entropy as the
+    ``uuid4`` slice this replaces at a fraction of the cost, which
+    matters because the server mints one per untraced admission.
+    """
+    return os.urandom(8).hex()
 
 
 class TraceRecord:
@@ -117,6 +122,37 @@ class TraceStore:
                 record.completed = True
                 self.finished += 1
             return record
+
+    def finish_batch(
+        self, items: List[Tuple[str, List[Tuple[str, float]]]],
+    ) -> List[Optional[TraceRecord]]:
+        """Add final spans and complete many traces under one lock.
+
+        A worker's coalesced tick closes out every interval it
+        classified in a single call — the per-interval lock round-trips
+        of ``add_span``/``complete`` are what this batches away.  Span
+        stages are validated exactly as :meth:`add_span`; an evicted
+        trace yields ``None`` in its result slot.
+        """
+        for _trace_id, spans in items:
+            for stage, _seconds in spans:
+                if stage not in TRACE_STAGES:
+                    raise ValidationError(
+                        f"unknown trace stage {stage!r} "
+                        f"(expected one of {TRACE_STAGES})")
+        out: List[Optional[TraceRecord]] = []
+        with self._lock:
+            for trace_id, spans in items:
+                record = self._records.get(trace_id)
+                if record is not None:
+                    for stage, seconds in spans:
+                        record.spans[stage] = (
+                            record.spans.get(stage, 0.0) + seconds)
+                    if not record.completed:
+                        record.completed = True
+                        self.finished += 1
+                out.append(record)
+        return out
 
     # ------------------------------------------------------------------
     # queries

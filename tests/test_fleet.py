@@ -518,6 +518,14 @@ class TestWorkerFleetMode:
                 client.hello("racer")
                 for i, sample in enumerate(samples):
                     client.snapshot("racer", i, sample)
+                # Acks mean *admitted*, not classified — wait for the
+                # worker to drain so the live state is genuinely newer
+                # than the stale record (the scenario under test).
+                deadline = time.monotonic() + 10.0
+                state = server.registry.get("racer")
+                while (state.processed_seq < len(samples) - 1
+                       and time.monotonic() < deadline):
+                    time.sleep(0.01)
                 stale = {"stream_id": "racer", "last_seq": 1,
                          "processed_seq": 1, "processed": 2}
                 reply = client.control("adopt-stream", stream=stale)

@@ -382,6 +382,97 @@ def test_wire_throughput():
 
 
 @pytest.mark.slow
+def test_storage_throughput():
+    """The tiered segment store's hot paths: append, replay, compact.
+
+    Appends a cumulative synthetic stream into a fresh ``SegmentStore``,
+    replays it through the streaming engine via the time-travel API, and
+    compacts the raw tier down to interval vectors, recording
+    appends/sec, replay intervals/sec, and the on-disk compaction ratio
+    in ``BENCH_perf.json``.  The floors are deliberately loose (4x+
+    headroom on a dev box) — they exist to catch an accidental
+    O(n)-flush-per-append or a replay path that re-opens segments per
+    interval, not to benchmark the machine.
+    """
+    import random
+    import shutil
+
+    from repro.gprof.gmon import GmonData
+    from repro.store.segments import SegmentStore
+
+    n = 400 if QUICK else 4000
+    funcs = 48
+    rng = random.Random(5)
+    names = [f"bench.mod_{j // 8}.func_{j:03d}" for j in range(funcs)]
+    rates = [[rng.randint(8, 60) if j % 3 == p else 0
+              for j in range(funcs)] for p in range(3)]
+    cum = [0] * funcs
+    series = []
+    for i in range(n):
+        phase = (i // 25) % 3
+        for j in range(funcs):
+            if rates[phase][j]:
+                cum[j] += max(0, rates[phase][j] + rng.randint(-2, 2))
+        snap = GmonData(rank=0, timestamp=float(i + 1))
+        for j, name in enumerate(names):
+            if cum[j]:
+                snap.add_ticks(name, cum[j])
+        series.append(snap)
+
+    with tempfile.TemporaryDirectory(prefix="incprof-store-") as tmp:
+        root = Path(tmp) / "store"
+        store = SegmentStore(root, segment_intervals=256)
+        t0 = time.perf_counter()
+        for i, snap in enumerate(series):
+            store.append("bench", i, snap)
+        store.flush()
+        append_s = time.perf_counter() - t0
+        appends_per_sec = n / append_s
+
+        result = store.replay("bench", warmup=8)
+        assert result.n_intervals == n
+
+        du = lambda: sum(p.stat().st_size for p in root.rglob("*")
+                         if p.is_file())
+        bytes_before = du()
+        t0 = time.perf_counter()
+        store.compact("bench", raw_keep=0)
+        compact_s = time.perf_counter() - t0
+        bytes_after = du()
+
+        # Replay must survive (and not slow down through) the vector tier.
+        vec_result = store.replay("bench", warmup=8)
+        assert vec_result.n_intervals == n
+        shutil.rmtree(root, ignore_errors=True)
+
+    record = {
+        "storage": {
+            "n_intervals": n,
+            "functions": funcs,
+            "appends_per_sec": round(appends_per_sec, 1),
+            "replay_intervals_per_sec": round(
+                result.intervals_per_second, 1),
+            "replay_intervals_per_sec_vector": round(
+                vec_result.intervals_per_second, 1),
+            "compact_seconds": round(compact_s, 3),
+            "bytes_raw": bytes_before,
+            "bytes_compacted": bytes_after,
+            "compaction_ratio": round(bytes_before / max(bytes_after, 1), 2),
+        },
+    }
+    if not QUICK:
+        _merge_into_bench_json(record)
+    print()
+    print(json.dumps(record, indent=2, sort_keys=True))
+
+    # CI floors: far under healthy numbers, far over pathological ones.
+    assert appends_per_sec >= 500, f"append only {appends_per_sec:.0f}/s"
+    assert result.intervals_per_second >= 300, \
+        f"replay only {result.intervals_per_second:.0f} intervals/s"
+    assert bytes_after < bytes_before  # compaction must shrink the store
+
+
+@pytest.mark.slow
 @pytest.mark.skipif(not QUICK,
                     reason="CI smoke only: set BENCH_PERF_QUICK=1")
 def test_quick_bench_guard():

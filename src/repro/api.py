@@ -27,7 +27,14 @@ The surface groups into five layers:
   reproduces :func:`analyze_snapshots` exactly (see
   ``docs/STREAMING.md``).
 - **collection** — :class:`Session` (simulated app runs) and
-  :class:`SampleStore` (on-disk gmon sample directories).
+  :class:`SampleStore` (on-disk gmon sample directories; deprecated in
+  favour of the unified storage interface below).
+- **storage** — :class:`IntervalStore` (the unified append/scan/window/
+  compact/gc/replay interface), its two backends :class:`LooseStore`
+  (legacy loose gmon files) and :class:`SegmentStore` (tiered columnar
+  segments with :class:`CompactionPolicy` retention), :func:`open_store`
+  (backend auto-detection), and :class:`ReplayResult` (the time-travel
+  replay outcome).  See ``docs/STORAGE.md``.
 - **model artifacts** — :func:`save_model` / :func:`load_model`
   round-trip a trained phase model through one durable, checksummed
   file with bit-identical classification.
@@ -73,6 +80,11 @@ from repro.core.online import NOVEL, OnlinePhaseTracker, TrackedInterval
 from repro.gprof.gmon import GmonData, read_gmon, write_gmon
 from repro.incprof import SampleStore, Session, SessionConfig, SessionResult
 
+# -- storage -----------------------------------------------------------
+from repro.store.interface import IntervalStore, ReplayResult
+from repro.store.loose import LooseStore
+from repro.store.segments import CompactionPolicy, SegmentStore, open_store
+
 # -- service client ----------------------------------------------------
 from repro.service import (
     Endpoint,
@@ -98,6 +110,7 @@ from repro.util.errors import (
     RequestError,
     RetryExhaustedError,
     SampleFileError,
+    SegmentManifestError,
     ServiceError,
     StreamConflictError,
     UnknownStreamError,
@@ -123,6 +136,13 @@ __all__ = [
     "Session",
     "SessionConfig",
     "SessionResult",
+    # storage
+    "IntervalStore",
+    "LooseStore",
+    "SegmentStore",
+    "CompactionPolicy",
+    "ReplayResult",
+    "open_store",
     # model artifacts
     "MODEL_SCHEMA",
     "save_model",
@@ -151,6 +171,7 @@ __all__ = [
     "SampleFileError",
     "ModelFormatError",
     "CheckpointError",
+    "SegmentManifestError",
     "ServiceError",
     "RequestError",
     "UnknownStreamError",

@@ -11,6 +11,11 @@ Subcommands mirror the tool's workflow:
 - ``incprof figure --app miniamr`` — print the heartbeat figure;
 - ``incprof table1`` — regenerate Table I across all apps;
 - ``incprof apps`` — list workloads;
+- ``incprof compact samples/`` — run retention compaction + artifact GC
+  on an interval store;
+- ``incprof replay samples/ --t0 10 --t1 60`` — time-travel: re-drive a
+  recorded window through the streaming engine (``--sweep`` backtests
+  refit thresholds against it);
 - ``incprof serve`` — run the ``incprofd`` phase-monitoring daemon;
 - ``incprof submit --app graph500 --to HOST:PORT`` — stream a collection
   run's ranks through a running daemon;
@@ -32,7 +37,7 @@ from repro.eval.experiments import run_experiment, run_experiments
 from repro.eval.figures import heartbeat_figure
 from repro.eval.tables import app_sites_table, comparison_table, table1, table1_comparison
 from repro.incprof.session import DEFAULT_SEED, Session, SessionConfig
-from repro.incprof.storage import SampleStore
+from repro.store.segments import open_store
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -67,6 +72,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         seed=args.seed,
         scale=args.scale,
         store_dir=args.out,
+        store_format=args.store_format,
     )
     result = Session(app, config).run()
     print(f"{args.app}: {len(result.per_rank)} rank(s), "
@@ -86,7 +92,7 @@ def _analyze_follow(args: argparse.Namespace) -> int:
     """
     from repro.core.incremental import IncrementalAnalyzer
 
-    store = SampleStore(args.samples, create=False)
+    store = open_store(args.samples)
     config = AnalysisConfig(kselect_method=args.kselect,
                             coverage_threshold=args.coverage)
     engine = IncrementalAnalyzer(config)
@@ -96,7 +102,7 @@ def _analyze_follow(args: argparse.Namespace) -> int:
           f"poll every {args.poll:g}s; Ctrl-C to stop and finalize)")
     try:
         while True:
-            for index, snapshot in store.load_rank_since(args.rank, watermark):
+            for index, snapshot in store.scan(str(args.rank), since=watermark):
                 watermark = index
                 update = engine.observe(snapshot)
                 if update.phase_id is None:
@@ -142,15 +148,16 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             print("error: --follow tails a single rank; drop --merge-ranks")
             return 2
         return _analyze_follow(args)
-    store = SampleStore(args.samples, create=False)
+    store = open_store(args.samples)
     if args.merge_ranks:
         from repro.gprof.merge import merge_sample_series
 
-        per_rank = [store.load_rank(rank) for rank in store.ranks()]
+        per_rank = [[snap for _i, snap in store.scan(stream)]
+                    for stream in store.streams()]
         snapshots = merge_sample_series(per_rank)
         label = f"{args.samples} (merged {len(per_rank)} ranks)"
     else:
-        snapshots = store.load_rank(args.rank)
+        snapshots = [snap for _i, snap in store.scan(str(args.rank))]
         label = args.samples
     config = AnalysisConfig(kselect_method=args.kselect,
                             coverage_threshold=args.coverage)
@@ -275,13 +282,117 @@ def _cmd_merge(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_compact(args: argparse.Namespace) -> int:
+    """Run retention compaction (and artifact GC) on an interval store."""
+    from repro.store.segments import SegmentStore
+    from repro.util.errors import ReproError
+
+    try:
+        store = open_store(args.store)
+    except ReproError as exc:
+        print(f"error: {exc}")
+        return 1
+    with store:
+        if isinstance(store, SegmentStore):
+            report = store.compact(stream_id=args.stream,
+                                   raw_keep=args.raw_keep,
+                                   vector_keep=args.vector_keep)
+        else:
+            report = store.compact(args.stream)
+        removed = store.gc(keep_versions=args.gc_keep)
+    saved = report["bytes_before"] - report["bytes_after"]
+    ratio = (report["bytes_before"] / report["bytes_after"]
+             if report["bytes_after"] else 0.0)
+    print(f"compacted {report['segments_compacted']} segment(s): "
+          f"{report['bytes_before']} -> {report['bytes_after']} bytes"
+          + (f" ({ratio:.1f}x smaller, {saved} saved)" if saved > 0 else ""))
+    if removed:
+        print(f"gc removed {len(removed)} versioned artifact(s)")
+    describe = getattr(store, "describe", None)
+    if describe is not None:
+        info = describe()
+        tiers = info["tiers"]
+        print(f"store {info['root']}: {info['streams']} stream(s), "
+              f"{info['total_bytes']} bytes "
+              f"(raw {tiers['0']['segments']}, "
+              f"vector {tiers['1']['segments']}, "
+              f"sketch {tiers['2']['segments']} segments)")
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    """Time-travel: re-drive a recorded window through the live engine."""
+    from repro.core.incremental import DriftConfig
+    from repro.util.errors import ReproError
+
+    try:
+        store = open_store(args.store)
+    except ReproError as exc:
+        print(f"error: {exc}")
+        return 1
+    streams = store.streams()
+    stream = args.stream
+    if stream is None:
+        if len(streams) != 1:
+            print("error: store has "
+                  f"{len(streams)} streams ({', '.join(streams) or 'none'}); "
+                  "pick one with --stream")
+            return 2
+        stream = streams[0]
+    if args.sweep:
+        from repro.eval.convergence import sweep_refit_thresholds
+
+        thresholds = [float(x) for x in args.sweep.split(",") if x.strip()]
+        results = sweep_refit_thresholds(
+            store, stream, thresholds, t0=args.t0, t1=args.t1,
+            warmup=args.warmup, refit_cooldown=args.refit_cooldown)
+        print(f"refit-drift-threshold sweep over {stream!r} "
+              f"({results[0].replay.n_intervals} intervals):")
+        print(f"{'threshold':>10s} {'refits':>7s} {'phases':>7s} "
+              f"{'novel':>6s} {'agreement':>10s} {'iv/s':>9s}")
+        for row in results:
+            print(f"{row.threshold:10.2f} {row.n_refits:7d} "
+                  f"{row.n_phases:7d} {row.n_novel:6d} "
+                  f"{row.agreement:10.3f} "
+                  f"{row.replay.intervals_per_second:9.0f}")
+        return 0
+    drift = None
+    if args.drift_threshold is not None:
+        drift = DriftConfig(novel_rate=args.drift_threshold)
+    try:
+        result = store.replay(stream, args.t0, args.t1, drift=drift,
+                              warmup=args.warmup,
+                              refit_cooldown=args.refit_cooldown)
+    except ReproError as exc:
+        print(f"error: {exc}")
+        return 1
+    timeline = result.phase_timeline()
+    phases = sorted({p for p in timeline if p is not None})
+    print(f"replayed {result.n_intervals} interval(s) of {stream!r} in "
+          f"{result.elapsed:.3f}s ({result.intervals_per_second:.0f} "
+          f"intervals/s)")
+    print(f"  phases seen: {phases or 'none (all warmup)'}; "
+          f"refits: {len(result.refits)}")
+    for event in result.refits:
+        print(f"  refit v{event.version} at interval "
+              f"{event.interval_index}: k {event.old_k}->{event.new_k} "
+              f"({event.reason})")
+    if args.timeline:
+        from repro.core.timeline import render_timeline
+
+        analysis = result.engine.finalize(workers=None)
+        print()
+        print(render_timeline(analysis, width=90))
+    return 0
+
+
 def _train_template(args: argparse.Namespace):
     """Train the serving tracker: from a sample directory or a fresh run."""
     from repro.core.online import OnlinePhaseTracker
 
     if args.samples:
-        store = SampleStore(args.samples, create=False)
-        snapshots = store.load_rank(args.rank)
+        store = open_store(args.samples)
+        snapshots = [snap for _i, snap in store.scan(str(args.rank))]
         label = f"samples {args.samples} (rank {args.rank})"
     else:
         app = get_app(args.app)
@@ -331,6 +442,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         idle_timeout=args.idle_timeout,
         checkpoint_dir=args.checkpoint_dir,
         checkpoint_interval=args.checkpoint_interval,
+        store_dir=args.store_dir,
         metrics_port=args.metrics_port,
         log_level=args.log_level,
         refit_interval=args.refit_interval,
@@ -431,6 +543,7 @@ def _cmd_serve_fleet(args: argparse.Namespace) -> int:
         checkpoint_interval=args.checkpoint_interval,
         max_restarts=args.max_restarts,
         log_level=args.log_level,
+        archive_intervals=args.archive_intervals,
     )
     endpoint = (Endpoint.unix(args.unix) if args.unix
                 else Endpoint.tcp(args.host, args.port))
@@ -734,6 +847,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--app", required=True, choices=paper_app_names())
     p_run.add_argument("--out", required=True, help="sample output directory")
     p_run.add_argument("--ranks", type=int, default=1)
+    p_run.add_argument("--store-format", default="loose",
+                       choices=["loose", "segments"],
+                       help="on-disk layout: loose per-interval gmon files "
+                            "(legacy, default) or the tiered columnar "
+                            "segment store")
     _add_common(p_run)
     p_run.set_defaults(func=_cmd_run)
 
@@ -807,6 +925,51 @@ def build_parser() -> argparse.ArgumentParser:
     p_merge.add_argument("--out", required=True, help="merged output file")
     p_merge.set_defaults(func=_cmd_merge)
 
+    p_comp = sub.add_parser(
+        "compact",
+        help="run retention compaction + artifact GC on an interval store")
+    p_comp.add_argument("store", help="store directory (loose or segment)")
+    p_comp.add_argument("--stream", default=None,
+                        help="compact only this stream (default: all)")
+    p_comp.add_argument("--raw-keep", type=int, default=None, metavar="N",
+                        help="keep this many newest intervals at the raw "
+                             "tier (default: store policy)")
+    p_comp.add_argument("--vector-keep", type=int, default=None, metavar="N",
+                        help="keep this many newest intervals at or above "
+                             "the vector tier (default: store policy)")
+    p_comp.add_argument("--gc-keep", type=int, default=2, metavar="K",
+                        help="versioned .ipm/.ipckp artifacts kept per "
+                             "family by GC")
+    p_comp.set_defaults(func=_cmd_compact)
+
+    p_replay = sub.add_parser(
+        "replay",
+        help="time-travel: re-drive a recorded window through the "
+             "streaming engine")
+    p_replay.add_argument("store", help="store directory (loose or segment)")
+    p_replay.add_argument("--stream", default=None,
+                          help="stream id (default: the store's only stream)")
+    p_replay.add_argument("--t0", type=float, default=None,
+                          help="window start timestamp (inclusive)")
+    p_replay.add_argument("--t1", type=float, default=None,
+                          help="window end timestamp (exclusive)")
+    p_replay.add_argument("--warmup", type=int, default=12,
+                          help="engine warmup intervals before phases emit")
+    p_replay.add_argument("--drift-threshold", type=float, default=None,
+                          metavar="RATE",
+                          help="enable drift-triggered refits at this "
+                               "novel-interval rate")
+    p_replay.add_argument("--refit-cooldown", type=int, default=16,
+                          help="minimum intervals between refits")
+    p_replay.add_argument("--sweep", default=None, metavar="R1,R2,...",
+                          help="backtest several --refit-drift-threshold "
+                               "values against the recorded window and "
+                               "print the comparison table")
+    p_replay.add_argument("--timeline", action="store_true",
+                          help="finalize the replay engine and print the "
+                               "phase timeline")
+    p_replay.set_defaults(func=_cmd_replay)
+
     p_serve = sub.add_parser("serve",
                              help="run the incprofd phase-monitoring daemon")
     p_serve.add_argument("--app", choices=app_names(),
@@ -823,6 +986,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--checkpoint-interval", type=float, default=2.0,
                          help="seconds between checkpoints (with "
                               "--checkpoint-dir)")
+    p_serve.add_argument("--store-dir", default=None, metavar="DIR",
+                         help="record every ingested interval into a tiered "
+                              "segment store here (compacted and GCed in "
+                              "the background; replayable with 'replay')")
     p_serve.add_argument("--host", default="127.0.0.1")
     p_serve.add_argument("--port", type=int, default=9271,
                          help="TCP port (0 = ephemeral)")
@@ -896,6 +1063,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_fleet.add_argument("--max-restarts", type=int, default=1,
                          help="same-identity revivals before a dead worker "
                               "is evicted and the ring rebalances")
+    p_fleet.add_argument("--archive-intervals", action="store_true",
+                         help="give each worker its own tiered segment "
+                              "store under worker-<id>/store (replayable "
+                              "with 'incprof replay')")
     p_fleet.add_argument("--log-level", default="info",
                          choices=["debug", "info", "warning", "error"])
     p_fleet.add_argument("--selftest", action="store_true",

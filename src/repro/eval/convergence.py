@@ -18,9 +18,10 @@ from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple
 
 from repro.apps import get_app
-from repro.core.incremental import IncrementalAnalyzer
+from repro.core.incremental import DriftConfig, IncrementalAnalyzer
 from repro.core.pipeline import AnalysisConfig, analyze_snapshots
 from repro.incprof.session import DEFAULT_SEED, Session, SessionConfig
+from repro.store.interface import IntervalStore, ReplayResult
 from repro.util.errors import ValidationError
 from repro.util.tables import Table
 
@@ -80,6 +81,73 @@ def label_agreement(live: Sequence[Optional[int]],
     for (lv, _b), count in by_live.items():
         best[lv] = max(best[lv], count)
     return sum(best.values()) / len(pairs)
+
+
+@dataclass(frozen=True)
+class ThresholdSweepPoint:
+    """One refit-drift-threshold setting backtested against a recording."""
+
+    threshold: float
+    n_refits: int
+    n_phases: int
+    n_novel: int
+    agreement: float
+    replay: ReplayResult
+
+
+def sweep_refit_thresholds(
+    store: IntervalStore,
+    stream_id: str,
+    thresholds: Sequence[float],
+    *,
+    t0: Optional[float] = None,
+    t1: Optional[float] = None,
+    warmup: int = 12,
+    refit_cooldown: int = 16,
+    config: AnalysisConfig = AnalysisConfig(),
+) -> Tuple[ThresholdSweepPoint, ...]:
+    """Backtest the refit sensitivity knob against recorded traffic.
+
+    The time-travel API turns ``--refit-drift-threshold`` tuning into an
+    offline experiment: the same recorded window of ``stream_id`` is
+    re-driven through the streaming engine once per candidate
+    ``novel_rate``, and each run is scored with :func:`label_agreement`
+    against the batch pipeline's labels over exactly that window.  A low
+    threshold refits eagerly (more model churn, usually higher
+    agreement); a high one coasts on a stale model.  The replayed
+    engines ride along on each point for deeper inspection.
+    """
+    if not thresholds:
+        raise ValidationError("need at least one threshold to sweep")
+    for value in thresholds:
+        if not 0 < value <= 1:
+            raise ValidationError(
+                f"drift threshold {value} must be in (0, 1]")
+    snapshots = [snap for _i, snap in store.window(stream_id, t0, t1)]
+    if not snapshots:
+        raise ValidationError(
+            f"no replayable intervals for stream {stream_id!r}"
+            + (f" in window [{t0}, {t1})"
+               if t0 is not None or t1 is not None else ""))
+    batch = analyze_snapshots(snapshots, config)
+    batch_labels = [int(label) for label in batch.phase_model.labels]
+    points = []
+    for threshold in thresholds:
+        replay = store.replay(
+            stream_id, t0, t1, config=config, warmup=warmup,
+            drift=DriftConfig(novel_rate=threshold),
+            refit_cooldown=refit_cooldown)
+        timeline = replay.phase_timeline()
+        points.append(ThresholdSweepPoint(
+            threshold=threshold,
+            n_refits=len(replay.refits),
+            n_phases=len({p for p in timeline if p is not None and p >= 0}),
+            n_novel=sum(1 for u in replay.updates if u.novel),
+            agreement=label_agreement(replay.engine.phase_sequence(),
+                                      batch_labels),
+            replay=replay,
+        ))
+    return tuple(points)
 
 
 def measure_convergence(

@@ -43,6 +43,7 @@ from repro.service.checkpoint import (
 )
 from repro.service.client import PhaseClient, RetryPolicy
 from repro.service.protocol import Endpoint
+from repro.store import layout
 from repro.util.errors import (
     CheckpointError,
     ReproError,
@@ -84,6 +85,12 @@ class FleetConfig:
     log_level: str = "warning"
     refit_interval: Optional[float] = None
     refit_drift_threshold: float = 0.3
+    #: Per-worker interval archives: each worker appends every
+    #: classified snapshot into its own tiered segment store under
+    #: ``worker-<id>/store`` (shared-nothing, like checkpoints), so any
+    #: worker's history can be replayed with ``incprof replay`` — even
+    #: after the worker is evicted.  Off by default.
+    archive_intervals: bool = False
 
     def __post_init__(self) -> None:
         if self.n_workers < 1:
@@ -105,6 +112,7 @@ class WorkerHandle:
     worker_id: str
     endpoint: Endpoint
     checkpoint_dir: Path
+    store_dir: Optional[Path] = None
     proc: Optional[subprocess.Popen] = None
     restarts: int = 0
     evicted: bool = False
@@ -201,10 +209,13 @@ class WorkerSupervisor:
     # ------------------------------------------------------------------
     def _make_handle(self, worker_id: str) -> WorkerHandle:
         sock = self.root / f"{worker_id}.sock"
+        checkpoint_dir = worker_checkpoint_dir(self.root, worker_id)
         return WorkerHandle(
             worker_id=worker_id,
             endpoint=Endpoint.unix(str(sock)),
-            checkpoint_dir=worker_checkpoint_dir(self.root, worker_id),
+            checkpoint_dir=checkpoint_dir,
+            store_dir=(checkpoint_dir / layout.WORKER_STORE_DIRNAME
+                       if self.config.archive_intervals else None),
         )
 
     def _worker_command(self, handle: WorkerHandle) -> List[str]:
@@ -221,6 +232,8 @@ class WorkerSupervisor:
             "--idle-timeout", str(cfg.idle_timeout),
             "--log-level", cfg.log_level,
         ]
+        if handle.store_dir is not None:
+            cmd += ["--store-dir", str(handle.store_dir)]
         if cfg.model_path:
             cmd += ["--model", cfg.model_path]
         if cfg.refit_interval is not None:
@@ -325,6 +338,8 @@ class WorkerSupervisor:
             h.worker_id: {
                 "endpoint": str(h.endpoint),
                 "checkpoint_dir": str(h.checkpoint_dir),
+                "store_dir": (str(h.store_dir)
+                              if h.store_dir is not None else None),
                 "evicted": h.evicted,
                 "restarts": h.restarts,
             }
@@ -500,6 +515,19 @@ class WorkerSupervisor:
                 handle.proc.kill()
                 handle.proc.wait(timeout=5.0)
 
+    def orphan_stores(self) -> List[str]:
+        """Interval archives whose owning worker was evicted.
+
+        The archives are shared-nothing and append-only, so they outlive
+        their worker: an operator (or ``incprof replay``) can still
+        re-drive an evicted worker's history from the listed paths.
+        """
+        with self._lock:
+            return sorted(
+                str(h.store_dir) for h in self.workers.values()
+                if h.evicted and h.store_dir is not None
+                and h.store_dir.exists())
+
     def status(self) -> Dict[str, Any]:
         with self._lock:
             return {
@@ -511,10 +539,13 @@ class WorkerSupervisor:
                         "alive": h.process_alive(),
                         "evicted": h.evicted,
                         "restarts": h.restarts,
+                        "store_dir": (str(h.store_dir)
+                                      if h.store_dir is not None else None),
                     }
                     for h in self.workers.values()
                 },
                 "restarts_total": self.restarts_total,
                 "evictions_total": self.evictions_total,
                 "migrations_total": self.migrations_total,
+                "orphan_stores": self.orphan_stores(),
             }

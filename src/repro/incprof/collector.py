@@ -2,8 +2,9 @@
 
 Both collectors produce the same artifact — an ordered list of cumulative
 :class:`~repro.gprof.gmon.GmonData` snapshots, one per elapsed interval —
-and can optionally persist each snapshot through a
-:class:`~repro.incprof.storage.SampleStore`.
+and can optionally persist each snapshot through any
+:class:`~repro.store.interface.IntervalStore` backend (loose sample
+files or the tiered segment store).
 """
 
 from __future__ import annotations
@@ -12,7 +13,7 @@ import threading
 from typing import List, Optional
 
 from repro.gprof.gmon import GmonData
-from repro.incprof.storage import SampleStore
+from repro.store.interface import IntervalStore
 from repro.profiler.sampling import SamplingProfiler
 from repro.profiler.tracing import TracingProfiler
 from repro.simulate.clock import TIME_EPS
@@ -34,7 +35,7 @@ class VirtualSnapshotCollector:
         engine: Engine,
         profiler: SamplingProfiler,
         interval: float = 1.0,
-        store: Optional[SampleStore] = None,
+        store: Optional[IntervalStore] = None,
     ) -> None:
         if interval <= 0:
             raise ValidationError("collection interval must be positive")
@@ -55,7 +56,7 @@ class VirtualSnapshotCollector:
 
     def _record(self, snap: GmonData) -> None:
         if self.store is not None:
-            self.store.save(snap, len(self.samples))
+            self.store.append(str(snap.rank), len(self.samples), snap)
         self.samples.append(snap)
 
     def finalize(self) -> List[GmonData]:
@@ -85,7 +86,7 @@ class LiveCollector:
         self,
         profiler: TracingProfiler,
         interval: float = 1.0,
-        store: Optional[SampleStore] = None,
+        store: Optional[IntervalStore] = None,
     ) -> None:
         if interval <= 0:
             raise ValidationError("collection interval must be positive")
@@ -100,7 +101,7 @@ class LiveCollector:
     def _record(self, snap: GmonData) -> None:
         with self._lock:
             if self.store is not None:
-                self.store.save(snap, len(self.samples))
+                self.store.append(str(snap.rank), len(self.samples), snap)
             self.samples.append(snap)
 
     def _loop(self) -> None:

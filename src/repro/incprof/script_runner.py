@@ -20,7 +20,7 @@ from typing import Callable, List, Optional, Sequence, Union
 
 from repro.gprof.gmon import GmonData
 from repro.incprof.collector import LiveCollector
-from repro.incprof.storage import SampleStore
+from repro.store.loose import LooseStore
 from repro.profiler.tracing import NameFilter, TracingProfiler
 from repro.util.errors import CollectorError
 
@@ -47,7 +47,7 @@ def profile_callable(
     store_dir: Optional[Union[str, Path]] = None,
 ) -> ScriptProfile:
     """Run ``target()`` under the live profiler + snapshot thread."""
-    store = SampleStore(store_dir) if store_dir is not None else None
+    store = LooseStore(store_dir) if store_dir is not None else None
     profiler = TracingProfiler(sample_period=sample_period,
                                name_filter=name_filter,
                                file_filter=file_filter)

@@ -17,7 +17,8 @@ from repro.gprof.gmon import GmonData
 from repro.heartbeat.api import AppEKG
 from repro.heartbeat.instrument import HeartbeatInstrumentation, SiteBinding
 from repro.incprof.collector import VirtualSnapshotCollector
-from repro.incprof.storage import SampleStore
+from repro.store.interface import IntervalStore
+from repro.store.loose import LooseStore
 from repro.profiler.sampling import DEFAULT_SAMPLE_PERIOD, SamplingProfiler
 from repro.simulate.engine import Engine
 from repro.simulate.mpi import RankResult, SimComm
@@ -51,6 +52,10 @@ class SessionConfig:
     charge_costs: bool = False
     cost_model: Optional[CostModel] = None
     store_dir: Optional[Union[str, Path]] = None
+    #: On-disk layout for ``store_dir``: ``"loose"`` (one gmon file per
+    #: interval, the legacy layout) or ``"segments"`` (the tiered
+    #: columnar segment store — see ``docs/STORAGE.md``).
+    store_format: str = "loose"
     #: SIGPROF timer-jitter model for the sampling profiler (see
     #: :class:`~repro.profiler.sampling.SamplingProfiler`).
     sampling_jitter: float = 0.12
@@ -60,6 +65,10 @@ class SessionConfig:
             raise ValidationError("interval and sample period must be positive")
         if self.scale <= 0:
             raise ValidationError("scale must be positive")
+        if self.store_format not in ("loose", "segments"):
+            raise ValidationError(
+                f"store_format must be 'loose' or 'segments', "
+                f"not {self.store_format!r}")
 
 
 @dataclass
@@ -125,6 +134,26 @@ class Session:
     def __init__(self, app: AppModel, config: SessionConfig = SessionConfig()) -> None:
         self.app = app
         self.config = config
+        self._store: Optional[IntervalStore] = None
+
+    def _get_store(self) -> Optional[IntervalStore]:
+        """One store instance shared by every rank of the session.
+
+        Segment stores buffer appends and own the manifest, so ranks
+        must share a single instance (flushed when :meth:`run` returns)
+        rather than each opening the directory independently.
+        """
+        if self.config.store_dir is None:
+            return None
+        if self._store is None:
+            root = Path(self.config.store_dir)
+            if self.config.store_format == "segments":
+                from repro.store.segments import SegmentStore
+
+                self._store = SegmentStore(root)
+            else:
+                self._store = LooseStore(root)
+        return self._store
 
     # ------------------------------------------------------------------
     def _cost_model(self) -> CostModel:
@@ -158,11 +187,9 @@ class Session:
                 rng=rng_stream(config.seed, self.app.name, "sampler", rank),
             )
             engine.add_observer(profiler)
-            store = None
-            if config.store_dir is not None:
-                store = SampleStore(Path(config.store_dir))
             collector = VirtualSnapshotCollector(
-                engine, profiler, interval=config.interval, store=store
+                engine, profiler, interval=config.interval,
+                store=self._get_store()
             )
 
         appekg: Optional[AppEKG] = None
@@ -194,5 +221,10 @@ class Session:
         """Run every rank; rank 0 is the paper's representative process."""
         n_ranks = self.config.ranks if self.config.ranks is not None else self.app.default_ranks
         comm = SimComm(n_ranks)
-        results = comm.run(self.run_rank)
+        try:
+            results = comm.run(self.run_rank)
+        finally:
+            if self._store is not None:
+                self._store.close()
+                self._store = None
         return SessionResult(app_name=self.app.name, config=self.config, per_rank=results)

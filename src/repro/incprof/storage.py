@@ -1,102 +1,95 @@
-"""Per-interval sample files.
+"""Deprecated per-interval sample-file store (compatibility shim).
 
-IncProf renames each gmon dump to a unique sample name; analysis later
-loads the ordered sequence per rank.  File layout::
+:class:`SampleStore` was the original storage surface: four ad-hoc load
+methods over a directory of loose ``gmon-r<rank>-i<index>.gmon`` files.
+The unified interface replaced it — :class:`repro.store.IntervalStore`
+with :class:`~repro.store.loose.LooseStore` (this exact on-disk layout)
+and :class:`~repro.store.segments.SegmentStore` (the tiered segment
+layout) as backends, and ``scan(stream_id, since)`` as the one read
+primitive.
 
-    <dir>/gmon-r<rank:03d>-i<index:05d>.gmon
+This class remains so old callers and old sample directories keep
+working: it *is* a ``LooseStore`` plus thin deprecated wrappers mapping
+each legacy method onto ``scan``.  New code should use the interface
+directly (see ``docs/API.md`` for the migration table).
 
-Indices are the collection order (interval number), which the loader uses
-to return samples sorted by interval.
+.. deprecated::
+    ``save`` → ``append(str(rank), index, sample)``;
+    ``load_rank`` / ``load_rank_since`` / ``load_all`` → ``scan``;
+    ``ranks`` → ``streams``.
 """
 
 from __future__ import annotations
 
-import re
+import warnings
 from pathlib import Path
-from typing import Dict, List, Tuple, Union
+from typing import Dict, Iterator, List, Tuple
 
-from repro.gprof.gmon import GmonData, dumps_gmon, read_gmon
-from repro.util.atomicio import atomic_write_bytes
-from repro.util.errors import CollectorError, FormatError, SampleFileError
+from repro.gprof.gmon import GmonData
+from repro.store.loose import LooseStore
+from repro.util.errors import SampleFileError
 
 __all__ = ["SampleFileError", "SampleStore"]
 
-_NAME_RE = re.compile(r"^gmon-r(?P<rank>\d{3})-i(?P<index>\d{5})\.gmon$")
+
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"SampleStore.{old} is deprecated; use IntervalStore.{new} "
+        "(repro.store) instead",
+        DeprecationWarning, stacklevel=3)
 
 
-class SampleStore:
-    """Directory-backed store of per-interval gmon samples."""
+class SampleStore(LooseStore):
+    """Directory-backed store of per-interval gmon samples (deprecated).
 
-    def __init__(self, directory: Union[str, Path], create: bool = True) -> None:
-        self.directory = Path(directory)
-        if create:
-            self.directory.mkdir(parents=True, exist_ok=True)
-        elif not self.directory.is_dir():
-            raise CollectorError(f"sample directory {self.directory} does not exist")
-
-    def path_for(self, rank: int, index: int) -> Path:
-        if rank < 0 or index < 0:
-            raise CollectorError("rank and index must be non-negative")
-        return self.directory / f"gmon-r{rank:03d}-i{index:05d}.gmon"
+    Every method is a thin wrapper over the :class:`LooseStore` /
+    :class:`~repro.store.interface.IntervalStore` surface it aliases.
+    """
 
     def save(self, sample: GmonData, index: int) -> Path:
         """Persist one snapshot under its (rank, interval-index) name.
 
-        The write is atomic (same-directory temp file + rename): an
-        analysis pass scanning the store concurrently, or a crash
-        mid-dump, can never observe a half-written sample.
+        Deprecated alias of ``append(str(sample.rank), index, sample)``;
+        kept (without a warning) because collectors still constructed on
+        this class call it on every interval.
         """
         path = self.path_for(sample.rank, index)
-        return atomic_write_bytes(path, dumps_gmon(sample))
-
-    def _scan(self) -> Dict[int, Dict[int, Path]]:
-        """One directory pass: ``{rank: {interval_index: path}}``.
-
-        Every query below is built on this single scan; the old layout
-        (one ``glob`` per rank inside a loop over ``ranks()``) walked the
-        directory O(ranks) times, which dominates load time once a fleet
-        of ranks has dumped thousands of intervals.
-        """
-        index: Dict[int, Dict[int, Path]] = {}
-        for path in self.directory.iterdir():
-            m = _NAME_RE.match(path.name)
-            if m:
-                index.setdefault(int(m.group("rank")), {})[int(m.group("index"))] = path
-        return index
-
-    @staticmethod
-    def _read(path: Path) -> GmonData:
-        try:
-            return read_gmon(path)
-        except (FormatError, OSError) as exc:
-            raise SampleFileError(path, exc) from exc
+        self.append(str(sample.rank), index, sample)
+        return path
 
     def ranks(self) -> List[int]:
         """Ranks that have at least one sample file, sorted."""
-        return sorted(self._scan())
+        _deprecated("ranks", "streams")
+        return [int(s) for s in self.streams()]
 
     def load_rank(self, rank: int) -> List[GmonData]:
         """All samples of ``rank`` in interval order."""
-        indexed = self._scan().get(rank, {})
-        return [self._read(indexed[i]) for i in sorted(indexed)]
+        _deprecated("load_rank", "scan")
+        return [sample for _index, sample in self.scan(str(rank))]
 
     def load_rank_since(self, rank: int,
                         after_index: int = -1) -> List[Tuple[int, GmonData]]:
-        """Samples of ``rank`` with interval index > ``after_index``.
+        """Samples of ``rank`` with interval index > ``after_index``."""
+        _deprecated("load_rank_since", "scan")
+        return list(self.scan(str(rank), since=after_index))
 
-        The polling primitive behind ``incprof analyze --follow``: a live
-        tail re-scans the directory each poll but reads only the dumps
-        past its watermark, so each poll costs O(new files) reads rather
-        than re-loading the whole run.  Returns ``(index, sample)`` pairs
-        in interval order so the caller can advance its watermark.
+    def load_all(self) -> Dict[int, Iterator[GmonData]]:
+        """A lazy per-rank sample iterator for every rank — one directory
+        pass.
+
+        Returns ``{rank: iterator of samples in interval order}``.
+        Earlier versions returned fully materialized lists, which pinned
+        every snapshot of every rank in memory at once; peak RSS is now
+        one snapshot per consumed iterator regardless of store size.
+        Corrupt files raise :class:`SampleFileError` when their iterator
+        reaches them, not at call time.
         """
-        indexed = self._scan().get(rank, {})
-        return [(i, self._read(indexed[i]))
-                for i in sorted(indexed) if i > after_index]
+        _deprecated("load_all", "scan")
+        scanned = self._scan()
 
-    def load_all(self) -> Dict[int, List[GmonData]]:
-        """Samples for every rank, ordered by interval — one directory scan."""
-        return {
-            rank: [self._read(indexed[i]) for i in sorted(indexed)]
-            for rank, indexed in sorted(self._scan().items())
-        }
+        def tail(indexed) -> Iterator[GmonData]:
+            for i in sorted(indexed):
+                yield self._read(indexed[i])
+
+        return {rank: tail(indexed)
+                for rank, indexed in sorted(scanned.items())}

@@ -33,13 +33,17 @@ from repro.core.incremental import AdaptiveConfig
 from repro.core.model_io import pack_artifact, read_artifact_payload
 from repro.core.online import OnlinePhaseTracker
 from repro.service.registry import StreamRegistry, StreamState
+from repro.store import layout
 from repro.util.atomicio import atomic_write_bytes
 from repro.util.errors import CheckpointError, ValidationError
 
 CHECKPOINT_MAGIC = b"IPCKP"
 CHECKPOINT_SCHEMA = 1
-CHECKPOINT_FILENAME = "incprofd.ckpt"
-MANIFEST_FILENAME = "fleet-manifest.json"
+# On-disk names come from the shared layout module (the single source of
+# truth for every IncProf artifact name); re-exported here for callers
+# that historically imported them from this module.
+CHECKPOINT_FILENAME = layout.CHECKPOINT_FILENAME
+MANIFEST_FILENAME = layout.FLEET_MANIFEST_FILENAME
 
 
 def worker_checkpoint_dir(root: Union[str, Path], worker_id: str) -> Path:
@@ -50,11 +54,7 @@ def worker_checkpoint_dir(root: Union[str, Path], worker_id: str) -> Path:
     file and the supervisor can read a *dead* worker's state to migrate
     its streams without touching the survivors'.
     """
-    if not worker_id:
-        raise ValidationError("worker id must be non-empty")
-    if "/" in worker_id or worker_id in (".", ".."):
-        raise ValidationError(f"worker id {worker_id!r} is not path-safe")
-    return Path(root) / f"worker-{worker_id}"
+    return Path(root) / layout.worker_dirname(worker_id)
 
 
 # ----------------------------------------------------------------------
@@ -217,28 +217,59 @@ class FleetManifest:
 # the on-disk manager
 # ----------------------------------------------------------------------
 class CheckpointManager:
-    """Owns one checkpoint file: periodic writes, recovery, quarantine."""
+    """Owns one checkpoint file: periodic writes, recovery, quarantine.
+
+    ``keep_history`` > 0 additionally rotates every write into a
+    versioned ``incprofd-NNNNNNNN.ipckp`` sibling and prunes the series
+    (and any versioned ``.ipm`` model artifacts in the same directory)
+    down to the newest ``keep_history`` per family — a bounded undo
+    buffer: when the latest checkpoint captures a poisoned model, the
+    previous epoch is still on disk.
+    """
 
     def __init__(self, directory: Union[str, Path],
-                 interval: float = 2.0) -> None:
+                 interval: float = 2.0, keep_history: int = 0) -> None:
         if interval <= 0:
             raise ValidationError("checkpoint interval must be positive")
+        if keep_history < 0:
+            raise ValidationError("keep_history must be non-negative")
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.path = self.directory / CHECKPOINT_FILENAME
         self.interval = interval
+        self.keep_history = keep_history
         self.writes = 0
         self.quarantined: List[Path] = []
         self._last_write = 0.0
+        # Resume the rotation serial past any survivors of an earlier
+        # incarnation so history never overwrites itself.
+        self._serial = 0
+        for entry in self.directory.glob(f"*{layout.CHECKPOINT_SUFFIX}"):
+            match = layout.VERSIONED_CHECKPOINT_RE.match(entry.name)
+            if match is not None:
+                self._serial = max(self._serial, int(match.group("version")))
 
     # -- writing -------------------------------------------------------
     def write(self, payload: Dict[str, Any]) -> Path:
         """Atomically persist one checkpoint payload."""
         blob = pack_artifact(payload, CHECKPOINT_MAGIC, CHECKPOINT_SCHEMA)
         out = atomic_write_bytes(self.path, blob)
+        if self.keep_history > 0:
+            self._serial += 1
+            atomic_write_bytes(
+                self.directory / layout.versioned_checkpoint_name(self._serial),
+                blob)
+            self.gc()
         self.writes += 1
         self._last_write = time.monotonic()
         return out
+
+    def gc(self, keep: Optional[int] = None) -> List[Path]:
+        """Prune versioned ``.ipckp``/``.ipm`` history in this directory."""
+        keep = self.keep_history if keep is None else keep
+        if keep < 1:
+            return []
+        return layout.gc_versioned(self.directory, keep=keep)
 
     def due(self, now: Optional[float] = None) -> bool:
         """True when the checkpoint cadence has elapsed."""

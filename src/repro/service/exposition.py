@@ -124,6 +124,23 @@ def render_prometheus(stats: Dict[str, Any], prefix: str = "incprofd") -> str:
             emit(f"{prefix}_traces_{key}_total", "counter",
                  f"Traces {key}.", [("", float(traces[key]))])
 
+    store = stats.get("store") or {}
+    tiers = store.get("tiers") or {}
+    if tiers:
+        for field, help_text in (
+            ("bytes", "On-disk bytes per interval-archive retention tier."),
+            ("segments", "Segments per interval-archive retention tier."),
+            ("intervals", "Intervals held per interval-archive tier."),
+        ):
+            emit(f"{prefix}_store_tier_{field}", "gauge", help_text,
+                 [(f'{{tier="{_escape_label(str(tier))}"}}',
+                   float(rec.get(field, 0)))
+                  for tier, rec in sorted(tiers.items())])
+    if "appends" in store:
+        emit(f"{prefix}_store_appends_total", "counter",
+             "Snapshots appended to the interval archive.",
+             [("", float(store["appends"]))])
+
     selfhb = stats.get("self_heartbeats") or {}
     if "events" in selfhb:
         emit(f"{prefix}_self_heartbeats_total", "counter",

@@ -86,10 +86,13 @@ from repro.service.protocol import (
 from repro.service.registry import StreamRegistry, StreamState
 from repro.service.selfekg import SelfInstrument
 from repro.service.tracing import TraceStore, new_trace_id
+from repro.store import layout
+from repro.store.segments import SegmentStore
 from repro.util.jsonlog import JsonLogger
 from repro.util.errors import (
     BackpressureError,
     CheckpointError,
+    CollectorError,
     ProtocolError,
     ReproError,
     ServiceError,
@@ -207,6 +210,16 @@ class ServerConfig:
     checkpoint_dir: Optional[str] = None
     #: Seconds between checkpoint writes (a crash loses at most this much).
     checkpoint_interval: float = 2.0
+    #: Interval archive: when set, every classified snapshot's raw gmon
+    #: bytes are appended to a tiered segment store rooted here, so
+    #: historical windows can be replayed through ``incprof replay``
+    #: (see ``docs/STORAGE.md``).  None disables archiving.
+    store_dir: Optional[str] = None
+    #: Background store maintenance cadence (flush + compact + gc).
+    store_compact_interval: float = 30.0
+    #: Versioned-artifact retention: newest N ``.ipm`` models per stream
+    #: and rotated ``.ipckp`` checkpoints survive garbage collection.
+    artifact_keep: int = 2
     #: Completed-trace ring size for the ``trace`` request.
     trace_capacity: int = 4096
     #: A submission whose spans sum past this many seconds is logged as a
@@ -263,6 +276,10 @@ class ServerConfig:
             raise ValidationError("refit window needs at least two profiles")
         if self.finished_capacity < 1:
             raise ValidationError("finished capacity must be positive")
+        if self.store_compact_interval <= 0:
+            raise ValidationError("store compact interval must be positive")
+        if self.artifact_keep < 1:
+            raise ValidationError("artifact_keep must be positive")
         if self.max_protocol < 1:
             raise ValidationError("max protocol must be at least 1")
         if self.coalesce_streams < 1:
@@ -316,7 +333,13 @@ class PhaseMonitorServer:
         self.checkpoints: Optional[CheckpointManager] = None
         if config.checkpoint_dir is not None:
             self.checkpoints = CheckpointManager(
-                config.checkpoint_dir, interval=config.checkpoint_interval)
+                config.checkpoint_dir, interval=config.checkpoint_interval,
+                keep_history=config.artifact_keep)
+        #: Interval archive (tiered segment store); every classified
+        #: snapshot's raw bytes land here when ``store_dir`` is set.
+        self.store: Optional[SegmentStore] = None
+        if config.store_dir is not None:
+            self.store = SegmentStore(config.store_dir)
         #: Recovery outcome of the last start(): stream ids restored from
         #: the checkpoint, and the path a corrupt one was quarantined to.
         self.restored_streams: List[str] = []
@@ -380,6 +403,11 @@ class PhaseMonitorServer:
         for i in range(cfg.workers):
             self._spawn(self._worker_loop, f"incprofd-worker-{i}")
         self._spawn(self._housekeeping_loop, "incprofd-housekeeping")
+        if self.store is not None:
+            # The store runs its own maintenance thread (flush pending
+            # buffers into segments, tier migration, artifact GC) so a
+            # slow compaction never stalls the housekeeping cadence.
+            self.store.start_compactor(interval=cfg.store_compact_interval)
         if cfg.metrics_port is not None:
             self.metrics_http = MetricsHTTPServer(
                 lambda: render_prometheus(self.stats()),
@@ -473,6 +501,13 @@ class PhaseMonitorServer:
             self.checkpoint_now()
         except (CheckpointError, OSError) as exc:
             self.log.warning("final-checkpoint-failed", error=str(exc))
+        if self.store is not None:
+            try:
+                # close() stops the compactor and flushes pending
+                # buffers into final (partial) segments.
+                self.store.close()
+            except (ReproError, OSError) as exc:
+                self.log.warning("store-close-failed", error=str(exc))
         self.log.info("server-stopped",
                       processed=self.metrics.processed,
                       streams=len(self.registry))
@@ -981,7 +1016,7 @@ class PhaseMonitorServer:
                          "source": "live-refit"},
             }
             path = (self.checkpoints.directory
-                    / f"model-{stream_id}-v{version}.ipm")
+                    / layout.versioned_model_name(stream_id, version))
             try:
                 atomic_write_bytes(
                     path, pack_artifact(payload, MODEL_MAGIC, MODEL_SCHEMA))
@@ -1144,6 +1179,8 @@ class PhaseMonitorServer:
                 # exactly this).
                 state.processed_seq = max(state.processed_seq,
                                           max(item[0] for item in batch))
+            if self.store is not None:
+                self._archive_batch(state, batch)
         aggregate_seconds = time.perf_counter() - end
         self.metrics.note_stage("aggregate", aggregate_seconds, total_items)
         if self.selfekg is not None:
@@ -1178,6 +1215,36 @@ class PhaseMonitorServer:
                     total_seconds=round(record.total_seconds, 6),
                     spans={k: round(v, 6)
                            for k, v in record.spans.items()})
+
+    def _archive_batch(
+        self, state: StreamState,
+        batch: List[Tuple[int, GmonData, str, float]],
+    ) -> None:
+        """Append one classified batch's raw gmon bytes to the archive.
+
+        Runs under the stream's ``work_lock`` after commit, so per-stream
+        interval order is preserved.  A sequence number at or below the
+        store's last archived index (a resume overlap after a restart)
+        is skipped — the bytes are already durable.  Archive failures
+        are logged, never fatal: the store is an observability surface,
+        not the classification path.
+        """
+        store = self.store
+        if store is None:
+            return
+        for seq, gmon, _trace_id, _enq in batch:
+            try:
+                if isinstance(gmon, GmonBlob):
+                    store.append(state.stream_id, seq, gmon.load(),
+                                 raw=gmon.raw)
+                else:
+                    store.append(state.stream_id, seq, gmon)
+            except CollectorError:
+                continue  # duplicate/rewound seq: already archived
+            except (ReproError, OSError) as exc:
+                self.log.warning("store-append-failed",
+                                 stream_id=state.stream_id, seq=seq,
+                                 error=str(exc))
 
     # ------------------------------------------------------------------
     # housekeeping
@@ -1236,6 +1303,8 @@ class PhaseMonitorServer:
                 "writes": self.checkpoints.writes,
                 "quarantined": len(self.checkpoints.quarantined),
             }
+        if self.store is not None:
+            snap["store"] = self.store.describe()
         return snap
 
     def fleet_status(self) -> Dict[str, Any]:

@@ -1,0 +1,101 @@
+"""The legacy loose-file backend: one gmon file per interval.
+
+This is the layout the original tool (and every PR before the segment
+store) wrote: ``<dir>/gmon-r<rank:03d>-i<index:05d>.gmon``, one atomic
+rename per snapshot.  It stays fully supported behind the unified
+:class:`~repro.store.interface.IntervalStore` interface — old sample
+directories keep loading, ``incprof run`` can still produce them — but
+metadata costs O(files) per scan, which is exactly why the segment
+store exists (see ``docs/STORAGE.md``).
+
+Stream ids are decimal ranks (``"0"``, ``"1"``, …); anything else is a
+:class:`~repro.util.errors.CollectorError`, since the file-name pattern
+can only encode ranks.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Iterator, List, Tuple, Union
+
+from repro.gprof.gmon import GmonData, dumps_gmon, read_gmon
+from repro.store import layout
+from repro.store.interface import IntervalStore
+from repro.util.atomicio import atomic_write_bytes
+from repro.util.errors import CollectorError, FormatError, SampleFileError
+
+
+def _rank_of(stream_id: str) -> int:
+    try:
+        rank = int(stream_id)
+    except (TypeError, ValueError):
+        raise CollectorError(
+            f"loose-file stores key streams by rank; {stream_id!r} is not "
+            "a decimal rank (use a SegmentStore for arbitrary stream ids)")
+    if rank < 0:
+        raise CollectorError("rank must be non-negative")
+    return rank
+
+
+class LooseStore(IntervalStore):
+    """Directory of per-interval gmon sample files."""
+
+    def __init__(self, directory: Union[str, Path], create: bool = True) -> None:
+        self.directory = Path(directory)
+        if create:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        elif not self.directory.is_dir():
+            raise CollectorError(
+                f"sample directory {self.directory} does not exist")
+
+    # ------------------------------------------------------------------
+    # naming
+    # ------------------------------------------------------------------
+    def path_for(self, rank: int, index: int) -> Path:
+        if rank < 0 or index < 0:
+            raise CollectorError("rank and index must be non-negative")
+        return self.directory / layout.loose_sample_name(rank, index)
+
+    def _scan(self) -> Dict[int, Dict[int, Path]]:
+        """One directory pass: ``{rank: {interval_index: path}}``.
+
+        Every query is built on this single scan — the metadata cost of
+        the loose layout, paid once per operation rather than once per
+        rank.
+        """
+        index: Dict[int, Dict[int, Path]] = {}
+        for path in self.directory.iterdir():
+            parsed = layout.parse_loose_sample(path.name)
+            if parsed is not None:
+                rank, interval = parsed
+                index.setdefault(rank, {})[interval] = path
+        return index
+
+    @staticmethod
+    def _read(path: Path) -> GmonData:
+        try:
+            return read_gmon(path)
+        except (FormatError, OSError) as exc:
+            raise SampleFileError(path, exc) from exc
+
+    # ------------------------------------------------------------------
+    # IntervalStore
+    # ------------------------------------------------------------------
+    def append(self, stream_id: str, index: int, snapshot: GmonData) -> None:
+        """Write one snapshot atomically (temp file + rename).
+
+        A concurrent scan, or a crash mid-dump, can never observe a
+        half-written sample.
+        """
+        rank = _rank_of(stream_id)
+        atomic_write_bytes(self.path_for(rank, index), dumps_gmon(snapshot))
+
+    def streams(self) -> List[str]:
+        return [str(rank) for rank in sorted(self._scan())]
+
+    def scan(self, stream_id: str,
+             since: int = -1) -> Iterator[Tuple[int, GmonData]]:
+        indexed = self._scan().get(_rank_of(stream_id), {})
+        for i in sorted(indexed):
+            if i > since:
+                yield i, self._read(indexed[i])

@@ -1,0 +1,696 @@
+"""The tiered, compacting segment store.
+
+Millions of streams dumping one snapshot per second cannot live as
+loose per-interval files: metadata alone (one inode, one rename, one
+directory entry per interval) dwarfs the data.  A :class:`SegmentStore`
+instead buffers appends per stream and writes *segments* — one ``.npz``
+file covering hundreds of intervals — under a checksummed manifest
+that is rewritten atomically (temp file + rename) on every mutation, so
+a crash at any instant leaves either the old or the new segment set,
+never a torn one.
+
+Retention is tiered; compaction migrates cold segments downward:
+
+- **tier 0 (raw)** — the exact gmon bytes, concatenated with an offset
+  table.  Replay is bit-identical to live ingest; most expensive.
+- **tier 1 (vectors)** — the downsampled columnar form: the function
+  vocabulary once, cumulative tick counts as one integer matrix,
+  timestamps and periods as flat arrays.  Call arcs are dropped — phase
+  classification never reads them — so replay through the streaming
+  engine still produces a bit-identical phase timeline at a fraction of
+  the bytes.
+- **tier 2 (sketch)** — per-window centroid sketches (k-means centroids
+  + occupancy over the window's interval vectors).  Not replayable;
+  keeps the shape of ancient behaviour for fleet analytics.
+
+The store also owns an ``artifacts/`` directory whose versioned
+``.ipm`` / ``.ipckp`` artifacts are garbage-collected by :meth:`gc`
+(newest K per family survive — see :func:`repro.store.layout.gc_versioned`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core.model_io import pack_artifact, read_artifact_payload
+from repro.gprof.gmon import GmonData, dumps_gmon, loads_gmon
+from repro.store import layout
+from repro.store.interface import IntervalStore
+from repro.util.atomicio import atomic_write_bytes
+from repro.util.errors import (
+    CollectorError,
+    SampleFileError,
+    SegmentManifestError,
+    ValidationError,
+)
+
+MANIFEST_MAGIC = b"ISEGM"
+MANIFEST_SCHEMA = 1
+
+#: Retention tiers, coldest last.
+TIER_RAW, TIER_VECTOR, TIER_SKETCH = 0, 1, 2
+
+
+@dataclass
+class SegmentMeta:
+    """One segment as the manifest records it."""
+
+    name: str
+    tier: int
+    first: int
+    last: int
+    t0: float
+    t1: float
+    count: int
+    bytes: int
+    sha256: str
+
+    def to_obj(self) -> Dict[str, Any]:
+        return {"name": self.name, "tier": self.tier, "first": self.first,
+                "last": self.last, "t0": self.t0, "t1": self.t1,
+                "count": self.count, "bytes": self.bytes,
+                "sha256": self.sha256}
+
+    @classmethod
+    def from_obj(cls, obj: Dict[str, Any]) -> "SegmentMeta":
+        try:
+            return cls(name=str(obj["name"]), tier=int(obj["tier"]),
+                       first=int(obj["first"]), last=int(obj["last"]),
+                       t0=float(obj["t0"]), t1=float(obj["t1"]),
+                       count=int(obj["count"]), bytes=int(obj["bytes"]),
+                       sha256=str(obj["sha256"]))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SegmentManifestError(
+                f"bad segment record in manifest: {exc!r}") from exc
+
+
+@dataclass(frozen=True)
+class CompactionPolicy:
+    """When does a segment migrate to a colder tier?
+
+    Measured in intervals behind the stream's newest recorded index:
+    raw segments whose last interval is more than ``raw_keep`` behind
+    become vector segments; vector segments more than ``vector_keep``
+    behind become sketches.  ``sketch_k`` caps the centroids per sketch.
+    """
+
+    raw_keep: int = 1024
+    vector_keep: int = 65536
+    sketch_k: int = 4
+
+    def __post_init__(self) -> None:
+        if self.raw_keep < 0 or self.vector_keep < 0:
+            raise ValidationError("retention horizons must be non-negative")
+        if self.vector_keep < self.raw_keep:
+            raise ValidationError("vector_keep must be >= raw_keep")
+        if self.sketch_k < 1:
+            raise ValidationError("sketch_k must be positive")
+
+
+@dataclass
+class _Pending:
+    """One stream's buffered (not yet segment-written) appends."""
+
+    indices: List[int] = field(default_factory=list)
+    timestamps: List[float] = field(default_factory=list)
+    blobs: List[bytes] = field(default_factory=list)
+
+
+class SegmentStore(IntervalStore):
+    """Append-only columnar segment store with tiered retention.
+
+    Thread-safe: one lock covers the pending buffers and the manifest
+    (appends buffer in memory and are O(1); segment writes happen at
+    flush granularity).  Appends must arrive in increasing interval
+    order per stream — the service's sequence numbering guarantees it,
+    and the manifest's seekable index ranges depend on it.
+    """
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        *,
+        segment_intervals: int = 256,
+        policy: CompactionPolicy = CompactionPolicy(),
+        create: bool = True,
+    ) -> None:
+        if segment_intervals < 1:
+            raise ValidationError("segment_intervals must be positive")
+        self.root = Path(root)
+        self.segment_intervals = segment_intervals
+        self.policy = policy
+        self._lock = threading.RLock()
+        self._pending: Dict[str, _Pending] = {}
+        self.appends = 0
+        self.segment_writes = 0
+        if create:
+            self.root.mkdir(parents=True, exist_ok=True)
+        elif not self.root.is_dir():
+            raise CollectorError(f"segment store {self.root} does not exist")
+        self.segments_dir = self.root / layout.SEGMENTS_DIRNAME
+        self.artifacts_dir = self.root / layout.ARTIFACTS_DIRNAME
+        self.segments_dir.mkdir(parents=True, exist_ok=True)
+        self.artifacts_dir.mkdir(parents=True, exist_ok=True)
+        self.manifest_path = self.root / layout.MANIFEST_NAME
+        self._next_serial = 0
+        self._streams: Dict[str, List[SegmentMeta]] = {}
+        self._load_manifest()
+        self._reap_orphans()
+        self._compactor: Optional[threading.Thread] = None
+        self._compactor_stop = threading.Event()
+
+    # ------------------------------------------------------------------
+    # manifest
+    # ------------------------------------------------------------------
+    def _load_manifest(self) -> None:
+        try:
+            blob = self.manifest_path.read_bytes()
+        except FileNotFoundError:
+            return
+        except OSError as exc:
+            raise SegmentManifestError(
+                f"cannot read manifest {self.manifest_path}: {exc}") from exc
+        payload = read_artifact_payload(blob, MANIFEST_MAGIC, MANIFEST_SCHEMA,
+                                        "segment manifest",
+                                        exc_type=SegmentManifestError)
+        if payload.get("kind") != "incprof-segment-manifest":
+            raise SegmentManifestError(
+                f"{self.manifest_path} is not a segment manifest")
+        self._next_serial = int(payload.get("next_serial", 0))
+        self._streams = {
+            str(sid): [SegmentMeta.from_obj(o) for o in segs]
+            for sid, segs in payload.get("streams", {}).items()
+        }
+
+    def _write_manifest(self) -> None:
+        payload = {
+            "kind": "incprof-segment-manifest",
+            "next_serial": self._next_serial,
+            "streams": {sid: [s.to_obj() for s in segs]
+                        for sid, segs in self._streams.items() if segs},
+        }
+        atomic_write_bytes(self.manifest_path,
+                           pack_artifact(payload, MANIFEST_MAGIC,
+                                         MANIFEST_SCHEMA))
+
+    def _reap_orphans(self) -> None:
+        """Delete segment files the manifest does not reference.
+
+        A crash between writing a new segment and committing the
+        manifest (or between committing and unlinking the old file)
+        leaves exactly one orphan; reaping on open restores the
+        invariant that the manifest *is* the store.
+        """
+        referenced = {seg.name for segs in self._streams.values()
+                      for seg in segs}
+        for stream_dir in self.segments_dir.iterdir():
+            if not stream_dir.is_dir():
+                continue
+            for path in stream_dir.iterdir():
+                name = f"{stream_dir.name}/{path.name}"
+                if layout.is_tmp_name(path.name):
+                    path.unlink(missing_ok=True)
+                elif (layout.parse_segment(path.name) is not None
+                        and name not in referenced):
+                    path.unlink(missing_ok=True)
+
+    # ------------------------------------------------------------------
+    # segment files
+    # ------------------------------------------------------------------
+    def _segment_path(self, name: str) -> Path:
+        return self.segments_dir / name
+
+    def _write_segment(self, stream_id: str, tier: int,
+                       arrays: Dict[str, np.ndarray],
+                       first: int, last: int, t0: float, t1: float,
+                       count: int) -> SegmentMeta:
+        """Serialize one segment to disk; return its manifest record.
+
+        The caller commits the record into the manifest; until that
+        commit the file is an orphan a crash recovery would reap.
+        """
+        serial = self._next_serial
+        self._next_serial += 1
+        name = (f"{layout.sanitize_stream(stream_id)}/"
+                f"{layout.segment_name(serial, tier)}")
+        buf = io.BytesIO()
+        np.savez_compressed(buf, **arrays)
+        blob = buf.getvalue()
+        path = self._segment_path(name)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        atomic_write_bytes(path, blob)
+        self.segment_writes += 1
+        return SegmentMeta(name=name, tier=tier, first=first, last=last,
+                           t0=t0, t1=t1, count=count, bytes=len(blob),
+                           sha256=hashlib.sha256(blob).hexdigest())
+
+    def _read_segment(self, seg: SegmentMeta) -> Dict[str, np.ndarray]:
+        path = self._segment_path(seg.name)
+        try:
+            blob = path.read_bytes()
+        except OSError as exc:
+            raise SampleFileError(path, exc) from exc
+        if hashlib.sha256(blob).hexdigest() != seg.sha256:
+            raise SampleFileError(
+                path, SegmentManifestError("segment checksum mismatch"))
+        try:
+            with np.load(io.BytesIO(blob), allow_pickle=False) as npz:
+                return {key: npz[key] for key in npz.files}
+        except (OSError, ValueError) as exc:
+            raise SampleFileError(path, exc) from exc
+
+    # ------------------------------------------------------------------
+    # snapshot <-> array codecs per tier
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _raw_arrays(pending: _Pending) -> Dict[str, np.ndarray]:
+        sizes = [len(b) for b in pending.blobs]
+        offsets = np.zeros(len(sizes) + 1, dtype=np.int64)
+        np.cumsum(sizes, out=offsets[1:])
+        return {
+            "kind": np.array("raw"),
+            "indices": np.asarray(pending.indices, dtype=np.int64),
+            "timestamps": np.asarray(pending.timestamps, dtype=np.float64),
+            "offsets": offsets,
+            "blob": np.frombuffer(b"".join(pending.blobs), dtype=np.uint8),
+        }
+
+    @staticmethod
+    def _iter_raw(arrays: Dict[str, np.ndarray]) -> Iterator[Tuple[int, GmonData]]:
+        blob = arrays["blob"].tobytes()
+        offsets = arrays["offsets"]
+        for i, index in enumerate(arrays["indices"].tolist()):
+            yield index, loads_gmon(blob[offsets[i]:offsets[i + 1]])
+
+    @staticmethod
+    def _vector_arrays(indices: List[int], snapshots: List[GmonData]) -> Dict[str, np.ndarray]:
+        """The downsampled columnar form of a snapshot run.
+
+        The function vocabulary is built in first-seen order *while
+        iterating the snapshots* — the exact order the streaming engine
+        assigns feature columns — so a replay from this tier grows an
+        identical vocabulary and produces bit-identical features.  Call
+        arcs are dropped: phase classification derives features from
+        histogram ticks only.
+        """
+        cols: Dict[str, int] = {}
+        funcs: List[str] = []
+        for snap in snapshots:
+            for func in snap.hist:
+                if func not in cols:
+                    cols[func] = len(funcs)
+                    funcs.append(func)
+        ticks = np.zeros((len(snapshots), len(funcs)), dtype=np.int64)
+        for i, snap in enumerate(snapshots):
+            for func, count in snap.hist.items():
+                ticks[i, cols[func]] = count
+        # Row-delta encoding: cumulative tick counts barely move between
+        # adjacent intervals, so deltas are near-zero and zlib eats them.
+        # Exact int64 arithmetic either way — cumsum on read restores the
+        # matrix bit-for-bit.
+        deltas = np.diff(ticks, axis=0,
+                         prepend=np.zeros((1, ticks.shape[1]), dtype=np.int64))
+        return {
+            "kind": np.array("vector"),
+            "indices": np.asarray(indices, dtype=np.int64),
+            "timestamps": np.asarray([s.timestamp for s in snapshots],
+                                     dtype=np.float64),
+            "periods": np.asarray([s.sample_period for s in snapshots],
+                                  dtype=np.float64),
+            "ranks": np.asarray([s.rank for s in snapshots], dtype=np.int64),
+            "funcs": np.asarray(funcs),
+            "ticks_delta": deltas,
+        }
+
+    @staticmethod
+    def _vector_ticks(arrays: Dict[str, np.ndarray]) -> np.ndarray:
+        """Cumulative tick matrix restored from the row-delta encoding."""
+        return np.cumsum(arrays["ticks_delta"], axis=0, dtype=np.int64)
+
+    @classmethod
+    def _iter_vector(cls, arrays: Dict[str, np.ndarray]) -> Iterator[Tuple[int, GmonData]]:
+        funcs = [str(f) for f in arrays["funcs"].tolist()]
+        ticks = cls._vector_ticks(arrays)
+        timestamps = arrays["timestamps"].tolist()
+        periods = arrays["periods"].tolist()
+        ranks = arrays["ranks"].tolist()
+        for i, index in enumerate(arrays["indices"].tolist()):
+            row = ticks[i]
+            nz = np.nonzero(row)[0]
+            snap = GmonData(sample_period=periods[i],
+                            timestamp=timestamps[i], rank=int(ranks[i]))
+            snap.hist = {funcs[j]: int(row[j]) for j in nz.tolist()}
+            yield index, snap
+
+    def _sketch_arrays(self, vec: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        """Centroid sketch of one vector segment's interval deltas.
+
+        Differencing is within-segment (the first row of a mid-stream
+        segment has no predecessor here, so its delta is skipped unless
+        the segment starts the stream); the sketch is a lossy summary by
+        design.
+        """
+        from repro.core.kmeans import kmeans
+
+        ticks = self._vector_ticks(vec).astype(np.float64)
+        periods = vec["periods"][:, None]
+        if int(vec["indices"][0]) == 0:
+            base = np.zeros((1, ticks.shape[1]))
+        else:
+            base = ticks[:1]
+        deltas = np.clip(np.diff(ticks, axis=0, prepend=base), 0, None) * periods
+        if int(vec["indices"][0]) != 0:
+            deltas = deltas[1:]
+        if deltas.shape[0] == 0:
+            deltas = np.zeros((1, ticks.shape[1]))
+        k = min(self.policy.sketch_k, deltas.shape[0])
+        fit = kmeans(deltas, k, seed=0)
+        counts = np.bincount(fit.labels, minlength=k).astype(np.int64)
+        return {
+            "kind": np.array("sketch"),
+            "first": vec["indices"][:1].astype(np.int64),
+            "last": vec["indices"][-1:].astype(np.int64),
+            "timestamps": vec["timestamps"][[0, -1]],
+            "funcs": vec["funcs"],
+            "centroids": fit.centroids.astype(np.float64),
+            "counts": counts,
+            "inertia": np.asarray([fit.inertia], dtype=np.float64),
+        }
+
+    # ------------------------------------------------------------------
+    # IntervalStore: writing
+    # ------------------------------------------------------------------
+    def append(self, stream_id: str, index: int, snapshot: GmonData,
+               *, raw: Optional[bytes] = None) -> None:
+        """Buffer one snapshot; a full buffer rolls into a raw segment.
+
+        ``raw`` short-circuits serialization when the caller already
+        holds the snapshot's gmon bytes (the service ingest path does —
+        binary-protocol submissions arrive pre-serialized).
+        """
+        blob = bytes(raw) if raw is not None else dumps_gmon(snapshot)
+        with self._lock:
+            pending = self._pending.setdefault(stream_id, _Pending())
+            last = (pending.indices[-1] if pending.indices
+                    else self._last_index(stream_id))
+            if last is not None and index <= last:
+                raise CollectorError(
+                    f"segment store appends must be in interval order: "
+                    f"stream {stream_id!r} got index {index} after {last}")
+            pending.indices.append(index)
+            pending.timestamps.append(snapshot.timestamp)
+            pending.blobs.append(blob)
+            self.appends += 1
+            if len(pending.indices) >= self.segment_intervals:
+                self._flush_stream(stream_id)
+
+    def _last_index(self, stream_id: str) -> Optional[int]:
+        segs = self._streams.get(stream_id)
+        return segs[-1].last if segs else None
+
+    def _flush_stream(self, stream_id: str) -> None:
+        pending = self._pending.get(stream_id)
+        if not pending or not pending.indices:
+            return
+        meta = self._write_segment(
+            stream_id, TIER_RAW, self._raw_arrays(pending),
+            first=pending.indices[0], last=pending.indices[-1],
+            t0=pending.timestamps[0], t1=pending.timestamps[-1],
+            count=len(pending.indices))
+        self._streams.setdefault(stream_id, []).append(meta)
+        self._pending[stream_id] = _Pending()
+        self._write_manifest()
+
+    def flush(self) -> None:
+        """Roll every stream's pending buffer into (partial) segments."""
+        with self._lock:
+            for stream_id in list(self._pending):
+                self._flush_stream(stream_id)
+
+    # ------------------------------------------------------------------
+    # IntervalStore: reading
+    # ------------------------------------------------------------------
+    def streams(self) -> List[str]:
+        with self._lock:
+            ids = set(self._streams) | {s for s, p in self._pending.items()
+                                        if p.indices}
+        return sorted(ids)
+
+    def _plan(self, stream_id: str) -> Tuple[List[SegmentMeta], _Pending]:
+        with self._lock:
+            segs = list(self._streams.get(stream_id, []))
+            pending = self._pending.get(stream_id, _Pending())
+            snapshot = _Pending(list(pending.indices),
+                                list(pending.timestamps),
+                                list(pending.blobs))
+        return segs, snapshot
+
+    def _iter_segment(self, seg: SegmentMeta) -> Iterator[Tuple[int, GmonData]]:
+        arrays = self._read_segment(seg)
+        if seg.tier == TIER_RAW:
+            return self._iter_raw(arrays)
+        if seg.tier == TIER_VECTOR:
+            return self._iter_vector(arrays)
+        raise CollectorError(
+            f"segment {seg.name} is a tier-{seg.tier} sketch: intervals "
+            f"[{seg.first}, {seg.last}] are no longer replayable "
+            "(narrow the window past the sketch tier)")
+
+    def scan(self, stream_id: str,
+             since: int = -1) -> Iterator[Tuple[int, GmonData]]:
+        segs, pending = self._plan(stream_id)
+        for seg in segs:
+            if seg.last <= since:
+                if seg.tier == TIER_SKETCH:
+                    continue  # older than the watermark: legal to skip
+                continue
+            for index, snapshot in self._iter_segment(seg):
+                if index > since:
+                    yield index, snapshot
+        for i, index in enumerate(pending.indices):
+            if index > since:
+                yield index, loads_gmon(pending.blobs[i])
+
+    def window(self, stream_id: str, t0: Optional[float] = None,
+               t1: Optional[float] = None) -> Iterator[Tuple[int, GmonData]]:
+        """Timestamp-windowed scan that seeks using segment metadata.
+
+        Whole segments outside ``[t0, t1)`` are skipped without being
+        read — including sketch segments, so replays of recent windows
+        work regardless of how cold the stream's history is.
+        """
+        segs, pending = self._plan(stream_id)
+        for seg in segs:
+            if t0 is not None and seg.t1 < t0:
+                continue
+            if t1 is not None and seg.t0 >= t1:
+                break
+            for index, snapshot in self._iter_segment(seg):
+                if t0 is not None and snapshot.timestamp < t0:
+                    continue
+                if t1 is not None and snapshot.timestamp >= t1:
+                    return
+                yield index, snapshot
+        for i, index in enumerate(pending.indices):
+            ts = pending.timestamps[i]
+            if t0 is not None and ts < t0:
+                continue
+            if t1 is not None and ts >= t1:
+                return
+            yield index, loads_gmon(pending.blobs[i])
+
+    def replayable_after(self, stream_id: str) -> Optional[float]:
+        """Earliest timestamp still held at a replayable tier."""
+        segs, pending = self._plan(stream_id)
+        for seg in segs:
+            if seg.tier != TIER_SKETCH:
+                return seg.t0
+        return pending.timestamps[0] if pending.timestamps else None
+
+    # ------------------------------------------------------------------
+    # compaction + GC
+    # ------------------------------------------------------------------
+    def compact(self, stream_id: Optional[str] = None,
+                raw_keep: Optional[int] = None,
+                vector_keep: Optional[int] = None) -> Dict[str, int]:
+        """Migrate cold segments to colder tiers; returns a report.
+
+        Each conversion is individually crash-safe: the new segment file
+        lands first, then the manifest commits (atomic rename), then the
+        old file is unlinked — at every instant the manifest references
+        exactly one complete copy of every interval.
+        """
+        raw_keep = self.policy.raw_keep if raw_keep is None else raw_keep
+        vector_keep = (self.policy.vector_keep if vector_keep is None
+                       else max(vector_keep, raw_keep))
+        report = {"segments_compacted": 0, "bytes_before": 0, "bytes_after": 0}
+        with self._lock:
+            targets = ([stream_id] if stream_id is not None
+                       else list(self._streams))
+            for sid in targets:
+                segs = self._streams.get(sid, [])
+                if not segs:
+                    continue
+                newest = segs[-1].last
+                pending = self._pending.get(sid)
+                if pending and pending.indices:
+                    newest = pending.indices[-1]
+                for pos, seg in enumerate(list(segs)):
+                    if seg.tier == TIER_RAW and newest - seg.last > raw_keep:
+                        new_seg = self._compact_one(sid, seg, TIER_VECTOR)
+                    elif (seg.tier == TIER_VECTOR
+                          and newest - seg.last > vector_keep):
+                        new_seg = self._compact_one(sid, seg, TIER_SKETCH)
+                    else:
+                        continue
+                    report["segments_compacted"] += 1
+                    report["bytes_before"] += seg.bytes
+                    report["bytes_after"] += new_seg.bytes
+        return report
+
+    def _compact_one(self, stream_id: str, seg: SegmentMeta,
+                     to_tier: int) -> SegmentMeta:
+        arrays = self._read_segment(seg)
+        if to_tier == TIER_VECTOR:
+            pairs = list(self._iter_raw(arrays))
+            new_arrays = self._vector_arrays([i for i, _ in pairs],
+                                             [s for _, s in pairs])
+        elif to_tier == TIER_SKETCH:
+            new_arrays = self._sketch_arrays(arrays)
+        else:
+            raise ValidationError(f"cannot compact to tier {to_tier}")
+        new_seg = self._write_segment(
+            stream_id, to_tier, new_arrays, first=seg.first, last=seg.last,
+            t0=seg.t0, t1=seg.t1, count=seg.count)
+        segs = self._streams[stream_id]
+        segs[segs.index(seg)] = new_seg
+        self._write_manifest()
+        self._segment_path(seg.name).unlink(missing_ok=True)
+        return new_seg
+
+    def gc(self, keep_versions: int = 2) -> List[str]:
+        """Prune versioned ``.ipm``/``.ipckp`` artifacts under the store."""
+        return [p.name for p in layout.gc_versioned(self.artifacts_dir,
+                                                    keep=keep_versions)]
+
+    # ------------------------------------------------------------------
+    # background compaction
+    # ------------------------------------------------------------------
+    def start_compactor(self, interval: float = 30.0) -> None:
+        """Run flush+compact+gc on a cadence in a daemon thread."""
+        if interval <= 0:
+            raise ValidationError("compactor interval must be positive")
+        if self._compactor is not None:
+            return
+        self._compactor_stop.clear()
+
+        def loop() -> None:
+            while not self._compactor_stop.wait(interval):
+                self.flush()
+                self.compact()
+                self.gc()
+
+        self._compactor = threading.Thread(target=loop,
+                                           name="segment-compactor",
+                                           daemon=True)
+        self._compactor.start()
+
+    def stop_compactor(self) -> None:
+        if self._compactor is None:
+            return
+        self._compactor_stop.set()
+        self._compactor.join(timeout=5.0)
+        self._compactor = None
+
+    def close(self) -> None:
+        self.stop_compactor()
+        self.flush()
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def describe(self) -> Dict[str, Any]:
+        """Totals per tier plus pending buffers (for stats/CLI)."""
+        with self._lock:
+            tiers: Dict[int, Dict[str, int]] = {
+                t: {"segments": 0, "bytes": 0, "intervals": 0}
+                for t in (TIER_RAW, TIER_VECTOR, TIER_SKETCH)}
+            for segs in self._streams.values():
+                for seg in segs:
+                    tiers[seg.tier]["segments"] += 1
+                    tiers[seg.tier]["bytes"] += seg.bytes
+                    tiers[seg.tier]["intervals"] += seg.count
+            return {
+                "root": str(self.root),
+                "streams": len(self.streams()),
+                "appends": self.appends,
+                "segment_writes": self.segment_writes,
+                "pending_intervals": sum(len(p.indices)
+                                         for p in self._pending.values()),
+                "tiers": {str(t): info for t, info in tiers.items()},
+                "total_bytes": sum(info["bytes"] for info in tiers.values()),
+            }
+
+    def sketches(self, stream_id: str) -> List[Dict[str, Any]]:
+        """Decoded sketch-tier summaries for ``stream_id`` (coldest data)."""
+        out = []
+        segs, _pending = self._plan(stream_id)
+        for seg in segs:
+            if seg.tier != TIER_SKETCH:
+                continue
+            arrays = self._read_segment(seg)
+            out.append({
+                "first": int(arrays["first"][0]),
+                "last": int(arrays["last"][0]),
+                "t0": float(arrays["timestamps"][0]),
+                "t1": float(arrays["timestamps"][1]),
+                "funcs": [str(f) for f in arrays["funcs"].tolist()],
+                "centroids": arrays["centroids"],
+                "counts": arrays["counts"].tolist(),
+                "inertia": float(arrays["inertia"][0]),
+            })
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"SegmentStore({str(self.root)!r}, "
+                f"streams={len(self._streams)})")
+
+
+def open_store(path: Union[str, Path], create: bool = False) -> IntervalStore:
+    """Open whichever backend lives at ``path``.
+
+    A directory containing (or asked to create) a segment manifest opens
+    as a :class:`SegmentStore`; anything else opens as the legacy
+    loose-file :class:`~repro.store.loose.LooseStore` — so every CLI
+    verb accepts both layouts with one flag-free argument.
+    """
+    from repro.store.loose import LooseStore
+
+    root = Path(path)
+    if (root / layout.MANIFEST_NAME).exists():
+        return SegmentStore(root, create=False)
+    if create and not any(root.glob("gmon-r*.gmon")) and (
+            not root.exists() or not any(root.iterdir())):
+        return SegmentStore(root)
+    return LooseStore(root, create=create)
+
+
+__all__ = [
+    "CompactionPolicy",
+    "SegmentMeta",
+    "SegmentStore",
+    "TIER_RAW",
+    "TIER_SKETCH",
+    "TIER_VECTOR",
+    "open_store",
+    "MANIFEST_MAGIC",
+    "MANIFEST_SCHEMA",
+]

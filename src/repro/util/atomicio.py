@@ -14,16 +14,19 @@ import os
 from pathlib import Path
 from typing import Union
 
+from repro.store.layout import tmp_path_for
+
 
 def atomic_write_bytes(path: Union[str, Path], blob: bytes) -> Path:
     """Write ``blob`` to ``path`` atomically; return the final path.
 
-    The temporary name carries the pid so concurrent writers in
-    different processes never collide; ``os.replace`` makes the final
-    rename atomic on POSIX and Windows alike.
+    The temporary name (see :func:`repro.store.layout.tmp_path_for`)
+    carries the pid so concurrent writers in different processes never
+    collide; ``os.replace`` makes the final rename atomic on POSIX and
+    Windows alike.
     """
     path = Path(path)
-    tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+    tmp = tmp_path_for(path)
     try:
         with open(tmp, "wb") as fh:
             fh.write(blob)

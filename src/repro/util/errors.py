@@ -78,6 +78,10 @@ class CheckpointError(FormatError):
     """An ``incprofd`` checkpoint file is corrupt, truncated, or stale."""
 
 
+class SegmentManifestError(FormatError):
+    """A segment store's manifest is corrupt, truncated, or mismatched."""
+
+
 # ----------------------------------------------------------------------
 # service errors (wire-mappable: each carries a stable ``code``)
 # ----------------------------------------------------------------------

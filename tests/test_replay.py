@@ -1,0 +1,179 @@
+"""Time-travel replay: bit-identical to the live engine, tier-agnostic."""
+
+import random
+
+import pytest
+
+from repro.core.incremental import DriftConfig, IncrementalAnalyzer
+from repro.core.pipeline import AnalysisConfig
+from repro.eval.convergence import ThresholdSweepPoint, sweep_refit_thresholds
+from repro.gprof.gmon import GmonData, dumps_gmon, loads_gmon
+from repro.store.loose import LooseStore
+from repro.store.segments import SegmentStore
+from repro.util.errors import CollectorError, ValidationError
+
+
+def make_series(n, funcs=36, seed=11):
+    """Phase-shifting cumulative snapshots that trigger drift refits."""
+    rng = random.Random(seed)
+    names = [f"work.func_{j:03d}" for j in range(funcs)]
+    rates = [[rng.randint(8, 60) if j % 4 == p else 0
+              for j in range(funcs)] for p in range(4)]
+    cum = [0] * funcs
+    out = []
+    for i in range(n):
+        phase = (i // 30) % 4
+        for j in range(funcs):
+            rate = rates[phase][j]
+            if rate:
+                cum[j] += max(0, rate + rng.randint(-2, 2))
+        snap = GmonData(rank=0, timestamp=float(i + 1))
+        for j, name in enumerate(names):
+            if cum[j]:
+                snap.add_ticks(name, cum[j])
+        out.append(snap)
+    return out
+
+
+def live_updates(series, **engine_kwargs):
+    """What a live engine observing the (serialized) feed produces."""
+    engine = IncrementalAnalyzer(AnalysisConfig(), **engine_kwargs)
+    updates = [engine.observe(loads_gmon(dumps_gmon(snap)))
+               for snap in series]
+    return engine, updates
+
+
+def assert_updates_identical(got, want):
+    assert len(got) == len(want)
+    for g, w in zip(got, want):
+        assert g.index == w.index
+        assert g.timestamp == w.timestamp
+        assert g.phase_id == w.phase_id
+        assert g.distance == w.distance  # bit-identical, not approx
+        assert g.novel == w.novel
+        assert g.model_version == w.model_version
+        assert g.refit == w.refit
+
+
+# ----------------------------------------------------------------------
+# replay == live
+# ----------------------------------------------------------------------
+def test_replay_matches_live_engine_from_raw_tier(tmp_path):
+    series = make_series(120)
+    engine, want = live_updates(series, warmup=8)
+    with SegmentStore(tmp_path, segment_intervals=32) as store:
+        for i, snap in enumerate(series):
+            store.append("0", i, snap)
+    store = SegmentStore(tmp_path)
+    result = store.replay("0", warmup=8)
+    assert_updates_identical(result.updates, want)
+    assert result.indices == list(range(120))
+    assert [(e.interval_index, e.version, e.old_k, e.new_k)
+            for e in result.refits] == \
+           [(e.interval_index, e.version, e.old_k, e.new_k)
+            for e in engine.refits]
+
+
+def test_replay_identical_after_vector_compaction(tmp_path):
+    """Tier migration must not move a single phase assignment: the
+    vector tier drops arcs, and classification never reads them."""
+    series = make_series(120)
+    _engine, want = live_updates(series, warmup=8)
+    store = SegmentStore(tmp_path, segment_intervals=32)
+    for i, snap in enumerate(series):
+        store.append("0", i, snap)
+    store.flush()
+    report = store.compact("0", raw_keep=0)
+    assert report["segments_compacted"] >= 2
+    result = store.replay("0", warmup=8)
+    assert_updates_identical(result.updates, want)
+
+
+def test_replay_from_loose_store_matches_too(tmp_path):
+    series = make_series(60)
+    _engine, want = live_updates(series, warmup=8)
+    store = LooseStore(tmp_path)
+    for i, snap in enumerate(series):
+        store.append("0", i, snap)
+    result = store.replay("0", warmup=8)
+    assert_updates_identical(result.updates, want)
+
+
+# ----------------------------------------------------------------------
+# windows + errors
+# ----------------------------------------------------------------------
+def test_replay_window_selects_by_timestamp(tmp_path):
+    series = make_series(90)
+    store = SegmentStore(tmp_path, segment_intervals=32)
+    for i, snap in enumerate(series):
+        store.append("0", i, snap)
+    result = store.replay("0", 30.0, 60.0, warmup=4)
+    assert result.n_intervals == 30
+    assert result.indices[0] == 29  # timestamp 30.0 is interval index 29
+    assert result.t0 == 30.0 and result.t1 == 60.0
+    assert result.elapsed > 0
+    assert result.intervals_per_second > 0
+
+
+def test_replay_empty_window_raises(tmp_path):
+    store = SegmentStore(tmp_path)
+    store.append("0", 0, make_series(1)[0])
+    with pytest.raises(CollectorError):
+        store.replay("0", 1e9, None)
+    with pytest.raises(CollectorError):
+        store.replay("no-such-stream")
+
+
+def test_replay_accepts_drift_overrides(tmp_path):
+    series = make_series(120)
+    store = SegmentStore(tmp_path)
+    for i, snap in enumerate(series):
+        store.append("0", i, snap)
+    eager = store.replay("0", warmup=8,
+                         drift=DriftConfig(novel_rate=0.05, min_samples=8),
+                         refit_cooldown=8)
+    lazy = store.replay("0", warmup=8,
+                        drift=DriftConfig(novel_rate=1.0))
+    assert len(eager.refits) >= len(lazy.refits)
+
+
+# ----------------------------------------------------------------------
+# refit-threshold sweep (the convergence-eval integration)
+# ----------------------------------------------------------------------
+def test_sweep_refit_thresholds_shape_and_scores(tmp_path):
+    series = make_series(120)
+    store = SegmentStore(tmp_path)
+    for i, snap in enumerate(series):
+        store.append("0", i, snap)
+    rows = sweep_refit_thresholds(store, "0", [0.1, 0.5], warmup=8)
+    assert len(rows) == 2
+    for row in rows:
+        assert isinstance(row, ThresholdSweepPoint)
+        assert row.replay.n_intervals == 120
+        assert 0.0 <= row.agreement <= 1.0
+        assert row.n_phases >= 1
+        assert row.n_refits == len(row.replay.refits)
+    assert rows[0].threshold == 0.1 and rows[1].threshold == 0.5
+
+
+def test_sweep_is_deterministic(tmp_path):
+    series = make_series(100)
+    store = SegmentStore(tmp_path)
+    for i, snap in enumerate(series):
+        store.append("0", i, snap)
+    first = sweep_refit_thresholds(store, "0", [0.3], warmup=8)
+    second = sweep_refit_thresholds(store, "0", [0.3], warmup=8)
+    assert first[0].agreement == second[0].agreement
+    assert (first[0].replay.phase_timeline()
+            == second[0].replay.phase_timeline())
+
+
+def test_sweep_validates_inputs(tmp_path):
+    store = SegmentStore(tmp_path)
+    store.append("0", 0, make_series(1)[0])
+    with pytest.raises(ValidationError):
+        sweep_refit_thresholds(store, "0", [])
+    with pytest.raises(ValidationError):
+        sweep_refit_thresholds(store, "0", [1.5])
+    with pytest.raises(ValidationError):
+        sweep_refit_thresholds(store, "missing", [0.3])

@@ -1,0 +1,143 @@
+"""``incprofd --store-dir``: the daemon archives what it classifies.
+
+Binds real loopback sockets; the whole module carries the ``socket``
+marker so restricted environments can deselect it with ``-m "not
+socket"``.
+"""
+
+import socket
+
+import pytest
+
+from repro.apps import get_app
+from repro.core.online import OnlinePhaseTracker
+from repro.core.pipeline import analyze_snapshots
+from repro.gprof.gmon import dumps_gmon, loads_gmon
+from repro.incprof.session import Session, SessionConfig
+from repro.service import (
+    Endpoint,
+    PhaseMonitorServer,
+    ServerConfig,
+    publish_samples,
+)
+from repro.store.segments import SegmentStore
+
+pytestmark = pytest.mark.socket
+
+
+def can_bind_loopback() -> bool:
+    try:
+        probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        probe.bind(("127.0.0.1", 0))
+        probe.close()
+        return True
+    except OSError:
+        return False
+
+
+if not can_bind_loopback():  # pragma: no cover - restricted environments
+    pytest.skip("cannot bind loopback sockets here", allow_module_level=True)
+
+
+def make_config(**overrides) -> ServerConfig:
+    defaults = dict(endpoint=Endpoint.tcp("127.0.0.1", 0), workers=2,
+                    queue_capacity=64, policy="block", block_timeout=10.0,
+                    idle_timeout=30.0, housekeeping_interval=0.05)
+    defaults.update(overrides)
+    return ServerConfig(**defaults)
+
+
+@pytest.fixture(scope="module")
+def template_and_samples():
+    train = Session(get_app("synthetic"),
+                    SessionConfig(ranks=1, seed=111)).run()
+    analysis = analyze_snapshots(train.samples(0))
+    deploy = Session(get_app("synthetic"),
+                     SessionConfig(ranks=1, seed=777)).run()
+    return OnlinePhaseTracker.from_analysis(analysis), deploy.samples(0)
+
+
+def test_server_archives_streams_into_segment_store(tmp_path,
+                                                    template_and_samples):
+    """Every classified snapshot lands in the tiered store, bit-identical
+    and replayable after the daemon is gone."""
+    template, samples = template_and_samples
+    store_dir = tmp_path / "store"
+
+    with PhaseMonitorServer(
+            template, make_config(store_dir=str(store_dir))) as server:
+        report = publish_samples(server.endpoint, "archived-r0", samples,
+                                 app="synthetic")
+        stats = server.stats()
+
+    assert report.error == ""
+    assert report.processed == len(samples)
+
+    # The store section rides along in the self-metrics snapshot.
+    assert stats["store"]["appends"] == len(samples)
+    assert stats["store"]["streams"] == 1
+
+    # Post-mortem: reopen the archive cold and read it back.
+    store = SegmentStore(store_dir, create=False)
+    got = list(store.scan("archived-r0"))
+    assert [i for i, _snap in got] == list(range(len(samples)))
+    for (_i, archived), sent in zip(got, samples):
+        assert dumps_gmon(archived) == dumps_gmon(loads_gmon(
+            dumps_gmon(sent)))
+
+    # The archive is a first-class replay source.
+    result = store.replay("archived-r0", warmup=4)
+    assert result.n_intervals == len(samples)
+    assert len(result.updates) == len(samples)
+
+    # Shutdown flushed everything: no pending tail, no tmp residue.
+    assert store.describe()["pending_intervals"] == 0
+    assert not [p for p in store_dir.rglob("*") if ".tmp" in p.name]
+
+
+def test_server_archive_skips_resume_overlap(tmp_path, template_and_samples):
+    """Replaying an already-archived prefix (client retry after restart)
+    must not duplicate intervals: the monotone index check makes the
+    archive append idempotent."""
+    template, samples = template_and_samples
+    store_dir = tmp_path / "store"
+
+    with PhaseMonitorServer(
+            template, make_config(store_dir=str(store_dir))) as server:
+        first = publish_samples(server.endpoint, "dup-r0", samples,
+                                app="synthetic")
+        assert first.error == ""
+
+    # Same stream, same sequence numbers, fresh server over the same dir.
+    with PhaseMonitorServer(
+            template, make_config(store_dir=str(store_dir))) as server:
+        second = publish_samples(server.endpoint, "dup-r0", samples,
+                                 app="synthetic")
+        assert second.error == ""
+
+    store = SegmentStore(store_dir, create=False)
+    assert len(list(store.scan("dup-r0"))) == len(samples)
+
+
+def test_server_background_compactor_migrates_tiers(tmp_path,
+                                                    template_and_samples):
+    """With an aggressive schedule the daemon's own compactor thread
+    moves cold segments to the vector tier while the server runs."""
+    template, samples = template_and_samples
+    store_dir = tmp_path / "store"
+    config = make_config(store_dir=str(store_dir),
+                         store_compact_interval=0.1)
+
+    with PhaseMonitorServer(template, config) as server:
+        server.store.segment_intervals = 8  # small segments, many of them
+        publish_samples(server.endpoint, "cold-r0", samples,
+                        app="synthetic")
+        server.store.flush()
+        server.store.compact("cold-r0", raw_keep=0)
+        stats = server.stats()
+
+    tiers = stats["store"]["tiers"]
+    assert tiers.get("1", {}).get("segments", 0) >= 1
+    # Compaction never loses an interval.
+    store = SegmentStore(store_dir, create=False)
+    assert len(list(store.scan("cold-r0"))) == len(samples)

@@ -111,8 +111,11 @@ def test_truncated_sample_file_raises_typed_error(tmp_path):
     path.write_bytes(blob[: len(blob) // 2])
     with pytest.raises(SampleFileError):
         store.load_rank(0)
+    # load_all is lazy now: the typed error surfaces when the corrupt
+    # file's iterator is consumed, not at call time.
     with pytest.raises(SampleFileError):
-        store.load_all()
+        for samples in store.load_all().values():
+            list(samples)
 
 
 def test_empty_sample_file_raises_typed_error(tmp_path):

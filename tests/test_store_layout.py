@@ -1,0 +1,102 @@
+"""The shared on-disk naming module (``repro.store.layout``)."""
+
+import os
+
+import pytest
+
+from repro.store import layout
+from repro.util.errors import ValidationError
+
+
+# ----------------------------------------------------------------------
+# atomic-write temp names
+# ----------------------------------------------------------------------
+def test_tmp_path_is_sibling_and_recognizable(tmp_path):
+    target = tmp_path / "MANIFEST.isegm"
+    tmp = layout.tmp_path_for(target)
+    assert tmp.parent == target.parent
+    assert layout.is_tmp_name(tmp.name)
+    assert not layout.is_tmp_name(target.name)
+    assert str(os.getpid()) in tmp.name
+
+
+# ----------------------------------------------------------------------
+# loose sample names
+# ----------------------------------------------------------------------
+def test_loose_sample_name_round_trip():
+    name = layout.loose_sample_name(3, 12)
+    assert name == "gmon-r003-i00012.gmon"
+    assert layout.parse_loose_sample(name) == (3, 12)
+
+
+def test_loose_sample_rejects_foreign_names():
+    assert layout.parse_loose_sample("gmon-rxxx-iyyyyy.gmon") is None
+    assert layout.parse_loose_sample("README.txt") is None
+    with pytest.raises(ValidationError):
+        layout.loose_sample_name(-1, 0)
+
+
+# ----------------------------------------------------------------------
+# segment names
+# ----------------------------------------------------------------------
+def test_segment_name_round_trip():
+    name = layout.segment_name(7, 1)
+    assert name == "seg-00000007-t1.npz"
+    assert layout.parse_segment(name) == (7, 1)
+    assert layout.parse_segment("seg-1-t1.npz") is None
+
+
+def test_sanitize_stream_escapes_path_hazards():
+    assert layout.sanitize_stream("app-r0") == "app-r0"
+    escaped = layout.sanitize_stream("job/0:a")
+    assert "/" not in escaped and ":" not in escaped
+    with pytest.raises(ValidationError):
+        layout.sanitize_stream("")
+
+
+# ----------------------------------------------------------------------
+# versioned artifacts + GC
+# ----------------------------------------------------------------------
+def test_versioned_names_match_their_regexes():
+    model = layout.versioned_model_name("app-r0", 3)
+    ckpt = layout.versioned_checkpoint_name(12)
+    assert layout.VERSIONED_MODEL_RE.match(model)
+    assert layout.VERSIONED_CHECKPOINT_RE.match(ckpt)
+    assert ckpt == "incprofd-00000012.ipckp"
+
+
+def test_gc_versioned_keeps_newest_per_family(tmp_path):
+    for version in range(1, 6):
+        (tmp_path / layout.versioned_model_name("a", version)).write_bytes(b"m")
+        (tmp_path / layout.versioned_checkpoint_name(version)).write_bytes(b"c")
+    # A second model family rotates independently.
+    (tmp_path / layout.versioned_model_name("b", 1)).write_bytes(b"m")
+    # Unversioned files are never GC candidates.
+    (tmp_path / "incprofd.ckpt").write_bytes(b"latest")
+
+    deleted = layout.gc_versioned(tmp_path, keep=2)
+
+    survivors = sorted(p.name for p in tmp_path.iterdir())
+    assert layout.versioned_model_name("a", 5) in survivors
+    assert layout.versioned_model_name("a", 4) in survivors
+    assert layout.versioned_model_name("a", 3) not in survivors
+    assert layout.versioned_checkpoint_name(5) in survivors
+    assert layout.versioned_checkpoint_name(3) not in survivors
+    assert layout.versioned_model_name("b", 1) in survivors  # under keep
+    assert "incprofd.ckpt" in survivors
+    assert len(deleted) == 6  # three model-a + three checkpoint versions
+
+
+def test_gc_versioned_reaps_atomic_write_leftovers(tmp_path):
+    stale = layout.tmp_path_for(tmp_path / "incprofd.ckpt")
+    stale.write_bytes(b"torn")
+    layout.gc_versioned(tmp_path, keep=2)
+    assert not stale.exists()
+
+
+def test_worker_dirname_is_path_safe():
+    assert layout.worker_dirname("w0") == "worker-w0"
+    with pytest.raises(ValidationError):
+        layout.worker_dirname("")
+    with pytest.raises(ValidationError):
+        layout.worker_dirname("../evil")

@@ -473,6 +473,71 @@ def test_storage_throughput():
 
 
 @pytest.mark.slow
+def test_analytics_throughput():
+    """Fleet analytics hot paths: signature extraction and clustering.
+
+    Builds a synthetic fleet of phase sequences across a few behaviour
+    families, takes ``PhaseSignature``s, and runs the full
+    ``analyze_signatures`` cohort/anomaly/drift pass, recording
+    signatures/sec and cluster-pass seconds in ``BENCH_perf.json``.
+    Floors are loose sanity bounds — signature extraction is O(n) in
+    intervals and the cluster pass is a small k-means sweep; the guard
+    catches an accidental O(n²) transition build or a per-pass
+    re-vectorization blowup, not machine speed.
+    """
+    import random
+
+    from repro.fleet.analytics import PhaseSignature, analyze_signatures
+
+    n_streams = 24 if QUICK else 96
+    n_intervals = 400 if QUICK else 2000
+    rng = random.Random(7)
+    families = [
+        lambda i: 0,                      # steady
+        lambda i: i % 2,                  # alternating
+        lambda i: (i // 50) % 3,          # slow rotation
+        lambda i: rng.randrange(4),       # noisy
+    ]
+    sequences = [
+        [families[s % len(families)](i) for i in range(n_intervals)]
+        for s in range(n_streams)
+    ]
+
+    t0 = time.perf_counter()
+    signatures = [
+        PhaseSignature.from_phase_sequence(f"bench-{s}", seq)
+        for s, seq in enumerate(sequences)
+    ]
+    signature_s = time.perf_counter() - t0
+    signatures_per_sec = n_streams / signature_s
+
+    t0 = time.perf_counter()
+    report = analyze_signatures(signatures, include_signatures=False)
+    cluster_s = time.perf_counter() - t0
+    assert report["n_streams"] == n_streams
+    assert report["n_cohorts"] >= 2  # the families must not collapse
+
+    record = {
+        "analytics": {
+            "n_streams": n_streams,
+            "n_intervals": n_intervals,
+            "signatures_per_sec": round(signatures_per_sec, 1),
+            "signature_seconds": round(signature_s, 4),
+            "cluster_pass_seconds": round(cluster_s, 4),
+            "n_cohorts": report["n_cohorts"],
+        },
+    }
+    if not QUICK:
+        _merge_into_bench_json(record)
+    print()
+    print(json.dumps(record, indent=2, sort_keys=True))
+
+    assert signatures_per_sec >= 20, \
+        f"signature extraction only {signatures_per_sec:.0f}/s"
+    assert cluster_s < 30.0, f"cluster pass took {cluster_s:.1f}s"
+
+
+@pytest.mark.slow
 @pytest.mark.skipif(not QUICK,
                     reason="CI smoke only: set BENCH_PERF_QUICK=1")
 def test_quick_bench_guard():

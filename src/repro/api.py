@@ -41,6 +41,10 @@ The surface groups into five layers:
 - **online monitoring** — :class:`OnlinePhaseTracker` in-process;
   :class:`PhaseClient` + :class:`RetryPolicy` against an ``incprofd``
   daemon (see ``docs/SERVICE.md``).
+- **fleet analytics** — :class:`PhaseSignature` per-stream behaviour
+  summaries, :func:`analyze_signatures` cohort/anomaly/drift reports,
+  and :func:`analyze_fleet_dir` over a fleet run's per-worker archives
+  (see ``docs/ANALYTICS.md``).
 - **errors** — the :class:`ReproError` hierarchy; every exception this
   package raises deliberately derives from it.
 """
@@ -84,6 +88,14 @@ from repro.incprof import SampleStore, Session, SessionConfig, SessionResult
 from repro.store.interface import IntervalStore, ReplayResult
 from repro.store.loose import LooseStore
 from repro.store.segments import CompactionPolicy, SegmentStore, open_store
+
+# -- fleet analytics ---------------------------------------------------
+from repro.core.cohorts import CohortMatcher, signature_distance
+from repro.fleet.analytics import (
+    PhaseSignature,
+    analyze_fleet_dir,
+    analyze_signatures,
+)
 
 # -- service client ----------------------------------------------------
 from repro.service import (
@@ -150,6 +162,12 @@ __all__ = [
     "dumps_model",
     "loads_model",
     "model_meta",
+    # fleet analytics
+    "CohortMatcher",
+    "PhaseSignature",
+    "analyze_fleet_dir",
+    "analyze_signatures",
+    "signature_distance",
     # online monitoring
     "NOVEL",
     "OnlinePhaseTracker",

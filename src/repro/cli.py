@@ -444,6 +444,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         checkpoint_interval=args.checkpoint_interval,
         store_dir=args.store_dir,
         metrics_port=args.metrics_port,
+        dashboard_port=args.dashboard_port,
         log_level=args.log_level,
         refit_interval=args.refit_interval,
         refit_drift_threshold=args.refit_drift_threshold,
@@ -454,6 +455,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     bound = server.start()
     if server.metrics_http is not None:
         print(f"metrics endpoint: {server.metrics_http.url}")
+    if server.dashboard_http is not None:
+        print(f"analytics dashboard: {server.dashboard_http.url}")
     if server.quarantined_checkpoint is not None:
         print(f"warning: corrupt checkpoint quarantined -> "
               f"{server.quarantined_checkpoint}; starting fresh")
@@ -531,6 +534,8 @@ def _cmd_serve_fleet(args: argparse.Namespace) -> int:
 
     if args.selftest:
         return _serve_fleet_selftest(args)
+    if args.selftest_analytics:
+        return _serve_fleet_analytics_selftest(args)
     root = args.root or tempfile.mkdtemp(prefix="incprof-fleet-")
     fleet_config = FleetConfig(
         root=root,
@@ -548,7 +553,8 @@ def _cmd_serve_fleet(args: argparse.Namespace) -> int:
     endpoint = (Endpoint.unix(args.unix) if args.unix
                 else Endpoint.tcp(args.host, args.port))
     router_config = RouterConfig(endpoint=endpoint, mode=args.mode,
-                                 log_level=args.log_level)
+                                 log_level=args.log_level,
+                                 dashboard_port=args.dashboard_port)
     supervisor = WorkerSupervisor(fleet_config)
     try:
         supervisor.start()
@@ -569,6 +575,8 @@ def _cmd_serve_fleet(args: argparse.Namespace) -> int:
         print(f"  {worker_id}: {info['endpoint']}")
     print(f"router listening on {bound} (mode={args.mode}, "
           f"ring generation {supervisor.ring.generation})")
+    if router.dashboard_http is not None:
+        print(f"analytics dashboard: {router.dashboard_http.url}")
     try:
         router.wait()
     except KeyboardInterrupt:
@@ -671,6 +679,120 @@ def _serve_fleet_selftest(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_fleet_analytics_selftest(args: argparse.Namespace) -> int:
+    """Analytics smoke: two distinct workload shapes through an
+    archiving fleet; assert the live cohorts separate them, the
+    dashboard serves, and the offline pass reproduces the split."""
+    import shutil
+    import tempfile
+    import urllib.request
+    from pathlib import Path
+
+    from repro.core.model_io import save_model
+    from repro.fleet import FleetConfig, FleetRouter, RouterConfig, WorkerSupervisor
+    from repro.fleet.analytics import analyze_fleet_dir
+    from repro.service import (
+        Endpoint,
+        PhaseClient,
+        RetryPolicy,
+        SyntheticLoadGenerator,
+        publish_samples,
+    )
+
+    n_workers = max(2, args.workers)
+    per_kind, n_intervals = 3, 40
+    # Two workload shapes over one function universe: "steady" pins one
+    # dominant function (one phase, no transitions), "alternating" flips
+    # between two every interval (two phases, transition rate ~1).
+    kinds = {
+        "steady": lambda i: 0,
+        "alternating": lambda i: 1 + (i % 2),
+    }
+    root = tempfile.mkdtemp(prefix="incprof-fleet-analytics-")
+    failures = []
+
+    def check_split(assignments, label: str) -> None:
+        groups = {}
+        for kind in kinds:
+            groups[kind] = {assignments.get(f"{kind}-{i}")
+                            for i in range(per_kind)}
+            if None in groups[kind]:
+                failures.append(f"{label}: missing streams of kind {kind}: "
+                                f"{sorted(assignments)}")
+                return
+        if groups["steady"] & groups["alternating"]:
+            failures.append(f"{label}: workload kinds share a cohort: "
+                            f"{assignments}")
+
+    try:
+        generator = SyntheticLoadGenerator()
+        # Train on the default rotation so every dominant-function phase
+        # either workload visits is in the served model.
+        analysis = analyze_snapshots(
+            generator.stream(0, 24),
+            AnalysisConfig(kmax=4, drop_short_final=False))
+        model_path = str(Path(root) / "model.ipm")
+        save_model(analysis, model_path)
+        fleet_config = FleetConfig(
+            root=root, n_workers=n_workers, model_path=model_path,
+            worker_threads=2, checkpoint_interval=0.2, ping_interval=0.2,
+            max_restarts=0, log_level="error", archive_intervals=True,
+        )
+        retry = RetryPolicy(max_attempts=8, base_delay=0.1, max_delay=1.0)
+        with WorkerSupervisor(fleet_config) as supervisor:
+            supervisor.start_monitor()
+            with FleetRouter(
+                    supervisor,
+                    RouterConfig(endpoint=Endpoint.tcp("127.0.0.1", 0),
+                                 mode=args.mode, log_level="error",
+                                 dashboard_port=0)) as router:
+                for kind, pattern in kinds.items():
+                    for i in range(per_kind):
+                        report = publish_samples(
+                            router.endpoint, f"{kind}-{i}",
+                            generator.stream(i, n_intervals, pattern=pattern),
+                            app="analytics-selftest", rank=i, retry=retry)
+                        if report.error:
+                            failures.append(f"{kind}-{i}: {report.error}")
+                with PhaseClient(router.endpoint) as client:
+                    reply = client.fleet_analytics()
+                if not reply.ok:
+                    failures.append(f"fleet_analytics failed: {reply.error}")
+                    live = {}
+                else:
+                    live = reply.data
+                    if live.get("n_cohorts", 0) < 2:
+                        failures.append(
+                            f"live pass found {live.get('n_cohorts')} "
+                            "cohort(s), expected >= 2")
+                    check_split(live.get("assignments", {}), "live")
+                assert router.dashboard_http is not None
+                for page in ("", "analytics.json", "healthz"):
+                    url = router.dashboard_http.url + page
+                    with urllib.request.urlopen(url, timeout=10) as resp:
+                        if resp.status != 200:
+                            failures.append(f"GET {url} -> {resp.status}")
+        offline = analyze_fleet_dir(root, warmup=6)
+        if offline.get("n_cohorts", 0) < 2:
+            failures.append(f"offline pass found {offline.get('n_cohorts')} "
+                            "cohort(s), expected >= 2")
+        check_split(offline.get("assignments", {}), "offline")
+        print(f"analytics selftest: {n_workers} workers, "
+              f"{len(kinds)} workload kinds x {per_kind} streams x "
+              f"{n_intervals} intervals; "
+              f"live cohorts={live.get('n_cohorts', '?')}, "
+              f"offline cohorts={offline.get('n_cohorts', '?')} "
+              f"over {len(offline.get('stores', []))} worker store(s)")
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print("analytics selftest PASS (live == offline cohort split)")
+    return 0
+
+
 def _cmd_submit(args: argparse.Namespace) -> int:
     from repro.service import Endpoint, RetryPolicy, publish_session
     from repro.util.errors import ReproError
@@ -715,13 +837,19 @@ def _cmd_fleet_status(args: argparse.Namespace) -> int:
         endpoint = Endpoint.parse(args.to)
         with PhaseClient(endpoint) as client:
             reply = client.fleet_status()
+            analytics = client.fleet_analytics() if args.cohorts else None
     except (ReproError, OSError) as exc:
         print(f"error: cannot reach daemon at {args.to!r}: {exc}")
         return 1
     if not reply.ok:
         print(f"error: {reply.error}")
         return 1
+    if analytics is not None and not analytics.ok:
+        print(f"error: fleet_analytics: {analytics.error}")
+        return 1
     status = reply.data
+    if analytics is not None:
+        status["analytics"] = analytics.data
     if args.json:
         print(_json.dumps(status, indent=2, sort_keys=True))
         return 0
@@ -741,6 +869,68 @@ def _cmd_fleet_status(args: argparse.Namespace) -> int:
         print(f"  {row['stream_id']:>16s}: seq={row['last_seq']} "
               f"lag={row['lag']} novel={row['novel']} "
               f"idle={row['idle_seconds']:.1f}s")
+    if analytics is not None:
+        _print_analytics_report(analytics.data)
+    return 0
+
+
+def _print_analytics_report(report: dict) -> None:
+    """Shared cohort/anomaly/drift rendering for ``fleet-status
+    --cohorts`` and ``analyze-fleet``."""
+    print(f"  cohorts: {report.get('n_cohorts', 0)} over "
+          f"{report.get('n_streams', 0)} stream(s)")
+    assignments = report.get("assignments", {})
+    for cohort in report.get("cohorts", []):
+        members = ", ".join(cohort["streams"][:6])
+        if len(cohort["streams"]) > 6:
+            members += f", ... ({cohort['size']} total)"
+        print(f"    cohort {cohort['cohort']}: {cohort['size']} stream(s), "
+              f"transition rate {cohort['mean_transition_rate']:.2f}, "
+              f"novel {cohort['mean_novel_share']:.1%} [{members}]")
+    anomalies = report.get("anomalies", [])
+    if anomalies:
+        for row in anomalies:
+            print(f"    anomaly: {row['stream_id']} "
+                  f"(cohort {assignments.get(row['stream_id'], '?')}, "
+                  f"distance {row['distance']:.3f}, "
+                  f"cohort mean {row['cohort_mean']:.3f})")
+    else:
+        print("    anomalies: none")
+    drift_events = report.get("drift_events", [])
+    if drift_events:
+        for event in drift_events:
+            print(f"    drift: {event['kind']} in cohort {event['cohort']} "
+                  f"({len(event['streams'])} stream(s), "
+                  f"window {event['window']})")
+    else:
+        print("    drift events: none")
+
+
+def _cmd_analyze_fleet(args: argparse.Namespace) -> int:
+    """Offline fleet analytics: replay per-worker archives, cluster."""
+    import json as _json
+
+    from repro.fleet.analytics import analyze_fleet_dir
+    from repro.util.errors import ReproError
+
+    kwargs = {"warmup": args.warmup}
+    if args.kmax is not None:
+        kwargs["kmax"] = args.kmax
+    if args.drift_window is not None:
+        kwargs["drift_window"] = args.drift_window
+    try:
+        report = analyze_fleet_dir(args.root, **kwargs)
+    except ReproError as exc:
+        print(f"error: {exc}")
+        return 1
+    if args.json:
+        print(_json.dumps(report, indent=2, sort_keys=True))
+        return 0
+    print(f"fleet root {report['root']}: {len(report['stores'])} worker "
+          f"store(s), {report['n_streams']} replayed stream(s)")
+    _print_analytics_report(report)
+    for row in report.get("skipped", []):
+        print(f"    skipped {row['stream_id']}: {row['reason']}")
     return 0
 
 
@@ -1007,6 +1197,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--metrics-port", type=int, default=None,
                          help="also serve Prometheus text metrics over "
                               "plain HTTP on this port (0 = ephemeral)")
+    p_serve.add_argument("--dashboard-port", type=int, default=None,
+                         help="serve the live analytics dashboard over "
+                              "plain HTTP on this port (0 = ephemeral)")
     p_serve.add_argument("--log-level", default="info",
                          choices=["debug", "info", "warning", "error"],
                          help="structured JSON log threshold (stderr)")
@@ -1067,12 +1260,19 @@ def build_parser() -> argparse.ArgumentParser:
                          help="give each worker its own tiered segment "
                               "store under worker-<id>/store (replayable "
                               "with 'incprof replay')")
+    p_fleet.add_argument("--dashboard-port", type=int, default=None,
+                         help="serve the fleet analytics dashboard over "
+                              "plain HTTP on this port (0 = ephemeral)")
     p_fleet.add_argument("--log-level", default="info",
                          choices=["debug", "info", "warning", "error"])
     p_fleet.add_argument("--selftest", action="store_true",
                          help="fleet smoke test: spawn workers, publish "
                               "through the router, SIGKILL one worker, "
                               "assert every stream resumes")
+    p_fleet.add_argument("--selftest-analytics", action="store_true",
+                         help="analytics smoke test: two workload shapes "
+                              "through an archiving fleet, assert the "
+                              "cohort split live and offline")
     p_fleet.set_defaults(func=_cmd_serve_fleet)
 
     p_sub = sub.add_parser("submit",
@@ -1095,7 +1295,28 @@ def build_parser() -> argparse.ArgumentParser:
     p_fs.add_argument("--to", required=True,
                       help="daemon endpoint: HOST:PORT or unix:PATH")
     p_fs.add_argument("--json", action="store_true", help="raw JSON output")
+    p_fs.add_argument("--cohorts", action="store_true",
+                      help="also run fleet analytics: cluster live streams "
+                           "into behaviour cohorts, flag anomalies and "
+                           "drift events")
     p_fs.set_defaults(func=_cmd_fleet_status)
+
+    p_af = sub.add_parser(
+        "analyze-fleet",
+        help="offline fleet analytics over per-worker interval archives")
+    p_af.add_argument("root",
+                      help="fleet root directory (contains worker-*/store "
+                           "archives from 'serve-fleet --archive-intervals')")
+    p_af.add_argument("--kmax", type=int, default=None,
+                      help="max cohorts to consider (default 4)")
+    p_af.add_argument("--drift-window", type=int, default=None,
+                      help="trailing intervals examined for drift events "
+                           "(default 32)")
+    p_af.add_argument("--warmup", type=int, default=12,
+                      help="replay warmup intervals before the online model "
+                           "starts classifying")
+    p_af.add_argument("--json", action="store_true", help="raw JSON output")
+    p_af.set_defaults(func=_cmd_analyze_fleet)
 
     p_met = sub.add_parser("metrics",
                            help="scrape a daemon's Prometheus text metrics")

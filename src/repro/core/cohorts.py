@@ -1,0 +1,118 @@
+"""Label-stable cohort identity for cross-stream analytics.
+
+Fleet analytics (``repro.fleet.analytics``) clusters *streams* by their
+phase-signature vectors the same way phase detection clusters intervals.
+Re-clustering happens on every ``fleet_analytics`` request, and plain
+k-means is free to permute cluster indices between runs — so "cohort 0"
+would mean a different group of streams every scrape.  This module keeps
+cohort ids stable over time by reusing the greedy nearest-centroid
+matching that already keeps *phase* ids stable across live refits
+(:func:`repro.core.incremental.match_phase_labels`).
+
+:func:`signature_distance` is the one distance the analytics layer uses
+everywhere (clustering, anomaly radii, cohort matching), so thresholds
+compose: an anomaly threshold expressed in this distance means the same
+thing in the anomaly flagger and in the matcher's stickiness cap.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.incremental import match_phase_labels
+from repro.util.errors import ValidationError
+
+__all__ = ["CohortMatcher", "signature_distance"]
+
+
+def signature_distance(a: Sequence[float], b: Sequence[float]) -> float:
+    """Euclidean distance between two phase-signature vectors."""
+    va = np.asarray(a, dtype=float)
+    vb = np.asarray(b, dtype=float)
+    if va.shape != vb.shape:
+        raise ValidationError(
+            f"signature vectors disagree: {va.shape} vs {vb.shape}")
+    return float(np.linalg.norm(va - vb))
+
+
+class CohortMatcher:
+    """Stable cohort ids across successive signature re-clusterings.
+
+    Holds the previous clustering's centroids and their stable ids;
+    :meth:`match` pairs a new centroid set against them greedily by
+    distance (the phase-refit mechanism, applied one level up), hands
+    matched clusters their old ids, and mints fresh ids for genuinely
+    new cohorts — retired ids are never reused, so "cohort 3 went
+    anomalous at 14:00" still names the same population at 15:00 even
+    if the fleet re-clustered twice in between.
+
+    ``max_distance`` (optional) caps how far a new centroid may drift
+    from an old one and still inherit its id; beyond the cap the cohort
+    is treated as new.  The matcher itself is cheap, JSON-serializable
+    (:meth:`to_obj`/:meth:`from_obj` so a router can checkpoint it), and
+    not thread-safe — callers serialize access (the router handles
+    control requests one at a time per connection and wraps analytics in
+    its own lock).
+    """
+
+    def __init__(self, max_distance: Optional[float] = None) -> None:
+        if max_distance is not None and max_distance <= 0:
+            raise ValidationError("max_distance must be positive")
+        self.max_distance = max_distance
+        self._centroids: Optional[np.ndarray] = None
+        self._labels: List[int] = []
+        self._next_label = 0
+
+    @property
+    def generation_labels(self) -> List[int]:
+        """Stable ids of the last matched clustering (cluster order)."""
+        return list(self._labels)
+
+    def reset(self) -> None:
+        self._centroids = None
+        self._labels = []
+        self._next_label = 0
+
+    def match(self, centroids: np.ndarray) -> List[int]:
+        """Stable cohort ids for a new clustering's centroid rows."""
+        centroids = np.asarray(centroids, dtype=float)
+        if centroids.ndim != 2:
+            raise ValidationError("centroids must be a 2-D array")
+        if (self._centroids is None
+                or self._centroids.shape[1] != centroids.shape[1]):
+            # First clustering (or the embedding dimensionality changed,
+            # e.g. the signature schema evolved): row order is the id.
+            labels = list(range(self._next_label,
+                                self._next_label + centroids.shape[0]))
+        else:
+            matched, self._next_label = match_phase_labels(
+                self._centroids, self._labels, centroids, self._next_label,
+                max_distance=self.max_distance)
+            labels = [int(x) for x in matched]
+        self._centroids = centroids.copy()
+        self._labels = labels
+        self._next_label = max(self._next_label,
+                               (max(labels) + 1) if labels else 0)
+        return list(labels)
+
+    def to_obj(self) -> Dict[str, Any]:
+        return {
+            "centroids": (None if self._centroids is None
+                          else [[float(x) for x in row]
+                                for row in self._centroids]),
+            "labels": list(self._labels),
+            "next_label": self._next_label,
+            "max_distance": self.max_distance,
+        }
+
+    @classmethod
+    def from_obj(cls, obj: Dict[str, Any]) -> "CohortMatcher":
+        matcher = cls(max_distance=obj.get("max_distance"))
+        centroids = obj.get("centroids")
+        if centroids is not None:
+            matcher._centroids = np.asarray(centroids, dtype=float)
+        matcher._labels = [int(x) for x in obj.get("labels", [])]
+        matcher._next_label = int(obj.get("next_label", 0))
+        return matcher

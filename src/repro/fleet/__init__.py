@@ -17,10 +17,24 @@ up, shared-nothing:
   ``metrics``/``trace`` out across workers and merges the replies, and
   on worker death rebalances the ring and drives orphaned streams
   through checkpoint-restore + ``resume_from``.
+- :mod:`repro.fleet.analytics` — cross-stream phase intelligence:
+  per-stream :class:`PhaseSignature` extraction (live trackers or
+  store replay), cohort clustering over signature vectors, anomaly
+  flagging, and fleet-wide drift-event detection, merged at the router
+  via the ``fleet_analytics`` control verb.
 
-See ``docs/FLEET.md`` for the architecture and failure model.
+See ``docs/FLEET.md`` for the architecture and failure model, and
+``docs/ANALYTICS.md`` for the analytics layer.
 """
 
+from repro.fleet.analytics import (
+    PhaseSignature,
+    analyze_fleet_dir,
+    analyze_signatures,
+    cluster_signatures,
+    detect_drift,
+    flag_anomalies,
+)
 from repro.fleet.ring import HashRing
 from repro.fleet.router import FleetRouter, RouterConfig
 from repro.fleet.supervisor import (
@@ -33,7 +47,13 @@ __all__ = [
     "FleetConfig",
     "FleetRouter",
     "HashRing",
+    "PhaseSignature",
     "RouterConfig",
     "WorkerHandle",
     "WorkerSupervisor",
+    "analyze_fleet_dir",
+    "analyze_signatures",
+    "cluster_signatures",
+    "detect_drift",
+    "flag_anomalies",
 ]

@@ -33,8 +33,11 @@ import threading
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional
 
+from repro.core.cohorts import CohortMatcher
+from repro.fleet.analytics import PhaseSignature, analyze_signatures
 from repro.fleet.supervisor import WorkerSupervisor
 from repro.service.client import PhaseClient, RetryPolicy
+from repro.service.dashboard import DashboardServer
 from repro.service.exposition import CONTENT_TYPE, render_prometheus
 from repro.service.metrics import aggregate_worker_stats
 from repro.service.protocol import (
@@ -77,6 +80,10 @@ class RouterConfig:
     endpoint: Endpoint = field(default_factory=Endpoint.tcp)
     mode: str = "proxy"
     log_level: str = "info"
+    #: Serve the merged fleet-analytics dashboard on this port
+    #: (None = off; 0 = ephemeral).  See ``docs/ANALYTICS.md``.
+    dashboard_port: Optional[int] = None
+    dashboard_host: str = "127.0.0.1"
 
     def __post_init__(self) -> None:
         if self.mode not in ROUTER_MODES:
@@ -106,6 +113,12 @@ class FleetRouter:
         self._conns_lock = threading.Lock()
         self.routed = 0
         self.forward_failures = 0
+        self.dashboard_http: Optional[DashboardServer] = None
+        #: One matcher per router lifetime keeps cohort ids stable
+        #: across successive fleet_analytics passes.
+        self._analytics_matcher = CohortMatcher()
+        self._analytics_lock = threading.Lock()
+        self._analytics_summary: Optional[Dict[str, Any]] = None
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -140,6 +153,12 @@ class FleetRouter:
         self._running.set()
         self._stopped.clear()
         self._spawn(self._accept_loop, "fleet-router-accept")
+        if cfg.dashboard_port is not None:
+            self.dashboard_http = DashboardServer(
+                self.fleet_analytics_report,
+                host=cfg.dashboard_host, port=cfg.dashboard_port,
+                title="incprofd fleet analytics")
+            self.dashboard_http.start()
         self.log.info("router-started", endpoint=str(self._endpoint),
                       mode=cfg.mode,
                       workers=len(self.ring))
@@ -154,6 +173,8 @@ class FleetRouter:
         if not self._running.is_set():
             return
         self._running.clear()
+        if self.dashboard_http is not None:
+            self.dashboard_http.stop()
         if self._listener is not None:
             try:
                 self._listener.close()
@@ -381,6 +402,11 @@ class FleetRouter:
         supervisor = self.supervisor.status()
         merged["supervisor"] = supervisor
         merged["policy"] = self.supervisor.config.policy
+        with self._analytics_lock:
+            if self._analytics_summary is not None:
+                merged["analytics"] = dict(self._analytics_summary)
+        if self.dashboard_http is not None:
+            merged["dashboard_url"] = self.dashboard_http.url
         return merged
 
     def merged_fleet_status(self) -> Dict[str, Any]:
@@ -427,6 +453,53 @@ class FleetRouter:
             "workers": self.supervisor.status(),
         }
 
+    def fleet_signatures(self) -> List[PhaseSignature]:
+        """Every live stream's phase signature, fanned out fleet-wide."""
+        signatures: List[PhaseSignature] = []
+        for worker_id, reply in sorted(
+                self._fanout("fleet_analytics", signatures_only=True).items()):
+            if not reply.ok:
+                continue
+            for obj in reply.data.get("signatures", []):
+                sig = PhaseSignature.from_obj(obj)
+                if not sig.worker_id:
+                    sig.worker_id = worker_id
+                signatures.append(sig)
+        return signatures
+
+    def fleet_analytics_report(self, *, kmax: Optional[int] = None,
+                               drift_window: Optional[int] = None,
+                               include_signatures: bool = True,
+                               ) -> Dict[str, Any]:
+        """Merge worker signatures and cluster once, fleet-wide.
+
+        Workers only extract signatures (``signatures_only``); the
+        cohort structure is computed here so streams of one workload
+        sharded across different workers still land in one cohort, with
+        ids stable across calls via the router's matcher.
+        """
+        signatures = self.fleet_signatures()
+        kwargs: Dict[str, Any] = {"include_signatures": include_signatures}
+        if kmax is not None:
+            kwargs["kmax"] = kmax
+        if drift_window is not None:
+            kwargs["drift_window"] = drift_window
+        with self._analytics_lock:
+            report = analyze_signatures(signatures,
+                                        matcher=self._analytics_matcher,
+                                        **kwargs)
+            self._analytics_summary = {
+                "streams": report["n_streams"],
+                "cohorts": report["n_cohorts"],
+                "anomalies": len(report["anomalies"]),
+                "drift_events": len(report["drift_events"]),
+                "cohort_sizes": {str(c["cohort"]): c["size"]
+                                 for c in report["cohorts"]},
+            }
+        report["role"] = "router"
+        report["ring_generation"] = self.ring.generation
+        return report
+
     def _on_control(self, msg: Control) -> Reply:
         command = msg.command
         if command == "ping":
@@ -463,6 +536,21 @@ class FleetRouter:
                 return Reply(ok=False, error="no worker answered the "
                                              "trace query")
             return Reply(ok=True, data={"traces": rows, "stats": stats})
+        if command == "fleet_analytics":
+            args = msg.args or {}
+            kwargs: Dict[str, Any] = {}
+            if "kmax" in args:
+                kwargs["kmax"] = int(args["kmax"])
+            if "drift_window" in args:
+                kwargs["drift_window"] = int(args["drift_window"])
+            if "include_signatures" in args:
+                kwargs["include_signatures"] = bool(
+                    args["include_signatures"])
+            try:
+                return Reply(ok=True,
+                             data=self.fleet_analytics_report(**kwargs))
+            except ReproError as exc:
+                return Reply(ok=False, error=str(exc))
         if command == "shutdown":
             return Reply(ok=True, data={"stopping": True,
                                         "workers": len(self.ring)})

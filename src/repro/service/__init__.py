@@ -24,6 +24,7 @@ from repro.service.client import (
     publish_samples,
     publish_session,
 )
+from repro.service.dashboard import DashboardServer, render_dashboard_html
 from repro.service.exposition import (
     CONTENT_TYPE,
     MetricsHTTPServer,
@@ -75,6 +76,7 @@ __all__ = [
     "SUPPORTED_PROTOCOLS",
     "BACKPRESSURE_POLICIES",
     "CONTENT_TYPE",
+    "DashboardServer",
     "NO_RETRY",
     "SELF_STAGES",
     "TRACE_STAGES",
@@ -113,6 +115,7 @@ __all__ = [
     "publish_samples",
     "publish_session",
     "read_message",
+    "render_dashboard_html",
     "render_prometheus",
     "restore_registry",
     "serve",

@@ -28,7 +28,7 @@ import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field, replace
-from typing import Deque, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.gprof.gmon import GmonData
 from repro.heartbeat.accumulator import HeartbeatRecord
@@ -492,6 +492,16 @@ class PhaseClient:
     def fleet_status(self) -> Reply:
         return self.control("fleet-status")
 
+    def fleet_analytics(self, *, kmax: Optional[int] = None,
+                        drift_window: Optional[int] = None) -> Reply:
+        """Cross-stream cohort/anomaly/drift report (daemon or router)."""
+        args: Dict[str, object] = {}
+        if kmax is not None:
+            args["kmax"] = kmax
+        if drift_window is not None:
+            args["drift_window"] = drift_window
+        return self.control("fleet_analytics", **args)
+
     def metrics(self) -> str:
         """Prometheus text exposition of the daemon's self-metrics."""
         return str(self.control("metrics").data.get("text", ""))
@@ -879,14 +889,25 @@ class SyntheticLoadGenerator:
         self.sample_period = sample_period
         self.ticks_per_interval = ticks_per_interval
 
-    def stream(self, stream_seed: int, n_intervals: int) -> List[GmonData]:
-        """One stream's cumulative snapshots (deterministic in the seed)."""
+    def stream(self, stream_seed: int, n_intervals: int,
+               pattern: Optional[Callable[[int], int]] = None,
+               ) -> List[GmonData]:
+        """One stream's cumulative snapshots (deterministic in the seed).
+
+        ``pattern`` overrides the dominant-function schedule: called
+        with the interval index, it returns the dominant function's
+        index (taken modulo the function count).  Lets tests and the
+        analytics selftest drive *distinct workload shapes* — steady,
+        alternating, bursty — over one shared function universe, so
+        they classify against one model yet separate into cohorts.
+        """
         cumulative = GmonData(sample_period=self.sample_period, rank=stream_seed)
         snapshots: List[GmonData] = []
         n_funcs = len(self.functions)
         for i in range(n_intervals):
             # Rotate the dominant function so streams show phase structure.
-            dominant = (stream_seed + i // 4) % n_funcs
+            dominant = (pattern(i) % n_funcs if pattern is not None
+                        else (stream_seed + i // 4) % n_funcs)
             for j, func in enumerate(self.functions):
                 share = 0.7 if j == dominant else 0.3 / max(1, n_funcs - 1)
                 cumulative.add_ticks(func, int(self.ticks_per_interval * share))

@@ -1,0 +1,227 @@
+"""Minimal stdlib live dashboard for fleet analytics.
+
+One daemon thread, one :class:`~http.server.ThreadingHTTPServer` (the
+:class:`~repro.service.exposition.MetricsHTTPServer` pattern), three
+routes:
+
+- ``/`` — server-rendered HTML: cohort summary, per-stream phase
+  timeline strips, anomaly and drift-event tables.  No javascript
+  beyond a ``<meta http-equiv=refresh>``; every render is a fresh
+  analytics pass, so the page is the report.
+- ``/analytics.json`` — the same report as JSON for tooling.
+- ``/healthz`` — liveness.
+
+Enabled with ``incprof serve --dashboard-port`` (one daemon's own
+streams) and ``incprof serve-fleet --dashboard-port`` (the router's
+merged fleet view).
+"""
+
+from __future__ import annotations
+
+import html
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.core.online import NOVEL
+
+__all__ = ["DashboardServer", "render_dashboard_html"]
+
+#: Glyph per phase id for the timeline strips (NOVEL renders as ``!``).
+_PHASE_GLYPHS = "0123456789abcdefghijklmnopqrstuvwxyz"
+
+_STYLE = """
+body { font-family: ui-monospace, Menlo, Consolas, monospace;
+       background: #101418; color: #d8dee9; margin: 2em; }
+h1, h2 { color: #88c0d0; font-weight: 600; }
+table { border-collapse: collapse; margin: 0.6em 0 1.4em; }
+th, td { border: 1px solid #2e3440; padding: 0.25em 0.7em;
+         text-align: left; }
+th { color: #81a1c1; }
+.timeline { letter-spacing: 1px; }
+.novel { color: #bf616a; font-weight: bold; }
+.muted { color: #616e7c; }
+.warn { color: #ebcb8b; }
+"""
+
+
+def _glyph(phase_id: int) -> str:
+    if phase_id == NOVEL:
+        return '<span class="novel">!</span>'
+    if 0 <= phase_id < len(_PHASE_GLYPHS):
+        return _PHASE_GLYPHS[phase_id]
+    return "?"
+
+
+def _timeline_html(timeline: List[int], width: int = 96) -> str:
+    tail = timeline[-width:]
+    if not tail:
+        return '<span class="muted">(warmup)</span>'
+    return "".join(_glyph(int(p)) for p in tail)
+
+
+def render_dashboard_html(report: Dict[str, Any],
+                          title: str = "incprofd fleet analytics",
+                          refresh: int = 5) -> str:
+    """One analytics report as a self-contained HTML page."""
+    sig_by_stream = {s["stream_id"]: s
+                     for s in report.get("signatures", [])}
+    parts: List[str] = [
+        "<!doctype html><html><head>",
+        f"<title>{html.escape(title)}</title>",
+        f'<meta http-equiv="refresh" content="{int(refresh)}">',
+        f"<style>{_STYLE}</style></head><body>",
+        f"<h1>{html.escape(title)}</h1>",
+        f"<p>{report.get('n_streams', 0)} stream(s) in "
+        f"{report.get('n_cohorts', 0)} cohort(s) &middot; "
+        f"{len(report.get('anomalies', []))} anomalie(s) &middot; "
+        f"{len(report.get('drift_events', []))} drift event(s)</p>",
+    ]
+    for cohort in report.get("cohorts", []):
+        parts.append(
+            f"<h2>cohort {cohort['cohort']} "
+            f'<span class="muted">({cohort["size"]} stream(s), '
+            f"transition rate {cohort['mean_transition_rate']:.2f}, "
+            f"novel {cohort['mean_novel_share']:.1%})</span></h2>")
+        parts.append("<table><tr><th>stream</th><th>worker</th>"
+                     "<th>intervals</th><th>phases</th><th>novel</th>"
+                     "<th>timeline (newest right, ! = novel)</th></tr>")
+        for stream_id in cohort.get("streams", []):
+            sig = sig_by_stream.get(stream_id, {})
+            parts.append(
+                "<tr>"
+                f"<td>{html.escape(stream_id)}</td>"
+                f"<td>{html.escape(str(sig.get('worker_id', '') or '-'))}</td>"
+                f"<td>{sig.get('n_intervals', '?')}</td>"
+                f"<td>{sig.get('n_phases', '?')}</td>"
+                f"<td>{float(sig.get('novel_share', 0.0)):.1%}</td>"
+                f'<td class="timeline">'
+                f"{_timeline_html(sig.get('timeline', []))}</td>"
+                "</tr>")
+        parts.append("</table>")
+    anomalies = report.get("anomalies", [])
+    if anomalies:
+        parts.append("<h2>anomalous streams</h2>")
+        parts.append("<table><tr><th>stream</th><th>cohort</th>"
+                     "<th>distance</th><th>cohort mean &plusmn; std</th></tr>")
+        for a in anomalies:
+            parts.append(
+                "<tr>"
+                f'<td class="warn">{html.escape(a["stream_id"])}</td>'
+                f"<td>{a['cohort']}</td>"
+                f"<td>{a['distance']:.3f}</td>"
+                f"<td>{a['cohort_mean']:.3f} &plusmn; "
+                f"{a['cohort_std']:.3f}</td></tr>")
+        parts.append("</table>")
+    drift = report.get("drift_events", [])
+    if drift:
+        parts.append("<h2>drift events</h2>")
+        parts.append("<table><tr><th>cohort</th><th>kind</th>"
+                     "<th>streams</th><th>window</th><th>share</th></tr>")
+        for event in drift:
+            parts.append(
+                "<tr>"
+                f"<td>{event['cohort']}</td>"
+                f'<td class="warn">{html.escape(event["kind"])}</td>'
+                f"<td>{html.escape(', '.join(event['streams']))}</td>"
+                f"<td>last {event['window']} intervals</td>"
+                f"<td>{event['share']:.0%}</td></tr>")
+        parts.append("</table>")
+    if not report.get("cohorts"):
+        parts.append('<p class="muted">no streams yet — publish some '
+                     "traffic and refresh</p>")
+    parts.append('<p class="muted">auto-refreshes every '
+                 f"{int(refresh)}s &middot; "
+                 '<a href="/analytics.json">analytics.json</a></p>')
+    parts.append("</body></html>")
+    return "".join(parts)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "incprofd-dashboard/1"
+
+    def _send(self, body: bytes, content_type: str) -> None:
+        self.send_response(200)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib handler naming)
+        path = self.path.split("?", 1)[0]
+        if path == "/healthz":
+            self._send(b"ok\n", "text/plain; charset=utf-8")
+            return
+        if path not in ("/", "/analytics.json"):
+            self.send_error(404, "only /, /analytics.json and /healthz "
+                                 "are served")
+            return
+        try:
+            report = self.server.report_fn()  # type: ignore[attr-defined]
+        except Exception as exc:  # pragma: no cover - defensive
+            self.send_error(500, str(exc))
+            return
+        if path == "/analytics.json":
+            self._send(json.dumps(report, sort_keys=True).encode("utf-8"),
+                       "application/json; charset=utf-8")
+        else:
+            title = self.server.title  # type: ignore[attr-defined]
+            self._send(render_dashboard_html(report, title=title)
+                       .encode("utf-8"),
+                       "text/html; charset=utf-8")
+
+    def log_message(self, fmt: str, *args: Any) -> None:
+        # Same contract as the metrics endpoint: silent on stderr.
+        pass
+
+
+class DashboardServer:
+    """A stdlib HTTP dashboard over an analytics-report callable.
+
+    ``report_fn`` returns the JSON-ready report dict (typically a fresh
+    ``fleet_analytics`` pass); each GET renders it server-side.  Runs on
+    one daemon thread, threaded per request, same lifecycle surface as
+    :class:`~repro.service.exposition.MetricsHTTPServer`.
+    """
+
+    def __init__(self, report_fn: Callable[[], Dict[str, Any]],
+                 host: str = "127.0.0.1", port: int = 0,
+                 title: str = "incprofd fleet analytics") -> None:
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self._httpd.report_fn = report_fn  # type: ignore[attr-defined]
+        self._httpd.title = title  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}/"
+
+    def start(self) -> "DashboardServer":
+        self._thread = threading.Thread(target=self._httpd.serve_forever,
+                                        name="incprofd-dashboard-http",
+                                        daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "DashboardServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -15,6 +15,7 @@ Two transports serve the same text:
 
 from __future__ import annotations
 
+import math
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, List, Optional, Tuple
@@ -63,9 +64,17 @@ def _fmt(value: float) -> str:
     # Prometheus wants plain decimal floats; integers render without ".0".
     if isinstance(value, bool):
         return "1" if value else "0"
-    if float(value) == int(value) and abs(value) < 1e15:
+    value = float(value)
+    # Non-finite values are legal Prometheus samples ("NaN", "+Inf",
+    # "-Inf"); int() on them raises, which used to turn one bad stat
+    # into a failed scrape of *everything*.
+    if not math.isfinite(value):
+        if math.isnan(value):
+            return "NaN"
+        return "+Inf" if value > 0 else "-Inf"
+    if value == int(value) and abs(value) < 1e15:
         return str(int(value))
-    return repr(float(value))
+    return repr(value)
 
 
 def render_prometheus(stats: Dict[str, Any], prefix: str = "incprofd") -> str:
@@ -141,6 +150,27 @@ def render_prometheus(stats: Dict[str, Any], prefix: str = "incprofd") -> str:
              "Snapshots appended to the interval archive.",
              [("", float(store["appends"]))])
 
+    analytics = stats.get("analytics") or {}
+    if analytics:
+        for key, help_text in (
+            ("streams", "Streams covered by the last fleet-analytics pass."),
+            ("cohorts", "Stream cohorts found by the last "
+                        "fleet-analytics pass."),
+            ("anomalies", "Streams flagged anomalous against their "
+                          "cohort's signature spread."),
+            ("drift_events", "Fleet-wide drift events (refit waves, "
+                             "novel bursts) in the last pass."),
+        ):
+            if key in analytics:
+                emit(f"{prefix}_analytics_{key}", "gauge", help_text,
+                     [("", float(analytics[key]))])
+        sizes = analytics.get("cohort_sizes") or {}
+        if sizes:
+            emit(f"{prefix}_analytics_cohort_size", "gauge",
+                 "Streams per cohort (label: stable cohort id).",
+                 [(f'{{cohort="{_escape_label(str(cid))}"}}', float(n))
+                  for cid, n in sorted(sizes.items())])
+
     selfhb = stats.get("self_heartbeats") or {}
     if "events" in selfhb:
         emit(f"{prefix}_self_heartbeats_total", "counter",
@@ -165,7 +195,10 @@ def parse_prometheus(text: str) -> Dict[str, float]:
 
     A deliberately strict mini-parser (used by tests and ``incprof
     metrics --json``): every non-comment line must be ``name[{labels}]
-    value``; anything else raises :class:`ValidationError`.
+    value``; anything else raises :class:`ValidationError`.  The
+    Prometheus spellings of non-finite samples (``NaN``, ``+Inf``,
+    ``-Inf``) parse back to the matching floats — exactly the strings
+    :func:`render_prometheus` emits for them.
     """
     out: Dict[str, float] = {}
     for lineno, line in enumerate(text.splitlines(), start=1):

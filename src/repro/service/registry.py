@@ -13,7 +13,7 @@ from __future__ import annotations
 import threading
 import time
 from collections import deque
-from typing import Any, Deque, Dict, List, Optional
+from typing import Any, Callable, Deque, Dict, List, Optional
 
 from repro.core.online import OnlinePhaseTracker
 from repro.util.errors import (
@@ -162,6 +162,11 @@ class StreamRegistry:
         #: counter that makes the bounded ring's loss *visible* instead
         #: of silently shrinking fleet occupancy history.
         self.finished_evicted = 0
+        #: Optional hook invoked (outside the registry lock) with each
+        #: StreamState leaving the active set — both orderly ``close``
+        #: and idle expiry.  The server uses it to retain a final phase
+        #: signature for fleet analytics after the tracker is gone.
+        self.on_close: Optional[Callable[[StreamState], None]] = None
 
     def _note_finished_locked(self, row: Dict[str, Any]) -> None:
         """Append to the finished ring, counting drop-oldest evictions."""
@@ -227,6 +232,8 @@ class StreamRegistry:
             row = state.info(self._clock())
             with self._lock:
                 self._note_finished_locked(row)
+            if self.on_close is not None:
+                self.on_close(state)
         return state
 
     def expire_idle(self, now: Optional[float] = None) -> List[str]:
@@ -241,6 +248,8 @@ class StreamRegistry:
             row = state.info(now)
             with self._lock:
                 self._note_finished_locked(row)
+            if self.on_close is not None:
+                self.on_close(state)
         self.expired += len(expired)
         return [s.stream_id for s in expired]
 

@@ -32,7 +32,7 @@ from __future__ import annotations
 import socket
 import threading
 import time
-from collections import deque
+from collections import OrderedDict, deque
 from dataclasses import dataclass, field, replace
 from queue import Empty, Queue
 from typing import Any, Deque, Dict, List, Optional, Tuple
@@ -58,6 +58,8 @@ from repro.service.faults import (
     DROP,
     FaultInjector,
 )
+from repro.core.cohorts import CohortMatcher
+from repro.service.dashboard import DashboardServer
 from repro.service.exposition import (
     CONTENT_TYPE,
     MetricsHTTPServer,
@@ -232,6 +234,10 @@ class ServerConfig:
     #: 0 = ephemeral).  The wire ``metrics`` request works regardless.
     metrics_port: Optional[int] = None
     metrics_host: str = "127.0.0.1"
+    #: Serve the live analytics dashboard (HTML + /analytics.json) on
+    #: this port (None = off; 0 = ephemeral).  See ``docs/ANALYTICS.md``.
+    dashboard_port: Optional[int] = None
+    dashboard_host: str = "127.0.0.1"
     #: Threshold for the daemon's structured JSON log (stderr).
     log_level: str = "info"
     #: Fleet identity: non-empty when this daemon is one worker of a
@@ -355,6 +361,19 @@ class PhaseMonitorServer:
             self.selfekg = SelfInstrument(
                 sink=self.transport, interval=config.self_heartbeat_interval)
         self.metrics_http: Optional[MetricsHTTPServer] = None
+        self.dashboard_http: Optional[DashboardServer] = None
+        #: Cross-stream analytics: cohort ids stay stable across
+        #: successive ``fleet_analytics`` passes via one matcher, and
+        #: the last pass's summary rides in stats()/Prometheus.
+        self._analytics_matcher = CohortMatcher()
+        self._analytics_lock = threading.Lock()
+        self._analytics_summary: Optional[Dict[str, Any]] = None
+        #: Final signatures of recently finished streams (orderly bye or
+        #: idle expiry), so analytics still sees a publisher that just
+        #: disconnected.  Bounded drop-oldest like the finished ring.
+        self._retired_signatures: "OrderedDict[str, Any]" = OrderedDict()
+        self._retired_lock = threading.Lock()
+        self.registry.on_close = self._retire_signature
         self._listener: Optional[socket.socket] = None
         self._endpoint: Optional[Endpoint] = None
         self._running = threading.Event()
@@ -413,6 +432,14 @@ class PhaseMonitorServer:
                 lambda: render_prometheus(self.stats()),
                 host=cfg.metrics_host, port=cfg.metrics_port)
             self.metrics_http.start()
+        if cfg.dashboard_port is not None:
+            title = (f"incprofd {cfg.worker_id} analytics" if cfg.worker_id
+                     else "incprofd analytics")
+            self.dashboard_http = DashboardServer(
+                self.fleet_analytics_report,
+                host=cfg.dashboard_host, port=cfg.dashboard_port,
+                title=title)
+            self.dashboard_http.start()
         self.log.info(
             "server-started",
             endpoint=str(self._endpoint), workers=cfg.workers,
@@ -468,6 +495,8 @@ class PhaseMonitorServer:
         self._running.clear()
         if self.metrics_http is not None:
             self.metrics_http.stop()
+        if self.dashboard_http is not None:
+            self.dashboard_http.stop()
         if self._listener is not None:
             try:
                 self._listener.close()
@@ -940,6 +969,20 @@ class PhaseMonitorServer:
                 completed_only=bool(args.get("completed_only", False)))
             return Reply(ok=True, data={"traces": rows,
                                         "stats": self.traces.stats()})
+        if msg.command == "fleet_analytics":
+            args = msg.args or {}
+            if args.get("signatures_only"):
+                # A fleet router merges raw signatures from every worker
+                # and clusters once, fleet-wide; no local pass needed.
+                return Reply(ok=True, data=self._fleet_fields({
+                    "signatures": [s.to_obj()
+                                   for s in self.stream_signatures()]}))
+            kwargs: Dict[str, Any] = {}
+            if "kmax" in args:
+                kwargs["kmax"] = int(args["kmax"])
+            if "drift_window" in args:
+                kwargs["drift_window"] = int(args["drift_window"])
+            return Reply(ok=True, data=self.fleet_analytics_report(**kwargs))
         if msg.command == "shutdown":
             # The connection handler triggers the actual stop *after*
             # flushing this reply, so the client always sees it.
@@ -1275,6 +1318,78 @@ class PhaseMonitorServer:
                     self.log.warning("checkpoint-failed", error=str(exc))
 
     # ------------------------------------------------------------------
+    # cross-stream analytics
+    # ------------------------------------------------------------------
+    def _retire_signature(self, state: StreamState) -> None:
+        """Registry close hook: keep a finished stream's final signature."""
+        if state.tracker is None or not state.processed:
+            return
+        from repro.fleet.analytics import PhaseSignature
+
+        signature = PhaseSignature.from_tracker(
+            state.stream_id, state.tracker,
+            worker_id=self.config.worker_id)
+        with self._retired_lock:
+            self._retired_signatures.pop(state.stream_id, None)
+            self._retired_signatures[state.stream_id] = signature
+            while (len(self._retired_signatures)
+                   > self.config.finished_capacity):
+                self._retired_signatures.popitem(last=False)
+
+    def stream_signatures(self) -> List[Any]:
+        """Phase signatures of every live stream with a tracker, plus
+        the retained final signatures of recently finished streams."""
+        # Imported lazily: repro.fleet pulls the service layer in, so a
+        # top-level import here would be circular.
+        from repro.fleet.analytics import PhaseSignature
+
+        out = []
+        live = set()
+        for state in self.registry.active():
+            if state.tracker is None:
+                continue
+            live.add(state.stream_id)
+            out.append(PhaseSignature.from_tracker(
+                state.stream_id, state.tracker,
+                worker_id=self.config.worker_id))
+        with self._retired_lock:
+            retired = [s for sid, s in self._retired_signatures.items()
+                       if sid not in live]
+        out.extend(retired)
+        return out
+
+    def fleet_analytics_report(self, *, kmax: Optional[int] = None,
+                               drift_window: Optional[int] = None,
+                               include_signatures: bool = True,
+                               ) -> Dict[str, Any]:
+        """One cross-stream analytics pass over this daemon's streams.
+
+        Cohort ids are stable across calls (one matcher per daemon
+        lifetime); the pass's summary is cached for stats()/Prometheus.
+        """
+        from repro.fleet.analytics import analyze_signatures
+
+        signatures = self.stream_signatures()
+        kwargs: Dict[str, Any] = {"include_signatures": include_signatures}
+        if kmax is not None:
+            kwargs["kmax"] = kmax
+        if drift_window is not None:
+            kwargs["drift_window"] = drift_window
+        with self._analytics_lock:
+            report = analyze_signatures(signatures,
+                                        matcher=self._analytics_matcher,
+                                        **kwargs)
+            self._analytics_summary = {
+                "streams": report["n_streams"],
+                "cohorts": report["n_cohorts"],
+                "anomalies": len(report["anomalies"]),
+                "drift_events": len(report["drift_events"]),
+                "cohort_sizes": {str(c["cohort"]): c["size"]
+                                 for c in report["cohorts"]},
+            }
+        return self._fleet_fields(report)
+
+    # ------------------------------------------------------------------
     # status
     # ------------------------------------------------------------------
     def stats(self) -> Dict[str, Any]:
@@ -1296,6 +1411,11 @@ class PhaseMonitorServer:
             snap["self_heartbeats"] = self.selfekg.stage_summary()
         if self.metrics_http is not None:
             snap["metrics_url"] = self.metrics_http.url
+        if self.dashboard_http is not None:
+            snap["dashboard_url"] = self.dashboard_http.url
+        with self._analytics_lock:
+            if self._analytics_summary is not None:
+                snap["analytics"] = dict(self._analytics_summary)
         if self.checkpoints is not None:
             snap["checkpoint"] = {
                 "path": str(self.checkpoints.path),

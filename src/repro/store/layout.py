@@ -92,10 +92,20 @@ def sanitize_stream(stream_id: str) -> str:
     Stream ids come off the wire, so anything goes; unsafe characters
     are percent-escaped (stable, reversible enough for humans) and the
     empty id is rejected outright.
+
+    Escaping is per UTF-8 *byte*, always two hex digits (``"€"`` →
+    ``"%e2%82%ac"``), so the mapping is injective: a codepoint above
+    0xFF can never render the same as some other id's escape sequence.
+    (The old per-codepoint ``%XXXX`` form collided — ``"€x"`` and
+    ``" acx"`` both produced ``"%20acx"`` and shared one archive
+    directory.)  ASCII ids render exactly as before, so existing
+    on-disk layouts still parse.
     """
     if not stream_id:
         raise ValidationError("stream id must be non-empty")
-    safe = _STREAM_SAFE_RE.sub(lambda m: f"%{ord(m.group(0)):02x}", stream_id)
+    safe = _STREAM_SAFE_RE.sub(
+        lambda m: "".join(f"%{b:02x}" for b in m.group(0).encode("utf-8")),
+        stream_id)
     if safe in (".", ".."):
         raise ValidationError(f"stream id {stream_id!r} is not path-safe")
     return safe

@@ -5,7 +5,7 @@ import time
 import pytest
 
 from repro.incprof.collector import LiveCollector, VirtualSnapshotCollector
-from repro.incprof.storage import SampleStore
+from repro.store.loose import LooseStore
 from repro.profiler.sampling import SamplingProfiler
 from repro.profiler.tracing import TracingProfiler
 from repro.simulate.engine import Engine, SimFunction
@@ -69,11 +69,11 @@ def test_store_persists_samples(tmp_path):
     engine = Engine()
     profiler = SamplingProfiler()
     engine.add_observer(profiler)
-    store = SampleStore(tmp_path)
+    store = LooseStore(tmp_path)
     collector = VirtualSnapshotCollector(engine, profiler, store=store)
     engine.run(SimFunction("main", lambda ctx: ctx.work(2.5)))
     samples = collector.finalize()
-    loaded = store.load_rank(0)
+    loaded = [s for _, s in store.scan("0")]
     assert len(loaded) == len(samples)
     assert loaded[-1].hist == samples[-1].hist
 

@@ -11,7 +11,7 @@ import pytest
 from repro.core.intervals import intervals_from_snapshots
 from repro.core.pipeline import AnalysisConfig, analyze_snapshots
 from repro.gprof.gmon import GmonData, dumps_gmon, loads_gmon
-from repro.incprof.storage import SampleStore
+from repro.store.loose import LooseStore
 from repro.util.errors import FormatError, ProfileDataError, ReproError
 
 
@@ -85,16 +85,16 @@ def test_idle_only_intervals_in_middle():
 
 
 def test_corrupt_sample_file_raises(tmp_path, graph500_samples):
-    store = SampleStore(tmp_path)
+    store = LooseStore(tmp_path)
     for i, snap in enumerate(graph500_samples[:5]):
-        store.save(snap, i)
+        store.append("0", i, snap)
     # Corrupt the third file in place.
     path = store.path_for(0, 2)
     blob = bytearray(path.read_bytes())
     blob[3] ^= 0xFF
     path.write_bytes(bytes(blob))
     with pytest.raises(ReproError):
-        store.load_rank(0)
+        list(store.scan("0"))
 
 
 def test_bitflip_in_counts_detected_or_clamped():

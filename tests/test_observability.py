@@ -6,6 +6,7 @@ and carry the ``socket`` marker (deselect with ``-m "not socket"``).
 
 import io
 import json
+import math
 import socket
 import threading
 import urllib.request
@@ -183,6 +184,54 @@ def test_render_prometheus_counters_gauges_and_labels():
 def test_parse_prometheus_rejects_garbage():
     with pytest.raises(ValidationError):
         parse_prometheus("not metrics at all\n")
+
+
+def test_render_prometheus_non_finite_values_round_trip():
+    # Regression: _fmt crashed the whole scrape on NaN/inf (int(nan)
+    # raises), so one poisoned stat took down every metric.  The text
+    # format has spellings for all three — use them.
+    stats = {
+        "processed": 3,
+        "ingest_rate": float("nan"),
+        "queue_depths": {"a": float("inf"), "b": float("-inf")},
+    }
+    text = render_prometheus(stats)
+    assert "NaN" in text and "+Inf" in text and "-Inf" in text
+    parsed = parse_prometheus(text)
+    assert parsed["incprofd_processed_total"] == 3.0
+    assert math.isnan(parsed["incprofd_ingest_rate"])
+    assert parsed['incprofd_queue_depth{stream="a"}'] == float("inf")
+    assert parsed['incprofd_queue_depth{stream="b"}'] == float("-inf")
+
+
+@pytest.mark.socket
+def test_metrics_http_scrape_survives_nan_stat():
+    # End-to-end form of the acceptance criterion: a NaN gauge must not
+    # turn /metrics into a 500.
+    stats = {"processed": 1, "ingest_rate": float("nan")}
+    with MetricsHTTPServer(lambda: render_prometheus(stats),
+                           host="127.0.0.1", port=0) as srv:
+        with urllib.request.urlopen(srv.url, timeout=10) as resp:
+            assert resp.status == 200
+            body = resp.read().decode()
+    assert math.isnan(parse_prometheus(body)["incprofd_ingest_rate"])
+
+
+def test_render_prometheus_analytics_gauges():
+    stats = {
+        "processed": 1,
+        "analytics": {
+            "streams": 6, "cohorts": 2, "anomalies": 1,
+            "drift_events": 0, "cohort_sizes": {"0": 4, "1": 2},
+        },
+    }
+    parsed = parse_prometheus(render_prometheus(stats))
+    assert parsed["incprofd_analytics_streams"] == 6.0
+    assert parsed["incprofd_analytics_cohorts"] == 2.0
+    assert parsed["incprofd_analytics_anomalies"] == 1.0
+    assert parsed["incprofd_analytics_drift_events"] == 0.0
+    assert parsed['incprofd_analytics_cohort_size{cohort="0"}'] == 4.0
+    assert parsed['incprofd_analytics_cohort_size{cohort="1"}'] == 2.0
 
 
 # ----------------------------------------------------------------------

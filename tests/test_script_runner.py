@@ -7,7 +7,7 @@ import pytest
 
 from repro.gprof.flatprofile import FlatProfile
 from repro.incprof.script_runner import profile_callable, profile_script
-from repro.incprof.storage import SampleStore
+from repro.store.loose import LooseStore
 from repro.util.errors import CollectorError
 
 
@@ -32,7 +32,7 @@ def test_profile_callable_collects_and_returns():
 
 def test_profile_callable_persists(tmp_path):
     profile_callable(two_stage, interval=0.05, store_dir=tmp_path)
-    assert SampleStore(tmp_path).load_rank(0)
+    assert list(LooseStore(tmp_path).scan("0"))
 
 
 DEMO = textwrap.dedent('''

@@ -294,7 +294,7 @@ def test_interrupted_append_flush_leaves_no_tmp_residue(tmp_path):
 def test_open_store_detects_each_layout(tmp_path):
     loose_dir = tmp_path / "loose"
     seg_dir = tmp_path / "segments"
-    SampleStore(loose_dir).save(make_series(1)[0], 0)
+    LooseStore(loose_dir).append("0", 0, make_series(1)[0])
     with SegmentStore(seg_dir) as seg:
         seg.append("0", 0, make_series(1)[0])
     assert isinstance(open_store(loose_dir), LooseStore)

@@ -6,7 +6,7 @@ from repro.apps import get_app
 from repro.core.model import InstType, Site
 from repro.heartbeat.instrument import bindings_from_sites
 from repro.incprof.session import Session, SessionConfig
-from repro.incprof.storage import SampleStore
+from repro.store.loose import LooseStore
 from repro.util.errors import ValidationError
 
 
@@ -71,7 +71,7 @@ def test_heartbeat_sites_produce_records():
 def test_store_dir_persists(tmp_path):
     Session(get_app("graph500"),
             SessionConfig(ranks=1, scale=0.2, store_dir=tmp_path)).run()
-    assert SampleStore(tmp_path).load_rank(0)
+    assert list(LooseStore(tmp_path).scan("0"))
 
 
 def test_default_ranks_from_app():

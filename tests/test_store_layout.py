@@ -54,6 +54,32 @@ def test_sanitize_stream_escapes_path_hazards():
         layout.sanitize_stream("")
 
 
+def test_sanitize_stream_is_injective_on_non_ascii():
+    # Regression: the old ord()-based escape mapped every codepoint to
+    # "%XX" modulo 256, so "€x" (U+20AC -> 0xac... truncated) collided
+    # with " acx".  Per-UTF-8-byte escaping keeps distinct ids distinct.
+    assert layout.sanitize_stream("€x") != layout.sanitize_stream(" acx")
+    assert layout.sanitize_stream("€x") == "%e2%82%acx"
+    adversarial = ["€x", " acx", "%20acx", "¬-x", "ā", "%101", "á%"]
+    escaped = [layout.sanitize_stream(s) for s in adversarial]
+    assert len(set(escaped)) == len(adversarial)
+
+
+def test_sanitize_stream_injective_over_codepoint_sweep():
+    # Property sweep: every escaped name is unique and filesystem-safe.
+    ids = [chr(cp) + "x" for cp in range(0x20, 0x500, 7)]
+    escaped = [layout.sanitize_stream(s) for s in ids]
+    assert len(set(escaped)) == len(ids)
+    for name in escaped:
+        assert "/" not in name and "\\" not in name
+        assert all(ord(c) < 0x80 for c in name)
+
+
+def test_sanitize_stream_ascii_safe_chars_unchanged():
+    for sid in ("app-r0", "job_3.phase", "A9-_.z"):
+        assert layout.sanitize_stream(sid) == sid
+
+
 # ----------------------------------------------------------------------
 # versioned artifacts + GC
 # ----------------------------------------------------------------------

@@ -97,3 +97,37 @@ def test_recall_vs_idle_dilution(benchmark, save_artifact):
         assert results[busy]["dominant_recall"] == 1.0
 
     benchmark(run_accuracy, staircase(6.0))
+
+
+def test_generated_scenario_accuracy_distribution(benchmark, save_artifact):
+    """The eval as a *distribution*: generated scenarios, swept and scored.
+
+    Where the staircase tests probe single axes (phase length, idle
+    dilution), this sweeps a seeded population across the generator's
+    difficulty tiers and pins the phase-recovery accuracy distribution:
+    easy scenarios (long distinct-dominant phases) must recover almost
+    perfectly, and accuracy must degrade monotonically with tier — the
+    Metz & Lencevicius point that accuracy claims only hold across
+    call-rate/duration regimes, made into a regression gate.
+    """
+    from repro.apps.generator import generate_scenario
+    from repro.eval.scenarios import run_scenario, sweep_scenarios, sweep_table
+
+    report = sweep_scenarios(n=30, seed=0)
+    text = sweep_table(report).render()
+    save_artifact("methodology_scenario_sweep", text)
+    print()
+    print(text)
+
+    tiers = report["tiers"]
+    assert tiers["easy"]["median_agreement"] >= 0.9
+    assert tiers["medium"]["median_agreement"] >= 0.75
+    assert tiers["hard"]["median_agreement"] >= 0.6
+    assert (tiers["easy"]["median_agreement"]
+            >= tiers["medium"]["median_agreement"]
+            >= tiers["hard"]["median_agreement"] - 1e-9)
+    # Every tier keeps ARI clearly above chance.
+    for row in tiers.values():
+        assert row["median_ari"] >= 0.4
+
+    benchmark(run_scenario, generate_scenario(1, "medium"))

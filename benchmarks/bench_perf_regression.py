@@ -538,6 +538,47 @@ def test_analytics_throughput():
 
 
 @pytest.mark.slow
+def test_scenario_throughput():
+    """Scenario engine hot paths: generation and the end-to-end sweep.
+
+    Generation is pure spec construction (SeedSequence draws, no
+    engine) and must stay effectively free — thousands per second — so
+    populations can be materialized inline anywhere.  The sweep runs
+    each scenario through simulation + full analysis; its throughput
+    bounds how large an accuracy distribution CI can afford.  Accuracy
+    itself is gated here too: the quick sweep doubles as the
+    scenario-sweep smoke floor (easy-tier median agreement).
+    """
+    from repro.eval.scenarios import sweep_scenarios
+
+    n = 9 if QUICK else 30
+    report = sweep_scenarios(n=n, seed=0)
+
+    record = {
+        "scenario_throughput": {
+            "n_scenarios": n,
+            "generation_per_sec": report["generation_per_sec"],
+            "scenarios_per_sec": report["scenarios_per_sec"],
+            "generation_seconds": report["generation_seconds"],
+            "sweep_seconds": report["sweep_seconds"],
+            "easy_median_agreement":
+                report["tiers"]["easy"]["median_agreement"],
+        },
+    }
+    if not QUICK:
+        _merge_into_bench_json(record)
+    print()
+    print(json.dumps(record, indent=2, sort_keys=True))
+
+    # Floors are loose sanity bounds, not machine-speed assertions.
+    assert report["generation_per_sec"] >= 50, \
+        f"generation only {report['generation_per_sec']:.0f}/s"
+    assert report["scenarios_per_sec"] >= 2, \
+        f"sweep only {report['scenarios_per_sec']:.1f} scenarios/s"
+    assert report["tiers"]["easy"]["median_agreement"] >= 0.9
+
+
+@pytest.mark.slow
 @pytest.mark.skipif(not QUICK,
                     reason="CI smoke only: set BENCH_PERF_QUICK=1")
 def test_quick_bench_guard():

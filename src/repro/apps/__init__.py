@@ -14,9 +14,23 @@ Use :func:`get_app` / :func:`app_names` to access the registry.
 """
 
 from repro.apps.base import AppModel, LiveRun
-from repro.apps.registry import get_app, app_names, paper_app_names, register_app
+from repro.apps.registry import (app_names, describe_apps, get_app,
+                                 is_known_app, paper_app_names, register_app,
+                                 register_factory)
+from repro.apps.spec import (KernelSpec, KernelUse, ScenarioApp,
+                             ScenarioPhase, ScenarioSpec, build_program)
 
-# Importing the app modules registers them.
+# Importing the app modules registers them (generator registers the
+# lazy scenario: factory family).
 from repro.apps import graph500, minife, miniamr, lammps, gadget2, synthetic  # noqa: F401
+from repro.apps import generator  # noqa: F401
+from repro.apps.generator import (ScenarioGenerator, generate_scenario,
+                                  scenario_name, scenario_snapshots)
 
-__all__ = ["AppModel", "LiveRun", "get_app", "app_names", "paper_app_names", "register_app"]
+__all__ = [
+    "AppModel", "LiveRun", "get_app", "app_names", "paper_app_names",
+    "register_app", "register_factory", "describe_apps", "is_known_app",
+    "KernelSpec", "KernelUse", "ScenarioPhase", "ScenarioSpec",
+    "ScenarioApp", "build_program", "ScenarioGenerator",
+    "generate_scenario", "scenario_name", "scenario_snapshots",
+]

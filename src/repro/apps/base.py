@@ -37,6 +37,10 @@ class AppModel(abc.ABC):
 
     #: Registry key and display name.
     name: str = ""
+    #: Registry category: ``paper`` (the five evaluation apps),
+    #: ``synthetic`` (hand-scripted ground truth), or ``generated``
+    #: (scenario-engine output).
+    kind: str = "paper"
     #: Paper run configuration (Table I).
     default_ranks: int = 16
     default_nodes: int = 2
@@ -81,10 +85,18 @@ class AppModel(abc.ABC):
         """A jittered duration: ``base * N(1, sigma)``, floored near zero."""
         return max(1e-6, base * float(rng.normal(1.0, sigma)))
 
+    @classmethod
+    def description(cls) -> str:
+        """One-line summary (the class docstring's first line)."""
+        doc = (cls.__doc__ or "").strip().splitlines()
+        return doc[0] if doc else ""
+
     def describe(self) -> Dict[str, object]:
         """Metadata summary used by the CLI and docs."""
         return {
             "name": self.name,
+            "kind": self.kind,
+            "description": self.description(),
             "default_ranks": self.default_ranks,
             "default_nodes": self.default_nodes,
             "manual_sites": [str(s) for s in self.manual_sites],

@@ -1,0 +1,363 @@
+"""SeedSequence-driven scenario generation.
+
+Turns the declarative IR of :mod:`repro.apps.spec` into a *population*:
+:func:`generate_scenario` maps ``(seed, tier)`` to one fully-determined
+:class:`~repro.apps.spec.ScenarioSpec` — kernel universe, per-phase
+coverage fractions drawn from a normal/lognormal/uniform family, and a
+phase timeline walked from a Markov phase grammar — and the registry
+gains the lazy family ``scenario:seed=<int>,tier=<easy|medium|hard>``
+so every generated workload is addressable by name from the CLI, the
+eval sweeps, and the service load generator.
+
+Determinism contract: the same ``(seed, tier)`` yields a byte-identical
+``ScenarioSpec.to_obj()`` in any process on any platform (all draws come
+from one ``np.random.Generator`` seeded by a ``SeedSequence`` over the
+scenario coordinates), and therefore an identical ground-truth timeline
+and bit-identical pipeline behaviour.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.apps.registry import register_factory
+from repro.apps.spec import (KernelSpec, KernelUse, ScenarioApp,
+                             ScenarioPhase, ScenarioSpec)
+from repro.gprof.gmon import GmonData
+from repro.util.errors import AppError
+
+#: Namespace tag mixed into every scenario's SeedSequence so scenario
+#: streams never collide with other SeedSequence users in the codebase.
+_SCENARIO_ENTROPY = 0x49505230  # "IPR0"
+
+TIER_NAMES: Tuple[str, ...] = ("easy", "medium", "hard")
+_TIER_CODE = {"easy": 1, "medium": 2, "hard": 3}
+
+#: Kernel-name vocabulary; scenarios draw distinct verb/noun pairs.
+_VERBS = ("compute", "pack", "reduce", "scan", "exchange", "solve",
+          "sort", "hash", "filter", "merge", "update", "sample")
+_NOUNS = ("grid", "halo", "tree", "matrix", "queue", "block",
+          "graph", "cells", "field", "index", "buffer", "tiles")
+
+_DISTRIBUTIONS = ("normal", "lognormal", "uniform")
+
+
+@dataclass(frozen=True)
+class TierSpec:
+    """Difficulty knobs for one scenario tier.
+
+    Ranges are inclusive bounds the generator draws from.  ``hard``
+    differs from ``easy`` along every axis the detector is sensitive
+    to: shorter phases (fewer intervals of evidence), lower busy
+    coverage (more idle noise), weaker dominants with more background
+    kernels (overlapping mixes), wider call-rate regimes, and longer,
+    more tangled Markov timelines.
+    """
+
+    name: str
+    n_kernels: Tuple[int, int]
+    n_phase_types: Tuple[int, int]
+    n_segments: Tuple[int, int]
+    duration_range: Tuple[float, float]
+    busy_range: Tuple[float, float]
+    dominant_share: Tuple[float, float]  # dominant's fraction of busy time
+    n_background: Tuple[int, int]        # non-dominant kernels per phase
+    rate_decades: Tuple[float, float]    # log10 calls-per-second range
+    self_loop: float                     # Markov self-transition weight
+    distinct_dominants: bool             # each phase gets its own dominant
+
+
+TIERS = {
+    "easy": TierSpec(
+        name="easy", n_kernels=(4, 6), n_phase_types=(2, 4),
+        n_segments=(4, 8), duration_range=(10.0, 28.0),
+        busy_range=(0.75, 0.95), dominant_share=(0.75, 0.9),
+        n_background=(0, 2), rate_decades=(0.0, 3.0),
+        self_loop=0.35, distinct_dominants=True),
+    "medium": TierSpec(
+        name="medium", n_kernels=(6, 10), n_phase_types=(3, 6),
+        n_segments=(8, 16), duration_range=(5.0, 14.0),
+        busy_range=(0.55, 0.9), dominant_share=(0.6, 0.8),
+        n_background=(1, 3), rate_decades=(-0.3, 3.5),
+        self_loop=0.25, distinct_dominants=True),
+    "hard": TierSpec(
+        name="hard", n_kernels=(8, 16), n_phase_types=(4, 8),
+        n_segments=(16, 32), duration_range=(2.0, 7.0),
+        busy_range=(0.3, 0.8), dominant_share=(0.45, 0.7),
+        n_background=(2, 4), rate_decades=(-0.7, 4.3),
+        self_loop=0.2, distinct_dominants=False),
+}
+
+
+def _draw(rng: np.random.Generator, family: str,
+          lo: float, hi: float) -> float:
+    """One value from ``family`` confined to ``[lo, hi]``.
+
+    normal centres on the midpoint, lognormal on the geometric mean —
+    the three families give distinctly shaped coverage/duration
+    populations over the same support.
+    """
+    if family == "uniform":
+        value = rng.uniform(lo, hi)
+    elif family == "normal":
+        value = rng.normal((lo + hi) / 2.0, (hi - lo) / 4.0)
+    elif family == "lognormal":
+        mu = (np.log(lo) + np.log(hi)) / 2.0
+        value = float(np.exp(rng.normal(mu, 0.45)))
+    else:
+        raise AppError(f"unknown distribution family {family!r}")
+    return float(min(hi, max(lo, value)))
+
+
+def _draw_int(rng: np.random.Generator, bounds: Tuple[int, int]) -> int:
+    return int(rng.integers(bounds[0], bounds[1] + 1))
+
+
+def _markov_walk(rng: np.random.Generator, k: int, length: int,
+                 self_loop: float) -> List[int]:
+    """A timeline from a random phase grammar.
+
+    The transition matrix is a Dirichlet draw per row blended with a
+    self-loop boost (phases tend to persist, as in real iterative
+    codes).  The walk is nudged to visit at least two distinct phase
+    types so every scenario poses a real detection problem.
+    """
+    if k == 1:
+        return [0] * length
+    matrix = rng.dirichlet(np.ones(k), size=k)
+    matrix = (1.0 - self_loop) * matrix + self_loop * np.eye(k)
+    state = int(rng.integers(k))
+    walk = [state]
+    for _ in range(length - 1):
+        state = int(rng.choice(k, p=matrix[state]))
+        walk.append(state)
+    if len(set(walk)) < 2:
+        walk[-1] = (walk[0] + 1 + int(rng.integers(k - 1))) % k
+    return walk
+
+
+def scenario_name(seed: int, tier: str) -> str:
+    """The canonical registry address of a generated scenario."""
+    return f"scenario:seed={int(seed)},tier={tier}"
+
+
+def generate_scenario(seed: int, tier: str = "medium") -> ScenarioSpec:
+    """Deterministically generate one scenario from its coordinates."""
+    try:
+        tier_spec = TIERS[tier]
+    except KeyError:
+        raise AppError(
+            f"unknown tier {tier!r}; known: {sorted(TIERS)}") from None
+    seed = int(seed)
+    ss = np.random.SeedSequence(
+        entropy=(_SCENARIO_ENTROPY, _TIER_CODE[tier], seed))
+    rng = np.random.default_rng(ss)
+
+    family = str(rng.choice(_DISTRIBUTIONS))
+
+    # Kernel universe: distinct verb/noun names, each with a
+    # characteristic call-rate regime (log-uniform across the tier's
+    # decades) and the canonical self-time jitter.
+    n_kernels = _draw_int(rng, tier_spec.n_kernels)
+    combos = rng.choice(len(_VERBS) * len(_NOUNS), size=n_kernels,
+                        replace=False)
+    kernels = []
+    for combo in combos:
+        verb = _VERBS[int(combo) // len(_NOUNS)]
+        noun = _NOUNS[int(combo) % len(_NOUNS)]
+        rate = float(10.0 ** rng.uniform(*tier_spec.rate_decades))
+        kernels.append(KernelSpec(name=f"{verb}_{noun}",
+                                  calls_per_s=round(rate, 4)))
+
+    # Phase types: a dominant kernel plus background mix; coverage
+    # fractions come from the scenario's distribution family.
+    n_phases = min(_draw_int(rng, tier_spec.n_phase_types), n_kernels)
+    if tier_spec.distinct_dominants:
+        dominants = [int(d) for d in
+                     rng.choice(n_kernels, size=n_phases, replace=False)]
+    else:
+        dominants = [int(d) for d in
+                     rng.choice(n_kernels, size=n_phases, replace=True)]
+    phases = []
+    for p, dom in enumerate(dominants):
+        duration = round(_draw(rng, family, *tier_spec.duration_range), 3)
+        busy = _draw(rng, family, *tier_spec.busy_range)
+        dom_share = busy * rng.uniform(*tier_spec.dominant_share)
+        others = [k for k in range(n_kernels) if k != dom]
+        n_bg = min(_draw_int(rng, tier_spec.n_background), len(others))
+        mix = [KernelUse(kernel=dom, share=round(dom_share, 4))]
+        if n_bg:
+            bg_kernels = rng.choice(len(others), size=n_bg, replace=False)
+            weights = rng.dirichlet(np.ones(n_bg))
+            remainder = busy - dom_share
+            for slot, weight in zip(bg_kernels, weights):
+                share = round(float(remainder * weight), 4)
+                if share >= 1e-3:
+                    mix.append(KernelUse(kernel=others[int(slot)],
+                                         share=share))
+        phases.append(ScenarioPhase(
+            name=f"p{p}-{kernels[dom].name}", duration=duration,
+            mix=tuple(mix)))
+
+    n_segments = _draw_int(rng, tier_spec.n_segments)
+    timeline = _markov_walk(rng, n_phases, n_segments, tier_spec.self_loop)
+
+    return ScenarioSpec(
+        name=scenario_name(seed, tier),
+        kernels=tuple(kernels),
+        phases=tuple(phases),
+        timeline=tuple(timeline),
+        tier=tier,
+        seed=seed,
+    )
+
+
+# ----------------------------------------------------------------------
+# the population generator
+# ----------------------------------------------------------------------
+class ScenarioGenerator:
+    """A reproducible stream of scenarios spanning the tiers.
+
+    One root seed drives a ``SeedSequence`` whose generated state
+    becomes the child scenario seeds; tiers round-robin.  Every emitted
+    spec's name is its registry address, so populations materialized
+    here are re-addressable anywhere (`get_app(spec.name)`).
+    """
+
+    def __init__(self, seed: int = 0,
+                 tiers: Sequence[str] = TIER_NAMES) -> None:
+        for tier in tiers:
+            if tier not in TIERS:
+                raise AppError(f"unknown tier {tier!r}; known: {sorted(TIERS)}")
+        if not tiers:
+            raise AppError("need at least one tier")
+        self.seed = int(seed)
+        self.tiers = tuple(tiers)
+
+    def coordinates(self, n: int) -> List[Tuple[int, str]]:
+        """``(seed, tier)`` coordinates of the first ``n`` scenarios."""
+        child = np.random.SeedSequence(self.seed).generate_state(
+            n, dtype=np.uint32)
+        return [(int(child[i]), self.tiers[i % len(self.tiers)])
+                for i in range(n)]
+
+    def specs(self, n: int) -> List[ScenarioSpec]:
+        return [generate_scenario(seed, tier)
+                for seed, tier in self.coordinates(n)]
+
+    def iter_specs(self, n: int) -> Iterator[ScenarioSpec]:
+        for seed, tier in self.coordinates(n):
+            yield generate_scenario(seed, tier)
+
+    def apps(self, n: int) -> List[ScenarioApp]:
+        return [ScenarioApp(spec) for spec in self.specs(n)]
+
+
+# ----------------------------------------------------------------------
+# registry factory: scenario:seed=<int>,tier=<easy|medium|hard>
+# ----------------------------------------------------------------------
+_ARG_RE = re.compile(r"^\s*(?:(?P<key>[a-z_]+)\s*=\s*)?(?P<value>[^\s,]+)\s*$")
+
+
+def parse_scenario_args(argstr: str) -> Tuple[int, str]:
+    """Parse factory args: ``seed=42,tier=hard`` (any order), or ``42``."""
+    seed: Optional[int] = None
+    tier = "medium"
+    for part in filter(None, (p.strip() for p in argstr.split(","))):
+        match = _ARG_RE.match(part)
+        if not match:
+            raise AppError(f"bad scenario argument {part!r}")
+        key, value = match.group("key"), match.group("value")
+        if key in (None, "seed"):
+            try:
+                seed = int(value)
+            except ValueError:
+                raise AppError(f"bad scenario seed {value!r}") from None
+        elif key == "tier":
+            if value not in TIERS:
+                raise AppError(
+                    f"unknown tier {value!r}; known: {sorted(TIERS)}")
+            tier = value
+        else:
+            raise AppError(f"unknown scenario argument {key!r} "
+                           "(expected seed=<int>, tier=<name>)")
+    if seed is None:
+        raise AppError("scenario address needs a seed, "
+                       "e.g. scenario:seed=42,tier=hard")
+    return seed, tier
+
+
+def _build_scenario_app(argstr: str) -> ScenarioApp:
+    seed, tier = parse_scenario_args(argstr)
+    return ScenarioApp(generate_scenario(seed, tier))
+
+
+register_factory(
+    "scenario", _build_scenario_app,
+    kind="generated",
+    description="Generated workload with exact ground-truth phases",
+    signature="seed=<int>,tier=<easy|medium|hard>",
+)
+
+
+# ----------------------------------------------------------------------
+# spec-shaped service traffic (no engine required)
+# ----------------------------------------------------------------------
+def scenario_snapshots(spec: ScenarioSpec, n_intervals: int,
+                       interval: float = 1.0, ticks_per_interval: int = 200,
+                       sample_period: float = 0.01,
+                       rank: int = 0) -> List[GmonData]:
+    """Cumulative gmon snapshots tracing the spec's ground truth.
+
+    Builds the exact expected profile analytically from the phase
+    timeline — per interval, each kernel receives histogram ticks
+    proportional to its time-weighted coverage and arc counts from its
+    call rate.  Cheap enough for fleet load tests (no simulation
+    engine), while still carrying the scenario's real phase structure;
+    intervals past the end of the timeline wrap around, so streams of
+    any length can be drawn.
+    """
+    if n_intervals <= 0:
+        raise AppError("need a positive number of intervals")
+    segments = spec.segments()
+    total = segments[-1][2]
+    cumulative = GmonData(sample_period=sample_period, rank=rank)
+    snapshots: List[GmonData] = []
+    for i in range(n_intervals):
+        t0 = i * interval
+        t1 = t0 + interval
+        # Per-kernel occupancy of [t0, t1): overlap each wrapped copy of
+        # every ground-truth segment with the interval window.
+        shares = np.zeros(len(spec.kernels))
+        calls = np.zeros(len(spec.kernels))
+        m0 = int(np.floor(t0 / total))
+        m1 = int(np.floor((t1 - 1e-12) / total))
+        for m in range(m0, m1 + 1):
+            base = m * total
+            for idx, s0, s1 in segments:
+                lo = max(t0, base + s0)
+                hi = min(t1, base + s1)
+                if hi <= lo:
+                    continue
+                overlap = hi - lo
+                for use in spec.phases[idx].mix:
+                    kernel = spec.kernels[use.kernel]
+                    rate = (use.calls_per_s if use.calls_per_s is not None
+                            else kernel.calls_per_s)
+                    shares[use.kernel] += use.share * overlap
+                    calls[use.kernel] += rate * overlap
+        for k, kernel in enumerate(spec.kernels):
+            ticks = int(round(ticks_per_interval * shares[k] / interval))
+            if ticks:
+                cumulative.add_ticks(kernel.name, ticks)
+            n_calls = int(round(calls[k]))
+            if n_calls:
+                cumulative.add_arc("main", kernel.name, n_calls)
+        snap = cumulative.copy()
+        snap.timestamp = t1
+        snapshots.append(snap)
+    return snapshots

@@ -1,8 +1,20 @@
-"""The application registry."""
+"""The application registry: concrete apps plus parameterized factories.
+
+Two kinds of entries live here:
+
+- **concrete apps** — classes registered by name via the
+  :func:`register_app` decorator (the paper's five models, the
+  scriptable ``synthetic`` app);
+- **factories** — lazy, parameterized families registered by prefix via
+  :func:`register_factory`.  ``get_app("scenario:seed=42,tier=hard")``
+  routes the part after the prefix to the family's builder, so hundreds
+  of generated scenarios are addressable without hundreds of classes.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, List, Type
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Type
 
 from repro.apps.base import AppModel
 from repro.util.errors import AppError
@@ -10,29 +22,92 @@ from repro.util.errors import AppError
 _REGISTRY: Dict[str, Type[AppModel]] = {}
 
 
+def _identity(obj: object) -> tuple:
+    """Where a class/function was defined — equal under module re-import."""
+    return (getattr(obj, "__module__", ""), getattr(obj, "__qualname__", ""))
+
+
 def register_app(cls: Type[AppModel]) -> Type[AppModel]:
-    """Class decorator registering an :class:`AppModel` by its name."""
+    """Class decorator registering an :class:`AppModel` by its name.
+
+    Re-registering the *same* class (module reload under pytest,
+    repeated ``importlib`` imports) is idempotent — the freshest class
+    object wins.  Only a genuinely different class claiming an existing
+    name raises.
+    """
     if not cls.name:
         raise AppError(f"{cls.__name__} has no name")
-    if cls.name in _REGISTRY:
-        raise AppError(f"duplicate app name {cls.name!r}")
+    existing = _REGISTRY.get(cls.name)
+    if existing is not None and _identity(existing) != _identity(cls):
+        raise AppError(
+            f"duplicate app name {cls.name!r}: "
+            f"{existing.__module__}.{existing.__qualname__} vs "
+            f"{cls.__module__}.{cls.__qualname__}")
     _REGISTRY[cls.name] = cls
     return cls
 
 
+@dataclass(frozen=True)
+class AppFactory:
+    """A lazy, parameterized app family addressed as ``prefix:args``."""
+
+    prefix: str
+    build: Callable[[str], AppModel]
+    kind: str
+    description: str
+    signature: str  # e.g. "seed=<int>,tier=<easy|medium|hard>"
+
+
+_FACTORIES: Dict[str, AppFactory] = {}
+
+
+def register_factory(prefix: str, build: Callable[[str], AppModel], *,
+                     kind: str = "generated", description: str = "",
+                     signature: str = "") -> None:
+    """Register a parameterized family; idempotent like :func:`register_app`."""
+    if not prefix or ":" in prefix:
+        raise AppError(f"bad factory prefix {prefix!r}")
+    existing = _FACTORIES.get(prefix)
+    if existing is not None and _identity(existing.build) != _identity(build):
+        raise AppError(
+            f"duplicate factory prefix {prefix!r}: "
+            f"{existing.build.__module__}.{existing.build.__qualname__} vs "
+            f"{build.__module__}.{build.__qualname__}")
+    _FACTORIES[prefix] = AppFactory(prefix=prefix, build=build, kind=kind,
+                                    description=description,
+                                    signature=signature)
+
+
 def get_app(name: str) -> AppModel:
-    """Instantiate the registered app called ``name``."""
-    try:
-        return _REGISTRY[name]()
-    except KeyError:
-        raise AppError(f"unknown app {name!r}; known: {sorted(_REGISTRY)}") from None
+    """Instantiate a registered app, or build one from a factory.
+
+    ``name`` is either a concrete registry key (``"graph500"``) or a
+    factory address (``"scenario:seed=42,tier=hard"``).
+    """
+    cls = _REGISTRY.get(name)
+    if cls is not None:
+        return cls()
+    prefix, sep, args = name.partition(":")
+    if sep and prefix in _FACTORIES:
+        return _FACTORIES[prefix].build(args)
+    known = sorted(_REGISTRY) + [f"{p}:<{_FACTORIES[p].signature or 'args'}>"
+                                 for p in sorted(_FACTORIES)]
+    raise AppError(f"unknown app {name!r}; known: {known}")
+
+
+def is_known_app(name: str) -> bool:
+    """Whether :func:`get_app` could resolve ``name`` (without building it)."""
+    if name in _REGISTRY:
+        return True
+    prefix, sep, _args = name.partition(":")
+    return bool(sep) and prefix in _FACTORIES
 
 
 PAPER_APPS = ["graph500", "minife", "miniamr", "lammps", "gadget2"]
 
 
 def app_names() -> List[str]:
-    """Registered app names, the paper's five first."""
+    """Registered concrete app names, the paper's five first."""
     ordered = [n for n in PAPER_APPS if n in _REGISTRY]
     ordered.extend(sorted(set(_REGISTRY) - set(ordered)))
     return ordered
@@ -41,3 +116,28 @@ def app_names() -> List[str]:
 def paper_app_names() -> List[str]:
     """Only the paper's five evaluation applications, in table order."""
     return [n for n in PAPER_APPS if n in _REGISTRY]
+
+
+def describe_apps() -> List[Dict[str, str]]:
+    """One row per registry entry: name, kind, one-line description.
+
+    Concrete apps first (paper order), then factory families with their
+    argument signature as the name.
+    """
+    rows: List[Dict[str, str]] = []
+    for name in app_names():
+        cls = _REGISTRY[name]
+        doc = (cls.__doc__ or "").strip().splitlines()
+        rows.append({
+            "name": name,
+            "kind": getattr(cls, "kind", "paper"),
+            "description": doc[0] if doc else "",
+        })
+    for prefix in sorted(_FACTORIES):
+        factory = _FACTORIES[prefix]
+        rows.append({
+            "name": f"{prefix}:{factory.signature or '<args>'}",
+            "kind": factory.kind,
+            "description": factory.description,
+        })
+    return rows

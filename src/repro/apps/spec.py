@@ -1,0 +1,412 @@
+"""Declarative workload IR: kernels, phases, scenarios, and the lowering.
+
+Every non-paper workload — the configurable :class:`~repro.apps.synthetic.
+Synthetic` app, the methodology benches' staircases, and the generated
+scenario population (:mod:`repro.apps.generator`) — is expressed through
+one intermediate representation:
+
+- :class:`KernelSpec` — a parameterized cost/call-rate kernel family: a
+  named function with a characteristic call-rate regime and a self-time
+  jitter;
+- :class:`KernelUse` — one kernel's role inside a phase: its coverage
+  (share of phase wall time spent as that kernel's self-time) and an
+  optional per-phase call-rate override;
+- :class:`ScenarioPhase` — a phase *type*: duration plus a kernel mix;
+- :class:`ScenarioSpec` — the whole program: the kernel universe, the
+  phase types, and a ``timeline`` of phase indices (drawn from a Markov
+  phase grammar by the generator, or simply scripted).
+
+A single lowering, :func:`build_program`, turns any spec into a
+:class:`~repro.simulate.engine.SimFunction` runnable under the full
+collection stack — there is exactly one executor, so ground truth and
+executed behaviour can never drift apart.  The spec also *is* the ground
+truth: :meth:`ScenarioSpec.truth_labels` returns the exact phase index
+occupying any instant, which the accuracy sweeps score detection against
+(:mod:`repro.eval.scenarios`).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.apps.base import AppModel, LiveRun, leaf
+from repro.core.model import InstType, Site
+from repro.simulate.engine import SimFunction
+from repro.simulate.noise import NoiseModel
+from repro.util.errors import AppError
+
+#: Per-step multiplicative self-time noise used when a kernel does not
+#: override it (matches the historical ``Synthetic`` executor).
+DEFAULT_KERNEL_JITTER = 0.03
+
+#: Executor step size in seconds: work is laid down in slices of at most
+#: this long so snapshots taken mid-phase see consistent mixtures.
+STEP_SECONDS = 1.0
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """A parameterized kernel family: name, call-rate regime, jitter."""
+
+    name: str
+    calls_per_s: float = 1.0
+    jitter: float = DEFAULT_KERNEL_JITTER
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise AppError("kernel needs a non-empty name")
+        if self.calls_per_s <= 0:
+            raise AppError(f"kernel {self.name!r} needs a positive call rate")
+        if self.jitter < 0:
+            raise AppError(f"kernel {self.name!r} jitter must be >= 0")
+
+    def to_obj(self) -> Dict[str, object]:
+        return {"name": self.name, "calls_per_s": self.calls_per_s,
+                "jitter": self.jitter}
+
+    @classmethod
+    def from_obj(cls, obj: Dict[str, object]) -> "KernelSpec":
+        return cls(name=str(obj["name"]),
+                   calls_per_s=float(obj["calls_per_s"]),
+                   jitter=float(obj["jitter"]))
+
+
+@dataclass(frozen=True)
+class KernelUse:
+    """One kernel's role inside a phase mix.
+
+    ``share`` is the coverage fraction: the portion of the phase's wall
+    time attributed to this kernel as self-time.  ``calls_per_s``
+    overrides the family's rate for this phase when set.
+    """
+
+    kernel: int
+    share: float
+    calls_per_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.kernel < 0:
+            raise AppError("kernel index must be >= 0")
+        if not 0.0 < self.share <= 1.0:
+            raise AppError(f"kernel share {self.share} outside (0, 1]")
+        if self.calls_per_s is not None and self.calls_per_s <= 0:
+            raise AppError("call-rate override must be positive")
+
+    def to_obj(self) -> Dict[str, object]:
+        obj: Dict[str, object] = {"kernel": self.kernel, "share": self.share}
+        if self.calls_per_s is not None:
+            obj["calls_per_s"] = self.calls_per_s
+        return obj
+
+    @classmethod
+    def from_obj(cls, obj: Dict[str, object]) -> "KernelUse":
+        rate = obj.get("calls_per_s")
+        return cls(kernel=int(obj["kernel"]), share=float(obj["share"]),
+                   calls_per_s=None if rate is None else float(rate))
+
+
+@dataclass(frozen=True)
+class ScenarioPhase:
+    """A phase type: name, nominal duration, kernel mix."""
+
+    name: str
+    duration: float
+    mix: Tuple[KernelUse, ...]
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise AppError(f"phase {self.name!r} needs positive duration")
+        total = sum(use.share for use in self.mix)
+        if total > 1.0 + 1e-9:
+            raise AppError(
+                f"phase {self.name!r} kernel shares sum to {total:.3f} > 1")
+
+    @property
+    def busy_share(self) -> float:
+        """Total covered fraction; the rest of the phase is idle time."""
+        return sum(use.share for use in self.mix)
+
+    def dominant_kernel(self) -> Optional[int]:
+        """Index of the kernel with the largest share, or None if empty."""
+        if not self.mix:
+            return None
+        return max(self.mix, key=lambda use: use.share).kernel
+
+    def to_obj(self) -> Dict[str, object]:
+        return {"name": self.name, "duration": self.duration,
+                "mix": [use.to_obj() for use in self.mix]}
+
+    @classmethod
+    def from_obj(cls, obj: Dict[str, object]) -> "ScenarioPhase":
+        return cls(name=str(obj["name"]), duration=float(obj["duration"]),
+                   mix=tuple(KernelUse.from_obj(u) for u in obj["mix"]))
+
+
+#: Bumped when the IR schema changes shape.
+SPEC_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A complete declarative workload: kernels, phase types, timeline."""
+
+    name: str
+    kernels: Tuple[KernelSpec, ...]
+    phases: Tuple[ScenarioPhase, ...]
+    timeline: Tuple[int, ...]
+    tier: str = ""
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise AppError("scenario needs a non-empty name")
+        if not self.kernels:
+            raise AppError(f"scenario {self.name!r} needs at least one kernel")
+        if not self.phases:
+            raise AppError(f"scenario {self.name!r} needs at least one phase")
+        if not self.timeline:
+            raise AppError(f"scenario {self.name!r} needs a non-empty timeline")
+        names = [k.name for k in self.kernels]
+        if len(set(names)) != len(names):
+            raise AppError(f"scenario {self.name!r} has duplicate kernel names")
+        for phase in self.phases:
+            for use in phase.mix:
+                if use.kernel >= len(self.kernels):
+                    raise AppError(
+                        f"phase {phase.name!r} references kernel "
+                        f"{use.kernel} but only {len(self.kernels)} exist")
+        for idx in self.timeline:
+            if not 0 <= idx < len(self.phases):
+                raise AppError(
+                    f"timeline references phase {idx} but only "
+                    f"{len(self.phases)} exist")
+
+    # ------------------------------------------------------------------
+    # ground truth
+    # ------------------------------------------------------------------
+    @property
+    def total_duration(self) -> float:
+        return sum(self.phases[i].duration for i in self.timeline)
+
+    @property
+    def n_true_phases(self) -> int:
+        """Distinct phase types the timeline actually visits."""
+        return len(set(self.timeline))
+
+    def segments(self, scale: float = 1.0) -> List[Tuple[int, float, float]]:
+        """Ground-truth ``(phase_index, t0, t1)`` occupancy segments."""
+        out: List[Tuple[int, float, float]] = []
+        t = 0.0
+        for idx in self.timeline:
+            duration = self.phases[idx].duration * scale
+            out.append((idx, t, t + duration))
+            t += duration
+        return out
+
+    def truth_labels(self, times: Sequence[float],
+                     scale: float = 1.0) -> np.ndarray:
+        """Phase index occupying each instant in ``times``.
+
+        Instants beyond the end of the run wrap around (the traffic
+        generators loop a scenario to stream arbitrary lengths).
+        """
+        times = np.asarray(times, dtype=float)
+        if times.size == 0:
+            return np.empty(0, dtype=int)
+        boundaries = np.cumsum(
+            [self.phases[i].duration * scale for i in self.timeline])
+        wrapped = np.mod(times, boundaries[-1])
+        slots = np.searchsorted(boundaries, wrapped, side="right")
+        slots = np.clip(slots, 0, len(self.timeline) - 1)
+        order = np.asarray(self.timeline, dtype=int)
+        return order[slots]
+
+    def expected_functions(self) -> List[str]:
+        """Function names the profile should contain, sorted."""
+        used = {use.kernel for i in set(self.timeline)
+                for use in self.phases[i].mix}
+        return sorted(self.kernels[k].name for k in used)
+
+    def dominant_functions(self) -> List[str]:
+        """Dominant kernel name per visited phase type, first-use order."""
+        out: List[str] = []
+        seen = set()
+        for idx in self.timeline:
+            dom = self.phases[idx].dominant_kernel()
+            if dom is not None and dom not in seen:
+                seen.add(dom)
+                out.append(self.kernels[dom].name)
+        return out
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def to_obj(self) -> Dict[str, object]:
+        """A pure-JSON representation; deterministic field order."""
+        obj: Dict[str, object] = {
+            "version": SPEC_VERSION,
+            "name": self.name,
+            "tier": self.tier,
+            "seed": self.seed,
+            "kernels": [k.to_obj() for k in self.kernels],
+            "phases": [p.to_obj() for p in self.phases],
+            "timeline": list(self.timeline),
+        }
+        return obj
+
+    def to_json(self) -> str:
+        """Canonical byte-stable JSON (the determinism contract)."""
+        return json.dumps(self.to_obj(), sort_keys=True, indent=1)
+
+    @classmethod
+    def from_obj(cls, obj: Dict[str, object]) -> "ScenarioSpec":
+        version = int(obj.get("version", SPEC_VERSION))
+        if version > SPEC_VERSION:
+            raise AppError(f"scenario spec version {version} is newer than "
+                           f"supported {SPEC_VERSION}")
+        seed = obj.get("seed")
+        return cls(
+            name=str(obj["name"]),
+            tier=str(obj.get("tier", "")),
+            seed=None if seed is None else int(seed),
+            kernels=tuple(KernelSpec.from_obj(k) for k in obj["kernels"]),
+            phases=tuple(ScenarioPhase.from_obj(p) for p in obj["phases"]),
+            timeline=tuple(int(i) for i in obj["timeline"]),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        return cls.from_obj(json.loads(text))
+
+
+def concat_specs(name: str, *specs: ScenarioSpec) -> ScenarioSpec:
+    """Splice scenarios end to end into one spec.
+
+    Kernels are merged by name (first definition wins; later uses keep
+    working because script call rates ride on the ``KernelUse``
+    override, and generated kernel universes are disjoint by
+    construction); timelines play in argument order.  Useful for
+    building one stream that exhibits several shapes — e.g. training a
+    fleet model that must classify traffic from multiple scenarios.
+    """
+    if not specs:
+        raise AppError("concat_specs needs at least one spec")
+    kernels: List[KernelSpec] = []
+    index: Dict[str, int] = {}
+    phases: List[ScenarioPhase] = []
+    timeline: List[int] = []
+    for spec in specs:
+        remap: Dict[int, int] = {}
+        for k, kernel in enumerate(spec.kernels):
+            if kernel.name not in index:
+                index[kernel.name] = len(kernels)
+                kernels.append(kernel)
+            remap[k] = index[kernel.name]
+        phase_base = len(phases)
+        for phase in spec.phases:
+            mix = tuple(
+                KernelUse(kernel=remap[use.kernel], share=use.share,
+                          calls_per_s=use.calls_per_s
+                          if use.calls_per_s is not None
+                          else spec.kernels[use.kernel].calls_per_s)
+                for use in phase.mix)
+            phases.append(ScenarioPhase(name=phase.name,
+                                        duration=phase.duration, mix=mix))
+        timeline.extend(phase_base + idx for idx in spec.timeline)
+    return ScenarioSpec(name=name, kernels=tuple(kernels),
+                        phases=tuple(phases), timeline=tuple(timeline),
+                        tier="composite")
+
+
+# ----------------------------------------------------------------------
+# the lowering: spec -> simulated program
+# ----------------------------------------------------------------------
+def build_program(spec: ScenarioSpec, scale: float = 1.0) -> SimFunction:
+    """Lower a :class:`ScenarioSpec` to the root :class:`SimFunction`.
+
+    The executor walks the timeline phase by phase; within a phase,
+    work is laid down in steps of at most :data:`STEP_SECONDS`, each
+    step batch-calling every kernel in the mix with jittered self-time
+    proportional to its share and call counts from its rate, then idling
+    the uncovered remainder.  This is the *only* executor for
+    spec-expressed workloads — detection accuracy is always measured
+    against exactly what ran.
+    """
+    # Resolve the per-phase execution plans once, outside the body.
+    plans = []
+    for phase in spec.phases:
+        entries = []
+        for use in phase.mix:
+            kernel = spec.kernels[use.kernel]
+            rate = use.calls_per_s if use.calls_per_s is not None \
+                else kernel.calls_per_s
+            entries.append((leaf(kernel.name), use.share, rate, kernel.jitter))
+        plans.append((phase.duration, entries))
+
+    def _main(ctx) -> None:
+        for idx in spec.timeline:
+            duration, entries = plans[idx]
+            remaining = duration * scale
+            while remaining > 0:
+                step = min(STEP_SECONDS, remaining)
+                idle = step
+                for func, share, rate, jitter in entries:
+                    self_time = share * step * float(ctx.rng.normal(1.0, jitter))
+                    self_time = max(1e-6, self_time)
+                    n_calls = max(1, round(rate * step))
+                    ctx.call_batch(func, n_calls, self_time)
+                    idle -= self_time
+                if idle > 0:
+                    ctx.idle(idle)
+                remaining -= step
+
+    return SimFunction("main", _main)
+
+
+# ----------------------------------------------------------------------
+# the AppModel wrapper
+# ----------------------------------------------------------------------
+class ScenarioApp(AppModel):
+    """A generated scenario as a registry-grade workload.
+
+    Carries its :class:`ScenarioSpec` (and therefore exact ground
+    truth); ``manual_sites`` are the dominant kernels of the visited
+    phase types, mirroring what a developer would instrument by hand.
+    """
+
+    kind = "generated"
+    default_ranks = 1
+    default_nodes = 1
+    noise = NoiseModel(sigma=0.005)
+
+    def __init__(self, spec: ScenarioSpec) -> None:
+        self.name = spec.name
+        self.spec = spec
+        super().__init__()
+
+    def build_main(self, scale: float = 1.0) -> SimFunction:
+        return build_program(self.spec, scale)
+
+    @property
+    def manual_sites(self) -> Tuple[Site, ...]:
+        return tuple(Site(fn, InstType.BODY)
+                     for fn in self.spec.dominant_functions())
+
+    def live_run(self) -> Optional[LiveRun]:
+        return None
+
+    def describe(self) -> Dict[str, object]:
+        info = super().describe()
+        info.update({
+            "tier": self.spec.tier,
+            "seed": self.spec.seed,
+            "n_phase_types": self.spec.n_true_phases,
+            "n_kernels": len(self.spec.kernels),
+            "total_duration": round(self.spec.total_duration, 3),
+            "timeline_length": len(self.spec.timeline),
+        })
+        return info

@@ -6,19 +6,25 @@ closes that gap for testing and demos: you *declare* a phase script
 (which functions run, for how long, with what call rates) and the
 workload executes it, so detection accuracy can be measured exactly.
 
+Since the scenario-substrate refactor, ``Synthetic`` is a thin scripting
+front-end over the declarative IR in :mod:`repro.apps.spec`: the phase
+script lowers to a :class:`~repro.apps.spec.ScenarioSpec` and runs
+through the one shared :func:`~repro.apps.spec.build_program` executor —
+the same one that runs generated scenarios.
+
 Not part of the paper's evaluation; registered as ``synthetic`` for
 use in examples, tests, and methodology experiments.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
-import numpy as np
-
-from repro.apps.base import AppModel, LiveRun, leaf
+from repro.apps.base import AppModel, LiveRun
 from repro.apps.registry import register_app
+from repro.apps.spec import (KernelSpec, KernelUse, ScenarioPhase,
+                             ScenarioSpec, build_program)
 from repro.core.model import InstType, Site
 from repro.simulate.engine import SimFunction
 from repro.simulate.noise import NoiseModel
@@ -55,11 +61,37 @@ DEFAULT_SCRIPT: Tuple[PhaseSpec, ...] = (
 )
 
 
+def script_to_spec(name: str, script: Sequence[PhaseSpec]) -> ScenarioSpec:
+    """Lower a phase script to the declarative scenario IR.
+
+    Kernels are deduplicated by function name in first-appearance order;
+    each use carries its script call rate as a per-phase override, so
+    the same function may run at different rates in different phases.
+    """
+    kernel_index: Dict[str, int] = {}
+    kernels: List[KernelSpec] = []
+    phases: List[ScenarioPhase] = []
+    for phase in script:
+        mix: List[KernelUse] = []
+        for fname, share, calls in phase.functions:
+            if fname not in kernel_index:
+                kernel_index[fname] = len(kernels)
+                kernels.append(KernelSpec(name=fname, calls_per_s=calls))
+            mix.append(KernelUse(kernel=kernel_index[fname], share=share,
+                                 calls_per_s=calls))
+        phases.append(ScenarioPhase(name=phase.name, duration=phase.duration,
+                                    mix=tuple(mix)))
+    return ScenarioSpec(name=name, kernels=tuple(kernels),
+                        phases=tuple(phases),
+                        timeline=tuple(range(len(phases))), tier="scripted")
+
+
 @register_app
 class Synthetic(AppModel):
-    """Ground-truth phased workload (see module docstring)."""
+    """Scriptable workload with declared ground-truth phases."""
 
     name = "synthetic"
+    kind = "synthetic"
     default_ranks = 1
     default_nodes = 1
     noise = NoiseModel(sigma=0.005)
@@ -76,63 +108,46 @@ class Synthetic(AppModel):
     def ground_truth_phases(self) -> Tuple[PhaseSpec, ...]:
         return self.script
 
+    def to_scenario_spec(self) -> ScenarioSpec:
+        """The script expressed in the shared declarative IR."""
+        return script_to_spec(self.name, self.script)
+
     def expected_functions(self) -> List[str]:
-        return sorted({name for phase in self.script
-                       for name, _s, _c in phase.functions})
+        return self.to_scenario_spec().expected_functions()
 
     def build_main(self, scale: float = 1.0) -> SimFunction:
-        script = self.script
-
-        def _main(ctx):
-            for phase in script:
-                remaining = phase.duration * scale
-                funcs = [(leaf(name), share, calls)
-                         for name, share, calls in phase.functions]
-                while remaining > 0:
-                    step = min(1.0, remaining)
-                    idle = step
-                    for func, share, calls_per_s in funcs:
-                        self_time = share * step * float(ctx.rng.normal(1.0, 0.03))
-                        self_time = max(1e-6, self_time)
-                        n_calls = max(1, round(calls_per_s * step))
-                        ctx.call_batch(func, n_calls, self_time)
-                        idle -= self_time
-                    if idle > 0:
-                        ctx.idle(idle)
-                    remaining -= step
-
-        return SimFunction("main", _main)
+        return build_program(self.to_scenario_spec(), scale)
 
     @property
     def manual_sites(self) -> Sequence[Site]:
         # Ground truth: the dominant function of each phase, body-typed
         # (every phase's functions are called every interval).
-        sites = []
-        seen = set()
-        for phase in self.script:
-            dominant = max(phase.functions, key=lambda f: f[1])[0]
-            if dominant not in seen:
-                seen.add(dominant)
-                sites.append(Site(dominant, InstType.BODY))
-        return tuple(sites)
+        return tuple(Site(fn, InstType.BODY)
+                     for fn in self.to_scenario_spec().dominant_functions())
 
     def live_run(self) -> Optional[LiveRun]:
         return None
 
 
-def detection_accuracy(app: Synthetic, analysis) -> dict:
-    """Score a detection result against the app's ground truth.
+def detection_accuracy(app, analysis) -> dict:
+    """Score a detection result against an app's ground truth.
 
-    Returns phase-count error and the recall of ground-truth dominant
-    functions among the discovered sites.
+    Accepts anything carrying a scenario spec — :class:`Synthetic` (via
+    ``to_scenario_spec``) or a :class:`~repro.apps.spec.ScenarioApp`
+    (via ``.spec``).  Returns phase-count error and the recall of
+    ground-truth dominant functions among the discovered sites.
     """
-    truth = app.ground_truth_phases()
-    dominants = {max(p.functions, key=lambda f: f[1])[0] for p in truth}
+    if hasattr(app, "to_scenario_spec"):
+        spec = app.to_scenario_spec()
+    else:
+        spec = app.spec
+    dominants = set(spec.dominant_functions())
     discovered = {s.function for s in analysis.sites()}
-    recall = len(dominants & discovered) / len(dominants)
+    recall = (len(dominants & discovered) / len(dominants)
+              if dominants else 1.0)
     return {
-        "true_phases": len(truth),
+        "true_phases": spec.n_true_phases,
         "detected_phases": analysis.n_phases,
-        "phase_count_error": analysis.n_phases - len(truth),
+        "phase_count_error": analysis.n_phases - spec.n_true_phases,
         "dominant_recall": recall,
     }

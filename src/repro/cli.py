@@ -30,7 +30,7 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.apps import app_names, get_app, paper_app_names
+from repro.apps import describe_apps, get_app, is_known_app, paper_app_names
 from repro.core.pipeline import AnalysisConfig, analyze_snapshots
 from repro.core.report import render_full_report
 from repro.eval.experiments import run_experiment, run_experiments
@@ -52,6 +52,129 @@ def _add_workers(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--workers", type=int, default=None,
                         help="analysis process-pool size (results are "
                              "identical to a serial run; default serial)")
+
+
+def _app_arg(value: str) -> str:
+    """argparse type: any resolvable app, concrete or factory-addressed.
+
+    Unlike a static ``choices=`` list this accepts parameterized
+    addresses like ``scenario:seed=42,tier=hard``.
+    """
+    if not is_known_app(value):
+        raise argparse.ArgumentTypeError(
+            f"unknown app {value!r} (see 'incprof list-apps')")
+    if ":" in value:
+        from repro.util.errors import AppError
+
+        try:  # factory addresses carry arguments; validate them now
+            get_app(value)
+        except AppError as exc:
+            raise argparse.ArgumentTypeError(str(exc)) from None
+    return value
+
+
+def _cmd_list_apps(args: argparse.Namespace) -> int:
+    """The full registry: concrete apps and factory families."""
+    rows = describe_apps()
+    if args.kind:
+        rows = [r for r in rows if r["kind"] == args.kind]
+    if args.json:
+        import json as _json
+
+        print(_json.dumps(rows, indent=1))
+        return 0
+    width = max((len(r["name"]) for r in rows), default=4)
+    for row in rows:
+        print(f"{row['name']:<{width}s}  {row['kind']:<9s}  "
+              f"{row['description']}")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    """Materialize generated scenarios: print (or dump) their specs."""
+    from repro.apps.generator import TIER_NAMES, ScenarioGenerator
+
+    tiers = TIER_NAMES if args.tier == "all" else (args.tier,)
+    generator = ScenarioGenerator(args.seed, tiers)
+    specs = generator.specs(args.n)
+    if args.out:
+        from pathlib import Path
+
+        out = Path(args.out)
+        out.mkdir(parents=True, exist_ok=True)
+        for spec in specs:
+            safe = spec.name.replace(":", "_").replace(",", "_")
+            (out / f"{safe}.json").write_text(spec.to_json() + "\n")
+        print(f"wrote {len(specs)} scenario spec(s) to {out}")
+        return 0
+    if args.json:
+        import json as _json
+
+        print(_json.dumps([spec.to_obj() for spec in specs], indent=1))
+        return 0
+    for spec in specs:
+        dominants = ", ".join(spec.dominant_functions()[:3])
+        print(f"{spec.name:<36s} phases={spec.n_true_phases} "
+              f"segments={len(spec.timeline)} "
+              f"kernels={len(spec.kernels)} "
+              f"duration={spec.total_duration:7.1f}s  dominants: {dominants}")
+    return 0
+
+
+def _cmd_sweep_scenarios(args: argparse.Namespace) -> int:
+    """Score phase recovery across a generated scenario population."""
+    import json as _json
+    import sys as _sys
+
+    from repro.apps.generator import TIER_NAMES
+    from repro.eval.scenarios import sweep_scenarios, sweep_table
+
+    tiers = TIER_NAMES if args.tiers == "all" else tuple(
+        t.strip() for t in args.tiers.split(",") if t.strip())
+
+    def progress(done: int, total: int) -> None:
+        if done % 10 == 0 or done == total:
+            print(f"\r  scored {done}/{total}", end="", flush=True,
+                  file=_sys.stderr)
+
+    report = sweep_scenarios(n=args.n, seed=args.seed, tiers=tiers,
+                             interval=args.interval, workers=args.workers,
+                             progress=progress if not args.json else None)
+    if not args.json:
+        print(file=_sys.stderr)
+    scores = report.pop("scores")
+    if args.json:
+        print(_json.dumps(report, indent=1, sort_keys=True))
+    else:
+        print(sweep_table(report).render())
+    if args.bench_out:
+        from pathlib import Path
+
+        path = Path(args.bench_out)
+        record = (_json.loads(path.read_text()) if path.exists() else {})
+        record["scenarios"] = report
+        path.write_text(_json.dumps(record, indent=2, sort_keys=True) + "\n")
+        print(f"recorded scenario distribution in {path}")
+    failures = []
+    for floor in args.min_median or ():
+        tier, _, value = floor.partition("=")
+        try:
+            threshold = float(value)
+        except ValueError:
+            print(f"error: bad --min-median {floor!r} "
+                  "(expected tier=value)")
+            return 2
+        got = report["tiers"].get(tier, {}).get("median_agreement")
+        if got is None:
+            failures.append(f"{tier}: no scenarios swept")
+        elif got < threshold:
+            failures.append(f"{tier}: median agreement {got} < {threshold}")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    del scores
+    return 0
 
 
 def _cmd_apps(_args: argparse.Namespace) -> int:
@@ -587,27 +710,36 @@ def _cmd_serve_fleet(args: argparse.Namespace) -> int:
 
 
 def _serve_fleet_selftest(args: argparse.Namespace) -> int:
-    """Fleet smoke test: publish through the router, kill a worker,
-    assert the ring rebalances and every stream drains on survivors."""
+    """Fleet smoke test: generated heterogeneous scenario traffic through
+    the router (≥2 scenario shapes spread across ≥2 workers), kill a
+    worker, assert the ring rebalances and every stream drains on
+    survivors."""
     import shutil
     import tempfile
     import threading
     import time as _time
     from pathlib import Path
 
+    from repro.apps.generator import generate_scenario, scenario_snapshots
+    from repro.apps.spec import concat_specs
     from repro.core.model_io import save_model
     from repro.fleet import FleetConfig, FleetRouter, RouterConfig, WorkerSupervisor
-    from repro.service import Endpoint, RetryPolicy, SyntheticLoadGenerator
+    from repro.service import Endpoint, RetryPolicy, ScenarioLoadGenerator
 
     n_workers = max(2, args.workers)
     n_streams, n_intervals = 4, 30
     root = tempfile.mkdtemp(prefix="incprof-fleet-selftest-")
     failures = []
     try:
-        generator = SyntheticLoadGenerator()
+        # Two distinct generated shapes: different kernel universes,
+        # phase durations, and Markov timelines.
+        shapes = [generate_scenario(11, "easy"), generate_scenario(23, "medium")]
+        generator = ScenarioLoadGenerator(shapes)
+        # Train the serving model on one stream that plays both shapes
+        # back to back, so classification sees both kernel universes.
+        training = scenario_snapshots(concat_specs("fleet-train", *shapes), 48)
         analysis = analyze_snapshots(
-            generator.stream(0, 24),
-            AnalysisConfig(kmax=4, drop_short_final=False))
+            training, AnalysisConfig(kmax=4, drop_short_final=False))
         model_path = str(Path(root) / "model.ipm")
         save_model(analysis, model_path)
         fleet_config = FleetConfig(
@@ -622,11 +754,32 @@ def _serve_fleet_selftest(args: argparse.Namespace) -> int:
                              RouterConfig(endpoint=Endpoint.tcp("127.0.0.1", 0),
                                           mode=args.mode,
                                           log_level="error")) as router:
-                victim = supervisor.ring.lookup("load-0")
+                # Pick stream ids so the consistent-hash ring provably
+                # spreads the scenario traffic over >= 2 workers (the
+                # ring lookup is deterministic, so probe candidates).
+                streams, owners = [], set()
+                candidate = 0
+                while len(streams) < n_streams and candidate < 256:
+                    shape = candidate % len(shapes)
+                    stream_id = f"scn{shape}-{candidate}"
+                    owner = supervisor.ring.lookup(stream_id)
+                    candidate += 1
+                    if (len(streams) == n_streams - 1
+                            and len(owners | {owner}) < 2):
+                        continue  # last slot must secure 2-worker coverage
+                    streams.append((stream_id, shape))
+                    owners.add(owner)
+                if len(owners) < 2:
+                    failures.append(
+                        f"stream placement covers {len(owners)} worker(s), "
+                        "expected >= 2")
+                if len({shape for _sid, shape in streams}) < 2:
+                    failures.append("traffic uses < 2 scenario shapes")
+                victim = supervisor.ring.lookup(streams[0][0])
                 box = {}
 
                 def publish() -> None:
-                    box["load"] = generator.run(router.endpoint, n_streams,
+                    box["load"] = generator.run(router.endpoint, streams,
                                                 n_intervals, delay=0.05,
                                                 retry=retry)
 
@@ -664,7 +817,8 @@ def _serve_fleet_selftest(args: argparse.Namespace) -> int:
                             f"expected {n_workers - 1}")
         source = stats.get("classify_latency_source", {})
         print(f"fleet selftest: {n_workers} workers, {n_streams} streams x "
-              f"{n_intervals} intervals through {args.mode} router; "
+              f"{n_intervals} intervals ({len(shapes)} scenario shapes "
+              f"across {len(owners)} workers) through {args.mode} router; "
               f"killed {victim}; "
               f"migrated={status['migrations_total']}, "
               f"ring generation {status['generation']}, "
@@ -1033,8 +1187,60 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("apps", help="list available workloads").set_defaults(func=_cmd_apps)
 
+    p_la = sub.add_parser("list-apps",
+                          help="list the full registry: name, kind, "
+                               "description (incl. factory families)")
+    p_la.add_argument("--kind", choices=["paper", "synthetic", "generated"],
+                      default=None, help="filter by registry kind")
+    p_la.add_argument("--json", action="store_true",
+                      help="machine-readable output")
+    p_la.set_defaults(func=_cmd_list_apps)
+
+    p_gen = sub.add_parser("generate",
+                           help="materialize generated scenarios "
+                                "(specs with exact ground truth)")
+    p_gen.add_argument("--n", type=int, default=5,
+                       help="how many scenarios (default 5)")
+    p_gen.add_argument("--tier", default="all",
+                       choices=["easy", "medium", "hard", "all"],
+                       help="difficulty tier (default: round-robin all)")
+    p_gen.add_argument("--seed", type=int, default=0,
+                       help="root seed of the population")
+    p_gen.add_argument("--json", action="store_true",
+                       help="print full specs as JSON")
+    p_gen.add_argument("--out", default=None,
+                       help="write one spec JSON file per scenario here")
+    p_gen.set_defaults(func=_cmd_generate)
+
+    p_sweep = sub.add_parser(
+        "sweep-scenarios",
+        help="score phase-recovery accuracy across generated scenarios")
+    p_sweep.add_argument("--n", type=int, default=100,
+                         help="population size (default 100)")
+    p_sweep.add_argument("--seed", type=int, default=0,
+                         help="root seed of the population")
+    p_sweep.add_argument("--tiers", default="all",
+                         help="comma-separated tiers (default: all)")
+    p_sweep.add_argument("--interval", type=float, default=1.0,
+                         help="collection interval in seconds")
+    p_sweep.add_argument("--workers", type=int, default=None,
+                         help="process-pool size for scoring")
+    p_sweep.add_argument("--json", action="store_true",
+                         help="print the report as JSON")
+    p_sweep.add_argument("--bench-out", default=None,
+                         help="merge the distribution into this "
+                              "BENCH_perf.json-style file")
+    p_sweep.add_argument("--min-median", action="append", default=[],
+                         metavar="TIER=VALUE",
+                         help="fail (exit 1) if a tier's median label "
+                              "agreement is below VALUE; repeatable")
+    p_sweep.set_defaults(func=_cmd_sweep_scenarios)
+
     p_run = sub.add_parser("run", help="collect incremental profiles for a workload")
-    p_run.add_argument("--app", required=True, choices=paper_app_names())
+    p_run.add_argument("--app", required=True, type=_app_arg,
+                       metavar="APP",
+                       help="workload name or factory address "
+                            "(e.g. graph500, scenario:seed=42,tier=hard)")
     p_run.add_argument("--out", required=True, help="sample output directory")
     p_run.add_argument("--ranks", type=int, default=1)
     p_run.add_argument("--store-format", default="loose",
@@ -1162,8 +1368,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_serve = sub.add_parser("serve",
                              help="run the incprofd phase-monitoring daemon")
-    p_serve.add_argument("--app", choices=app_names(),
-                         help="train the serving phase model on this app")
+    p_serve.add_argument("--app", type=_app_arg, metavar="APP",
+                         help="train the serving phase model on this app "
+                              "(name or factory address)")
     p_serve.add_argument("--samples", help="train from a sample directory instead")
     p_serve.add_argument("--model", default=None, metavar="PATH",
                          help="serve a phase model saved by "
@@ -1277,7 +1484,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_sub = sub.add_parser("submit",
                            help="run a workload and stream it to a daemon")
-    p_sub.add_argument("--app", required=True, choices=app_names())
+    p_sub.add_argument("--app", required=True, type=_app_arg, metavar="APP",
+                       help="workload name or factory address "
+                            "(e.g. scenario:seed=42,tier=hard)")
     p_sub.add_argument("--to", required=True,
                        help="daemon endpoint: HOST:PORT or unix:PATH")
     p_sub.add_argument("--ranks", type=int, default=1)

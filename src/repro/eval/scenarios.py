@@ -1,0 +1,301 @@
+"""Fleet-scale accuracy sweeps over the generated scenario population.
+
+The paper's evaluation is five fixed tables; the scenario engine
+(:mod:`repro.apps.generator`) turns it into a *distribution*: hundreds
+of seeded workloads with exact ground-truth phase timelines, swept
+through the full collection + analysis pipeline and scored against
+truth.  Two clustering scores are used:
+
+- **label agreement** — optimal one-to-one matching between true phase
+  types and detected phases (Hungarian-style assignment on the
+  contingency table), i.e. the fraction of intervals correctly labeled
+  under the best bijection.  Stricter than the purity-style many-to-one
+  agreement used by the convergence experiments: merging two true
+  phases into one detected phase is penalized.
+- **adjusted Rand index (ARI)** — pair-counting agreement corrected for
+  chance, invariant to label permutation.
+
+Both are defined for the degenerate edges (empty label arrays, single
+phase, permuted labels) so scenario scoring never divides by zero.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict, dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.apps.generator import (TIER_NAMES, ScenarioGenerator,
+                                  generate_scenario)
+from repro.apps.spec import ScenarioApp, ScenarioSpec
+from repro.apps.synthetic import detection_accuracy
+from repro.core.pipeline import AnalysisConfig, analyze_snapshots
+from repro.incprof.session import DEFAULT_SEED, Session, SessionConfig
+from repro.util.errors import ValidationError
+from repro.util.tables import Table
+
+# ----------------------------------------------------------------------
+# clustering scores
+# ----------------------------------------------------------------------
+
+
+def _contingency(truth: np.ndarray, pred: np.ndarray) -> np.ndarray:
+    """Counts matrix: rows = true classes, cols = predicted clusters."""
+    _, ti = np.unique(truth, return_inverse=True)
+    _, pi = np.unique(pred, return_inverse=True)
+    matrix = np.zeros((ti.max() + 1, pi.max() + 1), dtype=np.int64)
+    np.add.at(matrix, (ti, pi), 1)
+    return matrix
+
+
+def _max_assignment(weights: np.ndarray) -> float:
+    """Maximum-weight one-to-one assignment (exact, bitmask DP).
+
+    Phase counts are tiny (≤ kmax), so an O(rows · 2^cols) sweep is
+    instant and avoids a scipy dependency in ``src``.  Falls back to a
+    greedy matching if a pathological input has more than 20 columns.
+    """
+    if weights.shape[0] > weights.shape[1]:
+        weights = weights.T
+    rows, cols = weights.shape
+    if cols > 20:  # greedy fallback; never hit by the pipeline (kmax=8)
+        total, used_r, used_c = 0.0, set(), set()
+        for r, c in sorted(np.ndindex(rows, cols),
+                           key=lambda rc: -weights[rc]):
+            if r not in used_r and c not in used_c:
+                total += float(weights[r, c])
+                used_r.add(r)
+                used_c.add(c)
+        return total
+    dp = np.full(1 << cols, -np.inf)
+    dp[0] = 0.0
+    for r in range(rows):
+        ndp = dp.copy()  # row r may stay unassigned
+        for mask in range(1 << cols):
+            if not np.isfinite(dp[mask]):
+                continue
+            for c in range(cols):
+                bit = 1 << c
+                if not mask & bit:
+                    value = dp[mask] + weights[r, c]
+                    if value > ndp[mask | bit]:
+                        ndp[mask | bit] = value
+        dp = ndp
+    return float(dp.max())
+
+
+def label_agreement_matched(truth: Sequence[int],
+                            pred: Sequence[int]) -> float:
+    """Fraction of intervals correct under the best one-to-one label map.
+
+    Permutation-invariant; 1.0 for empty inputs (nothing to disagree
+    about) and for identical partitions of any size.
+    """
+    truth = np.asarray(truth)
+    pred = np.asarray(pred)
+    if truth.shape != pred.shape:
+        raise ValidationError("label arrays must have equal length")
+    if truth.size == 0:
+        return 1.0
+    return _max_assignment(_contingency(truth, pred)) / truth.size
+
+
+def adjusted_rand_index(truth: Sequence[int], pred: Sequence[int]) -> float:
+    """Adjusted Rand index between two labelings.
+
+    Permutation-invariant, chance-corrected; defined as 1.0 on the
+    degenerate edges (empty input, or both sides a single cluster /
+    all singletons, where the correction's denominator vanishes).
+    """
+    truth = np.asarray(truth)
+    pred = np.asarray(pred)
+    if truth.shape != pred.shape:
+        raise ValidationError("label arrays must have equal length")
+    n = truth.size
+    if n == 0:
+        return 1.0
+    matrix = _contingency(truth, pred)
+
+    def comb2(x: np.ndarray) -> float:
+        x = x.astype(np.float64)
+        return float(np.sum(x * (x - 1.0) / 2.0))
+
+    sum_cells = comb2(matrix.ravel())
+    sum_rows = comb2(matrix.sum(axis=1))
+    sum_cols = comb2(matrix.sum(axis=0))
+    total = n * (n - 1.0) / 2.0
+    expected = sum_rows * sum_cols / total if total else 0.0
+    maximum = (sum_rows + sum_cols) / 2.0
+    if maximum == expected:  # both single-cluster, or all singletons
+        return 1.0
+    return (sum_cells - expected) / (maximum - expected)
+
+
+# ----------------------------------------------------------------------
+# scoring one scenario
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ScenarioScore:
+    """One generated scenario's end-to-end phase-recovery scorecard."""
+
+    name: str
+    tier: str
+    seed: int
+    true_k: int
+    detected_k: int
+    n_intervals: int
+    agreement: float
+    ari: float
+    dominant_recall: float
+    runtime_s: float
+
+    def to_obj(self) -> Dict[str, object]:
+        return asdict(self)
+
+
+def run_scenario(spec: ScenarioSpec, interval: float = 1.0,
+                 session_seed: int = DEFAULT_SEED,
+                 config: Optional[AnalysisConfig] = None) -> ScenarioScore:
+    """Run one spec through collection + analysis; score against truth."""
+    app = ScenarioApp(spec)
+    t0 = time.perf_counter()
+    result = Session(app, SessionConfig(ranks=1, seed=session_seed,
+                                        interval=interval)).run()
+    analysis = analyze_snapshots(result.samples(0),
+                                 config or AnalysisConfig())
+    data = analysis.interval_data
+    midpoints = data.timestamps - data.interval / 2.0
+    truth = spec.truth_labels(midpoints)
+    pred = np.asarray(analysis.phase_model.labels)
+    accuracy = detection_accuracy(app, analysis)
+    return ScenarioScore(
+        name=spec.name,
+        tier=spec.tier,
+        seed=spec.seed if spec.seed is not None else -1,
+        true_k=spec.n_true_phases,
+        detected_k=analysis.n_phases,
+        n_intervals=int(data.n_intervals),
+        agreement=round(label_agreement_matched(truth, pred), 4),
+        ari=round(adjusted_rand_index(truth, pred), 4),
+        dominant_recall=round(accuracy["dominant_recall"], 4),
+        runtime_s=round(time.perf_counter() - t0, 4),
+    )
+
+
+def _score_coordinate(job: Tuple[int, str, float, int]) -> Dict[str, object]:
+    """Worker entry point (module-level so it pickles)."""
+    seed, tier, interval, session_seed = job
+    spec = generate_scenario(seed, tier)
+    return run_scenario(spec, interval=interval,
+                        session_seed=session_seed).to_obj()
+
+
+# ----------------------------------------------------------------------
+# the sweep
+# ----------------------------------------------------------------------
+def _percentile(values: List[float], q: float) -> float:
+    return float(np.percentile(np.asarray(values, dtype=float), q))
+
+
+def summarize_scores(scores: Sequence[ScenarioScore]) -> Dict[str, object]:
+    """Per-tier accuracy distribution, ready for ``BENCH_perf.json``."""
+    tiers: Dict[str, object] = {}
+    for tier in sorted({s.tier for s in scores}):
+        rows = [s for s in scores if s.tier == tier]
+        agreements = [s.agreement for s in rows]
+        aris = [s.ari for s in rows]
+        tiers[tier] = {
+            "n": len(rows),
+            "median_agreement": round(_percentile(agreements, 50), 4),
+            "p10_agreement": round(_percentile(agreements, 10), 4),
+            "mean_agreement": round(float(np.mean(agreements)), 4),
+            "median_ari": round(_percentile(aris, 50), 4),
+            "p10_ari": round(_percentile(aris, 10), 4),
+            "mean_abs_k_error": round(float(np.mean(
+                [abs(s.detected_k - s.true_k) for s in rows])), 4),
+            "mean_dominant_recall": round(float(np.mean(
+                [s.dominant_recall for s in rows])), 4),
+        }
+    return tiers
+
+
+def sweep_scenarios(
+    n: int = 100,
+    seed: int = 0,
+    tiers: Sequence[str] = TIER_NAMES,
+    interval: float = 1.0,
+    session_seed: int = DEFAULT_SEED,
+    workers: Optional[int] = None,
+    progress: Optional[Callable[[int, int], None]] = None,
+) -> Dict[str, object]:
+    """Generate and score ``n`` scenarios; return the distribution report.
+
+    ``workers`` > 1 fans scoring out across processes (each worker
+    regenerates its spec from coordinates — cheap and avoids pickling
+    whole specs).  ``progress(done, total)`` is called after each score.
+    """
+    if n <= 0:
+        raise ValidationError("need a positive scenario count")
+    generator = ScenarioGenerator(seed, tiers)
+    coordinates = generator.coordinates(n)
+
+    t0 = time.perf_counter()
+    specs = [generate_scenario(s, t) for s, t in coordinates]
+    generation_seconds = time.perf_counter() - t0
+
+    jobs = [(s, t, interval, session_seed) for s, t in coordinates]
+    raw: List[Dict[str, object]] = []
+    t1 = time.perf_counter()
+    if workers and workers > 1:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            for obj in pool.map(_score_coordinate, jobs, chunksize=4):
+                raw.append(obj)
+                if progress:
+                    progress(len(raw), n)
+    else:
+        for spec in specs:
+            raw.append(run_scenario(spec, interval=interval,
+                                    session_seed=session_seed).to_obj())
+            if progress:
+                progress(len(raw), n)
+    sweep_seconds = time.perf_counter() - t1
+
+    scores = [ScenarioScore(**obj) for obj in raw]
+    return {
+        "n_scenarios": n,
+        "root_seed": int(seed),
+        "session_seed": int(session_seed),
+        "interval": interval,
+        "tiers": summarize_scores(scores),
+        "generation_seconds": round(generation_seconds, 4),
+        "generation_per_sec": round(n / generation_seconds, 2)
+        if generation_seconds > 0 else float("inf"),
+        "sweep_seconds": round(sweep_seconds, 4),
+        "scenarios_per_sec": round(n / sweep_seconds, 2)
+        if sweep_seconds > 0 else float("inf"),
+        "scores": [s.to_obj() for s in scores],
+    }
+
+
+def sweep_table(report: Dict[str, object]) -> Table:
+    """Render a sweep report's per-tier summary as a text table."""
+    table = Table(
+        headers=["tier", "n", "median agr", "p10 agr", "median ARI",
+                 "|k err|", "dom recall"],
+        title=(f"scenario sweep: {report['n_scenarios']} scenarios, "
+               f"root seed {report['root_seed']}, "
+               f"{report['scenarios_per_sec']}/s"),
+    )
+    for tier, row in report["tiers"].items():
+        table.add_row(
+            tier, str(row["n"]),
+            f"{row['median_agreement']:.3f}",
+            f"{row['p10_agreement']:.3f}",
+            f"{row['median_ari']:.3f}",
+            f"{row['mean_abs_k_error']:.2f}",
+            f"{row['mean_dominant_recall']:.3f}",
+        )
+    return table

@@ -20,6 +20,7 @@ from repro.service.client import (
     PhaseClient,
     PublishReport,
     RetryPolicy,
+    ScenarioLoadGenerator,
     SyntheticLoadGenerator,
     publish_samples,
     publish_session,
@@ -104,6 +105,7 @@ __all__ = [
     "SnapshotMsg",
     "StreamRegistry",
     "StreamState",
+    "ScenarioLoadGenerator",
     "SyntheticLoadGenerator",
     "TraceRecord",
     "TraceStore",

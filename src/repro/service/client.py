@@ -961,3 +961,86 @@ class SyntheticLoadGenerator:
             rejected=sum(r.rejected for r in reports.values()),
             dropped_oldest=sum(r.dropped_oldest for r in reports.values()),
         )
+
+
+class ScenarioLoadGenerator:
+    """Generated heterogeneous fleet traffic from scenario specs.
+
+    Where :class:`SyntheticLoadGenerator` rotates dominants over one
+    shared function universe, this generator draws each stream's
+    snapshots from a *generated scenario's* ground-truth phase timeline
+    (:func:`repro.apps.generator.scenario_snapshots`) — distinct kernel
+    universes, phase durations, and Markov phase sequences per shape —
+    so fleet tests see the mixed-phase heterogeneity real deployments
+    produce.  Streams are assigned shapes explicitly, keeping worker
+    placement and shape coverage under the caller's control.
+    """
+
+    def __init__(self, specs: Sequence[object], interval: float = 1.0,
+                 sample_period: float = 0.01,
+                 ticks_per_interval: int = 200) -> None:
+        if not specs:
+            raise ValidationError("need at least one scenario spec")
+        self.specs = list(specs)
+        self.interval = interval
+        self.sample_period = sample_period
+        self.ticks_per_interval = ticks_per_interval
+
+    def stream(self, shape: int, n_intervals: int,
+               rank: int = 0) -> List[GmonData]:
+        """One stream's cumulative snapshots for the given shape index."""
+        from repro.apps.generator import scenario_snapshots
+
+        spec = self.specs[shape % len(self.specs)]
+        return scenario_snapshots(
+            spec, n_intervals, interval=self.interval,
+            ticks_per_interval=self.ticks_per_interval,
+            sample_period=self.sample_period, rank=rank)
+
+    def run(
+        self,
+        endpoint: Endpoint,
+        streams: Sequence[Tuple[str, int]],
+        n_intervals: int,
+        delay: float = 0.0,
+        retry: Optional[RetryPolicy] = None,
+        pipeline: Optional[int] = None,
+        protocols: Sequence[int] = SUPPORTED_PROTOCOLS,
+    ) -> LoadResult:
+        """Publish ``(stream_id, shape_index)`` streams concurrently."""
+        reports: Dict[str, PublishReport] = {}
+        lock = threading.Lock()
+
+        def one(index: int, stream_id: str, shape: int) -> None:
+            spec = self.specs[shape % len(self.specs)]
+            try:
+                report = publish_samples(
+                    endpoint, stream_id,
+                    self.stream(shape, n_intervals, rank=index),
+                    app=getattr(spec, "name", "scenario-load"), rank=index,
+                    delay=delay, retry=retry, pipeline=pipeline,
+                    protocols=protocols)
+            except (ReproError, OSError) as exc:
+                report = PublishReport(stream_id=stream_id, error=str(exc))
+            with lock:
+                reports[stream_id] = report
+
+        start = time.monotonic()
+        threads = [
+            threading.Thread(target=one, args=(i, stream_id, shape),
+                             name=f"scenario-load-{i}")
+            for i, (stream_id, shape) in enumerate(streams)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.monotonic() - start
+        return LoadResult(
+            streams=reports,
+            elapsed=elapsed,
+            sent=sum(r.sent for r in reports.values()),
+            processed=sum(r.processed for r in reports.values()),
+            rejected=sum(r.rejected for r in reports.values()),
+            dropped_oldest=sum(r.dropped_oldest for r in reports.values()),
+        )

@@ -38,6 +38,33 @@ def test_duplicate_registration_rejected():
         register_app(Dup)
 
 
+def test_reregistering_same_class_is_idempotent():
+    """Module reloads re-run @register_app on the same class; that must
+    not raise — only a genuinely different class claiming the name does."""
+    import importlib
+
+    from repro.apps.graph500 import Graph500
+
+    assert register_app(Graph500) is Graph500  # literal re-registration
+    before = app_names()
+    importlib.reload(graph500)  # decorator runs again on a fresh class
+    assert app_names() == before
+    assert get_app("graph500").name == "graph500"
+    # Restore the canonical module state for other tests.
+    importlib.reload(graph500)
+
+
+def test_registry_describes_kinds():
+    from repro.apps import describe_apps
+
+    rows = {row["name"]: row for row in describe_apps()}
+    assert rows["graph500"]["kind"] == "paper"
+    assert rows["synthetic"]["kind"] == "synthetic"
+    assert any(name.startswith("scenario:") and row["kind"] == "generated"
+               for name, row in rows.items())
+    assert all(row["description"] for row in rows.values())
+
+
 def test_nameless_app_rejected():
     class NoName(AppModel):
         def build_main(self, scale=1.0):

@@ -148,3 +148,71 @@ def test_serve_refit_parser_flags():
         ["serve", "--refit-interval", "5", "--refit-drift-threshold", "0.2"])
     assert args.refit_interval == 5.0
     assert args.refit_drift_threshold == 0.2
+
+
+def test_list_apps_command(capsys):
+    assert main(["list-apps"]) == 0
+    out = capsys.readouterr().out
+    assert "graph500" in out and "paper" in out
+    assert "synthetic" in out
+    assert "scenario:" in out and "generated" in out
+
+
+def test_list_apps_kind_filter_and_json(capsys):
+    assert main(["list-apps", "--kind", "generated", "--json"]) == 0
+    import json
+
+    rows = json.loads(capsys.readouterr().out)
+    assert rows and all(r["kind"] == "generated" for r in rows)
+
+
+def test_generate_command(capsys):
+    assert main(["generate", "--n", "3", "--tier", "easy", "--seed", "9"]) == 0
+    out = capsys.readouterr().out
+    assert out.count("scenario:") == 3
+    assert "tier=easy" in out
+
+
+def test_generate_writes_spec_files(tmp_path, capsys):
+    out_dir = tmp_path / "specs"
+    assert main(["generate", "--n", "2", "--out", str(out_dir)]) == 0
+    import json
+
+    files = sorted(out_dir.glob("*.json"))
+    assert len(files) == 2
+    spec = json.loads(files[0].read_text())
+    assert {"kernels", "phases", "timeline"} <= set(spec)
+
+
+def test_run_accepts_scenario_address(tmp_path, capsys):
+    out_dir = str(tmp_path / "scn")
+    assert main(["run", "--app", "scenario:seed=3,tier=easy",
+                 "--out", out_dir]) == 0
+    assert main(["analyze", out_dir]) == 0
+    out = capsys.readouterr().out
+    assert "Phase ID" in out
+
+
+def test_run_rejects_bad_scenario_address():
+    with pytest.raises(SystemExit):
+        main(["run", "--app", "scenario:tier=easy", "--out", "/tmp/x"])
+
+
+def test_sweep_scenarios_command(tmp_path, capsys):
+    bench = tmp_path / "bench.json"
+    assert main(["sweep-scenarios", "--n", "6", "--tiers", "easy",
+                 "--min-median", "easy=0.5",
+                 "--bench-out", str(bench)]) == 0
+    out = capsys.readouterr().out
+    assert "scenario sweep" in out
+    import json
+
+    record = json.loads(bench.read_text())
+    assert record["scenarios"]["n_scenarios"] == 6
+    assert "easy" in record["scenarios"]["tiers"]
+
+
+def test_sweep_scenarios_enforces_floor(capsys):
+    assert main(["sweep-scenarios", "--n", "2", "--tiers", "easy",
+                 "--min-median", "easy=1.1"]) == 1
+    assert "FAIL" in capsys.readouterr().out

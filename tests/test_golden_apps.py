@@ -1,0 +1,59 @@
+"""Golden-equivalence pin for the paper applications.
+
+The scenario-substrate refactor (spec/generator IR under the workload
+layer) must not move a single byte of the paper reproduction.  The
+fixture was generated *before* the refactor landed; these tests
+regenerate the same outputs from the current tree and compare strings
+byte for byte.
+
+Regenerating the fixture is only legitimate when the change is a
+deliberate, reviewed behaviour change of the analysis pipeline itself —
+never as part of a workload-layer refactor.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.apps import paper_app_names
+from repro.core.pipeline import analyze_snapshots
+from repro.core.report import render_full_report
+from repro.eval.experiments import run_experiment
+from repro.eval.tables import app_sites_table, comparison_table
+from repro.incprof.session import Session, SessionConfig
+
+FIXTURE = Path(__file__).parent / "fixtures" / "golden_paper_apps.json"
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return json.loads(FIXTURE.read_text())
+
+
+def test_fixture_covers_all_paper_apps(golden):
+    for name in paper_app_names():
+        assert name in golden
+        assert f"table_{name}" in golden
+
+
+@pytest.mark.parametrize("name", ["graph500", "minife", "miniamr",
+                                  "lammps", "gadget2"])
+def test_analyze_report_byte_identical(golden, name):
+    scale = golden["_meta"]["scales"][name]
+    from repro.apps import get_app
+
+    result = Session(get_app(name),
+                     SessionConfig(ranks=1, seed=111, scale=scale)).run()
+    analysis = analyze_snapshots(result.samples(0))
+    assert render_full_report(analysis, app_name=name) == golden[name]
+
+
+@pytest.mark.parametrize("name", ["graph500", "minife", "miniamr",
+                                  "lammps", "gadget2"])
+def test_paper_tables_byte_identical(golden, name):
+    """Tables II-VI (sites + comparison) at full paper scale."""
+    result = run_experiment(name, scale=1.0, seed=111)
+    rendered = (app_sites_table(result).render() + "\n\n"
+                + comparison_table(result).render())
+    assert rendered == golden[f"table_{name}"]

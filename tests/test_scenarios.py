@@ -1,0 +1,314 @@
+"""The scenario substrate: IR, generator, scoring, and determinism."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.apps import get_app, is_known_app
+from repro.apps.generator import (ScenarioGenerator, generate_scenario,
+                                  parse_scenario_args, scenario_name,
+                                  scenario_snapshots)
+from repro.apps.spec import (KernelSpec, KernelUse, ScenarioApp,
+                             ScenarioPhase, ScenarioSpec, build_program,
+                             concat_specs)
+from repro.apps.synthetic import Synthetic, detection_accuracy
+from repro.core.pipeline import analyze_snapshots
+from repro.eval.scenarios import (adjusted_rand_index,
+                                  label_agreement_matched, run_scenario,
+                                  summarize_scores, sweep_scenarios)
+from repro.incprof.session import Session, SessionConfig
+from repro.util.errors import AppError, ValidationError
+
+SRC = str(Path(__file__).resolve().parents[1] / "src")
+
+
+# ----------------------------------------------------------------------
+# the IR
+# ----------------------------------------------------------------------
+def _tiny_spec() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="tiny",
+        kernels=(KernelSpec("alpha", 2.0), KernelSpec("beta", 100.0)),
+        phases=(
+            ScenarioPhase("a", 10.0, (KernelUse(0, 0.8),)),
+            ScenarioPhase("b", 5.0, (KernelUse(1, 0.6), KernelUse(0, 0.2))),
+        ),
+        timeline=(0, 1, 0),
+    )
+
+
+def test_spec_roundtrips_through_json():
+    spec = _tiny_spec()
+    again = ScenarioSpec.from_json(spec.to_json())
+    assert again == spec
+    assert again.to_json() == spec.to_json()
+
+
+def test_spec_validation():
+    with pytest.raises(AppError):
+        ScenarioSpec(name="x", kernels=(KernelSpec("k"),),
+                     phases=(ScenarioPhase("p", 1.0, (KernelUse(3, 0.5),)),),
+                     timeline=(0,))  # kernel index out of range
+    with pytest.raises(AppError):
+        ScenarioSpec(name="x", kernels=(KernelSpec("k"),),
+                     phases=(ScenarioPhase("p", 1.0, ()),),
+                     timeline=(4,))  # phase index out of range
+    with pytest.raises(AppError):
+        ScenarioPhase("p", 1.0, (KernelUse(0, 0.7), KernelUse(1, 0.7)))
+
+
+def test_truth_labels_follow_timeline_and_wrap():
+    spec = _tiny_spec()  # a:[0,10) b:[10,15) a:[15,25), total 25
+    labels = spec.truth_labels([0.5, 9.9, 10.5, 14.9, 20.0])
+    assert labels.tolist() == [0, 0, 1, 1, 0]
+    # Past the end the timeline wraps (traffic generators loop it).
+    assert spec.truth_labels([25.0 + 10.5]).tolist() == [1]
+    assert spec.truth_labels([]).size == 0
+    assert spec.n_true_phases == 2
+    assert spec.total_duration == 25.0
+
+
+def test_dominant_and_expected_functions():
+    spec = _tiny_spec()
+    assert spec.expected_functions() == ["alpha", "beta"]
+    assert spec.dominant_functions() == ["alpha", "beta"]
+
+
+def test_build_program_executes_the_spec():
+    app = ScenarioApp(_tiny_spec())
+    result = Session(app, SessionConfig(ranks=1, seed=7)).run()
+    samples = result.samples(0)
+    assert len(samples) >= 20
+    functions = set(samples[-1].functions())
+    assert {"alpha", "beta"} <= functions
+
+
+def test_synthetic_lowering_matches_legacy_executor():
+    """The spec lowering is the Synthetic executor: same RNG draws, same
+    batched calls, bit-identical snapshots."""
+    app = Synthetic()
+    spec = app.to_scenario_spec()
+    direct = Session(ScenarioApp(spec), SessionConfig(ranks=1)).run()
+    via_app = Session(Synthetic(), SessionConfig(ranks=1)).run()
+    a, b = direct.samples(0), via_app.samples(0)
+    assert len(a) == len(b)
+    assert a[-1].hist == b[-1].hist
+    assert a[-1].arcs == b[-1].arcs
+
+
+def test_concat_specs_plays_shapes_back_to_back():
+    one = generate_scenario(11, "easy")
+    two = generate_scenario(23, "medium")
+    combined = concat_specs("both", one, two)
+    assert combined.total_duration == pytest.approx(
+        one.total_duration + two.total_duration)
+    assert set(combined.expected_functions()) >= set(one.expected_functions())
+    assert set(combined.expected_functions()) >= set(two.expected_functions())
+    # Truth at a time inside the first spec matches that spec's label.
+    assert combined.truth_labels([1.0])[0] == one.truth_labels([1.0])[0]
+
+
+# ----------------------------------------------------------------------
+# the generator
+# ----------------------------------------------------------------------
+def test_generate_scenario_is_deterministic_in_process():
+    a = generate_scenario(42, "hard")
+    b = generate_scenario(42, "hard")
+    assert a.to_json() == b.to_json()
+    assert generate_scenario(43, "hard").to_json() != a.to_json()
+    assert generate_scenario(42, "easy").to_json() != a.to_json()
+
+
+_DETERMINISM_SNIPPET = r"""
+import json, sys
+from repro.apps.generator import generate_scenario
+from repro.apps.spec import ScenarioApp
+from repro.core.pipeline import analyze_snapshots
+from repro.incprof.session import Session, SessionConfig
+
+spec = generate_scenario(1234, "medium")
+result = Session(ScenarioApp(spec), SessionConfig(ranks=1, seed=111)).run()
+analysis = analyze_snapshots(result.samples(0))
+data = analysis.interval_data
+mid = data.timestamps - data.interval / 2.0
+print(json.dumps({
+    "spec": spec.to_obj(),
+    "truth": spec.truth_labels(mid).tolist(),
+    "labels": [int(x) for x in analysis.phase_model.labels],
+}, sort_keys=True))
+"""
+
+
+def test_generator_deterministic_across_fresh_processes():
+    """Same seed: byte-identical spec, identical ground-truth timeline,
+    bit-identical pipeline phase assignments — in two fresh processes."""
+    outputs = []
+    for _ in range(2):
+        proc = subprocess.run(
+            [sys.executable, "-c", _DETERMINISM_SNIPPET],
+            capture_output=True, text=True, check=True,
+            env=dict(os.environ, PYTHONPATH=SRC),
+        )
+        outputs.append(proc.stdout.strip())
+    assert outputs[0] == outputs[1]
+    payload = json.loads(outputs[0])
+    assert len(payload["truth"]) == len(payload["labels"]) > 0
+
+
+def test_generator_population_spans_tiers():
+    generator = ScenarioGenerator(seed=0)
+    specs = generator.specs(9)
+    assert [s.tier for s in specs] == ["easy", "medium", "hard"] * 3
+    assert len({s.name for s in specs}) == 9
+    assert generator.coordinates(9) == generator.coordinates(9)
+    # Registry addressability: every emitted name resolves to the
+    # exact same spec.
+    app = get_app(specs[0].name)
+    assert app.spec.to_json() == specs[0].to_json()
+
+
+def test_parse_scenario_args():
+    assert parse_scenario_args("seed=42,tier=hard") == (42, "hard")
+    assert parse_scenario_args("tier=hard, seed=42") == (42, "hard")
+    assert parse_scenario_args("42") == (42, "medium")
+    assert parse_scenario_args("seed=7") == (7, "medium")
+    for bad in ("", "tier=hard", "seed=x", "seed=1,tier=nope", "seed=1,x=2"):
+        with pytest.raises(AppError):
+            parse_scenario_args(bad)
+
+
+def test_factory_addresses_resolve():
+    assert is_known_app("scenario:seed=5,tier=easy")
+    assert not is_known_app("scenario")  # no args, not a factory hit
+    assert not is_known_app("nope:seed=5")
+    app = get_app(scenario_name(5, "easy"))
+    assert app.kind == "generated"
+    assert app.spec.seed == 5 and app.spec.tier == "easy"
+    with pytest.raises(AppError):
+        get_app("scenario:seed=5,tier=banana")
+
+
+def test_scenario_snapshots_are_cumulative_and_phase_shaped():
+    spec = _tiny_spec()
+    snaps = scenario_snapshots(spec, 30, ticks_per_interval=100)
+    assert len(snaps) == 30
+    assert snaps[-1].timestamp == 30.0
+    totals = [sum(s.hist.values()) for s in snaps]
+    assert all(b >= a for a, b in zip(totals, totals[1:]))  # cumulative
+    # During phase a (first 10 intervals) alpha dominates each delta.
+    delta_alpha = snaps[5].hist["alpha"] - snaps[4].hist["alpha"]
+    delta_beta = snaps[5].hist.get("beta", 0) - snaps[4].hist.get("beta", 0)
+    assert delta_alpha > delta_beta
+    # During phase b, beta takes over.
+    delta_alpha = snaps[12].hist["alpha"] - snaps[11].hist["alpha"]
+    delta_beta = snaps[12].hist["beta"] - snaps[11].hist["beta"]
+    assert delta_beta > delta_alpha
+
+
+# ----------------------------------------------------------------------
+# scoring: agreement / ARI / detection_accuracy edges
+# ----------------------------------------------------------------------
+def test_agreement_and_ari_edge_cases():
+    # Empty timeline: nothing to disagree about.
+    assert label_agreement_matched([], []) == 1.0
+    assert adjusted_rand_index([], []) == 1.0
+    # Single phase on both sides, arbitrary label values.
+    assert label_agreement_matched([0, 0, 0], [4, 4, 4]) == 1.0
+    assert adjusted_rand_index([0, 0, 0], [4, 4, 4]) == 1.0
+    # Permuted labels: both scores are invariant.
+    truth = [0, 0, 1, 1, 2, 2]
+    assert label_agreement_matched(truth, [2, 2, 0, 0, 1, 1]) == 1.0
+    assert adjusted_rand_index(truth, [5, 5, 9, 9, 7, 7]) == 1.0
+    # A genuinely wrong labeling scores below a permuted-perfect one.
+    assert label_agreement_matched(truth, [0, 1, 2, 0, 1, 2]) < 0.6
+    assert adjusted_rand_index(truth, [0, 1, 2, 0, 1, 2]) < 0.2
+    # One-to-one matching penalizes merging two true phases.
+    merged = [0, 0, 0, 0, 1, 1]
+    assert label_agreement_matched(truth, merged) == pytest.approx(4 / 6)
+    with pytest.raises(ValidationError):
+        label_agreement_matched([0, 1], [0])
+    with pytest.raises(ValidationError):
+        adjusted_rand_index([0, 1], [0])
+
+
+def test_detection_accuracy_on_scenario_and_synthetic():
+    spec = generate_scenario(7, "easy")
+    app = ScenarioApp(spec)
+    result = Session(app, SessionConfig(ranks=1, seed=111)).run()
+    analysis = analyze_snapshots(result.samples(0))
+    scores = detection_accuracy(app, analysis)
+    assert scores["true_phases"] == spec.n_true_phases
+    assert 0.0 <= scores["dominant_recall"] <= 1.0
+
+
+def test_detection_accuracy_single_phase_edge():
+    spec = ScenarioSpec(
+        name="mono", kernels=(KernelSpec("only", 5.0),),
+        phases=(ScenarioPhase("p", 30.0, (KernelUse(0, 0.9),)),),
+        timeline=(0,))
+    app = ScenarioApp(spec)
+    result = Session(app, SessionConfig(ranks=1, seed=111)).run()
+    analysis = analyze_snapshots(result.samples(0))
+    scores = detection_accuracy(app, analysis)
+    assert scores["true_phases"] == 1
+    assert scores["dominant_recall"] == 1.0
+    data = analysis.interval_data
+    truth = spec.truth_labels(data.timestamps - data.interval / 2.0)
+    pred = np.asarray(analysis.phase_model.labels)
+    # One true phase vs whatever the detector split the noise into: the
+    # one-to-one agreement is exactly the largest detected cluster's
+    # fraction, and chance-corrected ARI is 0 unless the detector also
+    # found a single phase (then both scores are exactly 1).
+    largest = max(np.bincount(pred)) / pred.size
+    assert label_agreement_matched(truth, pred) == pytest.approx(largest)
+    expected_ari = 1.0 if len(set(pred.tolist())) == 1 else 0.0
+    assert adjusted_rand_index(truth, pred) == pytest.approx(expected_ari)
+
+
+# ----------------------------------------------------------------------
+# the sweep
+# ----------------------------------------------------------------------
+def test_run_scenario_scores_easy_tier_high():
+    score = run_scenario(generate_scenario(3, "easy"))
+    assert score.tier == "easy"
+    assert score.agreement >= 0.9
+    assert score.n_intervals > 10
+    assert -1.0 <= score.ari <= 1.0
+
+
+def test_sweep_scenarios_reports_distribution():
+    report = sweep_scenarios(n=6, seed=0)
+    assert report["n_scenarios"] == 6
+    assert set(report["tiers"]) == {"easy", "medium", "hard"}
+    for row in report["tiers"].values():
+        assert row["n"] == 2
+        assert 0.0 <= row["p10_agreement"] <= row["median_agreement"] <= 1.0
+    assert len(report["scores"]) == 6
+    assert report["scenarios_per_sec"] > 0
+    # Same seed, same population: the accuracy numbers are reproducible.
+    again = sweep_scenarios(n=6, seed=0)
+    assert again["tiers"] == report["tiers"]
+
+
+def test_sweep_scenarios_parallel_matches_serial():
+    serial = sweep_scenarios(n=4, seed=5, tiers=("easy",))
+    parallel = sweep_scenarios(n=4, seed=5, tiers=("easy",), workers=2)
+    s = [{k: v for k, v in row.items() if k != "runtime_s"}
+         for row in serial["scores"]]
+    p = [{k: v for k, v in row.items() if k != "runtime_s"}
+         for row in parallel["scores"]]
+    assert s == p
+
+
+def test_summarize_scores_groups_by_tier():
+    report = sweep_scenarios(n=4, seed=1, tiers=("easy", "hard"))
+    from repro.eval.scenarios import ScenarioScore
+
+    scores = [ScenarioScore(**row) for row in report["scores"]]
+    tiers = summarize_scores(scores)
+    assert set(tiers) == {"easy", "hard"}
